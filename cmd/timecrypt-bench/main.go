@@ -1,0 +1,68 @@
+// Command timecrypt-bench regenerates the paper's evaluation tables and
+// figures (§6) on local hardware.
+//
+// Usage:
+//
+//	timecrypt-bench -run all -scale 1.0
+//	timecrypt-bench -run table2,fig5
+//
+// Experiments: table2, table3, fig5, fig6, fig7, fig8, access, devops.
+// Scale > 1 approaches the paper's sizes (and run times).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	runList := flag.String("run", "all", "comma-separated experiments (table2,table3,fig5,fig6,fig7,fig8,access,devops) or 'all'")
+	scale := flag.Float64("scale", 1.0, "experiment scale factor (1.0 = laptop-sized defaults)")
+	flag.Parse()
+
+	opts := bench.Options{Scale: *scale}
+	type experiment struct {
+		name string
+		run  func(io.Writer, bench.Options) error
+	}
+	wrap2 := func(f func(io.Writer, bench.Options) ([]bench.Table2Result, error)) func(io.Writer, bench.Options) error {
+		return func(w io.Writer, o bench.Options) error { _, err := f(w, o); return err }
+	}
+	experiments := []experiment{
+		{"table2", wrap2(bench.Table2)},
+		{"table3", func(w io.Writer, o bench.Options) error { _, err := bench.Table3(w, o); return err }},
+		{"fig5", func(w io.Writer, o bench.Options) error { _, err := bench.Fig5(w, o); return err }},
+		{"fig6", func(w io.Writer, o bench.Options) error { _, err := bench.Fig6(w, o); return err }},
+		{"fig7", func(w io.Writer, o bench.Options) error { _, err := bench.Fig7(w, o); return err }},
+		{"fig8", func(w io.Writer, o bench.Options) error { _, err := bench.Fig8(w, o); return err }},
+		{"access", func(w io.Writer, o bench.Options) error { _, err := bench.AccessControl(w, o); return err }},
+		{"devops", func(w io.Writer, o bench.Options) error { _, err := bench.DevOps(w, o); return err }},
+	}
+
+	want := map[string]bool{}
+	all := *runList == "all"
+	for _, name := range strings.Split(*runList, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+	ran := 0
+	for _, exp := range experiments {
+		if !all && !want[exp.name] {
+			continue
+		}
+		fmt.Printf("==== %s ====\n", exp.name)
+		if err := exp.run(os.Stdout, opts); err != nil {
+			log.Fatalf("%s: %v", exp.name, err)
+		}
+		fmt.Println()
+		ran++
+	}
+	if ran == 0 {
+		log.Fatalf("no experiment matched %q", *runList)
+	}
+}

@@ -1,0 +1,220 @@
+// Command timecrypt-cli is a small operational tool against a running
+// timecrypt-server: it creates streams, loads synthetic data, and runs
+// statistical queries, holding its key material in a local key file.
+//
+// Usage:
+//
+//	timecrypt-cli -addr localhost:7733 create  -stream hr -interval 10s
+//	timecrypt-cli -addr localhost:7733 ingest  -stream hr -chunks 100
+//	timecrypt-cli -addr localhost:7733 stats   -stream hr
+//	timecrypt-cli -addr localhost:7733 series  -stream hr -window 6
+//	timecrypt-cli -addr localhost:7733 info    -stream hr
+//
+// The key file (default ./<stream>.tckeys) stores the stream's secret seed
+// and geometry; protect it like any private key.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/chunk"
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// keyFile is the owner's persisted stream secret.
+type keyFile struct {
+	UUID     string `json:"uuid"`
+	Seed     []byte `json:"seed"`
+	Height   int    `json:"height"`
+	Epoch    int64  `json:"epoch"`
+	Interval int64  `json:"interval_ms"`
+	Count    uint64 `json:"chunks_ingested"`
+}
+
+func main() {
+	addr := flag.String("addr", "localhost:7733", "server address")
+	stream := flag.String("stream", "demo", "stream UUID")
+	interval := flag.Duration("interval", 10*time.Second, "chunk interval (create)")
+	chunks := flag.Int("chunks", 60, "chunks to ingest (ingest)")
+	window := flag.Uint64("window", 6, "window size in chunks (series)")
+	keyPath := flag.String("keys", "", "key file path (default <stream>.tckeys)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: timecrypt-cli [flags] create|ingest|stats|series|info|delete")
+	}
+	if *keyPath == "" {
+		*keyPath = *stream + ".tckeys"
+	}
+
+	tr, err := client.DialTCP(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tr.Close()
+
+	switch cmd := flag.Arg(0); cmd {
+	case "create":
+		doCreate(tr, *stream, interval.Milliseconds(), *keyPath)
+	case "ingest":
+		doIngest(tr, *keyPath, *chunks)
+	case "stats":
+		doStats(tr, *keyPath, 0)
+	case "series":
+		doStats(tr, *keyPath, *window)
+	case "info":
+		doInfo(tr, *stream)
+	case "delete":
+		if err := client.NewOwner(tr).DeleteStream(*stream); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("deleted", *stream)
+	default:
+		log.Fatalf("unknown command %q", cmd)
+	}
+}
+
+func loadKeys(path string) keyFile {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatalf("reading key file (run create first): %v", err)
+	}
+	var kf keyFile
+	if err := json.Unmarshal(data, &kf); err != nil {
+		log.Fatalf("parsing key file: %v", err)
+	}
+	return kf
+}
+
+func saveKeys(path string, kf keyFile) {
+	data, err := json.MarshalIndent(kf, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o600); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// rebuildStream reconstructs the owner handle from the key file. The
+// client library generates fresh seeds on CreateStream, so the CLI drives
+// the lower-level pieces directly for persistence.
+func rebuildStream(kf keyFile) (*core.Encryptor, *core.Encryptor, chunk.DigestSpec) {
+	var seed core.Node
+	copy(seed[:], kf.Seed)
+	tree, err := core.NewTree(core.NewPRG(core.PRGAES), kf.Height, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return core.NewEncryptor(tree.NewWalker()), core.NewEncryptor(tree.NewWalker()), chunk.DefaultSpec()
+}
+
+func doCreate(tr client.Transport, stream string, intervalMS int64, keyPath string) {
+	tree, err := core.GenerateTree(core.NewPRG(core.PRGAES), core.DefaultTreeHeight)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := chunk.DefaultSpec()
+	specBytes, _ := spec.MarshalBinary()
+	epoch := time.Now().UnixMilli()
+	cfg := wire.StreamConfig{
+		Epoch: epoch, Interval: intervalMS,
+		VectorLen: uint32(spec.VectorLen()), Fanout: 64,
+		DigestSpec: specBytes, Meta: "timecrypt-cli stream",
+	}
+	resp, err := tr.RoundTrip(&wire.CreateStream{UUID: stream, Cfg: cfg})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if e, ok := resp.(*wire.Error); ok {
+		log.Fatal(e)
+	}
+	seed := tree.Seed()
+	saveKeys(keyPath, keyFile{
+		UUID: stream, Seed: seed[:], Height: tree.Height(),
+		Epoch: epoch, Interval: intervalMS,
+	})
+	fmt.Printf("created stream %q (Δ=%dms); keys in %s\n", stream, intervalMS, keyPath)
+}
+
+func doIngest(tr client.Transport, keyPath string, n int) {
+	kf := loadKeys(keyPath)
+	enc, _, spec := rebuildStream(kf)
+	gen := workload.NewMHealth(42)
+	for i := 0; i < n; i++ {
+		idx := kf.Count + uint64(i)
+		pts := gen.Chunk(idx, kf.Epoch, kf.Interval)
+		start := kf.Epoch + int64(idx)*kf.Interval
+		sealed, err := chunk.Seal(enc, spec, chunk.CompressionZlib, idx, start, start+kf.Interval, pts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		resp, err := tr.RoundTrip(&wire.InsertChunk{UUID: kf.UUID, Chunk: chunk.MarshalSealed(sealed)})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if e, ok := resp.(*wire.Error); ok {
+			log.Fatal(e)
+		}
+	}
+	kf.Count += uint64(n)
+	saveKeys(keyPath, kf)
+	fmt.Printf("ingested %d chunks (%d records); stream at %d chunks\n",
+		n, n*gen.PointsPerChunk(), kf.Count)
+}
+
+func doStats(tr client.Transport, keyPath string, window uint64) {
+	kf := loadKeys(keyPath)
+	_, dec, spec := rebuildStream(kf)
+	te := kf.Epoch + int64(kf.Count)*kf.Interval
+	resp, err := tr.RoundTrip(&wire.StatRange{
+		UUIDs: []string{kf.UUID}, Ts: kf.Epoch, Te: te, WindowChunks: window,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sr, ok := resp.(*wire.StatRangeResp)
+	if !ok {
+		log.Fatal(resp.(*wire.Error))
+	}
+	step := window
+	if step == 0 {
+		step = sr.ToChunk - sr.FromChunk
+	}
+	for w, vec := range sr.Windows {
+		i := sr.FromChunk + uint64(w)*step
+		j := i + step
+		pt, err := dec.DecryptRange(i, j, vec, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := spec.Interpret(pt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		from := time.UnixMilli(kf.Epoch + int64(i)*kf.Interval).Format(time.TimeOnly)
+		fmt.Printf("[%s +%d chunks] count=%d sum=%d mean=%.2f stdev=%.2f min∈[%d,%d) max∈[%d,%d)\n",
+			from, step, r.Count, r.Sum, r.Mean, r.Stdev, r.MinLo, r.MinHi, r.MaxLo, r.MaxHi)
+	}
+}
+
+func doInfo(tr client.Transport, stream string) {
+	resp, err := tr.RoundTrip(&wire.StreamInfo{UUID: stream})
+	if err != nil {
+		log.Fatal(err)
+	}
+	info, ok := resp.(*wire.StreamInfoResp)
+	if !ok {
+		log.Fatal(resp.(*wire.Error))
+	}
+	fmt.Printf("stream %q: epoch=%s Δ=%dms chunks=%d digest-elements=%d meta=%q\n",
+		stream, time.UnixMilli(info.Cfg.Epoch).Format(time.RFC3339),
+		info.Cfg.Interval, info.Count, info.Cfg.VectorLen, info.Cfg.Meta)
+}

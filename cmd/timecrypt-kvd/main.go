@@ -1,0 +1,93 @@
+// Command timecrypt-kvd runs a standalone storage node (the Cassandra
+// role in the paper's deployment): a key-value store serving TimeCrypt
+// engines over TCP, with optional snapshot durability. Pair it with
+// `timecrypt-server -kv-addr` to reproduce the paper's DevOps topology
+// where storage and the TimeCrypt instance run on separate machines.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/kv"
+)
+
+func main() {
+	addr := flag.String("addr", ":7734", "listen address")
+	snapshot := flag.String("snapshot", "", "snapshot file to load at start and write periodically")
+	snapshotEvery := flag.Duration("snapshot-every", time.Minute, "snapshot interval")
+	flag.Parse()
+
+	store := kv.NewMemStore()
+	if *snapshot != "" {
+		if f, err := os.Open(*snapshot); err == nil {
+			if err := kv.ReadSnapshot(f, store); err != nil {
+				log.Fatalf("loading snapshot: %v", err)
+			}
+			f.Close()
+			log.Printf("loaded snapshot %s (%d keys)", *snapshot, store.Len())
+		} else if !errors.Is(err, os.ErrNotExist) {
+			log.Fatalf("opening snapshot: %v", err)
+		}
+	}
+
+	srv := kv.NewNetServer(store, log.Printf)
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listening on %s: %v", *addr, err)
+	}
+	log.Printf("timecrypt-kvd listening on %s", lis.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *snapshot != "" {
+		go func() {
+			ticker := time.NewTicker(*snapshotEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					if err := writeSnapshot(*snapshot, store); err != nil {
+						log.Printf("snapshot failed: %v", err)
+					}
+				}
+			}
+		}()
+	}
+	if err := srv.Serve(ctx, lis); err != nil && !errors.Is(err, context.Canceled) {
+		log.Printf("serve: %v", err)
+	}
+	if *snapshot != "" {
+		if err := writeSnapshot(*snapshot, store); err != nil {
+			log.Printf("final snapshot failed: %v", err)
+		}
+	}
+	log.Printf("store stats: %s", store.Stats())
+}
+
+func writeSnapshot(path string, store kv.Store) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := kv.WriteSnapshot(f, store); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}

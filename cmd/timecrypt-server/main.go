@@ -1,0 +1,139 @@
+// Command timecrypt-server runs a standalone TimeCrypt server: the
+// untrusted engine over the in-memory KV store, fronted by the TCP
+// protocol. Optional snapshots give restart durability.
+//
+// Usage:
+//
+//	timecrypt-server -addr :7733 -cache 0 -snapshot data.tcsnap -snapshot-every 60s
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/kv"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":7733", "listen address")
+	cache := flag.Int64("cache", 0, "index cache budget in bytes (0 = unbounded)")
+	kvAddr := flag.String("kv-addr", "", "remote timecrypt-kvd storage node (default: local in-memory store)")
+	kvPool := flag.Int("kv-pool", 8, "connections to the remote storage node")
+	snapshot := flag.String("snapshot", "", "snapshot file to load at start and write periodically (local store only)")
+	snapshotEvery := flag.Duration("snapshot-every", time.Minute, "snapshot interval")
+	flag.Parse()
+
+	if *kvAddr != "" {
+		remote, err := kv.DialRemoteStore(*kvAddr, *kvPool)
+		if err != nil {
+			log.Fatalf("connecting to storage node: %v", err)
+		}
+		log.Printf("using remote storage node %s", *kvAddr)
+		engine, err := server.New(remote, server.Config{CacheBytes: *cache})
+		if err != nil {
+			log.Fatalf("starting engine: %v", err)
+		}
+		serveEngine(engine, *addr)
+		return
+	}
+
+	store := kv.NewMemStore()
+	if *snapshot != "" {
+		if f, err := os.Open(*snapshot); err == nil {
+			if err := kv.ReadSnapshot(f, store); err != nil {
+				log.Fatalf("loading snapshot: %v", err)
+			}
+			f.Close()
+			log.Printf("loaded snapshot %s (%d keys)", *snapshot, store.Len())
+		} else if !errors.Is(err, os.ErrNotExist) {
+			log.Fatalf("opening snapshot: %v", err)
+		}
+	}
+
+	engine, err := server.New(store, server.Config{CacheBytes: *cache})
+	if err != nil {
+		log.Fatalf("starting engine: %v", err)
+	}
+	srv := server.NewServer(engine, log.Printf)
+
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listening on %s: %v", *addr, err)
+	}
+	log.Printf("timecrypt-server listening on %s", lis.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *snapshot != "" {
+		go func() {
+			ticker := time.NewTicker(*snapshotEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					if err := writeSnapshot(*snapshot, store); err != nil {
+						log.Printf("snapshot failed: %v", err)
+					}
+				}
+			}
+		}()
+	}
+
+	if err := srv.Serve(ctx, lis); err != nil && !errors.Is(err, context.Canceled) {
+		log.Printf("serve: %v", err)
+	}
+	if *snapshot != "" {
+		if err := writeSnapshot(*snapshot, store); err != nil {
+			log.Printf("final snapshot failed: %v", err)
+		} else {
+			log.Printf("wrote snapshot %s", *snapshot)
+		}
+	}
+	log.Printf("store stats: %s", store.Stats())
+}
+
+// serveEngine runs the TCP front end until interrupted (remote-store mode,
+// where durability is the storage node's job).
+func serveEngine(engine *server.Engine, addr string) {
+	srv := server.NewServer(engine, log.Printf)
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatalf("listening on %s: %v", addr, err)
+	}
+	log.Printf("timecrypt-server listening on %s", lis.Addr())
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := srv.Serve(ctx, lis); err != nil && !errors.Is(err, context.Canceled) {
+		log.Printf("serve: %v", err)
+	}
+}
+
+// writeSnapshot writes atomically via a temp file rename.
+func writeSnapshot(path string, store kv.Store) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := kv.WriteSnapshot(f, store); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}

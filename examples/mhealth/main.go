@@ -1,0 +1,120 @@
+// mHealth: the paper's motivating scenario. Alice's wearable streams heart
+// rate data; she shares per-minute aggregates with her trainer but only
+// hourly aggregates with her insurer — enforced by encryption, not server
+// policy. The insurer cryptographically cannot read anything finer than an
+// hour, and neither principal can read raw records.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	timecrypt "repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	engine, err := timecrypt.NewEngine(timecrypt.NewMemStore(), timecrypt.EngineConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr := timecrypt.NewInProcTransport(engine)
+
+	// --- Alice (data owner + producer) --------------------------------
+	alice := timecrypt.NewOwner(tr)
+	epoch := int64(1_700_000_000_000)
+	const interval = 10_000 // Δ = 10 s
+	stream, err := alice.CreateStream(timecrypt.StreamOptions{
+		UUID:     "alice/heart-rate",
+		Epoch:    epoch,
+		Interval: interval,
+		Spec: timecrypt.DigestSpec{
+			Sum: true, Count: true, SumSq: true,
+			HistBounds: []int64{40, 60, 80, 100, 120, 140, 160, 180, 200},
+		},
+		Meta: "heart rate, medical wearable, 50 Hz",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Resolutions Alice intends to share at: per-minute (6 chunks) and
+	// per-hour (360 chunks).
+	const minute, hour = 6, 360
+	if err := stream.EnableResolution(minute); err != nil {
+		log.Fatal(err)
+	}
+	if err := stream.EnableResolution(hour); err != nil {
+		log.Fatal(err)
+	}
+
+	// Stream 4 hours of wearable data (50 Hz => 500 records per chunk).
+	gen := workload.NewMHealth(7)
+	chunks := 4 * hour
+	for i := 0; i < chunks; i++ {
+		if err := stream.AppendChunk(gen.Chunk(uint64(i), epoch, interval)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("Alice ingested %d chunks (%d records), all encrypted end-to-end\n",
+		chunks, chunks*gen.PointsPerChunk())
+
+	// --- Grants --------------------------------------------------------
+	trainerKey, _ := timecrypt.GenerateKeyPair()
+	insurerKey, _ := timecrypt.GenerateKeyPair()
+	end := epoch + int64(chunks)*interval
+	if _, err := stream.Grant(trainerKey.PublicBytes(), epoch, end, minute); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := stream.Grant(insurerKey.PublicBytes(), epoch, end, hour); err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Trainer: per-minute view --------------------------------------
+	trainer, err := timecrypt.NewConsumer(tr, trainerKey).OpenStream("alice/heart-rate")
+	if err != nil {
+		log.Fatal(err)
+	}
+	mins, err := trainer.StatSeries(epoch, epoch+30*60_000, minute)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nTrainer (minute resolution) — first 30 minutes, %d windows:\n", len(mins))
+	for i, w := range mins {
+		if i%10 == 0 {
+			fmt.Printf("  minute %2d: mean=%.1f bpm, max∈[%d,%d)\n", i, w.Mean, w.MaxLo, w.MaxHi)
+		}
+	}
+	// The trainer cannot see chunk-level (10 s) data or raw records.
+	if _, err := trainer.StatSeries(epoch, end, 1); err != nil {
+		fmt.Println("  chunk-level data: DENIED (crypto-enforced) ✓")
+	}
+	if _, err := trainer.Points(epoch, epoch+interval); err != nil {
+		fmt.Println("  raw records:      DENIED (crypto-enforced) ✓")
+	}
+
+	// --- Insurer: hourly view only --------------------------------------
+	insurer, err := timecrypt.NewConsumer(tr, insurerKey).OpenStream("alice/heart-rate")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hours, err := insurer.StatSeries(epoch, end, hour)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nInsurer (hour resolution):")
+	for i, w := range hours {
+		fmt.Printf("  hour %d: mean=%.1f bpm over %d samples\n", i, w.Mean, w.Count)
+	}
+	// Per-minute data is cryptographically out of the insurer's reach,
+	// even though the server would happily compute it.
+	if _, err := insurer.StatSeries(epoch, end, minute); err != nil {
+		fmt.Println("  minute-level data: DENIED (crypto-enforced) ✓")
+	}
+
+	// --- Alice keeps full access ----------------------------------------
+	res, err := stream.StatRange(epoch, end)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nAlice (owner): 4-hour mean %.1f bpm across %d records\n", res.Mean, res.Count)
+}

@@ -1,0 +1,94 @@
+// Trend: private linear-model fitting (paper §4.5's extension hook for
+// "private training of linear machine learning models"). A weight scale
+// streams fixed-point readings; the clinic — without ever seeing a single
+// measurement — fits a weight-change trend line from one decrypted vector
+// of aggregation-based accumulators.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	timecrypt "repro"
+)
+
+func main() {
+	engine, err := timecrypt.NewEngine(timecrypt.NewMemStore(), timecrypt.EngineConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr := timecrypt.NewInProcTransport(engine)
+	owner := timecrypt.NewOwner(tr)
+
+	epoch := int64(1_700_000_000_000)
+	const day = int64(86_400_000)
+	fp := timecrypt.FixedPoint{Digits: 2} // 0.01 kg precision
+	spec := timecrypt.DigestSpec{
+		Sum: true, Count: true, SumSq: true,
+		LinFit:        true,
+		LinTimeOrigin: epoch,
+		LinTimeUnit:   day, // model time unit: days
+	}
+	stream, err := owner.CreateStream(timecrypt.StreamOptions{
+		UUID:     "scale/weight",
+		Epoch:    epoch,
+		Interval: day, // one chunk per day
+		Spec:     spec,
+		Meta:     "body weight, kg x100",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 90 days of daily weigh-ins: true trend −0.05 kg/day around 82 kg,
+	// with noise.
+	r := rand.New(rand.NewPCG(1, 2))
+	for d := 0; d < 90; d++ {
+		w := 82.0 - 0.05*float64(d) + (r.Float64()-0.5)*0.8
+		pt := timecrypt.Point{TS: epoch + int64(d)*day, Val: fp.Encode(w)}
+		if err := stream.AppendChunk([]timecrypt.Point{pt}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The clinic gets a full-resolution grant for the quarter.
+	clinicKey, _ := timecrypt.GenerateKeyPair()
+	if _, err := stream.Grant(clinicKey.PublicBytes(), epoch, epoch+90*day, 0); err != nil {
+		log.Fatal(err)
+	}
+	clinic, err := timecrypt.NewConsumer(tr, clinicKey).OpenStream("scale/weight")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fit, err := clinic.FitRange(epoch, epoch+90*day)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !fit.OK {
+		log.Fatal("fit not solvable")
+	}
+	fmt.Printf("clinic's private fit over %d weigh-ins:\n", fit.N)
+	fmt.Printf("  trend:    %+.3f kg/day (ground truth -0.050)\n", fp.DecodeMean(fit.Slope))
+	fmt.Printf("  baseline: %.1f kg     (ground truth ~82)\n", fp.DecodeMean(fit.Intercept))
+
+	// Classic statistics come from the same digest.
+	res, err := clinic.StatRange(epoch, epoch+90*day)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  quarter mean %.1f kg, stdev %.2f kg\n",
+		fp.DecodeMean(res.Mean), fp.DecodeStdev(res.Stdev))
+
+	// Month-over-month trend comparison, still without raw data.
+	for m := 0; m < 3; m++ {
+		f, err := clinic.FitRange(epoch+int64(m)*30*day, epoch+int64(m+1)*30*day)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  month %d trend: %+.3f kg/day over %d points\n",
+			m+1, fp.DecodeMean(f.Slope), f.N)
+	}
+	fmt.Println("\n(server stored and aggregated only uint64 ciphertexts throughout)")
+}

@@ -1,0 +1,90 @@
+// Package abesim is a cost-calibrated stand-in for ciphertext-policy
+// attribute-based encryption (CP-ABE, Bethencourt-Sahai-Waters style), used
+// only for the paper's §6.2 access-control comparison. Real CP-ABE needs
+// bilinear pairings, which the Go standard library does not provide; per
+// the reproduction's substitution rule we simulate each pairing and
+// group-exponentiation with the equivalent number of P-256 scalar
+// multiplications, preserving the comparison's shape: tens of milliseconds
+// per chunk for ABE versus microseconds for TimeCrypt's key derivation.
+//
+// Cost model (operation counts from BSW07 over a type-A curve):
+//   - Encrypt: 2 exponentiations per attribute + 2 in G_T
+//   - KeyGen:  2 exponentiations per attribute + 1
+//   - Decrypt: 2 pairings per leaf attribute + 1 final, each pairing
+//     costed at PairingCostMults scalar multiplications.
+package abesim
+
+import (
+	"crypto/elliptic"
+	"crypto/rand"
+	"math/big"
+)
+
+// PairingCostMults approximates one symmetric pairing as this many P-256
+// scalar multiplications. Pairings on type-A curves run ~1-2 ms on
+// commodity hardware versus ~50-100 µs per scalar mult, giving a factor of
+// roughly 15.
+const PairingCostMults = 15
+
+// Scheme simulates one CP-ABE deployment.
+type Scheme struct {
+	curve  elliptic.Curve
+	x, y   []byte // arbitrary group element (not the base point)
+	scalar []byte
+}
+
+// New creates a simulator.
+func New() (*Scheme, error) {
+	curve := elliptic.P256()
+	k, err := rand.Int(rand.Reader, curve.Params().N)
+	if err != nil {
+		return nil, err
+	}
+	// Force full width so the simulated cost is the worst-case cost.
+	k.SetBit(k, 255, 1)
+	px, py := curve.ScalarBaseMult(k.Bytes())
+	return &Scheme{curve: curve, x: px.Bytes(), y: py.Bytes(), scalar: k.Bytes()}, nil
+}
+
+// exp simulates one group exponentiation on an arbitrary group element.
+// ScalarMult (no precomputed tables) is the right cost model: pairing-group
+// exponentiations in ABE act on per-ciphertext elements, never the fixed
+// generator.
+func (s *Scheme) exp() {
+	px := new(big.Int).SetBytes(s.x)
+	py := new(big.Int).SetBytes(s.y)
+	s.curve.ScalarMult(px, py, s.scalar)
+}
+
+// pairing simulates one bilinear pairing.
+func (s *Scheme) pairing() {
+	for i := 0; i < PairingCostMults; i++ {
+		s.exp()
+	}
+}
+
+// Encrypt simulates encrypting one chunk key under a policy with the given
+// number of attributes (the paper's comparison uses the chunk counter as a
+// single attribute).
+func (s *Scheme) Encrypt(attributes int) {
+	for i := 0; i < 2*attributes+2; i++ {
+		s.exp()
+	}
+}
+
+// KeyGen simulates issuing a principal key for the given attribute count —
+// the per-grant cost in the Sieve-style design (~53 ms/chunk in the paper).
+func (s *Scheme) KeyGen(attributes int) {
+	for i := 0; i < 2*attributes+1; i++ {
+		s.exp()
+	}
+}
+
+// Decrypt simulates decrypting one chunk (~13 ms in the paper).
+func (s *Scheme) Decrypt(attributes int) {
+	for i := 0; i < attributes; i++ {
+		s.pairing()
+		s.pairing()
+	}
+	s.pairing()
+}

@@ -1,0 +1,61 @@
+package abesim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestOperationsComplete(t *testing.T) {
+	s, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Encrypt(1)
+	s.KeyGen(1)
+	s.Decrypt(1)
+}
+
+// The whole point of the simulator: ABE-style decryption must be orders of
+// magnitude slower than TimeCrypt-style key derivation (microseconds), so
+// verify it lands in the right regime (>= 1ms per decrypt on any hardware
+// this runs on, given 31 simulated scalar mults).
+func TestDecryptCostRegime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	s, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	const iters = 5
+	for i := 0; i < iters; i++ {
+		s.Decrypt(1)
+	}
+	per := time.Since(start) / iters
+	if per < 100*time.Microsecond {
+		t.Errorf("simulated ABE decrypt took %v; too fast to represent pairings", per)
+	}
+}
+
+func TestCostScalesWithAttributes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	s, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	measure := func(attrs, iters int) time.Duration {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			s.Encrypt(attrs)
+		}
+		return time.Since(start) / time.Duration(iters)
+	}
+	one := measure(1, 10)
+	eight := measure(8, 10)
+	if eight < one*2 {
+		t.Errorf("cost did not scale with attributes: 1 attr %v, 8 attrs %v", one, eight)
+	}
+}

@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"time"
+
+	"repro/internal/baseline/abesim"
+	"repro/internal/core"
+)
+
+// AccessResult holds one access-control mechanism's per-chunk costs.
+type AccessResult struct {
+	Mechanism string
+	KeyDerive time.Duration // per-chunk key material cost
+	Decrypt   time.Duration // per-chunk decrypt cost
+}
+
+// AccessControl reproduces the §6.2 access-control comparison: TimeCrypt's
+// tree-based keystream (log n PRG calls per key on a 2^30 tree) and
+// dual-key-regression resolution keystream (O(√n) hashes with
+// checkpoints) versus an ABE-based design (Sieve-style), where granting
+// and decrypting cost pairing-scale work per chunk (the paper's 53 ms /
+// 13 ms). The ABE numbers come from a pairing-cost simulator (see
+// internal/baseline/abesim).
+func AccessControl(w io.Writer, opts Options) ([]AccessResult, error) {
+	fmt.Fprintln(w, "§6.2 access control: per-chunk key derivation and decryption cost")
+	fmt.Fprintln(w)
+	var results []AccessResult
+
+	// TimeCrypt keystream: random leaf on a 2^30 tree (worst case, no
+	// path cache).
+	tree, err := core.NewTree(core.NewPRG(core.PRGAES), 30, core.Node{1})
+	if err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewPCG(5, 5))
+	derive := measure(opts.scaled(4000), func() {
+		if _, err := tree.Leaf(r.Uint64N(tree.NumLeaves())); err != nil {
+			panic(err)
+		}
+	})
+	// Decryption of an aggregate: one addition + one subtraction over
+	// already-derived keys.
+	var acc uint64
+	dec := measure(1_000_000, func() { acc = acc + 123 - 45 })
+	_ = acc
+	results = append(results, AccessResult{Mechanism: "timecrypt keystream (2^30 tree)", KeyDerive: derive, Decrypt: dec})
+
+	// Dual key regression with √n checkpoints (resolution keystream).
+	dkr, err := core.NewDualKeyRegression(1 << 20)
+	if err != nil {
+		return nil, err
+	}
+	deriveKR := measure(opts.scaled(2000), func() {
+		if _, err := dkr.KeyAt(r.Uint64N(dkr.N())); err != nil {
+			panic(err)
+		}
+	})
+	results = append(results, AccessResult{Mechanism: "dual key regression (2^20 keys)", KeyDerive: deriveKR, Decrypt: dec})
+
+	// ABE stand-in: per-chunk KeyGen (grant) and Decrypt with one
+	// attribute, as in the paper's comparison.
+	abe, err := abesim.New()
+	if err != nil {
+		return nil, err
+	}
+	grantABE := measure(10, func() { abe.KeyGen(1); abe.Encrypt(1) })
+	decABE := measure(10, func() { abe.Decrypt(1) })
+	results = append(results, AccessResult{Mechanism: "ABE (simulated pairings)", KeyDerive: grantABE, Decrypt: decABE})
+
+	t := &table{header: []string{"Mechanism", "Key derivation / grant (per chunk)", "Decrypt (per chunk)"}}
+	for _, res := range results {
+		t.add(res.Mechanism, fmtDur(res.KeyDerive), fmtDur(res.Decrypt))
+	}
+	t.write(w)
+	fmt.Fprintln(w, "\n(paper: tree 2.5µs, key regression 2.7ms worst case, ABE 53ms grant / 13ms decrypt)")
+	return results, nil
+}

@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Fig5Point is one series point: query latency for interval [0, 2^Exp].
+type Fig5Point struct {
+	Exp     int
+	Latency map[string]time.Duration
+}
+
+// Fig5 reproduces the interval-size sweep (paper Fig. 5): aggregate query
+// latency over [0, 2^x] for growing x, per scheme. The paper sweeps to
+// 2^26 with the strawman capped at 2^20 "due to excessive construction
+// overhead"; the default run sweeps to 2^18 with the strawman capped at
+// 2^12, preserving the shape (flat-ish for plaintext/TimeCrypt, sawtooth
+// for the strawman due to on-the-fly big-number aggregation).
+func Fig5(w io.Writer, opts Options) ([]Fig5Point, error) {
+	maxExp := 18
+	if opts.Scale >= 4 {
+		maxExp = 20
+	}
+	strawExp := 12
+	n := uint64(1) << maxExp
+	sn := uint64(1) << strawExp
+
+	fmt.Fprintf(w, "Fig 5: query latency over interval [0, 2^x] (index 2^%d chunks; strawman capped at 2^%d)\n\n", maxExp, strawExp)
+
+	plain, err := newU64Bench("plaintext", false, 64, 0)
+	if err != nil {
+		return nil, err
+	}
+	tc, err := newU64Bench("timecrypt", true, 64, 0)
+	if err != nil {
+		return nil, err
+	}
+	if err := fillIndex(plain, n); err != nil {
+		return nil, err
+	}
+	if err := fillIndex(tc, n); err != nil {
+		return nil, err
+	}
+	pb, err := newPaillierBench(1024, 64, 4)
+	if err != nil {
+		return nil, err
+	}
+	// Fast prefill: reuse one real ciphertext (adds are real work).
+	ctSeed, err := pb.key.EncryptUint64(3)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < sn; i++ {
+		pb.tree.Append(cloneBig(ctSeed))
+	}
+	eb, err := newECBench(64, 4, 6*sn)
+	if err != nil {
+		return nil, err
+	}
+	if err := fillIndex(eb, sn); err != nil {
+		return nil, err
+	}
+
+	var points []Fig5Point
+	for x := 0; x <= maxExp; x++ {
+		hi := uint64(1) << x
+		p := Fig5Point{Exp: x, Latency: map[string]time.Duration{}}
+		p.Latency["plaintext"] = measure(20, func() { mustQuery(plain, 0, hi) })
+		p.Latency["timecrypt"] = measure(20, func() { mustQuery(tc, 0, hi) })
+		if x <= strawExp {
+			p.Latency["paillier"] = measure(3, func() { mustQuery(pb, 0, hi) })
+			p.Latency["ec-elgamal"] = measure(3, func() { mustQuery(eb, 0, hi) })
+		}
+		points = append(points, p)
+	}
+
+	t := &table{header: []string{"x", "plaintext", "timecrypt", "paillier", "ec-elgamal"}}
+	for _, p := range points {
+		cell := func(name string) string {
+			if d, ok := p.Latency[name]; ok {
+				return fmtDur(d)
+			}
+			return "-"
+		}
+		t.add(fmt.Sprintf("2^%d", p.Exp), cell("plaintext"), cell("timecrypt"), cell("paillier"), cell("ec-elgamal"))
+	}
+	t.write(w)
+	return points, nil
+}
+
+func mustQuery(b indexBench, a, c uint64) {
+	if _, err := b.Query(a, c); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Fig6Point is one series point: key-derivation time on a tree with 2^H
+// keys, per PRG construction.
+type Fig6Point struct {
+	Height  int
+	Latency map[string]time.Duration
+}
+
+// Fig6 reproduces the PRG comparison for the key-derivation tree (paper
+// Fig. 6): deriving one key costs log2(n) PRG expansions, so latency grows
+// linearly in the tree height, with the constant set by the construction.
+// The paper compares software AES, SHA-256, and hardware AES-NI; Go's
+// crypto/aes uses the hardware instructions, so the three lines here are
+// AES (hardware, the paper's AES-NI), SHA-256, and HMAC-SHA-256 (the
+// slowest software path).
+func Fig6(w io.Writer, opts Options) ([]Fig6Point, error) {
+	fmt.Fprintln(w, "Fig 6: key derivation cost vs keystream size (one key = log2(n) PRG expansions)")
+	fmt.Fprintln(w)
+	kinds := []core.PRGKind{core.PRGAES, core.PRGSHA256, core.PRGHMAC}
+	iters := opts.scaled(2000)
+	var points []Fig6Point
+	for h := 10; h <= 60; h += 10 {
+		p := Fig6Point{Height: h, Latency: map[string]time.Duration{}}
+		for _, kind := range kinds {
+			tree, err := core.NewTree(core.NewPRG(kind), h, core.Node{byte(h)})
+			if err != nil {
+				return nil, err
+			}
+			r := rand.New(rand.NewPCG(uint64(h), 1))
+			n := tree.NumLeaves()
+			p.Latency[kind.String()] = measure(iters, func() {
+				if _, err := tree.Leaf(r.Uint64N(n)); err != nil {
+					panic(err)
+				}
+			})
+		}
+		points = append(points, p)
+	}
+	t := &table{header: []string{"keys", "aes (hw)", "sha256", "hmac"}}
+	for _, p := range points {
+		t.add(fmt.Sprintf("2^%d", p.Height),
+			fmtDur(p.Latency["aes"]), fmtDur(p.Latency["sha256"]), fmtDur(p.Latency["hmac"]))
+	}
+	t.write(w)
+	return points, nil
+}

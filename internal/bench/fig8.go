@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/chunk"
+	"repro/internal/client"
+	"repro/internal/kv"
+	"repro/internal/server"
+)
+
+// Fig8Point is one granularity's query latency.
+type Fig8Point struct {
+	Granularity string
+	Windows     int
+	Plaintext   time.Duration
+	TimeCrypt   time.Duration
+}
+
+// Fig8 reproduces the granularity sweep (paper Fig. 8): latency for
+// statistical queries over a long history at granularities from one minute
+// up to the whole range. Fine granularities return many windows and are
+// dominated by per-window decryptions (the paper's 1.51x worst case at
+// minute granularity); coarse granularities approach plaintext (1.01x).
+// The paper uses one month of mHealth data (121M records); the default
+// run uses a scaled history with the same Δ=10s geometry.
+func Fig8(w io.Writer, opts Options) ([]Fig8Point, error) {
+	days := opts.scaled(1)
+	chunks := uint64(days) * 8640 // Δ=10s -> 8640 chunks/day
+	const interval = 10_000
+	epoch := int64(1_700_000_000_000)
+	fmt.Fprintf(w, "Fig 8: query latency vs granularity (%d day(s) of data = %d chunks, Δ=10s)\n\n", days, chunks)
+
+	build := func(insecure bool) (*client.OwnerStream, error) {
+		engine, err := server.New(kv.NewMemStore(), server.Config{})
+		if err != nil {
+			return nil, err
+		}
+		owner := client.NewOwner(&client.InProc{Engine: engine})
+		s, err := owner.CreateStream(client.StreamOptions{
+			UUID:     "fig8",
+			Epoch:    epoch,
+			Interval: interval,
+			Spec:     chunk.DigestSpec{Sum: true, Count: true},
+			Insecure: insecure,
+		})
+		if err != nil {
+			return nil, err
+		}
+		pts := make([]chunk.Point, 5)
+		for i := uint64(0); i < chunks; i++ {
+			start := epoch + int64(i)*interval
+			for p := range pts {
+				pts[p] = chunk.Point{TS: start + int64(p)*2000, Val: int64(60 + i%30)}
+			}
+			if err := s.AppendChunk(pts); err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+	}
+	plain, err := build(true)
+	if err != nil {
+		return nil, err
+	}
+	tc, err := build(false)
+	if err != nil {
+		return nil, err
+	}
+
+	grans := []struct {
+		name   string
+		chunks uint64
+	}{
+		{"minute", 6},
+		{"hour", 360},
+		{"day", 8640},
+	}
+	if days >= 7 {
+		grans = append(grans, struct {
+			name   string
+			chunks uint64
+		}{"week", 60480})
+	}
+	te := epoch + int64(chunks)*interval
+	var points []Fig8Point
+	for _, g := range grans {
+		if g.chunks > chunks {
+			continue
+		}
+		reps := 3
+		if chunks/g.chunks <= 24 {
+			reps = 10
+		}
+		var nWin int
+		pLat := measure(reps, func() {
+			res, err := plain.StatSeries(epoch, te, g.chunks)
+			if err != nil {
+				panic(err)
+			}
+			nWin = len(res)
+		})
+		tLat := measure(reps, func() {
+			if _, err := tc.StatSeries(epoch, te, g.chunks); err != nil {
+				panic(err)
+			}
+		})
+		points = append(points, Fig8Point{Granularity: g.name, Windows: nWin, Plaintext: pLat, TimeCrypt: tLat})
+	}
+	// Whole-range query (single window).
+	pLat := measure(10, func() {
+		if _, err := plain.StatRange(epoch, te); err != nil {
+			panic(err)
+		}
+	})
+	tLat := measure(10, func() {
+		if _, err := tc.StatRange(epoch, te); err != nil {
+			panic(err)
+		}
+	})
+	points = append(points, Fig8Point{Granularity: "full-range", Windows: 1, Plaintext: pLat, TimeCrypt: tLat})
+
+	t := &table{header: []string{"Granularity", "Windows", "Plaintext", "TimeCrypt", "Overhead"}}
+	for _, p := range points {
+		t.add(p.Granularity, fmt.Sprintf("%d", p.Windows), fmtDur(p.Plaintext), fmtDur(p.TimeCrypt),
+			ratio(p.TimeCrypt, p.Plaintext))
+	}
+	t.write(w)
+	return points, nil
+}

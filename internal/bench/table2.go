@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+	"math/rand/v2"
+	"time"
+
+	"repro/internal/baseline/ecelgamal"
+	"repro/internal/baseline/paillier"
+)
+
+// Table2Sizes are the index sizes exercised. The paper uses 1k/1M/100M
+// chunks; the default run uses 1k and a scaled "large" size and
+// extrapolates index bytes per chunk (EXPERIMENTS.md documents this).
+type Table2Result struct {
+	System        string
+	AddNS         time.Duration
+	BytesPerChunk float64
+	IngestSmall   time.Duration
+	IngestLarge   time.Duration // zero for strawman (capped, like the paper's missing 100M column)
+	QuerySmall    time.Duration
+	QueryLarge    time.Duration
+}
+
+// Table2 reproduces the index microbenchmarks: homomorphic ADD cost, index
+// size, average ingest time, and average worst-case query time per scheme
+// (paper Table 2).
+func Table2(w io.Writer, opts Options) ([]Table2Result, error) {
+	const small = 1000
+	large := uint64(opts.scaled(200_000))
+	fmt.Fprintf(w, "Table 2: index microbenchmarks (small=%d chunks, large=%d chunks; strawman capped at %d)\n\n",
+		small, large, small)
+
+	var results []Table2Result
+
+	// --- plaintext and TimeCrypt over the real index -----------------
+	for _, cfg := range []struct {
+		name      string
+		encrypted bool
+	}{{"plaintext", false}, {"timecrypt", true}} {
+		res := Table2Result{System: cfg.name}
+		// Micro ADD: modular uint64 addition.
+		var acc uint64
+		res.AddNS = measure(1_000_000, func() { acc += 12345 })
+		_ = acc
+		// Small index.
+		bSmall, err := newU64Bench(cfg.name, cfg.encrypted, 64, 0)
+		if err != nil {
+			return nil, err
+		}
+		if err := fillIndex(bSmall, small); err != nil {
+			return nil, err
+		}
+		res.IngestSmall = measure(small, func() { bSmall.Ingest(3) })
+		res.QuerySmall = avgQuery(bSmall, small, 200)
+		// Large index.
+		bLarge, err := newU64Bench(cfg.name, cfg.encrypted, 64, 0)
+		if err != nil {
+			return nil, err
+		}
+		if err := fillIndex(bLarge, large); err != nil {
+			return nil, err
+		}
+		res.BytesPerChunk = bLarge.BytesPerChunk()
+		res.IngestLarge = measure(2000, func() { bLarge.Ingest(3) })
+		res.QueryLarge = avgQuery(bLarge, large, 200)
+		results = append(results, res)
+	}
+
+	// --- Paillier strawman (3072-bit = 128-bit security) -------------
+	{
+		res := Table2Result{System: "paillier"}
+		pb, err := newPaillierBench(paillier.Key128SecurityBits, 64, 4)
+		if err != nil {
+			return nil, err
+		}
+		// Prefill with one real ciphertext reused (homomorphic adds
+		// are still real work); encrypting 1000x at 3072 bits would
+		// take minutes.
+		ct, err := pb.key.EncryptUint64(3)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < small; i++ {
+			pb.tree.Append(new(big.Int).Set(ct))
+		}
+		var x, y big.Int
+		x.Set(ct)
+		y.Set(ct)
+		res.AddNS = measure(2000, func() { pb.key.AddInto(&x, &y) })
+		res.IngestSmall = measure(5, func() { pb.Ingest(3) })
+		res.QuerySmall = avgQuery(pb, small, 5)
+		res.BytesPerChunk = pb.BytesPerChunk()
+		results = append(results, res)
+	}
+
+	// --- EC-ElGamal strawman (P-256 = 128-bit security) --------------
+	{
+		res := Table2Result{System: "ec-elgamal"}
+		eb, err := newECBench(64, 4, 6*small)
+		if err != nil {
+			return nil, err
+		}
+		if err := fillIndex(eb, small); err != nil {
+			return nil, err
+		}
+		a, _ := eb.key.Encrypt(1)
+		b2, _ := eb.key.Encrypt(2)
+		res.AddNS = measure(2000, func() { ecelgamal.Add(a, b2) })
+		res.IngestSmall = measure(20, func() { eb.Ingest(3) })
+		res.QuerySmall = avgQuery(eb, small, 10)
+		res.BytesPerChunk = eb.BytesPerChunk()
+		results = append(results, res)
+	}
+
+	// Render with slowdown factors relative to plaintext, like the paper.
+	plain := results[0]
+	t := &table{header: []string{"System", "ADD", "Index B/chunk (1M est)", "Ingest@1k", "Ingest@large", "Query@1k", "Query@large"}}
+	for _, r := range results {
+		large := func(d time.Duration) string {
+			if d == 0 {
+				return "N/A"
+			}
+			return fmtDur(d) + " (" + ratio(d, plain.IngestLarge) + ")"
+		}
+		t.add(r.System,
+			fmtDur(r.AddNS),
+			fmtBytes(r.BytesPerChunk*1e6),
+			fmtDur(r.IngestSmall)+" ("+ratio(r.IngestSmall, plain.IngestSmall)+")",
+			large(r.IngestLarge),
+			fmtDur(r.QuerySmall)+" ("+ratio(r.QuerySmall, plain.QuerySmall)+")",
+			large(r.QueryLarge),
+		)
+	}
+	t.write(w)
+	return results, nil
+}
+
+// avgQuery measures worst-case-alignment range queries: random ranges with
+// odd endpoints force maximal index drill-down.
+func avgQuery(b indexBench, n uint64, reps int) time.Duration {
+	r := rand.New(rand.NewPCG(7, 7))
+	return measure(reps, func() {
+		a := r.Uint64N(n / 2)
+		c := a + 1 + r.Uint64N(n-a-1)
+		// Odd endpoints are the worst case for the decomposition.
+		if a%2 == 0 && a > 0 {
+			a--
+		}
+		if c%2 == 0 && c < n {
+			c++
+		}
+		if _, err := b.Query(a, c); err != nil {
+			panic(err)
+		}
+	})
+}

@@ -1,0 +1,99 @@
+package chunk
+
+import (
+	"bytes"
+	"compress/zlib"
+	"fmt"
+	"io"
+)
+
+// Compression selects the lossless codec applied to a chunk's serialized
+// point payload before encryption. The paper's default is zlib, with the
+// codec chosen per stream based on what compresses that data best (§4.1
+// footnote 2); the varint delta encoding in MarshalPoints already acts as a
+// domain-specific pre-pass.
+type Compression uint8
+
+const (
+	// CompressionZlib applies RFC 1950 deflate. It is the zero value so
+	// that it is the default, matching the paper ("with zlib as
+	// default", §4.1).
+	CompressionZlib Compression = iota
+	// CompressionNone stores the serialized points as-is.
+	CompressionNone
+)
+
+// String returns the canonical codec name.
+func (c Compression) String() string {
+	switch c {
+	case CompressionNone:
+		return "none"
+	case CompressionZlib:
+		return "zlib"
+	default:
+		return fmt.Sprintf("Compression(%d)", uint8(c))
+	}
+}
+
+// ParseCompression converts a canonical codec name into a Compression.
+func ParseCompression(s string) (Compression, error) {
+	switch s {
+	case "none":
+		return CompressionNone, nil
+	case "zlib":
+		return CompressionZlib, nil
+	}
+	return 0, fmt.Errorf("chunk: unknown compression %q", s)
+}
+
+// maxDecompressed bounds decompression output to defend against
+// decompression bombs from a malicious store.
+const maxDecompressed = 64 << 20
+
+// Compress encodes data with the codec.
+func Compress(c Compression, data []byte) ([]byte, error) {
+	switch c {
+	case CompressionNone:
+		out := make([]byte, len(data))
+		copy(out, data)
+		return out, nil
+	case CompressionZlib:
+		var buf bytes.Buffer
+		zw := zlib.NewWriter(&buf)
+		if _, err := zw.Write(data); err != nil {
+			return nil, err
+		}
+		if err := zw.Close(); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	default:
+		return nil, fmt.Errorf("chunk: unknown compression %d", c)
+	}
+}
+
+// Decompress reverses Compress.
+func Decompress(c Compression, data []byte) ([]byte, error) {
+	switch c {
+	case CompressionNone:
+		out := make([]byte, len(data))
+		copy(out, data)
+		return out, nil
+	case CompressionZlib:
+		zr, err := zlib.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("chunk: zlib: %w", err)
+		}
+		defer zr.Close()
+		out, err := io.ReadAll(io.LimitReader(zr, maxDecompressed+1))
+		if err != nil {
+			return nil, fmt.Errorf("chunk: zlib: %w", err)
+		}
+		if len(out) > maxDecompressed {
+			return nil, fmt.Errorf("chunk: decompressed payload exceeds %d bytes", maxDecompressed)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("chunk: unknown compression %d", c)
+	}
+}

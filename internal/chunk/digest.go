@@ -1,0 +1,331 @@
+package chunk
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DigestSpec configures which aggregate statistics a stream's per-chunk
+// digest carries (paper §4.1, §4.5). The digest is a vector of uint64
+// values encrypted element-wise with HEAC; its layout is
+//
+//	[ sum | count | sum-of-squares | histogram bin counts … ]
+//
+// with each section present only if enabled. SUM/COUNT/MEAN need sum+count,
+// VAR/STDEV additionally need sum-of-squares, and FREQ/MIN/MAX need the
+// histogram (the paper computes MIN/MAX via the histogram to avoid
+// order-revealing encryption, §4.5).
+type DigestSpec struct {
+	// Sum enables the running sum of values.
+	Sum bool
+	// Count enables the record count.
+	Count bool
+	// SumSq enables the sum of squared values.
+	SumSq bool
+	// HistBounds, when non-empty, enables a frequency histogram with
+	// len(HistBounds)-1 bins; bin b counts values in
+	// [HistBounds[b], HistBounds[b+1]). Bounds must be strictly
+	// increasing. Values outside the bounds clamp to the edge bins.
+	HistBounds []int64
+	// LinFit adds Σt, Σt², Σt·v accumulators for private linear-model
+	// fitting over scaled timestamps (see linfit.go). Requires Sum and
+	// Count.
+	LinFit bool
+	// LinTimeOrigin (Unix ms) is subtracted from timestamps before
+	// scaling; usually the stream epoch.
+	LinTimeOrigin int64
+	// LinTimeUnit (ms) is the model time unit; must be positive when
+	// LinFit is set.
+	LinTimeUnit int64
+}
+
+// DefaultSpec supports the paper's default query set
+// (sum, count, mean, var, freq, min/max) with 16 histogram bins over
+// [0, 256).
+func DefaultSpec() DigestSpec {
+	bounds := make([]int64, 17)
+	for i := range bounds {
+		bounds[i] = int64(i * 16)
+	}
+	return DigestSpec{Sum: true, Count: true, SumSq: true, HistBounds: bounds}
+}
+
+// SumOnlySpec is the single-statistic digest used in the paper's
+// microbenchmarks ("the index supports one statistical operation (i.e.,
+// sum) for isolated overhead quantification", §6.1).
+func SumOnlySpec() DigestSpec { return DigestSpec{Sum: true} }
+
+// Validate checks internal consistency.
+func (s DigestSpec) Validate() error {
+	if !s.Sum && !s.Count && !s.SumSq && len(s.HistBounds) == 0 {
+		return fmt.Errorf("chunk: digest spec enables no statistics")
+	}
+	if len(s.HistBounds) == 1 {
+		return fmt.Errorf("chunk: histogram needs at least 2 bounds")
+	}
+	for i := 1; i < len(s.HistBounds); i++ {
+		if s.HistBounds[i] <= s.HistBounds[i-1] {
+			return fmt.Errorf("chunk: histogram bounds not strictly increasing at %d", i)
+		}
+	}
+	if s.LinFit {
+		if s.LinTimeUnit <= 0 {
+			return fmt.Errorf("chunk: LinFit requires positive LinTimeUnit")
+		}
+		if !s.Sum || !s.Count {
+			return fmt.Errorf("chunk: LinFit requires Sum and Count")
+		}
+	}
+	return nil
+}
+
+// Bins returns the number of histogram bins (0 if disabled).
+func (s DigestSpec) Bins() int {
+	if len(s.HistBounds) < 2 {
+		return 0
+	}
+	return len(s.HistBounds) - 1
+}
+
+// VectorLen returns the digest vector length.
+func (s DigestSpec) VectorLen() int {
+	n := 0
+	if s.Sum {
+		n++
+	}
+	if s.Count {
+		n++
+	}
+	if s.SumSq {
+		n++
+	}
+	if s.LinFit {
+		n += linFitElems
+	}
+	return n + s.Bins()
+}
+
+// offsets returns the vector index of the classic sections, or -1 if
+// absent.
+func (s DigestSpec) offsets() (sum, count, sumsq, hist int) {
+	sum, count, sumsq, _, hist = s.offsetsExt()
+	return
+}
+
+// offsetsExt additionally locates the linear-fit accumulators.
+func (s DigestSpec) offsetsExt() (sum, count, sumsq, lin, hist int) {
+	sum, count, sumsq, lin, hist = -1, -1, -1, -1, -1
+	n := 0
+	if s.Sum {
+		sum = n
+		n++
+	}
+	if s.Count {
+		count = n
+		n++
+	}
+	if s.SumSq {
+		sumsq = n
+		n++
+	}
+	if s.LinFit {
+		lin = n
+		n += linFitElems
+	}
+	if s.Bins() > 0 {
+		hist = n
+	}
+	return
+}
+
+// binFor returns the histogram bin for value v, clamping out-of-range
+// values to the edge bins.
+func (s DigestSpec) binFor(v int64) int {
+	// First bound > v, minus one.
+	idx := sort.Search(len(s.HistBounds), func(i int) bool { return s.HistBounds[i] > v }) - 1
+	if idx < 0 {
+		return 0
+	}
+	if idx >= s.Bins() {
+		return s.Bins() - 1
+	}
+	return idx
+}
+
+// Compute builds the plaintext digest vector for a chunk's points. The
+// vector is written into dst (allocated if nil or short) and returned.
+func (s DigestSpec) Compute(pts []Point, dst []uint64) []uint64 {
+	n := s.VectorLen()
+	if cap(dst) < n {
+		dst = make([]uint64, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = 0
+	}
+	sum, count, sumsq, lin, hist := s.offsetsExt()
+	for _, p := range pts {
+		if sum >= 0 {
+			dst[sum] += uint64(p.Val)
+		}
+		if count >= 0 {
+			dst[count]++
+		}
+		if sumsq >= 0 {
+			dst[sumsq] += uint64(p.Val * p.Val)
+		}
+		if lin >= 0 {
+			t := s.scaledTime(p.TS)
+			dst[lin] += uint64(t)
+			dst[lin+1] += uint64(t * t)
+			dst[lin+2] += uint64(t * p.Val)
+		}
+		if hist >= 0 {
+			dst[hist+s.binFor(p.Val)]++
+		}
+	}
+	return dst
+}
+
+// Result is a decrypted, interpreted statistical query answer.
+type Result struct {
+	// Count of aggregated records; always valid when the spec has Count.
+	Count uint64
+	// Sum of values (two's-complement over the mod-2^64 digest).
+	Sum int64
+	// Mean = Sum/Count; NaN when Count is 0 or Count disabled.
+	Mean float64
+	// Var is the population variance; NaN unless Sum, Count and SumSq
+	// are all enabled and Count > 0.
+	Var float64
+	// Stdev = sqrt(Var).
+	Stdev float64
+	// Hist holds per-bin frequency counts when the histogram is enabled.
+	Hist []uint64
+	// Min/Max bounds derived from the lowest/highest non-empty histogram
+	// bin: the true min lies in [MinLo, MinHi), the max in [MaxLo, MaxHi).
+	// MinCount/MaxCount are the frequencies in those bins (the paper's
+	// MIN/MAX "also gain information about their frequency count").
+	MinLo, MinHi, MaxLo, MaxHi int64
+	MinCount, MaxCount         uint64
+	// HasMinMax reports whether any histogram bin was non-empty.
+	HasMinMax bool
+}
+
+// Interpret decodes a decrypted digest vector into a Result.
+func (s DigestSpec) Interpret(vec []uint64) (Result, error) {
+	if len(vec) != s.VectorLen() {
+		return Result{}, fmt.Errorf("chunk: digest vector has %d elements, spec needs %d", len(vec), s.VectorLen())
+	}
+	sum, count, sumsq, hist := s.offsets()
+	r := Result{Mean: math.NaN(), Var: math.NaN(), Stdev: math.NaN()}
+	if sum >= 0 {
+		r.Sum = int64(vec[sum])
+	}
+	if count >= 0 {
+		r.Count = vec[count]
+	}
+	if sum >= 0 && count >= 0 && r.Count > 0 {
+		r.Mean = float64(r.Sum) / float64(r.Count)
+	}
+	if sum >= 0 && count >= 0 && sumsq >= 0 && r.Count > 0 {
+		n := float64(r.Count)
+		mean := float64(r.Sum) / n
+		r.Var = float64(int64(vec[sumsq]))/n - mean*mean
+		if r.Var < 0 {
+			r.Var = 0 // numerical noise on constant data
+		}
+		r.Stdev = math.Sqrt(r.Var)
+	}
+	if hist >= 0 {
+		r.Hist = append([]uint64(nil), vec[hist:hist+s.Bins()]...)
+		for b, c := range r.Hist {
+			if c == 0 {
+				continue
+			}
+			if !r.HasMinMax {
+				r.MinLo, r.MinHi = s.HistBounds[b], s.HistBounds[b+1]
+				r.MinCount = c
+				r.HasMinMax = true
+			}
+			r.MaxLo, r.MaxHi = s.HistBounds[b], s.HistBounds[b+1]
+			r.MaxCount = c
+		}
+	}
+	return r, nil
+}
+
+// MarshalBinary encodes the spec for stream metadata storage.
+func (s DigestSpec) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, 4+8*len(s.HistBounds))
+	var flags byte
+	if s.Sum {
+		flags |= 1
+	}
+	if s.Count {
+		flags |= 2
+	}
+	if s.SumSq {
+		flags |= 4
+	}
+	if s.LinFit {
+		flags |= 8
+	}
+	buf = append(buf, flags)
+	buf = binary.AppendUvarint(buf, uint64(len(s.HistBounds)))
+	for _, b := range s.HistBounds {
+		buf = binary.AppendVarint(buf, b)
+	}
+	if s.LinFit {
+		buf = binary.AppendVarint(buf, s.LinTimeOrigin)
+		buf = binary.AppendVarint(buf, s.LinTimeUnit)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary decodes a spec produced by MarshalBinary.
+func (s *DigestSpec) UnmarshalBinary(data []byte) error {
+	if len(data) < 2 {
+		return fmt.Errorf("chunk: truncated digest spec")
+	}
+	flags := data[0]
+	s.Sum = flags&1 != 0
+	s.Count = flags&2 != 0
+	s.SumSq = flags&4 != 0
+	s.LinFit = flags&8 != 0
+	rest := data[1:]
+	n, k := binary.Uvarint(rest)
+	if k <= 0 || n > 1<<20 {
+		return fmt.Errorf("chunk: bad histogram bound count")
+	}
+	rest = rest[k:]
+	s.HistBounds = nil
+	for i := uint64(0); i < n; i++ {
+		v, k := binary.Varint(rest)
+		if k <= 0 {
+			return fmt.Errorf("chunk: truncated histogram bound %d", i)
+		}
+		rest = rest[k:]
+		s.HistBounds = append(s.HistBounds, v)
+	}
+	if s.LinFit {
+		v, k := binary.Varint(rest)
+		if k <= 0 {
+			return fmt.Errorf("chunk: truncated linfit origin")
+		}
+		rest = rest[k:]
+		s.LinTimeOrigin = v
+		v, k = binary.Varint(rest)
+		if k <= 0 {
+			return fmt.Errorf("chunk: truncated linfit unit")
+		}
+		rest = rest[k:]
+		s.LinTimeUnit = v
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("chunk: trailing bytes in digest spec")
+	}
+	return s.Validate()
+}

@@ -1,0 +1,196 @@
+package chunk
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDigestSpecValidate(t *testing.T) {
+	if err := DefaultSpec().Validate(); err != nil {
+		t.Errorf("default spec invalid: %v", err)
+	}
+	if err := SumOnlySpec().Validate(); err != nil {
+		t.Errorf("sum-only spec invalid: %v", err)
+	}
+	if err := (DigestSpec{}).Validate(); err == nil {
+		t.Error("empty spec accepted")
+	}
+	if err := (DigestSpec{HistBounds: []int64{5}}).Validate(); err == nil {
+		t.Error("single-bound histogram accepted")
+	}
+	if err := (DigestSpec{HistBounds: []int64{5, 5}}).Validate(); err == nil {
+		t.Error("non-increasing bounds accepted")
+	}
+}
+
+func TestVectorLen(t *testing.T) {
+	cases := []struct {
+		spec DigestSpec
+		want int
+	}{
+		{SumOnlySpec(), 1},
+		{DigestSpec{Sum: true, Count: true}, 2},
+		{DigestSpec{Sum: true, Count: true, SumSq: true}, 3},
+		{DefaultSpec(), 3 + 16},
+		{DigestSpec{HistBounds: []int64{0, 10, 20}}, 2},
+	}
+	for i, c := range cases {
+		if got := c.spec.VectorLen(); got != c.want {
+			t.Errorf("case %d: VectorLen = %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestComputeAndInterpret(t *testing.T) {
+	spec := DigestSpec{Sum: true, Count: true, SumSq: true, HistBounds: []int64{0, 10, 20, 30}}
+	pts := []Point{{1, 5}, {2, 15}, {3, 15}, {4, 25}}
+	vec := spec.Compute(pts, nil)
+	r, err := spec.Interpret(vec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Sum != 60 || r.Count != 4 {
+		t.Errorf("sum=%d count=%d, want 60, 4", r.Sum, r.Count)
+	}
+	if r.Mean != 15 {
+		t.Errorf("mean=%v, want 15", r.Mean)
+	}
+	// var = E[x^2] - mean^2 = (25+225+225+625)/4 - 225 = 275 - 225 = 50
+	if math.Abs(r.Var-50) > 1e-9 {
+		t.Errorf("var=%v, want 50", r.Var)
+	}
+	if math.Abs(r.Stdev-math.Sqrt(50)) > 1e-9 {
+		t.Errorf("stdev=%v", r.Stdev)
+	}
+	wantHist := []uint64{1, 2, 1}
+	for b := range wantHist {
+		if r.Hist[b] != wantHist[b] {
+			t.Errorf("hist[%d]=%d, want %d", b, r.Hist[b], wantHist[b])
+		}
+	}
+	if !r.HasMinMax {
+		t.Fatal("HasMinMax = false")
+	}
+	if r.MinLo != 0 || r.MinHi != 10 || r.MinCount != 1 {
+		t.Errorf("min bin [%d,%d) count %d, want [0,10) 1", r.MinLo, r.MinHi, r.MinCount)
+	}
+	if r.MaxLo != 20 || r.MaxHi != 30 || r.MaxCount != 1 {
+		t.Errorf("max bin [%d,%d) count %d, want [20,30) 1", r.MaxLo, r.MaxHi, r.MaxCount)
+	}
+}
+
+func TestInterpretEmptyChunk(t *testing.T) {
+	spec := DefaultSpec()
+	vec := spec.Compute(nil, nil)
+	r, err := spec.Interpret(vec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Count != 0 || r.Sum != 0 {
+		t.Error("empty chunk has non-zero stats")
+	}
+	if !math.IsNaN(r.Mean) || !math.IsNaN(r.Var) {
+		t.Error("mean/var of empty chunk should be NaN")
+	}
+	if r.HasMinMax {
+		t.Error("empty chunk reports min/max")
+	}
+}
+
+func TestInterpretLengthMismatch(t *testing.T) {
+	if _, err := DefaultSpec().Interpret([]uint64{1, 2}); err == nil {
+		t.Error("short vector accepted")
+	}
+}
+
+func TestNegativeValuesSumCorrectly(t *testing.T) {
+	spec := DigestSpec{Sum: true, Count: true}
+	vec := spec.Compute([]Point{{1, -100}, {2, 30}}, nil)
+	r, err := spec.Interpret(vec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Sum != -70 {
+		t.Errorf("sum=%d, want -70 (mod-2^64 two's complement)", r.Sum)
+	}
+	if r.Mean != -35 {
+		t.Errorf("mean=%v, want -35", r.Mean)
+	}
+}
+
+func TestHistogramClampsOutOfRange(t *testing.T) {
+	spec := DigestSpec{HistBounds: []int64{0, 10, 20}}
+	vec := spec.Compute([]Point{{1, -5}, {2, 100}}, nil)
+	if vec[0] != 1 || vec[1] != 1 {
+		t.Errorf("clamping wrong: %v", vec)
+	}
+}
+
+func TestBinForBoundaries(t *testing.T) {
+	spec := DigestSpec{HistBounds: []int64{0, 10, 20}}
+	cases := map[int64]int{-1: 0, 0: 0, 9: 0, 10: 1, 19: 1, 20: 1, 100: 1}
+	for v, want := range cases {
+		if got := spec.binFor(v); got != want {
+			t.Errorf("binFor(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+// Digests must be additive: Compute(a ++ b) == Compute(a) + Compute(b).
+// This is what makes them safe to aggregate homomorphically.
+func TestDigestAdditivity(t *testing.T) {
+	spec := DefaultSpec()
+	a := []Point{{1, 5}, {2, 100}, {3, 7}}
+	b := []Point{{4, 50}, {5, 255}}
+	va := spec.Compute(a, nil)
+	vb := spec.Compute(b, nil)
+	vab := spec.Compute(append(append([]Point{}, a...), b...), nil)
+	for e := range vab {
+		if vab[e] != va[e]+vb[e] {
+			t.Fatalf("element %d not additive", e)
+		}
+	}
+}
+
+func TestComputeReusesBuffer(t *testing.T) {
+	spec := SumOnlySpec()
+	buf := make([]uint64, 1)
+	out := spec.Compute([]Point{{1, 3}}, buf)
+	if &out[0] != &buf[0] {
+		t.Error("Compute reallocated despite adequate buffer")
+	}
+	out2 := spec.Compute([]Point{{1, 4}}, buf)
+	if out2[0] != 4 {
+		t.Error("Compute did not reset buffer")
+	}
+}
+
+func TestDigestSpecMarshalRoundTrip(t *testing.T) {
+	specs := []DigestSpec{
+		DefaultSpec(),
+		SumOnlySpec(),
+		{Count: true, HistBounds: []int64{-100, 0, 100}},
+	}
+	for i, spec := range specs {
+		data, err := spec.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got DigestSpec
+		if err := got.UnmarshalBinary(data); err != nil {
+			t.Fatalf("spec %d: %v", i, err)
+		}
+		if got.Sum != spec.Sum || got.Count != spec.Count || got.SumSq != spec.SumSq || len(got.HistBounds) != len(spec.HistBounds) {
+			t.Errorf("spec %d round trip mismatch: %+v vs %+v", i, got, spec)
+		}
+		for b := range spec.HistBounds {
+			if got.HistBounds[b] != spec.HistBounds[b] {
+				t.Errorf("spec %d bound %d mismatch", i, b)
+			}
+		}
+	}
+	var s DigestSpec
+	if err := s.UnmarshalBinary([]byte{}); err == nil {
+		t.Error("empty spec encoding accepted")
+	}
+}

@@ -1,0 +1,61 @@
+package chunk
+
+import (
+	"fmt"
+	"math"
+)
+
+// FixedPoint maps floating-point sensor readings onto the int64 values
+// HEAC operates over. TimeCrypt's arithmetic is exact over Z_{2^64}
+// (paper §4.2.1: "we set M to 2^64, such that we can support all integer
+// sizes"), so floats are scaled to a fixed decimal precision at the
+// producer and unscaled after decryption. Addition-based statistics
+// (SUM/COUNT/MEAN/VAR) survive the scaling exactly: SUM scales by the
+// factor, VAR by its square.
+type FixedPoint struct {
+	// Digits is the number of decimal digits preserved (0..15).
+	Digits int
+}
+
+// factor returns 10^Digits.
+func (f FixedPoint) factor() float64 { return math.Pow(10, float64(f.Digits)) }
+
+// Validate bounds the precision.
+func (f FixedPoint) Validate() error {
+	if f.Digits < 0 || f.Digits > 15 {
+		return fmt.Errorf("chunk: fixed-point digits %d out of range [0,15]", f.Digits)
+	}
+	return nil
+}
+
+// Encode converts a reading into a scaled integer (round-half-away).
+func (f FixedPoint) Encode(x float64) int64 {
+	return int64(math.Round(x * f.factor()))
+}
+
+// Decode reverses Encode.
+func (f FixedPoint) Decode(v int64) float64 { return float64(v) / f.factor() }
+
+// DecodeSum unscales an aggregated SUM.
+func (f FixedPoint) DecodeSum(sum int64) float64 { return float64(sum) / f.factor() }
+
+// DecodeMean unscales a decrypted mean.
+func (f FixedPoint) DecodeMean(mean float64) float64 { return mean / f.factor() }
+
+// DecodeVar unscales a decrypted variance (scales by factor²).
+func (f FixedPoint) DecodeVar(v float64) float64 { return v / (f.factor() * f.factor()) }
+
+// DecodeStdev unscales a decrypted standard deviation.
+func (f FixedPoint) DecodeStdev(s float64) float64 { return s / f.factor() }
+
+// EncodePoints scales a float series into Points.
+func (f FixedPoint) EncodePoints(ts []int64, vals []float64) ([]Point, error) {
+	if len(ts) != len(vals) {
+		return nil, fmt.Errorf("chunk: %d timestamps for %d values", len(ts), len(vals))
+	}
+	pts := make([]Point, len(ts))
+	for i := range ts {
+		pts[i] = Point{TS: ts[i], Val: f.Encode(vals[i])}
+	}
+	return pts, nil
+}

@@ -1,0 +1,74 @@
+package chunk
+
+import (
+	"fmt"
+	"math"
+)
+
+// Linear-model extension (paper §4.5: the digest's statistical functions
+// "can be extended with further aggregation-based functions, e.g.,
+// aggregation-based encodings that allow private training of linear
+// machine-learning models"). Enabling LinFit adds three accumulators to
+// the digest — Σt, Σt², Σt·v over scaled timestamps t — which, together
+// with Σv and n, fit an ordinary-least-squares line v ≈ Slope·t +
+// Intercept over any queried range, still under HEAC: the server
+// aggregates the encrypted sums, the client decrypts five numbers and
+// solves the 2x2 normal equations. No per-point data is revealed.
+//
+// Overflow discipline: all sums live in Z_{2^64} like every other digest
+// element. Choose LinTimeUnit so that (t_max−LinTimeOrigin)/LinTimeUnit
+// stays small enough that Σt² over the largest queried range fits in 63
+// bits (e.g. hour-scale units for multi-year streams). The same bound the
+// paper accepts for SUM/VAR applies here.
+
+// linFitElems is the number of extra digest elements LinFit adds.
+const linFitElems = 3
+
+// scaledTime maps a timestamp into model units.
+func (s DigestSpec) scaledTime(ts int64) int64 {
+	return (ts - s.LinTimeOrigin) / s.LinTimeUnit
+}
+
+// FitResult is an OLS line fitted over an aggregated range.
+type FitResult struct {
+	// Slope is in value-units per LinTimeUnit; Intercept in value-units
+	// at t = LinTimeOrigin.
+	Slope, Intercept float64
+	// N is the number of points fitted.
+	N uint64
+	// OK reports whether the fit was solvable (N >= 2 and non-degenerate
+	// time variance).
+	OK bool
+}
+
+// Fit extracts the linear model from a decrypted digest vector. The spec
+// must have Sum, Count, and LinFit enabled.
+func (s DigestSpec) Fit(vec []uint64) (FitResult, error) {
+	if !s.LinFit {
+		return FitResult{}, fmt.Errorf("chunk: spec has no linear-fit accumulators")
+	}
+	if len(vec) != s.VectorLen() {
+		return FitResult{}, fmt.Errorf("chunk: digest vector has %d elements, spec needs %d", len(vec), s.VectorLen())
+	}
+	sum, count, _, lin, _ := s.offsetsExt()
+	if sum < 0 || count < 0 {
+		return FitResult{}, fmt.Errorf("chunk: linear fit needs Sum and Count enabled")
+	}
+	n := float64(vec[count])
+	res := FitResult{N: vec[count]}
+	if vec[count] < 2 {
+		return res, nil
+	}
+	sy := float64(int64(vec[sum]))
+	st := float64(int64(vec[lin]))
+	stt := float64(int64(vec[lin+1]))
+	stv := float64(int64(vec[lin+2]))
+	den := n*stt - st*st
+	if den == 0 || math.IsNaN(den) {
+		return res, nil
+	}
+	res.Slope = (n*stv - st*sy) / den
+	res.Intercept = (sy - res.Slope*st) / n
+	res.OK = true
+	return res, nil
+}

@@ -1,0 +1,210 @@
+package chunk
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func linSpec() DigestSpec {
+	return DigestSpec{Sum: true, Count: true, LinFit: true, LinTimeOrigin: 1000, LinTimeUnit: 10}
+}
+
+func TestLinFitValidation(t *testing.T) {
+	s := linSpec()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := s
+	bad.LinTimeUnit = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero time unit accepted")
+	}
+	bad = s
+	bad.Sum = false
+	if err := bad.Validate(); err == nil {
+		t.Error("LinFit without Sum accepted")
+	}
+}
+
+func TestLinFitVectorLen(t *testing.T) {
+	if got := linSpec().VectorLen(); got != 5 {
+		t.Errorf("VectorLen = %d, want 5 (sum+count+3 accumulators)", got)
+	}
+}
+
+func TestLinFitPerfectLine(t *testing.T) {
+	s := linSpec()
+	// v = 3t + 7 over t = 0..9 (timestamps 1000, 1010, ..., 1090).
+	var pts []Point
+	for i := int64(0); i < 10; i++ {
+		pts = append(pts, Point{TS: 1000 + i*10, Val: 3*i + 7})
+	}
+	vec := s.Compute(pts, nil)
+	fit, err := s.Fit(vec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fit.OK || fit.N != 10 {
+		t.Fatalf("fit not solvable: %+v", fit)
+	}
+	if math.Abs(fit.Slope-3) > 1e-9 || math.Abs(fit.Intercept-7) > 1e-9 {
+		t.Errorf("fit = %.4f t + %.4f, want 3 t + 7", fit.Slope, fit.Intercept)
+	}
+}
+
+func TestLinFitNegativeSlope(t *testing.T) {
+	s := linSpec()
+	var pts []Point
+	for i := int64(0); i < 20; i++ {
+		pts = append(pts, Point{TS: 1000 + i*10, Val: 100 - 5*i})
+	}
+	fit, err := s.Fit(s.Compute(pts, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope+5) > 1e-9 || math.Abs(fit.Intercept-100) > 1e-9 {
+		t.Errorf("fit = %.4f t + %.4f, want -5 t + 100", fit.Slope, fit.Intercept)
+	}
+}
+
+func TestLinFitDegenerateCases(t *testing.T) {
+	s := linSpec()
+	// Fewer than 2 points: not solvable.
+	fit, err := s.Fit(s.Compute([]Point{{TS: 1000, Val: 5}}, nil))
+	if err != nil || fit.OK {
+		t.Errorf("single point fit should be !OK: %+v %v", fit, err)
+	}
+	// All points at the same scaled time: zero variance.
+	fit, err = s.Fit(s.Compute([]Point{{TS: 1000, Val: 5}, {TS: 1001, Val: 9}}, nil))
+	if err != nil || fit.OK {
+		t.Errorf("zero-time-variance fit should be !OK: %+v %v", fit, err)
+	}
+	// Spec without LinFit.
+	if _, err := (DigestSpec{Sum: true, Count: true}).Fit([]uint64{1, 2}); err == nil {
+		t.Error("Fit accepted spec without accumulators")
+	}
+	if _, err := s.Fit([]uint64{1}); err == nil {
+		t.Error("short vector accepted")
+	}
+}
+
+// The whole point: the fit must survive HEAC aggregation across chunks —
+// the server sums encrypted digests, the client fits from five decrypted
+// numbers.
+func TestLinFitUnderHEACAggregation(t *testing.T) {
+	s := linSpec()
+	tree, err := core.NewTree(core.NewPRG(core.PRGAES), 12, core.Node{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := core.NewEncryptor(tree.NewWalker())
+	// 8 chunks of 5 points each on the line v = 2t + 1, t = point index.
+	agg := make([]uint64, s.VectorLen())
+	pt := 0
+	for c := 0; c < 8; c++ {
+		var pts []Point
+		for i := 0; i < 5; i++ {
+			tscaled := int64(pt)
+			pts = append(pts, Point{TS: 1000 + tscaled*10, Val: 2*tscaled + 1})
+			pt++
+		}
+		vec := s.Compute(pts, nil)
+		cvec, err := enc.EncryptDigest(uint64(c), vec, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		core.AddVec(agg, cvec)
+	}
+	dec := core.NewEncryptor(tree.NewWalker())
+	plain, err := dec.DecryptRange(0, 8, agg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit, err := s.Fit(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fit.OK || fit.N != 40 {
+		t.Fatalf("aggregated fit unsolvable: %+v", fit)
+	}
+	if math.Abs(fit.Slope-2) > 1e-9 || math.Abs(fit.Intercept-1) > 1e-9 {
+		t.Errorf("aggregated fit = %.4f t + %.4f, want 2 t + 1", fit.Slope, fit.Intercept)
+	}
+}
+
+func TestLinFitSpecMarshalRoundTrip(t *testing.T) {
+	s := linSpec()
+	s.HistBounds = []int64{0, 50, 100}
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got DigestSpec
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if !got.LinFit || got.LinTimeOrigin != 1000 || got.LinTimeUnit != 10 {
+		t.Errorf("round trip lost linfit config: %+v", got)
+	}
+	if got.VectorLen() != s.VectorLen() {
+		t.Error("vector length changed across marshal")
+	}
+}
+
+func TestFixedPoint(t *testing.T) {
+	f := FixedPoint{Digits: 2}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if (FixedPoint{Digits: 16}).Validate() == nil {
+		t.Error("16 digits accepted")
+	}
+	if v := f.Encode(36.756); v != 3676 {
+		t.Errorf("Encode(36.756) = %d, want 3676", v)
+	}
+	if x := f.Decode(3676); math.Abs(x-36.76) > 1e-12 {
+		t.Errorf("Decode = %v", x)
+	}
+	if x := f.Encode(-1.005); x != -101 && x != -100 { // float repr of 1.005
+		t.Errorf("Encode(-1.005) = %d", x)
+	}
+	// Statistics scaling identities on a real digest.
+	spec := DigestSpec{Sum: true, Count: true, SumSq: true}
+	vals := []float64{36.5, 37.1, 36.9, 38.2}
+	ts := []int64{1, 2, 3, 4}
+	pts, err := f.EncodePoints(ts, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := spec.Interpret(spec.Compute(pts, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantSum float64
+	for _, v := range vals {
+		wantSum += v
+	}
+	if got := f.DecodeSum(r.Sum); math.Abs(got-wantSum) > 0.05 {
+		t.Errorf("sum = %v, want %v", got, wantSum)
+	}
+	wantMean := wantSum / 4
+	if got := f.DecodeMean(r.Mean); math.Abs(got-wantMean) > 0.05 {
+		t.Errorf("mean = %v, want %v", got, wantMean)
+	}
+	var wantVar float64
+	for _, v := range vals {
+		wantVar += (v - wantMean) * (v - wantMean)
+	}
+	wantVar /= 4
+	if got := f.DecodeVar(r.Var); math.Abs(got-wantVar) > 0.01 {
+		t.Errorf("var = %v, want %v", got, wantVar)
+	}
+	if got := f.DecodeStdev(r.Stdev); math.Abs(got-math.Sqrt(wantVar)) > 0.01 {
+		t.Errorf("stdev = %v", got)
+	}
+	if _, err := f.EncodePoints([]int64{1}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}

@@ -1,0 +1,140 @@
+package client
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/crypto/hybrid"
+	"repro/internal/wire"
+)
+
+// grantInfo is the context string bound into hybrid encryption of grants,
+// so grant blobs cannot be replayed in another protocol context.
+var grantInfo = []byte("timecrypt/grant/v1")
+
+// PrincipalID derives the server-side identity string for a public key:
+// the hex SHA-256 fingerprint (the paper assumes an identity provider for
+// the pubkey ↔ identity mapping, §3.3).
+func PrincipalID(pub []byte) string {
+	sum := sha256.Sum256(pub)
+	return hex.EncodeToString(sum[:16])
+}
+
+// newGrantID returns a random grant identifier.
+func newGrantID() (string, error) {
+	var b [12]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("client: reading grant id: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+// Grant is the decrypted content of an access grant: everything a
+// principal needs to locate, decrypt, and interpret its slice of a stream.
+// Factor == 0 grants full resolution via key-tree tokens; Factor >= 1
+// grants windowed access via a dual-key-regression resolution token
+// (paper §4.3, §4.4).
+type Grant struct {
+	StreamID    string
+	Epoch       int64
+	Interval    int64
+	TreeHeight  uint8
+	PRG         core.PRGKind
+	DigestSpec  []byte // chunk.DigestSpec encoding
+	Compression uint8
+
+	// FromChunk/ToChunk document the granted chunk-position range
+	// [FromChunk, ToChunk) for client-side planning.
+	FromChunk, ToChunk uint64
+
+	// Factor == 0: full resolution; Tokens cover leaves
+	// [FromChunk, ToChunk].
+	Factor uint64
+	Tokens []core.Token
+
+	// Factor >= 1: Res shares resolution keys for windows
+	// [FromChunk/Factor, ToChunk/Factor).
+	Res core.ResolutionToken
+}
+
+func encodeGrant(g *Grant) []byte {
+	var e wire.Encoder
+	e.Str(g.StreamID)
+	e.I64(g.Epoch)
+	e.I64(g.Interval)
+	e.U8(g.TreeHeight)
+	e.U8(uint8(g.PRG))
+	e.Blob(g.DigestSpec)
+	e.U8(g.Compression)
+	e.U64(g.FromChunk)
+	e.U64(g.ToChunk)
+	e.U64(g.Factor)
+	if g.Factor == 0 {
+		e.U64(uint64(len(g.Tokens)))
+		for _, tk := range g.Tokens {
+			b, _ := tk.MarshalBinary()
+			e.Blob(b)
+		}
+	} else {
+		e.U64(g.Res.Token.Lo)
+		e.U64(g.Res.Token.Hi)
+		e.Blob(g.Res.Token.S1[:])
+		e.Blob(g.Res.Token.S2[:])
+	}
+	return e.Bytes()
+}
+
+func decodeGrant(data []byte) (*Grant, error) {
+	d := wire.NewDecoder(data)
+	g := &Grant{}
+	g.StreamID = d.Str()
+	g.Epoch = d.I64()
+	g.Interval = d.I64()
+	g.TreeHeight = d.U8()
+	g.PRG = core.PRGKind(d.U8())
+	g.DigestSpec = d.Blob()
+	g.Compression = d.U8()
+	g.FromChunk = d.U64()
+	g.ToChunk = d.U64()
+	g.Factor = d.U64()
+	if g.Factor == 0 {
+		n := d.U64()
+		if n > 4096 {
+			return nil, fmt.Errorf("client: implausible token count %d", n)
+		}
+		for i := uint64(0); i < n; i++ {
+			var tk core.Token
+			if err := tk.UnmarshalBinary(d.Blob()); err != nil {
+				return nil, err
+			}
+			g.Tokens = append(g.Tokens, tk)
+		}
+	} else {
+		g.Res.Factor = g.Factor
+		g.Res.Token.Lo = d.U64()
+		g.Res.Token.Hi = d.U64()
+		copy(g.Res.Token.S1[:], d.Blob())
+		copy(g.Res.Token.S2[:], d.Blob())
+	}
+	if err := d.Done(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// sealGrant wraps a grant for a principal's public key.
+func sealGrant(principalPub []byte, g *Grant) ([]byte, error) {
+	return hybrid.Seal(principalPub, encodeGrant(g), grantInfo)
+}
+
+// openGrant unwraps a grant blob with the principal's key pair.
+func openGrant(kp *hybrid.KeyPair, blob []byte) (*Grant, error) {
+	pt, err := kp.Open(blob, grantInfo)
+	if err != nil {
+		return nil, err
+	}
+	return decodeGrant(pt)
+}

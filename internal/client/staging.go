@@ -1,0 +1,185 @@
+package client
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/chunk"
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// Real-time record staging (paper §4.6): chunking adds up to Δ of latency
+// before a record reaches the store, which "can be eradicated without
+// breaking the encryption, by instantly uploading encrypted data records
+// in real-time to the datastore and dropping the encrypted records once
+// the corresponding chunk is stored". Each record is sealed individually
+// under its chunk's key; the server garbage-collects a chunk's staged
+// records when the sealed chunk arrives.
+
+// stagedAAD binds stream position into each staged record.
+func stagedAAD(chunkIndex, seq uint64) []byte {
+	buf := make([]byte, 16)
+	binary.BigEndian.PutUint64(buf, chunkIndex)
+	binary.BigEndian.PutUint64(buf[8:], seq)
+	return buf
+}
+
+// sealRecord encrypts one point under the chunk key.
+func sealRecord(key [core.ChunkKeySize]byte, chunkIndex, seq uint64, p chunk.Point) ([]byte, error) {
+	aead, err := core.ChunkAEAD(key)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, aead.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, err
+	}
+	pt := chunk.MarshalPoints([]chunk.Point{p})
+	return aead.Seal(nonce, nonce, pt, stagedAAD(chunkIndex, seq)), nil
+}
+
+// openRecord reverses sealRecord.
+func openRecord(key [core.ChunkKeySize]byte, chunkIndex, seq uint64, box []byte) (chunk.Point, error) {
+	aead, err := core.ChunkAEAD(key)
+	if err != nil {
+		return chunk.Point{}, err
+	}
+	if len(box) < aead.NonceSize() {
+		return chunk.Point{}, fmt.Errorf("client: staged record too short")
+	}
+	pt, err := aead.Open(nil, box[:aead.NonceSize()], box[aead.NonceSize():], stagedAAD(chunkIndex, seq))
+	if err != nil {
+		return chunk.Point{}, fmt.Errorf("client: staged record %d/%d: %w", chunkIndex, seq, err)
+	}
+	pts, err := chunk.UnmarshalPoints(pt)
+	if err != nil {
+		return chunk.Point{}, err
+	}
+	if len(pts) != 1 {
+		return chunk.Point{}, fmt.Errorf("client: staged record holds %d points", len(pts))
+	}
+	return pts[0], nil
+}
+
+// AppendRealTime behaves like Append but additionally stages the record at
+// the server immediately, making it visible to authorized readers before
+// its chunk seals. The staged copy is garbage-collected when the chunk
+// lands.
+func (s *OwnerStream) AppendRealTime(p chunk.Point) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx, err := s.builder.IndexFor(p.TS)
+	if err != nil {
+		return err
+	}
+	seq := s.stagedSeq[idx]
+	if !s.plain {
+		key, err := s.enc.ChunkKeyAt(idx)
+		if err != nil {
+			return err
+		}
+		box, err := sealRecord(key, idx, seq, p)
+		if err != nil {
+			return err
+		}
+		if _, err := call[*wire.OK](s.t, &wire.StageRecord{
+			UUID: s.uuid, ChunkIndex: idx, Seq: seq, Box: box,
+		}); err != nil {
+			return err
+		}
+	} else {
+		if _, err := call[*wire.OK](s.t, &wire.StageRecord{
+			UUID: s.uuid, ChunkIndex: idx, Seq: seq,
+			Box: chunk.MarshalPoints([]chunk.Point{p}),
+		}); err != nil {
+			return err
+		}
+	}
+	if s.stagedSeq == nil {
+		s.stagedSeq = make(map[uint64]uint64)
+	}
+	s.stagedSeq[idx] = seq + 1
+	done, err := s.builder.Add(p)
+	if err != nil {
+		return err
+	}
+	for _, raw := range done {
+		if err := s.insertLocked(raw); err != nil {
+			return err
+		}
+		delete(s.stagedSeq, raw.Index)
+	}
+	return nil
+}
+
+// StagedPoints fetches and decrypts the staged (not yet chunk-sealed)
+// records of chunk chunkIndex. Requires key material covering leaves
+// chunkIndex and chunkIndex+1 — the same condition as opening the chunk
+// itself, so resolution-restricted principals stay excluded.
+func (s *OwnerStream) StagedPoints(chunkIndex uint64) ([]chunk.Point, error) {
+	resp, err := call[*wire.GetStagedResp](s.t, &wire.GetStaged{UUID: s.uuid, ChunkIndex: chunkIndex})
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var key [core.ChunkKeySize]byte
+	if !s.plain {
+		key, err = s.enc.ChunkKeyAt(chunkIndex)
+		if err != nil {
+			return nil, err
+		}
+	}
+	pts := make([]chunk.Point, 0, len(resp.Boxes))
+	for seq, box := range resp.Boxes {
+		if s.plain {
+			one, err := chunk.UnmarshalPoints(box)
+			if err != nil || len(one) != 1 {
+				return nil, fmt.Errorf("client: bad plain staged record %d", seq)
+			}
+			pts = append(pts, one[0])
+			continue
+		}
+		p, err := openRecord(key, chunkIndex, uint64(seq), box)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, p)
+	}
+	return pts, nil
+}
+
+// StagedPoints fetches a chunk's staged records with a consumer's
+// full-resolution key material.
+func (cs *ConsumerStream) StagedPoints(chunkIndex uint64) ([]chunk.Point, error) {
+	if cs.keys == nil {
+		return nil, fmt.Errorf("client: staged record access requires a full-resolution grant")
+	}
+	resp, err := call[*wire.GetStagedResp](cs.t, &wire.GetStaged{UUID: cs.uuid, ChunkIndex: chunkIndex})
+	if err != nil {
+		return nil, err
+	}
+	cs.mu.Lock()
+	w := cs.keys.NewWalker()
+	cs.mu.Unlock()
+	leafI, err := w.Leaf(chunkIndex)
+	if err != nil {
+		return nil, err
+	}
+	leafJ, err := w.Leaf(chunkIndex + 1)
+	if err != nil {
+		return nil, err
+	}
+	key := core.ChunkKey(leafI, leafJ)
+	pts := make([]chunk.Point, 0, len(resp.Boxes))
+	for seq, box := range resp.Boxes {
+		p, err := openRecord(key, chunkIndex, uint64(seq), box)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, p)
+	}
+	return pts, nil
+}

@@ -1,0 +1,18 @@
+// Package core implements TimeCrypt's cryptographic core: HEAC, the
+// Homomorphic Encryption-based Access Control scheme (paper §4.2), together
+// with the constructions it is built from:
+//
+//   - a GGM key-derivation tree whose leaves form the encryption keystream
+//     and whose inner nodes act as access tokens (§4.2.3, §A.1.3),
+//   - pluggable pseudorandom generators for tree expansion (AES-128,
+//     SHA-256, HMAC-SHA-256; §6.2, Fig. 6),
+//   - key canceling, which makes decryption of an in-range aggregate
+//     independent of the number of aggregated ciphertexts (§4.2.2),
+//   - dual key regression for bounded-interval sharing of per-resolution
+//     keystreams (§4.4.2, §A.2), and
+//   - resolution key envelopes that grant access to data only at a chosen
+//     temporal granularity (§4.4).
+//
+// All homomorphic arithmetic is modular addition over 2^64 (the paper's
+// M = 2^64), so ciphertexts are plain uint64 values with no expansion.
+package core

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+)
+
+// LeafSource derives keystream leaves. Both the owner's Tree/Walker and a
+// principal's KeySet/Walker satisfy it.
+type LeafSource interface {
+	Leaf(i uint64) (Node, error)
+}
+
+// SubKeys expands a keystream leaf into n per-element subkeys, one for each
+// slot of a digest vector. The expansion is AES-128 in counter mode keyed by
+// the leaf, with the paper's length-matching hash (§A.1.5) folding each
+// 16-byte block into a uint64 by XORing its two halves.
+//
+// dst is overwritten and returned; pass a slice of length n to avoid
+// allocation.
+func SubKeys(leaf Node, dst []uint64) []uint64 {
+	b, err := aes.NewCipher(leaf[:])
+	if err != nil {
+		panic("core: aes.NewCipher: " + err.Error())
+	}
+	var in, out [16]byte
+	for e := range dst {
+		binary.BigEndian.PutUint64(in[8:], uint64(e))
+		b.Encrypt(out[:], in[:])
+		dst[e] = binary.BigEndian.Uint64(out[:8]) ^ binary.BigEndian.Uint64(out[8:])
+	}
+	return dst
+}
+
+// EncryptVec encrypts the digest vector m for chunk i under HEAC with key
+// canceling (paper §4.2.2): element e becomes
+//
+//	c[e] = m[e] + sub(leaf_i, e) − sub(leaf_{i+1}, e)  (mod 2^64).
+//
+// leafI and leafJ must be the keystream leaves for positions i and i+1.
+// The result is written into dst (allocated if nil) and returned.
+func EncryptVec(leafI, leafJ Node, m, dst []uint64) []uint64 {
+	if dst == nil {
+		dst = make([]uint64, len(m))
+	}
+	ki := make([]uint64, len(m))
+	kj := make([]uint64, len(m))
+	SubKeys(leafI, ki)
+	SubKeys(leafJ, kj)
+	for e := range m {
+		dst[e] = m[e] + ki[e] - kj[e]
+	}
+	return dst
+}
+
+// DecryptVec decrypts an in-range aggregated ciphertext vector covering
+// chunk positions [i, j). Because inner keys telescope, only the outer
+// leaves for positions i and j are required (paper eq. 4):
+//
+//	m[e] = c[e] − sub(leaf_i, e) + sub(leaf_j, e)  (mod 2^64).
+//
+// For a single chunk, j = i+1. The result is written into dst (allocated if
+// nil) and returned.
+func DecryptVec(leafI, leafJ Node, c, dst []uint64) []uint64 {
+	if dst == nil {
+		dst = make([]uint64, len(c))
+	}
+	ki := make([]uint64, len(c))
+	kj := make([]uint64, len(c))
+	SubKeys(leafI, ki)
+	SubKeys(leafJ, kj)
+	for e := range c {
+		dst[e] = c[e] - ki[e] + kj[e]
+	}
+	return dst
+}
+
+// AddVec homomorphically aggregates src into dst (element-wise modular
+// addition over 2^64). Vectors must have equal length.
+func AddVec(dst, src []uint64) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("core: AddVec length mismatch %d != %d", len(dst), len(src)))
+	}
+	for e := range src {
+		dst[e] += src[e]
+	}
+}
+
+// SubVec homomorphically removes src from dst (used by range-delete to keep
+// ancestor digests consistent).
+func SubVec(dst, src []uint64) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("core: SubVec length mismatch %d != %d", len(dst), len(src)))
+	}
+	for e := range src {
+		dst[e] -= src[e]
+	}
+}
+
+// ChunkKeySize is the AES key length used for raw chunk payload encryption
+// (AES-GCM-128, paper §4.1).
+const ChunkKeySize = 16
+
+// ChunkKey derives the AES-GCM key protecting chunk i's raw payload from
+// the two adjacent keystream leaves: H(leaf_i || leaf_{i+1}) truncated to
+// 128 bits (paper §4.3). A principal holding the full-resolution keystream
+// segment can open chunks; resolution-restricted principals (who only hold
+// sparse outer leaves) cannot.
+func ChunkKey(leafI, leafJ Node) [ChunkKeySize]byte {
+	h := sha256.New()
+	h.Write(leafI[:])
+	h.Write(leafJ[:])
+	var key [ChunkKeySize]byte
+	copy(key[:], h.Sum(nil))
+	return key
+}
+
+// ChunkAEAD returns the AES-GCM AEAD for a chunk key.
+func ChunkAEAD(key [ChunkKeySize]byte) (cipher.AEAD, error) {
+	b, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, err
+	}
+	return cipher.NewGCM(b)
+}
+
+// Encryptor encrypts consecutive chunk digests for one stream. It holds a
+// sequential Walker so that ingesting chunk i+1 after chunk i costs O(1)
+// amortized PRG expansions, plus reuses the i+1 leaf computed for chunk i as
+// chunk i+1's left leaf.
+//
+// Not safe for concurrent use; create one per producer goroutine.
+type Encryptor struct {
+	walker   *Walker
+	next     uint64 // position whose leaf is cached in nextLeaf
+	nextLeaf Node
+	haveNext bool
+	ki, kj   []uint64 // scratch subkey buffers
+}
+
+// NewEncryptor returns an Encryptor drawing leaves from the walker
+// (obtained via Tree.NewWalker or KeySet.NewWalker).
+func NewEncryptor(w *Walker) *Encryptor {
+	return &Encryptor{walker: w}
+}
+
+func (e *Encryptor) leaves(i uint64) (Node, Node, error) {
+	var leafI Node
+	if e.haveNext && e.next == i {
+		leafI = e.nextLeaf
+	} else {
+		l, err := e.walker.Leaf(i)
+		if err != nil {
+			return Node{}, Node{}, err
+		}
+		leafI = l
+	}
+	leafJ, err := e.walker.Leaf(i + 1)
+	if err != nil {
+		return Node{}, Node{}, err
+	}
+	e.next, e.nextLeaf, e.haveNext = i+1, leafJ, true
+	return leafI, leafJ, nil
+}
+
+func (e *Encryptor) subkeys(leafI, leafJ Node, n int) ([]uint64, []uint64) {
+	if cap(e.ki) < n {
+		e.ki = make([]uint64, n)
+		e.kj = make([]uint64, n)
+	}
+	e.ki, e.kj = e.ki[:n], e.kj[:n]
+	SubKeys(leafI, e.ki)
+	SubKeys(leafJ, e.kj)
+	return e.ki, e.kj
+}
+
+// EncryptDigest encrypts chunk i's digest vector in place semantics: the
+// ciphertext is written to dst (allocated if nil) and returned.
+func (e *Encryptor) EncryptDigest(i uint64, m, dst []uint64) ([]uint64, error) {
+	leafI, leafJ, err := e.leaves(i)
+	if err != nil {
+		return nil, err
+	}
+	if dst == nil {
+		dst = make([]uint64, len(m))
+	}
+	ki, kj := e.subkeys(leafI, leafJ, len(m))
+	for x := range m {
+		dst[x] = m[x] + ki[x] - kj[x]
+	}
+	return dst, nil
+}
+
+// DecryptRange decrypts an aggregate ciphertext covering chunk positions
+// [i, j). It requires the walker's key material to cover leaves i and j.
+func (e *Encryptor) DecryptRange(i, j uint64, c, dst []uint64) ([]uint64, error) {
+	if j <= i {
+		return nil, fmt.Errorf("core: invalid decrypt range [%d,%d)", i, j)
+	}
+	leafI, err := e.walker.Leaf(i)
+	if err != nil {
+		return nil, err
+	}
+	leafJ, err := e.walker.Leaf(j)
+	if err != nil {
+		return nil, err
+	}
+	if dst == nil {
+		dst = make([]uint64, len(c))
+	}
+	ki, kj := e.subkeys(leafI, leafJ, len(c))
+	for x := range c {
+		dst[x] = c[x] - ki[x] + kj[x]
+	}
+	return dst, nil
+}
+
+// ChunkKeyAt derives the raw-payload AES key for chunk i.
+func (e *Encryptor) ChunkKeyAt(i uint64) ([ChunkKeySize]byte, error) {
+	leafI, leafJ, err := e.leaves(i)
+	if err != nil {
+		return [ChunkKeySize]byte{}, err
+	}
+	return ChunkKey(leafI, leafJ), nil
+}

@@ -1,0 +1,373 @@
+package core
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// MaxTreeHeight bounds the key-derivation tree so leaf indices fit in a
+// uint64 and shifts stay well-defined.
+const MaxTreeHeight = 62
+
+// DefaultTreeHeight yields 2^30 ≈ one billion keys, the configuration the
+// paper evaluates with (§6, "a keystream with one billion keys").
+const DefaultTreeHeight = 30
+
+// Tree is the owner-side GGM key-derivation tree (paper §4.2.3). The root is
+// a secret random seed; the 2^height leaves form the keystream. Sharing an
+// inner node (a Token) grants exactly the leaves of its subtree.
+//
+// Tree is safe for concurrent use; the sequential-derivation fast path lives
+// in Walker, which is not.
+type Tree struct {
+	prg    PRG
+	height int
+	root   Node
+}
+
+// NewTree builds a tree of the given height over seed using prg.
+func NewTree(prg PRG, height int, seed Node) (*Tree, error) {
+	if prg == nil {
+		return nil, errors.New("core: nil PRG")
+	}
+	if height < 1 || height > MaxTreeHeight {
+		return nil, fmt.Errorf("core: tree height %d out of range [1,%d]", height, MaxTreeHeight)
+	}
+	return &Tree{prg: prg, height: height, root: seed}, nil
+}
+
+// GenerateTree builds a tree with a fresh random seed drawn from crypto/rand.
+func GenerateTree(prg PRG, height int) (*Tree, error) {
+	var seed Node
+	if _, err := rand.Read(seed[:]); err != nil {
+		return nil, fmt.Errorf("core: reading seed: %w", err)
+	}
+	return NewTree(prg, height, seed)
+}
+
+// Height returns the tree height h; the keystream has 2^h leaves.
+func (t *Tree) Height() int { return t.height }
+
+// NumLeaves returns the keystream length 2^h.
+func (t *Tree) NumLeaves() uint64 { return uint64(1) << uint(t.height) }
+
+// Seed returns the secret root. It is exported so the owner can persist its
+// key material; never share it (it is the all-leaves token).
+func (t *Tree) Seed() Node { return t.root }
+
+// Leaf derives leaf i by walking the h PRG expansions from the root
+// (paper eq. 7: TreeKD(k, t) = G_th(...G_t1(k))).
+func (t *Tree) Leaf(i uint64) (Node, error) {
+	if i >= t.NumLeaves() {
+		return Node{}, fmt.Errorf("core: leaf %d out of range (height %d)", i, t.height)
+	}
+	return deriveFrom(t.prg, t.root, i, t.height), nil
+}
+
+// deriveFrom walks steps PRG expansions from node, consuming the low `steps`
+// bits of path from most significant to least significant.
+func deriveFrom(prg PRG, node Node, path uint64, steps int) Node {
+	for d := steps - 1; d >= 0; d-- {
+		l, r := prg.Expand(node)
+		if path>>uint(d)&1 == 0 {
+			node = l
+		} else {
+			node = r
+		}
+	}
+	return node
+}
+
+// Token is a shareable inner node of the key-derivation tree: an access
+// token (paper §4.2.3, "Sharing"). A token at depth d with index p covers
+// leaves [p << (h-d), (p+1) << (h-d)).
+type Token struct {
+	// Depth is the number of edges from the root (0 = root itself).
+	Depth uint8
+	// Index is the path prefix from the root, i.e. the node's position
+	// within its level.
+	Index uint64
+	// Key is the node's pseudorandom string, from which the whole subtree
+	// can be recomputed.
+	Key Node
+}
+
+// tokenSize is the fixed marshalled size of a Token.
+const tokenSize = 1 + 8 + 16
+
+// FirstLeaf returns the smallest leaf index covered by the token in a tree
+// of height h.
+func (tk Token) FirstLeaf(h int) uint64 { return tk.Index << uint(h-int(tk.Depth)) }
+
+// LastLeaf returns the largest leaf index covered by the token in a tree of
+// height h.
+func (tk Token) LastLeaf(h int) uint64 {
+	span := uint64(1) << uint(h-int(tk.Depth))
+	return tk.FirstLeaf(h) + span - 1
+}
+
+// Covers reports whether leaf i lies in the token's subtree for height h.
+func (tk Token) Covers(i uint64, h int) bool {
+	return i>>uint(h-int(tk.Depth)) == tk.Index
+}
+
+// MarshalBinary encodes the token as depth || index || key.
+func (tk Token) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, tokenSize)
+	buf[0] = tk.Depth
+	binary.BigEndian.PutUint64(buf[1:], tk.Index)
+	copy(buf[9:], tk.Key[:])
+	return buf, nil
+}
+
+// UnmarshalBinary decodes a token produced by MarshalBinary.
+func (tk *Token) UnmarshalBinary(data []byte) error {
+	if len(data) != tokenSize {
+		return fmt.Errorf("core: token must be %d bytes, got %d", tokenSize, len(data))
+	}
+	tk.Depth = data[0]
+	tk.Index = binary.BigEndian.Uint64(data[1:])
+	copy(tk.Key[:], data[9:])
+	return nil
+}
+
+// Cover computes the minimal set of tokens whose subtrees exactly cover the
+// leaf range [first, last] (inclusive). This is what the data owner shares
+// to grant access to a keystream segment: at most 2h tokens instead of
+// last−first+1 individual keys.
+func (t *Tree) Cover(first, last uint64) ([]Token, error) {
+	if first > last {
+		return nil, fmt.Errorf("core: invalid cover range [%d,%d]", first, last)
+	}
+	if last >= t.NumLeaves() {
+		return nil, fmt.Errorf("core: cover range end %d exceeds keystream (height %d)", last, t.height)
+	}
+	// Walk the canonical segment decomposition bottom-up. At each level,
+	// peel off the range ends that are not aligned with the level above.
+	type span struct {
+		level int // levels above the leaves
+		index uint64
+	}
+	var spans []span
+	a, b := first, last
+	level := 0
+	for {
+		if a == b {
+			spans = append(spans, span{level, a})
+			break
+		}
+		if a&1 == 1 {
+			spans = append(spans, span{level, a})
+			a++
+		}
+		if b&1 == 0 {
+			spans = append(spans, span{level, b})
+			b--
+		}
+		if a > b {
+			break
+		}
+		a >>= 1
+		b >>= 1
+		level++
+	}
+	tokens := make([]Token, 0, len(spans))
+	for _, s := range spans {
+		depth := t.height - s.level
+		key := deriveFrom(t.prg, t.root, s.index, depth)
+		tokens = append(tokens, Token{Depth: uint8(depth), Index: s.index, Key: key})
+	}
+	sort.Slice(tokens, func(i, j int) bool {
+		return tokens[i].FirstLeaf(t.height) < tokens[j].FirstLeaf(t.height)
+	})
+	return tokens, nil
+}
+
+// RootToken returns the token covering the whole keystream. Handing it out
+// is equivalent to sharing the master secret.
+func (t *Tree) RootToken() Token { return Token{Depth: 0, Index: 0, Key: t.root} }
+
+// KeySet is the principal-side view of a keystream: a set of access tokens
+// received through grants. It can derive exactly the leaves its tokens
+// cover and nothing else (one-wayness of the PRG).
+//
+// KeySet is safe for concurrent readers once built.
+type KeySet struct {
+	prg    PRG
+	height int
+	tokens []Token // sorted by FirstLeaf, non-overlapping
+}
+
+// NewKeySet builds a KeySet for a tree of the given height from tokens.
+// Tokens may arrive from multiple grants; overlapping tokens are rejected.
+func NewKeySet(prg PRG, height int, tokens []Token) (*KeySet, error) {
+	if prg == nil {
+		return nil, errors.New("core: nil PRG")
+	}
+	if height < 1 || height > MaxTreeHeight {
+		return nil, fmt.Errorf("core: tree height %d out of range [1,%d]", height, MaxTreeHeight)
+	}
+	ts := make([]Token, len(tokens))
+	copy(ts, tokens)
+	sort.Slice(ts, func(i, j int) bool { return ts[i].FirstLeaf(height) < ts[j].FirstLeaf(height) })
+	for i := range ts {
+		if int(ts[i].Depth) > height {
+			return nil, fmt.Errorf("core: token depth %d exceeds tree height %d", ts[i].Depth, height)
+		}
+		if i > 0 && ts[i].FirstLeaf(height) <= ts[i-1].LastLeaf(height) {
+			return nil, fmt.Errorf("core: overlapping tokens at leaf %d", ts[i].FirstLeaf(height))
+		}
+	}
+	return &KeySet{prg: prg, height: height, tokens: ts}, nil
+}
+
+// Height returns the underlying tree height.
+func (ks *KeySet) Height() int { return ks.height }
+
+// Tokens returns the key set's tokens sorted by first covered leaf.
+func (ks *KeySet) Tokens() []Token {
+	out := make([]Token, len(ks.tokens))
+	copy(out, ks.tokens)
+	return out
+}
+
+// Add merges additional tokens (e.g. from a later grant) into the key set.
+func (ks *KeySet) Add(tokens []Token) error {
+	merged, err := NewKeySet(ks.prg, ks.height, append(ks.Tokens(), tokens...))
+	if err != nil {
+		return err
+	}
+	ks.tokens = merged.tokens
+	return nil
+}
+
+// Covers reports whether the key set can derive leaf i.
+func (ks *KeySet) Covers(i uint64) bool {
+	_, ok := ks.find(i)
+	return ok
+}
+
+// CoversRange reports whether every leaf in [first, last] is derivable.
+func (ks *KeySet) CoversRange(first, last uint64) bool {
+	for i := first; ; {
+		tk, ok := ks.find(i)
+		if !ok {
+			return false
+		}
+		end := tk.LastLeaf(ks.height)
+		if end >= last {
+			return true
+		}
+		i = end + 1
+	}
+}
+
+func (ks *KeySet) find(i uint64) (Token, bool) {
+	// Binary search for the last token with FirstLeaf <= i.
+	lo, hi := 0, len(ks.tokens)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ks.tokens[mid].FirstLeaf(ks.height) <= i {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return Token{}, false
+	}
+	tk := ks.tokens[lo-1]
+	if !tk.Covers(i, ks.height) {
+		return Token{}, false
+	}
+	return tk, true
+}
+
+// Leaf derives keystream leaf i, or an error if no token covers it.
+func (ks *KeySet) Leaf(i uint64) (Node, error) {
+	tk, ok := ks.find(i)
+	if !ok {
+		return Node{}, fmt.Errorf("core: no access token covers leaf %d", i)
+	}
+	steps := ks.height - int(tk.Depth)
+	return deriveFrom(ks.prg, tk.Key, i&((uint64(1)<<uint(steps))-1), steps), nil
+}
+
+// Walker derives leaves with a path cache so that sequential access costs
+// O(1) amortized PRG expansions instead of O(h) per leaf. This is the hot
+// path for chunk ingest and for decrypting long per-window query results.
+//
+// A Walker is not safe for concurrent use.
+type Walker struct {
+	prg    PRG
+	height int
+	find   func(uint64) (Token, bool)
+
+	// cache of the last derived root-to-leaf path within one token.
+	tok      Token
+	tokOK    bool
+	path     []Node // path[d] = node after d expansions below the token
+	lastLeaf uint64
+	valid    int // number of valid entries in path
+}
+
+// NewWalker returns a sequential-access walker over the owner's tree.
+func (t *Tree) NewWalker() *Walker {
+	w := &Walker{prg: t.prg, height: t.height, path: make([]Node, t.height+1)}
+	root := t.RootToken()
+	w.find = func(uint64) (Token, bool) { return root, true }
+	return w
+}
+
+// NewWalker returns a sequential-access walker over the principal's tokens.
+func (ks *KeySet) NewWalker() *Walker {
+	w := &Walker{prg: ks.prg, height: ks.height, path: make([]Node, ks.height+1)}
+	w.find = ks.find
+	return w
+}
+
+// Leaf derives leaf i, reusing the cached path from the previous call where
+// possible.
+func (w *Walker) Leaf(i uint64) (Node, error) {
+	tk, ok := w.find(i)
+	if !ok {
+		return Node{}, fmt.Errorf("core: no access token covers leaf %d", i)
+	}
+	steps := w.height - int(tk.Depth)
+	rel := i & ((uint64(1) << uint(steps)) - 1)
+	start := 0
+	if w.tokOK && w.tok == tk && w.valid > 0 {
+		// Longest common prefix of rel and lastLeaf within this token.
+		lastRel := w.lastLeaf & ((uint64(1) << uint(steps)) - 1)
+		diff := rel ^ lastRel
+		common := steps
+		if diff != 0 {
+			common = steps - bits.Len64(diff)
+		}
+		if common > w.valid-1 {
+			common = w.valid - 1
+		}
+		start = common
+	} else {
+		w.tok = tk
+		w.tokOK = true
+		w.path[0] = tk.Key
+	}
+	node := w.path[start]
+	for d := start; d < steps; d++ {
+		l, r := w.prg.Expand(node)
+		if rel>>uint(steps-1-d)&1 == 0 {
+			node = l
+		} else {
+			node = r
+		}
+		w.path[d+1] = node
+	}
+	w.valid = steps + 1
+	w.lastLeaf = i
+	return node, nil
+}

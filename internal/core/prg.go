@@ -1,0 +1,130 @@
+package core
+
+import (
+	"crypto/aes"
+	"crypto/hmac"
+	"crypto/sha256"
+	"fmt"
+)
+
+// Node is a 16-byte (128-bit) pseudorandom string labelling one node of the
+// key-derivation tree. Leaf nodes are the keystream; inner nodes are access
+// tokens.
+type Node [16]byte
+
+// PRG is a length-doubling pseudorandom generator G(x) = G0(x) || G1(x)
+// used to expand a tree node into its two children (paper §4.2.3).
+//
+// Implementations must be deterministic and safe for concurrent use.
+type PRG interface {
+	// Expand computes the left child G0(x) and right child G1(x) of x.
+	Expand(x Node) (left, right Node)
+	// Name identifies the construction (used in benchmark output).
+	Name() string
+}
+
+// PRGKind selects one of the built-in PRG constructions.
+type PRGKind int
+
+const (
+	// PRGAES expands nodes with AES-128: G0(x) = AES_x(0^16),
+	// G1(x) = AES_x(0^15 || 1). On amd64/arm64 Go's crypto/aes uses the
+	// hardware AES instructions, so this is the paper's "AES-NI" variant
+	// and the default.
+	PRGAES PRGKind = iota
+	// PRGSHA256 expands nodes with a hash: G_b(x) = SHA-256(b || x)[:16].
+	PRGSHA256
+	// PRGHMAC expands nodes with HMAC: G_b(x) = HMAC-SHA-256(x, b)[:16].
+	PRGHMAC
+)
+
+// NewPRG returns the built-in PRG for kind. It panics on an unknown kind;
+// use one of the PRGKind constants.
+func NewPRG(kind PRGKind) PRG {
+	switch kind {
+	case PRGAES:
+		return aesPRG{}
+	case PRGSHA256:
+		return shaPRG{}
+	case PRGHMAC:
+		return hmacPRG{}
+	default:
+		panic(fmt.Sprintf("core: unknown PRGKind %d", int(kind)))
+	}
+}
+
+// String returns the canonical name of the PRG kind.
+func (k PRGKind) String() string {
+	switch k {
+	case PRGAES:
+		return "aes"
+	case PRGSHA256:
+		return "sha256"
+	case PRGHMAC:
+		return "hmac"
+	default:
+		return fmt.Sprintf("PRGKind(%d)", int(k))
+	}
+}
+
+// ParsePRGKind converts a canonical PRG name ("aes", "sha256", "hmac") into
+// its PRGKind.
+func ParsePRGKind(s string) (PRGKind, error) {
+	switch s {
+	case "aes":
+		return PRGAES, nil
+	case "sha256":
+		return PRGSHA256, nil
+	case "hmac":
+		return PRGHMAC, nil
+	}
+	return 0, fmt.Errorf("core: unknown PRG %q", s)
+}
+
+type aesPRG struct{}
+
+func (aesPRG) Name() string { return "aes" }
+
+func (aesPRG) Expand(x Node) (left, right Node) {
+	b, err := aes.NewCipher(x[:])
+	if err != nil {
+		// aes.NewCipher only fails on invalid key sizes; Node is
+		// always 16 bytes.
+		panic("core: aes.NewCipher: " + err.Error())
+	}
+	var zero, one [16]byte
+	one[15] = 1
+	b.Encrypt(left[:], zero[:])
+	b.Encrypt(right[:], one[:])
+	return left, right
+}
+
+type shaPRG struct{}
+
+func (shaPRG) Name() string { return "sha256" }
+
+func (shaPRG) Expand(x Node) (left, right Node) {
+	var buf [17]byte
+	copy(buf[1:], x[:])
+	buf[0] = 0
+	l := sha256.Sum256(buf[:])
+	buf[0] = 1
+	r := sha256.Sum256(buf[:])
+	copy(left[:], l[:16])
+	copy(right[:], r[:16])
+	return left, right
+}
+
+type hmacPRG struct{}
+
+func (hmacPRG) Name() string { return "hmac" }
+
+func (hmacPRG) Expand(x Node) (left, right Node) {
+	mac := hmac.New(sha256.New, x[:])
+	mac.Write([]byte{0})
+	copy(left[:], mac.Sum(nil)[:16])
+	mac.Reset()
+	mac.Write([]byte{1})
+	copy(right[:], mac.Sum(nil)[:16])
+	return left, right
+}

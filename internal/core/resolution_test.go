@@ -1,0 +1,213 @@
+package core
+
+import (
+	"testing"
+)
+
+// buildResolutionFixture encrypts n chunk digests (single-element vectors
+// holding i+1) and seals envelopes for resolution factor f.
+func buildResolutionFixture(t *testing.T, n, f uint64) (tree *Tree, cipher [][]uint64, rs *ResolutionStream, envs []Envelope) {
+	t.Helper()
+	tree = testTree(t, 12)
+	enc := NewEncryptor(tree.NewWalker())
+	cipher = make([][]uint64, n)
+	for i := uint64(0); i < n; i++ {
+		c, err := enc.EncryptDigest(i, []uint64{i + 1}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cipher[i] = append([]uint64(nil), c...)
+	}
+	var err error
+	rs, err = NewResolutionStream(f, n/f+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := tree.NewWalker()
+	for j := uint64(0); j*f <= n; j++ {
+		leaf, err := w.Leaf(j * f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env, err := rs.Seal(j, leaf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		envs = append(envs, env)
+	}
+	return tree, cipher, rs, envs
+}
+
+func TestResolutionAccessDecryptsWindowAggregates(t *testing.T) {
+	const n, f = 60, 6
+	_, cipher, rs, envs := buildResolutionFixture(t, n, f)
+	tok, err := rs.Share(0, n/f-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks, err := tok.OpenAll(envs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := uint64(0); j < n/f; j++ {
+		agg := make([]uint64, 1)
+		var want uint64
+		for i := j * f; i < (j+1)*f; i++ {
+			AddVec(agg, cipher[i])
+			want += i + 1
+		}
+		got, err := ks.DecryptWindow(j*f, (j+1)*f, agg)
+		if err != nil {
+			t.Fatalf("window %d: %v", j, err)
+		}
+		if got[0] != want {
+			t.Fatalf("window %d: got %d want %d", j, got[0], want)
+		}
+	}
+}
+
+func TestResolutionAccessDeniesFinerGranularity(t *testing.T) {
+	const n, f = 60, 6
+	_, cipher, rs, envs := buildResolutionFixture(t, n, f)
+	tok, err := rs.Share(0, n/f-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks, err := tok.OpenAll(envs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A single chunk inside a window must be undecryptable: the inner
+	// leaf is not an envelope boundary.
+	if _, err := ks.DecryptWindow(1, 2, cipher[1]); err == nil {
+		t.Error("resolution principal decrypted a single chunk")
+	}
+	// A shifted window (not boundary-aligned) must also fail — otherwise
+	// differencing would reveal chunk-level data (paper §4.4.1).
+	agg := make([]uint64, 1)
+	for i := uint64(3); i < 9; i++ {
+		AddVec(agg, cipher[i])
+	}
+	if _, err := ks.DecryptWindow(3, 9, agg); err == nil {
+		t.Error("resolution principal decrypted a shifted window")
+	}
+}
+
+func TestResolutionCoarserMultiplesAllowed(t *testing.T) {
+	const n, f = 60, 6
+	_, cipher, rs, envs := buildResolutionFixture(t, n, f)
+	tok, err := rs.Share(0, n/f-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks, err := tok.OpenAll(envs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Aggregate over 3 windows [12, 30): boundaries 12 and 30 are both
+	// multiples of f, so the principal may decrypt this lower resolution.
+	agg := make([]uint64, 1)
+	var want uint64
+	for i := uint64(12); i < 30; i++ {
+		AddVec(agg, cipher[i])
+		want += i + 1
+	}
+	got, err := ks.DecryptWindow(12, 30, agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != want {
+		t.Fatalf("got %d want %d", got[0], want)
+	}
+}
+
+func TestResolutionShareBoundsEnforced(t *testing.T) {
+	const n, f = 60, 6
+	_, cipher, rs, envs := buildResolutionFixture(t, n, f)
+	// Grant only windows [2, 5].
+	tok, err := rs.Share(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks, err := tok.OpenAll(envs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window 2 decrypts.
+	agg := make([]uint64, 1)
+	for i := uint64(12); i < 18; i++ {
+		AddVec(agg, cipher[i])
+	}
+	if _, err := ks.DecryptWindow(12, 18, agg); err != nil {
+		t.Errorf("granted window failed: %v", err)
+	}
+	// Window 1 (before grant) and window 6 (after) must fail.
+	if _, err := ks.DecryptWindow(6, 12, agg); err == nil {
+		t.Error("window before grant decrypted")
+	}
+	if _, err := ks.DecryptWindow(36, 42, agg); err == nil {
+		t.Error("window after grant decrypted")
+	}
+}
+
+func TestEnvelopeTamperDetected(t *testing.T) {
+	const n, f = 12, 6
+	_, _, rs, envs := buildResolutionFixture(t, n, f)
+	tok, err := rs.Share(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := envs[0]
+	env.Box = append([]byte(nil), env.Box...)
+	env.Box[0] ^= 0xff
+	if _, err := tok.Open(env); err == nil {
+		t.Error("tampered envelope accepted")
+	}
+	// Envelope index transplantation must fail (nonce binds the index).
+	env2 := envs[1]
+	env2.Index = 0
+	if _, err := tok.Open(env2); err == nil {
+		t.Error("transplanted envelope accepted")
+	}
+}
+
+func TestResolutionStreamValidation(t *testing.T) {
+	if _, err := NewResolutionStream(0, 10); err == nil {
+		t.Error("expected error for zero factor")
+	}
+	rs, err := NewResolutionStream(6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs.Share(0, 4); err == nil {
+		t.Error("expected error for window beyond capacity")
+	}
+}
+
+func TestResolutionStreamSeedsRebuild(t *testing.T) {
+	rs, err := NewResolutionStream(6, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, s := rs.Seeds()
+	rs2, err := NewResolutionStreamFromSeeds(6, 16, p, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf := Node{7, 7, 7}
+	e1, err := rs.Seal(3, leaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok, err := rs2.Share(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tok.Open(e1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != leaf {
+		t.Error("rebuilt stream cannot open original envelope")
+	}
+}

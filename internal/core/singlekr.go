@@ -1,0 +1,149 @@
+package core
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+)
+
+// SingleKeyRegression is the classic one-chain key regression scheme
+// (paper §A.2.1, after Fu et al.): from state s_i every earlier state (and
+// key) is derivable, but no later one. TimeCrypt's resolution keystreams
+// use the dual construction (two opposed chains) because a single chain
+// cannot lower-bound a share; this type exists for completeness, for
+// unbounded-history subscriptions ("everything up to now"), and as the
+// building block the dual scheme composes.
+type SingleKeyRegression struct {
+	n      uint64
+	top    Node   // s_{n-1}
+	stride uint64 // checkpoint spacing (~√n)
+	cks    []Node // states at indices 0, stride, 2·stride, …
+}
+
+// NewSingleKeyRegression creates a chain with n states from a fresh seed.
+func NewSingleKeyRegression(n uint64) (*SingleKeyRegression, error) {
+	var seed Node
+	if _, err := rand.Read(seed[:]); err != nil {
+		return nil, fmt.Errorf("core: reading seed: %w", err)
+	}
+	return NewSingleKeyRegressionFromSeed(n, seed)
+}
+
+// NewSingleKeyRegressionFromSeed deterministically rebuilds the chain from
+// its head state s_{n-1}.
+func NewSingleKeyRegressionFromSeed(n uint64, top Node) (*SingleKeyRegression, error) {
+	if n == 0 {
+		return nil, errors.New("core: key regression needs at least one state")
+	}
+	if n > 1<<40 {
+		return nil, fmt.Errorf("core: chain length %d too large", n)
+	}
+	kr := &SingleKeyRegression{n: n, top: top}
+	kr.stride = isqrt(n)
+	nck := (n-1)/kr.stride + 1
+	kr.cks = make([]Node, nck)
+	s := top
+	for i := n - 1; ; i-- {
+		if i%kr.stride == 0 {
+			kr.cks[i/kr.stride] = s
+		}
+		if i == 0 {
+			break
+		}
+		s = krStep(s)
+	}
+	return kr, nil
+}
+
+func isqrt(n uint64) uint64 {
+	s := uint64(1)
+	for s*s < n {
+		s++
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// N returns the number of keys.
+func (kr *SingleKeyRegression) N() uint64 { return kr.n }
+
+// Seed returns the chain head for persistence.
+func (kr *SingleKeyRegression) Seed() Node { return kr.top }
+
+// state derives s_j using the √n checkpoints.
+func (kr *SingleKeyRegression) state(j uint64) Node {
+	ck := j / kr.stride
+	if ck*kr.stride == j {
+		return kr.cks[ck]
+	}
+	if ck+1 < uint64(len(kr.cks)) {
+		s := kr.cks[ck+1]
+		for i := (ck + 1) * kr.stride; i > j; i-- {
+			s = krStep(s)
+		}
+		return s
+	}
+	s := kr.top
+	for i := kr.n - 1; i > j; i-- {
+		s = krStep(s)
+	}
+	return s
+}
+
+// KeyAt derives key j. Keys use the same derivation as the dual scheme
+// with a fixed second input, so single and dual chains never collide.
+func (kr *SingleKeyRegression) KeyAt(j uint64) (Node, error) {
+	if j >= kr.n {
+		return Node{}, fmt.Errorf("core: key index %d out of range (n=%d)", j, kr.n)
+	}
+	return krKey(kr.state(j), Node{}), nil
+}
+
+// Share grants keys 0..hi (inclusive): the single state s_hi. The receiver
+// can walk downward to every earlier state but never upward — exactly the
+// "all history up to hi" semantics.
+func (kr *SingleKeyRegression) Share(hi uint64) (SingleToken, error) {
+	if hi >= kr.n {
+		return SingleToken{}, fmt.Errorf("core: share index %d out of range (n=%d)", hi, kr.n)
+	}
+	return SingleToken{Hi: hi, S: kr.state(hi)}, nil
+}
+
+// SingleToken is a principal's share of a single key regression chain:
+// keys 0..Hi inclusive.
+type SingleToken struct {
+	Hi uint64
+	S  Node
+}
+
+// KeyAt derives key j <= Hi.
+func (t SingleToken) KeyAt(j uint64) (Node, error) {
+	if j > t.Hi {
+		return Node{}, fmt.Errorf("core: key %d beyond token bound %d", j, t.Hi)
+	}
+	s := t.S
+	for i := t.Hi; i > j; i-- {
+		s = krStep(s)
+	}
+	return krKey(s, Node{}), nil
+}
+
+// Keys enumerates keys 0..Hi in ascending order with O(Hi) total hashes.
+func (t SingleToken) Keys() []Node {
+	n := t.Hi + 1
+	states := make([]Node, n)
+	s := t.S
+	for i := int(n) - 1; i >= 0; i-- {
+		states[i] = s
+		if i > 0 {
+			s = krStep(s)
+		}
+	}
+	keys := make([]Node, n)
+	for i := range states {
+		keys[i] = krKey(states[i], Node{})
+	}
+	return keys
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestSingleKRDeterministic(t *testing.T) {
+	a, err := NewSingleKeyRegressionFromSeed(100, Node{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewSingleKeyRegressionFromSeed(100, Node{1})
+	for j := uint64(0); j < 100; j++ {
+		ka, err := a.KeyAt(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kb, _ := b.KeyAt(j)
+		if ka != kb {
+			t.Fatalf("key %d not deterministic", j)
+		}
+	}
+}
+
+func TestSingleKRKeysDistinct(t *testing.T) {
+	kr, err := NewSingleKeyRegression(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[Node]uint64)
+	for j := uint64(0); j < 128; j++ {
+		k, _ := kr.KeyAt(j)
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("keys %d and %d collide", prev, j)
+		}
+		seen[k] = j
+	}
+}
+
+func TestSingleKRShareSemantics(t *testing.T) {
+	kr, err := NewSingleKeyRegression(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok, err := kr.Share(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everything at or below 80 derivable and matching the owner.
+	for j := uint64(0); j <= 80; j += 7 {
+		got, err := tok.KeyAt(j)
+		if err != nil {
+			t.Fatalf("KeyAt(%d): %v", j, err)
+		}
+		want, _ := kr.KeyAt(j)
+		if got != want {
+			t.Fatalf("key %d mismatch", j)
+		}
+	}
+	// Nothing above.
+	if _, err := tok.KeyAt(81); err == nil {
+		t.Error("token derived key above share bound")
+	}
+	keys := tok.Keys()
+	if len(keys) != 81 {
+		t.Fatalf("enumerated %d keys, want 81", len(keys))
+	}
+	for j := range keys {
+		want, _ := kr.KeyAt(uint64(j))
+		if keys[j] != want {
+			t.Fatalf("enumerated key %d mismatch", j)
+		}
+	}
+}
+
+func TestSingleKRBounds(t *testing.T) {
+	if _, err := NewSingleKeyRegression(0); err == nil {
+		t.Error("zero-length chain accepted")
+	}
+	kr, _ := NewSingleKeyRegression(10)
+	if _, err := kr.KeyAt(10); err == nil {
+		t.Error("out-of-range key accepted")
+	}
+	if _, err := kr.Share(10); err == nil {
+		t.Error("out-of-range share accepted")
+	}
+}
+
+func TestSingleKRCheckpointConsistency(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + rand.Uint64N(400)
+		kr, err := NewSingleKeyRegressionFromSeed(n, Node{byte(trial), 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tok, err := kr.Share(n - 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys := tok.Keys()
+		for probe := 0; probe < 15; probe++ {
+			j := rand.Uint64N(n)
+			got, err := kr.KeyAt(j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != keys[j] {
+				t.Fatalf("n=%d j=%d: checkpointed derivation mismatch", n, j)
+			}
+		}
+	}
+}
+
+func TestSingleAndDualChainsDoNotCollide(t *testing.T) {
+	// Same seed material must not yield the same keys across schemes
+	// (the single scheme fixes the second derivation input).
+	single, err := NewSingleKeyRegressionFromSeed(10, Node{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dual, err := NewDualKeyRegressionFromSeeds(10, Node{5}, Node{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, _ := single.KeyAt(3)
+	dk, _ := dual.KeyAt(3)
+	if sk == dk {
+		t.Error("single and dual regression keys collide")
+	}
+}

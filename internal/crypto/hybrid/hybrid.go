@@ -1,0 +1,142 @@
+// Package hybrid implements the hybrid public-key encryption TimeCrypt uses
+// to deliver access tokens: "access tokens are encrypted with the
+// principal's public key (hybrid encryption) and stored at the server's
+// key-store" (paper §3.2). The construction is ECIES-style: ephemeral ECDH
+// over P-256, HKDF-SHA-256 key derivation, and AES-128-GCM payload
+// encryption — all from the standard library.
+package hybrid
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+)
+
+// KeyPair is a principal's long-term identity key.
+type KeyPair struct {
+	priv *ecdh.PrivateKey
+}
+
+// GenerateKeyPair creates a fresh P-256 identity key.
+func GenerateKeyPair() (*KeyPair, error) {
+	priv, err := ecdh.P256().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("hybrid: generating key: %w", err)
+	}
+	return &KeyPair{priv: priv}, nil
+}
+
+// KeyPairFromBytes restores a key pair from PrivateBytes output.
+func KeyPairFromBytes(privBytes []byte) (*KeyPair, error) {
+	priv, err := ecdh.P256().NewPrivateKey(privBytes)
+	if err != nil {
+		return nil, fmt.Errorf("hybrid: parsing private key: %w", err)
+	}
+	return &KeyPair{priv: priv}, nil
+}
+
+// PrivateBytes serializes the private scalar for secure storage.
+func (kp *KeyPair) PrivateBytes() []byte { return kp.priv.Bytes() }
+
+// PublicBytes returns the uncompressed public point; this is the
+// principal's public identity registered with the identity provider
+// (paper §3.3's Keybase-style mapping).
+func (kp *KeyPair) PublicBytes() []byte { return kp.priv.PublicKey().Bytes() }
+
+// hkdf derives length bytes from the ECDH shared secret following RFC 5869
+// (extract-then-expand) with SHA-256.
+func hkdf(secret, salt, info []byte, length int) []byte {
+	if len(salt) == 0 {
+		salt = make([]byte, sha256.Size)
+	}
+	ext := hmac.New(sha256.New, salt)
+	ext.Write(secret)
+	prk := ext.Sum(nil)
+	var out []byte
+	var block []byte
+	for counter := byte(1); len(out) < length; counter++ {
+		exp := hmac.New(sha256.New, prk)
+		exp.Write(block)
+		exp.Write(info)
+		exp.Write([]byte{counter})
+		block = exp.Sum(nil)
+		out = append(out, block...)
+	}
+	return out[:length]
+}
+
+func aeadFor(shared, ephPub, rcptPub, info []byte) (cipher.AEAD, error) {
+	salt := make([]byte, 0, len(ephPub)+len(rcptPub))
+	salt = append(salt, ephPub...)
+	salt = append(salt, rcptPub...)
+	key := hkdf(shared, salt, info, 16)
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	return cipher.NewGCM(block)
+}
+
+// Seal encrypts plaintext to the recipient public key (as returned by
+// PublicBytes). info is bound into the key derivation, so a blob sealed for
+// one purpose cannot be opened in another context. The output is
+// ephemeralPub || ciphertext.
+func Seal(recipientPub, plaintext, info []byte) ([]byte, error) {
+	rcpt, err := ecdh.P256().NewPublicKey(recipientPub)
+	if err != nil {
+		return nil, fmt.Errorf("hybrid: parsing recipient key: %w", err)
+	}
+	eph, err := ecdh.P256().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("hybrid: generating ephemeral key: %w", err)
+	}
+	shared, err := eph.ECDH(rcpt)
+	if err != nil {
+		return nil, fmt.Errorf("hybrid: ECDH: %w", err)
+	}
+	ephPub := eph.PublicKey().Bytes()
+	aead, err := aeadFor(shared, ephPub, recipientPub, info)
+	if err != nil {
+		return nil, err
+	}
+	// The key is unique per ephemeral key, so a fixed nonce is safe.
+	nonce := make([]byte, aead.NonceSize())
+	out := make([]byte, 0, len(ephPub)+len(plaintext)+aead.Overhead())
+	out = append(out, ephPub...)
+	return aead.Seal(out, nonce, plaintext, info), nil
+}
+
+// ephPubLen is the length of an uncompressed P-256 point.
+const ephPubLen = 65
+
+// Open decrypts a blob produced by Seal for this key pair with the same
+// info string.
+func (kp *KeyPair) Open(blob, info []byte) ([]byte, error) {
+	if len(blob) < ephPubLen {
+		return nil, errors.New("hybrid: blob too short")
+	}
+	ephPub, ct := blob[:ephPubLen], blob[ephPubLen:]
+	eph, err := ecdh.P256().NewPublicKey(ephPub)
+	if err != nil {
+		return nil, fmt.Errorf("hybrid: parsing ephemeral key: %w", err)
+	}
+	shared, err := kp.priv.ECDH(eph)
+	if err != nil {
+		return nil, fmt.Errorf("hybrid: ECDH: %w", err)
+	}
+	aead, err := aeadFor(shared, ephPub, kp.PublicBytes(), info)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, aead.NonceSize())
+	pt, err := aead.Open(nil, nonce, ct, info)
+	if err != nil {
+		return nil, fmt.Errorf("hybrid: decryption failed: %w", err)
+	}
+	return pt, nil
+}

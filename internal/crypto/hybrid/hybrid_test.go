@@ -1,0 +1,122 @@
+package hybrid
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	kp, err := GenerateKeyPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("access token payload")
+	info := []byte("timecrypt/grant/v1")
+	blob, err := Seal(kp.PublicBytes(), msg, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := kp.Open(blob, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Errorf("got %q, want %q", got, msg)
+	}
+}
+
+func TestSealIsRandomized(t *testing.T) {
+	kp, _ := GenerateKeyPair()
+	a, _ := Seal(kp.PublicBytes(), []byte("m"), nil)
+	b, _ := Seal(kp.PublicBytes(), []byte("m"), nil)
+	if bytes.Equal(a, b) {
+		t.Error("two seals of the same message are identical")
+	}
+}
+
+func TestWrongRecipientCannotOpen(t *testing.T) {
+	alice, _ := GenerateKeyPair()
+	eve, _ := GenerateKeyPair()
+	blob, err := Seal(alice.PublicBytes(), []byte("secret"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eve.Open(blob, nil); err == nil {
+		t.Error("wrong key opened the blob")
+	}
+}
+
+func TestInfoBindsContext(t *testing.T) {
+	kp, _ := GenerateKeyPair()
+	blob, err := Seal(kp.PublicBytes(), []byte("m"), []byte("ctx-a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := kp.Open(blob, []byte("ctx-b")); err == nil {
+		t.Error("blob opened under different info context")
+	}
+}
+
+func TestTamperDetected(t *testing.T) {
+	kp, _ := GenerateKeyPair()
+	blob, err := Seal(kp.PublicBytes(), []byte("m"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, ephPubLen, len(blob) - 1} {
+		mutated := append([]byte(nil), blob...)
+		mutated[i] ^= 0x01
+		if _, err := kp.Open(mutated, nil); err == nil {
+			t.Errorf("tampering at byte %d accepted", i)
+		}
+	}
+	if _, err := kp.Open(blob[:10], nil); err == nil {
+		t.Error("truncated blob accepted")
+	}
+}
+
+func TestKeyPairPersistence(t *testing.T) {
+	kp, _ := GenerateKeyPair()
+	restored, err := KeyPairFromBytes(kp.PrivateBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(restored.PublicBytes(), kp.PublicBytes()) {
+		t.Error("restored key pair has different public key")
+	}
+	blob, _ := Seal(kp.PublicBytes(), []byte("m"), nil)
+	if _, err := restored.Open(blob, nil); err != nil {
+		t.Errorf("restored key pair cannot decrypt: %v", err)
+	}
+	if _, err := KeyPairFromBytes([]byte{1, 2, 3}); err == nil {
+		t.Error("garbage private key accepted")
+	}
+}
+
+func TestSealRejectsBadRecipient(t *testing.T) {
+	if _, err := Seal([]byte{1, 2, 3}, []byte("m"), nil); err == nil {
+		t.Error("garbage recipient key accepted")
+	}
+}
+
+func TestHKDFKnownProperties(t *testing.T) {
+	// Deterministic, length-exact, sensitive to every input.
+	a := hkdf([]byte("secret"), []byte("salt"), []byte("info"), 32)
+	b := hkdf([]byte("secret"), []byte("salt"), []byte("info"), 32)
+	if !bytes.Equal(a, b) {
+		t.Error("hkdf not deterministic")
+	}
+	if len(hkdf([]byte("s"), nil, nil, 42)) != 42 {
+		t.Error("hkdf wrong output length")
+	}
+	variants := [][]byte{
+		hkdf([]byte("secret2"), []byte("salt"), []byte("info"), 32),
+		hkdf([]byte("secret"), []byte("salt2"), []byte("info"), 32),
+		hkdf([]byte("secret"), []byte("salt"), []byte("info2"), 32),
+	}
+	for i, v := range variants {
+		if bytes.Equal(a, v) {
+			t.Errorf("variant %d collides", i)
+		}
+	}
+}

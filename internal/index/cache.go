@@ -1,0 +1,102 @@
+// Package index implements TimeCrypt's server-side statistical index: a
+// time-partitioned k-ary aggregation tree over HEAC-encrypted chunk digests
+// (paper §4.5, Fig. 4). Because HEAC ciphertexts are plain uint64 vectors,
+// the server aggregates them with native modular additions — the property
+// that makes the encrypted index as fast and as small as a plaintext one.
+package index
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a byte-budgeted LRU cache for index nodes (the paper's
+// in-memory index with an explicit cache size; the Fig. 7 "S" experiments
+// shrink it to 1 MB). A budget <= 0 means unbounded.
+type lruCache struct {
+	mu     sync.Mutex
+	budget int64
+	used   int64
+	ll     *list.List // front = most recent
+	items  map[string]*list.Element
+
+	hits   uint64
+	misses uint64
+}
+
+type lruEntry struct {
+	key  string
+	vec  []uint64
+	size int64
+}
+
+func newLRUCache(budget int64) *lruCache {
+	return &lruCache{budget: budget, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+func entrySize(key string, vec []uint64) int64 {
+	// Key bytes + vector bytes + bookkeeping estimate.
+	return int64(len(key)) + int64(8*len(vec)) + 64
+}
+
+// get returns a copy-free reference to the cached vector. Callers must not
+// mutate it; use update for read-modify-write.
+func (c *lruCache) get(key string) ([]uint64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).vec, true
+}
+
+// put inserts or replaces key's vector (which the cache takes ownership of)
+// and evicts LRU entries over budget.
+func (c *lruCache) put(key string, vec []uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		ent := el.Value.(*lruEntry)
+		c.used -= ent.size
+		ent.vec = vec
+		ent.size = entrySize(key, vec)
+		c.used += ent.size
+		c.ll.MoveToFront(el)
+	} else {
+		ent := &lruEntry{key: key, vec: vec, size: entrySize(key, vec)}
+		c.items[key] = c.ll.PushFront(ent)
+		c.used += ent.size
+	}
+	if c.budget > 0 {
+		for c.used > c.budget && c.ll.Len() > 0 {
+			back := c.ll.Back()
+			ent := back.Value.(*lruEntry)
+			c.ll.Remove(back)
+			delete(c.items, ent.key)
+			c.used -= ent.size
+		}
+	}
+}
+
+// remove drops key if present.
+func (c *lruCache) remove(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		ent := el.Value.(*lruEntry)
+		c.ll.Remove(el)
+		delete(c.items, ent.key)
+		c.used -= ent.size
+	}
+}
+
+// stats returns hit/miss counters and current usage.
+func (c *lruCache) stats() (hits, misses uint64, used int64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.used, c.ll.Len()
+}

@@ -1,0 +1,359 @@
+package index
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"repro/internal/kv"
+)
+
+func newTestTree(t *testing.T, cfg Config) (*Tree, *kv.MemStore) {
+	t.Helper()
+	store := kv.NewMemStore()
+	tree, err := Open(store, "s1", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree, store
+}
+
+// fill appends n single-element digests with value i+1 at position i.
+func fill(t *testing.T, tree *Tree, n uint64) {
+	t.Helper()
+	for i := uint64(0); i < n; i++ {
+		if err := tree.Append(i, []uint64{i + 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// rangeSum is the expected aggregate of fill values over [a, b).
+func rangeSum(a, b uint64) uint64 {
+	var s uint64
+	for i := a; i < b; i++ {
+		s += i + 1
+	}
+	return s
+}
+
+func TestAppendAndQuerySmall(t *testing.T) {
+	tree, _ := newTestTree(t, Config{Fanout: 4, VectorLen: 1})
+	fill(t, tree, 20)
+	if tree.Count() != 20 {
+		t.Fatalf("Count = %d, want 20", tree.Count())
+	}
+	for a := uint64(0); a < 20; a++ {
+		for b := a + 1; b <= 20; b++ {
+			got, err := tree.Query(a, b)
+			if err != nil {
+				t.Fatalf("Query(%d,%d): %v", a, b, err)
+			}
+			if got[0] != rangeSum(a, b) {
+				t.Fatalf("Query(%d,%d) = %d, want %d", a, b, got[0], rangeSum(a, b))
+			}
+		}
+	}
+}
+
+func TestQueryRandomRangesLargerTree(t *testing.T) {
+	tree, _ := newTestTree(t, Config{Fanout: 8, VectorLen: 1})
+	const n = 1000
+	fill(t, tree, n)
+	for trial := 0; trial < 300; trial++ {
+		a := rand.Uint64N(n)
+		b := a + 1 + rand.Uint64N(n-a)
+		got, err := tree.Query(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != rangeSum(a, b) {
+			t.Fatalf("Query(%d,%d) = %d, want %d", a, b, got[0], rangeSum(a, b))
+		}
+	}
+}
+
+func TestQueryVectorDigests(t *testing.T) {
+	tree, _ := newTestTree(t, Config{Fanout: 4, VectorLen: 3})
+	const n = 50
+	for i := uint64(0); i < n; i++ {
+		if err := tree.Append(i, []uint64{i, i * i, 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := tree.Query(10, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantA, wantB, wantC uint64
+	for i := uint64(10); i < 40; i++ {
+		wantA += i
+		wantB += i * i
+		wantC++
+	}
+	if got[0] != wantA || got[1] != wantB || got[2] != wantC {
+		t.Fatalf("got %v, want [%d %d %d]", got, wantA, wantB, wantC)
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	tree, _ := newTestTree(t, Config{Fanout: 4, VectorLen: 2})
+	if err := tree.Append(0, []uint64{1}); err == nil {
+		t.Error("wrong vector length accepted")
+	}
+	if err := tree.Append(5, []uint64{1, 2}); err == nil {
+		t.Error("out-of-order append accepted")
+	}
+	if err := tree.Append(0, []uint64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Append(0, []uint64{1, 2}); err == nil {
+		t.Error("duplicate append accepted")
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	tree, _ := newTestTree(t, Config{Fanout: 4, VectorLen: 1})
+	fill(t, tree, 10)
+	if _, err := tree.Query(5, 5); err == nil {
+		t.Error("empty range accepted")
+	}
+	if _, err := tree.Query(7, 3); err == nil {
+		t.Error("reversed range accepted")
+	}
+	if _, err := tree.Query(0, 11); err == nil {
+		t.Error("range beyond data accepted")
+	}
+}
+
+func TestReopenPersistsCount(t *testing.T) {
+	store := kv.NewMemStore()
+	tree, err := Open(store, "s1", Config{Fanout: 4, VectorLen: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(t, tree, 33)
+	reopened, err := Open(store, "s1", Config{Fanout: 4, VectorLen: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reopened.Count() != 33 {
+		t.Fatalf("reopened Count = %d, want 33", reopened.Count())
+	}
+	got, err := reopened.Query(0, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != rangeSum(0, 33) {
+		t.Errorf("query after reopen = %d, want %d", got[0], rangeSum(0, 33))
+	}
+	if err := reopened.Append(33, []uint64{34}); err != nil {
+		t.Errorf("append after reopen: %v", err)
+	}
+}
+
+func TestStreamsAreIsolated(t *testing.T) {
+	store := kv.NewMemStore()
+	t1, _ := Open(store, "a", Config{Fanout: 4, VectorLen: 1})
+	t2, _ := Open(store, "b", Config{Fanout: 4, VectorLen: 1})
+	t1.Append(0, []uint64{100})
+	t2.Append(0, []uint64{7})
+	got, err := t1.Query(0, 1)
+	if err != nil || got[0] != 100 {
+		t.Errorf("stream a polluted: %v %v", got, err)
+	}
+	got, _ = t2.Query(0, 1)
+	if got[0] != 7 {
+		t.Errorf("stream b polluted: %v", got)
+	}
+}
+
+func TestQueryWindows(t *testing.T) {
+	tree, _ := newTestTree(t, Config{Fanout: 4, VectorLen: 1})
+	fill(t, tree, 60)
+	wins, err := tree.QueryWindows(0, 60, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wins) != 10 {
+		t.Fatalf("got %d windows, want 10", len(wins))
+	}
+	for w := uint64(0); w < 10; w++ {
+		if wins[w][0] != rangeSum(w*6, (w+1)*6) {
+			t.Fatalf("window %d = %d, want %d", w, wins[w][0], rangeSum(w*6, (w+1)*6))
+		}
+	}
+	if _, err := tree.QueryWindows(0, 10, 3); err == nil {
+		t.Error("non-multiple range accepted")
+	}
+	if _, err := tree.QueryWindows(0, 10, 0); err == nil {
+		t.Error("zero window accepted")
+	}
+}
+
+func TestSmallCacheStillCorrect(t *testing.T) {
+	tree, _ := newTestTree(t, Config{Fanout: 8, VectorLen: 1, CacheBytes: 512})
+	const n = 500
+	fill(t, tree, n)
+	for trial := 0; trial < 100; trial++ {
+		a := rand.Uint64N(n)
+		b := a + 1 + rand.Uint64N(n-a)
+		got, err := tree.Query(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != rangeSum(a, b) {
+			t.Fatalf("Query(%d,%d) = %d, want %d", a, b, got[0], rangeSum(a, b))
+		}
+	}
+	hits, misses, used, _ := tree.CacheStats()
+	if misses == 0 {
+		t.Error("tiny cache reported zero misses")
+	}
+	if hits == 0 {
+		t.Error("cache never hit")
+	}
+	if used > 2048 {
+		t.Errorf("cache exceeded budget: %d bytes", used)
+	}
+}
+
+func TestPruneRemovesFineLevelsKeepsCoarse(t *testing.T) {
+	tree, store := newTestTree(t, Config{Fanout: 4, VectorLen: 1})
+	fill(t, tree, 64)
+	before := store.Len()
+	// Prune level-0 nodes for the first 16 chunks (one level-2 node span).
+	if err := tree.Prune(2, 0, 16); err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() >= before {
+		t.Error("prune removed nothing")
+	}
+	// Coarse query over the pruned range still answers from level >= 2.
+	got, err := tree.Query(0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != rangeSum(0, 16) {
+		t.Errorf("coarse query after prune = %d, want %d", got[0], rangeSum(0, 16))
+	}
+	// Fine-grained query inside the pruned range must fail (nodes gone).
+	if _, err := tree.Query(1, 3); err == nil {
+		t.Error("fine query succeeded on pruned range")
+	}
+	// Unpruned region unaffected.
+	got, err = tree.Query(17, 23)
+	if err != nil || got[0] != rangeSum(17, 23) {
+		t.Errorf("unpruned range broken: %v %v", got, err)
+	}
+	if err := tree.Prune(0, 0, 4); err == nil {
+		t.Error("prune level 0 accepted")
+	}
+}
+
+func TestConcurrentQueriesDuringAppends(t *testing.T) {
+	tree, _ := newTestTree(t, Config{Fanout: 8, VectorLen: 1})
+	fill(t, tree, 100)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				a := rand.Uint64N(100)
+				b := a + 1 + rand.Uint64N(100-a)
+				got, err := tree.Query(a, b)
+				if err != nil {
+					t.Errorf("Query(%d,%d): %v", a, b, err)
+					return
+				}
+				if got[0] != rangeSum(a, b) {
+					t.Errorf("Query(%d,%d) = %d, want %d", a, b, got[0], rangeSum(a, b))
+					return
+				}
+			}
+		}()
+	}
+	for i := uint64(100); i < 400; i++ {
+		if err := tree.Append(i, []uint64{i + 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestConfigValidation(t *testing.T) {
+	store := kv.NewMemStore()
+	if _, err := Open(store, "s", Config{Fanout: 1, VectorLen: 1}); err == nil {
+		t.Error("fanout 1 accepted")
+	}
+	if _, err := Open(store, "s", Config{Fanout: 4, VectorLen: 0}); err == nil {
+		t.Error("vector length 0 accepted")
+	}
+	if _, err := Open(nil, "s", Config{Fanout: 4, VectorLen: 1}); err == nil {
+		t.Error("nil store accepted")
+	}
+}
+
+func TestLevelSpan(t *testing.T) {
+	tree, _ := newTestTree(t, Config{Fanout: 4, VectorLen: 1})
+	if tree.LevelSpan(0) != 1 || tree.LevelSpan(1) != 4 || tree.LevelSpan(3) != 64 {
+		t.Error("LevelSpan wrong")
+	}
+}
+
+func TestLRUCacheEviction(t *testing.T) {
+	c := newLRUCache(300)
+	c.put("a", []uint64{1}) // ~73 bytes
+	c.put("b", []uint64{2}) //
+	c.put("c", []uint64{3}) //
+	c.put("d", []uint64{4}) //
+	c.put("e", []uint64{5}) // must evict oldest
+	if _, ok := c.get("a"); ok {
+		t.Error("oldest entry survived eviction")
+	}
+	if _, ok := c.get("e"); !ok {
+		t.Error("newest entry evicted")
+	}
+	_, _, used, entries := c.stats()
+	if used > 300 {
+		t.Errorf("cache over budget: %d", used)
+	}
+	if entries == 0 {
+		t.Error("cache empty after puts")
+	}
+}
+
+func TestLRUCacheUnbounded(t *testing.T) {
+	c := newLRUCache(0)
+	for i := 0; i < 1000; i++ {
+		c.put(string(rune('a'+i%26))+string(rune('0'+i%10)), []uint64{uint64(i)})
+	}
+	_, _, _, entries := c.stats()
+	if entries == 0 {
+		t.Error("unbounded cache evicted everything")
+	}
+}
+
+func TestLRUCacheReplaceUpdatesSize(t *testing.T) {
+	c := newLRUCache(0)
+	c.put("k", []uint64{1})
+	_, _, used1, _ := c.stats()
+	c.put("k", []uint64{1, 2, 3, 4})
+	_, _, used2, _ := c.stats()
+	if used2 <= used1 {
+		t.Error("replace did not grow size accounting")
+	}
+	c.remove("k")
+	_, _, used3, _ := c.stats()
+	if used3 != 0 {
+		t.Errorf("remove left %d bytes accounted", used3)
+	}
+}

@@ -1,0 +1,71 @@
+// Package kv provides the storage substrate TimeCrypt persists chunks and
+// index nodes into. The paper's prototype used Cassandra purely as a
+// key-value store; this package supplies the same contract with a sharded
+// in-memory engine plus snapshot persistence, so the rest of the system is
+// storage-agnostic (paper §4.6, "TimeCrypt can be plugged-in with any
+// scalable key-value store").
+package kv
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNotFound is returned by Get when no value exists for a key.
+var ErrNotFound = errors.New("kv: key not found")
+
+// OpKind discriminates batch operations.
+type OpKind int
+
+const (
+	// OpPut stores Value under Key.
+	OpPut OpKind = iota
+	// OpDelete removes Key.
+	OpDelete
+)
+
+// Op is one mutation in a Batch.
+type Op struct {
+	Kind  OpKind
+	Key   string
+	Value []byte
+}
+
+// Store is the minimal key-value contract the server engine needs. All
+// implementations must be safe for concurrent use.
+type Store interface {
+	// Get returns the value for key, or ErrNotFound.
+	Get(key string) ([]byte, error)
+	// Put stores value under key, replacing any existing value.
+	Put(key string, value []byte) error
+	// Delete removes key; deleting a missing key is not an error.
+	Delete(key string) error
+	// Batch applies ops atomically with respect to each individual key
+	// (cross-key atomicity is not guaranteed, mirroring Cassandra's
+	// unlogged batches).
+	Batch(ops []Op) error
+	// Scan visits every key with the given prefix in unspecified order
+	// until fn returns false.
+	Scan(prefix string, fn func(key string, value []byte) bool) error
+	// Len reports the number of stored keys.
+	Len() int
+	// SizeBytes reports the approximate resident size of keys + values.
+	SizeBytes() int64
+	// Close releases resources.
+	Close() error
+}
+
+// Stats aggregates operation counters for observability.
+type Stats struct {
+	Gets      uint64
+	GetMisses uint64
+	Puts      uint64
+	Deletes   uint64
+	Scans     uint64
+}
+
+// String renders stats for logs.
+func (s Stats) String() string {
+	return fmt.Sprintf("gets=%d misses=%d puts=%d deletes=%d scans=%d",
+		s.Gets, s.GetMisses, s.Puts, s.Deletes, s.Scans)
+}

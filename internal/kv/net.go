@@ -1,0 +1,308 @@
+package kv
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+)
+
+// Networked KV store. The paper's DevOps experiment runs Cassandra and the
+// TimeCrypt instance on separate machines (§6, "separate them in the
+// DevOps scenario"); this pair — Server exposing any kv.Store over TCP and
+// RemoteStore implementing kv.Store over that protocol — reproduces that
+// deployment shape with the same Store contract.
+//
+// Protocol: 4-byte big-endian length frames. Requests are
+// op(1) || fields; responses are status(1) || payload. Scans stream in
+// batches so arbitrarily large prefixes never exceed the frame cap.
+
+const (
+	opGet byte = iota + 1
+	opPut
+	opDelete
+	opBatch
+	opScan
+	opLen
+	opSize
+)
+
+const (
+	stOK byte = iota
+	stNotFound
+	stError
+	stScanBatch
+	stScanDone
+)
+
+const netFrameCap = 8 << 20
+
+func writeNetFrame(w io.Writer, payload []byte) error {
+	if len(payload) > netFrameCap {
+		return fmt.Errorf("kv: frame of %d bytes exceeds cap", len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readNetFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > netFrameCap {
+		return nil, fmt.Errorf("kv: frame of %d bytes exceeds cap", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func appendBytes(buf, b []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(b)))
+	return append(buf, b...)
+}
+
+func readBytes(buf []byte) ([]byte, []byte, error) {
+	n, k := binary.Uvarint(buf)
+	if k <= 0 || n > uint64(len(buf[k:])) {
+		return nil, nil, errors.New("kv: truncated field")
+	}
+	return buf[k : k+int(n) : k+int(n)], buf[k+int(n):], nil
+}
+
+// Server exposes a Store over TCP.
+type Server struct {
+	store Store
+	logf  func(string, ...any)
+
+	mu    sync.Mutex
+	lis   net.Listener
+	conns map[net.Conn]struct{}
+	done  chan struct{}
+}
+
+// NewNetServer wraps a store; logf defaults to log.Printf.
+func NewNetServer(store Store, logf func(string, ...any)) *Server {
+	if logf == nil {
+		logf = log.Printf
+	}
+	return &Server{store: store, logf: logf, conns: make(map[net.Conn]struct{}), done: make(chan struct{})}
+}
+
+// Serve accepts connections until the context is cancelled or Close is
+// called.
+func (s *Server) Serve(ctx context.Context, lis net.Listener) error {
+	s.mu.Lock()
+	s.lis = lis
+	s.mu.Unlock()
+	go func() {
+		select {
+		case <-ctx.Done():
+			lis.Close()
+		case <-s.done:
+		}
+	}()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-s.done:
+				return nil
+			default:
+				return err
+			}
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// Close stops the server and all connections.
+func (s *Server) Close() error {
+	close(s.done)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var err error
+	if s.lis != nil {
+		err = s.lis.Close()
+	}
+	for conn := range s.conns {
+		conn.Close()
+	}
+	return err
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	for {
+		req, err := readNetFrame(br)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.logf("kv: connection %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		if err := s.handle(bw, req); err != nil {
+			s.logf("kv: responding to %s: %v", conn.RemoteAddr(), err)
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func respondErr(w io.Writer, err error) error {
+	return writeNetFrame(w, append([]byte{stError}, err.Error()...))
+}
+
+func (s *Server) handle(w io.Writer, req []byte) error {
+	if len(req) < 1 {
+		return respondErr(w, errors.New("empty request"))
+	}
+	op, rest := req[0], req[1:]
+	switch op {
+	case opGet:
+		key, _, err := readBytes(rest)
+		if err != nil {
+			return respondErr(w, err)
+		}
+		val, err := s.store.Get(string(key))
+		if errors.Is(err, ErrNotFound) {
+			return writeNetFrame(w, []byte{stNotFound})
+		}
+		if err != nil {
+			return respondErr(w, err)
+		}
+		return writeNetFrame(w, append([]byte{stOK}, val...))
+	case opPut:
+		key, rest, err := readBytes(rest)
+		if err != nil {
+			return respondErr(w, err)
+		}
+		val, _, err := readBytes(rest)
+		if err != nil {
+			return respondErr(w, err)
+		}
+		if err := s.store.Put(string(key), val); err != nil {
+			return respondErr(w, err)
+		}
+		return writeNetFrame(w, []byte{stOK})
+	case opDelete:
+		key, _, err := readBytes(rest)
+		if err != nil {
+			return respondErr(w, err)
+		}
+		if err := s.store.Delete(string(key)); err != nil {
+			return respondErr(w, err)
+		}
+		return writeNetFrame(w, []byte{stOK})
+	case opBatch:
+		n, k := binary.Uvarint(rest)
+		if k <= 0 || n > 1<<24 {
+			return respondErr(w, errors.New("bad batch count"))
+		}
+		rest = rest[k:]
+		ops := make([]Op, 0, n)
+		for i := uint64(0); i < n; i++ {
+			if len(rest) < 1 {
+				return respondErr(w, errors.New("truncated batch"))
+			}
+			kind := OpKind(rest[0])
+			rest = rest[1:]
+			var key, val []byte
+			var err error
+			key, rest, err = readBytes(rest)
+			if err != nil {
+				return respondErr(w, err)
+			}
+			if kind == OpPut {
+				val, rest, err = readBytes(rest)
+				if err != nil {
+					return respondErr(w, err)
+				}
+			}
+			ops = append(ops, Op{Kind: kind, Key: string(key), Value: val})
+		}
+		if err := s.store.Batch(ops); err != nil {
+			return respondErr(w, err)
+		}
+		return writeNetFrame(w, []byte{stOK})
+	case opScan:
+		prefix, _, err := readBytes(rest)
+		if err != nil {
+			return respondErr(w, err)
+		}
+		// Stream matches in bounded batches.
+		const batchBytes = 1 << 20
+		buf := []byte{stScanBatch}
+		flush := func() error {
+			if len(buf) == 1 {
+				return nil
+			}
+			if err := writeNetFrame(w, buf); err != nil {
+				return err
+			}
+			buf = []byte{stScanBatch}
+			return nil
+		}
+		var streamErr error
+		err = s.store.Scan(string(prefix), func(key string, value []byte) bool {
+			buf = appendBytes(buf, []byte(key))
+			buf = appendBytes(buf, value)
+			if len(buf) >= batchBytes {
+				if streamErr = flush(); streamErr != nil {
+					return false
+				}
+			}
+			return true
+		})
+		if err != nil {
+			return respondErr(w, err)
+		}
+		if streamErr != nil {
+			return streamErr
+		}
+		if err := flush(); err != nil {
+			return err
+		}
+		return writeNetFrame(w, []byte{stScanDone})
+	case opLen:
+		var out [9]byte
+		out[0] = stOK
+		binary.BigEndian.PutUint64(out[1:], uint64(s.store.Len()))
+		return writeNetFrame(w, out[:])
+	case opSize:
+		var out [9]byte
+		out[0] = stOK
+		binary.BigEndian.PutUint64(out[1:], uint64(s.store.SizeBytes()))
+		return writeNetFrame(w, out[:])
+	default:
+		return respondErr(w, fmt.Errorf("unknown op %d", op))
+	}
+}

@@ -1,0 +1,208 @@
+package kv
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+)
+
+// startKVServer runs a networked store over a loopback listener.
+func startKVServer(t *testing.T, backing Store) (addr string, stop func()) {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewNetServer(backing, func(string, ...any) {})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Serve(ctx, lis)
+	}()
+	return lis.Addr().String(), func() {
+		cancel()
+		srv.Close()
+		<-done
+	}
+}
+
+func newRemote(t *testing.T) (*RemoteStore, *MemStore, func()) {
+	t.Helper()
+	backing := NewMemStore()
+	addr, stop := startKVServer(t, backing)
+	rs, err := DialRemoteStore(addr, 4)
+	if err != nil {
+		stop()
+		t.Fatal(err)
+	}
+	return rs, backing, func() {
+		rs.Close()
+		stop()
+	}
+}
+
+func TestRemoteStoreBasicOps(t *testing.T) {
+	rs, backing, stop := newRemote(t)
+	defer stop()
+	if _, err := rs.Get("missing"); err != ErrNotFound {
+		t.Errorf("Get(missing) = %v, want ErrNotFound", err)
+	}
+	if err := rs.Put("k", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := rs.Get("k")
+	if err != nil || string(v) != "v1" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+	// The backing store holds the data.
+	bv, _ := backing.Get("k")
+	if string(bv) != "v1" {
+		t.Error("backing store missing value")
+	}
+	if err := rs.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs.Get("k"); err != ErrNotFound {
+		t.Error("key survived remote delete")
+	}
+	if err := rs.Put("empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	v, err = rs.Get("empty")
+	if err != nil || len(v) != 0 {
+		t.Errorf("empty value round trip: %q %v", v, err)
+	}
+}
+
+func TestRemoteStoreBatchAndCounters(t *testing.T) {
+	rs, _, stop := newRemote(t)
+	defer stop()
+	err := rs.Batch([]Op{
+		{Kind: OpPut, Key: "a", Value: []byte("1")},
+		{Kind: OpPut, Key: "b", Value: []byte("22")},
+		{Kind: OpDelete, Key: "a"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 1 {
+		t.Errorf("Len = %d, want 1", rs.Len())
+	}
+	if rs.SizeBytes() != int64(len("b")+len("22")) {
+		t.Errorf("SizeBytes = %d", rs.SizeBytes())
+	}
+}
+
+func TestRemoteStoreScan(t *testing.T) {
+	rs, _, stop := newRemote(t)
+	defer stop()
+	for i := 0; i < 100; i++ {
+		rs.Put(fmt.Sprintf("x/%03d", i), []byte{byte(i)})
+		rs.Put(fmt.Sprintf("y/%03d", i), []byte{byte(i)})
+	}
+	got := map[string]byte{}
+	err := rs.Scan("x/", func(k string, v []byte) bool {
+		got[k] = v[0]
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("scan matched %d keys, want 100", len(got))
+	}
+	// Early stop must not wedge the connection.
+	n := 0
+	if err := rs.Scan("x/", func(string, []byte) bool { n++; return false }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("early stop visited %d keys", n)
+	}
+	// Connection still usable.
+	if _, err := rs.Get("x/001"); err != nil {
+		t.Errorf("connection broken after early-stopped scan: %v", err)
+	}
+}
+
+func TestRemoteStoreLargeValuesAndScanBatching(t *testing.T) {
+	rs, _, stop := newRemote(t)
+	defer stop()
+	big := make([]byte, 600<<10)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	// Several large values force multi-frame scan streaming (1MB batch).
+	for i := 0; i < 5; i++ {
+		if err := rs.Put(fmt.Sprintf("big/%d", i), big); err != nil {
+			t.Fatal(err)
+		}
+	}
+	count := 0
+	err := rs.Scan("big/", func(_ string, v []byte) bool {
+		if len(v) != len(big) {
+			t.Errorf("scan value truncated: %d", len(v))
+		}
+		count++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 {
+		t.Errorf("scanned %d large values, want 5", count)
+	}
+}
+
+func TestRemoteStoreConcurrentClients(t *testing.T) {
+	rs, _, stop := newRemote(t)
+	defer stop()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("g%d/%d", g, i)
+				if err := rs.Put(key, []byte{byte(i)}); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+				v, err := rs.Get(key)
+				if err != nil || v[0] != byte(i) {
+					t.Errorf("get %s: %v", key, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if rs.Len() != 1600 {
+		t.Errorf("Len = %d, want 1600", rs.Len())
+	}
+}
+
+func TestRemoteStoreServerGone(t *testing.T) {
+	backing := NewMemStore()
+	addr, stop := startKVServer(t, backing)
+	rs, err := DialRemoteStore(addr, 2)
+	if err != nil {
+		stop()
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	rs.Put("k", []byte("v"))
+	stop()
+	if err := rs.Put("k2", []byte("v")); err == nil {
+		t.Error("put succeeded against a dead server")
+	}
+}
+
+func TestDialRemoteStoreBadAddr(t *testing.T) {
+	if _, err := DialRemoteStore("127.0.0.1:1", 1); err == nil {
+		t.Error("dial to closed port succeeded")
+	}
+}

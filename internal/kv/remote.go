@@ -1,0 +1,254 @@
+package kv
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// RemoteStore is a kv.Store backed by a Server over TCP: the engine's view
+// of a storage node on another machine. A fixed pool of connections serves
+// concurrent engine operations; each request/response pair owns one
+// connection for its duration (scans hold theirs until the stream ends).
+type RemoteStore struct {
+	addr  string
+	conns chan *netConn
+	mu    sync.Mutex
+	all   []*netConn
+	done  bool
+}
+
+type netConn struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// DialRemoteStore connects a pool of poolSize connections to a KV server.
+func DialRemoteStore(addr string, poolSize int) (*RemoteStore, error) {
+	if poolSize < 1 {
+		poolSize = 4
+	}
+	rs := &RemoteStore{addr: addr, conns: make(chan *netConn, poolSize)}
+	for i := 0; i < poolSize; i++ {
+		nc, err := rs.dial()
+		if err != nil {
+			rs.Close()
+			return nil, err
+		}
+		rs.conns <- nc
+	}
+	return rs, nil
+}
+
+func (rs *RemoteStore) dial() (*netConn, error) {
+	conn, err := net.Dial("tcp", rs.addr)
+	if err != nil {
+		return nil, fmt.Errorf("kv: dialing %s: %w", rs.addr, err)
+	}
+	nc := &netConn{conn: conn, br: bufio.NewReaderSize(conn, 64<<10), bw: bufio.NewWriterSize(conn, 64<<10)}
+	rs.mu.Lock()
+	rs.all = append(rs.all, nc)
+	rs.mu.Unlock()
+	return nc, nil
+}
+
+// roundTrip sends one request and returns the first response frame.
+func (rs *RemoteStore) roundTrip(req []byte) (resp []byte, nc *netConn, err error) {
+	nc = <-rs.conns
+	if err := writeNetFrame(nc.bw, req); err != nil {
+		rs.failConn(nc)
+		return nil, nil, err
+	}
+	if err := nc.bw.Flush(); err != nil {
+		rs.failConn(nc)
+		return nil, nil, err
+	}
+	resp, err = readNetFrame(nc.br)
+	if err != nil {
+		rs.failConn(nc)
+		return nil, nil, err
+	}
+	return resp, nc, nil
+}
+
+// release returns a healthy connection to the pool.
+func (rs *RemoteStore) release(nc *netConn) { rs.conns <- nc }
+
+// failConn drops a broken connection and tries to replace it so the pool
+// does not shrink permanently.
+func (rs *RemoteStore) failConn(nc *netConn) {
+	nc.conn.Close()
+	if fresh, err := rs.dial(); err == nil {
+		rs.conns <- fresh
+	}
+}
+
+func checkStatus(resp []byte) ([]byte, error) {
+	if len(resp) < 1 {
+		return nil, errors.New("kv: empty response")
+	}
+	switch resp[0] {
+	case stOK:
+		return resp[1:], nil
+	case stNotFound:
+		return nil, ErrNotFound
+	case stError:
+		return nil, fmt.Errorf("kv: remote: %s", resp[1:])
+	default:
+		return nil, fmt.Errorf("kv: unexpected status %d", resp[0])
+	}
+}
+
+// Get implements Store.
+func (rs *RemoteStore) Get(key string) ([]byte, error) {
+	req := appendBytes([]byte{opGet}, []byte(key))
+	resp, nc, err := rs.roundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	rs.release(nc)
+	return checkStatus(resp)
+}
+
+// Put implements Store.
+func (rs *RemoteStore) Put(key string, value []byte) error {
+	req := appendBytes([]byte{opPut}, []byte(key))
+	req = appendBytes(req, value)
+	resp, nc, err := rs.roundTrip(req)
+	if err != nil {
+		return err
+	}
+	rs.release(nc)
+	_, err = checkStatus(resp)
+	return err
+}
+
+// Delete implements Store.
+func (rs *RemoteStore) Delete(key string) error {
+	req := appendBytes([]byte{opDelete}, []byte(key))
+	resp, nc, err := rs.roundTrip(req)
+	if err != nil {
+		return err
+	}
+	rs.release(nc)
+	_, err = checkStatus(resp)
+	return err
+}
+
+// Batch implements Store.
+func (rs *RemoteStore) Batch(ops []Op) error {
+	req := []byte{opBatch}
+	req = binary.AppendUvarint(req, uint64(len(ops)))
+	for _, op := range ops {
+		req = append(req, byte(op.Kind))
+		req = appendBytes(req, []byte(op.Key))
+		if op.Kind == OpPut {
+			req = appendBytes(req, op.Value)
+		}
+	}
+	resp, nc, err := rs.roundTrip(req)
+	if err != nil {
+		return err
+	}
+	rs.release(nc)
+	_, err = checkStatus(resp)
+	return err
+}
+
+// Scan implements Store. The callback runs while the scan stream is open;
+// early termination drains the remaining stream to keep the connection
+// reusable.
+func (rs *RemoteStore) Scan(prefix string, fn func(key string, value []byte) bool) error {
+	req := appendBytes([]byte{opScan}, []byte(prefix))
+	resp, nc, err := rs.roundTrip(req)
+	if err != nil {
+		return err
+	}
+	stopped := false
+	for {
+		if len(resp) < 1 {
+			rs.failConn(nc)
+			return errors.New("kv: empty scan frame")
+		}
+		switch resp[0] {
+		case stScanDone:
+			rs.release(nc)
+			return nil
+		case stScanBatch:
+			rest := resp[1:]
+			for len(rest) > 0 && !stopped {
+				var key, val []byte
+				key, rest, err = readBytes(rest)
+				if err != nil {
+					rs.failConn(nc)
+					return err
+				}
+				val, rest, err = readBytes(rest)
+				if err != nil {
+					rs.failConn(nc)
+					return err
+				}
+				if !fn(string(key), val) {
+					stopped = true // drain remaining frames
+				}
+			}
+		case stError:
+			rs.failConn(nc)
+			return fmt.Errorf("kv: remote scan: %s", resp[1:])
+		default:
+			rs.failConn(nc)
+			return fmt.Errorf("kv: unexpected scan status %d", resp[0])
+		}
+		resp, err = readNetFrame(nc.br)
+		if err != nil {
+			rs.failConn(nc)
+			return err
+		}
+	}
+}
+
+// Len implements Store.
+func (rs *RemoteStore) Len() int {
+	resp, nc, err := rs.roundTrip([]byte{opLen})
+	if err != nil {
+		return 0
+	}
+	rs.release(nc)
+	payload, err := checkStatus(resp)
+	if err != nil || len(payload) != 8 {
+		return 0
+	}
+	return int(binary.BigEndian.Uint64(payload))
+}
+
+// SizeBytes implements Store.
+func (rs *RemoteStore) SizeBytes() int64 {
+	resp, nc, err := rs.roundTrip([]byte{opSize})
+	if err != nil {
+		return 0
+	}
+	rs.release(nc)
+	payload, err := checkStatus(resp)
+	if err != nil || len(payload) != 8 {
+		return 0
+	}
+	return int64(binary.BigEndian.Uint64(payload))
+}
+
+// Close implements Store.
+func (rs *RemoteStore) Close() error {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if rs.done {
+		return nil
+	}
+	rs.done = true
+	for _, nc := range rs.all {
+		nc.conn.Close()
+	}
+	return nil
+}

@@ -1,0 +1,575 @@
+// Package server implements TimeCrypt's untrusted server engine (paper
+// §3.2): it ingests encrypted chunks, maintains the encrypted statistical
+// index, answers range and statistical queries over ciphertexts, and hosts
+// the key store of wrapped access grants and resolution key envelopes. The
+// engine never holds key material and never sees plaintext.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/chunk"
+	"repro/internal/index"
+	"repro/internal/kv"
+	"repro/internal/wire"
+)
+
+// Config parameterizes an engine instance.
+type Config struct {
+	// CacheBytes is the per-stream index node cache budget; <= 0 means
+	// unbounded. The paper's Fig. 7 "S" experiments set this to 1 MB.
+	CacheBytes int64
+}
+
+// Engine is a stateless (all state in the KV store) TimeCrypt server. It is
+// safe for concurrent use; TimeCrypt instances are horizontally scalable by
+// pointing several engines at one store (§3.2).
+type Engine struct {
+	store kv.Store
+	cfg   Config
+
+	mu      sync.RWMutex
+	streams map[string]*stream
+}
+
+type stream struct {
+	cfg  wire.StreamConfig
+	tree *index.Tree
+	mu   sync.Mutex // serializes ingest
+}
+
+// New creates an engine over the given store.
+func New(store kv.Store, cfg Config) (*Engine, error) {
+	if store == nil {
+		return nil, errors.New("server: nil store")
+	}
+	e := &Engine{store: store, cfg: cfg, streams: make(map[string]*stream)}
+	// Recover stream metadata persisted by a previous instance.
+	var loadErr error
+	err := store.Scan("m/", func(key string, value []byte) bool {
+		uuid := key[len("m/"):]
+		if _, err := e.openStream(uuid, value); err != nil {
+			loadErr = fmt.Errorf("server: recovering stream %q: %w", uuid, err)
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if loadErr != nil {
+		return nil, loadErr
+	}
+	return e, nil
+}
+
+// Store exposes the backing store (benchmarks report its size).
+func (e *Engine) Store() kv.Store { return e.store }
+
+func metaKey(uuid string) string { return "m/" + uuid }
+
+func chunkKey(uuid string, idx uint64) string {
+	b := make([]byte, 0, len(uuid)+20)
+	b = append(b, 'c', '/')
+	b = append(b, uuid...)
+	b = append(b, '/')
+	b = strconv.AppendUint(b, idx, 16)
+	return string(b)
+}
+
+func grantKey(uuid, principal, grantID string) string {
+	return "g/" + uuid + "/" + principal + "/" + grantID
+}
+
+func stagedPrefix(uuid string, idx uint64) string {
+	b := make([]byte, 0, len(uuid)+20)
+	b = append(b, 'r', '/')
+	b = append(b, uuid...)
+	b = append(b, '/')
+	b = strconv.AppendUint(b, idx, 16)
+	b = append(b, '/')
+	return string(b)
+}
+
+func stagedKey(uuid string, idx, seq uint64) string {
+	b := make([]byte, 0, len(uuid)+32)
+	b = append(b, stagedPrefix(uuid, idx)...)
+	// Fixed-width so lexicographic scan order equals sequence order.
+	b = append(b, fmt.Sprintf("%016x", seq)...)
+	return string(b)
+}
+
+func envKey(uuid string, factor, idx uint64) string {
+	b := make([]byte, 0, len(uuid)+32)
+	b = append(b, 'e', '/')
+	b = append(b, uuid...)
+	b = append(b, '/')
+	b = strconv.AppendUint(b, factor, 16)
+	b = append(b, '/')
+	b = strconv.AppendUint(b, idx, 16)
+	return string(b)
+}
+
+func encodeStreamConfig(cfg *wire.StreamConfig) []byte {
+	var enc wire.Encoder
+	cfg.Encode(&enc)
+	return enc.Bytes()
+}
+
+func decodeStreamConfig(data []byte) (wire.StreamConfig, error) {
+	var cfg wire.StreamConfig
+	d := wire.NewDecoder(data)
+	cfg.Decode(d)
+	if err := d.Done(); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}
+
+// openStream builds the in-memory handle for a stream whose meta is known.
+func (e *Engine) openStream(uuid string, meta []byte) (*stream, error) {
+	cfg, err := decodeStreamConfig(meta)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := index.Open(e.store, uuid, index.Config{
+		Fanout:     int(cfg.Fanout),
+		VectorLen:  int(cfg.VectorLen),
+		CacheBytes: e.cfg.CacheBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &stream{cfg: cfg, tree: tree}
+	e.mu.Lock()
+	e.streams[uuid] = s
+	e.mu.Unlock()
+	return s, nil
+}
+
+func (e *Engine) lookup(uuid string) (*stream, error) {
+	e.mu.RLock()
+	s, ok := e.streams[uuid]
+	e.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("server: stream %q: %w", uuid, errStreamNotFound)
+	}
+	return s, nil
+}
+
+var errStreamNotFound = errors.New("stream not found")
+
+// CreateStream registers a stream; it fails if the UUID exists.
+func (e *Engine) CreateStream(uuid string, cfg wire.StreamConfig) error {
+	if uuid == "" {
+		return errors.New("server: empty stream UUID")
+	}
+	if cfg.Interval <= 0 {
+		return fmt.Errorf("server: stream %q: interval must be positive", uuid)
+	}
+	if cfg.VectorLen == 0 {
+		return fmt.Errorf("server: stream %q: zero digest vector length", uuid)
+	}
+	if cfg.Fanout == 0 {
+		cfg.Fanout = index.DefaultFanout
+	}
+	e.mu.Lock()
+	if _, dup := e.streams[uuid]; dup {
+		e.mu.Unlock()
+		return fmt.Errorf("server: stream %q already exists", uuid)
+	}
+	e.mu.Unlock()
+	if err := e.store.Put(metaKey(uuid), encodeStreamConfig(&cfg)); err != nil {
+		return err
+	}
+	_, err := e.openStream(uuid, encodeStreamConfig(&cfg))
+	return err
+}
+
+// DeleteStream removes a stream with all chunks, index nodes, grants, and
+// envelopes.
+func (e *Engine) DeleteStream(uuid string) error {
+	if _, err := e.lookup(uuid); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	delete(e.streams, uuid)
+	e.mu.Unlock()
+	var ops []kv.Op
+	for _, prefix := range []string{"c/" + uuid + "/", "i/" + uuid + "/", "g/" + uuid + "/", "e/" + uuid + "/", "r/" + uuid + "/"} {
+		e.store.Scan(prefix, func(key string, _ []byte) bool {
+			ops = append(ops, kv.Op{Kind: kv.OpDelete, Key: key})
+			return true
+		})
+	}
+	ops = append(ops, kv.Op{Kind: kv.OpDelete, Key: metaKey(uuid)})
+	return e.store.Batch(ops)
+}
+
+// StreamInfo returns stream metadata and ingest progress.
+func (e *Engine) StreamInfo(uuid string) (wire.StreamConfig, uint64, error) {
+	s, err := e.lookup(uuid)
+	if err != nil {
+		return wire.StreamConfig{}, 0, err
+	}
+	return s.cfg, s.tree.Count(), nil
+}
+
+// InsertChunk ingests one sealed chunk: it persists the ciphertext and
+// updates the encrypted index along the root path. Chunks must arrive
+// in order (append-only streams, §4.5).
+func (e *Engine) InsertChunk(uuid string, sealedBytes []byte) error {
+	s, err := e.lookup(uuid)
+	if err != nil {
+		return err
+	}
+	sealed, err := chunk.UnmarshalSealed(sealedBytes)
+	if err != nil {
+		return fmt.Errorf("server: stream %q: %w", uuid, err)
+	}
+	if len(sealed.Digest) != int(s.cfg.VectorLen) {
+		return fmt.Errorf("server: stream %q: digest has %d elements, stream uses %d",
+			uuid, len(sealed.Digest), s.cfg.VectorLen)
+	}
+	wantStart := s.cfg.Epoch + int64(sealed.Index)*s.cfg.Interval
+	if sealed.Start != wantStart || sealed.End != wantStart+s.cfg.Interval {
+		return fmt.Errorf("server: stream %q: chunk %d interval [%d,%d) does not match stream geometry",
+			uuid, sealed.Index, sealed.Start, sealed.End)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if want := s.tree.Count(); sealed.Index != want {
+		return fmt.Errorf("server: stream %q: chunk %d out of order (expected %d)", uuid, sealed.Index, want)
+	}
+	if err := e.store.Put(chunkKey(uuid, sealed.Index), sealedBytes); err != nil {
+		return err
+	}
+	if err := s.tree.Append(sealed.Index, sealed.Digest); err != nil {
+		return err
+	}
+	// The sealed chunk supersedes its staged real-time records (§4.6).
+	var ops []kv.Op
+	e.store.Scan(stagedPrefix(uuid, sealed.Index), func(key string, _ []byte) bool {
+		ops = append(ops, kv.Op{Kind: kv.OpDelete, Key: key})
+		return true
+	})
+	if len(ops) > 0 {
+		return e.store.Batch(ops)
+	}
+	return nil
+}
+
+// StageRecord stores one real-time encrypted record ahead of its chunk.
+// Staged records live only until the sealed chunk arrives.
+func (e *Engine) StageRecord(uuid string, chunkIndex, seq uint64, box []byte) error {
+	s, err := e.lookup(uuid)
+	if err != nil {
+		return err
+	}
+	if chunkIndex < s.tree.Count() {
+		return fmt.Errorf("server: stream %q: chunk %d already sealed", uuid, chunkIndex)
+	}
+	return e.store.Put(stagedKey(uuid, chunkIndex, seq), box)
+}
+
+// GetStaged returns a chunk's staged record boxes in sequence order.
+func (e *Engine) GetStaged(uuid string, chunkIndex uint64) ([][]byte, error) {
+	if _, err := e.lookup(uuid); err != nil {
+		return nil, err
+	}
+	type rec struct {
+		key string
+		box []byte
+	}
+	var recs []rec
+	err := e.store.Scan(stagedPrefix(uuid, chunkIndex), func(key string, value []byte) bool {
+		recs = append(recs, rec{key, value})
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].key < recs[j].key })
+	boxes := make([][]byte, len(recs))
+	for i, r := range recs {
+		boxes[i] = r.box
+	}
+	return boxes, nil
+}
+
+// chunkRange maps a half-open time range onto chunk positions, clamped to
+// ingested data: the first chunk overlapping ts through the last chunk
+// overlapping te-1.
+func (s *stream) chunkRange(ts, te int64) (a, b uint64, err error) {
+	if te <= ts {
+		return 0, 0, fmt.Errorf("server: empty time range [%d,%d)", ts, te)
+	}
+	count := s.tree.Count()
+	if count == 0 {
+		return 0, 0, errors.New("server: stream has no data")
+	}
+	if ts < s.cfg.Epoch {
+		ts = s.cfg.Epoch
+	}
+	a = uint64((ts - s.cfg.Epoch) / s.cfg.Interval)
+	bInt := (te - s.cfg.Epoch + s.cfg.Interval - 1) / s.cfg.Interval
+	if bInt <= 0 {
+		return 0, 0, errors.New("server: range precedes stream epoch")
+	}
+	b = uint64(bInt)
+	if b > count {
+		b = count
+	}
+	if a >= b {
+		return 0, 0, fmt.Errorf("server: no ingested chunks in range [%d,%d)", ts, te)
+	}
+	return a, b, nil
+}
+
+// GetRange returns the sealed chunks overlapping [ts, te).
+func (e *Engine) GetRange(uuid string, ts, te int64) ([][]byte, error) {
+	s, err := e.lookup(uuid)
+	if err != nil {
+		return nil, err
+	}
+	a, b, err := s.chunkRange(ts, te)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, 0, b-a)
+	for i := a; i < b; i++ {
+		data, err := e.store.Get(chunkKey(uuid, i))
+		if errors.Is(err, kv.ErrNotFound) {
+			continue // rolled up / deleted
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, data)
+	}
+	return out, nil
+}
+
+// StatRange computes encrypted aggregates over [ts, te). With
+// windowChunks == 0 it returns a single aggregate; otherwise one aggregate
+// per window of windowChunks chunks (the window grid is aligned to absolute
+// chunk positions so resolution-restricted principals can decrypt, §4.4.1).
+// With several UUIDs, the per-stream aggregates are homomorphically summed
+// (inter-stream queries); all streams must share geometry.
+func (e *Engine) StatRange(uuids []string, ts, te int64, windowChunks uint64) (from, to uint64, windows [][]uint64, err error) {
+	if len(uuids) == 0 {
+		return 0, 0, nil, errors.New("server: no streams given")
+	}
+	streams := make([]*stream, len(uuids))
+	for i, uuid := range uuids {
+		s, err := e.lookup(uuid)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		streams[i] = s
+		if s.cfg.Epoch != streams[0].cfg.Epoch || s.cfg.Interval != streams[0].cfg.Interval ||
+			s.cfg.VectorLen != streams[0].cfg.VectorLen {
+			return 0, 0, nil, fmt.Errorf("server: stream %q geometry differs from %q (inter-stream queries need matching epoch/interval/digest)", uuid, uuids[0])
+		}
+	}
+	s0 := streams[0]
+	a, b, err := s0.chunkRange(ts, te)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	// Clamp to the shortest stream so every aggregate is complete.
+	for _, s := range streams[1:] {
+		if c := s.tree.Count(); c < b {
+			b = c
+		}
+	}
+	if a >= b {
+		return 0, 0, nil, errors.New("server: no common ingested range across streams")
+	}
+	if windowChunks > 0 {
+		// Align the window grid to absolute chunk positions.
+		a = (a / windowChunks) * windowChunks
+		b = (b / windowChunks) * windowChunks
+		if a >= b {
+			return 0, 0, nil, fmt.Errorf("server: range too short for %d-chunk windows", windowChunks)
+		}
+	}
+	query := func(s *stream) ([][]uint64, error) {
+		if windowChunks == 0 {
+			vec, err := s.tree.Query(a, b)
+			if err != nil {
+				return nil, err
+			}
+			return [][]uint64{vec}, nil
+		}
+		return s.tree.QueryWindows(a, b, windowChunks)
+	}
+	windows, err = query(s0)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	for _, s := range streams[1:] {
+		more, err := query(s)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		for w := range windows {
+			for x := range windows[w] {
+				windows[w][x] += more[w][x]
+			}
+		}
+	}
+	return a, b, windows, nil
+}
+
+// DeleteRange drops chunk payloads in [ts, te) while keeping digests and
+// the index intact (Table 1 #7).
+func (e *Engine) DeleteRange(uuid string, ts, te int64) error {
+	s, err := e.lookup(uuid)
+	if err != nil {
+		return err
+	}
+	a, b, err := s.chunkRange(ts, te)
+	if err != nil {
+		return err
+	}
+	for i := a; i < b; i++ {
+		key := chunkKey(uuid, i)
+		data, err := e.store.Get(key)
+		if errors.Is(err, kv.ErrNotFound) {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		sealed, err := chunk.UnmarshalSealed(data)
+		if err != nil {
+			return err
+		}
+		if len(sealed.Payload) == 0 {
+			continue
+		}
+		sealed.Payload = nil
+		if err := e.store.Put(key, chunk.MarshalSealed(sealed)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Rollup ages out [ts, te) to an aggregation granularity of factor chunks:
+// raw chunk ciphertexts are removed and index levels finer than factor are
+// pruned (§4.5 "Data decay"). Statistics at factor granularity and coarser
+// remain queryable.
+func (e *Engine) Rollup(uuid string, factor uint64, ts, te int64) error {
+	if factor < 1 {
+		return errors.New("server: rollup factor must be >= 1")
+	}
+	s, err := e.lookup(uuid)
+	if err != nil {
+		return err
+	}
+	a, b, err := s.chunkRange(ts, te)
+	if err != nil {
+		return err
+	}
+	for i := a; i < b; i++ {
+		if err := e.store.Delete(chunkKey(uuid, i)); err != nil {
+			return err
+		}
+	}
+	// Prune index levels whose span is finer than the rollup factor.
+	level := 0
+	for s.tree.LevelSpan(level+1) <= factor {
+		level++
+	}
+	if level == 0 && factor > 1 {
+		level = 1 // factor between 1 and fanout: leaf digests must go
+	}
+	if level > 0 {
+		return s.tree.Prune(level, a, b)
+	}
+	return nil
+}
+
+// PutGrant stores a wrapped access grant.
+func (e *Engine) PutGrant(uuid, principal, grantID string, blob []byte) error {
+	if _, err := e.lookup(uuid); err != nil {
+		return err
+	}
+	if principal == "" || grantID == "" {
+		return errors.New("server: empty principal or grant id")
+	}
+	return e.store.Put(grantKey(uuid, principal, grantID), blob)
+}
+
+// GetGrants fetches all grant blobs for a principal on a stream.
+func (e *Engine) GetGrants(uuid, principal string) ([][]byte, error) {
+	if _, err := e.lookup(uuid); err != nil {
+		return nil, err
+	}
+	var blobs [][]byte
+	err := e.store.Scan("g/"+uuid+"/"+principal+"/", func(_ string, value []byte) bool {
+		blobs = append(blobs, value)
+		return true
+	})
+	return blobs, err
+}
+
+// DeleteGrant removes one grant, or all of a principal's grants when
+// grantID is empty.
+func (e *Engine) DeleteGrant(uuid, principal, grantID string) error {
+	if _, err := e.lookup(uuid); err != nil {
+		return err
+	}
+	if grantID != "" {
+		return e.store.Delete(grantKey(uuid, principal, grantID))
+	}
+	var ops []kv.Op
+	e.store.Scan("g/"+uuid+"/"+principal+"/", func(key string, _ []byte) bool {
+		ops = append(ops, kv.Op{Kind: kv.OpDelete, Key: key})
+		return true
+	})
+	return e.store.Batch(ops)
+}
+
+// PutEnvelopes stores resolution key envelopes.
+func (e *Engine) PutEnvelopes(uuid string, factor uint64, envs []wire.WireEnvelope) error {
+	if _, err := e.lookup(uuid); err != nil {
+		return err
+	}
+	if factor < 1 {
+		return errors.New("server: envelope factor must be >= 1")
+	}
+	ops := make([]kv.Op, 0, len(envs))
+	for _, env := range envs {
+		ops = append(ops, kv.Op{Kind: kv.OpPut, Key: envKey(uuid, factor, env.Index), Value: env.Box})
+	}
+	return e.store.Batch(ops)
+}
+
+// GetEnvelopes fetches envelopes lo..hi (inclusive) for one resolution.
+func (e *Engine) GetEnvelopes(uuid string, factor, lo, hi uint64) ([]wire.WireEnvelope, error) {
+	if _, err := e.lookup(uuid); err != nil {
+		return nil, err
+	}
+	if hi < lo {
+		return nil, fmt.Errorf("server: invalid envelope range [%d,%d]", lo, hi)
+	}
+	envs := make([]wire.WireEnvelope, 0, hi-lo+1)
+	for j := lo; j <= hi; j++ {
+		box, err := e.store.Get(envKey(uuid, factor, j))
+		if errors.Is(err, kv.ErrNotFound) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		envs = append(envs, wire.WireEnvelope{Index: j, Box: box})
+	}
+	return envs, nil
+}

@@ -1,0 +1,203 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"io"
+	"log"
+	"net"
+	"strings"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// Handle dispatches one protocol request and returns its response. It is
+// the transport-independent entry point used both by the TCP front end and
+// by in-process clients (benchmarks exercise the full message codec either
+// way).
+func (e *Engine) Handle(req wire.Message) wire.Message {
+	switch m := req.(type) {
+	case *wire.CreateStream:
+		return respond(e.CreateStream(m.UUID, m.Cfg))
+	case *wire.DeleteStream:
+		return respond(e.DeleteStream(m.UUID))
+	case *wire.InsertChunk:
+		return respond(e.InsertChunk(m.UUID, m.Chunk))
+	case *wire.GetRange:
+		chunks, err := e.GetRange(m.UUID, m.Ts, m.Te)
+		if err != nil {
+			return toError(err)
+		}
+		return &wire.GetRangeResp{Chunks: chunks}
+	case *wire.StatRange:
+		from, to, windows, err := e.StatRange(m.UUIDs, m.Ts, m.Te, m.WindowChunks)
+		if err != nil {
+			return toError(err)
+		}
+		return &wire.StatRangeResp{FromChunk: from, ToChunk: to, Windows: windows}
+	case *wire.DeleteRange:
+		return respond(e.DeleteRange(m.UUID, m.Ts, m.Te))
+	case *wire.Rollup:
+		return respond(e.Rollup(m.UUID, m.Factor, m.Ts, m.Te))
+	case *wire.PutGrant:
+		return respond(e.PutGrant(m.UUID, m.Principal, m.GrantID, m.Blob))
+	case *wire.GetGrants:
+		blobs, err := e.GetGrants(m.UUID, m.Principal)
+		if err != nil {
+			return toError(err)
+		}
+		return &wire.GetGrantsResp{Blobs: blobs}
+	case *wire.DeleteGrant:
+		return respond(e.DeleteGrant(m.UUID, m.Principal, m.GrantID))
+	case *wire.PutEnvelopes:
+		return respond(e.PutEnvelopes(m.UUID, m.Factor, m.Envs))
+	case *wire.GetEnvelopes:
+		envs, err := e.GetEnvelopes(m.UUID, m.Factor, m.Lo, m.Hi)
+		if err != nil {
+			return toError(err)
+		}
+		return &wire.GetEnvelopesResp{Envs: envs}
+	case *wire.StageRecord:
+		return respond(e.StageRecord(m.UUID, m.ChunkIndex, m.Seq, m.Box))
+	case *wire.GetStaged:
+		boxes, err := e.GetStaged(m.UUID, m.ChunkIndex)
+		if err != nil {
+			return toError(err)
+		}
+		return &wire.GetStagedResp{Boxes: boxes}
+	case *wire.StreamInfo:
+		cfg, count, err := e.StreamInfo(m.UUID)
+		if err != nil {
+			return toError(err)
+		}
+		return &wire.StreamInfoResp{Cfg: cfg, Count: count}
+	default:
+		return &wire.Error{Code: wire.CodeBadRequest, Msg: "unsupported request type"}
+	}
+}
+
+func respond(err error) wire.Message {
+	if err != nil {
+		return toError(err)
+	}
+	return &wire.OK{}
+}
+
+func toError(err error) *wire.Error {
+	code := wire.CodeInternal
+	msg := err.Error()
+	switch {
+	case errors.Is(err, errStreamNotFound):
+		code = wire.CodeNotFound
+	case strings.Contains(msg, "already exists"):
+		code = wire.CodeExists
+	case strings.Contains(msg, "out of order"), strings.Contains(msg, "range"),
+		strings.Contains(msg, "empty"), strings.Contains(msg, "must be"):
+		code = wire.CodeBadRequest
+	}
+	return &wire.Error{Code: code, Msg: msg}
+}
+
+// Server is the TCP front end: one goroutine per connection, serial
+// request/response per connection (clients open several connections for
+// parallelism, as the paper's load generator does).
+type Server struct {
+	engine *Engine
+	logf   func(format string, args ...any)
+
+	mu    sync.Mutex
+	lis   net.Listener
+	conns map[net.Conn]struct{}
+	done  chan struct{}
+}
+
+// NewServer wraps an engine. logf defaults to log.Printf; pass a no-op to
+// silence connection errors in tests.
+func NewServer(engine *Engine, logf func(format string, args ...any)) *Server {
+	if logf == nil {
+		logf = log.Printf
+	}
+	return &Server{engine: engine, logf: logf, conns: make(map[net.Conn]struct{}), done: make(chan struct{})}
+}
+
+// Serve accepts connections until the listener closes or ctx is cancelled.
+func (s *Server) Serve(ctx context.Context, lis net.Listener) error {
+	s.mu.Lock()
+	s.lis = lis
+	s.mu.Unlock()
+	go func() {
+		select {
+		case <-ctx.Done():
+			lis.Close()
+		case <-s.done:
+		}
+	}()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-s.done:
+				return nil
+			default:
+				return err
+			}
+		}
+		s.track(conn, true)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) track(conn net.Conn, add bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if add {
+		s.conns[conn] = struct{}{}
+	} else {
+		delete(s.conns, conn)
+	}
+}
+
+// Close stops accepting and closes all connections.
+func (s *Server) Close() error {
+	close(s.done)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var err error
+	if s.lis != nil {
+		err = s.lis.Close()
+	}
+	for conn := range s.conns {
+		conn.Close()
+	}
+	return err
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.track(conn, false)
+	}()
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	for {
+		req, err := wire.ReadMessage(br)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				s.logf("timecrypt: connection %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		resp := s.engine.Handle(req)
+		if err := wire.WriteMessage(bw, resp); err != nil {
+			s.logf("timecrypt: writing to %s: %v", conn.RemoteAddr(), err)
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}

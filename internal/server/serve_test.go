@@ -1,0 +1,226 @@
+package server
+
+import (
+	"context"
+	"net"
+	"sync"
+	"testing"
+
+	"repro/internal/chunk"
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+func TestHandleDispatchAllTypes(t *testing.T) {
+	h := newHarness(t)
+	// CreateStream via Handle.
+	resp := h.engine.Handle(&wire.CreateStream{UUID: "s", Cfg: h.cfg})
+	if _, ok := resp.(*wire.OK); !ok {
+		t.Fatalf("CreateStream -> %#v", resp)
+	}
+	// Duplicate -> CodeExists.
+	resp = h.engine.Handle(&wire.CreateStream{UUID: "s", Cfg: h.cfg})
+	if e, ok := resp.(*wire.Error); !ok || e.Code != wire.CodeExists {
+		t.Errorf("duplicate create -> %#v", resp)
+	}
+	// Insert a chunk.
+	sealed, _ := chunk.Seal(h.enc, h.spec, chunk.CompressionNone, 0, 0, 100,
+		[]chunk.Point{{TS: 10, Val: 5}})
+	resp = h.engine.Handle(&wire.InsertChunk{UUID: "s", Chunk: chunk.MarshalSealed(sealed)})
+	if _, ok := resp.(*wire.OK); !ok {
+		t.Fatalf("InsertChunk -> %#v", resp)
+	}
+	// StreamInfo.
+	resp = h.engine.Handle(&wire.StreamInfo{UUID: "s"})
+	if info, ok := resp.(*wire.StreamInfoResp); !ok || info.Count != 1 {
+		t.Errorf("StreamInfo -> %#v", resp)
+	}
+	// StatRange.
+	resp = h.engine.Handle(&wire.StatRange{UUIDs: []string{"s"}, Ts: 0, Te: 100})
+	if sr, ok := resp.(*wire.StatRangeResp); !ok || len(sr.Windows) != 1 {
+		t.Errorf("StatRange -> %#v", resp)
+	}
+	// GetRange.
+	resp = h.engine.Handle(&wire.GetRange{UUID: "s", Ts: 0, Te: 100})
+	if gr, ok := resp.(*wire.GetRangeResp); !ok || len(gr.Chunks) != 1 {
+		t.Errorf("GetRange -> %#v", resp)
+	}
+	// Grants + envelopes.
+	if _, ok := h.engine.Handle(&wire.PutGrant{UUID: "s", Principal: "p", GrantID: "g", Blob: []byte{1}}).(*wire.OK); !ok {
+		t.Error("PutGrant failed")
+	}
+	if gg, ok := h.engine.Handle(&wire.GetGrants{UUID: "s", Principal: "p"}).(*wire.GetGrantsResp); !ok || len(gg.Blobs) != 1 {
+		t.Error("GetGrants failed")
+	}
+	if _, ok := h.engine.Handle(&wire.DeleteGrant{UUID: "s", Principal: "p", GrantID: "g"}).(*wire.OK); !ok {
+		t.Error("DeleteGrant failed")
+	}
+	if _, ok := h.engine.Handle(&wire.PutEnvelopes{UUID: "s", Factor: 2, Envs: []wire.WireEnvelope{{Index: 0, Box: []byte{9}}}}).(*wire.OK); !ok {
+		t.Error("PutEnvelopes failed")
+	}
+	if ge, ok := h.engine.Handle(&wire.GetEnvelopes{UUID: "s", Factor: 2, Lo: 0, Hi: 0}).(*wire.GetEnvelopesResp); !ok || len(ge.Envs) != 1 {
+		t.Error("GetEnvelopes failed")
+	}
+	// DeleteRange / Rollup / DeleteStream.
+	if _, ok := h.engine.Handle(&wire.DeleteRange{UUID: "s", Ts: 0, Te: 100}).(*wire.OK); !ok {
+		t.Error("DeleteRange failed")
+	}
+	if _, ok := h.engine.Handle(&wire.Rollup{UUID: "s", Factor: 8, Ts: 0, Te: 100}).(*wire.OK); !ok {
+		t.Error("Rollup failed")
+	}
+	if _, ok := h.engine.Handle(&wire.DeleteStream{UUID: "s"}).(*wire.OK); !ok {
+		t.Error("DeleteStream failed")
+	}
+	// Unknown stream -> CodeNotFound.
+	resp = h.engine.Handle(&wire.StreamInfo{UUID: "s"})
+	if e, ok := resp.(*wire.Error); !ok || e.Code != wire.CodeNotFound {
+		t.Errorf("missing stream -> %#v", resp)
+	}
+	// Unsupported request type.
+	resp = h.engine.Handle(&wire.OK{})
+	if e, ok := resp.(*wire.Error); !ok || e.Code != wire.CodeBadRequest {
+		t.Errorf("bad request -> %#v", resp)
+	}
+}
+
+// startTCP runs a Server over a loopback listener.
+func startTCP(t *testing.T, engine *Engine) (addr string, stop func()) {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(engine, func(string, ...any) {})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Serve(ctx, lis)
+	}()
+	return lis.Addr().String(), func() {
+		cancel()
+		srv.Close()
+		<-done
+	}
+}
+
+func TestTCPServerRoundTrip(t *testing.T) {
+	h := newHarness(t)
+	addr, stop := startTCP(t, h.engine)
+	defer stop()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := wire.WriteMessage(conn, &wire.CreateStream{UUID: "tcp-s", Cfg: h.cfg}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := wire.ReadMessage(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := resp.(*wire.OK); !ok {
+		t.Fatalf("CreateStream over TCP -> %#v", resp)
+	}
+	sealed, _ := chunk.Seal(h.enc, h.spec, chunk.CompressionNone, 0, 0, 100,
+		[]chunk.Point{{TS: 1, Val: 7}})
+	if err := wire.WriteMessage(conn, &wire.InsertChunk{UUID: "tcp-s", Chunk: chunk.MarshalSealed(sealed)}); err != nil {
+		t.Fatal(err)
+	}
+	if resp, err = wire.ReadMessage(conn); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := resp.(*wire.OK); !ok {
+		t.Fatalf("InsertChunk over TCP -> %#v", resp)
+	}
+	if err := wire.WriteMessage(conn, &wire.StatRange{UUIDs: []string{"tcp-s"}, Ts: 0, Te: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if resp, err = wire.ReadMessage(conn); err != nil {
+		t.Fatal(err)
+	}
+	sr, ok := resp.(*wire.StatRangeResp)
+	if !ok {
+		t.Fatalf("StatRange over TCP -> %#v", resp)
+	}
+	dec := core.NewEncryptor(h.tree.NewWalker())
+	vec, err := dec.DecryptRange(sr.FromChunk, sr.ToChunk, sr.Windows[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := h.spec.Interpret(vec)
+	if r.Sum != 7 || r.Count != 1 {
+		t.Errorf("sum=%d count=%d over TCP", r.Sum, r.Count)
+	}
+}
+
+func TestTCPServerConcurrentClients(t *testing.T) {
+	h := newHarness(t)
+	h.createStream(t, "s")
+	h.ingest(t, "s", 50)
+	addr, stop := startTCP(t, h.engine)
+	defer stop()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			for i := 0; i < 50; i++ {
+				if err := wire.WriteMessage(conn, &wire.StatRange{UUIDs: []string{"s"}, Ts: 0, Te: 5000}); err != nil {
+					errs <- err
+					return
+				}
+				resp, err := wire.ReadMessage(conn)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if _, ok := resp.(*wire.StatRangeResp); !ok {
+					errs <- resp.(*wire.Error)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPServerSurvivesGarbage(t *testing.T) {
+	h := newHarness(t)
+	addr, stop := startTCP(t, h.engine)
+	defer stop()
+	// A connection sending garbage must be dropped without killing the
+	// server.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Write([]byte{0, 0, 0, 2, 0xEE, 0xEE}) // unknown message type
+	conn.Close()
+	// Server still answers a healthy client.
+	conn2, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	if err := wire.WriteMessage(conn2, &wire.CreateStream{UUID: "x", Cfg: h.cfg}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wire.ReadMessage(conn2); err != nil {
+		t.Fatalf("server died after garbage connection: %v", err)
+	}
+}

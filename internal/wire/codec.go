@@ -1,0 +1,185 @@
+// Package wire implements TimeCrypt's client/server protocol: length-
+// prefixed frames carrying compact hand-rolled binary messages. It replaces
+// the Netty + protobuf stack of the paper's prototype (§5) with a
+// stdlib-only equivalent covering the full Table 1 API.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Encoder appends primitive values to a byte buffer. The zero value is
+// ready to use.
+type Encoder struct {
+	buf []byte
+}
+
+// Bytes returns the encoded buffer.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// U8 appends one byte.
+func (e *Encoder) U8(v uint8) { e.buf = append(e.buf, v) }
+
+// U64 appends a varint-encoded unsigned integer.
+func (e *Encoder) U64(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+
+// I64 appends a zigzag-varint-encoded signed integer.
+func (e *Encoder) I64(v int64) { e.buf = binary.AppendVarint(e.buf, v) }
+
+// Bool appends a boolean.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+}
+
+// Blob appends a length-prefixed byte slice.
+func (e *Encoder) Blob(v []byte) {
+	e.U64(uint64(len(v)))
+	e.buf = append(e.buf, v...)
+}
+
+// Str appends a length-prefixed string.
+func (e *Encoder) Str(v string) {
+	e.U64(uint64(len(v)))
+	e.buf = append(e.buf, v...)
+}
+
+// Vec appends a length-prefixed []uint64 in fixed 8-byte encoding (digest
+// vectors are high-entropy ciphertexts; varints would only add overhead).
+func (e *Encoder) Vec(v []uint64) {
+	e.U64(uint64(len(v)))
+	for _, x := range v {
+		var tmp [8]byte
+		binary.BigEndian.PutUint64(tmp[:], x)
+		e.buf = append(e.buf, tmp[:]...)
+	}
+}
+
+// Decoder consumes primitive values from a byte buffer, latching the first
+// error so call sites can decode whole structs before checking once.
+type Decoder struct {
+	buf []byte
+	err error
+}
+
+// NewDecoder wraps data.
+func NewDecoder(data []byte) *Decoder { return &Decoder{buf: data} }
+
+// Err returns the first decoding error, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Done returns an error unless the buffer was fully and cleanly consumed.
+func (d *Decoder) Done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if len(d.buf) != 0 {
+		return fmt.Errorf("wire: %d trailing bytes", len(d.buf))
+	}
+	return nil
+}
+
+func (d *Decoder) fail(what string) {
+	if d.err == nil {
+		d.err = errors.New("wire: truncated " + what)
+	}
+}
+
+// U8 reads one byte.
+func (d *Decoder) U8() uint8 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.buf) < 1 {
+		d.fail("u8")
+		return 0
+	}
+	v := d.buf[0]
+	d.buf = d.buf[1:]
+	return v
+}
+
+// U64 reads a varint-encoded unsigned integer.
+func (d *Decoder) U64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.fail("u64")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+// I64 reads a zigzag-varint-encoded signed integer.
+func (d *Decoder) I64() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf)
+	if n <= 0 {
+		d.fail("i64")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+// Bool reads a boolean.
+func (d *Decoder) Bool() bool { return d.U8() != 0 }
+
+// Blob reads a length-prefixed byte slice (copied out of the buffer).
+func (d *Decoder) Blob() []byte {
+	n := d.U64()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.buf)) {
+		d.fail("blob")
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, d.buf[:n])
+	d.buf = d.buf[n:]
+	return out
+}
+
+// Str reads a length-prefixed string.
+func (d *Decoder) Str() string {
+	n := d.U64()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.buf)) {
+		d.fail("string")
+		return ""
+	}
+	out := string(d.buf[:n])
+	d.buf = d.buf[n:]
+	return out
+}
+
+// Vec reads a length-prefixed []uint64.
+func (d *Decoder) Vec() []uint64 {
+	n := d.U64()
+	if d.err != nil {
+		return nil
+	}
+	if n*8 > uint64(len(d.buf)) {
+		d.fail("vec")
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = binary.BigEndian.Uint64(d.buf[i*8:])
+	}
+	d.buf = d.buf[n*8:]
+	return out
+}

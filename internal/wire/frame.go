@@ -1,0 +1,56 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// MaxFrameSize bounds a single protocol frame (64 MiB), protecting both
+// sides against memory exhaustion from corrupt or hostile peers.
+const MaxFrameSize = 64 << 20
+
+// WriteFrame writes one length-prefixed frame.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("wire: short frame: %w", err)
+	}
+	return payload, nil
+}
+
+// WriteMessage marshals and frames a message.
+func WriteMessage(w io.Writer, m Message) error {
+	return WriteFrame(w, Marshal(m))
+}
+
+// ReadMessage reads and unmarshals one framed message.
+func ReadMessage(r io.Reader) (Message, error) {
+	payload, err := ReadFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	return Unmarshal(payload)
+}

@@ -1,0 +1,104 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+)
+
+// TestUnmarshalNeverPanicsOnRandomBytes hammers the decoder with random
+// and mutated inputs: a hostile peer must only ever produce errors.
+func TestUnmarshalNeverPanicsOnRandomBytes(t *testing.T) {
+	r := rand.New(rand.NewPCG(0xF00D, 0xBEEF))
+	for trial := 0; trial < 5000; trial++ {
+		n := r.IntN(256)
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = byte(r.Uint32())
+		}
+		// Must not panic; errors are fine, and a successful decode must
+		// re-marshal without panicking.
+		if m, err := Unmarshal(buf); err == nil {
+			Marshal(m)
+		}
+	}
+}
+
+// TestUnmarshalMutatedMessages flips bytes of valid messages: decoding
+// must never panic and any accepted mutant must re-marshal cleanly.
+func TestUnmarshalMutatedMessages(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 2))
+	for _, m := range allMessages() {
+		orig := Marshal(m)
+		for trial := 0; trial < 300; trial++ {
+			data := append([]byte(nil), orig...)
+			// 1-3 mutations: flip, truncate, or extend.
+			for k := 0; k < 1+r.IntN(3); k++ {
+				switch r.IntN(3) {
+				case 0:
+					if len(data) > 0 {
+						data[r.IntN(len(data))] ^= byte(1 << r.IntN(8))
+					}
+				case 1:
+					if len(data) > 1 {
+						data = data[:r.IntN(len(data))]
+					}
+				case 2:
+					data = append(data, byte(r.Uint32()))
+				}
+			}
+			if got, err := Unmarshal(data); err == nil {
+				Marshal(got)
+			}
+		}
+	}
+}
+
+// TestFrameReaderHostileHeaders feeds adversarial frame headers.
+func TestFrameReaderHostileHeaders(t *testing.T) {
+	cases := [][]byte{
+		{},
+		{0x00},
+		{0x00, 0x00, 0x00},
+		{0xFF, 0xFF, 0xFF, 0xFF},       // oversized claim
+		{0x00, 0x00, 0x00, 0x05, 0x01}, // truncated body
+		{0x7F, 0xFF, 0xFF, 0xFF, 0x00, 0x00, 0x00}, // huge claim, no body
+	}
+	for i, data := range cases {
+		if _, err := ReadFrame(bytes.NewReader(data)); err == nil {
+			t.Errorf("case %d: hostile frame accepted", i)
+		}
+	}
+}
+
+// TestDecoderRandomizedPrimitives checks the latching decoder never reads
+// out of bounds under random operation sequences.
+func TestDecoderRandomizedPrimitives(t *testing.T) {
+	r := rand.New(rand.NewPCG(7, 8))
+	for trial := 0; trial < 2000; trial++ {
+		buf := make([]byte, r.IntN(64))
+		for i := range buf {
+			buf[i] = byte(r.Uint32())
+		}
+		d := NewDecoder(buf)
+		for op := 0; op < 16; op++ {
+			switch r.IntN(7) {
+			case 0:
+				d.U8()
+			case 1:
+				d.U64()
+			case 2:
+				d.I64()
+			case 3:
+				d.Bool()
+			case 4:
+				d.Blob()
+			case 5:
+				d.Str()
+			case 6:
+				d.Vec()
+			}
+		}
+		d.Done() // must not panic
+	}
+}

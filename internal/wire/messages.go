@@ -1,0 +1,628 @@
+package wire
+
+import (
+	"fmt"
+)
+
+// MsgType identifies a protocol message. Requests and responses share one
+// namespace; every request maps to one response type (or Error/OK).
+type MsgType uint8
+
+// Protocol message types. The numbering is part of the wire format.
+const (
+	TError MsgType = iota + 1
+	TOK
+	TCreateStream
+	TDeleteStream
+	TInsertChunk
+	TGetRange
+	TGetRangeResp
+	TStatRange
+	TStatRangeResp
+	TDeleteRange
+	TRollup
+	TPutGrant
+	TGetGrants
+	TGetGrantsResp
+	TDeleteGrant
+	TPutEnvelopes
+	TGetEnvelopes
+	TGetEnvelopesResp
+	TStreamInfo
+	TStreamInfoResp
+	TStageRecord
+	TGetStaged
+	TGetStagedResp
+)
+
+// Message is one protocol message.
+type Message interface {
+	Type() MsgType
+	encode(e *Encoder)
+	decode(d *Decoder) error
+}
+
+// Marshal encodes a message as type byte + payload.
+func Marshal(m Message) []byte {
+	var e Encoder
+	e.U8(uint8(m.Type()))
+	m.encode(&e)
+	return e.Bytes()
+}
+
+// Unmarshal decodes a message produced by Marshal.
+func Unmarshal(data []byte) (Message, error) {
+	if len(data) < 1 {
+		return nil, fmt.Errorf("wire: empty message")
+	}
+	ctor, ok := registry[MsgType(data[0])]
+	if !ok {
+		return nil, fmt.Errorf("wire: unknown message type %d", data[0])
+	}
+	m := ctor()
+	d := NewDecoder(data[1:])
+	if err := m.decode(d); err != nil {
+		return nil, err
+	}
+	return m, d.Done()
+}
+
+var registry = map[MsgType]func() Message{
+	TError:            func() Message { return &Error{} },
+	TOK:               func() Message { return &OK{} },
+	TCreateStream:     func() Message { return &CreateStream{} },
+	TDeleteStream:     func() Message { return &DeleteStream{} },
+	TInsertChunk:      func() Message { return &InsertChunk{} },
+	TGetRange:         func() Message { return &GetRange{} },
+	TGetRangeResp:     func() Message { return &GetRangeResp{} },
+	TStatRange:        func() Message { return &StatRange{} },
+	TStatRangeResp:    func() Message { return &StatRangeResp{} },
+	TDeleteRange:      func() Message { return &DeleteRange{} },
+	TRollup:           func() Message { return &Rollup{} },
+	TPutGrant:         func() Message { return &PutGrant{} },
+	TGetGrants:        func() Message { return &GetGrants{} },
+	TGetGrantsResp:    func() Message { return &GetGrantsResp{} },
+	TDeleteGrant:      func() Message { return &DeleteGrant{} },
+	TPutEnvelopes:     func() Message { return &PutEnvelopes{} },
+	TGetEnvelopes:     func() Message { return &GetEnvelopes{} },
+	TGetEnvelopesResp: func() Message { return &GetEnvelopesResp{} },
+	TStreamInfo:       func() Message { return &StreamInfo{} },
+	TStreamInfoResp:   func() Message { return &StreamInfoResp{} },
+	TStageRecord:      func() Message { return &StageRecord{} },
+	TGetStaged:        func() Message { return &GetStaged{} },
+	TGetStagedResp:    func() Message { return &GetStagedResp{} },
+}
+
+// Error is the generic failure response.
+type Error struct {
+	Code uint32
+	Msg  string
+}
+
+// Error codes.
+const (
+	CodeInternal uint32 = iota + 1
+	CodeNotFound
+	CodeBadRequest
+	CodeExists
+)
+
+func (*Error) Type() MsgType { return TError }
+func (m *Error) encode(e *Encoder) {
+	e.U64(uint64(m.Code))
+	e.Str(m.Msg)
+}
+func (m *Error) decode(d *Decoder) error {
+	m.Code = uint32(d.U64())
+	m.Msg = d.Str()
+	return d.Err()
+}
+
+// Error implements the error interface so responses can flow through Go
+// error handling.
+func (m *Error) Error() string { return fmt.Sprintf("server error %d: %s", m.Code, m.Msg) }
+
+// OK is the generic empty success response.
+type OK struct{}
+
+func (*OK) Type() MsgType         { return TOK }
+func (*OK) encode(*Encoder)       {}
+func (*OK) decode(*Decoder) error { return nil }
+
+// StreamConfig is the server-visible stream metadata. The server never sees
+// key material; it needs only the time geometry (epoch, interval), the
+// digest vector length for index arithmetic, and opaque client parameters
+// (digest spec, compression) it hands back to consumers.
+type StreamConfig struct {
+	Epoch       int64  // start of chunk 0, Unix ms
+	Interval    int64  // chunk interval Δ in ms
+	VectorLen   uint32 // digest elements per chunk
+	Fanout      uint32 // index tree arity
+	Compression uint8  // chunk payload codec (client-interpreted)
+	DigestSpec  []byte // opaque chunk.DigestSpec encoding (client-interpreted)
+	Meta        string // free-form stream metadata (metric name, source, …)
+}
+
+// Encode appends the config to an encoder (exported for server-side
+// metadata persistence).
+func (c *StreamConfig) Encode(e *Encoder) { c.encode(e) }
+
+// Decode reads the config from a decoder; check d.Done or d.Err after.
+func (c *StreamConfig) Decode(d *Decoder) { c.decode(d) }
+
+func (c *StreamConfig) encode(e *Encoder) {
+	e.I64(c.Epoch)
+	e.I64(c.Interval)
+	e.U64(uint64(c.VectorLen))
+	e.U64(uint64(c.Fanout))
+	e.U8(c.Compression)
+	e.Blob(c.DigestSpec)
+	e.Str(c.Meta)
+}
+
+func (c *StreamConfig) decode(d *Decoder) {
+	c.Epoch = d.I64()
+	c.Interval = d.I64()
+	c.VectorLen = uint32(d.U64())
+	c.Fanout = uint32(d.U64())
+	c.Compression = d.U8()
+	c.DigestSpec = d.Blob()
+	c.Meta = d.Str()
+}
+
+// CreateStream registers a new stream (Table 1 #1).
+type CreateStream struct {
+	UUID string
+	Cfg  StreamConfig
+}
+
+func (*CreateStream) Type() MsgType { return TCreateStream }
+func (m *CreateStream) encode(e *Encoder) {
+	e.Str(m.UUID)
+	m.Cfg.encode(e)
+}
+func (m *CreateStream) decode(d *Decoder) error {
+	m.UUID = d.Str()
+	m.Cfg.decode(d)
+	return d.Err()
+}
+
+// DeleteStream removes a stream and all associated data (Table 1 #2).
+type DeleteStream struct{ UUID string }
+
+func (*DeleteStream) Type() MsgType       { return TDeleteStream }
+func (m *DeleteStream) encode(e *Encoder) { e.Str(m.UUID) }
+func (m *DeleteStream) decode(d *Decoder) error {
+	m.UUID = d.Str()
+	return d.Err()
+}
+
+// InsertChunk appends one sealed chunk (the wire-level form of Table 1 #4;
+// batching records into chunks happens client-side, §4.6).
+type InsertChunk struct {
+	UUID  string
+	Chunk []byte // chunk.MarshalSealed encoding
+}
+
+func (*InsertChunk) Type() MsgType { return TInsertChunk }
+func (m *InsertChunk) encode(e *Encoder) {
+	e.Str(m.UUID)
+	e.Blob(m.Chunk)
+}
+func (m *InsertChunk) decode(d *Decoder) error {
+	m.UUID = d.Str()
+	m.Chunk = d.Blob()
+	return d.Err()
+}
+
+// GetRange retrieves the sealed chunks overlapping [Ts, Te) (Table 1 #5).
+type GetRange struct {
+	UUID   string
+	Ts, Te int64
+}
+
+func (*GetRange) Type() MsgType { return TGetRange }
+func (m *GetRange) encode(e *Encoder) {
+	e.Str(m.UUID)
+	e.I64(m.Ts)
+	e.I64(m.Te)
+}
+func (m *GetRange) decode(d *Decoder) error {
+	m.UUID = d.Str()
+	m.Ts = d.I64()
+	m.Te = d.I64()
+	return d.Err()
+}
+
+// GetRangeResp carries the matching sealed chunks.
+type GetRangeResp struct{ Chunks [][]byte }
+
+func (*GetRangeResp) Type() MsgType { return TGetRangeResp }
+func (m *GetRangeResp) encode(e *Encoder) {
+	e.U64(uint64(len(m.Chunks)))
+	for _, c := range m.Chunks {
+		e.Blob(c)
+	}
+}
+func (m *GetRangeResp) decode(d *Decoder) error {
+	n := d.U64()
+	if n > 1<<24 {
+		return fmt.Errorf("wire: implausible chunk count %d", n)
+	}
+	m.Chunks = make([][]byte, 0, n)
+	for i := uint64(0); i < n; i++ {
+		m.Chunks = append(m.Chunks, d.Blob())
+	}
+	return d.Err()
+}
+
+// StatRange is the statistical query (Table 1 #6). With multiple UUIDs the
+// server homomorphically sums the per-stream aggregates (inter-stream
+// queries, §4.3). WindowChunks > 0 partitions the range into windows of
+// that many chunks and returns one aggregate per window (granularity
+// queries and resolution-restricted access, §4.4).
+type StatRange struct {
+	UUIDs        []string
+	Ts, Te       int64
+	WindowChunks uint64
+}
+
+func (*StatRange) Type() MsgType { return TStatRange }
+func (m *StatRange) encode(e *Encoder) {
+	e.U64(uint64(len(m.UUIDs)))
+	for _, u := range m.UUIDs {
+		e.Str(u)
+	}
+	e.I64(m.Ts)
+	e.I64(m.Te)
+	e.U64(m.WindowChunks)
+}
+func (m *StatRange) decode(d *Decoder) error {
+	n := d.U64()
+	if n > 1<<16 {
+		return fmt.Errorf("wire: implausible stream count %d", n)
+	}
+	m.UUIDs = make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		m.UUIDs = append(m.UUIDs, d.Str())
+	}
+	m.Ts = d.I64()
+	m.Te = d.I64()
+	m.WindowChunks = d.U64()
+	return d.Err()
+}
+
+// StatRangeResp returns encrypted aggregates. FromChunk/ToChunk report the
+// chunk-position range actually aggregated so clients know which keystream
+// leaves decrypt it.
+type StatRangeResp struct {
+	FromChunk, ToChunk uint64
+	Windows            [][]uint64
+}
+
+func (*StatRangeResp) Type() MsgType { return TStatRangeResp }
+func (m *StatRangeResp) encode(e *Encoder) {
+	e.U64(m.FromChunk)
+	e.U64(m.ToChunk)
+	e.U64(uint64(len(m.Windows)))
+	for _, w := range m.Windows {
+		e.Vec(w)
+	}
+}
+func (m *StatRangeResp) decode(d *Decoder) error {
+	m.FromChunk = d.U64()
+	m.ToChunk = d.U64()
+	n := d.U64()
+	if n > 1<<24 {
+		return fmt.Errorf("wire: implausible window count %d", n)
+	}
+	m.Windows = make([][]uint64, 0, n)
+	for i := uint64(0); i < n; i++ {
+		m.Windows = append(m.Windows, d.Vec())
+	}
+	return d.Err()
+}
+
+// DeleteRange removes chunk payloads in [Ts, Te) while preserving digests
+// (Table 1 #7: "delete specified segment … while maintaining per-chunk
+// digest").
+type DeleteRange struct {
+	UUID   string
+	Ts, Te int64
+}
+
+func (*DeleteRange) Type() MsgType { return TDeleteRange }
+func (m *DeleteRange) encode(e *Encoder) {
+	e.Str(m.UUID)
+	e.I64(m.Ts)
+	e.I64(m.Te)
+}
+func (m *DeleteRange) decode(d *Decoder) error {
+	m.UUID = d.Str()
+	m.Ts = d.I64()
+	m.Te = d.I64()
+	return d.Err()
+}
+
+// Rollup ages out data (Table 1 #3): chunk payloads and index detail below
+// Factor chunks are dropped for [Ts, Te); coarser statistics remain.
+type Rollup struct {
+	UUID   string
+	Factor uint64
+	Ts, Te int64
+}
+
+func (*Rollup) Type() MsgType { return TRollup }
+func (m *Rollup) encode(e *Encoder) {
+	e.Str(m.UUID)
+	e.U64(m.Factor)
+	e.I64(m.Ts)
+	e.I64(m.Te)
+}
+func (m *Rollup) decode(d *Decoder) error {
+	m.UUID = d.Str()
+	m.Factor = d.U64()
+	m.Ts = d.I64()
+	m.Te = d.I64()
+	return d.Err()
+}
+
+// PutGrant stores a hybrid-encrypted access grant in the server key store
+// (Table 1 #8/#9; the blob is opaque to the server).
+type PutGrant struct {
+	UUID      string
+	Principal string // principal identity (public key fingerprint)
+	GrantID   string
+	Blob      []byte
+}
+
+func (*PutGrant) Type() MsgType { return TPutGrant }
+func (m *PutGrant) encode(e *Encoder) {
+	e.Str(m.UUID)
+	e.Str(m.Principal)
+	e.Str(m.GrantID)
+	e.Blob(m.Blob)
+}
+func (m *PutGrant) decode(d *Decoder) error {
+	m.UUID = d.Str()
+	m.Principal = d.Str()
+	m.GrantID = d.Str()
+	m.Blob = d.Blob()
+	return d.Err()
+}
+
+// GetGrants fetches all grant blobs for a principal on a stream.
+type GetGrants struct {
+	UUID      string
+	Principal string
+}
+
+func (*GetGrants) Type() MsgType { return TGetGrants }
+func (m *GetGrants) encode(e *Encoder) {
+	e.Str(m.UUID)
+	e.Str(m.Principal)
+}
+func (m *GetGrants) decode(d *Decoder) error {
+	m.UUID = d.Str()
+	m.Principal = d.Str()
+	return d.Err()
+}
+
+// GetGrantsResp carries the grant blobs.
+type GetGrantsResp struct{ Blobs [][]byte }
+
+func (*GetGrantsResp) Type() MsgType { return TGetGrantsResp }
+func (m *GetGrantsResp) encode(e *Encoder) {
+	e.U64(uint64(len(m.Blobs)))
+	for _, b := range m.Blobs {
+		e.Blob(b)
+	}
+}
+func (m *GetGrantsResp) decode(d *Decoder) error {
+	n := d.U64()
+	if n > 1<<20 {
+		return fmt.Errorf("wire: implausible grant count %d", n)
+	}
+	m.Blobs = make([][]byte, 0, n)
+	for i := uint64(0); i < n; i++ {
+		m.Blobs = append(m.Blobs, d.Blob())
+	}
+	return d.Err()
+}
+
+// DeleteGrant revokes a stored grant (Table 1 #10; forward secrecy comes
+// from the owner no longer extending open-ended grants).
+type DeleteGrant struct {
+	UUID      string
+	Principal string
+	GrantID   string // empty = all grants for the principal
+}
+
+func (*DeleteGrant) Type() MsgType { return TDeleteGrant }
+func (m *DeleteGrant) encode(e *Encoder) {
+	e.Str(m.UUID)
+	e.Str(m.Principal)
+	e.Str(m.GrantID)
+}
+func (m *DeleteGrant) decode(d *Decoder) error {
+	m.UUID = d.Str()
+	m.Principal = d.Str()
+	m.GrantID = d.Str()
+	return d.Err()
+}
+
+// WireEnvelope is a resolution key envelope in transit (§4.4.2).
+type WireEnvelope struct {
+	Index uint64
+	Box   []byte
+}
+
+// PutEnvelopes uploads resolution key envelopes for one resolution stream.
+type PutEnvelopes struct {
+	UUID   string
+	Factor uint64
+	Envs   []WireEnvelope
+}
+
+func (*PutEnvelopes) Type() MsgType { return TPutEnvelopes }
+func (m *PutEnvelopes) encode(e *Encoder) {
+	e.Str(m.UUID)
+	e.U64(m.Factor)
+	e.U64(uint64(len(m.Envs)))
+	for _, env := range m.Envs {
+		e.U64(env.Index)
+		e.Blob(env.Box)
+	}
+}
+func (m *PutEnvelopes) decode(d *Decoder) error {
+	m.UUID = d.Str()
+	m.Factor = d.U64()
+	n := d.U64()
+	if n > 1<<24 {
+		return fmt.Errorf("wire: implausible envelope count %d", n)
+	}
+	m.Envs = make([]WireEnvelope, 0, n)
+	for i := uint64(0); i < n; i++ {
+		m.Envs = append(m.Envs, WireEnvelope{Index: d.U64(), Box: d.Blob()})
+	}
+	return d.Err()
+}
+
+// GetEnvelopes fetches envelopes Lo..Hi (inclusive) for a resolution stream.
+type GetEnvelopes struct {
+	UUID   string
+	Factor uint64
+	Lo, Hi uint64
+}
+
+func (*GetEnvelopes) Type() MsgType { return TGetEnvelopes }
+func (m *GetEnvelopes) encode(e *Encoder) {
+	e.Str(m.UUID)
+	e.U64(m.Factor)
+	e.U64(m.Lo)
+	e.U64(m.Hi)
+}
+func (m *GetEnvelopes) decode(d *Decoder) error {
+	m.UUID = d.Str()
+	m.Factor = d.U64()
+	m.Lo = d.U64()
+	m.Hi = d.U64()
+	return d.Err()
+}
+
+// GetEnvelopesResp carries the requested envelopes.
+type GetEnvelopesResp struct{ Envs []WireEnvelope }
+
+func (*GetEnvelopesResp) Type() MsgType { return TGetEnvelopesResp }
+func (m *GetEnvelopesResp) encode(e *Encoder) {
+	e.U64(uint64(len(m.Envs)))
+	for _, env := range m.Envs {
+		e.U64(env.Index)
+		e.Blob(env.Box)
+	}
+}
+func (m *GetEnvelopesResp) decode(d *Decoder) error {
+	n := d.U64()
+	if n > 1<<24 {
+		return fmt.Errorf("wire: implausible envelope count %d", n)
+	}
+	m.Envs = make([]WireEnvelope, 0, n)
+	for i := uint64(0); i < n; i++ {
+		m.Envs = append(m.Envs, WireEnvelope{Index: d.U64(), Box: d.Blob()})
+	}
+	return d.Err()
+}
+
+// StageRecord uploads one encrypted record in real time, ahead of its
+// chunk (paper §4.6: client-side batching latency "can be eradicated …
+// by instantly uploading encrypted data records in real-time to the
+// datastore and dropping the encrypted records once the corresponding
+// chunk is stored"). The server deletes a chunk's staged records when the
+// sealed chunk arrives.
+type StageRecord struct {
+	UUID       string
+	ChunkIndex uint64
+	Seq        uint64 // record sequence within the chunk
+	Box        []byte // AES-GCM sealed record under the chunk key
+}
+
+func (*StageRecord) Type() MsgType { return TStageRecord }
+func (m *StageRecord) encode(e *Encoder) {
+	e.Str(m.UUID)
+	e.U64(m.ChunkIndex)
+	e.U64(m.Seq)
+	e.Blob(m.Box)
+}
+func (m *StageRecord) decode(d *Decoder) error {
+	m.UUID = d.Str()
+	m.ChunkIndex = d.U64()
+	m.Seq = d.U64()
+	m.Box = d.Blob()
+	return d.Err()
+}
+
+// GetStaged fetches the staged records of one (usually in-progress) chunk.
+type GetStaged struct {
+	UUID       string
+	ChunkIndex uint64
+}
+
+func (*GetStaged) Type() MsgType { return TGetStaged }
+func (m *GetStaged) encode(e *Encoder) {
+	e.Str(m.UUID)
+	e.U64(m.ChunkIndex)
+}
+func (m *GetStaged) decode(d *Decoder) error {
+	m.UUID = d.Str()
+	m.ChunkIndex = d.U64()
+	return d.Err()
+}
+
+// GetStagedResp carries staged record boxes in sequence order.
+type GetStagedResp struct{ Boxes [][]byte }
+
+func (*GetStagedResp) Type() MsgType { return TGetStagedResp }
+func (m *GetStagedResp) encode(e *Encoder) {
+	e.U64(uint64(len(m.Boxes)))
+	for _, b := range m.Boxes {
+		e.Blob(b)
+	}
+}
+func (m *GetStagedResp) decode(d *Decoder) error {
+	n := d.U64()
+	if n > 1<<24 {
+		return fmt.Errorf("wire: implausible staged count %d", n)
+	}
+	m.Boxes = make([][]byte, 0, n)
+	for i := uint64(0); i < n; i++ {
+		m.Boxes = append(m.Boxes, d.Blob())
+	}
+	return d.Err()
+}
+
+// StreamInfo requests stream metadata.
+type StreamInfo struct{ UUID string }
+
+func (*StreamInfo) Type() MsgType       { return TStreamInfo }
+func (m *StreamInfo) encode(e *Encoder) { e.Str(m.UUID) }
+func (m *StreamInfo) decode(d *Decoder) error {
+	m.UUID = d.Str()
+	return d.Err()
+}
+
+// StreamInfoResp returns stream metadata plus ingest progress.
+type StreamInfoResp struct {
+	Cfg   StreamConfig
+	Count uint64 // chunks ingested so far
+}
+
+func (*StreamInfoResp) Type() MsgType { return TStreamInfoResp }
+func (m *StreamInfoResp) encode(e *Encoder) {
+	m.Cfg.encode(e)
+	e.U64(m.Count)
+}
+func (m *StreamInfoResp) decode(d *Decoder) error {
+	m.Cfg.decode(d)
+	m.Count = d.U64()
+	return d.Err()
+}

@@ -1,0 +1,260 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncoderDecoderPrimitives(t *testing.T) {
+	var e Encoder
+	e.U8(200)
+	e.U64(math.MaxUint64)
+	e.I64(-42)
+	e.Bool(true)
+	e.Bool(false)
+	e.Blob([]byte{1, 2, 3})
+	e.Str("hello")
+	e.Vec([]uint64{7, 8, 9})
+	d := NewDecoder(e.Bytes())
+	if d.U8() != 200 {
+		t.Error("u8")
+	}
+	if d.U64() != math.MaxUint64 {
+		t.Error("u64")
+	}
+	if d.I64() != -42 {
+		t.Error("i64")
+	}
+	if !d.Bool() || d.Bool() {
+		t.Error("bool")
+	}
+	if !bytes.Equal(d.Blob(), []byte{1, 2, 3}) {
+		t.Error("blob")
+	}
+	if d.Str() != "hello" {
+		t.Error("str")
+	}
+	if v := d.Vec(); len(v) != 3 || v[0] != 7 || v[2] != 9 {
+		t.Error("vec")
+	}
+	if err := d.Done(); err != nil {
+		t.Errorf("Done: %v", err)
+	}
+}
+
+func TestDecoderLatchesErrors(t *testing.T) {
+	d := NewDecoder([]byte{})
+	d.U8()
+	if d.Err() == nil {
+		t.Fatal("no error after truncated read")
+	}
+	// Subsequent reads keep returning zero values without panicking.
+	if d.U64() != 0 || d.Str() != "" || d.Blob() != nil {
+		t.Error("reads after error returned data")
+	}
+	if d.Done() == nil {
+		t.Error("Done ignored latched error")
+	}
+}
+
+func TestDecoderTrailingBytes(t *testing.T) {
+	d := NewDecoder([]byte{1, 2, 3})
+	d.U8()
+	if d.Done() == nil {
+		t.Error("Done accepted trailing bytes")
+	}
+}
+
+func TestDecoderOversizeClaims(t *testing.T) {
+	var e Encoder
+	e.U64(1 << 40) // claim a huge blob
+	d := NewDecoder(e.Bytes())
+	if d.Blob() != nil || d.Err() == nil {
+		t.Error("oversized blob claim accepted")
+	}
+	var e2 Encoder
+	e2.U64(1 << 40)
+	d2 := NewDecoder(e2.Bytes())
+	if d2.Vec() != nil || d2.Err() == nil {
+		t.Error("oversized vec claim accepted")
+	}
+}
+
+// allMessages returns one populated instance of every message type.
+func allMessages() []Message {
+	return []Message{
+		&Error{Code: CodeNotFound, Msg: "missing"},
+		&OK{},
+		&CreateStream{UUID: "s1", Cfg: StreamConfig{
+			Epoch: 1700000000000, Interval: 10000, VectorLen: 19, Fanout: 64,
+			Compression: 1, DigestSpec: []byte{5, 6}, Meta: "heart-rate",
+		}},
+		&DeleteStream{UUID: "s1"},
+		&InsertChunk{UUID: "s1", Chunk: []byte{9, 9, 9}},
+		&GetRange{UUID: "s1", Ts: -5, Te: 100},
+		&GetRangeResp{Chunks: [][]byte{{1}, {2, 3}, {}}},
+		&StatRange{UUIDs: []string{"a", "b"}, Ts: 0, Te: 99, WindowChunks: 6},
+		&StatRangeResp{FromChunk: 3, ToChunk: 9, Windows: [][]uint64{{1, 2}, {3, 4}}},
+		&DeleteRange{UUID: "s1", Ts: 10, Te: 20},
+		&Rollup{UUID: "s1", Factor: 60, Ts: 0, Te: 1000},
+		&PutGrant{UUID: "s1", Principal: "doc", GrantID: "g1", Blob: []byte{7}},
+		&GetGrants{UUID: "s1", Principal: "doc"},
+		&GetGrantsResp{Blobs: [][]byte{{1, 2}}},
+		&DeleteGrant{UUID: "s1", Principal: "doc", GrantID: "g1"},
+		&PutEnvelopes{UUID: "s1", Factor: 6, Envs: []WireEnvelope{{Index: 0, Box: []byte{1}}, {Index: 1, Box: []byte{2}}}},
+		&GetEnvelopes{UUID: "s1", Factor: 6, Lo: 2, Hi: 9},
+		&GetEnvelopesResp{Envs: []WireEnvelope{{Index: 5, Box: []byte{3, 4}}}},
+		&StreamInfo{UUID: "s1"},
+		&StreamInfoResp{Cfg: StreamConfig{Interval: 60000, VectorLen: 1}, Count: 12345},
+	}
+}
+
+func TestEveryMessageRoundTrips(t *testing.T) {
+	for _, m := range allMessages() {
+		data := Marshal(m)
+		got, err := Unmarshal(data)
+		if err != nil {
+			t.Fatalf("%T: %v", m, err)
+		}
+		if !reflect.DeepEqual(normalize(got), normalize(m)) {
+			t.Errorf("%T round trip mismatch:\n got %#v\nwant %#v", m, got, m)
+		}
+	}
+}
+
+// normalize maps nil and empty slices to a comparable form (the codec may
+// decode an empty list as an allocated empty slice).
+func normalize(m Message) string {
+	return string(Marshal(m))
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	if _, err := Unmarshal(nil); err == nil {
+		t.Error("empty message accepted")
+	}
+	if _, err := Unmarshal([]byte{0xEE}); err == nil {
+		t.Error("unknown type accepted")
+	}
+	// Every message truncated at every boundary must error, not panic.
+	for _, m := range allMessages() {
+		data := Marshal(m)
+		for cut := 0; cut < len(data); cut++ {
+			if _, err := Unmarshal(data[:cut]); err == nil && cut < len(data) {
+				// Some prefixes are legitimately complete
+				// messages (e.g. OK has no payload); only the
+				// type byte being present is required.
+				if cut == 0 {
+					t.Errorf("%T: empty prefix accepted", m)
+				}
+			}
+		}
+	}
+}
+
+func TestUnmarshalRejectsTrailing(t *testing.T) {
+	data := append(Marshal(&OK{}), 0xFF)
+	if _, err := Unmarshal(data); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{{}, {1}, bytes.Repeat([]byte{7}, 100000)}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range payloads {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("frame mismatch: %d vs %d bytes", len(got), len(want))
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Errorf("expected EOF on empty stream, got %v", err)
+	}
+}
+
+func TestFrameLimits(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, make([]byte, MaxFrameSize+1)); err == nil {
+		t.Error("oversized frame written")
+	}
+	// A header claiming an enormous frame must be rejected before
+	// allocation.
+	buf.Reset()
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Error("oversized frame header accepted")
+	}
+	// Truncated body.
+	buf.Reset()
+	buf.Write([]byte{0, 0, 0, 10, 1, 2})
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Error("truncated frame accepted")
+	}
+}
+
+func TestWriteReadMessage(t *testing.T) {
+	var buf bytes.Buffer
+	want := &StatRange{UUIDs: []string{"x"}, Ts: 1, Te: 2, WindowChunks: 3}
+	if err := WriteMessage(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, ok := got.(*StatRange)
+	if !ok || sr.UUIDs[0] != "x" || sr.WindowChunks != 3 {
+		t.Errorf("got %#v", got)
+	}
+}
+
+func TestCodecProperty(t *testing.T) {
+	f := func(u64 uint64, i64 int64, s string, blob []byte, vec []uint64) bool {
+		var e Encoder
+		e.U64(u64)
+		e.I64(i64)
+		e.Str(s)
+		e.Blob(blob)
+		e.Vec(vec)
+		d := NewDecoder(e.Bytes())
+		if d.U64() != u64 || d.I64() != i64 || d.Str() != s {
+			return false
+		}
+		gotBlob := d.Blob()
+		if len(gotBlob) != len(blob) || !bytes.Equal(gotBlob, blob) {
+			return false
+		}
+		gotVec := d.Vec()
+		if len(gotVec) != len(vec) {
+			return false
+		}
+		for i := range vec {
+			if gotVec[i] != vec[i] {
+				return false
+			}
+		}
+		return d.Done() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestErrorImplementsError(t *testing.T) {
+	var err error = &Error{Code: CodeBadRequest, Msg: "nope"}
+	if err.Error() == "" {
+		t.Error("empty error string")
+	}
+}

@@ -1,0 +1,64 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// LatencyRecorder collects operation latencies for quantile reporting. It
+// is not safe for concurrent use: give each worker its own recorder and
+// Merge at the end (avoids measurement-time contention).
+type LatencyRecorder struct {
+	samples []time.Duration
+}
+
+// Record adds one sample.
+func (r *LatencyRecorder) Record(d time.Duration) { r.samples = append(r.samples, d) }
+
+// Merge folds other into r.
+func (r *LatencyRecorder) Merge(other *LatencyRecorder) {
+	r.samples = append(r.samples, other.samples...)
+}
+
+// Count returns the number of samples.
+func (r *LatencyRecorder) Count() int { return len(r.samples) }
+
+// Summary holds the latency distribution of one operation class.
+type Summary struct {
+	Count              int
+	Mean               time.Duration
+	P50, P95, P99, Max time.Duration
+}
+
+// Summarize sorts the samples and extracts the distribution.
+func (r *LatencyRecorder) Summarize() Summary {
+	if len(r.samples) == 0 {
+		return Summary{}
+	}
+	sorted := append([]time.Duration(nil), r.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var total time.Duration
+	for _, d := range sorted {
+		total += d
+	}
+	q := func(p float64) time.Duration {
+		i := int(p * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	return Summary{
+		Count: len(sorted),
+		Mean:  total / time.Duration(len(sorted)),
+		P50:   q(0.50),
+		P95:   q(0.95),
+		P99:   q(0.99),
+		Max:   sorted[len(sorted)-1],
+	}
+}
+
+// String renders the summary for reports.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+		s.Count, s.Mean.Round(time.Microsecond), s.P50.Round(time.Microsecond),
+		s.P95.Round(time.Microsecond), s.P99.Round(time.Microsecond), s.Max.Round(time.Microsecond))
+}

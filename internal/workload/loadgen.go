@@ -1,0 +1,167 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"repro/internal/chunk"
+	"repro/internal/client"
+)
+
+// LoadConfig parameterizes a closed-loop end-to-end run, mirroring the
+// paper's Fig. 7 setup: each worker owns a set of streams and, after every
+// chunk ingest, issues QueriesPerInsert statistical queries (the 4:1
+// read:write ratio).
+type LoadConfig struct {
+	// Workers is the number of concurrent client threads (paper: 100).
+	Workers int
+	// StreamsPerWorker is how many streams each worker writes (paper:
+	// 1200 streams over 100 clients = 12).
+	StreamsPerWorker int
+	// ChunksPerStream is the ingest volume per stream.
+	ChunksPerStream int
+	// QueriesPerInsert is the read:write ratio (paper: 4).
+	QueriesPerInsert int
+	// Generator supplies chunk contents; its PointsPerChunk sets the
+	// records-per-chunk accounting.
+	Generator func(seed uint64) Generator
+	// NewTransport returns a transport per worker (own TCP connection or
+	// shared in-proc engine).
+	NewTransport func() (client.Transport, error)
+	// Interval is the chunk interval Δ in ms.
+	Interval int64
+	// Spec is the digest configuration for all streams.
+	Spec chunk.DigestSpec
+	// Compression for chunk payloads.
+	Compression chunk.Compression
+	// StreamPrefix namespaces stream UUIDs so runs don't collide.
+	StreamPrefix string
+	// Insecure runs the plaintext baseline (no encryption) through the
+	// identical pipeline.
+	Insecure bool
+}
+
+// Report summarizes one load run.
+type Report struct {
+	Workload        string
+	Streams         int
+	Chunks          int
+	Records         int
+	Elapsed         time.Duration
+	IngestRecordsPS float64
+	QueryOpsPS      float64
+	Insert          Summary
+	Query           Summary
+}
+
+// String renders the report.
+func (r Report) String() string {
+	return fmt.Sprintf(
+		"%s: streams=%d chunks=%d records=%d elapsed=%v\n  ingest %.0f records/s (%s)\n  query  %.0f ops/s (%s)",
+		r.Workload, r.Streams, r.Chunks, r.Records, r.Elapsed.Round(time.Millisecond),
+		r.IngestRecordsPS, r.Insert, r.QueryOpsPS, r.Query)
+}
+
+// Run executes the load and aggregates the report.
+func Run(cfg LoadConfig) (Report, error) {
+	if cfg.Workers < 1 || cfg.StreamsPerWorker < 1 || cfg.ChunksPerStream < 1 {
+		return Report{}, fmt.Errorf("workload: workers, streams, chunks must be positive")
+	}
+	if cfg.Interval <= 0 {
+		return Report{}, fmt.Errorf("workload: positive interval required")
+	}
+	epoch := int64(1_700_000_000_000)
+	type workerResult struct {
+		insert, query LatencyRecorder
+		queries       int
+		err           error
+		name          string
+	}
+	results := make([]workerResult, cfg.Workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			res := &results[w]
+			tr, err := cfg.NewTransport()
+			if err != nil {
+				res.err = err
+				return
+			}
+			defer tr.Close()
+			owner := client.NewOwner(tr)
+			rng := rand.New(rand.NewPCG(uint64(w), 0xABCD))
+			streams := make([]*client.OwnerStream, cfg.StreamsPerWorker)
+			gens := make([]Generator, cfg.StreamsPerWorker)
+			for s := range streams {
+				gen := cfg.Generator(uint64(w*cfg.StreamsPerWorker + s))
+				gens[s] = gen
+				res.name = gen.Name()
+				os, err := owner.CreateStream(client.StreamOptions{
+					UUID:        fmt.Sprintf("%s-w%d-s%d", cfg.StreamPrefix, w, s),
+					Epoch:       epoch,
+					Interval:    cfg.Interval,
+					Spec:        cfg.Spec,
+					Compression: cfg.Compression,
+					TreeHeight:  30,
+					Insecure:    cfg.Insecure,
+				})
+				if err != nil {
+					res.err = err
+					return
+				}
+				streams[s] = os
+			}
+			for c := 0; c < cfg.ChunksPerStream; c++ {
+				for s, os := range streams {
+					pts := gens[s].Chunk(uint64(c), epoch, cfg.Interval)
+					t0 := time.Now()
+					if err := os.AppendChunk(pts); err != nil {
+						res.err = err
+						return
+					}
+					res.insert.Record(time.Since(t0))
+					// Statistical queries over a random ingested
+					// range (the paper's 4 queries per ingest).
+					for q := 0; q < cfg.QueriesPerInsert; q++ {
+						hi := int64(c+1) * cfg.Interval
+						lo := int64(rng.IntN(c+1)) * cfg.Interval
+						t0 := time.Now()
+						_, err := os.StatRange(epoch+lo, epoch+hi)
+						if err != nil {
+							res.err = fmt.Errorf("query [%d,%d) after chunk %d: %w", lo, hi, c, err)
+							return
+						}
+						res.query.Record(time.Since(t0))
+						res.queries++
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	report := Report{Elapsed: elapsed}
+	var insert, query LatencyRecorder
+	for w := range results {
+		if results[w].err != nil {
+			return Report{}, results[w].err
+		}
+		insert.Merge(&results[w].insert)
+		query.Merge(&results[w].query)
+		report.Workload = results[w].name
+	}
+	gen := cfg.Generator(0)
+	report.Streams = cfg.Workers * cfg.StreamsPerWorker
+	report.Chunks = report.Streams * cfg.ChunksPerStream
+	report.Records = report.Chunks * gen.PointsPerChunk()
+	report.Insert = insert.Summarize()
+	report.Query = query.Summarize()
+	report.IngestRecordsPS = float64(report.Records) / elapsed.Seconds()
+	report.QueryOpsPS = float64(query.Count()) / elapsed.Seconds()
+	return report, nil
+}

@@ -1,0 +1,104 @@
+// Package workload generates the paper's two end-to-end evaluation
+// workloads (§6.3) and drives closed-loop load against a TimeCrypt server:
+//
+//   - mHealth: a medical-grade wearable reporting 12 metrics at 50 Hz with
+//     10 s chunks (500 points per chunk per metric), and
+//   - DevOps: a TSBS-style data-center CPU monitoring workload with 10
+//     metrics per host, one sample per 10 s, and 1-minute chunks (6 points
+//     per chunk).
+package workload
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/chunk"
+)
+
+// Generator produces the points of one chunk of one stream.
+type Generator interface {
+	// Chunk returns the points for chunk idx of the stream, given the
+	// stream's epoch and interval (ms). Points are in order and within
+	// [epoch + idx·interval, epoch + (idx+1)·interval).
+	Chunk(idx uint64, epoch, interval int64) []chunk.Point
+	// PointsPerChunk reports the constant chunk cardinality.
+	PointsPerChunk() int
+	// Name labels the workload in reports.
+	Name() string
+}
+
+// MHealth models one vital-sign metric from a health wearable: a bounded
+// random walk around a resting heart rate, 50 Hz sampling, values in
+// [40, 200]. Streams are deterministic per seed so runs are reproducible.
+type MHealth struct {
+	RateHz int
+	seed   uint64
+}
+
+// NewMHealth creates a generator with the paper's 50 Hz rate.
+func NewMHealth(seed uint64) *MHealth { return &MHealth{RateHz: 50, seed: seed} }
+
+// Name implements Generator.
+func (g *MHealth) Name() string { return "mhealth" }
+
+// PointsPerChunk implements Generator for the paper's 10 s chunks.
+func (g *MHealth) PointsPerChunk() int { return g.RateHz * 10 }
+
+// Chunk implements Generator.
+func (g *MHealth) Chunk(idx uint64, epoch, interval int64) []chunk.Point {
+	// Derive the chunk's RNG from (seed, idx) so chunks are independent
+	// and reproducible without shared state.
+	r := rand.New(rand.NewPCG(g.seed, idx))
+	n := int(interval) * g.RateHz / 1000
+	pts := make([]chunk.Point, n)
+	v := int64(60 + r.IntN(40)) // resting rate for this chunk
+	step := interval / int64(n)
+	for i := range pts {
+		v += int64(r.IntN(5)) - 2
+		if v < 40 {
+			v = 40
+		}
+		if v > 200 {
+			v = 200
+		}
+		pts[i] = chunk.Point{TS: epoch + int64(idx)*interval + int64(i)*step, Val: v}
+	}
+	return pts
+}
+
+// DevOps models one CPU-utilization metric of one host: percentage values
+// 0..100 sampled every 10 s (TSBS cpu-only style).
+type DevOps struct {
+	SampleEveryMS int64
+	seed          uint64
+}
+
+// NewDevOps creates a generator with the paper's 10 s sample rate.
+func NewDevOps(seed uint64) *DevOps { return &DevOps{SampleEveryMS: 10_000, seed: seed} }
+
+// Name implements Generator.
+func (g *DevOps) Name() string { return "devops" }
+
+// PointsPerChunk implements Generator for the paper's 1-minute chunks.
+func (g *DevOps) PointsPerChunk() int { return 6 }
+
+// Chunk implements Generator.
+func (g *DevOps) Chunk(idx uint64, epoch, interval int64) []chunk.Point {
+	r := rand.New(rand.NewPCG(g.seed, idx))
+	n := int(interval / g.SampleEveryMS)
+	if n < 1 {
+		n = 1
+	}
+	pts := make([]chunk.Point, n)
+	base := int64(r.IntN(80))
+	for i := range pts {
+		v := base + int64(r.IntN(21)) - 10
+		if v < 0 {
+			v = 0
+		}
+		if v > 100 {
+			v = 100
+		}
+		pts[i] = chunk.Point{TS: epoch + int64(idx)*interval + int64(i)*g.SampleEveryMS, Val: v}
+	}
+	return pts
+}

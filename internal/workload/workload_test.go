@@ -1,0 +1,151 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/chunk"
+	"repro/internal/client"
+	"repro/internal/kv"
+	"repro/internal/server"
+)
+
+func TestMHealthGenerator(t *testing.T) {
+	g := NewMHealth(1)
+	if g.Name() != "mhealth" {
+		t.Error("name")
+	}
+	if g.PointsPerChunk() != 500 {
+		t.Errorf("PointsPerChunk = %d, want 500 (50 Hz x 10 s)", g.PointsPerChunk())
+	}
+	pts := g.Chunk(3, 1000, 10_000)
+	if len(pts) != 500 {
+		t.Fatalf("chunk has %d points", len(pts))
+	}
+	for i, p := range pts {
+		if p.TS < 1000+3*10_000 || p.TS >= 1000+4*10_000 {
+			t.Fatalf("point %d at %d outside chunk interval", i, p.TS)
+		}
+		if p.Val < 40 || p.Val > 200 {
+			t.Fatalf("point %d value %d outside physiological range", i, p.Val)
+		}
+		if i > 0 && p.TS < pts[i-1].TS {
+			t.Fatal("points out of order")
+		}
+	}
+	// Deterministic per seed, distinct across seeds.
+	again := NewMHealth(1).Chunk(3, 1000, 10_000)
+	if again[0] != pts[0] || again[499] != pts[499] {
+		t.Error("generator not deterministic")
+	}
+	other := NewMHealth(2).Chunk(3, 1000, 10_000)
+	same := true
+	for i := range other {
+		if other[i] != pts[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical chunks")
+	}
+}
+
+func TestDevOpsGenerator(t *testing.T) {
+	g := NewDevOps(7)
+	if g.PointsPerChunk() != 6 {
+		t.Errorf("PointsPerChunk = %d, want 6 (10 s rate, 1 min chunk)", g.PointsPerChunk())
+	}
+	pts := g.Chunk(0, 0, 60_000)
+	if len(pts) != 6 {
+		t.Fatalf("chunk has %d points", len(pts))
+	}
+	for _, p := range pts {
+		if p.Val < 0 || p.Val > 100 {
+			t.Errorf("CPU value %d outside [0,100]", p.Val)
+		}
+	}
+}
+
+func TestLatencyRecorder(t *testing.T) {
+	var r LatencyRecorder
+	if s := r.Summarize(); s.Count != 0 {
+		t.Error("empty recorder has samples")
+	}
+	for i := 1; i <= 100; i++ {
+		r.Record(time.Duration(i) * time.Millisecond)
+	}
+	s := r.Summarize()
+	if s.Count != 100 {
+		t.Errorf("count = %d", s.Count)
+	}
+	if s.P50 < 45*time.Millisecond || s.P50 > 55*time.Millisecond {
+		t.Errorf("p50 = %v", s.P50)
+	}
+	if s.P99 < 95*time.Millisecond {
+		t.Errorf("p99 = %v", s.P99)
+	}
+	if s.Max != 100*time.Millisecond {
+		t.Errorf("max = %v", s.Max)
+	}
+	if s.Mean != 50500*time.Microsecond {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	var other LatencyRecorder
+	other.Record(time.Second)
+	r.Merge(&other)
+	if r.Count() != 101 {
+		t.Error("merge failed")
+	}
+	if s.String() == "" {
+		t.Error("empty summary string")
+	}
+}
+
+func TestLoadRunEndToEnd(t *testing.T) {
+	engine, err := server.New(kv.NewMemStore(), server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := Run(LoadConfig{
+		Workers:          4,
+		StreamsPerWorker: 2,
+		ChunksPerStream:  5,
+		QueriesPerInsert: 4,
+		Generator:        func(seed uint64) Generator { return NewMHealth(seed) },
+		NewTransport:     func() (client.Transport, error) { return &client.InProc{Engine: engine}, nil },
+		Interval:         10_000,
+		Spec:             chunk.DigestSpec{Sum: true, Count: true},
+		StreamPrefix:     "test",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Streams != 8 || report.Chunks != 40 {
+		t.Errorf("streams=%d chunks=%d", report.Streams, report.Chunks)
+	}
+	if report.Records != 40*500 {
+		t.Errorf("records=%d", report.Records)
+	}
+	if report.Insert.Count != 40 {
+		t.Errorf("insert samples=%d", report.Insert.Count)
+	}
+	if report.Query.Count != 160 {
+		t.Errorf("query samples=%d", report.Query.Count)
+	}
+	if report.IngestRecordsPS <= 0 || report.QueryOpsPS <= 0 {
+		t.Error("throughput not positive")
+	}
+	if report.String() == "" {
+		t.Error("empty report")
+	}
+}
+
+func TestLoadRunValidation(t *testing.T) {
+	if _, err := Run(LoadConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := Run(LoadConfig{Workers: 1, StreamsPerWorker: 1, ChunksPerStream: 1}); err == nil {
+		t.Error("zero interval accepted")
+	}
+}

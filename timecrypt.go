@@ -1,0 +1,130 @@
+// Package timecrypt is the public API of this TimeCrypt reproduction: an
+// encrypted time series data store with additively homomorphic encryption
+// (HEAC) and cryptographic access control (NSDI 2020).
+//
+// The package re-exports the client and server engines behind stable
+// names. A minimal end-to-end flow:
+//
+//	store := timecrypt.NewMemStore()
+//	engine, _ := timecrypt.NewEngine(store, timecrypt.EngineConfig{})
+//	owner := timecrypt.NewOwner(timecrypt.NewInProcTransport(engine))
+//	s, _ := owner.CreateStream(timecrypt.StreamOptions{
+//		UUID: "heart-rate", Epoch: epochMS, Interval: 10_000,
+//	})
+//	_ = s.Append(timecrypt.Point{TS: epochMS, Val: 72})
+//	res, _ := s.StatRange(epochMS, epochMS+3_600_000)
+//
+// Sharing: generate a consumer key pair, then s.Grant(pub, from, to,
+// factor) — factor 0 grants full resolution, factor f >= 2 restricts the
+// principal to f-chunk aggregates, enforced by encryption rather than
+// server policy (see the package docs of internal/core for the scheme).
+package timecrypt
+
+import (
+	"context"
+	"net"
+
+	"repro/internal/chunk"
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/crypto/hybrid"
+	"repro/internal/kv"
+	"repro/internal/server"
+)
+
+// Re-exported data types.
+type (
+	// Point is one time series record (Unix-ms timestamp, integer value).
+	Point = chunk.Point
+	// DigestSpec selects the per-chunk statistics a stream supports.
+	DigestSpec = chunk.DigestSpec
+	// Compression selects the chunk payload codec.
+	Compression = chunk.Compression
+	// Result is a decrypted statistical answer.
+	Result = chunk.Result
+	// FitResult is a privately fitted linear model (LinFit digests).
+	FitResult = chunk.FitResult
+	// FixedPoint scales float readings onto HEAC's integer domain.
+	FixedPoint = chunk.FixedPoint
+	// StatResult is a Result with its time extent.
+	StatResult = client.StatResult
+	// StreamOptions configures stream creation.
+	StreamOptions = client.StreamOptions
+	// Owner is the data-owner/producer client.
+	Owner = client.Owner
+	// OwnerStream is an owned stream handle (ingest, grants, queries).
+	OwnerStream = client.OwnerStream
+	// Consumer is a data-consumer client (principal).
+	Consumer = client.Consumer
+	// ConsumerStream is a principal's view of a granted stream.
+	ConsumerStream = client.ConsumerStream
+	// KeyPair is a principal identity key.
+	KeyPair = hybrid.KeyPair
+	// Transport carries protocol messages to a server.
+	Transport = client.Transport
+	// Engine is the untrusted server engine.
+	Engine = server.Engine
+	// EngineConfig parameterizes the server engine.
+	EngineConfig = server.Config
+	// Server is the TCP front end.
+	Server = server.Server
+	// Store is the key-value storage contract.
+	Store = kv.Store
+	// PRGKind selects the key-tree PRG construction.
+	PRGKind = core.PRGKind
+)
+
+// Compression codecs.
+const (
+	CompressionZlib = chunk.CompressionZlib
+	CompressionNone = chunk.CompressionNone
+)
+
+// Key-tree PRG constructions (see Fig. 6 of the paper for the trade-off).
+const (
+	PRGAES    = core.PRGAES
+	PRGSHA256 = core.PRGSHA256
+	PRGHMAC   = core.PRGHMAC
+)
+
+// NewMemStore returns the in-memory KV store (the Cassandra substitute).
+func NewMemStore() *kv.MemStore { return kv.NewMemStore() }
+
+// NewEngine creates a server engine over a store.
+func NewEngine(store Store, cfg EngineConfig) (*Engine, error) { return server.New(store, cfg) }
+
+// NewTCPServer wraps an engine in the TCP front end; logf may be nil.
+func NewTCPServer(engine *Engine, logf func(string, ...any)) *Server {
+	return server.NewServer(engine, logf)
+}
+
+// ServeTCP runs a server on the listener until ctx is cancelled.
+func ServeTCP(ctx context.Context, srv *Server, lis net.Listener) error {
+	return srv.Serve(ctx, lis)
+}
+
+// NewInProcTransport connects a client directly to an engine in the same
+// process (still exercising the wire codec).
+func NewInProcTransport(engine *Engine) Transport { return &client.InProc{Engine: engine} }
+
+// DialTCP connects a client transport to a remote server.
+func DialTCP(addr string) (Transport, error) { return client.DialTCP(addr) }
+
+// NewOwner creates a data-owner client over a transport.
+func NewOwner(t Transport) *Owner { return client.NewOwner(t) }
+
+// NewConsumer creates a data-consumer client with its identity key pair.
+func NewConsumer(t Transport, kp *KeyPair) *Consumer { return client.NewConsumer(t, kp) }
+
+// GenerateKeyPair creates a principal identity key pair.
+func GenerateKeyPair() (*KeyPair, error) { return hybrid.GenerateKeyPair() }
+
+// DefaultSpec returns the digest configuration supporting the paper's
+// default query set (sum, count, mean, var, freq, min/max).
+func DefaultSpec() DigestSpec { return chunk.DefaultSpec() }
+
+// SumOnlySpec returns the single-statistic digest used in microbenchmarks.
+func SumOnlySpec() DigestSpec { return chunk.SumOnlySpec() }
+
+// PrincipalID derives the server-side identity string for a public key.
+func PrincipalID(pub []byte) string { return client.PrincipalID(pub) }

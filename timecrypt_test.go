@@ -1,0 +1,123 @@
+package timecrypt_test
+
+import (
+	"testing"
+
+	timecrypt "repro"
+)
+
+// TestPublicAPIQuickstart walks the README's quickstart through the public
+// facade: server, owner ingest, statistical queries, sharing, restriction.
+func TestPublicAPIQuickstart(t *testing.T) {
+	engine, err := timecrypt.NewEngine(timecrypt.NewMemStore(), timecrypt.EngineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := timecrypt.NewInProcTransport(engine)
+	owner := timecrypt.NewOwner(tr)
+	epoch := int64(1_700_000_000_000)
+	s, err := owner.CreateStream(timecrypt.StreamOptions{
+		UUID:     "api-test",
+		Epoch:    epoch,
+		Interval: 10_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 120; i++ {
+		ts := epoch + int64(i)*5000 // 2 points per chunk
+		if err := s.Append(timecrypt.Point{TS: ts, Val: int64(60 + i%10)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.StatRange(epoch, epoch+600_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 120 {
+		t.Fatalf("count = %d, want 120", res.Count)
+	}
+	if res.Mean < 60 || res.Mean > 70 {
+		t.Errorf("mean = %v", res.Mean)
+	}
+
+	// Share at 6-chunk (1 minute) resolution.
+	if err := s.EnableResolution(6); err != nil {
+		t.Fatal(err)
+	}
+	kp, err := timecrypt.GenerateKeyPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Grant(kp.PublicBytes(), epoch, epoch+600_000, 6); err != nil {
+		t.Fatal(err)
+	}
+	consumer := timecrypt.NewConsumer(tr, kp)
+	view, err := consumer.OpenStream("api-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, err := view.StatSeries(epoch, epoch+600_000, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 10 {
+		t.Fatalf("got %d windows, want 10", len(series))
+	}
+	if _, err := view.Points(epoch, epoch+10_000); err == nil {
+		t.Error("resolution-restricted consumer read raw points")
+	}
+	if timecrypt.PrincipalID(kp.PublicBytes()) == "" {
+		t.Error("empty principal id")
+	}
+}
+
+// TestPublicAPIInsecureBaseline covers the plaintext mode used by the
+// benchmark comparisons.
+func TestPublicAPIInsecureBaseline(t *testing.T) {
+	engine, err := timecrypt.NewEngine(timecrypt.NewMemStore(), timecrypt.EngineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := timecrypt.NewOwner(timecrypt.NewInProcTransport(engine))
+	epoch := int64(1_700_000_000_000)
+	s, err := owner.CreateStream(timecrypt.StreamOptions{
+		UUID: "plain", Epoch: epoch, Interval: 10_000, Insecure: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		start := epoch + int64(i)*10_000
+		if err := s.AppendChunk([]timecrypt.Point{{TS: start, Val: int64(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := s.StatRange(epoch, epoch+100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 10 || res.Sum != 45 {
+		t.Errorf("count=%d sum=%d", res.Count, res.Sum)
+	}
+	pts, err := s.Points(epoch, epoch+100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 10 {
+		t.Errorf("points=%d", len(pts))
+	}
+}
+
+// TestSpecHelpers covers the exported digest-spec constructors.
+func TestSpecHelpers(t *testing.T) {
+	if timecrypt.DefaultSpec().VectorLen() != 19 {
+		t.Errorf("default spec width %d", timecrypt.DefaultSpec().VectorLen())
+	}
+	if timecrypt.SumOnlySpec().VectorLen() != 1 {
+		t.Error("sum-only spec width")
+	}
+}
