@@ -6,8 +6,8 @@
 //	timecrypt-bench -run all -scale 1.0
 //	timecrypt-bench -run table2,fig5
 //
-// Experiments: table2, table3, fig5, fig6, fig7, fig8, access, devops.
-// Scale > 1 approaches the paper's sizes (and run times).
+// Experiments: table2, table3, fig5, fig6, fig7, fig8, access, devops,
+// cluster. Scale > 1 approaches the paper's sizes (and run times).
 package main
 
 import (
@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	runList := flag.String("run", "all", "comma-separated experiments (table2,table3,fig5,fig6,fig7,fig8,access,devops) or 'all'")
+	runList := flag.String("run", "all", "comma-separated experiments (table2,table3,fig5,fig6,fig7,fig8,access,devops,cluster) or 'all'")
 	scale := flag.Float64("scale", 1.0, "experiment scale factor (1.0 = laptop-sized defaults)")
 	flag.Parse()
 
@@ -43,6 +43,7 @@ func main() {
 		{"fig8", func(w io.Writer, o bench.Options) error { _, err := bench.Fig8(w, o); return err }},
 		{"access", func(w io.Writer, o bench.Options) error { _, err := bench.AccessControl(w, o); return err }},
 		{"devops", func(w io.Writer, o bench.Options) error { _, err := bench.DevOps(w, o); return err }},
+		{"cluster", func(w io.Writer, o bench.Options) error { _, err := bench.Cluster(w, o); return err }},
 	}
 
 	want := map[string]bool{}

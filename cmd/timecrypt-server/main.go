@@ -1,69 +1,141 @@
-// Command timecrypt-server runs a standalone TimeCrypt server: the
-// untrusted engine over the in-memory KV store, fronted by the TCP
-// protocol. Optional snapshots give restart durability.
+// Command timecrypt-server runs a standalone TimeCrypt server: one or more
+// untrusted engine shards over the in-memory KV store (or a remote storage
+// node), fronted by the TCP protocol. Optional snapshots give restart
+// durability.
 //
 // Usage:
 //
 //	timecrypt-server -addr :7733 -cache 0 -snapshot data.tcsnap -snapshot-every 60s
+//
+// Scale-out: -shards N hosts N engine shards in this process, each over
+// its own partition of the store, with streams placed by consistent
+// hashing; -peers routes to remote timecrypt-server shards over the wire
+// protocol (peers-only unless -shards is given explicitly, in which case
+// the process hosts local shards alongside the peers):
+//
+//	timecrypt-server -addr :7733 -shards 4
+//	timecrypt-server -addr :7700 -peers host1:7733,host2:7733
+//
+// Shard count and peer list must be stable across restarts: placement is
+// derived from them, and this reproduction does not move data between
+// shards.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/kv"
 	"repro/internal/server"
 )
 
 func main() {
 	addr := flag.String("addr", ":7733", "listen address")
-	cache := flag.Int64("cache", 0, "index cache budget in bytes (0 = unbounded)")
+	cache := flag.Int64("cache", 0, "index cache budget in bytes per shard (0 = unbounded)")
 	kvAddr := flag.String("kv-addr", "", "remote timecrypt-kvd storage node (default: local in-memory store)")
 	kvPool := flag.Int("kv-pool", 8, "connections to the remote storage node")
 	snapshot := flag.String("snapshot", "", "snapshot file to load at start and write periodically (local store only)")
 	snapshotEvery := flag.Duration("snapshot-every", time.Minute, "snapshot interval")
+	shards := flag.Int("shards", 1, "engine shards hosted in this process, each over its own store partition (stable across restarts)")
+	peers := flag.String("peers", "", "comma-separated remote timecrypt-server shards to route to (stable across restarts)")
+	peerConns := flag.Int("peer-conns", 4, "connections per remote peer shard")
 	flag.Parse()
 
+	var store kv.Store
+	var mem *kv.MemStore
 	if *kvAddr != "" {
 		remote, err := kv.DialRemoteStore(*kvAddr, *kvPool)
 		if err != nil {
 			log.Fatalf("connecting to storage node: %v", err)
 		}
 		log.Printf("using remote storage node %s", *kvAddr)
-		engine, err := server.New(remote, server.Config{CacheBytes: *cache})
+		store = remote
+	} else {
+		mem = kv.NewMemStore()
+		if *snapshot != "" {
+			if f, err := os.Open(*snapshot); err == nil {
+				if err := kv.ReadSnapshot(f, mem); err != nil {
+					log.Fatalf("loading snapshot: %v", err)
+				}
+				f.Close()
+				log.Printf("loaded snapshot %s (%d keys)", *snapshot, mem.Len())
+			} else if !errors.Is(err, os.ErrNotExist) {
+				log.Fatalf("opening snapshot: %v", err)
+			}
+		}
+		store = mem
+	}
+
+	var peerList []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, p)
+		}
+	}
+	nLocal := *shards
+	if len(peerList) > 0 {
+		// -peers without an explicit -shards means a pure routing tier:
+		// a silently added local in-memory shard would own a slice of
+		// the ring with no durability.
+		shardsSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "shards" {
+				shardsSet = true
+			}
+		})
+		if !shardsSet {
+			nLocal = 0
+		}
+	}
+	if nLocal < 0 || (nLocal == 0 && len(peerList) == 0) {
+		log.Fatalf("need at least one local shard or peer")
+	}
+
+	var handler server.Handler
+	var router *cluster.Router
+	if len(peerList) == 0 && nLocal == 1 {
+		engine, err := server.New(store, server.Config{CacheBytes: *cache})
 		if err != nil {
 			log.Fatalf("starting engine: %v", err)
 		}
-		serveEngine(engine, *addr)
-		return
-	}
-
-	store := kv.NewMemStore()
-	if *snapshot != "" {
-		if f, err := os.Open(*snapshot); err == nil {
-			if err := kv.ReadSnapshot(f, store); err != nil {
-				log.Fatalf("loading snapshot: %v", err)
+		handler = engine
+	} else {
+		var shardCfgs []cluster.Shard
+		for i := 0; i < nLocal; i++ {
+			part := kv.NewPrefixStore(store, fmt.Sprintf("s%d/", i))
+			engine, err := server.New(part, server.Config{CacheBytes: *cache})
+			if err != nil {
+				log.Fatalf("starting shard %d: %v", i, err)
 			}
-			f.Close()
-			log.Printf("loaded snapshot %s (%d keys)", *snapshot, store.Len())
-		} else if !errors.Is(err, os.ErrNotExist) {
-			log.Fatalf("opening snapshot: %v", err)
+			shardCfgs = append(shardCfgs, cluster.Shard{Name: fmt.Sprintf("local-%d", i), Handler: engine})
 		}
+		for _, p := range peerList {
+			sh, err := cluster.NewTCPShard(p, p, *peerConns)
+			if err != nil {
+				log.Fatalf("dialing peer shard: %v", err)
+			}
+			shardCfgs = append(shardCfgs, sh)
+		}
+		var err error
+		router, err = cluster.NewRouter(shardCfgs, cluster.Options{})
+		if err != nil {
+			log.Fatalf("building router: %v", err)
+		}
+		log.Printf("routing across %d shards (%d local, %d peers)", len(shardCfgs), nLocal, len(peerList))
+		handler = router
 	}
 
-	engine, err := server.New(store, server.Config{CacheBytes: *cache})
-	if err != nil {
-		log.Fatalf("starting engine: %v", err)
-	}
-	srv := server.NewServer(engine, log.Printf)
-
+	srv := server.NewServer(handler, log.Printf)
 	lis, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("listening on %s: %v", *addr, err)
@@ -73,7 +145,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if *snapshot != "" {
+	if mem != nil && *snapshot != "" {
 		go func() {
 			ticker := time.NewTicker(*snapshotEvery)
 			defer ticker.Stop()
@@ -82,7 +154,7 @@ func main() {
 				case <-ctx.Done():
 					return
 				case <-ticker.C:
-					if err := writeSnapshot(*snapshot, store); err != nil {
+					if err := writeSnapshot(*snapshot, mem); err != nil {
 						log.Printf("snapshot failed: %v", err)
 					}
 				}
@@ -93,29 +165,21 @@ func main() {
 	if err := srv.Serve(ctx, lis); err != nil && !errors.Is(err, context.Canceled) {
 		log.Printf("serve: %v", err)
 	}
-	if *snapshot != "" {
-		if err := writeSnapshot(*snapshot, store); err != nil {
+	if mem != nil && *snapshot != "" {
+		if err := writeSnapshot(*snapshot, mem); err != nil {
 			log.Printf("final snapshot failed: %v", err)
 		} else {
 			log.Printf("wrote snapshot %s", *snapshot)
 		}
 	}
-	log.Printf("store stats: %s", store.Stats())
-}
-
-// serveEngine runs the TCP front end until interrupted (remote-store mode,
-// where durability is the storage node's job).
-func serveEngine(engine *server.Engine, addr string) {
-	srv := server.NewServer(engine, log.Printf)
-	lis, err := net.Listen("tcp", addr)
-	if err != nil {
-		log.Fatalf("listening on %s: %v", addr, err)
+	if mem != nil {
+		log.Printf("store stats: %s", mem.Stats())
 	}
-	log.Printf("timecrypt-server listening on %s", lis.Addr())
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	if err := srv.Serve(ctx, lis); err != nil && !errors.Is(err, context.Canceled) {
-		log.Printf("serve: %v", err)
+	if router != nil {
+		for _, s := range router.Stats() {
+			log.Printf("shard %s: requests=%d fanouts=%d errors=%d", s.Name, s.Requests, s.Fanouts, s.Errors)
+		}
+		router.Close()
 	}
 }
 

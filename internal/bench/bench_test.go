@@ -279,3 +279,27 @@ func TestOptionsScaled(t *testing.T) {
 		t.Error("scaled multiply broken")
 	}
 }
+
+func TestClusterRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second benchmark harness")
+	}
+	results, err := Cluster(io.Discard, tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("got %d configs", len(results))
+	}
+	for _, r := range results {
+		if r.Report.IngestRecordsPS <= 0 || r.Report.QueryOpsPS <= 0 {
+			t.Errorf("%s: no throughput", r.Config)
+		}
+	}
+	if results[0].Shards != 1 || results[2].Shards != 4 {
+		t.Errorf("unexpected shard counts: %+v", results)
+	}
+	// The scale-out claim (sharded >= 1.5x single-lock) is asserted by
+	// the full-scale run; at tiny scale only the harness shape is
+	// checked.
+}

@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+
+	"repro/internal/chunk"
+	"repro/internal/client"
+	"repro/internal/cluster"
+	"repro/internal/kv"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// ClusterResult is one scale-out configuration's outcome.
+type ClusterResult struct {
+	Config string
+	Shards int
+	Report workload.Report
+}
+
+// Cluster measures the horizontal scale-out the paper claims for
+// TimeCrypt's stateless server tier (§3.2): the same closed-loop
+// ingest+query workload against (a) one engine behind one lock (the
+// pre-sharding architecture), (b) one lock-striped engine, and (c) a
+// consistent-hash router over N engine shards, each with its own store
+// partition. Sharding pays twice: stream operations on different shards
+// share no locks, and every per-operation store cost (most visibly the
+// staged-record prefix scan on ingest) runs over a 1/N-sized store.
+func Cluster(w io.Writer, opts Options) ([]ClusterResult, error) {
+	workers := opts.scaled(2 * runtime.GOMAXPROCS(0))
+	if workers < 4 {
+		workers = 4
+	}
+	streamsPer := 4
+	chunks := opts.scaled(300)
+	fmt.Fprintf(w, "Cluster scale-out: %d workers x %d streams, %d chunks/stream, 6 records/chunk, 4 queries per insert\n\n",
+		workers, streamsPer, chunks)
+	spec := chunk.DigestSpec{Sum: true, Count: true, SumSq: true}
+
+	newHandler := func(shards, stripes int) (server.Handler, error) {
+		if shards <= 1 {
+			return server.New(kv.NewMemStore(), server.Config{Stripes: stripes})
+		}
+		cfgs := make([]cluster.Shard, shards)
+		for i := range cfgs {
+			engine, err := server.New(kv.NewMemStore(), server.Config{})
+			if err != nil {
+				return nil, err
+			}
+			cfgs[i] = cluster.Shard{Name: fmt.Sprintf("shard-%d", i), Handler: engine}
+		}
+		return cluster.NewRouter(cfgs, cluster.Options{})
+	}
+
+	run := func(name string, shards, stripes int) (ClusterResult, error) {
+		handler, err := newHandler(shards, stripes)
+		if err != nil {
+			return ClusterResult{}, err
+		}
+		report, err := workload.Run(workload.LoadConfig{
+			Workers:          workers,
+			StreamsPerWorker: streamsPer,
+			ChunksPerStream:  chunks,
+			QueriesPerInsert: 4,
+			Generator:        func(seed uint64) workload.Generator { return workload.NewDevOps(seed) },
+			NewTransport: func() (client.Transport, error) {
+				return &client.InProc{Engine: handler}, nil
+			},
+			Interval:     10_000,
+			Spec:         spec,
+			Compression:  chunk.CompressionNone,
+			StreamPrefix: name,
+		})
+		if err != nil {
+			return ClusterResult{}, err
+		}
+		return ClusterResult{Config: name, Shards: shards, Report: report}, nil
+	}
+
+	configs := []struct {
+		name    string
+		shards  int
+		stripes int
+	}{
+		{"1 engine, 1 lock", 1, 1},
+		{"1 engine, striped", 1, 0},
+		{"4-shard router", 4, 0},
+		{"8-shard router", 8, 0},
+	}
+	var results []ClusterResult
+	for _, cfg := range configs {
+		// Level the field: drop the previous configuration's store and
+		// give the collector a clean slate before timing.
+		runtime.GC()
+		res, err := run(cfg.name, cfg.shards, cfg.stripes)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, res)
+	}
+
+	t := &table{header: []string{"Config", "Ingest rec/s", "Query ops/s", "Insert p50", "Insert p99", "Query p50", "Query p99"}}
+	for _, r := range results {
+		t.add(r.Config,
+			fmt.Sprintf("%.0f", r.Report.IngestRecordsPS),
+			fmt.Sprintf("%.0f", r.Report.QueryOpsPS),
+			fmtDur(r.Report.Insert.P50), fmtDur(r.Report.Insert.P99),
+			fmtDur(r.Report.Query.P50), fmtDur(r.Report.Query.P99))
+	}
+	t.write(w)
+
+	base := results[0].Report
+	if base.IngestRecordsPS > 0 {
+		fmt.Fprintln(w)
+		for _, r := range results[1:] {
+			fmt.Fprintf(w, "%-18s ingest %.2fx, query %.2fx vs single-lock baseline\n",
+				r.Config+":", r.Report.IngestRecordsPS/base.IngestRecordsPS,
+				r.Report.QueryOpsPS/base.QueryOpsPS)
+		}
+	}
+	return results, nil
+}

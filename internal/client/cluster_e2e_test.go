@@ -1,0 +1,272 @@
+// End-to-end proof that an unmodified Owner/Consumer drives a sharded
+// cluster exactly as it drives a single engine: same client code, same
+// crypto, only the transport's handler differs. Lives in an external test
+// package because cluster imports client.
+package client_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/chunk"
+	"repro/internal/client"
+	"repro/internal/cluster"
+	"repro/internal/crypto/hybrid"
+	"repro/internal/kv"
+	"repro/internal/server"
+)
+
+const (
+	e2eEpoch    = int64(1_700_000_000_000)
+	e2eInterval = int64(10_000)
+)
+
+// newClusterTransport builds a router over n engines (each with its own
+// store) and wraps it in the codec-exercising in-proc transport.
+func newClusterTransport(t *testing.T, n int) (client.Transport, *cluster.Router) {
+	t.Helper()
+	var shards []cluster.Shard
+	for i := 0; i < n; i++ {
+		engine, err := server.New(kv.NewMemStore(), server.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards = append(shards, cluster.Shard{Name: fmt.Sprintf("shard-%d", i), Handler: engine})
+	}
+	router, err := cluster.NewRouter(shards, cluster.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &client.InProc{Engine: router}, router
+}
+
+func e2eOpts(uuid string) client.StreamOptions {
+	return client.StreamOptions{
+		UUID:     uuid,
+		Epoch:    e2eEpoch,
+		Interval: e2eInterval,
+		Spec:     chunk.DigestSpec{Sum: true, Count: true, SumSq: true},
+		Fanout:   8,
+	}
+}
+
+// fill appends n chunks of 5 points each with deterministic values.
+func fill(t *testing.T, s *client.OwnerStream, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		start := e2eEpoch + int64(i)*e2eInterval
+		pts := make([]chunk.Point, 5)
+		for p := range pts {
+			pts[p] = chunk.Point{TS: start + int64(p)*2000, Val: int64(60 + i%20)}
+		}
+		if err := s.AppendChunk(pts); err != nil {
+			t.Fatalf("chunk %d: %v", i, err)
+		}
+	}
+}
+
+// TestClusterE2E runs the full owner flows — create, append, seal, stat
+// queries, grants, consumer decryption, multi-stream queries, listing, and
+// deletion — against a 4-shard router.
+func TestClusterE2E(t *testing.T) {
+	tr, router := newClusterTransport(t, 4)
+	owner := client.NewOwner(tr)
+
+	// Enough streams to cover several shards.
+	const nStreams = 8
+	const nChunks = 12
+	streams := make([]*client.OwnerStream, nStreams)
+	uuids := make([]string, nStreams)
+	shardsHit := map[string]bool{}
+	for i := range streams {
+		uuids[i] = fmt.Sprintf("cluster-e2e-%d", i)
+		s, err := owner.CreateStream(e2eOpts(uuids[i]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fill(t, s, nChunks)
+		streams[i] = s
+		shardsHit[router.Owner(uuids[i])] = true
+	}
+	if len(shardsHit) < 2 {
+		t.Fatalf("streams cover %d shards; need a cross-shard spread", len(shardsHit))
+	}
+
+	// Owner-side statistical queries decrypt shard-local aggregates.
+	var wantSum int64
+	for i := 0; i < nChunks; i++ {
+		wantSum += 5 * int64(60+i%20)
+	}
+	for _, s := range streams {
+		res, err := s.StatRange(e2eEpoch, e2eEpoch+int64(nChunks)*e2eInterval)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Count != 5*nChunks || res.Sum != wantSum {
+			t.Fatalf("stream %s: count=%d sum=%d, want %d/%d", s.UUID(), res.Count, res.Sum, 5*nChunks, wantSum)
+		}
+	}
+
+	// Grants + consumer decryption, with the two granted streams on
+	// different shards so StatMulti exercises the cross-shard fan-out.
+	a := 0
+	b := -1
+	for i := 1; i < nStreams; i++ {
+		if router.Owner(uuids[i]) != router.Owner(uuids[a]) {
+			b = i
+			break
+		}
+	}
+	if b < 0 {
+		t.Fatal("no two streams on different shards")
+	}
+	kp, err := hybrid.GenerateKeyPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi := e2eEpoch + int64(nChunks)*e2eInterval
+	if _, err := streams[a].Grant(kp.PublicBytes(), e2eEpoch, hi, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := streams[b].Grant(kp.PublicBytes(), e2eEpoch, hi, 0); err != nil {
+		t.Fatal(err)
+	}
+	consumer := client.NewConsumer(tr, kp)
+	ca, err := consumer.OpenStream(uuids[a])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := consumer.OpenStream(uuids[b])
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := ca.StatRange(e2eEpoch, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Sum != wantSum {
+		t.Fatalf("consumer sum = %d, want %d", single.Sum, wantSum)
+	}
+	multi, err := consumer.StatMulti([]*client.ConsumerStream{ca, cb}, e2eEpoch, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.Count != 2*5*nChunks || multi.Sum != 2*wantSum {
+		t.Fatalf("cross-shard StatMulti count=%d sum=%d, want %d/%d", multi.Count, multi.Sum, 2*5*nChunks, 2*wantSum)
+	}
+
+	// Resolution-restricted grant on a third stream.
+	rs, err := owner.CreateStream(e2eOpts("cluster-e2e-res"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.EnableResolution(6); err != nil {
+		t.Fatal(err)
+	}
+	fill(t, rs, nChunks)
+	kp2, _ := hybrid.GenerateKeyPair()
+	if _, err := rs.Grant(kp2.PublicBytes(), e2eEpoch, hi, 6); err != nil {
+		t.Fatal(err)
+	}
+	consumer2 := client.NewConsumer(tr, kp2)
+	crs, err := consumer2.OpenStream("cluster-e2e-res")
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, err := crs.StatSeries(e2eEpoch, hi, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("got %d windows, want 2", len(series))
+	}
+	if _, err := crs.StatRange(e2eEpoch, hi); err == nil {
+		t.Error("restricted principal decrypted full resolution")
+	}
+
+	// Raw point retrieval crosses the router too.
+	pts, err := streams[a].Points(e2eEpoch, e2eEpoch+e2eInterval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 5 {
+		t.Fatalf("got %d points, want 5", len(pts))
+	}
+
+	// Listing merges all shards; deletion routes to the owner shard.
+	listed, err := owner.ListStreams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(listed) != nStreams+1 {
+		t.Fatalf("listed %d streams, want %d", len(listed), nStreams+1)
+	}
+	if err := owner.DeleteStream(uuids[a]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := consumer.OpenStream(uuids[a]); err == nil {
+		t.Error("deleted stream still opens")
+	}
+	listed, err = owner.ListStreams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(listed) != nStreams {
+		t.Fatalf("listed %d streams after delete, want %d", len(listed), nStreams)
+	}
+}
+
+// TestClusterMatchesSingleEngine runs one identical flow against a single
+// engine and a 4-shard cluster and compares every decrypted answer.
+func TestClusterMatchesSingleEngine(t *testing.T) {
+	engine, err := server.New(kv.NewMemStore(), server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	singleTr := &client.InProc{Engine: engine}
+	clusterTr, _ := newClusterTransport(t, 4)
+
+	type answers struct {
+		sum     int64
+		count   uint64
+		windows []int64
+	}
+	run := func(tr client.Transport) answers {
+		owner := client.NewOwner(tr)
+		var out answers
+		for i := 0; i < 4; i++ {
+			s, err := owner.CreateStream(e2eOpts(fmt.Sprintf("parity-%d", i)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			fill(t, s, 8)
+			res, err := s.StatRange(e2eEpoch, e2eEpoch+8*e2eInterval)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out.sum += res.Sum
+			out.count += res.Count
+			series, err := s.StatSeries(e2eEpoch, e2eEpoch+8*e2eInterval, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range series {
+				out.windows = append(out.windows, w.Sum)
+			}
+		}
+		return out
+	}
+	single := run(singleTr)
+	sharded := run(clusterTr)
+	if single.sum != sharded.sum || single.count != sharded.count {
+		t.Fatalf("totals differ: single %+v, sharded %+v", single, sharded)
+	}
+	if len(single.windows) != len(sharded.windows) {
+		t.Fatalf("window counts differ: %d vs %d", len(single.windows), len(sharded.windows))
+	}
+	for i := range single.windows {
+		if single.windows[i] != sharded.windows[i] {
+			t.Fatalf("window %d differs: %d vs %d", i, single.windows[i], sharded.windows[i])
+		}
+	}
+}

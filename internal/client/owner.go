@@ -164,6 +164,16 @@ func (o *Owner) DeleteStream(uuid string) error {
 	return err
 }
 
+// ListStreams returns the sorted UUIDs of every stream the server (or,
+// through a cluster router, every engine shard) currently serves.
+func (o *Owner) ListStreams() ([]string, error) {
+	resp, err := call[*wire.ListStreamsResp](o.t, &wire.ListStreams{})
+	if err != nil {
+		return nil, err
+	}
+	return resp.UUIDs, nil
+}
+
 // UUID returns the stream identifier.
 func (s *OwnerStream) UUID() string { return s.uuid }
 

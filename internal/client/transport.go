@@ -46,7 +46,9 @@ func call[T wire.Message](t Transport, req wire.Message) (T, error) {
 // codec (marshal → server dispatch → marshal), so in-process benchmarks
 // measure serialization like the paper's single-machine runs do.
 type InProc struct {
-	Engine *server.Engine
+	// Engine is any request handler: a *server.Engine or a
+	// cluster.Router over several of them.
+	Engine server.Handler
 	// SkipCodec bypasses the marshal/unmarshal round trip for
 	// microbenchmarks that isolate crypto/index cost.
 	SkipCodec bool

@@ -1,0 +1,344 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+// Shard names one engine shard and its request handler: an in-process
+// *server.Engine, a remote engine via NewTCPShard, or any other
+// server.Handler.
+type Shard struct {
+	Name    string
+	Handler server.Handler
+}
+
+// Options tunes router construction.
+type Options struct {
+	// VirtualNodes per shard on the consistent-hash ring; <= 0 means
+	// DefaultVirtualNodes.
+	VirtualNodes int
+}
+
+// Router routes protocol requests to the engine shard owning each stream
+// and fans out cross-shard operations. It implements server.Handler (serve
+// it with server.NewServer) and the client Transport contract (drive it
+// with an unmodified Owner/Consumer). Safe for concurrent use.
+type Router struct {
+	ring   *Ring
+	shards map[string]*shardState
+	order  []string
+}
+
+type shardState struct {
+	name     string
+	handler  server.Handler
+	requests atomic.Uint64 // directly routed requests
+	fanouts  atomic.Uint64 // sub-requests from cross-shard fan-outs
+	errors   atomic.Uint64 // *wire.Error responses observed
+}
+
+// ShardStats is one shard's observability snapshot.
+type ShardStats struct {
+	Name     string
+	Requests uint64 // directly routed requests
+	Fanouts  uint64 // sub-requests issued by cross-shard fan-outs
+	Errors   uint64 // error responses returned by the shard
+}
+
+// NewRouter builds a router over the given shards.
+func NewRouter(shards []Shard, opts Options) (*Router, error) {
+	names := make([]string, 0, len(shards))
+	states := make(map[string]*shardState, len(shards))
+	for _, sh := range shards {
+		if sh.Handler == nil {
+			return nil, fmt.Errorf("cluster: shard %q has nil handler", sh.Name)
+		}
+		if _, dup := states[sh.Name]; dup {
+			return nil, fmt.Errorf("cluster: duplicate shard %q", sh.Name)
+		}
+		names = append(names, sh.Name)
+		states[sh.Name] = &shardState{name: sh.Name, handler: sh.Handler}
+	}
+	ring, err := NewRing(names, opts.VirtualNodes)
+	if err != nil {
+		return nil, err
+	}
+	return &Router{ring: ring, shards: states, order: names}, nil
+}
+
+// Owner returns the name of the shard owning a stream UUID.
+func (r *Router) Owner(uuid string) string { return r.ring.Owner(uuid) }
+
+// Shards returns the shard names in construction order.
+func (r *Router) Shards() []string { return append([]string(nil), r.order...) }
+
+// Stats snapshots per-shard request counters.
+func (r *Router) Stats() []ShardStats {
+	out := make([]ShardStats, 0, len(r.order))
+	for _, name := range r.order {
+		s := r.shards[name]
+		out = append(out, ShardStats{
+			Name:     s.name,
+			Requests: s.requests.Load(),
+			Fanouts:  s.fanouts.Load(),
+			Errors:   s.errors.Load(),
+		})
+	}
+	return out
+}
+
+// RoundTrip implements the client Transport contract in-process.
+func (r *Router) RoundTrip(req wire.Message) (wire.Message, error) {
+	return r.Handle(req), nil
+}
+
+// Close implements the client Transport contract: it closes every shard
+// handler that holds resources (remote shards).
+func (r *Router) Close() error {
+	var first error
+	for _, name := range r.order {
+		if c, ok := r.shards[name].handler.(io.Closer); ok {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// Handle implements server.Handler: single-stream requests go to the
+// owning shard; StatRange and ListStreams may fan out.
+func (r *Router) Handle(req wire.Message) wire.Message {
+	switch m := req.(type) {
+	case *wire.StatRange:
+		return r.statRange(m)
+	case *wire.ListStreams:
+		return r.listStreams()
+	default:
+		uuid, ok := requestUUID(req)
+		if !ok {
+			return &wire.Error{Code: wire.CodeBadRequest, Msg: "unsupported request type"}
+		}
+		return r.route(uuid, req)
+	}
+}
+
+// requestUUID extracts the routing key of a single-stream request.
+func requestUUID(req wire.Message) (string, bool) {
+	switch m := req.(type) {
+	case *wire.CreateStream:
+		return m.UUID, true
+	case *wire.DeleteStream:
+		return m.UUID, true
+	case *wire.InsertChunk:
+		return m.UUID, true
+	case *wire.GetRange:
+		return m.UUID, true
+	case *wire.DeleteRange:
+		return m.UUID, true
+	case *wire.Rollup:
+		return m.UUID, true
+	case *wire.PutGrant:
+		return m.UUID, true
+	case *wire.GetGrants:
+		return m.UUID, true
+	case *wire.DeleteGrant:
+		return m.UUID, true
+	case *wire.PutEnvelopes:
+		return m.UUID, true
+	case *wire.GetEnvelopes:
+		return m.UUID, true
+	case *wire.StreamInfo:
+		return m.UUID, true
+	case *wire.StageRecord:
+		return m.UUID, true
+	case *wire.GetStaged:
+		return m.UUID, true
+	default:
+		return "", false
+	}
+}
+
+func (r *Router) route(uuid string, req wire.Message) wire.Message {
+	s := r.shards[r.ring.Owner(uuid)]
+	s.requests.Add(1)
+	resp := s.handler.Handle(req)
+	if _, isErr := resp.(*wire.Error); isErr {
+		s.errors.Add(1)
+	}
+	return resp
+}
+
+// fanout sends one sub-request to a shard, counting it against the shard's
+// fan-out and error totals.
+func (r *Router) fanout(s *shardState, req wire.Message) wire.Message {
+	s.fanouts.Add(1)
+	resp := s.handler.Handle(req)
+	if _, isErr := resp.(*wire.Error); isErr {
+		s.errors.Add(1)
+	}
+	return resp
+}
+
+// listStreams merges the stream listings of every shard.
+func (r *Router) listStreams() wire.Message {
+	type result struct{ resp wire.Message }
+	results := make([]result, len(r.order))
+	var wg sync.WaitGroup
+	for i, name := range r.order {
+		wg.Add(1)
+		go func(i int, s *shardState) {
+			defer wg.Done()
+			results[i].resp = r.fanout(s, &wire.ListStreams{})
+		}(i, r.shards[name])
+	}
+	wg.Wait()
+	var uuids []string
+	for _, res := range results {
+		switch m := res.resp.(type) {
+		case *wire.ListStreamsResp:
+			uuids = append(uuids, m.UUIDs...)
+		case *wire.Error:
+			return m
+		default:
+			return &wire.Error{Code: wire.CodeInternal, Msg: fmt.Sprintf("cluster: unexpected listing response %T", res.resp)}
+		}
+	}
+	sort.Strings(uuids)
+	return &wire.ListStreamsResp{UUIDs: uuids}
+}
+
+// statRange routes a statistical query. Queries whose streams all live on
+// one shard pass straight through; cross-shard queries are clamped to the
+// common ingested range, fanned out per shard, and homomorphically summed.
+func (r *Router) statRange(m *wire.StatRange) wire.Message {
+	if len(m.UUIDs) == 0 {
+		return &wire.Error{Code: wire.CodeBadRequest, Msg: "server: no streams given"}
+	}
+	groups := make(map[string][]string)
+	var groupOrder []string
+	for _, uuid := range m.UUIDs {
+		owner := r.ring.Owner(uuid)
+		if _, seen := groups[owner]; !seen {
+			groupOrder = append(groupOrder, owner)
+		}
+		groups[owner] = append(groups[owner], uuid)
+	}
+	if len(groupOrder) == 1 {
+		return r.route(m.UUIDs[0], m)
+	}
+
+	// Pre-pass: fetch geometry and ingest progress for every stream so
+	// each shard can be handed a range clamped identically — the engine
+	// clamps multi-stream queries to the shortest stream, and the router
+	// must preserve that across shards. The lookups are independent, so
+	// fetch them concurrently (deduplicated: a UUID may repeat).
+	unique := make([]string, 0, len(m.UUIDs))
+	seen := make(map[string]bool, len(m.UUIDs))
+	for _, uuid := range m.UUIDs {
+		if !seen[uuid] {
+			seen[uuid] = true
+			unique = append(unique, uuid)
+		}
+	}
+	infos := make([]wire.Message, len(unique))
+	var infoWG sync.WaitGroup
+	for i, uuid := range unique {
+		infoWG.Add(1)
+		go func(i int, uuid string) {
+			defer infoWG.Done()
+			// Counted as fan-out traffic: these are internal
+			// sub-requests of the cross-shard query, not directly
+			// routed client requests.
+			infos[i] = r.fanout(r.shards[r.ring.Owner(uuid)], &wire.StreamInfo{UUID: uuid})
+		}(i, uuid)
+	}
+	infoWG.Wait()
+	var (
+		epoch, interval int64
+		vectorLen       uint32
+		minCount        uint64
+	)
+	first := unique[0]
+	for i, resp := range infos {
+		info, ok := resp.(*wire.StreamInfoResp)
+		if !ok {
+			if e, isErr := resp.(*wire.Error); isErr {
+				return e
+			}
+			return &wire.Error{Code: wire.CodeInternal, Msg: fmt.Sprintf("cluster: unexpected info response %T", resp)}
+		}
+		if i == 0 {
+			epoch, interval, vectorLen = info.Cfg.Epoch, info.Cfg.Interval, info.Cfg.VectorLen
+			minCount = info.Count
+			continue
+		}
+		if info.Cfg.Epoch != epoch || info.Cfg.Interval != interval || info.Cfg.VectorLen != vectorLen {
+			return &wire.Error{Code: wire.CodeBadRequest, Msg: fmt.Sprintf(
+				"server: stream %q geometry differs from %q (inter-stream queries need matching epoch/interval/digest)", unique[i], first)}
+		}
+		if info.Count < minCount {
+			minCount = info.Count
+		}
+	}
+	if minCount == 0 {
+		return &wire.Error{Code: wire.CodeBadRequest, Msg: "server: no common ingested range across streams"}
+	}
+	te := m.Te
+	if maxTe := epoch + int64(minCount)*interval; te > maxTe {
+		te = maxTe
+	}
+	if te <= m.Ts {
+		return &wire.Error{Code: wire.CodeBadRequest, Msg: fmt.Sprintf("server: no ingested chunks in range [%d,%d)", m.Ts, m.Te)}
+	}
+
+	// Fan out one sub-query per shard; every shard sees the same clamped
+	// range and therefore computes the same chunk window.
+	results := make([]wire.Message, len(groupOrder))
+	var wg sync.WaitGroup
+	for i, owner := range groupOrder {
+		wg.Add(1)
+		go func(i int, s *shardState, uuids []string) {
+			defer wg.Done()
+			results[i] = r.fanout(s, &wire.StatRange{UUIDs: uuids, Ts: m.Ts, Te: te, WindowChunks: m.WindowChunks})
+		}(i, r.shards[owner], groups[owner])
+	}
+	wg.Wait()
+
+	var merged *wire.StatRangeResp
+	for _, resp := range results {
+		part, ok := resp.(*wire.StatRangeResp)
+		if !ok {
+			if e, isErr := resp.(*wire.Error); isErr {
+				return e
+			}
+			return &wire.Error{Code: wire.CodeInternal, Msg: fmt.Sprintf("cluster: unexpected stat response %T", resp)}
+		}
+		if merged == nil {
+			merged = &wire.StatRangeResp{FromChunk: part.FromChunk, ToChunk: part.ToChunk, Windows: part.Windows}
+			continue
+		}
+		if part.FromChunk != merged.FromChunk || part.ToChunk != merged.ToChunk || len(part.Windows) != len(merged.Windows) {
+			return &wire.Error{Code: wire.CodeInternal, Msg: fmt.Sprintf(
+				"cluster: shard windows disagree ([%d,%d)x%d vs [%d,%d)x%d)",
+				part.FromChunk, part.ToChunk, len(part.Windows),
+				merged.FromChunk, merged.ToChunk, len(merged.Windows))}
+		}
+		for w := range merged.Windows {
+			if len(part.Windows[w]) != len(merged.Windows[w]) {
+				return &wire.Error{Code: wire.CodeInternal, Msg: "cluster: shard window vectors disagree"}
+			}
+			for x := range merged.Windows[w] {
+				merged.Windows[w][x] += part.Windows[w][x]
+			}
+		}
+	}
+	return merged
+}

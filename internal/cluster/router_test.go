@@ -1,0 +1,325 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/chunk"
+	"repro/internal/kv"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+// testCluster is a router over n in-process engines, each with its own
+// store.
+type testCluster struct {
+	router  *Router
+	engines []*server.Engine
+	names   []string
+	spec    chunk.DigestSpec
+	cfg     wire.StreamConfig
+}
+
+func newTestCluster(t *testing.T, n int) *testCluster {
+	t.Helper()
+	tc := &testCluster{spec: chunk.DigestSpec{Sum: true, Count: true}}
+	specBytes, _ := tc.spec.MarshalBinary()
+	tc.cfg = wire.StreamConfig{
+		Epoch: 0, Interval: 100, VectorLen: uint32(tc.spec.VectorLen()),
+		Fanout: 8, DigestSpec: specBytes,
+	}
+	var shards []Shard
+	for i := 0; i < n; i++ {
+		engine, err := server.New(kv.NewMemStore(), server.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := fmt.Sprintf("shard-%d", i)
+		tc.engines = append(tc.engines, engine)
+		tc.names = append(tc.names, name)
+		shards = append(shards, Shard{Name: name, Handler: engine})
+	}
+	router, err := NewRouter(shards, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.router = router
+	return tc
+}
+
+func (tc *testCluster) engineFor(uuid string) *server.Engine {
+	owner := tc.router.Owner(uuid)
+	for i, name := range tc.names {
+		if name == owner {
+			return tc.engines[i]
+		}
+	}
+	return nil
+}
+
+// createStream registers a stream through the router and fails the test on
+// error.
+func (tc *testCluster) createStream(t *testing.T, uuid string) {
+	t.Helper()
+	if resp := tc.router.Handle(&wire.CreateStream{UUID: uuid, Cfg: tc.cfg}); !isOK(resp) {
+		t.Fatalf("CreateStream(%q) -> %#v", uuid, resp)
+	}
+}
+
+// ingest seals n plaintext chunks (one point each, value i+1) through the
+// router.
+func (tc *testCluster) ingest(t *testing.T, uuid string, n uint64) {
+	t.Helper()
+	for i := uint64(0); i < n; i++ {
+		start := int64(i) * 100
+		sealed, err := chunk.SealPlain(tc.spec, chunk.CompressionNone, i, start, start+100,
+			[]chunk.Point{{TS: start, Val: int64(i + 1)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp := tc.router.Handle(&wire.InsertChunk{UUID: uuid, Chunk: chunk.MarshalSealed(sealed)}); !isOK(resp) {
+			t.Fatalf("InsertChunk(%q, %d) -> %#v", uuid, i, resp)
+		}
+	}
+}
+
+func isOK(m wire.Message) bool { _, ok := m.(*wire.OK); return ok }
+
+func TestRouterPlacementAndSingleStreamOps(t *testing.T) {
+	tc := newTestCluster(t, 4)
+	const streams = 16
+	var uuids []string
+	for i := 0; i < streams; i++ {
+		uuid := fmt.Sprintf("stream-%d", i)
+		uuids = append(uuids, uuid)
+		tc.createStream(t, uuid)
+		tc.ingest(t, uuid, 3)
+	}
+	// Every stream lives on exactly the engine the ring names.
+	total := 0
+	for i, engine := range tc.engines {
+		for _, uuid := range engine.ListStreams() {
+			if got := tc.router.Owner(uuid); got != tc.names[i] {
+				t.Errorf("stream %q on engine %s but owned by %s", uuid, tc.names[i], got)
+			}
+			total++
+		}
+	}
+	if total != streams {
+		t.Errorf("placed %d streams, want %d", total, streams)
+	}
+	// Single-stream operations route transparently.
+	for _, uuid := range uuids {
+		if info, ok := tc.router.Handle(&wire.StreamInfo{UUID: uuid}).(*wire.StreamInfoResp); !ok || info.Count != 3 {
+			t.Fatalf("StreamInfo(%q) wrong", uuid)
+		}
+		sr, ok := tc.router.Handle(&wire.StatRange{UUIDs: []string{uuid}, Ts: 0, Te: 300}).(*wire.StatRangeResp)
+		if !ok || len(sr.Windows) != 1 {
+			t.Fatalf("StatRange(%q) wrong", uuid)
+		}
+		if sr.Windows[0][0] != 1+2+3 {
+			t.Errorf("StatRange(%q) sum = %d, want 6", uuid, sr.Windows[0][0])
+		}
+		if gr, ok := tc.router.Handle(&wire.GetRange{UUID: uuid, Ts: 0, Te: 300}).(*wire.GetRangeResp); !ok || len(gr.Chunks) != 3 {
+			t.Fatalf("GetRange(%q) wrong", uuid)
+		}
+	}
+	// Deletion removes the stream from its owner shard only.
+	victim := uuids[0]
+	if resp := tc.router.Handle(&wire.DeleteStream{UUID: victim}); !isOK(resp) {
+		t.Fatalf("DeleteStream -> %#v", resp)
+	}
+	if e, ok := tc.router.Handle(&wire.StreamInfo{UUID: victim}).(*wire.Error); !ok || e.Code != wire.CodeNotFound {
+		t.Error("deleted stream still resolves")
+	}
+	if lr, ok := tc.router.Handle(&wire.ListStreams{}).(*wire.ListStreamsResp); !ok || len(lr.UUIDs) != streams-1 {
+		t.Errorf("listing after delete wrong: %#v", tc.router.Handle(&wire.ListStreams{}))
+	}
+}
+
+func TestRouterListStreamsMergesSorted(t *testing.T) {
+	tc := newTestCluster(t, 4)
+	want := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	// Create in reverse to prove the merge sorts.
+	for i := len(want) - 1; i >= 0; i-- {
+		tc.createStream(t, want[i])
+	}
+	lr, ok := tc.router.Handle(&wire.ListStreams{}).(*wire.ListStreamsResp)
+	if !ok {
+		t.Fatal("listing failed")
+	}
+	if len(lr.UUIDs) != len(want) {
+		t.Fatalf("got %d streams, want %d", len(lr.UUIDs), len(want))
+	}
+	for i, uuid := range want {
+		if lr.UUIDs[i] != uuid {
+			t.Fatalf("listing[%d] = %q, want %q (merge not sorted?)", i, lr.UUIDs[i], uuid)
+		}
+	}
+}
+
+func TestRouterStats(t *testing.T) {
+	tc := newTestCluster(t, 4)
+	tc.createStream(t, "s")
+	tc.router.Handle(&wire.StreamInfo{UUID: "s"})
+	tc.router.Handle(&wire.StreamInfo{UUID: "missing"}) // error response
+	tc.router.Handle(&wire.ListStreams{})               // fan-out
+	var requests, fanouts, errors uint64
+	for _, s := range tc.router.Stats() {
+		requests += s.Requests
+		fanouts += s.Fanouts
+		errors += s.Errors
+	}
+	if requests != 3 { // create + 2 infos
+		t.Errorf("requests = %d, want 3", requests)
+	}
+	if fanouts != 4 { // listing hits all 4 shards
+		t.Errorf("fanouts = %d, want 4", fanouts)
+	}
+	if errors != 1 {
+		t.Errorf("errors = %d, want 1", errors)
+	}
+}
+
+func TestRouterCrossShardStatRange(t *testing.T) {
+	tc := newTestCluster(t, 4)
+	// Find streams on at least two different shards.
+	var uuids []string
+	owners := make(map[string]bool)
+	for i := 0; len(uuids) < 6; i++ {
+		uuid := fmt.Sprintf("cross-%d", i)
+		uuids = append(uuids, uuid)
+		owners[tc.router.Owner(uuid)] = true
+	}
+	if len(owners) < 2 {
+		t.Fatal("test streams all landed on one shard; pick different UUIDs")
+	}
+	for _, uuid := range uuids {
+		tc.createStream(t, uuid)
+		tc.ingest(t, uuid, 10)
+	}
+	// Cross-shard aggregate = homomorphic sum over all streams.
+	sr, ok := tc.router.Handle(&wire.StatRange{UUIDs: uuids, Ts: 0, Te: 1000}).(*wire.StatRangeResp)
+	if !ok {
+		t.Fatalf("cross-shard StatRange failed: %#v", tc.router.Handle(&wire.StatRange{UUIDs: uuids, Ts: 0, Te: 1000}))
+	}
+	perStream := uint64(1 + 2 + 3 + 4 + 5 + 6 + 7 + 8 + 9 + 10)
+	if sr.FromChunk != 0 || sr.ToChunk != 10 || len(sr.Windows) != 1 {
+		t.Fatalf("window shape wrong: %+v", sr)
+	}
+	if sr.Windows[0][0] != perStream*uint64(len(uuids)) {
+		t.Errorf("sum = %d, want %d", sr.Windows[0][0], perStream*uint64(len(uuids)))
+	}
+	if sr.Windows[0][1] != uint64(10*len(uuids)) { // count element
+		t.Errorf("count = %d, want %d", sr.Windows[0][1], 10*len(uuids))
+	}
+
+	// Windowed cross-shard queries share one grid.
+	sr, ok = tc.router.Handle(&wire.StatRange{UUIDs: uuids, Ts: 0, Te: 1000, WindowChunks: 5}).(*wire.StatRangeResp)
+	if !ok || len(sr.Windows) != 2 {
+		t.Fatalf("windowed cross-shard query wrong: %#v", sr)
+	}
+	if sr.Windows[0][0] != uint64(1+2+3+4+5)*uint64(len(uuids)) {
+		t.Errorf("window 0 sum = %d", sr.Windows[0][0])
+	}
+
+	// A shorter stream clamps the merged range, exactly like one engine.
+	short := "cross-short"
+	tc.createStream(t, short)
+	tc.ingest(t, short, 4)
+	sr, ok = tc.router.Handle(&wire.StatRange{UUIDs: append(uuids, short), Ts: 0, Te: 1000}).(*wire.StatRangeResp)
+	if !ok {
+		t.Fatal("clamped cross-shard query failed")
+	}
+	if sr.FromChunk != 0 || sr.ToChunk != 4 {
+		t.Errorf("clamped range [%d,%d), want [0,4)", sr.FromChunk, sr.ToChunk)
+	}
+	if want := uint64(1+2+3+4) * uint64(len(uuids)+1); sr.Windows[0][0] != want {
+		t.Errorf("clamped sum = %d, want %d", sr.Windows[0][0], want)
+	}
+
+	// Geometry mismatches are rejected, like one engine.
+	badCfg := tc.cfg
+	badCfg.Interval = 999
+	if resp := tc.router.Handle(&wire.CreateStream{UUID: "cross-odd", Cfg: badCfg}); !isOK(resp) {
+		t.Fatalf("create: %#v", resp)
+	}
+	if e, ok := tc.router.Handle(&wire.StatRange{UUIDs: []string{uuids[0], "cross-odd"}, Ts: 0, Te: 1000}).(*wire.Error); !ok || e.Code != wire.CodeBadRequest {
+		t.Error("geometry mismatch not rejected")
+	}
+	// Unknown stream in a cross-shard query surfaces NotFound.
+	if e, ok := tc.router.Handle(&wire.StatRange{UUIDs: []string{uuids[0], "nope"}, Ts: 0, Te: 1000}).(*wire.Error); !ok || e.Code != wire.CodeNotFound {
+		t.Error("missing stream not surfaced")
+	}
+}
+
+func TestRouterRejectsNonRequests(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	if e, ok := tc.router.Handle(&wire.OK{}).(*wire.Error); !ok || e.Code != wire.CodeBadRequest {
+		t.Error("response-type message accepted")
+	}
+	if e, ok := tc.router.Handle(&wire.StatRange{}).(*wire.Error); !ok || e.Code != wire.CodeBadRequest {
+		t.Error("empty StatRange accepted")
+	}
+}
+
+// TestRouterConcurrent hammers one router with parallel ingest, queries,
+// listings, and deletions across many streams; run with -race.
+func TestRouterConcurrent(t *testing.T) {
+	tc := newTestCluster(t, 4)
+	const streams = 24
+	const chunks = 15
+	uuids := make([]string, streams)
+	for i := range uuids {
+		uuids[i] = fmt.Sprintf("hammer-%d", i)
+		tc.createStream(t, uuids[i])
+	}
+	var wg sync.WaitGroup
+	// One writer per stream (append order is per-stream).
+	for _, uuid := range uuids {
+		wg.Add(1)
+		go func(uuid string) {
+			defer wg.Done()
+			tc.ingest(t, uuid, chunks)
+		}(uuid)
+	}
+	// Readers: stat queries and listings racing the writers.
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				uuid := uuids[(r*50+i)%streams]
+				resp := tc.router.Handle(&wire.StatRange{UUIDs: []string{uuid}, Ts: 0, Te: chunks * 100})
+				switch resp.(type) {
+				case *wire.StatRangeResp, *wire.Error: // "no data yet" races are fine
+				default:
+					t.Errorf("unexpected response %T", resp)
+				}
+				tc.router.Handle(&wire.ListStreams{})
+			}
+		}(r)
+	}
+	// Churn: create/delete disjoint victim streams.
+	for d := 0; d < 4; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				uuid := fmt.Sprintf("victim-%d-%d", d, i)
+				tc.createStream(t, uuid)
+				if resp := tc.router.Handle(&wire.DeleteStream{UUID: uuid}); !isOK(resp) {
+					t.Errorf("delete %q -> %#v", uuid, resp)
+				}
+			}
+		}(d)
+	}
+	wg.Wait()
+	for _, uuid := range uuids {
+		info, ok := tc.router.Handle(&wire.StreamInfo{UUID: uuid}).(*wire.StreamInfoResp)
+		if !ok || info.Count != chunks {
+			t.Fatalf("stream %q count wrong after hammer: %#v", uuid, info)
+		}
+	}
+}

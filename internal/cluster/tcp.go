@@ -1,0 +1,94 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/client"
+	"repro/internal/wire"
+)
+
+// tcpShard forwards requests to a remote TimeCrypt engine over the wire
+// protocol. A fixed pool of connection slots carries concurrent requests
+// (requests on one slot serialize, matching the server's
+// one-goroutine-per-connection front end). A slot whose connection fails
+// is discarded — never reused, since a mid-round-trip failure can desync
+// request/response framing — and redialed on the slot's next use, so a
+// peer restart heals without restarting the router.
+type tcpShard struct {
+	addr   string
+	next   atomic.Uint64
+	closed atomic.Bool
+	slots  []*tcpSlot
+}
+
+type tcpSlot struct {
+	mu   sync.Mutex
+	conn *client.TCP // nil when awaiting (re)dial
+}
+
+// NewTCPShard dials a remote engine at addr with a pool of conns
+// connections (minimum 1) and returns it as a routable shard. The shard's
+// connections are closed by Router.Close.
+func NewTCPShard(name, addr string, conns int) (Shard, error) {
+	if conns < 1 {
+		conns = 1
+	}
+	t := &tcpShard{addr: addr, slots: make([]*tcpSlot, conns)}
+	for i := range t.slots {
+		c, err := client.DialTCP(addr)
+		if err != nil {
+			t.Close()
+			return Shard{}, fmt.Errorf("cluster: shard %q: %w", name, err)
+		}
+		t.slots[i] = &tcpSlot{conn: c}
+	}
+	return Shard{Name: name, Handler: t}, nil
+}
+
+// Handle implements server.Handler by forwarding over TCP. Transport
+// failures surface as internal protocol errors, like any other shard
+// failure.
+func (t *tcpShard) Handle(req wire.Message) wire.Message {
+	if t.closed.Load() {
+		return &wire.Error{Code: wire.CodeInternal, Msg: fmt.Sprintf("cluster: shard %s: closed", t.addr)}
+	}
+	slot := t.slots[t.next.Add(1)%uint64(len(t.slots))]
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	if slot.conn == nil {
+		c, err := client.DialTCP(t.addr)
+		if err != nil {
+			return &wire.Error{Code: wire.CodeInternal, Msg: fmt.Sprintf("cluster: shard %s: %v", t.addr, err)}
+		}
+		slot.conn = c
+	}
+	resp, err := slot.conn.RoundTrip(req)
+	if err != nil {
+		slot.conn.Close()
+		slot.conn = nil // redial on next use
+		return &wire.Error{Code: wire.CodeInternal, Msg: fmt.Sprintf("cluster: shard %s: %v", t.addr, err)}
+	}
+	return resp
+}
+
+// Close closes the connection pool; the shard stops redialing.
+func (t *tcpShard) Close() error {
+	t.closed.Store(true)
+	var first error
+	for _, slot := range t.slots {
+		if slot == nil {
+			continue
+		}
+		slot.mu.Lock()
+		if slot.conn != nil {
+			if err := slot.conn.Close(); err != nil && first == nil {
+				first = err
+			}
+			slot.conn = nil
+		}
+		slot.mu.Unlock()
+	}
+	return first
+}

@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"testing"
+
+	"repro/internal/kv"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+// startEngineTCP serves a fresh engine on a loopback listener.
+func startEngineTCP(t *testing.T) (addr string, engine *server.Engine) {
+	t.Helper()
+	engine, err := server.New(kv.NewMemStore(), server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.NewServer(engine, func(string, ...any) {})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Serve(ctx, lis)
+	}()
+	t.Cleanup(func() {
+		cancel()
+		srv.Close()
+		<-done
+	})
+	return lis.Addr().String(), engine
+}
+
+// TestRouterOverTCPShards routes to engines reached over the real wire
+// protocol, the -peers deployment shape of cmd/timecrypt-server.
+func TestRouterOverTCPShards(t *testing.T) {
+	var shards []Shard
+	engines := make(map[string]*server.Engine)
+	for i := 0; i < 3; i++ {
+		addr, engine := startEngineTCP(t)
+		name := fmt.Sprintf("peer-%d", i)
+		sh, err := NewTCPShard(name, addr, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards = append(shards, sh)
+		engines[name] = engine
+	}
+	router, err := NewRouter(shards, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+
+	spec := wire.StreamConfig{Epoch: 0, Interval: 100, VectorLen: 2, Fanout: 8}
+	const streams = 9
+	for i := 0; i < streams; i++ {
+		uuid := fmt.Sprintf("remote-%d", i)
+		if resp := router.Handle(&wire.CreateStream{UUID: uuid, Cfg: spec}); !isOK(resp) {
+			t.Fatalf("create %q over TCP -> %#v", uuid, resp)
+		}
+		// The stream must exist on the owning remote engine.
+		if streams := engines[router.Owner(uuid)].ListStreams(); len(streams) == 0 {
+			t.Fatalf("stream %q not on its owner", uuid)
+		}
+	}
+	lr, ok := router.Handle(&wire.ListStreams{}).(*wire.ListStreamsResp)
+	if !ok || len(lr.UUIDs) != streams {
+		t.Fatalf("TCP fan-out listing -> %#v", lr)
+	}
+	victim := lr.UUIDs[0]
+	if info, ok := router.Handle(&wire.StreamInfo{UUID: victim}).(*wire.StreamInfoResp); !ok {
+		t.Fatalf("info over TCP failed: %#v", info)
+	}
+	// Transport failures surface as protocol errors, not panics.
+	router.Close()
+	if e, ok := router.Handle(&wire.StreamInfo{UUID: victim}).(*wire.Error); !ok || e.Code != wire.CodeInternal {
+		t.Errorf("dead shard -> %#v, want internal error", e)
+	}
+}
+
+// TestTCPShardReconnects: a shard heals after its peer restarts instead of
+// poisoning the connection pool forever.
+func TestTCPShardReconnects(t *testing.T) {
+	engine, err := server.New(kv.NewMemStore(), server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := lis.Addr().String()
+	srv := server.NewServer(engine, func(string, ...any) {})
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	done1 := make(chan struct{})
+	go func() { defer close(done1); srv.Serve(ctx1, lis) }()
+
+	sh, err := NewTCPShard("peer", addr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Handler.(*tcpShard).Close()
+	spec := wire.StreamConfig{Epoch: 0, Interval: 100, VectorLen: 2, Fanout: 8}
+	if resp := sh.Handler.Handle(&wire.CreateStream{UUID: "s", Cfg: spec}); !isOK(resp) {
+		t.Fatalf("create -> %#v", resp)
+	}
+
+	// Kill the peer: requests must fail cleanly (one per pooled slot).
+	cancel1()
+	srv.Close()
+	<-done1
+	for i := 0; i < 2; i++ {
+		if _, ok := sh.Handler.Handle(&wire.StreamInfo{UUID: "s"}).(*wire.Error); !ok {
+			t.Fatal("request to dead peer did not error")
+		}
+	}
+
+	// Restart the peer on the same address (same engine state) — the
+	// shard must redial and recover without a router restart.
+	lis2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("rebinding %s: %v", addr, err)
+	}
+	srv2 := server.NewServer(engine, func(string, ...any) {})
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	done2 := make(chan struct{})
+	go func() { defer close(done2); srv2.Serve(ctx2, lis2) }()
+	defer func() { cancel2(); srv2.Close(); <-done2 }()
+
+	var recovered bool
+	for i := 0; i < 4 && !recovered; i++ { // each slot redials on its next turn
+		_, recovered = sh.Handler.Handle(&wire.StreamInfo{UUID: "s"}).(*wire.StreamInfoResp)
+	}
+	if !recovered {
+		t.Fatal("shard did not recover after peer restart")
+	}
+}

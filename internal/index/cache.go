@@ -10,14 +10,21 @@ import (
 	"sync"
 )
 
-// lruCache is a byte-budgeted LRU cache for index nodes (the paper's
-// in-memory index with an explicit cache size; the Fig. 7 "S" experiments
-// shrink it to 1 MB). A budget <= 0 means unbounded.
+// lruCache is a byte-budgeted, level-aware cache for index nodes (the
+// paper's in-memory index with an explicit cache size; the Fig. 7 "S"
+// experiments shrink it to 1 MB). A budget <= 0 means unbounded.
+//
+// Eviction is by tree level first, LRU within a level: low-level nodes
+// (leaves and near-leaves) go before high-level nodes. High-level nodes are
+// on the root path of every append and in the decomposition of most
+// queries, so a plain LRU lets one-shot leaf traffic flush exactly the
+// entries that would have been reused; level-aware eviction keeps the hot
+// top of the tree resident even under tiny budgets.
 type lruCache struct {
 	mu     sync.Mutex
 	budget int64
 	used   int64
-	ll     *list.List // front = most recent
+	levels map[int]*list.List // per-level LRU list; front = most recent
 	items  map[string]*list.Element
 
 	hits   uint64
@@ -25,13 +32,14 @@ type lruCache struct {
 }
 
 type lruEntry struct {
-	key  string
-	vec  []uint64
-	size int64
+	key   string
+	vec   []uint64
+	size  int64
+	level int
 }
 
 func newLRUCache(budget int64) *lruCache {
-	return &lruCache{budget: budget, ll: list.New(), items: make(map[string]*list.Element)}
+	return &lruCache{budget: budget, levels: make(map[int]*list.List), items: make(map[string]*list.Element)}
 }
 
 func entrySize(key string, vec []uint64) int64 {
@@ -40,7 +48,7 @@ func entrySize(key string, vec []uint64) int64 {
 }
 
 // get returns a copy-free reference to the cached vector. Callers must not
-// mutate it; use update for read-modify-write.
+// mutate it; use put for read-modify-write.
 func (c *lruCache) get(key string) ([]uint64, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -50,13 +58,15 @@ func (c *lruCache) get(key string) ([]uint64, bool) {
 		return nil, false
 	}
 	c.hits++
-	c.ll.MoveToFront(el)
-	return el.Value.(*lruEntry).vec, true
+	ent := el.Value.(*lruEntry)
+	c.levels[ent.level].MoveToFront(el)
+	return ent.vec, true
 }
 
 // put inserts or replaces key's vector (which the cache takes ownership of)
-// and evicts LRU entries over budget.
-func (c *lruCache) put(key string, vec []uint64) {
+// at the given tree level, then evicts over-budget entries lowest level
+// first.
+func (c *lruCache) put(key string, level int, vec []uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
@@ -65,21 +75,53 @@ func (c *lruCache) put(key string, vec []uint64) {
 		ent.vec = vec
 		ent.size = entrySize(key, vec)
 		c.used += ent.size
-		c.ll.MoveToFront(el)
+		if ent.level != level {
+			// Re-file under the caller's level so eviction priority
+			// follows the declared level, not the original one.
+			c.levels[ent.level].Remove(el)
+			ll := c.levels[level]
+			if ll == nil {
+				ll = list.New()
+				c.levels[level] = ll
+			}
+			ent.level = level
+			c.items[key] = ll.PushFront(ent)
+		} else {
+			c.levels[ent.level].MoveToFront(el)
+		}
 	} else {
-		ent := &lruEntry{key: key, vec: vec, size: entrySize(key, vec)}
-		c.items[key] = c.ll.PushFront(ent)
+		ll := c.levels[level]
+		if ll == nil {
+			ll = list.New()
+			c.levels[level] = ll
+		}
+		ent := &lruEntry{key: key, vec: vec, size: entrySize(key, vec), level: level}
+		c.items[key] = ll.PushFront(ent)
 		c.used += ent.size
 	}
 	if c.budget > 0 {
-		for c.used > c.budget && c.ll.Len() > 0 {
-			back := c.ll.Back()
-			ent := back.Value.(*lruEntry)
-			c.ll.Remove(back)
-			delete(c.items, ent.key)
-			c.used -= ent.size
+		for c.used > c.budget && len(c.items) > 0 {
+			c.evictOne()
 		}
 	}
+}
+
+// evictOne removes the LRU entry of the lowest non-empty level.
+func (c *lruCache) evictOne() {
+	lowest := -1
+	for level, ll := range c.levels {
+		if ll.Len() > 0 && (lowest < 0 || level < lowest) {
+			lowest = level
+		}
+	}
+	if lowest < 0 {
+		return
+	}
+	back := c.levels[lowest].Back()
+	ent := back.Value.(*lruEntry)
+	c.levels[lowest].Remove(back)
+	delete(c.items, ent.key)
+	c.used -= ent.size
 }
 
 // remove drops key if present.
@@ -88,7 +130,7 @@ func (c *lruCache) remove(key string) {
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		ent := el.Value.(*lruEntry)
-		c.ll.Remove(el)
+		c.levels[ent.level].Remove(el)
 		delete(c.items, ent.key)
 		c.used -= ent.size
 	}
@@ -98,5 +140,5 @@ func (c *lruCache) remove(key string) {
 func (c *lruCache) stats() (hits, misses uint64, used int64, entries int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses, c.used, c.ll.Len()
+	return c.hits, c.misses, c.used, len(c.items)
 }

@@ -152,7 +152,7 @@ func (t *Tree) loadNode(level int, idx uint64) ([]uint64, error) {
 	if err != nil {
 		return nil, err
 	}
-	t.cache.put(key, vec)
+	t.cache.put(key, level, vec)
 	return vec, nil
 }
 
@@ -162,7 +162,7 @@ func (t *Tree) storeNode(level int, idx uint64, vec []uint64) error {
 	if err := t.store.Put(key, encodeVec(vec)); err != nil {
 		return err
 	}
-	t.cache.put(key, vec)
+	t.cache.put(key, level, vec)
 	return nil
 }
 

@@ -311,11 +311,11 @@ func TestLevelSpan(t *testing.T) {
 
 func TestLRUCacheEviction(t *testing.T) {
 	c := newLRUCache(300)
-	c.put("a", []uint64{1}) // ~73 bytes
-	c.put("b", []uint64{2}) //
-	c.put("c", []uint64{3}) //
-	c.put("d", []uint64{4}) //
-	c.put("e", []uint64{5}) // must evict oldest
+	c.put("a", 0, []uint64{1}) // ~73 bytes
+	c.put("b", 0, []uint64{2}) //
+	c.put("c", 0, []uint64{3}) //
+	c.put("d", 0, []uint64{4}) //
+	c.put("e", 0, []uint64{5}) // must evict oldest
 	if _, ok := c.get("a"); ok {
 		t.Error("oldest entry survived eviction")
 	}
@@ -334,7 +334,7 @@ func TestLRUCacheEviction(t *testing.T) {
 func TestLRUCacheUnbounded(t *testing.T) {
 	c := newLRUCache(0)
 	for i := 0; i < 1000; i++ {
-		c.put(string(rune('a'+i%26))+string(rune('0'+i%10)), []uint64{uint64(i)})
+		c.put(string(rune('a'+i%26))+string(rune('0'+i%10)), i%3, []uint64{uint64(i)})
 	}
 	_, _, _, entries := c.stats()
 	if entries == 0 {
@@ -344,9 +344,9 @@ func TestLRUCacheUnbounded(t *testing.T) {
 
 func TestLRUCacheReplaceUpdatesSize(t *testing.T) {
 	c := newLRUCache(0)
-	c.put("k", []uint64{1})
+	c.put("k", 0, []uint64{1})
 	_, _, used1, _ := c.stats()
-	c.put("k", []uint64{1, 2, 3, 4})
+	c.put("k", 0, []uint64{1, 2, 3, 4})
 	_, _, used2, _ := c.stats()
 	if used2 <= used1 {
 		t.Error("replace did not grow size accounting")
@@ -355,5 +355,20 @@ func TestLRUCacheReplaceUpdatesSize(t *testing.T) {
 	_, _, used3, _ := c.stats()
 	if used3 != 0 {
 		t.Errorf("remove left %d bytes accounted", used3)
+	}
+}
+
+func TestLRUCacheEvictsLowLevelsFirst(t *testing.T) {
+	c := newLRUCache(300)
+	c.put("top", 3, []uint64{9})
+	c.put("a", 0, []uint64{1})
+	c.put("b", 0, []uint64{2})
+	c.put("c", 0, []uint64{3})
+	c.put("d", 0, []uint64{4}) // over budget: a leaf must go, not "top"
+	if _, ok := c.get("top"); !ok {
+		t.Error("high-level node evicted while leaves were cached")
+	}
+	if _, ok := c.get("a"); ok {
+		t.Error("oldest leaf survived eviction")
 	}
 }

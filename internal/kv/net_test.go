@@ -206,3 +206,29 @@ func TestDialRemoteStoreBadAddr(t *testing.T) {
 		t.Error("dial to closed port succeeded")
 	}
 }
+
+func TestRemoteStoreStats(t *testing.T) {
+	rs, backing, cleanup := newRemote(t)
+	defer cleanup()
+	rs.Put("a", []byte("1"))
+	rs.Put("b", []byte("2"))
+	rs.Get("a")
+	if _, err := rs.Get("missing"); err == nil {
+		t.Fatal("missing key found")
+	}
+	rs.Delete("a")
+	rs.Batch([]Op{
+		{Kind: OpPut, Key: "c", Value: []byte("3")},
+		{Kind: OpDelete, Key: "b"},
+	})
+	rs.Scan("", func(string, []byte) bool { return true })
+	got := rs.Stats()
+	want := Stats{Gets: 2, GetMisses: 1, Puts: 3, Deletes: 2, Scans: 1}
+	if got != want {
+		t.Errorf("client-side stats = %+v, want %+v", got, want)
+	}
+	// The server-side store saw the same traffic.
+	if ss := backing.Stats(); ss.Puts != want.Puts || ss.Deletes != want.Deletes {
+		t.Errorf("server-side stats = %+v", ss)
+	}
+}

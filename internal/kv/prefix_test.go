@@ -1,0 +1,159 @@
+package kv
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestPrefixStorePartitionIsolation(t *testing.T) {
+	base := NewMemStore()
+	p0 := NewPrefixStore(base, "s0/")
+	p1 := NewPrefixStore(base, "s1/")
+	if err := p0.Put("k", []byte("zero")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p1.Put("k", []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	v0, err := p0.Get("k")
+	if err != nil || string(v0) != "zero" {
+		t.Fatalf("p0 Get = %q, %v", v0, err)
+	}
+	v1, err := p1.Get("k")
+	if err != nil || string(v1) != "one" {
+		t.Fatalf("p1 Get = %q, %v", v1, err)
+	}
+	if base.Len() != 2 {
+		t.Fatalf("base has %d keys, want 2", base.Len())
+	}
+	if err := p0.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p0.Get("k"); !errors.Is(err, ErrNotFound) {
+		t.Error("p0 key survived delete")
+	}
+	if _, err := p1.Get("k"); err != nil {
+		t.Error("p1 key deleted through p0")
+	}
+}
+
+func TestPrefixStoreScanStripsPrefix(t *testing.T) {
+	base := NewMemStore()
+	p := NewPrefixStore(base, "part/")
+	for i := 0; i < 5; i++ {
+		p.Put(fmt.Sprintf("m/%d", i), []byte{byte(i)})
+	}
+	p.Put("c/x", []byte("other"))
+	base.Put("m/outside", []byte("not ours")) // same inner prefix, no partition prefix
+	seen := 0
+	err := p.Scan("m/", func(key string, value []byte) bool {
+		if key[:2] != "m/" || len(key) != 3 {
+			t.Errorf("scan key %q not stripped", key)
+		}
+		seen++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != 5 {
+		t.Errorf("scan saw %d keys, want 5", seen)
+	}
+	if p.Len() != 6 {
+		t.Errorf("partition Len = %d, want 6", p.Len())
+	}
+	if p.SizeBytes() <= 0 || p.SizeBytes() >= base.SizeBytes() {
+		t.Errorf("partition size %d vs base %d", p.SizeBytes(), base.SizeBytes())
+	}
+}
+
+func TestPrefixStoreBatch(t *testing.T) {
+	base := NewMemStore()
+	p := NewPrefixStore(base, "b/")
+	if err := p.Batch([]Op{
+		{Kind: OpPut, Key: "x", Value: []byte("1")},
+		{Kind: OpPut, Key: "y", Value: []byte("2")},
+		{Kind: OpDelete, Key: "x"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Get("x"); !errors.Is(err, ErrNotFound) {
+		t.Error("batched delete missed")
+	}
+	if v, err := base.Get("b/y"); err != nil || string(v) != "2" {
+		t.Error("batched put not namespaced")
+	}
+}
+
+// TestSnapshotUnderConcurrentWrites snapshots a store while writers mutate
+// it and verifies the snapshot is internally consistent (CRC/count intact,
+// every captured value is a value some writer actually wrote).
+func TestSnapshotUnderConcurrentWrites(t *testing.T) {
+	store := NewMemStore()
+	valueFor := func(w, i int) []byte { return []byte(fmt.Sprintf("value-%d-%d", w, i)) }
+	// Pre-populate so the snapshot always has a stable core.
+	for i := 0; i < 100; i++ {
+		store.Put(fmt.Sprintf("stable/%d", i), []byte("fixed"))
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				store.Put(fmt.Sprintf("hot/%d/%d", w, i%50), valueFor(w, i%50))
+				if i%7 == 0 {
+					store.Delete(fmt.Sprintf("hot/%d/%d", w, (i+25)%50))
+				}
+			}
+		}(w)
+	}
+	var bufs []bytes.Buffer
+	for s := 0; s < 3; s++ {
+		var buf bytes.Buffer
+		if err := WriteSnapshot(&buf, store); err != nil {
+			t.Fatalf("snapshot %d under writes: %v", s, err)
+		}
+		bufs = append(bufs, buf)
+	}
+	close(stop)
+	wg.Wait()
+	for s := range bufs {
+		loaded := NewMemStore()
+		if err := ReadSnapshot(&bufs[s], loaded); err != nil {
+			t.Fatalf("reading snapshot %d: %v", s, err)
+		}
+		if loaded.Len() < 100 {
+			t.Fatalf("snapshot %d lost stable keys: %d", s, loaded.Len())
+		}
+		err := loaded.Scan("", func(key string, value []byte) bool {
+			if len(key) >= 7 && key[:7] == "stable/" {
+				if string(value) != "fixed" {
+					t.Errorf("snapshot %d: %q = %q", s, key, value)
+				}
+				return true
+			}
+			var w, i int
+			if _, err := fmt.Sscanf(key, "hot/%d/%d", &w, &i); err != nil {
+				t.Errorf("snapshot %d: unexpected key %q", s, key)
+				return true
+			}
+			if !bytes.Equal(value, valueFor(w, i)) {
+				t.Errorf("snapshot %d: %q = %q, want %q", s, key, value, valueFor(w, i))
+			}
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

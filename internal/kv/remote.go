@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 )
 
 // RemoteStore is a kv.Store backed by a Server over TCP: the engine's view
@@ -19,6 +20,12 @@ type RemoteStore struct {
 	mu    sync.Mutex
 	all   []*netConn
 	done  bool
+
+	gets      atomic.Uint64
+	getMisses atomic.Uint64
+	puts      atomic.Uint64
+	deletes   atomic.Uint64
+	scans     atomic.Uint64
 }
 
 type netConn struct {
@@ -105,17 +112,23 @@ func checkStatus(resp []byte) ([]byte, error) {
 
 // Get implements Store.
 func (rs *RemoteStore) Get(key string) ([]byte, error) {
+	rs.gets.Add(1)
 	req := appendBytes([]byte{opGet}, []byte(key))
 	resp, nc, err := rs.roundTrip(req)
 	if err != nil {
 		return nil, err
 	}
 	rs.release(nc)
-	return checkStatus(resp)
+	val, err := checkStatus(resp)
+	if errors.Is(err, ErrNotFound) {
+		rs.getMisses.Add(1)
+	}
+	return val, err
 }
 
 // Put implements Store.
 func (rs *RemoteStore) Put(key string, value []byte) error {
+	rs.puts.Add(1)
 	req := appendBytes([]byte{opPut}, []byte(key))
 	req = appendBytes(req, value)
 	resp, nc, err := rs.roundTrip(req)
@@ -129,6 +142,7 @@ func (rs *RemoteStore) Put(key string, value []byte) error {
 
 // Delete implements Store.
 func (rs *RemoteStore) Delete(key string) error {
+	rs.deletes.Add(1)
 	req := appendBytes([]byte{opDelete}, []byte(key))
 	resp, nc, err := rs.roundTrip(req)
 	if err != nil {
@@ -141,6 +155,14 @@ func (rs *RemoteStore) Delete(key string) error {
 
 // Batch implements Store.
 func (rs *RemoteStore) Batch(ops []Op) error {
+	for _, op := range ops {
+		switch op.Kind {
+		case OpPut:
+			rs.puts.Add(1)
+		case OpDelete:
+			rs.deletes.Add(1)
+		}
+	}
 	req := []byte{opBatch}
 	req = binary.AppendUvarint(req, uint64(len(ops)))
 	for _, op := range ops {
@@ -163,6 +185,7 @@ func (rs *RemoteStore) Batch(ops []Op) error {
 // early termination drains the remaining stream to keep the connection
 // reusable.
 func (rs *RemoteStore) Scan(prefix string, fn func(key string, value []byte) bool) error {
+	rs.scans.Add(1)
 	req := appendBytes([]byte{opScan}, []byte(prefix))
 	resp, nc, err := rs.roundTrip(req)
 	if err != nil {
@@ -237,6 +260,19 @@ func (rs *RemoteStore) SizeBytes() int64 {
 		return 0
 	}
 	return int64(binary.BigEndian.Uint64(payload))
+}
+
+// Stats returns client-side operation counters: what this engine asked of
+// the storage node (the server's own MemStore.Stats counts what arrived,
+// across all clients).
+func (rs *RemoteStore) Stats() Stats {
+	return Stats{
+		Gets:      rs.gets.Load(),
+		GetMisses: rs.getMisses.Load(),
+		Puts:      rs.puts.Load(),
+		Deletes:   rs.deletes.Load(),
+		Scans:     rs.scans.Load(),
+	}
 }
 
 // Close implements Store.

@@ -18,22 +18,54 @@ import (
 	"repro/internal/wire"
 )
 
+// DefaultStripes is the default stream-table stripe count. 64 stripes keep
+// stripe-lock contention negligible under the paper's 100-thread load
+// generator while costing a few KB of empty maps.
+const DefaultStripes = 64
+
 // Config parameterizes an engine instance.
 type Config struct {
 	// CacheBytes is the per-stream index node cache budget; <= 0 means
 	// unbounded. The paper's Fig. 7 "S" experiments set this to 1 MB.
 	CacheBytes int64
+	// Stripes is the stream-table stripe count, rounded up to a power of
+	// two; 0 means DefaultStripes. 1 reproduces the old single-lock
+	// engine (useful as a benchmark baseline).
+	Stripes int
 }
 
 // Engine is a stateless (all state in the KV store) TimeCrypt server. It is
 // safe for concurrent use; TimeCrypt instances are horizontally scalable by
-// pointing several engines at one store (§3.2).
+// pointing several engines at one store (§3.2), or by routing streams
+// across engines with a cluster.Router.
+//
+// The in-memory stream table is lock-striped: stream UUIDs hash (FNV-1a)
+// onto a fixed power-of-two number of stripes, each with its own RWMutex,
+// so concurrent ingest and queries on different streams never contend on a
+// global lock.
 type Engine struct {
 	store kv.Store
 	cfg   Config
 
-	mu      sync.RWMutex
-	streams map[string]*stream
+	stripes []streamStripe
+	mask    uint32
+}
+
+type streamStripe struct {
+	mu      sync.RWMutex       // 24 bytes
+	streams map[string]*stream // 8 bytes
+	_       [32]byte           // pad to one 64-byte cache line per stripe
+}
+
+func (e *Engine) stripeFor(uuid string) *streamStripe {
+	// Inline FNV-1a: hash/fnv's interface value and the []byte
+	// conversion would allocate on every routed request.
+	h := uint32(2166136261)
+	for i := 0; i < len(uuid); i++ {
+		h ^= uint32(uuid[i])
+		h *= 16777619
+	}
+	return &e.stripes[h&e.mask]
 }
 
 type stream struct {
@@ -47,7 +79,17 @@ func New(store kv.Store, cfg Config) (*Engine, error) {
 	if store == nil {
 		return nil, errors.New("server: nil store")
 	}
-	e := &Engine{store: store, cfg: cfg, streams: make(map[string]*stream)}
+	n := cfg.Stripes
+	if n <= 0 {
+		n = DefaultStripes
+	}
+	for n&(n-1) != 0 { // round up to a power of two
+		n++
+	}
+	e := &Engine{store: store, cfg: cfg, stripes: make([]streamStripe, n), mask: uint32(n - 1)}
+	for i := range e.stripes {
+		e.stripes[i].streams = make(map[string]*stream)
+	}
 	// Recover stream metadata persisted by a previous instance.
 	var loadErr error
 	err := store.Scan("m/", func(key string, value []byte) bool {
@@ -130,7 +172,8 @@ func decodeStreamConfig(data []byte) (wire.StreamConfig, error) {
 	return cfg, nil
 }
 
-// openStream builds the in-memory handle for a stream whose meta is known.
+// openStream builds the in-memory handle for a stream whose meta is known
+// and registers it, failing if the UUID is already registered.
 func (e *Engine) openStream(uuid string, meta []byte) (*stream, error) {
 	cfg, err := decodeStreamConfig(meta)
 	if err != nil {
@@ -145,16 +188,21 @@ func (e *Engine) openStream(uuid string, meta []byte) (*stream, error) {
 		return nil, err
 	}
 	s := &stream{cfg: cfg, tree: tree}
-	e.mu.Lock()
-	e.streams[uuid] = s
-	e.mu.Unlock()
+	st := e.stripeFor(uuid)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, dup := st.streams[uuid]; dup {
+		return nil, fmt.Errorf("server: stream %q already exists", uuid)
+	}
+	st.streams[uuid] = s
 	return s, nil
 }
 
 func (e *Engine) lookup(uuid string) (*stream, error) {
-	e.mu.RLock()
-	s, ok := e.streams[uuid]
-	e.mu.RUnlock()
+	st := e.stripeFor(uuid)
+	st.mu.RLock()
+	s, ok := st.streams[uuid]
+	st.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("server: stream %q: %w", uuid, errStreamNotFound)
 	}
@@ -177,17 +225,42 @@ func (e *Engine) CreateStream(uuid string, cfg wire.StreamConfig) error {
 	if cfg.Fanout == 0 {
 		cfg.Fanout = index.DefaultFanout
 	}
-	e.mu.Lock()
-	if _, dup := e.streams[uuid]; dup {
-		e.mu.Unlock()
-		return fmt.Errorf("server: stream %q already exists", uuid)
-	}
-	e.mu.Unlock()
-	if err := e.store.Put(metaKey(uuid), encodeStreamConfig(&cfg)); err != nil {
+	// Register first (openStream inserts under the stripe write lock, so
+	// concurrent duplicate creates yield exactly one winner), then let
+	// only the winner persist the stream meta — a loser must never
+	// clobber the winner's persisted config.
+	s, err := e.openStream(uuid, encodeStreamConfig(&cfg))
+	if err != nil {
 		return err
 	}
-	_, err := e.openStream(uuid, encodeStreamConfig(&cfg))
-	return err
+	if err := e.store.Put(metaKey(uuid), encodeStreamConfig(&cfg)); err != nil {
+		// Roll back our registration — but only if the entry is still
+		// ours: a concurrent delete+recreate may have replaced it with
+		// a live stream that must not be evicted.
+		st := e.stripeFor(uuid)
+		st.mu.Lock()
+		if st.streams[uuid] == s {
+			delete(st.streams, uuid)
+		}
+		st.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// ListStreams returns the UUIDs of all registered streams, sorted.
+func (e *Engine) ListStreams() []string {
+	var uuids []string
+	for i := range e.stripes {
+		st := &e.stripes[i]
+		st.mu.RLock()
+		for uuid := range st.streams {
+			uuids = append(uuids, uuid)
+		}
+		st.mu.RUnlock()
+	}
+	sort.Strings(uuids)
+	return uuids
 }
 
 // DeleteStream removes a stream with all chunks, index nodes, grants, and
@@ -196,9 +269,10 @@ func (e *Engine) DeleteStream(uuid string) error {
 	if _, err := e.lookup(uuid); err != nil {
 		return err
 	}
-	e.mu.Lock()
-	delete(e.streams, uuid)
-	e.mu.Unlock()
+	st := e.stripeFor(uuid)
+	st.mu.Lock()
+	delete(st.streams, uuid)
+	st.mu.Unlock()
 	var ops []kv.Op
 	for _, prefix := range []string{"c/" + uuid + "/", "i/" + uuid + "/", "g/" + uuid + "/", "e/" + uuid + "/", "r/" + uuid + "/"} {
 		e.store.Scan(prefix, func(key string, _ []byte) bool {

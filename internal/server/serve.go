@@ -13,6 +13,18 @@ import (
 	"repro/internal/wire"
 )
 
+// Handler dispatches one protocol request to a response. It is the
+// transport-independent server contract: *Engine implements it directly,
+// and cluster routers implement it by delegating to the owning engine
+// shard. Anything that implements Handler can be served by the TCP front
+// end or driven in-process by a client transport.
+//
+// Implementations must be safe for concurrent use and must respond to
+// failures with *wire.Error rather than panicking.
+type Handler interface {
+	Handle(req wire.Message) wire.Message
+}
+
 // Handle dispatches one protocol request and returns its response. It is
 // the transport-independent entry point used both by the TCP front end and
 // by in-process clients (benchmarks exercise the full message codec either
@@ -73,6 +85,8 @@ func (e *Engine) Handle(req wire.Message) wire.Message {
 			return toError(err)
 		}
 		return &wire.StreamInfoResp{Cfg: cfg, Count: count}
+	case *wire.ListStreams:
+		return &wire.ListStreamsResp{UUIDs: e.ListStreams()}
 	default:
 		return &wire.Error{Code: wire.CodeBadRequest, Msg: "unsupported request type"}
 	}
@@ -85,7 +99,14 @@ func respond(err error) wire.Message {
 	return &wire.OK{}
 }
 
-func toError(err error) *wire.Error {
+// WireError maps an engine error onto the protocol's error message. It is
+// exported for Handler implementations outside this package (the cluster
+// router) so routed and fanned-out failures carry the same codes a single
+// engine would produce.
+func WireError(err error) *wire.Error {
+	if e, ok := err.(*wire.Error); ok {
+		return e
+	}
 	code := wire.CodeInternal
 	msg := err.Error()
 	switch {
@@ -100,12 +121,15 @@ func toError(err error) *wire.Error {
 	return &wire.Error{Code: code, Msg: msg}
 }
 
+func toError(err error) *wire.Error { return WireError(err) }
+
 // Server is the TCP front end: one goroutine per connection, serial
 // request/response per connection (clients open several connections for
-// parallelism, as the paper's load generator does).
+// parallelism, as the paper's load generator does). It serves any Handler —
+// a single engine or a cluster router.
 type Server struct {
-	engine *Engine
-	logf   func(format string, args ...any)
+	handler Handler
+	logf    func(format string, args ...any)
 
 	mu    sync.Mutex
 	lis   net.Listener
@@ -113,13 +137,14 @@ type Server struct {
 	done  chan struct{}
 }
 
-// NewServer wraps an engine. logf defaults to log.Printf; pass a no-op to
-// silence connection errors in tests.
-func NewServer(engine *Engine, logf func(format string, args ...any)) *Server {
+// NewServer wraps a request handler (an *Engine or a cluster router). logf
+// defaults to log.Printf; pass a no-op to silence connection errors in
+// tests.
+func NewServer(handler Handler, logf func(format string, args ...any)) *Server {
 	if logf == nil {
 		logf = log.Printf
 	}
-	return &Server{engine: engine, logf: logf, conns: make(map[net.Conn]struct{}), done: make(chan struct{})}
+	return &Server{handler: handler, logf: logf, conns: make(map[net.Conn]struct{}), done: make(chan struct{})}
 }
 
 // Serve accepts connections until the listener closes or ctx is cancelled.
@@ -191,7 +216,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			return
 		}
-		resp := s.engine.Handle(req)
+		resp := s.handler.Handle(req)
 		if err := wire.WriteMessage(bw, resp); err != nil {
 			s.logf("timecrypt: writing to %s: %v", conn.RemoteAddr(), err)
 			return

@@ -33,6 +33,8 @@ const (
 	TStageRecord
 	TGetStaged
 	TGetStagedResp
+	TListStreams
+	TListStreamsResp
 )
 
 // Message is one protocol message.
@@ -91,6 +93,8 @@ var registry = map[MsgType]func() Message{
 	TStageRecord:      func() Message { return &StageRecord{} },
 	TGetStaged:        func() Message { return &GetStaged{} },
 	TGetStagedResp:    func() Message { return &GetStagedResp{} },
+	TListStreams:      func() Message { return &ListStreams{} },
+	TListStreamsResp:  func() Message { return &ListStreamsResp{} },
 }
 
 // Error is the generic failure response.
@@ -624,5 +628,35 @@ func (m *StreamInfoResp) encode(e *Encoder) {
 func (m *StreamInfoResp) decode(d *Decoder) error {
 	m.Cfg.decode(d)
 	m.Count = d.U64()
+	return d.Err()
+}
+
+// ListStreams requests the UUIDs of all streams an engine (or, through a
+// cluster router, every engine shard) currently serves.
+type ListStreams struct{}
+
+func (*ListStreams) Type() MsgType           { return TListStreams }
+func (m *ListStreams) encode(*Encoder)       {}
+func (m *ListStreams) decode(*Decoder) error { return nil }
+
+// ListStreamsResp carries the sorted stream UUIDs.
+type ListStreamsResp struct{ UUIDs []string }
+
+func (*ListStreamsResp) Type() MsgType { return TListStreamsResp }
+func (m *ListStreamsResp) encode(e *Encoder) {
+	e.U64(uint64(len(m.UUIDs)))
+	for _, u := range m.UUIDs {
+		e.Str(u)
+	}
+}
+func (m *ListStreamsResp) decode(d *Decoder) error {
+	n := d.U64()
+	if n > 1<<24 {
+		return fmt.Errorf("wire: implausible stream count %d", n)
+	}
+	m.UUIDs = make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		m.UUIDs = append(m.UUIDs, d.Str())
+	}
 	return d.Err()
 }

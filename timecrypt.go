@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/chunk"
 	"repro/internal/client"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/crypto/hybrid"
 	"repro/internal/kv"
@@ -66,8 +67,17 @@ type (
 	Engine = server.Engine
 	// EngineConfig parameterizes the server engine.
 	EngineConfig = server.Config
+	// Handler is the transport-independent server contract (an Engine or
+	// a Router).
+	Handler = server.Handler
 	// Server is the TCP front end.
 	Server = server.Server
+	// Router shards one logical service across several engines.
+	Router = cluster.Router
+	// Shard names one engine shard behind a Router.
+	Shard = cluster.Shard
+	// RouterOptions tunes Router construction.
+	RouterOptions = cluster.Options
 	// Store is the key-value storage contract.
 	Store = kv.Store
 	// PRGKind selects the key-tree PRG construction.
@@ -93,19 +103,35 @@ func NewMemStore() *kv.MemStore { return kv.NewMemStore() }
 // NewEngine creates a server engine over a store.
 func NewEngine(store Store, cfg EngineConfig) (*Engine, error) { return server.New(store, cfg) }
 
-// NewTCPServer wraps an engine in the TCP front end; logf may be nil.
-func NewTCPServer(engine *Engine, logf func(string, ...any)) *Server {
-	return server.NewServer(engine, logf)
+// NewTCPServer wraps a handler (an engine or a router) in the TCP front
+// end; logf may be nil.
+func NewTCPServer(h Handler, logf func(string, ...any)) *Server {
+	return server.NewServer(h, logf)
 }
+
+// NewRouter shards one logical service across the given engine shards by
+// consistent hashing on stream UUIDs.
+func NewRouter(shards []Shard, opts RouterOptions) (*Router, error) {
+	return cluster.NewRouter(shards, opts)
+}
+
+// NewTCPShard dials a remote engine as a routable shard.
+func NewTCPShard(name, addr string, conns int) (Shard, error) {
+	return cluster.NewTCPShard(name, addr, conns)
+}
+
+// NewPrefixStore partitions a store under a key prefix, so several engine
+// shards can share one backing store.
+func NewPrefixStore(base Store, prefix string) Store { return kv.NewPrefixStore(base, prefix) }
 
 // ServeTCP runs a server on the listener until ctx is cancelled.
 func ServeTCP(ctx context.Context, srv *Server, lis net.Listener) error {
 	return srv.Serve(ctx, lis)
 }
 
-// NewInProcTransport connects a client directly to an engine in the same
-// process (still exercising the wire codec).
-func NewInProcTransport(engine *Engine) Transport { return &client.InProc{Engine: engine} }
+// NewInProcTransport connects a client directly to a handler (an engine or
+// a router) in the same process (still exercising the wire codec).
+func NewInProcTransport(h Handler) Transport { return &client.InProc{Engine: h} }
 
 // DialTCP connects a client transport to a remote server.
 func DialTCP(addr string) (Transport, error) { return client.DialTCP(addr) }
