@@ -6,6 +6,7 @@
 package timecrypt_test
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"math/rand/v2"
@@ -340,7 +341,7 @@ func benchE2E(b *testing.B, gen workload.Generator, interval int64, insecure boo
 	}
 	owner := client.NewOwner(&client.InProc{Engine: engine})
 	epoch := int64(1_700_000_000_000)
-	s, err := owner.CreateStream(client.StreamOptions{
+	s, err := owner.CreateStream(context.Background(), client.StreamOptions{
 		UUID: "e2e", Epoch: epoch, Interval: interval,
 		Spec:     chunk.DigestSpec{Sum: true, Count: true, SumSq: true},
 		Insecure: insecure,
@@ -350,7 +351,7 @@ func benchE2E(b *testing.B, gen workload.Generator, interval int64, insecure boo
 	}
 	// Warm the stream so queries have history.
 	for i := 0; i < 16; i++ {
-		if err := s.AppendChunk(gen.Chunk(uint64(i), epoch, interval)); err != nil {
+		if err := s.AppendChunk(context.Background(), gen.Chunk(uint64(i), epoch, interval)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -358,13 +359,13 @@ func benchE2E(b *testing.B, gen workload.Generator, interval int64, insecure boo
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		idx := 16 + uint64(i)
-		if err := s.AppendChunk(gen.Chunk(idx, epoch, interval)); err != nil {
+		if err := s.AppendChunk(context.Background(), gen.Chunk(idx, epoch, interval)); err != nil {
 			b.Fatal(err)
 		}
 		for q := 0; q < 4; q++ {
 			lo := epoch + int64(r.Uint64N(idx))*interval
 			hi := epoch + int64(idx+1)*interval
-			if _, err := s.StatRange(lo, hi); err != nil {
+			if _, err := s.StatRange(context.Background(), lo, hi); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -401,7 +402,7 @@ func BenchmarkFig8Granularity(b *testing.B) {
 	epoch := int64(1_700_000_000_000)
 	const interval = 10_000
 	const chunks = 4320 // half a day at Δ=10s
-	s, err := owner.CreateStream(client.StreamOptions{
+	s, err := owner.CreateStream(context.Background(), client.StreamOptions{
 		UUID: "fig8", Epoch: epoch, Interval: interval,
 		Spec: chunk.DigestSpec{Sum: true, Count: true},
 	})
@@ -413,7 +414,7 @@ func BenchmarkFig8Granularity(b *testing.B) {
 		start := epoch + int64(i)*interval
 		pts[0] = chunk.Point{TS: start, Val: 70}
 		pts[1] = chunk.Point{TS: start + 5000, Val: 75}
-		if err := s.AppendChunk(pts); err != nil {
+		if err := s.AppendChunk(context.Background(), pts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -424,7 +425,7 @@ func BenchmarkFig8Granularity(b *testing.B) {
 	}{{"minute", 6}, {"hour", 360}, {"half-day", chunks}} {
 		b.Run(g.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := s.StatSeries(epoch, te, g.window); err != nil {
+				if _, err := s.StatSeries(context.Background(), epoch, te, g.window); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -620,20 +621,20 @@ func BenchmarkGrantIssue(b *testing.B) {
 	}
 	owner := timecrypt.NewOwner(timecrypt.NewInProcTransport(engine))
 	epoch := int64(1_700_000_000_000)
-	s, err := owner.CreateStream(timecrypt.StreamOptions{UUID: "g", Epoch: epoch, Interval: 10_000})
+	s, err := owner.CreateStream(context.Background(), timecrypt.StreamOptions{UUID: "g", Epoch: epoch, Interval: 10_000})
 	if err != nil {
 		b.Fatal(err)
 	}
 	for i := 0; i < 64; i++ {
 		start := epoch + int64(i)*10_000
-		if err := s.AppendChunk([]timecrypt.Point{{TS: start, Val: 1}}); err != nil {
+		if err := s.AppendChunk(context.Background(), []timecrypt.Point{{TS: start, Val: 1}}); err != nil {
 			b.Fatal(err)
 		}
 	}
 	kp, _ := timecrypt.GenerateKeyPair()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.Grant(kp.PublicBytes(), epoch, epoch+64*10_000, 0); err != nil {
+		if _, err := s.Grant(context.Background(), kp.PublicBytes(), epoch, epoch+64*10_000, 0); err != nil {
 			b.Fatal(err)
 		}
 	}

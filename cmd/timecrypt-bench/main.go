@@ -5,12 +5,18 @@
 //
 //	timecrypt-bench -run all -scale 1.0
 //	timecrypt-bench -run table2,fig5
+//	timecrypt-bench -run batch -json BENCH_results.json
 //
 // Experiments: table2, table3, fig5, fig6, fig7, fig8, access, devops,
-// cluster. Scale > 1 approaches the paper's sizes (and run times).
+// cluster, batch. Scale > 1 approaches the paper's sizes (and run times).
+//
+// Alongside the human-readable tables, machine-readable metrics
+// (experiment, ops/sec, p50/p99 latency) are written to the -json file so
+// the performance trajectory is tracked across PRs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -21,29 +27,34 @@ import (
 	"repro/internal/bench"
 )
 
+// wrap adapts an experiment returning typed results to the generic runner.
+func wrap[T any](f func(io.Writer, bench.Options) ([]T, error)) func(io.Writer, bench.Options) error {
+	return func(w io.Writer, o bench.Options) error { _, err := f(w, o); return err }
+}
+
 func main() {
-	runList := flag.String("run", "all", "comma-separated experiments (table2,table3,fig5,fig6,fig7,fig8,access,devops,cluster) or 'all'")
+	runList := flag.String("run", "all", "comma-separated experiments (table2,table3,fig5,fig6,fig7,fig8,access,devops,cluster,batch) or 'all'")
 	scale := flag.Float64("scale", 1.0, "experiment scale factor (1.0 = laptop-sized defaults)")
+	jsonPath := flag.String("json", "BENCH_results.json", "machine-readable results file ('' disables)")
 	flag.Parse()
 
-	opts := bench.Options{Scale: *scale}
+	results := &bench.Results{}
+	opts := bench.Options{Scale: *scale, Results: results}
 	type experiment struct {
 		name string
 		run  func(io.Writer, bench.Options) error
 	}
-	wrap2 := func(f func(io.Writer, bench.Options) ([]bench.Table2Result, error)) func(io.Writer, bench.Options) error {
-		return func(w io.Writer, o bench.Options) error { _, err := f(w, o); return err }
-	}
 	experiments := []experiment{
-		{"table2", wrap2(bench.Table2)},
-		{"table3", func(w io.Writer, o bench.Options) error { _, err := bench.Table3(w, o); return err }},
-		{"fig5", func(w io.Writer, o bench.Options) error { _, err := bench.Fig5(w, o); return err }},
-		{"fig6", func(w io.Writer, o bench.Options) error { _, err := bench.Fig6(w, o); return err }},
-		{"fig7", func(w io.Writer, o bench.Options) error { _, err := bench.Fig7(w, o); return err }},
-		{"fig8", func(w io.Writer, o bench.Options) error { _, err := bench.Fig8(w, o); return err }},
-		{"access", func(w io.Writer, o bench.Options) error { _, err := bench.AccessControl(w, o); return err }},
-		{"devops", func(w io.Writer, o bench.Options) error { _, err := bench.DevOps(w, o); return err }},
-		{"cluster", func(w io.Writer, o bench.Options) error { _, err := bench.Cluster(w, o); return err }},
+		{"table2", wrap(bench.Table2)},
+		{"table3", wrap(bench.Table3)},
+		{"fig5", wrap(bench.Fig5)},
+		{"fig6", wrap(bench.Fig6)},
+		{"fig7", wrap(bench.Fig7)},
+		{"fig8", wrap(bench.Fig8)},
+		{"access", wrap(bench.AccessControl)},
+		{"devops", wrap(bench.DevOps)},
+		{"cluster", wrap(bench.Cluster)},
+		{"batch", wrap(bench.BatchIngest)},
 	}
 
 	want := map[string]bool{}
@@ -65,5 +76,18 @@ func main() {
 	}
 	if ran == 0 {
 		log.Fatalf("no experiment matched %q", *runList)
+	}
+	if *jsonPath != "" {
+		if metrics := results.Metrics(); len(metrics) > 0 {
+			data, err := json.MarshalIndent(metrics, "", "  ")
+			if err != nil {
+				log.Fatalf("encoding results: %v", err)
+			}
+			data = append(data, '\n')
+			if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+				log.Fatalf("writing %s: %v", *jsonPath, err)
+			}
+			fmt.Printf("wrote %d metrics to %s\n", len(metrics), *jsonPath)
+		}
 	}
 }

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -46,6 +47,7 @@ func main() {
 	chunks := flag.Int("chunks", 60, "chunks to ingest (ingest)")
 	window := flag.Uint64("window", 6, "window size in chunks (series)")
 	keyPath := flag.String("keys", "", "key file path (default <stream>.tckeys)")
+	timeout := flag.Duration("timeout", time.Minute, "per-command deadline, carried to the server over the wire (0 = none)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		log.Fatal("usage: timecrypt-cli [flags] create|ingest|stats|series|info|delete")
@@ -60,25 +62,41 @@ func main() {
 	}
 	defer tr.Close()
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	switch cmd := flag.Arg(0); cmd {
 	case "create":
-		doCreate(tr, *stream, interval.Milliseconds(), *keyPath)
+		doCreate(ctx, tr, *stream, interval.Milliseconds(), *keyPath)
 	case "ingest":
-		doIngest(tr, *keyPath, *chunks)
+		doIngest(ctx, tr, *keyPath, *chunks)
 	case "stats":
-		doStats(tr, *keyPath, 0)
+		doStats(ctx, tr, *keyPath, 0)
 	case "series":
-		doStats(tr, *keyPath, *window)
+		doStats(ctx, tr, *keyPath, *window)
 	case "info":
-		doInfo(tr, *stream)
+		doInfo(ctx, tr, *stream)
 	case "delete":
-		if err := client.NewOwner(tr).DeleteStream(*stream); err != nil {
+		if err := client.NewOwner(tr).DeleteStream(ctx, *stream); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println("deleted", *stream)
 	default:
 		log.Fatalf("unknown command %q", cmd)
 	}
+}
+
+// fatalResp reports a non-success response and exits; it tolerates
+// unexpected message types instead of panicking on a bad assertion.
+func fatalResp(resp wire.Message) {
+	if e, ok := resp.(*wire.Error); ok {
+		log.Fatal(e)
+	}
+	log.Fatalf("unexpected server response %T", resp)
 }
 
 func loadKeys(path string) keyFile {
@@ -116,7 +134,7 @@ func rebuildStream(kf keyFile) (*core.Encryptor, *core.Encryptor, chunk.DigestSp
 	return core.NewEncryptor(tree.NewWalker()), core.NewEncryptor(tree.NewWalker()), chunk.DefaultSpec()
 }
 
-func doCreate(tr client.Transport, stream string, intervalMS int64, keyPath string) {
+func doCreate(ctx context.Context, tr client.Transport, stream string, intervalMS int64, keyPath string) {
 	tree, err := core.GenerateTree(core.NewPRG(core.PRGAES), core.DefaultTreeHeight)
 	if err != nil {
 		log.Fatal(err)
@@ -129,7 +147,7 @@ func doCreate(tr client.Transport, stream string, intervalMS int64, keyPath stri
 		VectorLen: uint32(spec.VectorLen()), Fanout: 64,
 		DigestSpec: specBytes, Meta: "timecrypt-cli stream",
 	}
-	resp, err := tr.RoundTrip(&wire.CreateStream{UUID: stream, Cfg: cfg})
+	resp, err := tr.RoundTrip(ctx, &wire.CreateStream{UUID: stream, Cfg: cfg})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -144,24 +162,38 @@ func doCreate(tr client.Transport, stream string, intervalMS int64, keyPath stri
 	fmt.Printf("created stream %q (Δ=%dms); keys in %s\n", stream, intervalMS, keyPath)
 }
 
-func doIngest(tr client.Transport, keyPath string, n int) {
+func doIngest(ctx context.Context, tr client.Transport, keyPath string, n int) {
 	kf := loadKeys(keyPath)
 	enc, _, spec := rebuildStream(kf)
 	gen := workload.NewMHealth(42)
-	for i := 0; i < n; i++ {
-		idx := kf.Count + uint64(i)
-		pts := gen.Chunk(idx, kf.Epoch, kf.Interval)
-		start := kf.Epoch + int64(idx)*kf.Interval
-		sealed, err := chunk.Seal(enc, spec, chunk.CompressionZlib, idx, start, start+kf.Interval, pts)
+	// Chunks ship in Batch envelopes: one round trip per 64 chunks instead
+	// of one per chunk.
+	const batchSize = 64
+	for base := 0; base < n; base += batchSize {
+		count := min(batchSize, n-base)
+		batch := &wire.Batch{Reqs: make([]wire.Message, 0, count)}
+		for i := 0; i < count; i++ {
+			idx := kf.Count + uint64(base+i)
+			pts := gen.Chunk(idx, kf.Epoch, kf.Interval)
+			start := kf.Epoch + int64(idx)*kf.Interval
+			sealed, err := chunk.Seal(enc, spec, chunk.CompressionZlib, idx, start, start+kf.Interval, pts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			batch.Reqs = append(batch.Reqs, &wire.InsertChunk{UUID: kf.UUID, Chunk: chunk.MarshalSealed(sealed)})
+		}
+		resp, err := tr.RoundTrip(ctx, batch)
 		if err != nil {
 			log.Fatal(err)
 		}
-		resp, err := tr.RoundTrip(&wire.InsertChunk{UUID: kf.UUID, Chunk: chunk.MarshalSealed(sealed)})
-		if err != nil {
-			log.Fatal(err)
+		br, ok := resp.(*wire.BatchResp)
+		if !ok {
+			fatalResp(resp)
 		}
-		if e, ok := resp.(*wire.Error); ok {
-			log.Fatal(e)
+		for _, sub := range br.Resps {
+			if e, bad := sub.(*wire.Error); bad {
+				log.Fatal(e)
+			}
 		}
 	}
 	kf.Count += uint64(n)
@@ -170,11 +202,11 @@ func doIngest(tr client.Transport, keyPath string, n int) {
 		n, n*gen.PointsPerChunk(), kf.Count)
 }
 
-func doStats(tr client.Transport, keyPath string, window uint64) {
+func doStats(ctx context.Context, tr client.Transport, keyPath string, window uint64) {
 	kf := loadKeys(keyPath)
 	_, dec, spec := rebuildStream(kf)
 	te := kf.Epoch + int64(kf.Count)*kf.Interval
-	resp, err := tr.RoundTrip(&wire.StatRange{
+	resp, err := tr.RoundTrip(ctx, &wire.StatRange{
 		UUIDs: []string{kf.UUID}, Ts: kf.Epoch, Te: te, WindowChunks: window,
 	})
 	if err != nil {
@@ -182,7 +214,7 @@ func doStats(tr client.Transport, keyPath string, window uint64) {
 	}
 	sr, ok := resp.(*wire.StatRangeResp)
 	if !ok {
-		log.Fatal(resp.(*wire.Error))
+		fatalResp(resp)
 	}
 	step := window
 	if step == 0 {
@@ -205,14 +237,14 @@ func doStats(tr client.Transport, keyPath string, window uint64) {
 	}
 }
 
-func doInfo(tr client.Transport, stream string) {
-	resp, err := tr.RoundTrip(&wire.StreamInfo{UUID: stream})
+func doInfo(ctx context.Context, tr client.Transport, stream string) {
+	resp, err := tr.RoundTrip(ctx, &wire.StreamInfo{UUID: stream})
 	if err != nil {
 		log.Fatal(err)
 	}
 	info, ok := resp.(*wire.StreamInfoResp)
 	if !ok {
-		log.Fatal(resp.(*wire.Error))
+		fatalResp(resp)
 	}
 	fmt.Printf("stream %q: epoch=%s Δ=%dms chunks=%d digest-elements=%d meta=%q\n",
 		stream, time.UnixMilli(info.Cfg.Epoch).Format(time.RFC3339),

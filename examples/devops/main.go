@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,6 +15,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	engine, err := timecrypt.NewEngine(timecrypt.NewMemStore(), timecrypt.EngineConfig{})
 	if err != nil {
 		log.Fatal(err)
@@ -35,7 +37,7 @@ func main() {
 
 	streams := make([]*timecrypt.OwnerStream, hosts)
 	for h := range streams {
-		s, err := operator.CreateStream(timecrypt.StreamOptions{
+		s, err := operator.CreateStream(ctx, timecrypt.StreamOptions{
 			UUID:     fmt.Sprintf("dc1/host%02d/cpu", h),
 			Epoch:    epoch,
 			Interval: interval,
@@ -47,10 +49,17 @@ func main() {
 		}
 		streams[h] = s
 		gen := workload.NewDevOps(uint64(h))
+		w, err := s.Writer(ctx, timecrypt.WriterOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
 		for c := 0; c < chunks; c++ {
-			if err := s.AppendChunk(gen.Chunk(uint64(c), epoch, interval)); err != nil {
+			if err := w.AppendChunk(gen.Chunk(uint64(c), epoch, interval)); err != nil {
 				log.Fatal(err)
 			}
+		}
+		if err := w.Close(); err != nil {
+			log.Fatal(err)
 		}
 	}
 	fmt.Printf("operator ingested %d hosts x %d chunks of encrypted CPU data\n", hosts, chunks)
@@ -63,7 +72,7 @@ func main() {
 	jobEnd := epoch + int64(chunks)*interval
 	jobHosts := streams[:4]
 	for _, s := range jobHosts {
-		if _, err := s.Grant(tenantKey.PublicBytes(), jobStart, jobEnd, 0); err != nil {
+		if _, err := s.Grant(ctx, tenantKey.PublicBytes(), jobStart, jobEnd, 0); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -71,7 +80,7 @@ func main() {
 	tenant := timecrypt.NewConsumer(tr, tenantKey)
 	views := make([]*timecrypt.ConsumerStream, len(jobHosts))
 	for i, s := range jobHosts {
-		v, err := tenant.OpenStream(s.UUID())
+		v, err := tenant.OpenStream(ctx, s.UUID())
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -80,7 +89,7 @@ func main() {
 
 	// Fleet-wide average over 16 h: one inter-stream query, summed
 	// homomorphically by the server across the four hosts.
-	res, err := tenant.StatMulti(views, jobStart, jobEnd)
+	res, err := tenant.StatMulti(ctx, views, jobStart, jobEnd)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -99,7 +108,7 @@ func main() {
 		100*float64(above)/float64(total))
 
 	// Per-host hourly series for one host.
-	hourly, err := views[0].StatSeries(jobStart, jobStart+8*3_600_000, 60)
+	hourly, err := views[0].StatSeries(ctx, jobStart, jobStart+8*3_600_000, 60)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -111,7 +120,7 @@ func main() {
 
 	// The tenant has no grant on the other hosts: the server would
 	// answer, but the result is undecryptable.
-	if _, err := tenant.OpenStream(streams[5].UUID()); err != nil {
+	if _, err := tenant.OpenStream(ctx, streams[5].UUID()); err != nil {
 		fmt.Println("host05 (not in job): ACCESS DENIED (no grant) ✓")
 	}
 }

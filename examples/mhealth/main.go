@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,6 +15,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	engine, err := timecrypt.NewEngine(timecrypt.NewMemStore(), timecrypt.EngineConfig{})
 	if err != nil {
 		log.Fatal(err)
@@ -24,7 +26,7 @@ func main() {
 	alice := timecrypt.NewOwner(tr)
 	epoch := int64(1_700_000_000_000)
 	const interval = 10_000 // Δ = 10 s
-	stream, err := alice.CreateStream(timecrypt.StreamOptions{
+	stream, err := alice.CreateStream(ctx, timecrypt.StreamOptions{
 		UUID:     "alice/heart-rate",
 		Epoch:    epoch,
 		Interval: interval,
@@ -40,20 +42,27 @@ func main() {
 	// Resolutions Alice intends to share at: per-minute (6 chunks) and
 	// per-hour (360 chunks).
 	const minute, hour = 6, 360
-	if err := stream.EnableResolution(minute); err != nil {
+	if err := stream.EnableResolution(ctx, minute); err != nil {
 		log.Fatal(err)
 	}
-	if err := stream.EnableResolution(hour); err != nil {
+	if err := stream.EnableResolution(ctx, hour); err != nil {
 		log.Fatal(err)
 	}
 
 	// Stream 4 hours of wearable data (50 Hz => 500 records per chunk).
 	gen := workload.NewMHealth(7)
 	chunks := 4 * hour
+	w, err := stream.Writer(ctx, timecrypt.WriterOptions{BatchChunks: 32})
+	if err != nil {
+		log.Fatal(err)
+	}
 	for i := 0; i < chunks; i++ {
-		if err := stream.AppendChunk(gen.Chunk(uint64(i), epoch, interval)); err != nil {
+		if err := w.AppendChunk(gen.Chunk(uint64(i), epoch, interval)); err != nil {
 			log.Fatal(err)
 		}
+	}
+	if err := w.Close(); err != nil {
+		log.Fatal(err)
 	}
 	fmt.Printf("Alice ingested %d chunks (%d records), all encrypted end-to-end\n",
 		chunks, chunks*gen.PointsPerChunk())
@@ -62,42 +71,43 @@ func main() {
 	trainerKey, _ := timecrypt.GenerateKeyPair()
 	insurerKey, _ := timecrypt.GenerateKeyPair()
 	end := epoch + int64(chunks)*interval
-	if _, err := stream.Grant(trainerKey.PublicBytes(), epoch, end, minute); err != nil {
+	if _, err := stream.Grant(ctx, trainerKey.PublicBytes(), epoch, end, minute); err != nil {
 		log.Fatal(err)
 	}
-	if _, err := stream.Grant(insurerKey.PublicBytes(), epoch, end, hour); err != nil {
+	if _, err := stream.Grant(ctx, insurerKey.PublicBytes(), epoch, end, hour); err != nil {
 		log.Fatal(err)
 	}
 
 	// --- Trainer: per-minute view --------------------------------------
-	trainer, err := timecrypt.NewConsumer(tr, trainerKey).OpenStream("alice/heart-rate")
+	trainer, err := timecrypt.NewConsumer(tr, trainerKey).OpenStream(ctx, "alice/heart-rate")
 	if err != nil {
 		log.Fatal(err)
 	}
-	mins, err := trainer.StatSeries(epoch, epoch+30*60_000, minute)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("\nTrainer (minute resolution) — first 30 minutes, %d windows:\n", len(mins))
-	for i, w := range mins {
+	fmt.Println("\nTrainer (minute resolution) — first 30 minutes via cursor:")
+	it := trainer.Query().Range(epoch, epoch+30*60_000).Window(minute).Iter(ctx)
+	for i := 0; it.Next(); i++ {
 		if i%10 == 0 {
+			w := it.Result()
 			fmt.Printf("  minute %2d: mean=%.1f bpm, max∈[%d,%d)\n", i, w.Mean, w.MaxLo, w.MaxHi)
 		}
 	}
+	if err := it.Err(); err != nil {
+		log.Fatal(err)
+	}
 	// The trainer cannot see chunk-level (10 s) data or raw records.
-	if _, err := trainer.StatSeries(epoch, end, 1); err != nil {
+	if _, err := trainer.StatSeries(ctx, epoch, end, 1); err != nil {
 		fmt.Println("  chunk-level data: DENIED (crypto-enforced) ✓")
 	}
-	if _, err := trainer.Points(epoch, epoch+interval); err != nil {
+	if _, err := trainer.Points(ctx, epoch, epoch+interval); err != nil {
 		fmt.Println("  raw records:      DENIED (crypto-enforced) ✓")
 	}
 
 	// --- Insurer: hourly view only --------------------------------------
-	insurer, err := timecrypt.NewConsumer(tr, insurerKey).OpenStream("alice/heart-rate")
+	insurer, err := timecrypt.NewConsumer(tr, insurerKey).OpenStream(ctx, "alice/heart-rate")
 	if err != nil {
 		log.Fatal(err)
 	}
-	hours, err := insurer.StatSeries(epoch, end, hour)
+	hours, err := insurer.StatSeries(ctx, epoch, end, hour)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -107,12 +117,12 @@ func main() {
 	}
 	// Per-minute data is cryptographically out of the insurer's reach,
 	// even though the server would happily compute it.
-	if _, err := insurer.StatSeries(epoch, end, minute); err != nil {
+	if _, err := insurer.StatSeries(ctx, epoch, end, minute); err != nil {
 		fmt.Println("  minute-level data: DENIED (crypto-enforced) ✓")
 	}
 
 	// --- Alice keeps full access ----------------------------------------
-	res, err := stream.StatRange(epoch, end)
+	res, err := stream.StatRange(ctx, epoch, end)
 	if err != nil {
 		log.Fatal(err)
 	}

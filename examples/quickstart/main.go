@@ -1,8 +1,11 @@
 // Quickstart: spin up an in-process TimeCrypt server, ingest encrypted
-// records, and run statistical queries — the minimal end-to-end loop.
+// records through the pipelined writer, and run statistical queries
+// through the lazy cursor — the minimal end-to-end loop of the
+// context-first API.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -11,6 +14,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// The untrusted side: storage engine + server (sees only ciphertext).
 	store := timecrypt.NewMemStore()
 	engine, err := timecrypt.NewEngine(store, timecrypt.EngineConfig{})
@@ -21,7 +26,7 @@ func main() {
 	// The trusted side: a data owner with fresh key material.
 	owner := timecrypt.NewOwner(timecrypt.NewInProcTransport(engine))
 	epoch := time.Now().Add(-time.Hour).UnixMilli()
-	stream, err := owner.CreateStream(timecrypt.StreamOptions{
+	stream, err := owner.CreateStream(ctx, timecrypt.StreamOptions{
 		UUID:     "heart-rate",
 		Epoch:    epoch,
 		Interval: 10_000, // 10 s chunks, like the paper's mhealth app
@@ -31,42 +36,55 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Ingest one hour of per-second heart-rate records. Records are
-	// batched into chunks, compressed, encrypted, and digested
-	// client-side; the server builds its index over ciphertexts.
+	// Ingest one hour of per-second heart-rate records through the
+	// pipelined writer: records are batched into chunks, compressed,
+	// encrypted, and digested client-side, then shipped in batch envelopes
+	// (one round trip per 16 chunks by default) while the next chunks are
+	// already being sealed. Ingest errors are collected and surface at
+	// Close.
+	w, err := stream.Writer(ctx, timecrypt.WriterOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	for i := 0; i < 3600; i++ {
 		ts := epoch + int64(i)*1000
 		val := int64(65 + (i/60)%25) // slow drift
-		if err := stream.Append(timecrypt.Point{TS: ts, Val: val}); err != nil {
+		if err := w.Append(timecrypt.Point{TS: ts, Val: val}); err != nil {
 			log.Fatal(err)
 		}
 	}
-	if err := stream.Flush(); err != nil {
+	if err := w.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if err := stream.Flush(ctx); err != nil { // seal the last partial chunk
 		log.Fatal(err)
 	}
 
 	// Statistical range query over the full hour — computed by the
 	// server on encrypted data, decrypted with two keys client-side.
-	res, err := stream.StatRange(epoch, epoch+3600_000)
+	res, err := stream.StatRange(ctx, epoch, epoch+3600_000)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("hour summary: count=%d mean=%.1f bpm stdev=%.2f min∈[%d,%d) max∈[%d,%d)\n",
 		res.Count, res.Mean, res.Stdev, res.MinLo, res.MinHi, res.MaxLo, res.MaxHi)
 
-	// Per-minute series (6 chunks x 10 s = 1 min windows).
-	series, err := stream.StatSeries(epoch, epoch+600_000, 6)
-	if err != nil {
-		log.Fatal(err)
-	}
+	// Per-minute series (6 chunks x 10 s = 1 min windows) through the
+	// query cursor, which pages windows from the server lazily instead of
+	// materializing the whole slice.
+	it := stream.Query().Range(epoch, epoch+600_000).Window(6).Iter(ctx)
 	fmt.Println("first 10 minutes:")
-	for _, w := range series {
+	for it.Next() {
+		w := it.Result()
 		fmt.Printf("  %s  mean=%.1f bpm\n",
 			time.UnixMilli(w.Start).Format("15:04:05"), w.Mean)
 	}
+	if err := it.Err(); err != nil {
+		log.Fatal(err)
+	}
 
 	// Raw record retrieval (owner holds full-resolution keys).
-	pts, err := stream.Points(epoch, epoch+5000)
+	pts, err := stream.Points(ctx, epoch, epoch+5000)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,13 +5,14 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	timecrypt "repro"
 )
 
-func ingestDay(s *timecrypt.OwnerStream, epoch int64, day int) error {
+func ingestDay(ctx context.Context, s *timecrypt.OwnerStream, epoch int64, day int) error {
 	const interval = 10_000
 	const chunksPerDay = 24 // toy "day" of 24 chunks
 	for c := 0; c < chunksPerDay; c++ {
@@ -21,7 +22,7 @@ func ingestDay(s *timecrypt.OwnerStream, epoch int64, day int) error {
 			{TS: start, Val: 70 + idx%10},
 			{TS: start + 5000, Val: 72 + idx%10},
 		}
-		if err := s.AppendChunk(pts); err != nil {
+		if err := s.AppendChunk(ctx, pts); err != nil {
 			return err
 		}
 	}
@@ -29,6 +30,7 @@ func ingestDay(s *timecrypt.OwnerStream, epoch int64, day int) error {
 }
 
 func main() {
+	ctx := context.Background()
 	engine, err := timecrypt.NewEngine(timecrypt.NewMemStore(), timecrypt.EngineConfig{})
 	if err != nil {
 		log.Fatal(err)
@@ -39,7 +41,7 @@ func main() {
 	epoch := int64(1_700_000_000_000)
 	const interval = 10_000
 	const dayMS = 24 * interval
-	stream, err := owner.CreateStream(timecrypt.StreamOptions{
+	stream, err := owner.CreateStream(ctx, timecrypt.StreamOptions{
 		UUID: "sensor", Epoch: epoch, Interval: interval,
 	})
 	if err != nil {
@@ -47,25 +49,25 @@ func main() {
 	}
 
 	// Day 0 of data, then an open-ended subscription for a physician.
-	if err := ingestDay(stream, epoch, 0); err != nil {
+	if err := ingestDay(ctx, stream, epoch, 0); err != nil {
 		log.Fatal(err)
 	}
 	physKey, _ := timecrypt.GenerateKeyPair()
-	grantID, err := stream.GrantOpen(physKey.PublicBytes(), epoch, 0)
+	grantID, err := stream.GrantOpen(ctx, physKey.PublicBytes(), epoch, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
 	physician := timecrypt.NewConsumer(tr, physKey)
 
 	check := func(label string, fromDay, toDay int) {
-		view, err := physician.OpenStream("sensor")
+		view, err := physician.OpenStream(ctx, "sensor")
 		if err != nil {
 			fmt.Printf("%s: no usable grants (%v)\n", label, err)
 			return
 		}
 		ts := epoch + int64(fromDay)*dayMS
 		te := epoch + int64(toDay)*dayMS
-		if res, err := view.StatRange(ts, te); err == nil {
+		if res, err := view.StatRange(ctx, ts, te); err == nil {
 			fmt.Printf("%s: days %d..%d readable, mean=%.1f ✓\n", label, fromDay, toDay-1, res.Mean)
 		} else {
 			fmt.Printf("%s: days %d..%d NOT decryptable ✗\n", label, fromDay, toDay-1)
@@ -74,11 +76,11 @@ func main() {
 	check("after day 0 subscription", 0, 1)
 
 	// Day 1 arrives; owner extends all open subscriptions.
-	if err := ingestDay(stream, epoch, 1); err != nil {
+	if err := ingestDay(ctx, stream, epoch, 1); err != nil {
 		log.Fatal(err)
 	}
 	check("day 1 before extension   ", 0, 2) // not yet extended
-	if err := stream.ExtendOpenGrants(); err != nil {
+	if err := stream.ExtendOpenGrants(ctx); err != nil {
 		log.Fatal(err)
 	}
 	check("day 1 after extension    ", 0, 2)
@@ -86,13 +88,13 @@ func main() {
 	// Revoke. Forward secrecy: day 2 keys are never issued, but the
 	// physician could have cached days 0-1 (revoking old data is out of
 	// scope, as in the paper).
-	if err := stream.Revoke(physKey.PublicBytes(), grantID); err != nil {
+	if err := stream.Revoke(ctx, physKey.PublicBytes(), grantID); err != nil {
 		log.Fatal(err)
 	}
-	if err := ingestDay(stream, epoch, 2); err != nil {
+	if err := ingestDay(ctx, stream, epoch, 2); err != nil {
 		log.Fatal(err)
 	}
-	if err := stream.ExtendOpenGrants(); err != nil { // no-op: revoked
+	if err := stream.ExtendOpenGrants(ctx); err != nil { // no-op: revoked
 		log.Fatal(err)
 	}
 	check("after revocation         ", 0, 3)
@@ -100,17 +102,17 @@ func main() {
 
 	// Bounded one-shot grants still work independently of subscriptions.
 	auditorKey, _ := timecrypt.GenerateKeyPair()
-	if _, err := stream.Grant(auditorKey.PublicBytes(), epoch, epoch+dayMS, 0); err != nil {
+	if _, err := stream.Grant(ctx, auditorKey.PublicBytes(), epoch, epoch+dayMS, 0); err != nil {
 		log.Fatal(err)
 	}
-	auditor, err := timecrypt.NewConsumer(tr, auditorKey).OpenStream("sensor")
+	auditor, err := timecrypt.NewConsumer(tr, auditorKey).OpenStream(ctx, "sensor")
 	if err != nil {
 		log.Fatal(err)
 	}
-	if res, err := auditor.StatRange(epoch, epoch+dayMS); err == nil {
+	if res, err := auditor.StatRange(ctx, epoch, epoch+dayMS); err == nil {
 		fmt.Printf("auditor (day 0 only): mean=%.1f over %d records ✓\n", res.Mean, res.Count)
 	}
-	if _, err := auditor.StatRange(epoch, epoch+2*dayMS); err != nil {
+	if _, err := auditor.StatRange(ctx, epoch, epoch+2*dayMS); err != nil {
 		fmt.Println("auditor day 1: NOT decryptable (outside bounded grant) ✓")
 	}
 }

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand/v2"
@@ -14,6 +15,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	engine, err := timecrypt.NewEngine(timecrypt.NewMemStore(), timecrypt.EngineConfig{})
 	if err != nil {
 		log.Fatal(err)
@@ -30,7 +32,7 @@ func main() {
 		LinTimeOrigin: epoch,
 		LinTimeUnit:   day, // model time unit: days
 	}
-	stream, err := owner.CreateStream(timecrypt.StreamOptions{
+	stream, err := owner.CreateStream(ctx, timecrypt.StreamOptions{
 		UUID:     "scale/weight",
 		Epoch:    epoch,
 		Interval: day, // one chunk per day
@@ -47,22 +49,22 @@ func main() {
 	for d := 0; d < 90; d++ {
 		w := 82.0 - 0.05*float64(d) + (r.Float64()-0.5)*0.8
 		pt := timecrypt.Point{TS: epoch + int64(d)*day, Val: fp.Encode(w)}
-		if err := stream.AppendChunk([]timecrypt.Point{pt}); err != nil {
+		if err := stream.AppendChunk(ctx, []timecrypt.Point{pt}); err != nil {
 			log.Fatal(err)
 		}
 	}
 
 	// The clinic gets a full-resolution grant for the quarter.
 	clinicKey, _ := timecrypt.GenerateKeyPair()
-	if _, err := stream.Grant(clinicKey.PublicBytes(), epoch, epoch+90*day, 0); err != nil {
+	if _, err := stream.Grant(ctx, clinicKey.PublicBytes(), epoch, epoch+90*day, 0); err != nil {
 		log.Fatal(err)
 	}
-	clinic, err := timecrypt.NewConsumer(tr, clinicKey).OpenStream("scale/weight")
+	clinic, err := timecrypt.NewConsumer(tr, clinicKey).OpenStream(ctx, "scale/weight")
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fit, err := clinic.FitRange(epoch, epoch+90*day)
+	fit, err := clinic.FitRange(ctx, epoch, epoch+90*day)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -74,7 +76,7 @@ func main() {
 	fmt.Printf("  baseline: %.1f kg     (ground truth ~82)\n", fp.DecodeMean(fit.Intercept))
 
 	// Classic statistics come from the same digest.
-	res, err := clinic.StatRange(epoch, epoch+90*day)
+	res, err := clinic.StatRange(ctx, epoch, epoch+90*day)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -83,7 +85,7 @@ func main() {
 
 	// Month-over-month trend comparison, still without raw data.
 	for m := 0; m < 3; m++ {
-		f, err := clinic.FitRange(epoch+int64(m)*30*day, epoch+int64(m+1)*30*day)
+		f, err := clinic.FitRange(ctx, epoch+int64(m)*30*day, epoch+int64(m+1)*30*day)
 		if err != nil {
 			log.Fatal(err)
 		}

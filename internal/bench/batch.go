@@ -1,0 +1,311 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"time"
+
+	"repro/internal/chunk"
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/kv"
+	"repro/internal/server"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// BatchIngestResult is one ingest mode's outcome over real TCP.
+type BatchIngestResult struct {
+	Mode      string
+	Chunks    int
+	RecordsPS float64
+	ChunksPS  float64
+	Append    workload.Summary // client-observed per-operation latency
+}
+
+// BatchIngest measures what the batch-native wire protocol buys: the same
+// pre-sealed chunk stream pushed to a real localhost TCP server (a) the
+// way the old API forced — one blocking round trip per InsertChunk on one
+// serialized connection — and (b) in wire.Batch envelopes, one round trip
+// per 64 chunks. Both modes receive byte-identical input, so the
+// comparison isolates the per-operation round-trip cost (syscalls, frame
+// turnarounds, scheduler wakeups) that batching amortizes; the paper's
+// millions-of-records-per-second ingest (§6.3) depends on exactly this.
+// Target: batched ≥ 2x per-op.
+//
+// A third row runs the full client pipeline — sealing included — through
+// the pipelined Writer (4 streams, one connection each, bounded in-flight
+// batches), the path applications actually use.
+func BatchIngest(w io.Writer, opts Options) ([]BatchIngestResult, error) {
+	const streams = 4
+	chunksPer := opts.scaled(2000)
+	total := streams * chunksPer
+	const recordsPerChunk = 6
+	const interval = 10_000
+	epoch := int64(1_700_000_000_000)
+	spec := chunk.DigestSpec{Sum: true, Count: true, SumSq: true}
+	fmt.Fprintf(w, "Batched vs per-op TCP ingest: %d streams x %d chunks x %d records, localhost\n\n",
+		streams, chunksPer, recordsPerChunk)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	startServer := func() (string, func(), error) {
+		engine, err := server.New(kv.NewMemStore(), server.Config{})
+		if err != nil {
+			return "", nil, err
+		}
+		srv := server.NewServer(engine, func(string, ...any) {})
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return "", nil, err
+		}
+		go srv.Serve(ctx, lis)
+		runtime.GC()
+		return lis.Addr().String(), func() { srv.Close() }, nil
+	}
+	newStream := func(tr client.Transport, mode string, i int) (*client.OwnerStream, error) {
+		return client.NewOwner(tr).CreateStream(ctx, client.StreamOptions{
+			UUID: fmt.Sprintf("batch-%s-%d", mode, i), Epoch: epoch, Interval: interval,
+			Spec: spec, Compression: chunk.CompressionNone,
+		})
+	}
+	points := func(stream int, c uint64) []chunk.Point {
+		return workload.NewDevOps(uint64(stream)).Chunk(c, epoch, interval)
+	}
+
+	// Pre-seal the whole load once (fresh HEAC key material per stream);
+	// the wire-level modes replay these byte-identical requests. Sealing
+	// cost is identical client CPU in both modes, so excluding it
+	// isolates the protocol difference (the writer row below includes it).
+	sealed := make([][][]byte, streams)
+	for i := range sealed {
+		tree, err := core.GenerateTree(core.NewPRG(core.PRGAES), core.DefaultTreeHeight)
+		if err != nil {
+			return nil, err
+		}
+		enc := core.NewEncryptor(tree.NewWalker())
+		sealed[i] = make([][]byte, chunksPer)
+		for c := 0; c < chunksPer; c++ {
+			start := epoch + int64(c)*interval
+			s, err := chunk.Seal(enc, spec, chunk.CompressionNone, uint64(c), start, start+interval, points(i, uint64(c)))
+			if err != nil {
+				return nil, err
+			}
+			sealed[i][c] = chunk.MarshalSealed(s)
+		}
+	}
+
+	result := func(mode string, elapsed time.Duration, lat *workload.LatencyRecorder) BatchIngestResult {
+		return BatchIngestResult{
+			Mode: mode, Chunks: total,
+			RecordsPS: float64(total*recordsPerChunk) / elapsed.Seconds(),
+			ChunksPS:  float64(total) / elapsed.Seconds(),
+			Append:    lat.Summarize(),
+		}
+	}
+
+	// --- per-op: one blocking round trip per chunk, one connection ------
+	runPerOp := func() (BatchIngestResult, error) {
+		addr, stop, err := startServer()
+		if err != nil {
+			return BatchIngestResult{}, err
+		}
+		tr, err := client.DialTCP(addr)
+		if err != nil {
+			stop()
+			return BatchIngestResult{}, err
+		}
+		for i := 0; i < streams; i++ {
+			if _, err := newStream(tr, "per-op", i); err != nil {
+				stop()
+				return BatchIngestResult{}, err
+			}
+		}
+		var lat workload.LatencyRecorder
+		start := time.Now()
+		for c := 0; c < chunksPer; c++ {
+			for i := 0; i < streams; i++ {
+				req := &wire.InsertChunk{UUID: fmt.Sprintf("batch-per-op-%d", i), Chunk: sealed[i][c]}
+				t0 := time.Now()
+				resp, err := tr.RoundTrip(ctx, req)
+				if err != nil {
+					stop()
+					return BatchIngestResult{}, err
+				}
+				if e, bad := resp.(*wire.Error); bad {
+					stop()
+					return BatchIngestResult{}, e
+				}
+				lat.Record(time.Since(t0))
+			}
+		}
+		res := result("per-op", time.Since(start), &lat)
+		tr.Close()
+		stop()
+		return res, nil
+	}
+
+	// --- batched: the same requests, 64 chunks per Batch envelope -------
+	runBatched := func() (BatchIngestResult, error) {
+		const batchSize = 64
+		addr, stop, err := startServer()
+		if err != nil {
+			return BatchIngestResult{}, err
+		}
+		tr, err := client.DialTCP(addr)
+		if err != nil {
+			stop()
+			return BatchIngestResult{}, err
+		}
+		for i := 0; i < streams; i++ {
+			if _, err := newStream(tr, "batched", i); err != nil {
+				stop()
+				return BatchIngestResult{}, err
+			}
+		}
+		var lat workload.LatencyRecorder
+		start := time.Now()
+		batch := &wire.Batch{}
+		flush := func() error {
+			if len(batch.Reqs) == 0 {
+				return nil
+			}
+			t0 := time.Now()
+			resp, err := tr.RoundTrip(ctx, batch)
+			if err != nil {
+				return err
+			}
+			br, ok := resp.(*wire.BatchResp)
+			if !ok {
+				if e, bad := resp.(*wire.Error); bad {
+					return e
+				}
+				return fmt.Errorf("unexpected batch response %T", resp)
+			}
+			for _, sub := range br.Resps {
+				if e, bad := sub.(*wire.Error); bad {
+					return e
+				}
+			}
+			lat.Record(time.Since(t0))
+			batch.Reqs = batch.Reqs[:0]
+			return nil
+		}
+		for c := 0; c < chunksPer; c++ {
+			for i := 0; i < streams; i++ {
+				batch.Reqs = append(batch.Reqs, &wire.InsertChunk{UUID: fmt.Sprintf("batch-batched-%d", i), Chunk: sealed[i][c]})
+				if len(batch.Reqs) == batchSize {
+					if err := flush(); err != nil {
+						stop()
+						return BatchIngestResult{}, err
+					}
+				}
+			}
+		}
+		if err := flush(); err != nil {
+			stop()
+			return BatchIngestResult{}, err
+		}
+		res := result("batched", time.Since(start), &lat)
+		tr.Close()
+		stop()
+		return res, nil
+	}
+
+	// --- writer: full pipeline incl. sealing, one producer goroutine ----
+	runWriter := func() (BatchIngestResult, error) {
+		addr, stop, err := startServer()
+		if err != nil {
+			return BatchIngestResult{}, err
+		}
+		writers := make([]*client.Writer, streams)
+		var conns []*client.TCP
+		for i := range writers {
+			tr, err := client.DialTCP(addr)
+			if err != nil {
+				stop()
+				return BatchIngestResult{}, err
+			}
+			conns = append(conns, tr)
+			s, err := newStream(tr, "writer", i)
+			if err != nil {
+				stop()
+				return BatchIngestResult{}, err
+			}
+			if writers[i], err = s.Writer(ctx, client.WriterOptions{BatchChunks: 64, MaxInFlight: 4}); err != nil {
+				stop()
+				return BatchIngestResult{}, err
+			}
+		}
+		var lat workload.LatencyRecorder
+		start := time.Now()
+		for c := 0; c < chunksPer; c++ {
+			for i, wr := range writers {
+				pts := points(i, uint64(c))
+				t0 := time.Now()
+				if err := wr.AppendChunk(pts); err != nil {
+					stop()
+					return BatchIngestResult{}, err
+				}
+				lat.Record(time.Since(t0))
+			}
+		}
+		for _, wr := range writers {
+			if err := wr.Close(); err != nil {
+				stop()
+				return BatchIngestResult{}, err
+			}
+		}
+		res := result("writer", time.Since(start), &lat)
+		for _, c := range conns {
+			c.Close()
+		}
+		stop()
+		return res, nil
+	}
+
+	// Interleaved best-of-5: single-core hosts (and CI runners) see large
+	// correlated noise spikes; taking each mode's best round measures the
+	// code, not the neighbors.
+	var results []BatchIngestResult
+	modeNames := []string{"per-op", "batched", "writer"}
+	modes := []func() (BatchIngestResult, error){runPerOp, runBatched, runWriter}
+	for round := 0; round < 5; round++ {
+		for m, run := range modes {
+			res, err := run()
+			if err != nil {
+				return nil, fmt.Errorf("%s round %d: %w", modeNames[m], round, err)
+			}
+			if round == 0 {
+				results = append(results, res)
+			} else if res.RecordsPS > results[m].RecordsPS {
+				results[m] = res
+			}
+		}
+	}
+
+	for _, r := range results {
+		opts.record(Metric{
+			Experiment: "batch", Name: r.Mode + "/ingest", OpsPerSec: r.RecordsPS,
+			P50Ms: ms(r.Append.P50), P99Ms: ms(r.Append.P99),
+		})
+	}
+	t := &table{header: []string{"Mode", "Records/s", "Chunks/s", "Op p50", "Op p99"}}
+	for _, r := range results {
+		t.add(r.Mode, fmt.Sprintf("%.0f", r.RecordsPS), fmt.Sprintf("%.0f", r.ChunksPS),
+			fmtDur(r.Append.P50), fmtDur(r.Append.P99))
+	}
+	t.write(w)
+	if results[0].RecordsPS > 0 {
+		fmt.Fprintf(w, "\nbatched ingest %.2fx per-op round trips (target >= 2x); writer end-to-end %.2fx\n",
+			results[1].RecordsPS/results[0].RecordsPS, results[2].RecordsPS/results[0].RecordsPS)
+	}
+	fmt.Fprintln(w, "(per-op/batched replay identical pre-sealed chunks; 'op' latency is per round trip —")
+	fmt.Fprintln(w, " one chunk per-op, 64 chunks batched. The writer row includes client-side sealing;")
+	fmt.Fprintln(w, " its op latency is the enqueue cost.)")
+	return results, nil
+}

@@ -13,13 +13,68 @@ import (
 	"io"
 	"os"
 	"strconv"
+	"sync"
 	"time"
+
+	"repro/internal/workload"
 )
 
 // Options scales the experiments. Scale 1.0 is a laptop/CI-sized run
 // (seconds to minutes); larger scales approach the paper's sizes.
 type Options struct {
 	Scale float64
+	// Results, when non-nil, collects machine-readable metrics alongside
+	// the human-readable tables (cmd/timecrypt-bench writes them to
+	// BENCH_results.json so the perf trajectory is tracked across PRs).
+	Results *Results
+}
+
+// Metric is one machine-readable benchmark data point.
+type Metric struct {
+	Experiment string  `json:"experiment"`
+	Name       string  `json:"name"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	P50Ms      float64 `json:"p50_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+}
+
+// Results collects metrics across experiments; safe for concurrent use.
+type Results struct {
+	mu      sync.Mutex
+	metrics []Metric
+}
+
+// Add appends metrics.
+func (r *Results) Add(ms ...Metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.metrics = append(r.metrics, ms...)
+}
+
+// Metrics snapshots the collected metrics.
+func (r *Results) Metrics() []Metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Metric(nil), r.metrics...)
+}
+
+// record adds metrics when a collector is attached.
+func (o Options) record(ms ...Metric) {
+	if o.Results != nil {
+		o.Results.Add(ms...)
+	}
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// reportMetrics converts a workload report into ingest and query metrics.
+func reportMetrics(experiment, name string, r workload.Report) []Metric {
+	return []Metric{
+		{Experiment: experiment, Name: name + "/ingest", OpsPerSec: r.IngestRecordsPS,
+			P50Ms: ms(r.Insert.P50), P99Ms: ms(r.Insert.P99)},
+		{Experiment: experiment, Name: name + "/query", OpsPerSec: r.QueryOpsPS,
+			P50Ms: ms(r.Query.P50), P99Ms: ms(r.Query.P99)},
+	}
 }
 
 // FromEnv reads TIMECRYPT_SCALE (default 1.0).

@@ -237,6 +237,44 @@ func TestFig5Runs(t *testing.T) {
 	}
 }
 
+func TestBatchIngestRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second benchmark harness")
+	}
+	results := &Results{}
+	opts := tiny
+	opts.Results = results
+	var sb strings.Builder
+	rows, err := BatchIngest(&sb, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d modes, want per-op/batched/writer", len(rows))
+	}
+	for _, r := range rows {
+		if r.RecordsPS <= 0 {
+			t.Errorf("%s: no throughput", r.Mode)
+		}
+	}
+	if !strings.Contains(sb.String(), "target >= 2x") {
+		t.Error("missing ratio summary")
+	}
+	// Machine-readable metrics flow into the collector.
+	metrics := results.Metrics()
+	if len(metrics) != 3 {
+		t.Fatalf("got %d metrics", len(metrics))
+	}
+	for _, m := range metrics {
+		if m.Experiment != "batch" || m.OpsPerSec <= 0 {
+			t.Errorf("bad metric %+v", m)
+		}
+	}
+	// The >= 2x scale-out claim is asserted by the full-scale run recorded
+	// in BENCH_results.json; at tiny scale only the harness shape is
+	// checked (matching TestClusterRuns).
+}
+
 func TestFormattingHelpers(t *testing.T) {
 	if fmtDur(500*time.Nanosecond) != "500ns" {
 		t.Error(fmtDur(500 * time.Nanosecond))

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -26,8 +27,8 @@ type ClusterResult struct {
 // pre-sharding architecture), (b) one lock-striped engine, and (c) a
 // consistent-hash router over N engine shards, each with its own store
 // partition. Sharding pays twice: stream operations on different shards
-// share no locks, and every per-operation store cost (most visibly the
-// staged-record prefix scan on ingest) runs over a 1/N-sized store.
+// share no locks, and every per-operation store cost runs over a
+// 1/N-sized store.
 func Cluster(w io.Writer, opts Options) ([]ClusterResult, error) {
 	workers := opts.scaled(2 * runtime.GOMAXPROCS(0))
 	if workers < 4 {
@@ -59,7 +60,7 @@ func Cluster(w io.Writer, opts Options) ([]ClusterResult, error) {
 		if err != nil {
 			return ClusterResult{}, err
 		}
-		report, err := workload.Run(workload.LoadConfig{
+		report, err := workload.Run(context.Background(), workload.LoadConfig{
 			Workers:          workers,
 			StreamsPerWorker: streamsPer,
 			ChunksPerStream:  chunks,
@@ -99,6 +100,7 @@ func Cluster(w io.Writer, opts Options) ([]ClusterResult, error) {
 			return nil, err
 		}
 		results = append(results, res)
+		opts.record(reportMetrics("cluster", cfg.name, res.Report)...)
 	}
 
 	t := &table{header: []string{"Config", "Ingest rec/s", "Query ops/s", "Insert p50", "Insert p99", "Query p50", "Query p99"}}

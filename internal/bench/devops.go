@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -35,7 +36,7 @@ func DevOps(w io.Writer, opts Options) ([]Fig7Result, error) {
 		if err != nil {
 			return Fig7Result{}, err
 		}
-		report, err := workload.Run(workload.LoadConfig{
+		report, err := workload.Run(context.Background(), workload.LoadConfig{
 			Workers:          workers,
 			StreamsPerWorker: streamsPer,
 			ChunksPerStream:  chunks,
@@ -65,6 +66,7 @@ func DevOps(w io.Writer, opts Options) ([]Fig7Result, error) {
 			return nil, err
 		}
 		results = append(results, res)
+		opts.record(reportMetrics("devops", cfg.name, res.Report)...)
 	}
 	t := &table{header: []string{"Config", "Ingest rec/s", "Query ops/s", "Insert p50", "Query p50"}}
 	for _, r := range results {

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -40,7 +41,7 @@ func Fig7(w io.Writer, opts Options) ([]Fig7Result, error) {
 		if err != nil {
 			return Fig7Result{}, err
 		}
-		report, err := workload.Run(workload.LoadConfig{
+		report, err := workload.Run(context.Background(), workload.LoadConfig{
 			Workers:          workers,
 			StreamsPerWorker: streamsPer,
 			ChunksPerStream:  chunks,
@@ -78,6 +79,7 @@ func Fig7(w io.Writer, opts Options) ([]Fig7Result, error) {
 			return nil, err
 		}
 		results = append(results, res)
+		opts.record(reportMetrics("fig7", cfg.name, res.Report)...)
 	}
 
 	t := &table{header: []string{"Config", "Ingest rec/s", "Query ops/s", "Insert p50", "Insert p99", "Query p50", "Query p99"}}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -31,6 +32,7 @@ func Fig8(w io.Writer, opts Options) ([]Fig8Point, error) {
 	chunks := uint64(days) * 8640 // Δ=10s -> 8640 chunks/day
 	const interval = 10_000
 	epoch := int64(1_700_000_000_000)
+	ctx := context.Background()
 	fmt.Fprintf(w, "Fig 8: query latency vs granularity (%d day(s) of data = %d chunks, Δ=10s)\n\n", days, chunks)
 
 	build := func(insecure bool) (*client.OwnerStream, error) {
@@ -39,7 +41,7 @@ func Fig8(w io.Writer, opts Options) ([]Fig8Point, error) {
 			return nil, err
 		}
 		owner := client.NewOwner(&client.InProc{Engine: engine})
-		s, err := owner.CreateStream(client.StreamOptions{
+		s, err := owner.CreateStream(ctx, client.StreamOptions{
 			UUID:     "fig8",
 			Epoch:    epoch,
 			Interval: interval,
@@ -55,7 +57,7 @@ func Fig8(w io.Writer, opts Options) ([]Fig8Point, error) {
 			for p := range pts {
 				pts[p] = chunk.Point{TS: start + int64(p)*2000, Val: int64(60 + i%30)}
 			}
-			if err := s.AppendChunk(pts); err != nil {
+			if err := s.AppendChunk(ctx, pts); err != nil {
 				return nil, err
 			}
 		}
@@ -96,14 +98,14 @@ func Fig8(w io.Writer, opts Options) ([]Fig8Point, error) {
 		}
 		var nWin int
 		pLat := measure(reps, func() {
-			res, err := plain.StatSeries(epoch, te, g.chunks)
+			res, err := plain.StatSeries(ctx, epoch, te, g.chunks)
 			if err != nil {
 				panic(err)
 			}
 			nWin = len(res)
 		})
 		tLat := measure(reps, func() {
-			if _, err := tc.StatSeries(epoch, te, g.chunks); err != nil {
+			if _, err := tc.StatSeries(ctx, epoch, te, g.chunks); err != nil {
 				panic(err)
 			}
 		})
@@ -111,12 +113,12 @@ func Fig8(w io.Writer, opts Options) ([]Fig8Point, error) {
 	}
 	// Whole-range query (single window).
 	pLat := measure(10, func() {
-		if _, err := plain.StatRange(epoch, te); err != nil {
+		if _, err := plain.StatRange(ctx, epoch, te); err != nil {
 			panic(err)
 		}
 	})
 	tLat := measure(10, func() {
-		if _, err := tc.StatRange(epoch, te); err != nil {
+		if _, err := tc.StatRange(ctx, epoch, te); err != nil {
 			panic(err)
 		}
 	})

@@ -49,7 +49,7 @@ func fillStream(t *testing.T, s *OwnerStream, n int) {
 		for p := range pts {
 			pts[p] = chunk.Point{TS: start + int64(p)*2000, Val: int64(60 + i%20)}
 		}
-		if err := s.AppendChunk(pts); err != nil {
+		if err := s.AppendChunk(context.Background(), pts); err != nil {
 			t.Fatalf("chunk %d: %v", i, err)
 		}
 	}
@@ -58,7 +58,7 @@ func fillStream(t *testing.T, s *OwnerStream, n int) {
 func TestOwnerIngestAndQuery(t *testing.T) {
 	tr := inproc(t)
 	owner := NewOwner(tr)
-	s, err := owner.CreateStream(defaultOpts("s1"))
+	s, err := owner.CreateStream(context.Background(), defaultOpts("s1"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +67,7 @@ func TestOwnerIngestAndQuery(t *testing.T) {
 		t.Fatalf("Count = %d", s.Count())
 	}
 	epoch := s.opts.Epoch
-	res, err := s.StatRange(epoch, epoch+30*10_000)
+	res, err := s.StatRange(context.Background(), epoch, epoch+30*10_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,27 +93,27 @@ func TestOwnerPerPointIngest(t *testing.T) {
 	tr := inproc(t)
 	owner := NewOwner(tr)
 	opts := defaultOpts("s1")
-	s, err := owner.CreateStream(opts)
+	s, err := owner.CreateStream(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// 3 chunks worth of points, one at a time (InsertRecord-style).
 	for i := 0; i < 35; i++ {
 		ts := opts.Epoch + int64(i)*1000 // 1 s apart; 10 per chunk
-		if err := s.Append(chunk.Point{TS: ts, Val: int64(i)}); err != nil {
+		if err := s.Append(context.Background(), chunk.Point{TS: ts, Val: int64(i)}); err != nil {
 			t.Fatal(err)
 		}
 	}
 	if s.Count() != 3 { // chunks 0..2 complete; chunk 3 in progress
 		t.Fatalf("Count = %d, want 3", s.Count())
 	}
-	if err := s.Flush(); err != nil {
+	if err := s.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if s.Count() != 4 {
 		t.Fatalf("Count after flush = %d, want 4", s.Count())
 	}
-	res, err := s.StatRange(opts.Epoch, opts.Epoch+40_000)
+	res, err := s.StatRange(context.Background(), opts.Epoch, opts.Epoch+40_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,13 +125,13 @@ func TestOwnerPerPointIngest(t *testing.T) {
 func TestOwnerPointsRoundTrip(t *testing.T) {
 	tr := inproc(t)
 	owner := NewOwner(tr)
-	s, err := owner.CreateStream(defaultOpts("s1"))
+	s, err := owner.CreateStream(context.Background(), defaultOpts("s1"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	fillStream(t, s, 5)
 	epoch := s.opts.Epoch
-	pts, err := s.Points(epoch+10_000, epoch+30_000)
+	pts, err := s.Points(context.Background(), epoch+10_000, epoch+30_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +148,7 @@ func TestOwnerPointsRoundTrip(t *testing.T) {
 func TestConsumerFullResolutionGrant(t *testing.T) {
 	tr := inproc(t)
 	owner := NewOwner(tr)
-	s, err := owner.CreateStream(defaultOpts("s1"))
+	s, err := owner.CreateStream(context.Background(), defaultOpts("s1"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,11 +156,11 @@ func TestConsumerFullResolutionGrant(t *testing.T) {
 	kp, _ := hybrid.GenerateKeyPair()
 	epoch := s.opts.Epoch
 	// Grant chunks [5, 20).
-	if _, err := s.Grant(kp.PublicBytes(), epoch+5*10_000, epoch+20*10_000, 0); err != nil {
+	if _, err := s.Grant(context.Background(), kp.PublicBytes(), epoch+5*10_000, epoch+20*10_000, 0); err != nil {
 		t.Fatal(err)
 	}
 	consumer := NewConsumer(tr, kp)
-	cs, err := consumer.OpenStream("s1")
+	cs, err := consumer.OpenStream(context.Background(), "s1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +168,7 @@ func TestConsumerFullResolutionGrant(t *testing.T) {
 		t.Fatal("expected full resolution view")
 	}
 	// In-range query decrypts.
-	res, err := cs.StatRange(epoch+5*10_000, epoch+20*10_000)
+	res, err := cs.StatRange(context.Background(), epoch+5*10_000, epoch+20*10_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +176,7 @@ func TestConsumerFullResolutionGrant(t *testing.T) {
 		t.Errorf("count = %d, want 75", res.Count)
 	}
 	// Sub-range works too (full resolution).
-	res, err = cs.StatRange(epoch+7*10_000, epoch+9*10_000)
+	res, err = cs.StatRange(context.Background(), epoch+7*10_000, epoch+9*10_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +184,7 @@ func TestConsumerFullResolutionGrant(t *testing.T) {
 		t.Errorf("sub-range count = %d, want 10", res.Count)
 	}
 	// Raw points within grant.
-	pts, err := cs.Points(epoch+5*10_000, epoch+7*10_000)
+	pts, err := cs.Points(context.Background(), epoch+5*10_000, epoch+7*10_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,10 +192,10 @@ func TestConsumerFullResolutionGrant(t *testing.T) {
 		t.Errorf("got %d points, want 10", len(pts))
 	}
 	// Out-of-grant query must fail to decrypt.
-	if _, err := cs.StatRange(epoch, epoch+30*10_000); err == nil {
+	if _, err := cs.StatRange(context.Background(), epoch, epoch+30*10_000); err == nil {
 		t.Error("consumer decrypted beyond grant")
 	}
-	if _, err := cs.Points(epoch, epoch+2*10_000); err == nil {
+	if _, err := cs.Points(context.Background(), epoch, epoch+2*10_000); err == nil {
 		t.Error("consumer read points beyond grant")
 	}
 }
@@ -203,21 +203,21 @@ func TestConsumerFullResolutionGrant(t *testing.T) {
 func TestConsumerResolutionRestrictedGrant(t *testing.T) {
 	tr := inproc(t)
 	owner := NewOwner(tr)
-	s, err := owner.CreateStream(defaultOpts("s1"))
+	s, err := owner.CreateStream(context.Background(), defaultOpts("s1"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.EnableResolution(6); err != nil {
+	if err := s.EnableResolution(context.Background(), 6); err != nil {
 		t.Fatal(err)
 	}
 	fillStream(t, s, 36)
 	kp, _ := hybrid.GenerateKeyPair()
 	epoch := s.opts.Epoch
-	if _, err := s.Grant(kp.PublicBytes(), epoch, epoch+36*10_000, 6); err != nil {
+	if _, err := s.Grant(context.Background(), kp.PublicBytes(), epoch, epoch+36*10_000, 6); err != nil {
 		t.Fatal(err)
 	}
 	consumer := NewConsumer(tr, kp)
-	cs, err := consumer.OpenStream("s1")
+	cs, err := consumer.OpenStream(context.Background(), "s1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +225,7 @@ func TestConsumerResolutionRestrictedGrant(t *testing.T) {
 		t.Fatal("resolution grant produced full-resolution view")
 	}
 	// 6-chunk windows decrypt.
-	series, err := cs.StatSeries(epoch, epoch+36*10_000, 6)
+	series, err := cs.StatSeries(context.Background(), epoch, epoch+36*10_000, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +238,7 @@ func TestConsumerResolutionRestrictedGrant(t *testing.T) {
 		}
 	}
 	// Coarser multiple (12 chunks) also decrypts.
-	series, err = cs.StatSeries(epoch, epoch+36*10_000, 12)
+	series, err = cs.StatSeries(context.Background(), epoch, epoch+36*10_000, 12)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,13 +246,13 @@ func TestConsumerResolutionRestrictedGrant(t *testing.T) {
 		t.Fatalf("got %d coarse windows, want 3", len(series))
 	}
 	// Finer granularity is cryptographically out of reach.
-	if _, err := cs.StatSeries(epoch, epoch+36*10_000, 3); err == nil {
+	if _, err := cs.StatSeries(context.Background(), epoch, epoch+36*10_000, 3); err == nil {
 		t.Error("finer-than-granted granularity succeeded")
 	}
-	if _, err := cs.StatRange(epoch, epoch+36*10_000); err == nil {
+	if _, err := cs.StatRange(context.Background(), epoch, epoch+36*10_000); err == nil {
 		t.Error("scalar query succeeded without full resolution")
 	}
-	if _, err := cs.Points(epoch, epoch+10_000); err == nil {
+	if _, err := cs.Points(context.Background(), epoch, epoch+10_000); err == nil {
 		t.Error("raw points readable at restricted resolution")
 	}
 }
@@ -260,26 +260,26 @@ func TestConsumerResolutionRestrictedGrant(t *testing.T) {
 func TestResolutionGrantPartialRange(t *testing.T) {
 	tr := inproc(t)
 	owner := NewOwner(tr)
-	s, err := owner.CreateStream(defaultOpts("s1"))
+	s, err := owner.CreateStream(context.Background(), defaultOpts("s1"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.EnableResolution(6); err != nil {
+	if err := s.EnableResolution(context.Background(), 6); err != nil {
 		t.Fatal(err)
 	}
 	fillStream(t, s, 36)
 	kp, _ := hybrid.GenerateKeyPair()
 	epoch := s.opts.Epoch
 	// Grant only windows 1..3 (chunks [6, 24)).
-	if _, err := s.Grant(kp.PublicBytes(), epoch+6*10_000, epoch+24*10_000, 6); err != nil {
+	if _, err := s.Grant(context.Background(), kp.PublicBytes(), epoch+6*10_000, epoch+24*10_000, 6); err != nil {
 		t.Fatal(err)
 	}
 	consumer := NewConsumer(tr, kp)
-	cs, err := consumer.OpenStream("s1")
+	cs, err := consumer.OpenStream(context.Background(), "s1")
 	if err != nil {
 		t.Fatal(err)
 	}
-	series, err := cs.StatSeries(epoch+6*10_000, epoch+24*10_000, 6)
+	series, err := cs.StatSeries(context.Background(), epoch+6*10_000, epoch+24*10_000, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +287,7 @@ func TestResolutionGrantPartialRange(t *testing.T) {
 		t.Fatalf("got %d windows, want 3", len(series))
 	}
 	// Windows outside the grant fail.
-	if _, err := cs.StatSeries(epoch, epoch+36*10_000, 6); err == nil {
+	if _, err := cs.StatSeries(context.Background(), epoch, epoch+36*10_000, 6); err == nil {
 		t.Error("decrypted windows outside grant")
 	}
 }
@@ -295,14 +295,14 @@ func TestResolutionGrantPartialRange(t *testing.T) {
 func TestGrantRequiresEnabledResolution(t *testing.T) {
 	tr := inproc(t)
 	owner := NewOwner(tr)
-	s, err := owner.CreateStream(defaultOpts("s1"))
+	s, err := owner.CreateStream(context.Background(), defaultOpts("s1"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	fillStream(t, s, 12)
 	kp, _ := hybrid.GenerateKeyPair()
 	epoch := s.opts.Epoch
-	if _, err := s.Grant(kp.PublicBytes(), epoch, epoch+12*10_000, 6); err == nil {
+	if _, err := s.Grant(context.Background(), kp.PublicBytes(), epoch, epoch+12*10_000, 6); err == nil {
 		t.Error("grant at non-enabled resolution accepted")
 	}
 }
@@ -310,25 +310,25 @@ func TestGrantRequiresEnabledResolution(t *testing.T) {
 func TestRevocation(t *testing.T) {
 	tr := inproc(t)
 	owner := NewOwner(tr)
-	s, err := owner.CreateStream(defaultOpts("s1"))
+	s, err := owner.CreateStream(context.Background(), defaultOpts("s1"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	fillStream(t, s, 10)
 	kp, _ := hybrid.GenerateKeyPair()
 	epoch := s.opts.Epoch
-	gid, err := s.Grant(kp.PublicBytes(), epoch, epoch+10*10_000, 0)
+	gid, err := s.Grant(context.Background(), kp.PublicBytes(), epoch, epoch+10*10_000, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	consumer := NewConsumer(tr, kp)
-	if _, err := consumer.OpenStream("s1"); err != nil {
+	if _, err := consumer.OpenStream(context.Background(), "s1"); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Revoke(kp.PublicBytes(), gid); err != nil {
+	if err := s.Revoke(context.Background(), kp.PublicBytes(), gid); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := consumer.OpenStream("s1"); err == nil {
+	if _, err := consumer.OpenStream(context.Background(), "s1"); err == nil {
 		t.Error("grant usable after revocation")
 	}
 }
@@ -336,50 +336,50 @@ func TestRevocation(t *testing.T) {
 func TestOpenGrantExtension(t *testing.T) {
 	tr := inproc(t)
 	owner := NewOwner(tr)
-	s, err := owner.CreateStream(defaultOpts("s1"))
+	s, err := owner.CreateStream(context.Background(), defaultOpts("s1"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	fillStream(t, s, 10)
 	kp, _ := hybrid.GenerateKeyPair()
 	epoch := s.opts.Epoch
-	gid, err := s.GrantOpen(kp.PublicBytes(), epoch, 0)
+	gid, err := s.GrantOpen(context.Background(), kp.PublicBytes(), epoch, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	consumer := NewConsumer(tr, kp)
-	cs, err := consumer.OpenStream("s1")
+	cs, err := consumer.OpenStream(context.Background(), "s1")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cs.StatRange(epoch, epoch+10*10_000); err != nil {
+	if _, err := cs.StatRange(context.Background(), epoch, epoch+10*10_000); err != nil {
 		t.Fatalf("initial open grant unusable: %v", err)
 	}
 	// More data arrives; before extension the new range is unreadable.
 	fillStream(t, s, 10)
-	cs, _ = consumer.OpenStream("s1")
-	if _, err := cs.StatRange(epoch, epoch+20*10_000); err == nil {
+	cs, _ = consumer.OpenStream(context.Background(), "s1")
+	if _, err := cs.StatRange(context.Background(), epoch, epoch+20*10_000); err == nil {
 		t.Error("read new data before grant extension")
 	}
-	if err := s.ExtendOpenGrants(); err != nil {
+	if err := s.ExtendOpenGrants(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	cs, err = consumer.OpenStream("s1")
+	cs, err = consumer.OpenStream(context.Background(), "s1")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cs.StatRange(epoch, epoch+20*10_000); err != nil {
+	if _, err := cs.StatRange(context.Background(), epoch, epoch+20*10_000); err != nil {
 		t.Errorf("extended grant unusable: %v", err)
 	}
 	// Revoke: forward secrecy — later data never becomes readable.
-	if err := s.Revoke(kp.PublicBytes(), gid); err != nil {
+	if err := s.Revoke(context.Background(), kp.PublicBytes(), gid); err != nil {
 		t.Fatal(err)
 	}
 	fillStream(t, s, 10)
-	if err := s.ExtendOpenGrants(); err != nil {
+	if err := s.ExtendOpenGrants(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := consumer.OpenStream("s1"); err == nil {
+	if _, err := consumer.OpenStream(context.Background(), "s1"); err == nil {
 		t.Error("revoked subscription still has grants")
 	}
 }
@@ -387,7 +387,7 @@ func TestOpenGrantExtension(t *testing.T) {
 func TestWrongConsumerCannotUseGrant(t *testing.T) {
 	tr := inproc(t)
 	owner := NewOwner(tr)
-	s, err := owner.CreateStream(defaultOpts("s1"))
+	s, err := owner.CreateStream(context.Background(), defaultOpts("s1"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -395,11 +395,11 @@ func TestWrongConsumerCannotUseGrant(t *testing.T) {
 	alice, _ := hybrid.GenerateKeyPair()
 	eve, _ := hybrid.GenerateKeyPair()
 	epoch := s.opts.Epoch
-	if _, err := s.Grant(alice.PublicBytes(), epoch, epoch+5*10_000, 0); err != nil {
+	if _, err := s.Grant(context.Background(), alice.PublicBytes(), epoch, epoch+5*10_000, 0); err != nil {
 		t.Fatal(err)
 	}
 	// Eve has no grants under her identity.
-	if _, err := NewConsumer(tr, eve).OpenStream("s1"); err == nil {
+	if _, err := NewConsumer(tr, eve).OpenStream(context.Background(), "s1"); err == nil {
 		t.Error("eve opened a stream without grants")
 	}
 }
@@ -409,11 +409,11 @@ func TestMultiStreamQuery(t *testing.T) {
 	owner := NewOwner(tr)
 	optsA := defaultOpts("a")
 	optsB := defaultOpts("b")
-	sa, err := owner.CreateStream(optsA)
+	sa, err := owner.CreateStream(context.Background(), optsA)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sb, err := owner.CreateStream(optsB)
+	sb, err := owner.CreateStream(context.Background(), optsB)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -421,29 +421,29 @@ func TestMultiStreamQuery(t *testing.T) {
 	fillStream(t, sb, 10)
 	kp, _ := hybrid.GenerateKeyPair()
 	epoch := optsA.Epoch
-	if _, err := sa.Grant(kp.PublicBytes(), epoch, epoch+10*10_000, 0); err != nil {
+	if _, err := sa.Grant(context.Background(), kp.PublicBytes(), epoch, epoch+10*10_000, 0); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sb.Grant(kp.PublicBytes(), epoch, epoch+10*10_000, 0); err != nil {
+	if _, err := sb.Grant(context.Background(), kp.PublicBytes(), epoch, epoch+10*10_000, 0); err != nil {
 		t.Fatal(err)
 	}
 	consumer := NewConsumer(tr, kp)
-	ca, err := consumer.OpenStream("a")
+	ca, err := consumer.OpenStream(context.Background(), "a")
 	if err != nil {
 		t.Fatal(err)
 	}
-	cb, err := consumer.OpenStream("b")
+	cb, err := consumer.OpenStream(context.Background(), "b")
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := consumer.StatMulti([]*ConsumerStream{ca, cb}, epoch, epoch+10*10_000)
+	res, err := consumer.StatMulti(context.Background(), []*ConsumerStream{ca, cb}, epoch, epoch+10*10_000)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Count != 100 { // 50 points per stream
 		t.Errorf("multi-stream count = %d, want 100", res.Count)
 	}
-	single, _ := ca.StatRange(epoch, epoch+10*10_000)
+	single, _ := ca.StatRange(context.Background(), epoch, epoch+10*10_000)
 	if res.Sum != 2*single.Sum {
 		t.Errorf("multi-stream sum = %d, want %d", res.Sum, 2*single.Sum)
 	}
@@ -452,31 +452,31 @@ func TestMultiStreamQuery(t *testing.T) {
 func TestDeleteRangeAndRollupViaClient(t *testing.T) {
 	tr := inproc(t)
 	owner := NewOwner(tr)
-	s, err := owner.CreateStream(defaultOpts("s1"))
+	s, err := owner.CreateStream(context.Background(), defaultOpts("s1"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	fillStream(t, s, 16)
 	epoch := s.opts.Epoch
-	if err := s.DeleteRange(epoch, epoch+8*10_000); err != nil {
+	if err := s.DeleteRange(context.Background(), epoch, epoch+8*10_000); err != nil {
 		t.Fatal(err)
 	}
-	pts, err := s.Points(epoch, epoch+16*10_000)
+	pts, err := s.Points(context.Background(), epoch, epoch+16*10_000)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(pts) != 8*5 {
 		t.Errorf("got %d points after delete, want 40", len(pts))
 	}
-	res, err := s.StatRange(epoch, epoch+8*10_000)
+	res, err := s.StatRange(context.Background(), epoch, epoch+8*10_000)
 	if err != nil || res.Count != 40 {
 		t.Errorf("stats over deleted range: %v %v", res.Count, err)
 	}
 	// Rollup the first 8 chunks to 8-chunk granularity.
-	if err := s.Rollup(8, epoch, epoch+8*10_000); err != nil {
+	if err := s.Rollup(context.Background(), 8, epoch, epoch+8*10_000); err != nil {
 		t.Fatal(err)
 	}
-	if res, err := s.StatRange(epoch, epoch+16*10_000); err != nil || res.Count != 80 {
+	if res, err := s.StatRange(context.Background(), epoch, epoch+16*10_000); err != nil || res.Count != 80 {
 		t.Errorf("coarse stats after rollup: %+v %v", res.Count, err)
 	}
 }
@@ -499,13 +499,13 @@ func TestClientOverTCP(t *testing.T) {
 	}
 	defer tcp.Close()
 	owner := NewOwner(tcp)
-	s, err := owner.CreateStream(defaultOpts("tcp-stream"))
+	s, err := owner.CreateStream(context.Background(), defaultOpts("tcp-stream"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	fillStream(t, s, 12)
 	epoch := s.opts.Epoch
-	res, err := s.StatRange(epoch, epoch+12*10_000)
+	res, err := s.StatRange(context.Background(), epoch, epoch+12*10_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -513,7 +513,7 @@ func TestClientOverTCP(t *testing.T) {
 		t.Errorf("count over TCP = %d, want 60", res.Count)
 	}
 	kp, _ := hybrid.GenerateKeyPair()
-	if _, err := s.Grant(kp.PublicBytes(), epoch, epoch+12*10_000, 0); err != nil {
+	if _, err := s.Grant(context.Background(), kp.PublicBytes(), epoch, epoch+12*10_000, 0); err != nil {
 		t.Fatal(err)
 	}
 	tcp2, err := DialTCP(lis.Addr().String())
@@ -521,11 +521,11 @@ func TestClientOverTCP(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer tcp2.Close()
-	cs, err := NewConsumer(tcp2, kp).OpenStream("tcp-stream")
+	cs, err := NewConsumer(tcp2, kp).OpenStream(context.Background(), "tcp-stream")
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err = cs.StatRange(epoch, epoch+12*10_000)
+	res, err = cs.StatRange(context.Background(), epoch, epoch+12*10_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -537,10 +537,10 @@ func TestClientOverTCP(t *testing.T) {
 func TestStreamOptionsValidation(t *testing.T) {
 	tr := inproc(t)
 	owner := NewOwner(tr)
-	if _, err := owner.CreateStream(StreamOptions{UUID: "", Interval: 10}); err == nil {
+	if _, err := owner.CreateStream(context.Background(), StreamOptions{UUID: "", Interval: 10}); err == nil {
 		t.Error("empty UUID accepted")
 	}
-	if _, err := owner.CreateStream(StreamOptions{UUID: "x", Interval: 0}); err == nil {
+	if _, err := owner.CreateStream(context.Background(), StreamOptions{UUID: "x", Interval: 0}); err == nil {
 		t.Error("zero interval accepted")
 	}
 }
@@ -570,7 +570,7 @@ func TestGrantEncodingRoundTrip(t *testing.T) {
 	_ = tr
 	// Full-resolution grant with tokens.
 	owner := NewOwner(inproc(t))
-	s, err := owner.CreateStream(defaultOpts("s1"))
+	s, err := owner.CreateStream(context.Background(), defaultOpts("s1"))
 	if err != nil {
 		t.Fatal(err)
 	}

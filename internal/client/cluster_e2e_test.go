@@ -5,6 +5,7 @@
 package client_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -59,7 +60,7 @@ func fill(t *testing.T, s *client.OwnerStream, n int) {
 		for p := range pts {
 			pts[p] = chunk.Point{TS: start + int64(p)*2000, Val: int64(60 + i%20)}
 		}
-		if err := s.AppendChunk(pts); err != nil {
+		if err := s.AppendChunk(context.Background(), pts); err != nil {
 			t.Fatalf("chunk %d: %v", i, err)
 		}
 	}
@@ -80,7 +81,7 @@ func TestClusterE2E(t *testing.T) {
 	shardsHit := map[string]bool{}
 	for i := range streams {
 		uuids[i] = fmt.Sprintf("cluster-e2e-%d", i)
-		s, err := owner.CreateStream(e2eOpts(uuids[i]))
+		s, err := owner.CreateStream(context.Background(), e2eOpts(uuids[i]))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -98,7 +99,7 @@ func TestClusterE2E(t *testing.T) {
 		wantSum += 5 * int64(60+i%20)
 	}
 	for _, s := range streams {
-		res, err := s.StatRange(e2eEpoch, e2eEpoch+int64(nChunks)*e2eInterval)
+		res, err := s.StatRange(context.Background(), e2eEpoch, e2eEpoch+int64(nChunks)*e2eInterval)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -125,29 +126,29 @@ func TestClusterE2E(t *testing.T) {
 		t.Fatal(err)
 	}
 	hi := e2eEpoch + int64(nChunks)*e2eInterval
-	if _, err := streams[a].Grant(kp.PublicBytes(), e2eEpoch, hi, 0); err != nil {
+	if _, err := streams[a].Grant(context.Background(), kp.PublicBytes(), e2eEpoch, hi, 0); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := streams[b].Grant(kp.PublicBytes(), e2eEpoch, hi, 0); err != nil {
+	if _, err := streams[b].Grant(context.Background(), kp.PublicBytes(), e2eEpoch, hi, 0); err != nil {
 		t.Fatal(err)
 	}
 	consumer := client.NewConsumer(tr, kp)
-	ca, err := consumer.OpenStream(uuids[a])
+	ca, err := consumer.OpenStream(context.Background(), uuids[a])
 	if err != nil {
 		t.Fatal(err)
 	}
-	cb, err := consumer.OpenStream(uuids[b])
+	cb, err := consumer.OpenStream(context.Background(), uuids[b])
 	if err != nil {
 		t.Fatal(err)
 	}
-	single, err := ca.StatRange(e2eEpoch, hi)
+	single, err := ca.StatRange(context.Background(), e2eEpoch, hi)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if single.Sum != wantSum {
 		t.Fatalf("consumer sum = %d, want %d", single.Sum, wantSum)
 	}
-	multi, err := consumer.StatMulti([]*client.ConsumerStream{ca, cb}, e2eEpoch, hi)
+	multi, err := consumer.StatMulti(context.Background(), []*client.ConsumerStream{ca, cb}, e2eEpoch, hi)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,36 +157,36 @@ func TestClusterE2E(t *testing.T) {
 	}
 
 	// Resolution-restricted grant on a third stream.
-	rs, err := owner.CreateStream(e2eOpts("cluster-e2e-res"))
+	rs, err := owner.CreateStream(context.Background(), e2eOpts("cluster-e2e-res"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := rs.EnableResolution(6); err != nil {
+	if err := rs.EnableResolution(context.Background(), 6); err != nil {
 		t.Fatal(err)
 	}
 	fill(t, rs, nChunks)
 	kp2, _ := hybrid.GenerateKeyPair()
-	if _, err := rs.Grant(kp2.PublicBytes(), e2eEpoch, hi, 6); err != nil {
+	if _, err := rs.Grant(context.Background(), kp2.PublicBytes(), e2eEpoch, hi, 6); err != nil {
 		t.Fatal(err)
 	}
 	consumer2 := client.NewConsumer(tr, kp2)
-	crs, err := consumer2.OpenStream("cluster-e2e-res")
+	crs, err := consumer2.OpenStream(context.Background(), "cluster-e2e-res")
 	if err != nil {
 		t.Fatal(err)
 	}
-	series, err := crs.StatSeries(e2eEpoch, hi, 6)
+	series, err := crs.StatSeries(context.Background(), e2eEpoch, hi, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(series) != 2 {
 		t.Fatalf("got %d windows, want 2", len(series))
 	}
-	if _, err := crs.StatRange(e2eEpoch, hi); err == nil {
+	if _, err := crs.StatRange(context.Background(), e2eEpoch, hi); err == nil {
 		t.Error("restricted principal decrypted full resolution")
 	}
 
 	// Raw point retrieval crosses the router too.
-	pts, err := streams[a].Points(e2eEpoch, e2eEpoch+e2eInterval)
+	pts, err := streams[a].Points(context.Background(), e2eEpoch, e2eEpoch+e2eInterval)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,20 +195,20 @@ func TestClusterE2E(t *testing.T) {
 	}
 
 	// Listing merges all shards; deletion routes to the owner shard.
-	listed, err := owner.ListStreams()
+	listed, err := owner.ListStreams(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(listed) != nStreams+1 {
 		t.Fatalf("listed %d streams, want %d", len(listed), nStreams+1)
 	}
-	if err := owner.DeleteStream(uuids[a]); err != nil {
+	if err := owner.DeleteStream(context.Background(), uuids[a]); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := consumer.OpenStream(uuids[a]); err == nil {
+	if _, err := consumer.OpenStream(context.Background(), uuids[a]); err == nil {
 		t.Error("deleted stream still opens")
 	}
-	listed, err = owner.ListStreams()
+	listed, err = owner.ListStreams(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,18 +236,18 @@ func TestClusterMatchesSingleEngine(t *testing.T) {
 		owner := client.NewOwner(tr)
 		var out answers
 		for i := 0; i < 4; i++ {
-			s, err := owner.CreateStream(e2eOpts(fmt.Sprintf("parity-%d", i)))
+			s, err := owner.CreateStream(context.Background(), e2eOpts(fmt.Sprintf("parity-%d", i)))
 			if err != nil {
 				t.Fatal(err)
 			}
 			fill(t, s, 8)
-			res, err := s.StatRange(e2eEpoch, e2eEpoch+8*e2eInterval)
+			res, err := s.StatRange(context.Background(), e2eEpoch, e2eEpoch+8*e2eInterval)
 			if err != nil {
 				t.Fatal(err)
 			}
 			out.sum += res.Sum
 			out.count += res.Count
-			series, err := s.StatSeries(e2eEpoch, e2eEpoch+8*e2eInterval, 4)
+			series, err := s.StatSeries(context.Background(), e2eEpoch, e2eEpoch+8*e2eInterval, 4)
 			if err != nil {
 				t.Fatal(err)
 			}

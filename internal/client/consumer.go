@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -45,8 +46,8 @@ type ConsumerStream struct {
 
 // OpenStream fetches the consumer's grants for a stream and builds a
 // queryable view. It fails if no grant can be opened.
-func (c *Consumer) OpenStream(uuid string) (*ConsumerStream, error) {
-	resp, err := call[*wire.GetGrantsResp](c.t, &wire.GetGrants{
+func (c *Consumer) OpenStream(ctx context.Context, uuid string) (*ConsumerStream, error) {
+	resp, err := call[*wire.GetGrantsResp](ctx, c.t, &wire.GetGrants{
 		UUID: uuid, Principal: PrincipalID(c.kp.PublicBytes()),
 	})
 	if err != nil {
@@ -117,7 +118,7 @@ func (cs *ConsumerStream) ResolutionFactors() []uint64 {
 }
 
 // resolutionKeys lazily fetches envelopes and opens them for a factor.
-func (cs *ConsumerStream) resolutionKeys(factor uint64) (*core.ResolutionKeySet, error) {
+func (cs *ConsumerStream) resolutionKeys(ctx context.Context, factor uint64) (*core.ResolutionKeySet, error) {
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
 	if ks, ok := cs.resKeys[factor]; ok {
@@ -130,7 +131,7 @@ func (cs *ConsumerStream) resolutionKeys(factor uint64) (*core.ResolutionKeySet,
 	merged := &core.ResolutionKeySet{}
 	first := true
 	for _, g := range grants {
-		resp, err := call[*wire.GetEnvelopesResp](cs.t, &wire.GetEnvelopes{
+		resp, err := call[*wire.GetEnvelopesResp](ctx, cs.t, &wire.GetEnvelopes{
 			UUID: cs.uuid, Factor: factor, Lo: g.Res.Token.Lo, Hi: g.Res.Token.Hi,
 		})
 		if err != nil {
@@ -166,20 +167,31 @@ func (cs *ConsumerStream) InvalidateResolutionCache() {
 // StatRange runs a single-aggregate statistical query; it requires a
 // full-resolution grant covering the returned chunk range (arbitrary
 // boundaries need arbitrary outer leaves).
-func (cs *ConsumerStream) StatRange(ts, te int64) (StatResult, error) {
+func (cs *ConsumerStream) StatRange(ctx context.Context, ts, te int64) (StatResult, error) {
 	if cs.keys == nil {
 		return StatResult{}, errors.New("client: no full-resolution grant; use StatSeries with your granted factor")
 	}
-	return cs.view.statRange(cs.dec, ts, te)
+	return cs.view.statRange(ctx, cs.dec, ts, te)
 }
 
 // StatSeries runs a windowed query at windowChunks granularity. With a
 // full-resolution grant any window size works; otherwise windowChunks must
 // be a multiple of a granted resolution factor (crypto-enforced: coarser
 // multiples decrypt because their boundaries are still outer keys, §4.4.1).
-func (cs *ConsumerStream) StatSeries(ts, te int64, windowChunks uint64) ([]StatResult, error) {
+func (cs *ConsumerStream) StatSeries(ctx context.Context, ts, te int64, windowChunks uint64) ([]StatResult, error) {
+	dec, err := cs.decrypterFor(ctx, windowChunks)
+	if err != nil {
+		return nil, err
+	}
+	return cs.view.statSeries(ctx, dec, ts, te, windowChunks)
+}
+
+// decrypterFor resolves the window decrypter for a window size: the merged
+// full-resolution key set when one exists, otherwise the envelope keys of
+// the coarsest granted factor dividing the window.
+func (cs *ConsumerStream) decrypterFor(ctx context.Context, windowChunks uint64) (windowDecrypter, error) {
 	if cs.keys != nil {
-		return cs.view.statSeries(cs.dec, ts, te, windowChunks)
+		return cs.dec, nil
 	}
 	var best uint64
 	for f := range cs.resGrant {
@@ -191,33 +203,29 @@ func (cs *ConsumerStream) StatSeries(ts, te int64, windowChunks uint64) ([]StatR
 		return nil, fmt.Errorf("client: window of %d chunks is not a multiple of any granted resolution %v",
 			windowChunks, cs.ResolutionFactors())
 	}
-	ks, err := cs.resolutionKeys(best)
-	if err != nil {
-		return nil, err
-	}
-	return cs.view.statSeries(ks, ts, te, windowChunks)
+	return cs.resolutionKeys(ctx, best)
 }
 
 // FitRange fits the private linear model over [ts, te); requires a
 // full-resolution grant and a LinFit-enabled stream spec.
-func (cs *ConsumerStream) FitRange(ts, te int64) (chunk.FitResult, error) {
+func (cs *ConsumerStream) FitRange(ctx context.Context, ts, te int64) (chunk.FitResult, error) {
 	if cs.keys == nil {
 		return chunk.FitResult{}, errors.New("client: no full-resolution grant")
 	}
-	return cs.view.fitRange(cs.dec, ts, te)
+	return cs.view.fitRange(ctx, cs.dec, ts, te)
 }
 
 // Points retrieves raw records; full-resolution grants only (the paper's
 // resolution restriction exists precisely to make this impossible
 // otherwise).
-func (cs *ConsumerStream) Points(ts, te int64) ([]chunk.Point, error) {
+func (cs *ConsumerStream) Points(ctx context.Context, ts, te int64) ([]chunk.Point, error) {
 	if cs.keys == nil {
 		return nil, errors.New("client: raw record access requires a full-resolution grant")
 	}
 	cs.mu.Lock()
 	w := cs.keys.NewWalker()
 	cs.mu.Unlock()
-	return cs.view.points(w, ts, te)
+	return cs.view.points(ctx, w, ts, te)
 }
 
 // StatMulti runs an inter-stream statistical query: the server returns one
@@ -225,7 +233,7 @@ func (cs *ConsumerStream) Points(ts, te int64) ([]chunk.Point, error) {
 // outer keys in turn, so it succeeds only with sufficient grants on every
 // stream (§4.3: "a principal can only decrypt the result if she is granted
 // access to all streams involved").
-func (c *Consumer) StatMulti(streams []*ConsumerStream, ts, te int64) (StatResult, error) {
+func (c *Consumer) StatMulti(ctx context.Context, streams []*ConsumerStream, ts, te int64) (StatResult, error) {
 	if len(streams) == 0 {
 		return StatResult{}, errors.New("client: no streams")
 	}
@@ -236,7 +244,7 @@ func (c *Consumer) StatMulti(streams []*ConsumerStream, ts, te int64) (StatResul
 		}
 		uuids[i] = cs.uuid
 	}
-	resp, err := call[*wire.StatRangeResp](c.t, &wire.StatRange{UUIDs: uuids, Ts: ts, Te: te})
+	resp, err := call[*wire.StatRangeResp](ctx, c.t, &wire.StatRange{UUIDs: uuids, Ts: ts, Te: te})
 	if err != nil {
 		return StatResult{}, err
 	}

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -21,7 +22,7 @@ func TestLinFitThroughFullStack(t *testing.T) {
 		Sum: true, Count: true,
 		LinFit: true, LinTimeOrigin: epoch, LinTimeUnit: 1000, // seconds
 	}
-	s, err := owner.CreateStream(StreamOptions{
+	s, err := owner.CreateStream(context.Background(), StreamOptions{
 		UUID: "trend", Epoch: epoch, Interval: 10_000, Spec: spec,
 	})
 	if err != nil {
@@ -35,11 +36,11 @@ func TestLinFitThroughFullStack(t *testing.T) {
 			sec := (ts - epoch) / 1000
 			pts = append(pts, chunk.Point{TS: ts, Val: 4*sec + 50})
 		}
-		if err := s.AppendChunk(pts); err != nil {
+		if err := s.AppendChunk(context.Background(), pts); err != nil {
 			t.Fatal(err)
 		}
 	}
-	res, err := s.StatRange(epoch, epoch+200_000)
+	res, err := s.StatRange(context.Background(), epoch, epoch+200_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func TestLinFitThroughFullStack(t *testing.T) {
 	}
 	// Re-fetch the raw vector to fit (StatResult interprets classic
 	// stats; fitting uses the spec directly).
-	resp, err := call[*wire.StatRangeResp](tr, &wire.StatRange{
+	resp, err := call[*wire.StatRangeResp](context.Background(), tr, &wire.StatRange{
 		UUIDs: []string{"trend"}, Ts: epoch, Te: epoch + 200_000,
 	})
 	if err != nil {
@@ -69,7 +70,7 @@ func TestLinFitThroughFullStack(t *testing.T) {
 		t.Errorf("fit = %.4f t + %.4f, want 4 t + 50", fit.Slope, fit.Intercept)
 	}
 	// A sub-range fit sees the same line.
-	resp, err = call[*wire.StatRangeResp](tr, &wire.StatRange{
+	resp, err = call[*wire.StatRangeResp](context.Background(), tr, &wire.StatRange{
 		UUIDs: []string{"trend"}, Ts: epoch + 50_000, Te: epoch + 150_000,
 	})
 	if err != nil {
@@ -91,11 +92,11 @@ func TestLinFitThroughFullStack(t *testing.T) {
 func TestMixedGrants(t *testing.T) {
 	tr := inproc(t)
 	owner := NewOwner(tr)
-	s, err := owner.CreateStream(defaultOpts("mixed"))
+	s, err := owner.CreateStream(context.Background(), defaultOpts("mixed"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.EnableResolution(6); err != nil {
+	if err := s.EnableResolution(context.Background(), 6); err != nil {
 		t.Fatal(err)
 	}
 	fillStream(t, s, 36)
@@ -105,13 +106,13 @@ func TestMixedGrants(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Full resolution on chunks [0, 12); 6-chunk windows on [12, 36).
-	if _, err := s.Grant(kp.PublicBytes(), epoch, epoch+12*10_000, 0); err != nil {
+	if _, err := s.Grant(context.Background(), kp.PublicBytes(), epoch, epoch+12*10_000, 0); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Grant(kp.PublicBytes(), epoch+12*10_000, epoch+36*10_000, 6); err != nil {
+	if _, err := s.Grant(context.Background(), kp.PublicBytes(), epoch+12*10_000, epoch+36*10_000, 6); err != nil {
 		t.Fatal(err)
 	}
-	cs, err := NewConsumer(tr, kp).OpenStream("mixed")
+	cs, err := NewConsumer(tr, kp).OpenStream(context.Background(), "mixed")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,21 +123,21 @@ func TestMixedGrants(t *testing.T) {
 		t.Fatalf("resolution factors = %v", got)
 	}
 	// Fine-grained query inside the full-res range.
-	if _, err := cs.StatRange(epoch+10_000, epoch+30_000); err != nil {
+	if _, err := cs.StatRange(context.Background(), epoch+10_000, epoch+30_000); err != nil {
 		t.Errorf("full-res sub-query failed: %v", err)
 	}
 	// Fine-grained query in the restricted range fails...
-	if _, err := cs.StatRange(epoch+13*10_000, epoch+15*10_000); err == nil {
+	if _, err := cs.StatRange(context.Background(), epoch+13*10_000, epoch+15*10_000); err == nil {
 		t.Error("fine query in restricted range succeeded")
 	}
 	// ...but 6-chunk windows there decrypt via the resolution key set.
 	// (StatSeries prefers full-res keys, which only cover [0,12); query
 	// the restricted half through the resolution keys directly.)
-	ks, err := cs.resolutionKeys(6)
+	ks, err := cs.resolutionKeys(context.Background(), 6)
 	if err != nil {
 		t.Fatal(err)
 	}
-	series, err := cs.view.statSeries(ks, epoch+12*10_000, epoch+36*10_000, 6)
+	series, err := cs.view.statSeries(context.Background(), ks, epoch+12*10_000, epoch+36*10_000, 6)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -96,6 +97,17 @@ type OwnerStream struct {
 	openGrants  map[string]*openGrantState
 	dec         windowDecrypter
 	stagedSeq   map[uint64]uint64 // chunk index -> next staged record seq
+	writer      *Writer           // open pipelined writer, if any
+}
+
+// noWriterLocked rejects direct ingest while a pipelined Writer is open:
+// the writer owns chunk-index assignment, and interleaving would corrupt
+// ordering. Caller holds s.mu.
+func (s *OwnerStream) noWriterLocked() error {
+	if s.writer != nil {
+		return errors.New("client: stream has an open Writer; ingest through it or Close it first")
+	}
+	return nil
 }
 
 type resolutionState struct {
@@ -110,7 +122,7 @@ const maxResolutionWindows = 1 << 20
 
 // CreateStream registers a stream at the server and generates fresh key
 // material for it.
-func (o *Owner) CreateStream(opts StreamOptions) (*OwnerStream, error) {
+func (o *Owner) CreateStream(ctx context.Context, opts StreamOptions) (*OwnerStream, error) {
 	if err := opts.applyDefaults(); err != nil {
 		return nil, err
 	}
@@ -131,7 +143,7 @@ func (o *Owner) CreateStream(opts StreamOptions) (*OwnerStream, error) {
 		DigestSpec:  specBytes,
 		Meta:        opts.Meta,
 	}
-	if _, err := call[*wire.OK](o.t, &wire.CreateStream{UUID: opts.UUID, Cfg: cfg}); err != nil {
+	if _, err := call[*wire.OK](ctx, o.t, &wire.CreateStream{UUID: opts.UUID, Cfg: cfg}); err != nil {
 		return nil, err
 	}
 	builder, err := chunk.NewBuilder(opts.Epoch, opts.Interval)
@@ -159,15 +171,15 @@ func (o *Owner) CreateStream(opts StreamOptions) (*OwnerStream, error) {
 }
 
 // DeleteStream removes a stream and all server-side data.
-func (o *Owner) DeleteStream(uuid string) error {
-	_, err := call[*wire.OK](o.t, &wire.DeleteStream{UUID: uuid})
+func (o *Owner) DeleteStream(ctx context.Context, uuid string) error {
+	_, err := call[*wire.OK](ctx, o.t, &wire.DeleteStream{UUID: uuid})
 	return err
 }
 
 // ListStreams returns the sorted UUIDs of every stream the server (or,
 // through a cluster router, every engine shard) currently serves.
-func (o *Owner) ListStreams() ([]string, error) {
-	resp, err := call[*wire.ListStreamsResp](o.t, &wire.ListStreams{})
+func (o *Owner) ListStreams(ctx context.Context) ([]string, error) {
+	resp, err := call[*wire.ListStreamsResp](ctx, o.t, &wire.ListStreams{})
 	if err != nil {
 		return nil, err
 	}
@@ -190,15 +202,18 @@ func (s *OwnerStream) TreeSeed() core.Node { return s.tree.Seed() }
 // Append adds one record. When the record closes one or more chunk
 // intervals, the completed chunks are sealed and inserted (InsertRecord,
 // Table 1 #4).
-func (s *OwnerStream) Append(p chunk.Point) error {
+func (s *OwnerStream) Append(ctx context.Context, p chunk.Point) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.noWriterLocked(); err != nil {
+		return err
+	}
 	done, err := s.builder.Add(p)
 	if err != nil {
 		return err
 	}
 	for _, raw := range done {
-		if err := s.insertLocked(raw); err != nil {
+		if err := s.insertLocked(ctx, raw); err != nil {
 			return err
 		}
 	}
@@ -207,31 +222,33 @@ func (s *OwnerStream) Append(p chunk.Point) error {
 
 // Flush seals and inserts the in-progress chunk, if any. The chunk still
 // spans its full interval; flushing mid-interval simply persists early.
-func (s *OwnerStream) Flush() error {
+func (s *OwnerStream) Flush(ctx context.Context) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.noWriterLocked(); err != nil {
+		return err
+	}
 	raw := s.builder.Flush()
 	if raw == nil {
 		return nil
 	}
-	return s.insertLocked(*raw)
+	return s.insertLocked(ctx, *raw)
 }
 
 // AppendChunk seals and inserts the given points as the next full chunk.
 // Benchmarks and bulk loaders use it to skip per-point batching. Points
 // must lie within the next chunk interval.
-func (s *OwnerStream) AppendChunk(pts []chunk.Point) error {
+func (s *OwnerStream) AppendChunk(ctx context.Context, pts []chunk.Point) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	idx := s.count
-	start := s.chunkStart(idx)
-	end := start + s.interval
-	for _, p := range pts {
-		if p.TS < start || p.TS >= end {
-			return fmt.Errorf("client: point at %d outside chunk %d interval [%d,%d)", p.TS, idx, start, end)
-		}
+	if err := s.noWriterLocked(); err != nil {
+		return err
 	}
-	if err := s.insertLocked(chunk.Raw{Index: idx, Start: start, End: end, Points: pts}); err != nil {
+	raw, err := s.nextChunkRaw(s.count, pts)
+	if err != nil {
+		return err
+	}
+	if err := s.insertLocked(ctx, raw); err != nil {
 		return err
 	}
 	// Keep the per-point builder in sync so Append/AppendRealTime can
@@ -239,10 +256,38 @@ func (s *OwnerStream) AppendChunk(pts []chunk.Point) error {
 	return s.builder.SkipTo(s.count)
 }
 
-func (s *OwnerStream) insertLocked(raw chunk.Raw) error {
+// nextChunkRaw validates that every point lies within chunk idx's interval
+// and assembles the raw chunk (shared by the blocking and pipelined bulk
+// ingest paths). Caller holds s.mu.
+func (s *OwnerStream) nextChunkRaw(idx uint64, pts []chunk.Point) (chunk.Raw, error) {
+	start := s.chunkStart(idx)
+	end := start + s.interval
+	for _, p := range pts {
+		if p.TS < start || p.TS >= end {
+			return chunk.Raw{}, fmt.Errorf("client: point at %d outside chunk %d interval [%d,%d)", p.TS, idx, start, end)
+		}
+	}
+	return chunk.Raw{Index: idx, Start: start, End: end, Points: pts}, nil
+}
+
+func (s *OwnerStream) insertLocked(ctx context.Context, raw chunk.Raw) error {
 	if raw.Index != s.count {
 		return fmt.Errorf("client: chunk %d out of order (expected %d)", raw.Index, s.count)
 	}
+	sealed, err := s.sealLocked(raw)
+	if err != nil {
+		return err
+	}
+	if _, err := call[*wire.OK](ctx, s.t, &wire.InsertChunk{UUID: s.uuid, Chunk: sealed}); err != nil {
+		return err
+	}
+	s.count = raw.Index + 1
+	return s.extendEnvelopesLocked(ctx)
+}
+
+// sealLocked seals one raw chunk into its wire encoding without sending
+// it; the pipelined Writer seals ahead of server acknowledgements.
+func (s *OwnerStream) sealLocked(raw chunk.Raw) ([]byte, error) {
 	var sealed *chunk.Sealed
 	var err error
 	if s.plain {
@@ -251,18 +296,14 @@ func (s *OwnerStream) insertLocked(raw chunk.Raw) error {
 		sealed, err = chunk.Seal(s.enc, s.spec, s.comp, raw.Index, raw.Start, raw.End, raw.Points)
 	}
 	if err != nil {
-		return err
+		return nil, err
 	}
-	if _, err := call[*wire.OK](s.t, &wire.InsertChunk{UUID: s.uuid, Chunk: chunk.MarshalSealed(sealed)}); err != nil {
-		return err
-	}
-	s.count = raw.Index + 1
-	return s.extendEnvelopesLocked()
+	return chunk.MarshalSealed(sealed), nil
 }
 
 // extendEnvelopesLocked uploads any resolution key envelopes whose window
 // boundary the stream has now reached.
-func (s *OwnerStream) extendEnvelopesLocked() error {
+func (s *OwnerStream) extendEnvelopesLocked(ctx context.Context) error {
 	for factor, st := range s.resolutions {
 		var batch []wire.WireEnvelope
 		for st.nextEnv*factor <= s.count && st.nextEnv < st.rs.MaxWindows() {
@@ -278,7 +319,7 @@ func (s *OwnerStream) extendEnvelopesLocked() error {
 			st.nextEnv++
 		}
 		if len(batch) > 0 {
-			if _, err := call[*wire.OK](s.t, &wire.PutEnvelopes{UUID: s.uuid, Factor: factor, Envs: batch}); err != nil {
+			if _, err := call[*wire.OK](ctx, s.t, &wire.PutEnvelopes{UUID: s.uuid, Factor: factor, Envs: batch}); err != nil {
 				return err
 			}
 		}
@@ -290,7 +331,7 @@ func (s *OwnerStream) extendEnvelopesLocked() error {
 // factor f (in chunks) and uploads envelopes for all boundaries reached so
 // far. Resolutions can be added at any time (§4.4.2: "a user … can
 // dynamically at any point in time define a new resolution").
-func (s *OwnerStream) EnableResolution(factor uint64) error {
+func (s *OwnerStream) EnableResolution(ctx context.Context, factor uint64) error {
 	if factor < 2 {
 		return errors.New("client: resolution factor must be >= 2 (1 is full resolution)")
 	}
@@ -304,7 +345,7 @@ func (s *OwnerStream) EnableResolution(factor uint64) error {
 		return err
 	}
 	s.resolutions[factor] = &resolutionState{rs: rs, walker: s.tree.NewWalker()}
-	return s.extendEnvelopesLocked()
+	return s.extendEnvelopesLocked(ctx)
 }
 
 // Resolutions lists the enabled resolution factors.
@@ -342,16 +383,16 @@ func (s *OwnerStream) chunkSpanForTimes(ts, te int64) (uint64, uint64, error) {
 // statistics; f >= 2: only f-chunk-aligned aggregates and coarser,
 // crypto-enforced). The wrapped grant is stored in the server key store
 // (GrantAccess, Table 1 #8). It returns the grant id.
-func (s *OwnerStream) Grant(principalPub []byte, ts, te int64, factor uint64) (string, error) {
+func (s *OwnerStream) Grant(ctx context.Context, principalPub []byte, ts, te int64, factor uint64) (string, error) {
 	if te == 0 {
 		return "", errors.New("client: Grant needs a bounded range; use GrantOpen for subscriptions")
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.grantLocked(principalPub, ts, te, factor, "")
+	return s.grantLocked(ctx, principalPub, ts, te, factor, "")
 }
 
-func (s *OwnerStream) grantLocked(principalPub []byte, ts, te int64, factor uint64, grantID string) (string, error) {
+func (s *OwnerStream) grantLocked(ctx context.Context, principalPub []byte, ts, te int64, factor uint64, grantID string) (string, error) {
 	a, b, err := s.chunkSpanForTimes(ts, te)
 	if err != nil {
 		return "", err
@@ -407,7 +448,7 @@ func (s *OwnerStream) grantLocked(principalPub []byte, ts, te int64, factor uint
 			return "", err
 		}
 	}
-	_, err = call[*wire.OK](s.t, &wire.PutGrant{
+	_, err = call[*wire.OK](ctx, s.t, &wire.PutGrant{
 		UUID: s.uuid, Principal: PrincipalID(principalPub), GrantID: grantID, Blob: blob,
 	})
 	if err != nil {
@@ -421,7 +462,7 @@ func (s *OwnerStream) grantLocked(principalPub []byte, ts, te int64, factor uint
 // stream head, and each ExtendOpenGrants call rolls the grant forward.
 // Revoking simply stops the extension, giving forward secrecy: tokens for
 // data written after revocation are never issued.
-func (s *OwnerStream) GrantOpen(principalPub []byte, ts int64, factor uint64) (string, error) {
+func (s *OwnerStream) GrantOpen(ctx context.Context, principalPub []byte, ts int64, factor uint64) (string, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	grantID, err := newGrantID()
@@ -437,23 +478,23 @@ func (s *OwnerStream) GrantOpen(principalPub []byte, ts int64, factor uint64) (s
 		fromChunk:    a,
 		factor:       factor,
 	}
-	return grantID, s.extendOneLocked(grantID)
+	return grantID, s.extendOneLocked(ctx, grantID)
 }
 
 // ExtendOpenGrants rolls every active subscription forward to the current
 // stream head. Owners call it periodically (e.g. after ingest batches).
-func (s *OwnerStream) ExtendOpenGrants() error {
+func (s *OwnerStream) ExtendOpenGrants(ctx context.Context) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for id := range s.openGrants {
-		if err := s.extendOneLocked(id); err != nil {
+		if err := s.extendOneLocked(ctx, id); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (s *OwnerStream) extendOneLocked(grantID string) error {
+func (s *OwnerStream) extendOneLocked(ctx context.Context, grantID string) error {
 	og := s.openGrants[grantID]
 	if og == nil {
 		return fmt.Errorf("client: unknown open grant %q", grantID)
@@ -463,7 +504,7 @@ func (s *OwnerStream) extendOneLocked(grantID string) error {
 	}
 	ts := s.chunkStart(og.fromChunk)
 	te := s.chunkStart(s.count)
-	_, err := s.grantLocked(og.principalPub, ts, te, og.factor, grantID)
+	_, err := s.grantLocked(ctx, og.principalPub, ts, te, og.factor, grantID)
 	og.grantSeq++
 	return err
 }
@@ -472,11 +513,11 @@ func (s *OwnerStream) extendOneLocked(grantID string) error {
 // subscriptions, stops future extension (RevokeAccess, Table 1 #10). The
 // principal keeps whatever it already cached — revoking old data is
 // explicitly out of scope in the paper (§3.3).
-func (s *OwnerStream) Revoke(principalPub []byte, grantID string) error {
+func (s *OwnerStream) Revoke(ctx context.Context, principalPub []byte, grantID string) error {
 	s.mu.Lock()
 	delete(s.openGrants, grantID)
 	s.mu.Unlock()
-	_, err := call[*wire.OK](s.t, &wire.DeleteGrant{
+	_, err := call[*wire.OK](ctx, s.t, &wire.DeleteGrant{
 		UUID: s.uuid, Principal: PrincipalID(principalPub), GrantID: grantID,
 	})
 	return err
@@ -484,39 +525,39 @@ func (s *OwnerStream) Revoke(principalPub []byte, grantID string) error {
 
 // StatRange runs a statistical query over [ts, te) and decrypts the result
 // with the owner's keys (owners can always query their own data).
-func (s *OwnerStream) StatRange(ts, te int64) (StatResult, error) {
-	return s.view.statRange(s.dec, ts, te)
+func (s *OwnerStream) StatRange(ctx context.Context, ts, te int64) (StatResult, error) {
+	return s.view.statRange(ctx, s.dec, ts, te)
 }
 
 // StatSeries runs a windowed statistical query (windowChunks chunks per
 // result) and decrypts every window.
-func (s *OwnerStream) StatSeries(ts, te int64, windowChunks uint64) ([]StatResult, error) {
-	return s.view.statSeries(s.dec, ts, te, windowChunks)
+func (s *OwnerStream) StatSeries(ctx context.Context, ts, te int64, windowChunks uint64) ([]StatResult, error) {
+	return s.view.statSeries(ctx, s.dec, ts, te, windowChunks)
 }
 
 // FitRange fits the private linear model v ≈ Slope·t + Intercept over
 // [ts, te); the stream's digest spec must enable LinFit.
-func (s *OwnerStream) FitRange(ts, te int64) (chunk.FitResult, error) {
-	return s.view.fitRange(s.dec, ts, te)
+func (s *OwnerStream) FitRange(ctx context.Context, ts, te int64) (chunk.FitResult, error) {
+	return s.view.fitRange(ctx, s.dec, ts, te)
 }
 
 // Points retrieves and decrypts the raw records in [ts, te).
-func (s *OwnerStream) Points(ts, te int64) ([]chunk.Point, error) {
+func (s *OwnerStream) Points(ctx context.Context, ts, te int64) ([]chunk.Point, error) {
 	s.mu.Lock()
 	w := s.tree.NewWalker()
 	s.mu.Unlock()
-	return s.view.points(w, ts, te)
+	return s.view.points(ctx, w, ts, te)
 }
 
 // DeleteRange asks the server to drop raw payloads in [ts, te) while
 // keeping digests queryable (Table 1 #7).
-func (s *OwnerStream) DeleteRange(ts, te int64) error {
-	_, err := call[*wire.OK](s.t, &wire.DeleteRange{UUID: s.uuid, Ts: ts, Te: te})
+func (s *OwnerStream) DeleteRange(ctx context.Context, ts, te int64) error {
+	_, err := call[*wire.OK](ctx, s.t, &wire.DeleteRange{UUID: s.uuid, Ts: ts, Te: te})
 	return err
 }
 
 // Rollup ages out [ts, te) to factor-chunk granularity (Table 1 #3).
-func (s *OwnerStream) Rollup(factor uint64, ts, te int64) error {
-	_, err := call[*wire.OK](s.t, &wire.Rollup{UUID: s.uuid, Factor: factor, Ts: ts, Te: te})
+func (s *OwnerStream) Rollup(ctx context.Context, factor uint64, ts, te int64) error {
+	_, err := call[*wire.OK](ctx, s.t, &wire.Rollup{UUID: s.uuid, Factor: factor, Ts: ts, Te: te})
 	return err
 }

@@ -1,0 +1,230 @@
+package client
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// defaultPageWindows is how many windows a cursor fetches per round trip.
+const defaultPageWindows = 64
+
+// QueryBuilder assembles a statistical query fluently and evaluates it
+// lazily through a Cursor:
+//
+//	it := s.Query().Range(ts, te).Window(6).Iter(ctx)
+//	for it.Next() {
+//		r := it.Result()
+//		...
+//	}
+//	if err := it.Err(); err != nil { ... }
+//
+// Window(0) (the default) asks for one aggregate over the whole range;
+// Window(n) for one aggregate per n chunks, paged from the server PageSize
+// windows at a time instead of materializing the whole series.
+type QueryBuilder struct {
+	v      *view
+	decFor func(ctx context.Context, windowChunks uint64) (windowDecrypter, error)
+	ts, te int64
+	window uint64
+	page   int
+}
+
+// Query starts a query on an owned stream.
+func (s *OwnerStream) Query() *QueryBuilder {
+	return &QueryBuilder{
+		v:      &s.view,
+		decFor: func(context.Context, uint64) (windowDecrypter, error) { return s.dec, nil },
+		page:   defaultPageWindows,
+	}
+}
+
+// Query starts a query on a granted stream. Window sizes must be decryptable
+// under the consumer's grants, exactly as for StatSeries.
+func (cs *ConsumerStream) Query() *QueryBuilder {
+	return &QueryBuilder{
+		v: &cs.view,
+		decFor: func(ctx context.Context, windowChunks uint64) (windowDecrypter, error) {
+			if windowChunks == 0 {
+				if cs.keys == nil {
+					return nil, fmt.Errorf("client: scalar query requires a full-resolution grant")
+				}
+				return cs.dec, nil
+			}
+			return cs.decrypterFor(ctx, windowChunks)
+		},
+		page: defaultPageWindows,
+	}
+}
+
+// Range restricts the query to [ts, te) (Unix ms).
+func (q *QueryBuilder) Range(ts, te int64) *QueryBuilder {
+	q.ts, q.te = ts, te
+	return q
+}
+
+// Window sets the aggregation granularity in chunks; 0 means one aggregate
+// over the whole range.
+func (q *QueryBuilder) Window(chunks uint64) *QueryBuilder {
+	q.window = chunks
+	return q
+}
+
+// PageSize overrides how many windows each cursor fetch requests.
+func (q *QueryBuilder) PageSize(windows int) *QueryBuilder {
+	if windows > 0 {
+		q.page = windows
+	}
+	return q
+}
+
+// Iter returns a lazy cursor over the query's windows. No request is issued
+// until the first Next call.
+func (q *QueryBuilder) Iter(ctx context.Context) *Cursor {
+	return &Cursor{ctx: ctx, q: q}
+}
+
+// All drains a cursor into a slice, for callers that do want the full
+// series materialized.
+func (q *QueryBuilder) All(ctx context.Context) ([]StatResult, error) {
+	it := q.Iter(ctx)
+	var out []StatResult
+	for it.Next() {
+		out = append(out, it.Result())
+	}
+	return out, it.Err()
+}
+
+// Cursor pages the windows of a statistical query lazily: each fetch asks
+// the server for at most PageSize windows, decrypts them, and hands them
+// out one Result at a time. The iteration bound is pinned to the stream's
+// ingest progress at first use, so a cursor sees a consistent prefix even
+// while ingest continues.
+type Cursor struct {
+	ctx context.Context
+	q   *QueryBuilder
+
+	started bool
+	done    bool
+	err     error
+	dec     windowDecrypter
+
+	page []StatResult
+	pos  int
+
+	next uint64 // next chunk position to fetch
+	end  uint64 // iteration bound (window-aligned)
+}
+
+// Next advances to the next window, fetching a page from the server when
+// the current one is exhausted. It returns false at the end of the range or
+// on error (check Err).
+func (c *Cursor) Next() bool {
+	if c.err != nil {
+		return false
+	}
+	if !c.started {
+		c.start()
+		if c.err != nil {
+			return false
+		}
+	}
+	c.pos++
+	for c.pos >= len(c.page) {
+		if c.done {
+			return false
+		}
+		c.fetch()
+		if c.err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Result returns the window at the cursor. Only valid after a true Next.
+func (c *Cursor) Result() StatResult { return c.page[c.pos] }
+
+// Err reports the first failure, if any; a cleanly exhausted cursor
+// returns nil.
+func (c *Cursor) Err() error { return c.err }
+
+// start resolves the decrypter and pins the iteration bounds: scalar
+// queries resolve to a single aggregate; windowed queries read the
+// stream's ingest progress once and page over the window grid.
+func (c *Cursor) start() {
+	c.started = true
+	c.pos = -1
+	q := c.q
+	dec, err := q.decFor(c.ctx, q.window)
+	if err != nil {
+		c.err = err
+		return
+	}
+	c.dec = dec
+	if q.window == 0 {
+		res, err := q.v.statRange(c.ctx, dec, q.ts, q.te)
+		if err != nil {
+			c.err = err
+			return
+		}
+		c.page = []StatResult{res}
+		c.done = true
+		return
+	}
+	if q.te <= q.ts {
+		c.err = fmt.Errorf("client: empty query range [%d,%d)", q.ts, q.te)
+		return
+	}
+	info, err := call[*wire.StreamInfoResp](c.ctx, q.v.t, &wire.StreamInfo{UUID: q.v.uuid})
+	if err != nil {
+		c.err = err
+		return
+	}
+	v := q.v
+	ts := q.ts
+	if ts < v.epoch {
+		ts = v.epoch
+	}
+	a := uint64((ts - v.epoch) / v.interval)
+	bInt := (q.te - v.epoch + v.interval - 1) / v.interval
+	if bInt <= 0 {
+		c.done = true // range precedes the epoch entirely
+		return
+	}
+	b := uint64(bInt)
+	if b > info.Count {
+		b = info.Count
+	}
+	// Align to the absolute window grid, like the server does, so
+	// resolution-restricted consumers can decrypt every page.
+	a = (a / q.window) * q.window
+	b = (b / q.window) * q.window
+	if a >= b {
+		c.done = true // no complete window in range
+		return
+	}
+	c.next, c.end = a, b
+}
+
+// fetch retrieves and decrypts the next page of windows.
+func (c *Cursor) fetch() {
+	q := c.q
+	v := q.v
+	hi := c.next + uint64(q.page)*q.window
+	if hi > c.end {
+		hi = c.end
+	}
+	res, err := v.statSeries(c.ctx, c.dec, v.chunkStart(c.next), v.chunkStart(hi), q.window)
+	if err != nil {
+		c.err = err
+		return
+	}
+	c.page = res
+	c.pos = 0
+	c.next = hi
+	if c.next >= c.end {
+		c.done = true
+	}
+}

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/binary"
 	"fmt"
@@ -67,9 +68,12 @@ func openRecord(key [core.ChunkKeySize]byte, chunkIndex, seq uint64, box []byte)
 // the server immediately, making it visible to authorized readers before
 // its chunk seals. The staged copy is garbage-collected when the chunk
 // lands.
-func (s *OwnerStream) AppendRealTime(p chunk.Point) error {
+func (s *OwnerStream) AppendRealTime(ctx context.Context, p chunk.Point) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.noWriterLocked(); err != nil {
+		return err
+	}
 	idx, err := s.builder.IndexFor(p.TS)
 	if err != nil {
 		return err
@@ -84,13 +88,13 @@ func (s *OwnerStream) AppendRealTime(p chunk.Point) error {
 		if err != nil {
 			return err
 		}
-		if _, err := call[*wire.OK](s.t, &wire.StageRecord{
+		if _, err := call[*wire.OK](ctx, s.t, &wire.StageRecord{
 			UUID: s.uuid, ChunkIndex: idx, Seq: seq, Box: box,
 		}); err != nil {
 			return err
 		}
 	} else {
-		if _, err := call[*wire.OK](s.t, &wire.StageRecord{
+		if _, err := call[*wire.OK](ctx, s.t, &wire.StageRecord{
 			UUID: s.uuid, ChunkIndex: idx, Seq: seq,
 			Box: chunk.MarshalPoints([]chunk.Point{p}),
 		}); err != nil {
@@ -106,7 +110,7 @@ func (s *OwnerStream) AppendRealTime(p chunk.Point) error {
 		return err
 	}
 	for _, raw := range done {
-		if err := s.insertLocked(raw); err != nil {
+		if err := s.insertLocked(ctx, raw); err != nil {
 			return err
 		}
 		delete(s.stagedSeq, raw.Index)
@@ -118,8 +122,8 @@ func (s *OwnerStream) AppendRealTime(p chunk.Point) error {
 // records of chunk chunkIndex. Requires key material covering leaves
 // chunkIndex and chunkIndex+1 — the same condition as opening the chunk
 // itself, so resolution-restricted principals stay excluded.
-func (s *OwnerStream) StagedPoints(chunkIndex uint64) ([]chunk.Point, error) {
-	resp, err := call[*wire.GetStagedResp](s.t, &wire.GetStaged{UUID: s.uuid, ChunkIndex: chunkIndex})
+func (s *OwnerStream) StagedPoints(ctx context.Context, chunkIndex uint64) ([]chunk.Point, error) {
+	resp, err := call[*wire.GetStagedResp](ctx, s.t, &wire.GetStaged{UUID: s.uuid, ChunkIndex: chunkIndex})
 	if err != nil {
 		return nil, err
 	}
@@ -153,11 +157,11 @@ func (s *OwnerStream) StagedPoints(chunkIndex uint64) ([]chunk.Point, error) {
 
 // StagedPoints fetches a chunk's staged records with a consumer's
 // full-resolution key material.
-func (cs *ConsumerStream) StagedPoints(chunkIndex uint64) ([]chunk.Point, error) {
+func (cs *ConsumerStream) StagedPoints(ctx context.Context, chunkIndex uint64) ([]chunk.Point, error) {
 	if cs.keys == nil {
 		return nil, fmt.Errorf("client: staged record access requires a full-resolution grant")
 	}
-	resp, err := call[*wire.GetStagedResp](cs.t, &wire.GetStaged{UUID: cs.uuid, ChunkIndex: chunkIndex})
+	resp, err := call[*wire.GetStagedResp](ctx, cs.t, &wire.GetStaged{UUID: cs.uuid, ChunkIndex: chunkIndex})
 	if err != nil {
 		return nil, err
 	}

@@ -7,28 +7,34 @@ package client
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"fmt"
 	"net"
+	"os"
 	"sync"
+	"time"
 
 	"repro/internal/server"
 	"repro/internal/wire"
 )
 
-// Transport carries protocol messages to a TimeCrypt server.
+// Transport carries protocol messages to a TimeCrypt server. The context
+// governs the whole round trip: its deadline is propagated to the server in
+// the request envelope, and cancellation abandons the exchange.
 type Transport interface {
 	// RoundTrip sends a request and returns the server's response
 	// message (which may be *wire.Error).
-	RoundTrip(req wire.Message) (wire.Message, error)
+	RoundTrip(ctx context.Context, req wire.Message) (wire.Message, error)
 	// Close releases the transport.
 	Close() error
 }
 
 // call performs a round trip and converts *wire.Error responses into Go
 // errors, returning the typed response otherwise.
-func call[T wire.Message](t Transport, req wire.Message) (T, error) {
+func call[T wire.Message](ctx context.Context, t Transport, req wire.Message) (T, error) {
 	var zero T
-	resp, err := t.RoundTrip(req)
+	resp, err := t.RoundTrip(ctx, req)
 	if err != nil {
 		return zero, err
 	}
@@ -55,16 +61,16 @@ type InProc struct {
 }
 
 // RoundTrip implements Transport.
-func (p *InProc) RoundTrip(req wire.Message) (wire.Message, error) {
+func (p *InProc) RoundTrip(ctx context.Context, req wire.Message) (wire.Message, error) {
 	if p.SkipCodec {
-		return p.Engine.Handle(req), nil
+		return p.Engine.Handle(ctx, req), nil
 	}
 	reqBytes := wire.Marshal(req)
 	decoded, err := wire.Unmarshal(reqBytes)
 	if err != nil {
 		return nil, err
 	}
-	resp := p.Engine.Handle(decoded)
+	resp := p.Engine.Handle(ctx, decoded)
 	respBytes := wire.Marshal(resp)
 	return wire.Unmarshal(respBytes)
 }
@@ -73,32 +79,146 @@ func (p *InProc) RoundTrip(req wire.Message) (wire.Message, error) {
 func (p *InProc) Close() error { return nil }
 
 // TCP is a client connection to a TimeCrypt server. Requests on one TCP
-// transport serialize; open several for parallelism.
+// transport serialize; open several for parallelism (or pipeline many
+// operations into one round trip with wire.Batch). A round trip abandoned
+// mid-flight — context cancellation, deadline, I/O failure — discards the
+// connection (the framing may be desynced) and redials on the next use.
 type TCP struct {
-	mu   sync.Mutex
-	conn net.Conn
-	br   *bufio.Reader
-	bw   *bufio.Writer
+	addr string
+
+	mu sync.Mutex // serializes round trips; guards br/bw
+
+	// connMu guards conn and closed separately so Close can abort an
+	// in-flight exchange by closing the socket instead of queueing on
+	// t.mu behind it. Lock order: mu before connMu, never the reverse.
+	connMu sync.Mutex
+	closed bool
+	conn   net.Conn
+
+	br *bufio.Reader
+	bw *bufio.Writer
 }
 
 // DialTCP connects to a server address.
 func DialTCP(addr string) (*TCP, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("client: dialing %s: %w", addr, err)
+	t := &TCP{addr: addr}
+	if _, err := t.redialLocked(); err != nil {
+		return nil, err
 	}
-	return &TCP{
-		conn: conn,
-		br:   bufio.NewReaderSize(conn, 64<<10),
-		bw:   bufio.NewWriterSize(conn, 64<<10),
-	}, nil
+	return t, nil
 }
 
-// RoundTrip implements Transport.
-func (t *TCP) RoundTrip(req wire.Message) (wire.Message, error) {
+// redialLocked (re)establishes the connection, returning it (callers must
+// not re-read t.conn unsynchronized — a concurrent Close may nil it).
+// Caller holds t.mu.
+func (t *TCP) redialLocked() (net.Conn, error) {
+	conn, err := net.Dial("tcp", t.addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: dialing %s: %w", t.addr, err)
+	}
+	t.connMu.Lock()
+	if t.closed {
+		t.connMu.Unlock()
+		conn.Close()
+		return nil, errors.New("client: transport closed")
+	}
+	t.conn = conn
+	t.connMu.Unlock()
+	t.br = bufio.NewReaderSize(conn, 64<<10)
+	t.bw = bufio.NewWriterSize(conn, 64<<10)
+	return conn, nil
+}
+
+// dropConnLocked discards the connection after a failed or abandoned
+// exchange. Caller holds t.mu.
+func (t *TCP) dropConnLocked() {
+	t.connMu.Lock()
+	if t.conn != nil {
+		t.conn.Close()
+		t.conn = nil
+	}
+	t.connMu.Unlock()
+}
+
+// aLongTimeAgo is a non-zero past deadline used to unblock I/O on
+// cancellation (the net package treats it as immediately expired).
+var aLongTimeAgo = time.Unix(1, 0)
+
+// RoundTrip implements Transport: the context deadline is both applied to
+// the socket and carried in the request envelope so the server abandons
+// work the caller no longer wants.
+func (t *TCP) RoundTrip(ctx context.Context, req wire.Message) (wire.Message, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if err := wire.WriteMessage(t.bw, req); err != nil {
+	t.connMu.Lock()
+	closed, conn := t.closed, t.conn
+	t.connMu.Unlock()
+	if closed {
+		return nil, errors.New("client: transport closed")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if conn == nil {
+		var err error
+		if conn, err = t.redialLocked(); err != nil {
+			return nil, err
+		}
+	}
+	// The remaining budget crosses the wire as a relative duration (clock
+	// skew cannot expire it); floor at 1ms so a nearly-spent deadline
+	// still reads as "bounded" rather than "none".
+	var timeoutMS int64
+	if d, ok := ctx.Deadline(); ok {
+		if timeoutMS = int64(time.Until(d) / time.Millisecond); timeoutMS < 1 {
+			timeoutMS = 1
+		}
+		conn.SetDeadline(d)
+	} else {
+		conn.SetDeadline(time.Time{})
+	}
+	// A cancelable context gets a watcher that yanks the socket deadline,
+	// unblocking a stuck read; background contexts (the ingest hot path)
+	// pay nothing. The watcher is joined before returning so it can never
+	// fire into a later round trip's exchange.
+	var watcherStop, watcherDone chan struct{}
+	if ctx.Done() != nil {
+		watcherStop = make(chan struct{})
+		watcherDone = make(chan struct{})
+		go func() {
+			defer close(watcherDone)
+			select {
+			case <-ctx.Done():
+				conn.SetDeadline(aLongTimeAgo)
+			case <-watcherStop:
+			}
+		}()
+	}
+	resp, err := t.exchange(timeoutMS, req)
+	if watcherStop != nil {
+		close(watcherStop)
+		<-watcherDone
+	}
+	if err != nil {
+		// The request/response framing may be desynced; drop the
+		// connection and redial on the next round trip.
+		t.dropConnLocked()
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
+		// The socket deadline comes only from the context; if it fired a
+		// hair before the context's own timer, report it as the context
+		// deadline rather than a raw I/O timeout.
+		if timeoutMS != 0 && errors.Is(err, os.ErrDeadlineExceeded) {
+			return nil, context.DeadlineExceeded
+		}
+		return nil, err
+	}
+	return resp, nil
+}
+
+func (t *TCP) exchange(timeoutMS int64, req wire.Message) (wire.Message, error) {
+	if err := wire.WriteRequest(t.bw, timeoutMS, req); err != nil {
 		return nil, err
 	}
 	if err := t.bw.Flush(); err != nil {
@@ -107,5 +227,17 @@ func (t *TCP) RoundTrip(req wire.Message) (wire.Message, error) {
 	return wire.ReadMessage(t.br)
 }
 
-// Close implements Transport.
-func (t *TCP) Close() error { return t.conn.Close() }
+// Close implements Transport. It closes the live socket immediately —
+// without queueing behind an in-flight round trip — so a stuck exchange
+// unblocks with an error instead of wedging shutdown.
+func (t *TCP) Close() error {
+	t.connMu.Lock()
+	defer t.connMu.Unlock()
+	t.closed = true
+	if t.conn == nil {
+		return nil
+	}
+	err := t.conn.Close()
+	t.conn = nil
+	return err
+}

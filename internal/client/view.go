@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -62,8 +63,8 @@ type view struct {
 func (v *view) chunkStart(i uint64) int64 { return v.epoch + int64(i)*v.interval }
 
 // statRange issues a single-aggregate statistical query and decrypts it.
-func (v *view) statRange(dec windowDecrypter, ts, te int64) (StatResult, error) {
-	resp, err := call[*wire.StatRangeResp](v.t, &wire.StatRange{UUIDs: []string{v.uuid}, Ts: ts, Te: te})
+func (v *view) statRange(ctx context.Context, dec windowDecrypter, ts, te int64) (StatResult, error) {
+	resp, err := call[*wire.StatRangeResp](ctx, v.t, &wire.StatRange{UUIDs: []string{v.uuid}, Ts: ts, Te: te})
 	if err != nil {
 		return StatResult{}, err
 	}
@@ -90,11 +91,11 @@ func (v *view) statRange(dec windowDecrypter, ts, te int64) (StatResult, error) 
 // statSeries issues a windowed statistical query (windowChunks chunks per
 // point) and decrypts every window: the multi-resolution view behind
 // plotting and granularity restriction (paper §4.4, Fig. 8).
-func (v *view) statSeries(dec windowDecrypter, ts, te int64, windowChunks uint64) ([]StatResult, error) {
+func (v *view) statSeries(ctx context.Context, dec windowDecrypter, ts, te int64, windowChunks uint64) ([]StatResult, error) {
 	if windowChunks == 0 {
 		return nil, fmt.Errorf("client: zero window size")
 	}
-	resp, err := call[*wire.StatRangeResp](v.t, &wire.StatRange{
+	resp, err := call[*wire.StatRangeResp](ctx, v.t, &wire.StatRange{
 		UUIDs: []string{v.uuid}, Ts: ts, Te: te, WindowChunks: windowChunks,
 	})
 	if err != nil {
@@ -123,11 +124,11 @@ func (v *view) statSeries(dec windowDecrypter, ts, te int64, windowChunks uint64
 // fitRange runs a statistical query and fits the private linear model from
 // the decrypted accumulators (requires a spec with LinFit; paper §4.5's
 // aggregation-based ML encodings).
-func (v *view) fitRange(dec windowDecrypter, ts, te int64) (chunk.FitResult, error) {
+func (v *view) fitRange(ctx context.Context, dec windowDecrypter, ts, te int64) (chunk.FitResult, error) {
 	if !v.spec.LinFit {
 		return chunk.FitResult{}, fmt.Errorf("client: stream digest has no linear-fit accumulators")
 	}
-	resp, err := call[*wire.StatRangeResp](v.t, &wire.StatRange{UUIDs: []string{v.uuid}, Ts: ts, Te: te})
+	resp, err := call[*wire.StatRangeResp](ctx, v.t, &wire.StatRange{UUIDs: []string{v.uuid}, Ts: ts, Te: te})
 	if err != nil {
 		return chunk.FitResult{}, err
 	}
@@ -143,8 +144,8 @@ func (v *view) fitRange(dec windowDecrypter, ts, te int64) (chunk.FitResult, err
 
 // points fetches and decrypts raw records in [ts, te); requires
 // full-resolution key material.
-func (v *view) points(leaves core.LeafSource, ts, te int64) ([]chunk.Point, error) {
-	resp, err := call[*wire.GetRangeResp](v.t, &wire.GetRange{UUID: v.uuid, Ts: ts, Te: te})
+func (v *view) points(ctx context.Context, leaves core.LeafSource, ts, te int64) ([]chunk.Point, error) {
+	resp, err := call[*wire.GetRangeResp](ctx, v.t, &wire.GetRange{UUID: v.uuid, Ts: ts, Te: te})
 	if err != nil {
 		return nil, err
 	}

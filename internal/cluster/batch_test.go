@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/chunk"
+	"repro/internal/wire"
+)
+
+// TestBatchSplitsAcrossShards: one Batch envelope carrying interleaved
+// requests for streams on different shards (plus a fan-out sub-request)
+// must come back as one BatchResp with the responses in request order,
+// with per-stream chunk ordering preserved inside each shard sub-batch.
+func TestBatchSplitsAcrossShards(t *testing.T) {
+	tc := newTestCluster(t, 4)
+	const streams = 6
+	var uuids []string
+	owners := map[string]bool{}
+	for i := 0; i < streams; i++ {
+		uuid := fmt.Sprintf("batch-%d", i)
+		uuids = append(uuids, uuid)
+		owners[tc.router.Owner(uuid)] = true
+		tc.createStream(t, uuid)
+	}
+	if len(owners) < 2 {
+		t.Fatal("streams landed on one shard; batch split not exercised")
+	}
+
+	// Interleave 3 in-order chunks per stream across the batch, followed by
+	// stream info for each (infos share the stream's routing key, so they
+	// are ordered after its inserts within the shard sub-batch).
+	var reqs []wire.Message
+	for c := uint64(0); c < 3; c++ {
+		for _, uuid := range uuids {
+			start := int64(c) * 100
+			sealed, err := chunk.SealPlain(tc.spec, chunk.CompressionNone, c, start, start+100,
+				[]chunk.Point{{TS: start, Val: int64(c + 1)}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			reqs = append(reqs, &wire.InsertChunk{UUID: uuid, Chunk: chunk.MarshalSealed(sealed)})
+		}
+	}
+	for _, uuid := range uuids {
+		reqs = append(reqs, &wire.StreamInfo{UUID: uuid})
+	}
+
+	resp := tc.router.Handle(context.Background(), &wire.Batch{Reqs: reqs})
+	br, ok := resp.(*wire.BatchResp)
+	if !ok {
+		t.Fatalf("batch -> %#v", resp)
+	}
+	if len(br.Resps) != len(reqs) {
+		t.Fatalf("got %d responses for %d requests", len(br.Resps), len(reqs))
+	}
+	for i := 0; i < 3*streams; i++ {
+		if !isOK(br.Resps[i]) {
+			t.Fatalf("insert %d -> %#v", i, br.Resps[i])
+		}
+	}
+	for i := 0; i < streams; i++ {
+		info, ok := br.Resps[3*streams+i].(*wire.StreamInfoResp)
+		if !ok || info.Count != 3 {
+			t.Fatalf("info %d -> %#v", i, br.Resps[3*streams+i])
+		}
+	}
+
+	// A cross-shard StatRange riding in a later batch sees all inserts
+	// (within one batch it would race them: requests without a routing
+	// key run concurrently with the shard sub-batches).
+	resp = tc.router.Handle(context.Background(), &wire.Batch{Reqs: []wire.Message{
+		&wire.StatRange{UUIDs: uuids, Ts: 0, Te: 300},
+	}})
+	br, ok = resp.(*wire.BatchResp)
+	if !ok || len(br.Resps) != 1 {
+		t.Fatalf("stat batch -> %#v", resp)
+	}
+	sr, ok := br.Resps[0].(*wire.StatRangeResp)
+	if !ok {
+		t.Fatalf("cross-shard stat in batch -> %#v", br.Resps[0])
+	}
+	// Sum over 6 streams x chunks 1+2+3 = 36.
+	vec := sr.Windows[0]
+	if vec[0] != uint64(streams*6) {
+		t.Errorf("batched cross-shard sum = %d, want %d", vec[0], streams*6)
+	}
+
+	// Per-element failures stay per-element: an insert for a missing
+	// stream errors while the rest of the batch succeeds.
+	sealed, err := chunk.SealPlain(tc.spec, chunk.CompressionNone, 3, 300, 400,
+		[]chunk.Point{{TS: 300, Val: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed := &wire.Batch{Reqs: []wire.Message{
+		&wire.InsertChunk{UUID: "nope", Chunk: chunk.MarshalSealed(sealed)},
+		&wire.InsertChunk{UUID: uuids[0], Chunk: chunk.MarshalSealed(sealed)},
+	}}
+	br2, ok := tc.router.Handle(context.Background(), mixed).(*wire.BatchResp)
+	if !ok || len(br2.Resps) != 2 {
+		t.Fatalf("mixed batch -> %#v", tc.router.Handle(context.Background(), mixed))
+	}
+	if e, bad := br2.Resps[0].(*wire.Error); !bad || e.Code != wire.CodeNotFound {
+		t.Errorf("missing-stream insert -> %#v", br2.Resps[0])
+	}
+	if !isOK(br2.Resps[1]) {
+		t.Errorf("valid insert in mixed batch -> %#v", br2.Resps[1])
+	}
+}

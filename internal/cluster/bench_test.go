@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -26,7 +27,7 @@ func benchIngest(b *testing.B, handler server.Handler) {
 	for n := 0; n < b.N; n++ {
 		uuidOf := func(s int) string { return fmt.Sprintf("bench-%d-%d", n, s) }
 		for s := 0; s < streams; s++ {
-			if resp := handler.Handle(&wire.CreateStream{UUID: uuidOf(s), Cfg: cfg}); resp == nil {
+			if resp := handler.Handle(context.Background(), &wire.CreateStream{UUID: uuidOf(s), Cfg: cfg}); resp == nil {
 				b.Fatal("create failed")
 			} else if e, bad := resp.(*wire.Error); bad {
 				b.Fatal(e)
@@ -45,12 +46,12 @@ func benchIngest(b *testing.B, handler server.Handler) {
 						b.Error(err)
 						return
 					}
-					if e, bad := handler.Handle(&wire.InsertChunk{UUID: uuid, Chunk: chunk.MarshalSealed(sealed)}).(*wire.Error); bad {
+					if e, bad := handler.Handle(context.Background(), &wire.InsertChunk{UUID: uuid, Chunk: chunk.MarshalSealed(sealed)}).(*wire.Error); bad {
 						b.Error(e)
 						return
 					}
 					for q := 0; q < 4; q++ {
-						handler.Handle(&wire.StatRange{UUIDs: []string{uuid}, Ts: 0, Te: start + 100})
+						handler.Handle(context.Background(), &wire.StatRange{UUIDs: []string{uuid}, Ts: 0, Te: start + 100})
 					}
 				}
 			}(uuidOf(s))

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -95,8 +96,8 @@ func (r *Router) Stats() []ShardStats {
 }
 
 // RoundTrip implements the client Transport contract in-process.
-func (r *Router) RoundTrip(req wire.Message) (wire.Message, error) {
-	return r.Handle(req), nil
+func (r *Router) RoundTrip(ctx context.Context, req wire.Message) (wire.Message, error) {
+	return r.Handle(ctx, req), nil
 }
 
 // Close implements the client Transport contract: it closes every shard
@@ -114,62 +115,61 @@ func (r *Router) Close() error {
 }
 
 // Handle implements server.Handler: single-stream requests go to the
-// owning shard; StatRange and ListStreams may fan out.
-func (r *Router) Handle(req wire.Message) wire.Message {
+// owning shard; StatRange, ListStreams, and Batch may fan out. A canceled
+// context aborts in-flight fan-outs promptly: the router stops waiting and
+// answers wire.CodeCanceled even while slow shards are still working.
+func (r *Router) Handle(ctx context.Context, req wire.Message) wire.Message {
+	if err := ctx.Err(); err != nil {
+		return canceled(err)
+	}
 	switch m := req.(type) {
 	case *wire.StatRange:
-		return r.statRange(m)
+		return r.statRange(ctx, m)
 	case *wire.ListStreams:
-		return r.listStreams()
+		return r.listStreams(ctx)
+	case *wire.Batch:
+		return r.batch(ctx, m)
 	default:
-		uuid, ok := requestUUID(req)
+		uuid, ok := wire.RoutingUUID(req)
 		if !ok {
 			return &wire.Error{Code: wire.CodeBadRequest, Msg: "unsupported request type"}
 		}
-		return r.route(uuid, req)
+		return r.route(ctx, uuid, req)
 	}
 }
 
-// requestUUID extracts the routing key of a single-stream request.
-func requestUUID(req wire.Message) (string, bool) {
-	switch m := req.(type) {
-	case *wire.CreateStream:
-		return m.UUID, true
-	case *wire.DeleteStream:
-		return m.UUID, true
-	case *wire.InsertChunk:
-		return m.UUID, true
-	case *wire.GetRange:
-		return m.UUID, true
-	case *wire.DeleteRange:
-		return m.UUID, true
-	case *wire.Rollup:
-		return m.UUID, true
-	case *wire.PutGrant:
-		return m.UUID, true
-	case *wire.GetGrants:
-		return m.UUID, true
-	case *wire.DeleteGrant:
-		return m.UUID, true
-	case *wire.PutEnvelopes:
-		return m.UUID, true
-	case *wire.GetEnvelopes:
-		return m.UUID, true
-	case *wire.StreamInfo:
-		return m.UUID, true
-	case *wire.StageRecord:
-		return m.UUID, true
-	case *wire.GetStaged:
-		return m.UUID, true
-	default:
-		return "", false
+func canceled(err error) *wire.Error {
+	return &wire.Error{Code: wire.CodeCanceled, Msg: "cluster: " + err.Error()}
+}
+
+// awaitFanout waits for a fan-out wave to finish or the caller to give up,
+// whichever comes first. It returns nil once all goroutines have completed,
+// or the cancellation response to send while stragglers (which received the
+// same ctx and will abort on their own) are abandoned.
+func awaitFanout(ctx context.Context, wg *sync.WaitGroup) *wire.Error {
+	if ctx.Done() == nil {
+		// Not cancelable (the in-process hot path): skip the waiter
+		// goroutine and channel.
+		wg.Wait()
+		return nil
+	}
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return canceled(ctx.Err())
 	}
 }
 
-func (r *Router) route(uuid string, req wire.Message) wire.Message {
+func (r *Router) route(ctx context.Context, uuid string, req wire.Message) wire.Message {
 	s := r.shards[r.ring.Owner(uuid)]
 	s.requests.Add(1)
-	resp := s.handler.Handle(req)
+	resp := s.handler.Handle(ctx, req)
 	if _, isErr := resp.(*wire.Error); isErr {
 		s.errors.Add(1)
 	}
@@ -178,9 +178,9 @@ func (r *Router) route(uuid string, req wire.Message) wire.Message {
 
 // fanout sends one sub-request to a shard, counting it against the shard's
 // fan-out and error totals.
-func (r *Router) fanout(s *shardState, req wire.Message) wire.Message {
+func (r *Router) fanout(ctx context.Context, s *shardState, req wire.Message) wire.Message {
 	s.fanouts.Add(1)
-	resp := s.handler.Handle(req)
+	resp := s.handler.Handle(ctx, req)
 	if _, isErr := resp.(*wire.Error); isErr {
 		s.errors.Add(1)
 	}
@@ -188,7 +188,7 @@ func (r *Router) fanout(s *shardState, req wire.Message) wire.Message {
 }
 
 // listStreams merges the stream listings of every shard.
-func (r *Router) listStreams() wire.Message {
+func (r *Router) listStreams(ctx context.Context) wire.Message {
 	type result struct{ resp wire.Message }
 	results := make([]result, len(r.order))
 	var wg sync.WaitGroup
@@ -196,10 +196,12 @@ func (r *Router) listStreams() wire.Message {
 		wg.Add(1)
 		go func(i int, s *shardState) {
 			defer wg.Done()
-			results[i].resp = r.fanout(s, &wire.ListStreams{})
+			results[i].resp = r.fanout(ctx, s, &wire.ListStreams{})
 		}(i, r.shards[name])
 	}
-	wg.Wait()
+	if e := awaitFanout(ctx, &wg); e != nil {
+		return e
+	}
 	var uuids []string
 	for _, res := range results {
 		switch m := res.resp.(type) {
@@ -215,10 +217,84 @@ func (r *Router) listStreams() wire.Message {
 	return &wire.ListStreamsResp{UUIDs: uuids}
 }
 
+// batch splits a pipelined batch by owning shard, forwards one sub-batch
+// per shard concurrently (per-stream request order is preserved inside each
+// sub-batch), and reassembles the responses in request order. Sub-requests
+// that themselves fan out (multi-stream StatRange, ListStreams) are
+// dispatched individually.
+func (r *Router) batch(ctx context.Context, b *wire.Batch) wire.Message {
+	resps := make([]wire.Message, len(b.Reqs))
+	p := wire.PartitionBatch(b.Reqs, func(m wire.Message) (string, bool) {
+		uuid, ok := wire.RoutingUUID(m)
+		if !ok {
+			return "", false
+		}
+		return r.ring.Owner(uuid), true
+	})
+	for _, i := range p.Nested {
+		resps[i] = &wire.Error{Code: wire.CodeBadRequest, Msg: "nested batch envelope"}
+	}
+	var wg sync.WaitGroup
+	for _, owner := range p.Order {
+		idxs := p.Groups[owner]
+		s := r.shards[owner]
+		wg.Add(1)
+		go func(s *shardState, idxs []int) {
+			defer wg.Done()
+			sub := &wire.Batch{Reqs: make([]wire.Message, len(idxs))}
+			for k, i := range idxs {
+				sub.Reqs[k] = b.Reqs[i]
+			}
+			s.requests.Add(uint64(len(idxs)))
+			resp := s.handler.Handle(ctx, sub)
+			switch m := resp.(type) {
+			case *wire.BatchResp:
+				if len(m.Resps) != len(idxs) {
+					e := &wire.Error{Code: wire.CodeInternal, Msg: fmt.Sprintf(
+						"cluster: shard %s answered %d of %d batch elements", s.name, len(m.Resps), len(idxs))}
+					for _, i := range idxs {
+						resps[i] = e
+					}
+					s.errors.Add(1)
+					return
+				}
+				for k, i := range idxs {
+					resps[i] = m.Resps[k]
+					if _, isErr := m.Resps[k].(*wire.Error); isErr {
+						s.errors.Add(1)
+					}
+				}
+			case *wire.Error:
+				s.errors.Add(1)
+				for _, i := range idxs {
+					resps[i] = m
+				}
+			default:
+				s.errors.Add(1)
+				e := &wire.Error{Code: wire.CodeInternal, Msg: fmt.Sprintf("cluster: unexpected batch response %T", resp)}
+				for _, i := range idxs {
+					resps[i] = e
+				}
+			}
+		}(s, idxs)
+	}
+	for _, i := range p.Singles {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resps[i] = r.Handle(ctx, b.Reqs[i])
+		}(i)
+	}
+	if e := awaitFanout(ctx, &wg); e != nil {
+		return e
+	}
+	return &wire.BatchResp{Resps: resps}
+}
+
 // statRange routes a statistical query. Queries whose streams all live on
 // one shard pass straight through; cross-shard queries are clamped to the
 // common ingested range, fanned out per shard, and homomorphically summed.
-func (r *Router) statRange(m *wire.StatRange) wire.Message {
+func (r *Router) statRange(ctx context.Context, m *wire.StatRange) wire.Message {
 	if len(m.UUIDs) == 0 {
 		return &wire.Error{Code: wire.CodeBadRequest, Msg: "server: no streams given"}
 	}
@@ -232,7 +308,7 @@ func (r *Router) statRange(m *wire.StatRange) wire.Message {
 		groups[owner] = append(groups[owner], uuid)
 	}
 	if len(groupOrder) == 1 {
-		return r.route(m.UUIDs[0], m)
+		return r.route(ctx, m.UUIDs[0], m)
 	}
 
 	// Pre-pass: fetch geometry and ingest progress for every stream so
@@ -257,10 +333,12 @@ func (r *Router) statRange(m *wire.StatRange) wire.Message {
 			// Counted as fan-out traffic: these are internal
 			// sub-requests of the cross-shard query, not directly
 			// routed client requests.
-			infos[i] = r.fanout(r.shards[r.ring.Owner(uuid)], &wire.StreamInfo{UUID: uuid})
+			infos[i] = r.fanout(ctx, r.shards[r.ring.Owner(uuid)], &wire.StreamInfo{UUID: uuid})
 		}(i, uuid)
 	}
-	infoWG.Wait()
+	if e := awaitFanout(ctx, &infoWG); e != nil {
+		return e
+	}
 	var (
 		epoch, interval int64
 		vectorLen       uint32
@@ -307,10 +385,12 @@ func (r *Router) statRange(m *wire.StatRange) wire.Message {
 		wg.Add(1)
 		go func(i int, s *shardState, uuids []string) {
 			defer wg.Done()
-			results[i] = r.fanout(s, &wire.StatRange{UUIDs: uuids, Ts: m.Ts, Te: te, WindowChunks: m.WindowChunks})
+			results[i] = r.fanout(ctx, s, &wire.StatRange{UUIDs: uuids, Ts: m.Ts, Te: te, WindowChunks: m.WindowChunks})
 		}(i, r.shards[owner], groups[owner])
 	}
-	wg.Wait()
+	if e := awaitFanout(ctx, &wg); e != nil {
+		return e
+	}
 
 	var merged *wire.StatRangeResp
 	for _, resp := range results {

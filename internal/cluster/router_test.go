@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -62,7 +63,7 @@ func (tc *testCluster) engineFor(uuid string) *server.Engine {
 // error.
 func (tc *testCluster) createStream(t *testing.T, uuid string) {
 	t.Helper()
-	if resp := tc.router.Handle(&wire.CreateStream{UUID: uuid, Cfg: tc.cfg}); !isOK(resp) {
+	if resp := tc.router.Handle(context.Background(), &wire.CreateStream{UUID: uuid, Cfg: tc.cfg}); !isOK(resp) {
 		t.Fatalf("CreateStream(%q) -> %#v", uuid, resp)
 	}
 }
@@ -78,7 +79,7 @@ func (tc *testCluster) ingest(t *testing.T, uuid string, n uint64) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if resp := tc.router.Handle(&wire.InsertChunk{UUID: uuid, Chunk: chunk.MarshalSealed(sealed)}); !isOK(resp) {
+		if resp := tc.router.Handle(context.Background(), &wire.InsertChunk{UUID: uuid, Chunk: chunk.MarshalSealed(sealed)}); !isOK(resp) {
 			t.Fatalf("InsertChunk(%q, %d) -> %#v", uuid, i, resp)
 		}
 	}
@@ -111,30 +112,30 @@ func TestRouterPlacementAndSingleStreamOps(t *testing.T) {
 	}
 	// Single-stream operations route transparently.
 	for _, uuid := range uuids {
-		if info, ok := tc.router.Handle(&wire.StreamInfo{UUID: uuid}).(*wire.StreamInfoResp); !ok || info.Count != 3 {
+		if info, ok := tc.router.Handle(context.Background(), &wire.StreamInfo{UUID: uuid}).(*wire.StreamInfoResp); !ok || info.Count != 3 {
 			t.Fatalf("StreamInfo(%q) wrong", uuid)
 		}
-		sr, ok := tc.router.Handle(&wire.StatRange{UUIDs: []string{uuid}, Ts: 0, Te: 300}).(*wire.StatRangeResp)
+		sr, ok := tc.router.Handle(context.Background(), &wire.StatRange{UUIDs: []string{uuid}, Ts: 0, Te: 300}).(*wire.StatRangeResp)
 		if !ok || len(sr.Windows) != 1 {
 			t.Fatalf("StatRange(%q) wrong", uuid)
 		}
 		if sr.Windows[0][0] != 1+2+3 {
 			t.Errorf("StatRange(%q) sum = %d, want 6", uuid, sr.Windows[0][0])
 		}
-		if gr, ok := tc.router.Handle(&wire.GetRange{UUID: uuid, Ts: 0, Te: 300}).(*wire.GetRangeResp); !ok || len(gr.Chunks) != 3 {
+		if gr, ok := tc.router.Handle(context.Background(), &wire.GetRange{UUID: uuid, Ts: 0, Te: 300}).(*wire.GetRangeResp); !ok || len(gr.Chunks) != 3 {
 			t.Fatalf("GetRange(%q) wrong", uuid)
 		}
 	}
 	// Deletion removes the stream from its owner shard only.
 	victim := uuids[0]
-	if resp := tc.router.Handle(&wire.DeleteStream{UUID: victim}); !isOK(resp) {
+	if resp := tc.router.Handle(context.Background(), &wire.DeleteStream{UUID: victim}); !isOK(resp) {
 		t.Fatalf("DeleteStream -> %#v", resp)
 	}
-	if e, ok := tc.router.Handle(&wire.StreamInfo{UUID: victim}).(*wire.Error); !ok || e.Code != wire.CodeNotFound {
+	if e, ok := tc.router.Handle(context.Background(), &wire.StreamInfo{UUID: victim}).(*wire.Error); !ok || e.Code != wire.CodeNotFound {
 		t.Error("deleted stream still resolves")
 	}
-	if lr, ok := tc.router.Handle(&wire.ListStreams{}).(*wire.ListStreamsResp); !ok || len(lr.UUIDs) != streams-1 {
-		t.Errorf("listing after delete wrong: %#v", tc.router.Handle(&wire.ListStreams{}))
+	if lr, ok := tc.router.Handle(context.Background(), &wire.ListStreams{}).(*wire.ListStreamsResp); !ok || len(lr.UUIDs) != streams-1 {
+		t.Errorf("listing after delete wrong: %#v", tc.router.Handle(context.Background(), &wire.ListStreams{}))
 	}
 }
 
@@ -145,7 +146,7 @@ func TestRouterListStreamsMergesSorted(t *testing.T) {
 	for i := len(want) - 1; i >= 0; i-- {
 		tc.createStream(t, want[i])
 	}
-	lr, ok := tc.router.Handle(&wire.ListStreams{}).(*wire.ListStreamsResp)
+	lr, ok := tc.router.Handle(context.Background(), &wire.ListStreams{}).(*wire.ListStreamsResp)
 	if !ok {
 		t.Fatal("listing failed")
 	}
@@ -162,9 +163,9 @@ func TestRouterListStreamsMergesSorted(t *testing.T) {
 func TestRouterStats(t *testing.T) {
 	tc := newTestCluster(t, 4)
 	tc.createStream(t, "s")
-	tc.router.Handle(&wire.StreamInfo{UUID: "s"})
-	tc.router.Handle(&wire.StreamInfo{UUID: "missing"}) // error response
-	tc.router.Handle(&wire.ListStreams{})               // fan-out
+	tc.router.Handle(context.Background(), &wire.StreamInfo{UUID: "s"})
+	tc.router.Handle(context.Background(), &wire.StreamInfo{UUID: "missing"}) // error response
+	tc.router.Handle(context.Background(), &wire.ListStreams{})               // fan-out
 	var requests, fanouts, errors uint64
 	for _, s := range tc.router.Stats() {
 		requests += s.Requests
@@ -200,9 +201,9 @@ func TestRouterCrossShardStatRange(t *testing.T) {
 		tc.ingest(t, uuid, 10)
 	}
 	// Cross-shard aggregate = homomorphic sum over all streams.
-	sr, ok := tc.router.Handle(&wire.StatRange{UUIDs: uuids, Ts: 0, Te: 1000}).(*wire.StatRangeResp)
+	sr, ok := tc.router.Handle(context.Background(), &wire.StatRange{UUIDs: uuids, Ts: 0, Te: 1000}).(*wire.StatRangeResp)
 	if !ok {
-		t.Fatalf("cross-shard StatRange failed: %#v", tc.router.Handle(&wire.StatRange{UUIDs: uuids, Ts: 0, Te: 1000}))
+		t.Fatalf("cross-shard StatRange failed: %#v", tc.router.Handle(context.Background(), &wire.StatRange{UUIDs: uuids, Ts: 0, Te: 1000}))
 	}
 	perStream := uint64(1 + 2 + 3 + 4 + 5 + 6 + 7 + 8 + 9 + 10)
 	if sr.FromChunk != 0 || sr.ToChunk != 10 || len(sr.Windows) != 1 {
@@ -216,7 +217,7 @@ func TestRouterCrossShardStatRange(t *testing.T) {
 	}
 
 	// Windowed cross-shard queries share one grid.
-	sr, ok = tc.router.Handle(&wire.StatRange{UUIDs: uuids, Ts: 0, Te: 1000, WindowChunks: 5}).(*wire.StatRangeResp)
+	sr, ok = tc.router.Handle(context.Background(), &wire.StatRange{UUIDs: uuids, Ts: 0, Te: 1000, WindowChunks: 5}).(*wire.StatRangeResp)
 	if !ok || len(sr.Windows) != 2 {
 		t.Fatalf("windowed cross-shard query wrong: %#v", sr)
 	}
@@ -228,7 +229,7 @@ func TestRouterCrossShardStatRange(t *testing.T) {
 	short := "cross-short"
 	tc.createStream(t, short)
 	tc.ingest(t, short, 4)
-	sr, ok = tc.router.Handle(&wire.StatRange{UUIDs: append(uuids, short), Ts: 0, Te: 1000}).(*wire.StatRangeResp)
+	sr, ok = tc.router.Handle(context.Background(), &wire.StatRange{UUIDs: append(uuids, short), Ts: 0, Te: 1000}).(*wire.StatRangeResp)
 	if !ok {
 		t.Fatal("clamped cross-shard query failed")
 	}
@@ -242,24 +243,24 @@ func TestRouterCrossShardStatRange(t *testing.T) {
 	// Geometry mismatches are rejected, like one engine.
 	badCfg := tc.cfg
 	badCfg.Interval = 999
-	if resp := tc.router.Handle(&wire.CreateStream{UUID: "cross-odd", Cfg: badCfg}); !isOK(resp) {
+	if resp := tc.router.Handle(context.Background(), &wire.CreateStream{UUID: "cross-odd", Cfg: badCfg}); !isOK(resp) {
 		t.Fatalf("create: %#v", resp)
 	}
-	if e, ok := tc.router.Handle(&wire.StatRange{UUIDs: []string{uuids[0], "cross-odd"}, Ts: 0, Te: 1000}).(*wire.Error); !ok || e.Code != wire.CodeBadRequest {
+	if e, ok := tc.router.Handle(context.Background(), &wire.StatRange{UUIDs: []string{uuids[0], "cross-odd"}, Ts: 0, Te: 1000}).(*wire.Error); !ok || e.Code != wire.CodeBadRequest {
 		t.Error("geometry mismatch not rejected")
 	}
 	// Unknown stream in a cross-shard query surfaces NotFound.
-	if e, ok := tc.router.Handle(&wire.StatRange{UUIDs: []string{uuids[0], "nope"}, Ts: 0, Te: 1000}).(*wire.Error); !ok || e.Code != wire.CodeNotFound {
+	if e, ok := tc.router.Handle(context.Background(), &wire.StatRange{UUIDs: []string{uuids[0], "nope"}, Ts: 0, Te: 1000}).(*wire.Error); !ok || e.Code != wire.CodeNotFound {
 		t.Error("missing stream not surfaced")
 	}
 }
 
 func TestRouterRejectsNonRequests(t *testing.T) {
 	tc := newTestCluster(t, 2)
-	if e, ok := tc.router.Handle(&wire.OK{}).(*wire.Error); !ok || e.Code != wire.CodeBadRequest {
+	if e, ok := tc.router.Handle(context.Background(), &wire.OK{}).(*wire.Error); !ok || e.Code != wire.CodeBadRequest {
 		t.Error("response-type message accepted")
 	}
-	if e, ok := tc.router.Handle(&wire.StatRange{}).(*wire.Error); !ok || e.Code != wire.CodeBadRequest {
+	if e, ok := tc.router.Handle(context.Background(), &wire.StatRange{}).(*wire.Error); !ok || e.Code != wire.CodeBadRequest {
 		t.Error("empty StatRange accepted")
 	}
 }
@@ -291,13 +292,13 @@ func TestRouterConcurrent(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 50; i++ {
 				uuid := uuids[(r*50+i)%streams]
-				resp := tc.router.Handle(&wire.StatRange{UUIDs: []string{uuid}, Ts: 0, Te: chunks * 100})
+				resp := tc.router.Handle(context.Background(), &wire.StatRange{UUIDs: []string{uuid}, Ts: 0, Te: chunks * 100})
 				switch resp.(type) {
 				case *wire.StatRangeResp, *wire.Error: // "no data yet" races are fine
 				default:
 					t.Errorf("unexpected response %T", resp)
 				}
-				tc.router.Handle(&wire.ListStreams{})
+				tc.router.Handle(context.Background(), &wire.ListStreams{})
 			}
 		}(r)
 	}
@@ -309,7 +310,7 @@ func TestRouterConcurrent(t *testing.T) {
 			for i := 0; i < 20; i++ {
 				uuid := fmt.Sprintf("victim-%d-%d", d, i)
 				tc.createStream(t, uuid)
-				if resp := tc.router.Handle(&wire.DeleteStream{UUID: uuid}); !isOK(resp) {
+				if resp := tc.router.Handle(context.Background(), &wire.DeleteStream{UUID: uuid}); !isOK(resp) {
 					t.Errorf("delete %q -> %#v", uuid, resp)
 				}
 			}
@@ -317,7 +318,7 @@ func TestRouterConcurrent(t *testing.T) {
 	}
 	wg.Wait()
 	for _, uuid := range uuids {
-		info, ok := tc.router.Handle(&wire.StreamInfo{UUID: uuid}).(*wire.StreamInfoResp)
+		info, ok := tc.router.Handle(context.Background(), &wire.StreamInfo{UUID: uuid}).(*wire.StreamInfoResp)
 		if !ok || info.Count != chunks {
 			t.Fatalf("stream %q count wrong after hammer: %#v", uuid, info)
 		}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -47,10 +48,11 @@ func NewTCPShard(name, addr string, conns int) (Shard, error) {
 	return Shard{Name: name, Handler: t}, nil
 }
 
-// Handle implements server.Handler by forwarding over TCP. Transport
-// failures surface as internal protocol errors, like any other shard
-// failure.
-func (t *tcpShard) Handle(req wire.Message) wire.Message {
+// Handle implements server.Handler by forwarding over TCP: the caller's
+// deadline rides the request envelope to the remote engine, and a canceled
+// context abandons the round trip. Transport failures surface as internal
+// protocol errors, like any other shard failure.
+func (t *tcpShard) Handle(ctx context.Context, req wire.Message) wire.Message {
 	if t.closed.Load() {
 		return &wire.Error{Code: wire.CodeInternal, Msg: fmt.Sprintf("cluster: shard %s: closed", t.addr)}
 	}
@@ -64,10 +66,13 @@ func (t *tcpShard) Handle(req wire.Message) wire.Message {
 		}
 		slot.conn = c
 	}
-	resp, err := slot.conn.RoundTrip(req)
+	resp, err := slot.conn.RoundTrip(ctx, req)
 	if err != nil {
 		slot.conn.Close()
 		slot.conn = nil // redial on next use
+		if ctx.Err() != nil {
+			return canceled(ctx.Err())
+		}
 		return &wire.Error{Code: wire.CodeInternal, Msg: fmt.Sprintf("cluster: shard %s: %v", t.addr, err)}
 	}
 	return resp

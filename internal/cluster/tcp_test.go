@@ -62,7 +62,7 @@ func TestRouterOverTCPShards(t *testing.T) {
 	const streams = 9
 	for i := 0; i < streams; i++ {
 		uuid := fmt.Sprintf("remote-%d", i)
-		if resp := router.Handle(&wire.CreateStream{UUID: uuid, Cfg: spec}); !isOK(resp) {
+		if resp := router.Handle(context.Background(), &wire.CreateStream{UUID: uuid, Cfg: spec}); !isOK(resp) {
 			t.Fatalf("create %q over TCP -> %#v", uuid, resp)
 		}
 		// The stream must exist on the owning remote engine.
@@ -70,17 +70,17 @@ func TestRouterOverTCPShards(t *testing.T) {
 			t.Fatalf("stream %q not on its owner", uuid)
 		}
 	}
-	lr, ok := router.Handle(&wire.ListStreams{}).(*wire.ListStreamsResp)
+	lr, ok := router.Handle(context.Background(), &wire.ListStreams{}).(*wire.ListStreamsResp)
 	if !ok || len(lr.UUIDs) != streams {
 		t.Fatalf("TCP fan-out listing -> %#v", lr)
 	}
 	victim := lr.UUIDs[0]
-	if info, ok := router.Handle(&wire.StreamInfo{UUID: victim}).(*wire.StreamInfoResp); !ok {
+	if info, ok := router.Handle(context.Background(), &wire.StreamInfo{UUID: victim}).(*wire.StreamInfoResp); !ok {
 		t.Fatalf("info over TCP failed: %#v", info)
 	}
 	// Transport failures surface as protocol errors, not panics.
 	router.Close()
-	if e, ok := router.Handle(&wire.StreamInfo{UUID: victim}).(*wire.Error); !ok || e.Code != wire.CodeInternal {
+	if e, ok := router.Handle(context.Background(), &wire.StreamInfo{UUID: victim}).(*wire.Error); !ok || e.Code != wire.CodeInternal {
 		t.Errorf("dead shard -> %#v, want internal error", e)
 	}
 }
@@ -108,7 +108,7 @@ func TestTCPShardReconnects(t *testing.T) {
 	}
 	defer sh.Handler.(*tcpShard).Close()
 	spec := wire.StreamConfig{Epoch: 0, Interval: 100, VectorLen: 2, Fanout: 8}
-	if resp := sh.Handler.Handle(&wire.CreateStream{UUID: "s", Cfg: spec}); !isOK(resp) {
+	if resp := sh.Handler.Handle(context.Background(), &wire.CreateStream{UUID: "s", Cfg: spec}); !isOK(resp) {
 		t.Fatalf("create -> %#v", resp)
 	}
 
@@ -117,7 +117,7 @@ func TestTCPShardReconnects(t *testing.T) {
 	srv.Close()
 	<-done1
 	for i := 0; i < 2; i++ {
-		if _, ok := sh.Handler.Handle(&wire.StreamInfo{UUID: "s"}).(*wire.Error); !ok {
+		if _, ok := sh.Handler.Handle(context.Background(), &wire.StreamInfo{UUID: "s"}).(*wire.Error); !ok {
 			t.Fatal("request to dead peer did not error")
 		}
 	}
@@ -136,7 +136,7 @@ func TestTCPShardReconnects(t *testing.T) {
 
 	var recovered bool
 	for i := 0; i < 4 && !recovered; i++ { // each slot redials on its next turn
-		_, recovered = sh.Handler.Handle(&wire.StreamInfo{UUID: "s"}).(*wire.StreamInfoResp)
+		_, recovered = sh.Handler.Handle(context.Background(), &wire.StreamInfo{UUID: "s"}).(*wire.StreamInfoResp)
 	}
 	if !recovered {
 		t.Fatal("shard did not recover after peer restart")

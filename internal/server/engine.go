@@ -6,10 +6,12 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 
 	"repro/internal/chunk"
@@ -72,6 +74,15 @@ type stream struct {
 	cfg  wire.StreamConfig
 	tree *index.Tree
 	mu   sync.Mutex // serializes ingest
+
+	// Staged-record index: chunk index -> staged sequence numbers. It
+	// names the exact store keys a sealed chunk must garbage-collect,
+	// replacing the O(store-size) prefix scan the engine used to run on
+	// every InsertChunk. Rebuilt lazily from the store on first touch so
+	// restarts recover records staged by a previous instance.
+	stagedMu     sync.Mutex
+	staged       map[uint64]map[uint64]struct{}
+	stagedLoaded bool
 }
 
 // New creates an engine over the given store.
@@ -138,7 +149,7 @@ func stagedPrefix(uuid string, idx uint64) string {
 }
 
 func stagedKey(uuid string, idx, seq uint64) string {
-	b := make([]byte, 0, len(uuid)+32)
+	b := make([]byte, 0, len(uuid)+40)
 	b = append(b, stagedPrefix(uuid, idx)...)
 	// Fixed-width so lexicographic scan order equals sequence order.
 	b = append(b, fmt.Sprintf("%016x", seq)...)
@@ -233,6 +244,15 @@ func (e *Engine) CreateStream(uuid string, cfg wire.StreamConfig) error {
 	if err != nil {
 		return err
 	}
+	// A freshly created stream cannot have persisted staged records, so
+	// its staged index starts empty instead of paying the first-touch
+	// store scan (which exists for streams recovered from an old store).
+	s.stagedMu.Lock()
+	if !s.stagedLoaded {
+		s.staged = make(map[uint64]map[uint64]struct{})
+		s.stagedLoaded = true
+	}
+	s.stagedMu.Unlock()
 	if err := e.store.Put(metaKey(uuid), encodeStreamConfig(&cfg)); err != nil {
 		// Roll back our registration — but only if the entry is still
 		// ours: a concurrent delete+recreate may have replaced it with
@@ -325,16 +345,76 @@ func (e *Engine) InsertChunk(uuid string, sealedBytes []byte) error {
 	if err := s.tree.Append(sealed.Index, sealed.Digest); err != nil {
 		return err
 	}
-	// The sealed chunk supersedes its staged real-time records (§4.6).
-	var ops []kv.Op
-	e.store.Scan(stagedPrefix(uuid, sealed.Index), func(key string, _ []byte) bool {
-		ops = append(ops, kv.Op{Kind: kv.OpDelete, Key: key})
-		return true
-	})
-	if len(ops) > 0 {
+	// The sealed chunk supersedes its staged real-time records (§4.6). The
+	// staged index names their exact keys, so no store scan is needed.
+	seqs, err := e.takeStaged(uuid, s, sealed.Index)
+	if err != nil {
+		return err
+	}
+	if len(seqs) > 0 {
+		ops := make([]kv.Op, 0, len(seqs))
+		for _, seq := range seqs {
+			ops = append(ops, kv.Op{Kind: kv.OpDelete, Key: stagedKey(uuid, sealed.Index, seq)})
+		}
 		return e.store.Batch(ops)
 	}
 	return nil
+}
+
+// loadStagedLocked rebuilds the staged-record index from the store on the
+// stream's first staged-record touch. Caller holds s.stagedMu.
+func (e *Engine) loadStagedLocked(uuid string, s *stream) error {
+	if s.stagedLoaded {
+		return nil
+	}
+	prefix := "r/" + uuid + "/"
+	idx := make(map[uint64]map[uint64]struct{})
+	err := e.store.Scan(prefix, func(key string, _ []byte) bool {
+		chunkHex, seqHex, ok := strings.Cut(key[len(prefix):], "/")
+		if !ok {
+			return true
+		}
+		ci, err1 := strconv.ParseUint(chunkHex, 16, 64)
+		sq, err2 := strconv.ParseUint(seqHex, 16, 64)
+		if err1 != nil || err2 != nil {
+			return true
+		}
+		set := idx[ci]
+		if set == nil {
+			set = make(map[uint64]struct{})
+			idx[ci] = set
+		}
+		set[sq] = struct{}{}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	s.staged = idx
+	s.stagedLoaded = true
+	return nil
+}
+
+// takeStaged removes and returns the staged sequence numbers of one chunk,
+// sorted.
+func (e *Engine) takeStaged(uuid string, s *stream, chunkIndex uint64) ([]uint64, error) {
+	s.stagedMu.Lock()
+	defer s.stagedMu.Unlock()
+	if err := e.loadStagedLocked(uuid, s); err != nil {
+		return nil, err
+	}
+	set := s.staged[chunkIndex]
+	if len(set) == 0 {
+		delete(s.staged, chunkIndex)
+		return nil, nil
+	}
+	delete(s.staged, chunkIndex)
+	seqs := make([]uint64, 0, len(set))
+	for seq := range set {
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
 }
 
 // StageRecord stores one real-time encrypted record ahead of its chunk.
@@ -347,10 +427,27 @@ func (e *Engine) StageRecord(uuid string, chunkIndex, seq uint64, box []byte) er
 	if chunkIndex < s.tree.Count() {
 		return fmt.Errorf("server: stream %q: chunk %d already sealed", uuid, chunkIndex)
 	}
-	return e.store.Put(stagedKey(uuid, chunkIndex, seq), box)
+	s.stagedMu.Lock()
+	defer s.stagedMu.Unlock()
+	if err := e.loadStagedLocked(uuid, s); err != nil {
+		return err
+	}
+	if err := e.store.Put(stagedKey(uuid, chunkIndex, seq), box); err != nil {
+		return err
+	}
+	set := s.staged[chunkIndex]
+	if set == nil {
+		set = make(map[uint64]struct{})
+		s.staged[chunkIndex] = set
+	}
+	set[seq] = struct{}{}
+	return nil
 }
 
-// GetStaged returns a chunk's staged record boxes in sequence order.
+// GetStaged returns a chunk's staged record boxes in sequence order. It
+// reads through one prefix scan — a single operation even on remote-backed
+// stores, and no lock shared with the ingest path; the staged index exists
+// for the per-InsertChunk garbage collection, which is the hot path.
 func (e *Engine) GetStaged(uuid string, chunkIndex uint64) ([][]byte, error) {
 	if _, err := e.lookup(uuid); err != nil {
 		return nil, err
@@ -367,6 +464,7 @@ func (e *Engine) GetStaged(uuid string, chunkIndex uint64) ([][]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Fixed-width seq encoding makes lexicographic order sequence order.
 	sort.Slice(recs, func(i, j int) bool { return recs[i].key < recs[j].key })
 	boxes := make([][]byte, len(recs))
 	for i, r := range recs {
@@ -404,8 +502,9 @@ func (s *stream) chunkRange(ts, te int64) (a, b uint64, err error) {
 	return a, b, nil
 }
 
-// GetRange returns the sealed chunks overlapping [ts, te).
-func (e *Engine) GetRange(uuid string, ts, te int64) ([][]byte, error) {
+// GetRange returns the sealed chunks overlapping [ts, te). The context
+// bounds the chunk walk: a caller that gave up stops costing store reads.
+func (e *Engine) GetRange(ctx context.Context, uuid string, ts, te int64) ([][]byte, error) {
 	s, err := e.lookup(uuid)
 	if err != nil {
 		return nil, err
@@ -416,6 +515,11 @@ func (e *Engine) GetRange(uuid string, ts, te int64) ([][]byte, error) {
 	}
 	out := make([][]byte, 0, b-a)
 	for i := a; i < b; i++ {
+		if (i-a)%256 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		data, err := e.store.Get(chunkKey(uuid, i))
 		if errors.Is(err, kv.ErrNotFound) {
 			continue // rolled up / deleted
@@ -433,8 +537,9 @@ func (e *Engine) GetRange(uuid string, ts, te int64) ([][]byte, error) {
 // per window of windowChunks chunks (the window grid is aligned to absolute
 // chunk positions so resolution-restricted principals can decrypt, §4.4.1).
 // With several UUIDs, the per-stream aggregates are homomorphically summed
-// (inter-stream queries); all streams must share geometry.
-func (e *Engine) StatRange(uuids []string, ts, te int64, windowChunks uint64) (from, to uint64, windows [][]uint64, err error) {
+// (inter-stream queries); all streams must share geometry. The context
+// aborts the per-stream aggregation loop once the caller gives up.
+func (e *Engine) StatRange(ctx context.Context, uuids []string, ts, te int64, windowChunks uint64) (from, to uint64, windows [][]uint64, err error) {
 	if len(uuids) == 0 {
 		return 0, 0, nil, errors.New("server: no streams given")
 	}
@@ -473,6 +578,9 @@ func (e *Engine) StatRange(uuids []string, ts, te int64, windowChunks uint64) (f
 		}
 	}
 	query := func(s *stream) ([][]uint64, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if windowChunks == 0 {
 			vec, err := s.tree.Query(a, b)
 			if err != nil {
@@ -502,7 +610,7 @@ func (e *Engine) StatRange(uuids []string, ts, te int64, windowChunks uint64) (f
 
 // DeleteRange drops chunk payloads in [ts, te) while keeping digests and
 // the index intact (Table 1 #7).
-func (e *Engine) DeleteRange(uuid string, ts, te int64) error {
+func (e *Engine) DeleteRange(ctx context.Context, uuid string, ts, te int64) error {
 	s, err := e.lookup(uuid)
 	if err != nil {
 		return err
@@ -512,6 +620,11 @@ func (e *Engine) DeleteRange(uuid string, ts, te int64) error {
 		return err
 	}
 	for i := a; i < b; i++ {
+		if (i-a)%256 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		key := chunkKey(uuid, i)
 		data, err := e.store.Get(key)
 		if errors.Is(err, kv.ErrNotFound) {
@@ -539,7 +652,7 @@ func (e *Engine) DeleteRange(uuid string, ts, te int64) error {
 // raw chunk ciphertexts are removed and index levels finer than factor are
 // pruned (§4.5 "Data decay"). Statistics at factor granularity and coarser
 // remain queryable.
-func (e *Engine) Rollup(uuid string, factor uint64, ts, te int64) error {
+func (e *Engine) Rollup(ctx context.Context, uuid string, factor uint64, ts, te int64) error {
 	if factor < 1 {
 		return errors.New("server: rollup factor must be >= 1")
 	}
@@ -552,6 +665,11 @@ func (e *Engine) Rollup(uuid string, factor uint64, ts, te int64) error {
 		return err
 	}
 	for i := a; i < b; i++ {
+		if (i-a)%256 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		if err := e.store.Delete(chunkKey(uuid, i)); err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -74,7 +75,7 @@ func TestEngineConcurrentStreams(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 100; i++ {
 				uuid := uuids[(r*100+i)%streams]
-				if _, _, _, err := h.engine.StatRange([]string{uuid}, 0, chunks*100, 0); err != nil &&
+				if _, _, _, err := h.engine.StatRange(context.Background(), []string{uuid}, 0, chunks*100, 0); err != nil &&
 					!strings.Contains(err.Error(), "no data") && !strings.Contains(err.Error(), "range") {
 					t.Errorf("query %s: %v", uuid, err)
 				}

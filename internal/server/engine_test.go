@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -121,7 +122,7 @@ func TestStatRangeDecryptsCorrectly(t *testing.T) {
 	h := newHarness(t)
 	h.createStream(t, "s")
 	h.ingest(t, "s", 50)
-	from, to, windows, err := h.engine.StatRange([]string{"s"}, 1000, 3000, 0)
+	from, to, windows, err := h.engine.StatRange(context.Background(), []string{"s"}, 1000, 3000, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestStatRangeWindows(t *testing.T) {
 	h := newHarness(t)
 	h.createStream(t, "s")
 	h.ingest(t, "s", 24)
-	from, to, windows, err := h.engine.StatRange([]string{"s"}, 0, 2400, 6)
+	from, to, windows, err := h.engine.StatRange(context.Background(), []string{"s"}, 0, 2400, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +174,7 @@ func TestStatRangeWindowAlignment(t *testing.T) {
 	h.ingest(t, "s", 20)
 	// Query [300, 1500) = chunks [3, 15); with 6-chunk windows the grid
 	// must align to absolute positions: [0,6) [6,12) — from=0, to=12.
-	from, to, windows, err := h.engine.StatRange([]string{"s"}, 300, 1500, 6)
+	from, to, windows, err := h.engine.StatRange(context.Background(), []string{"s"}, 300, 1500, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,20 +186,20 @@ func TestStatRangeWindowAlignment(t *testing.T) {
 func TestStatRangeErrors(t *testing.T) {
 	h := newHarness(t)
 	h.createStream(t, "s")
-	if _, _, _, err := h.engine.StatRange([]string{"s"}, 0, 100, 0); err == nil {
+	if _, _, _, err := h.engine.StatRange(context.Background(), []string{"s"}, 0, 100, 0); err == nil {
 		t.Error("query on empty stream accepted")
 	}
 	h.ingest(t, "s", 5)
-	if _, _, _, err := h.engine.StatRange(nil, 0, 100, 0); err == nil {
+	if _, _, _, err := h.engine.StatRange(context.Background(), nil, 0, 100, 0); err == nil {
 		t.Error("no streams accepted")
 	}
-	if _, _, _, err := h.engine.StatRange([]string{"s"}, 100, 100, 0); err == nil {
+	if _, _, _, err := h.engine.StatRange(context.Background(), []string{"s"}, 100, 100, 0); err == nil {
 		t.Error("empty range accepted")
 	}
-	if _, _, _, err := h.engine.StatRange([]string{"s"}, 99999, 999999, 0); err == nil {
+	if _, _, _, err := h.engine.StatRange(context.Background(), []string{"s"}, 99999, 999999, 0); err == nil {
 		t.Error("range beyond data accepted")
 	}
-	if _, _, _, err := h.engine.StatRange([]string{"missing"}, 0, 100, 0); err == nil {
+	if _, _, _, err := h.engine.StatRange(context.Background(), []string{"missing"}, 0, 100, 0); err == nil {
 		t.Error("unknown stream accepted")
 	}
 }
@@ -219,7 +220,7 @@ func TestStatRangeMultiStream(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	from, to, windows, err := h.engine.StatRange([]string{"a", "b"}, 0, 1000, 0)
+	from, to, windows, err := h.engine.StatRange(context.Background(), []string{"a", "b"}, 0, 1000, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +246,7 @@ func TestStatRangeMultiStream(t *testing.T) {
 	if err := h.engine.CreateStream("c", bad); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, _, err := h.engine.StatRange([]string{"a", "c"}, 0, 1000, 0); err == nil {
+	if _, _, _, err := h.engine.StatRange(context.Background(), []string{"a", "c"}, 0, 1000, 0); err == nil {
 		t.Error("geometry mismatch accepted")
 	}
 }
@@ -254,7 +255,7 @@ func TestGetRangeReturnsChunks(t *testing.T) {
 	h := newHarness(t)
 	h.createStream(t, "s")
 	h.ingest(t, "s", 10)
-	chunks, err := h.engine.GetRange("s", 250, 750)
+	chunks, err := h.engine.GetRange(context.Background(), "s", 250, 750)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,10 +276,10 @@ func TestDeleteRangeKeepsDigests(t *testing.T) {
 	h := newHarness(t)
 	h.createStream(t, "s")
 	h.ingest(t, "s", 10)
-	if err := h.engine.DeleteRange("s", 0, 500); err != nil {
+	if err := h.engine.DeleteRange(context.Background(), "s", 0, 500); err != nil {
 		t.Fatal(err)
 	}
-	chunks, err := h.engine.GetRange("s", 0, 1000)
+	chunks, err := h.engine.GetRange(context.Background(), "s", 0, 1000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -292,7 +293,7 @@ func TestDeleteRangeKeepsDigests(t *testing.T) {
 		}
 	}
 	// Statistics over the deleted range still work.
-	if _, _, _, err := h.engine.StatRange([]string{"s"}, 0, 500, 0); err != nil {
+	if _, _, _, err := h.engine.StatRange(context.Background(), []string{"s"}, 0, 500, 0); err != nil {
 		t.Errorf("stats after delete: %v", err)
 	}
 }
@@ -301,10 +302,10 @@ func TestRollupDropsChunksAndFineIndex(t *testing.T) {
 	h := newHarness(t)
 	h.createStream(t, "s")
 	h.ingest(t, "s", 64)
-	if err := h.engine.Rollup("s", 8, 0, 6400); err != nil {
+	if err := h.engine.Rollup(context.Background(), "s", 8, 0, 6400); err != nil {
 		t.Fatal(err)
 	}
-	chunks, err := h.engine.GetRange("s", 0, 6400)
+	chunks, err := h.engine.GetRange(context.Background(), "s", 0, 6400)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -312,11 +313,11 @@ func TestRollupDropsChunksAndFineIndex(t *testing.T) {
 		t.Errorf("%d chunks survived rollup", len(chunks))
 	}
 	// Coarse stats still answer (8-chunk windows, fanout 8 → level 1).
-	if _, _, _, err := h.engine.StatRange([]string{"s"}, 0, 6400, 8); err != nil {
+	if _, _, _, err := h.engine.StatRange(context.Background(), []string{"s"}, 0, 6400, 8); err != nil {
 		t.Errorf("coarse stats after rollup: %v", err)
 	}
 	// Fine stats must fail: level-0 digests are gone.
-	if _, _, _, err := h.engine.StatRange([]string{"s"}, 100, 300, 0); err == nil {
+	if _, _, _, err := h.engine.StatRange(context.Background(), []string{"s"}, 100, 300, 0); err == nil {
 		t.Error("fine stats answered after rollup")
 	}
 }
@@ -420,7 +421,7 @@ func TestEngineRecoversFromStore(t *testing.T) {
 	if count != 20 || cfg.Interval != 100 {
 		t.Errorf("recovered count=%d interval=%d", count, cfg.Interval)
 	}
-	if _, _, _, err := engine2.StatRange([]string{"s"}, 0, 2000, 0); err != nil {
+	if _, _, _, err := engine2.StatRange(context.Background(), []string{"s"}, 0, 2000, 0); err != nil {
 		t.Errorf("recovered engine cannot query: %v", err)
 	}
 }

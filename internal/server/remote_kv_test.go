@@ -67,7 +67,7 @@ func TestEngineOverRemoteStore(t *testing.T) {
 	h.createStream(t, "remote-s")
 	h.ingest(t, "remote-s", 30)
 
-	from, to, windows, err := engine.StatRange([]string{"remote-s"}, 0, 3000, 0)
+	from, to, windows, err := engine.StatRange(context.Background(), []string{"remote-s"}, 0, 3000, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +96,7 @@ func TestEngineOverRemoteStore(t *testing.T) {
 	if err != nil || count != 30 {
 		t.Fatalf("second engine recovery: count=%d err=%v", count, err)
 	}
-	if _, _, _, err := engine2.StatRange([]string{"remote-s"}, 0, 3000, 0); err != nil {
+	if _, _, _, err := engine2.StatRange(context.Background(), []string{"remote-s"}, 0, 3000, 0); err != nil {
 		t.Errorf("second engine query: %v", err)
 	}
 

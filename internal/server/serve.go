@@ -9,6 +9,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/wire"
 )
@@ -19,18 +20,27 @@ import (
 // shard. Anything that implements Handler can be served by the TCP front
 // end or driven in-process by a client transport.
 //
+// The context carries the caller's cancellation and deadline — over TCP the
+// deadline arrives in the request envelope — and implementations abandon
+// work once it fires, answering wire.CodeCanceled.
+//
 // Implementations must be safe for concurrent use and must respond to
 // failures with *wire.Error rather than panicking.
 type Handler interface {
-	Handle(req wire.Message) wire.Message
+	Handle(ctx context.Context, req wire.Message) wire.Message
 }
 
 // Handle dispatches one protocol request and returns its response. It is
 // the transport-independent entry point used both by the TCP front end and
 // by in-process clients (benchmarks exercise the full message codec either
 // way).
-func (e *Engine) Handle(req wire.Message) wire.Message {
+func (e *Engine) Handle(ctx context.Context, req wire.Message) wire.Message {
+	if err := ctx.Err(); err != nil {
+		return toError(err)
+	}
 	switch m := req.(type) {
+	case *wire.Batch:
+		return e.handleBatch(ctx, m)
 	case *wire.CreateStream:
 		return respond(e.CreateStream(m.UUID, m.Cfg))
 	case *wire.DeleteStream:
@@ -38,21 +48,21 @@ func (e *Engine) Handle(req wire.Message) wire.Message {
 	case *wire.InsertChunk:
 		return respond(e.InsertChunk(m.UUID, m.Chunk))
 	case *wire.GetRange:
-		chunks, err := e.GetRange(m.UUID, m.Ts, m.Te)
+		chunks, err := e.GetRange(ctx, m.UUID, m.Ts, m.Te)
 		if err != nil {
 			return toError(err)
 		}
 		return &wire.GetRangeResp{Chunks: chunks}
 	case *wire.StatRange:
-		from, to, windows, err := e.StatRange(m.UUIDs, m.Ts, m.Te, m.WindowChunks)
+		from, to, windows, err := e.StatRange(ctx, m.UUIDs, m.Ts, m.Te, m.WindowChunks)
 		if err != nil {
 			return toError(err)
 		}
 		return &wire.StatRangeResp{FromChunk: from, ToChunk: to, Windows: windows}
 	case *wire.DeleteRange:
-		return respond(e.DeleteRange(m.UUID, m.Ts, m.Te))
+		return respond(e.DeleteRange(ctx, m.UUID, m.Ts, m.Te))
 	case *wire.Rollup:
-		return respond(e.Rollup(m.UUID, m.Factor, m.Ts, m.Te))
+		return respond(e.Rollup(ctx, m.UUID, m.Factor, m.Ts, m.Te))
 	case *wire.PutGrant:
 		return respond(e.PutGrant(m.UUID, m.Principal, m.GrantID, m.Blob))
 	case *wire.GetGrants:
@@ -92,6 +102,38 @@ func (e *Engine) Handle(req wire.Message) wire.Message {
 	}
 }
 
+// handleBatch executes a batch's sub-requests: requests for the same stream
+// run sequentially in batch order (chunk inserts must stay ordered), while
+// different streams proceed concurrently on their own lock stripes. The
+// response carries one element per sub-request, in order.
+func (e *Engine) handleBatch(ctx context.Context, b *wire.Batch) wire.Message {
+	resps := make([]wire.Message, len(b.Reqs))
+	p := wire.PartitionBatch(b.Reqs, wire.RoutingUUID)
+	for _, i := range p.Nested {
+		resps[i] = &wire.Error{Code: wire.CodeBadRequest, Msg: "nested batch envelope"}
+	}
+	var wg sync.WaitGroup
+	for _, uuid := range p.Order {
+		idxs := p.Groups[uuid]
+		wg.Add(1)
+		go func(idxs []int) {
+			defer wg.Done()
+			for _, i := range idxs {
+				resps[i] = e.Handle(ctx, b.Reqs[i])
+			}
+		}(idxs)
+	}
+	for _, i := range p.Singles {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resps[i] = e.Handle(ctx, b.Reqs[i])
+		}(i)
+	}
+	wg.Wait()
+	return &wire.BatchResp{Resps: resps}
+}
+
 func respond(err error) wire.Message {
 	if err != nil {
 		return toError(err)
@@ -110,6 +152,8 @@ func WireError(err error) *wire.Error {
 	code := wire.CodeInternal
 	msg := err.Error()
 	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		code = wire.CodeCanceled
 	case errors.Is(err, errStreamNotFound):
 		code = wire.CodeNotFound
 	case strings.Contains(msg, "already exists"):
@@ -172,7 +216,7 @@ func (s *Server) Serve(ctx context.Context, lis net.Listener) error {
 			}
 		}
 		s.track(conn, true)
-		go s.serveConn(conn)
+		go s.serveConn(ctx, conn)
 	}
 }
 
@@ -201,7 +245,7 @@ func (s *Server) Close() error {
 	return err
 }
 
-func (s *Server) serveConn(conn net.Conn) {
+func (s *Server) serveConn(ctx context.Context, conn net.Conn) {
 	defer func() {
 		conn.Close()
 		s.track(conn, false)
@@ -209,14 +253,26 @@ func (s *Server) serveConn(conn net.Conn) {
 	br := bufio.NewReaderSize(conn, 64<<10)
 	bw := bufio.NewWriterSize(conn, 64<<10)
 	for {
-		req, err := wire.ReadMessage(br)
+		timeoutMS, req, err := wire.ReadRequest(br)
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.ErrUnexpectedEOF) {
 				s.logf("timecrypt: connection %s: %v", conn.RemoteAddr(), err)
 			}
 			return
 		}
-		resp := s.handler.Handle(req)
+		// The request envelope carries the caller's remaining time budget
+		// (relative, so client/server clock skew cannot spuriously expire
+		// it); reconstruct a deadline so engines and routers abort
+		// abandoned work server-side.
+		reqCtx := ctx
+		var cancel context.CancelFunc
+		if timeoutMS > 0 {
+			reqCtx, cancel = context.WithTimeout(ctx, time.Duration(timeoutMS)*time.Millisecond)
+		}
+		resp := s.handler.Handle(reqCtx, req)
+		if cancel != nil {
+			cancel()
+		}
 		if err := wire.WriteMessage(bw, resp); err != nil {
 			s.logf("timecrypt: writing to %s: %v", conn.RemoteAddr(), err)
 			return

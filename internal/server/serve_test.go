@@ -14,70 +14,70 @@ import (
 func TestHandleDispatchAllTypes(t *testing.T) {
 	h := newHarness(t)
 	// CreateStream via Handle.
-	resp := h.engine.Handle(&wire.CreateStream{UUID: "s", Cfg: h.cfg})
+	resp := h.engine.Handle(context.Background(), &wire.CreateStream{UUID: "s", Cfg: h.cfg})
 	if _, ok := resp.(*wire.OK); !ok {
 		t.Fatalf("CreateStream -> %#v", resp)
 	}
 	// Duplicate -> CodeExists.
-	resp = h.engine.Handle(&wire.CreateStream{UUID: "s", Cfg: h.cfg})
+	resp = h.engine.Handle(context.Background(), &wire.CreateStream{UUID: "s", Cfg: h.cfg})
 	if e, ok := resp.(*wire.Error); !ok || e.Code != wire.CodeExists {
 		t.Errorf("duplicate create -> %#v", resp)
 	}
 	// Insert a chunk.
 	sealed, _ := chunk.Seal(h.enc, h.spec, chunk.CompressionNone, 0, 0, 100,
 		[]chunk.Point{{TS: 10, Val: 5}})
-	resp = h.engine.Handle(&wire.InsertChunk{UUID: "s", Chunk: chunk.MarshalSealed(sealed)})
+	resp = h.engine.Handle(context.Background(), &wire.InsertChunk{UUID: "s", Chunk: chunk.MarshalSealed(sealed)})
 	if _, ok := resp.(*wire.OK); !ok {
 		t.Fatalf("InsertChunk -> %#v", resp)
 	}
 	// StreamInfo.
-	resp = h.engine.Handle(&wire.StreamInfo{UUID: "s"})
+	resp = h.engine.Handle(context.Background(), &wire.StreamInfo{UUID: "s"})
 	if info, ok := resp.(*wire.StreamInfoResp); !ok || info.Count != 1 {
 		t.Errorf("StreamInfo -> %#v", resp)
 	}
 	// StatRange.
-	resp = h.engine.Handle(&wire.StatRange{UUIDs: []string{"s"}, Ts: 0, Te: 100})
+	resp = h.engine.Handle(context.Background(), &wire.StatRange{UUIDs: []string{"s"}, Ts: 0, Te: 100})
 	if sr, ok := resp.(*wire.StatRangeResp); !ok || len(sr.Windows) != 1 {
 		t.Errorf("StatRange -> %#v", resp)
 	}
 	// GetRange.
-	resp = h.engine.Handle(&wire.GetRange{UUID: "s", Ts: 0, Te: 100})
+	resp = h.engine.Handle(context.Background(), &wire.GetRange{UUID: "s", Ts: 0, Te: 100})
 	if gr, ok := resp.(*wire.GetRangeResp); !ok || len(gr.Chunks) != 1 {
 		t.Errorf("GetRange -> %#v", resp)
 	}
 	// Grants + envelopes.
-	if _, ok := h.engine.Handle(&wire.PutGrant{UUID: "s", Principal: "p", GrantID: "g", Blob: []byte{1}}).(*wire.OK); !ok {
+	if _, ok := h.engine.Handle(context.Background(), &wire.PutGrant{UUID: "s", Principal: "p", GrantID: "g", Blob: []byte{1}}).(*wire.OK); !ok {
 		t.Error("PutGrant failed")
 	}
-	if gg, ok := h.engine.Handle(&wire.GetGrants{UUID: "s", Principal: "p"}).(*wire.GetGrantsResp); !ok || len(gg.Blobs) != 1 {
+	if gg, ok := h.engine.Handle(context.Background(), &wire.GetGrants{UUID: "s", Principal: "p"}).(*wire.GetGrantsResp); !ok || len(gg.Blobs) != 1 {
 		t.Error("GetGrants failed")
 	}
-	if _, ok := h.engine.Handle(&wire.DeleteGrant{UUID: "s", Principal: "p", GrantID: "g"}).(*wire.OK); !ok {
+	if _, ok := h.engine.Handle(context.Background(), &wire.DeleteGrant{UUID: "s", Principal: "p", GrantID: "g"}).(*wire.OK); !ok {
 		t.Error("DeleteGrant failed")
 	}
-	if _, ok := h.engine.Handle(&wire.PutEnvelopes{UUID: "s", Factor: 2, Envs: []wire.WireEnvelope{{Index: 0, Box: []byte{9}}}}).(*wire.OK); !ok {
+	if _, ok := h.engine.Handle(context.Background(), &wire.PutEnvelopes{UUID: "s", Factor: 2, Envs: []wire.WireEnvelope{{Index: 0, Box: []byte{9}}}}).(*wire.OK); !ok {
 		t.Error("PutEnvelopes failed")
 	}
-	if ge, ok := h.engine.Handle(&wire.GetEnvelopes{UUID: "s", Factor: 2, Lo: 0, Hi: 0}).(*wire.GetEnvelopesResp); !ok || len(ge.Envs) != 1 {
+	if ge, ok := h.engine.Handle(context.Background(), &wire.GetEnvelopes{UUID: "s", Factor: 2, Lo: 0, Hi: 0}).(*wire.GetEnvelopesResp); !ok || len(ge.Envs) != 1 {
 		t.Error("GetEnvelopes failed")
 	}
 	// DeleteRange / Rollup / DeleteStream.
-	if _, ok := h.engine.Handle(&wire.DeleteRange{UUID: "s", Ts: 0, Te: 100}).(*wire.OK); !ok {
+	if _, ok := h.engine.Handle(context.Background(), &wire.DeleteRange{UUID: "s", Ts: 0, Te: 100}).(*wire.OK); !ok {
 		t.Error("DeleteRange failed")
 	}
-	if _, ok := h.engine.Handle(&wire.Rollup{UUID: "s", Factor: 8, Ts: 0, Te: 100}).(*wire.OK); !ok {
+	if _, ok := h.engine.Handle(context.Background(), &wire.Rollup{UUID: "s", Factor: 8, Ts: 0, Te: 100}).(*wire.OK); !ok {
 		t.Error("Rollup failed")
 	}
-	if _, ok := h.engine.Handle(&wire.DeleteStream{UUID: "s"}).(*wire.OK); !ok {
+	if _, ok := h.engine.Handle(context.Background(), &wire.DeleteStream{UUID: "s"}).(*wire.OK); !ok {
 		t.Error("DeleteStream failed")
 	}
 	// Unknown stream -> CodeNotFound.
-	resp = h.engine.Handle(&wire.StreamInfo{UUID: "s"})
+	resp = h.engine.Handle(context.Background(), &wire.StreamInfo{UUID: "s"})
 	if e, ok := resp.(*wire.Error); !ok || e.Code != wire.CodeNotFound {
 		t.Errorf("missing stream -> %#v", resp)
 	}
 	// Unsupported request type.
-	resp = h.engine.Handle(&wire.OK{})
+	resp = h.engine.Handle(context.Background(), &wire.OK{})
 	if e, ok := resp.(*wire.Error); !ok || e.Code != wire.CodeBadRequest {
 		t.Errorf("bad request -> %#v", resp)
 	}
@@ -114,7 +114,7 @@ func TestTCPServerRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	if err := wire.WriteMessage(conn, &wire.CreateStream{UUID: "tcp-s", Cfg: h.cfg}); err != nil {
+	if err := wire.WriteRequest(conn, 0, &wire.CreateStream{UUID: "tcp-s", Cfg: h.cfg}); err != nil {
 		t.Fatal(err)
 	}
 	resp, err := wire.ReadMessage(conn)
@@ -126,7 +126,7 @@ func TestTCPServerRoundTrip(t *testing.T) {
 	}
 	sealed, _ := chunk.Seal(h.enc, h.spec, chunk.CompressionNone, 0, 0, 100,
 		[]chunk.Point{{TS: 1, Val: 7}})
-	if err := wire.WriteMessage(conn, &wire.InsertChunk{UUID: "tcp-s", Chunk: chunk.MarshalSealed(sealed)}); err != nil {
+	if err := wire.WriteRequest(conn, 0, &wire.InsertChunk{UUID: "tcp-s", Chunk: chunk.MarshalSealed(sealed)}); err != nil {
 		t.Fatal(err)
 	}
 	if resp, err = wire.ReadMessage(conn); err != nil {
@@ -135,7 +135,7 @@ func TestTCPServerRoundTrip(t *testing.T) {
 	if _, ok := resp.(*wire.OK); !ok {
 		t.Fatalf("InsertChunk over TCP -> %#v", resp)
 	}
-	if err := wire.WriteMessage(conn, &wire.StatRange{UUIDs: []string{"tcp-s"}, Ts: 0, Te: 100}); err != nil {
+	if err := wire.WriteRequest(conn, 0, &wire.StatRange{UUIDs: []string{"tcp-s"}, Ts: 0, Te: 100}); err != nil {
 		t.Fatal(err)
 	}
 	if resp, err = wire.ReadMessage(conn); err != nil {
@@ -176,7 +176,7 @@ func TestTCPServerConcurrentClients(t *testing.T) {
 			}
 			defer conn.Close()
 			for i := 0; i < 50; i++ {
-				if err := wire.WriteMessage(conn, &wire.StatRange{UUIDs: []string{"s"}, Ts: 0, Te: 5000}); err != nil {
+				if err := wire.WriteRequest(conn, 0, &wire.StatRange{UUIDs: []string{"s"}, Ts: 0, Te: 5000}); err != nil {
 					errs <- err
 					return
 				}
@@ -217,7 +217,7 @@ func TestTCPServerSurvivesGarbage(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn2.Close()
-	if err := wire.WriteMessage(conn2, &wire.CreateStream{UUID: "x", Cfg: h.cfg}); err != nil {
+	if err := wire.WriteRequest(conn2, 0, &wire.CreateStream{UUID: "x", Cfg: h.cfg}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := wire.ReadMessage(conn2); err != nil {

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -54,11 +55,11 @@ func TestStagedRecordLifecycle(t *testing.T) {
 func TestHandleStagingMessages(t *testing.T) {
 	h := newHarness(t)
 	h.createStream(t, "s")
-	resp := h.engine.Handle(&wire.StageRecord{UUID: "s", ChunkIndex: 0, Seq: 0, Box: []byte{7}})
+	resp := h.engine.Handle(context.Background(), &wire.StageRecord{UUID: "s", ChunkIndex: 0, Seq: 0, Box: []byte{7}})
 	if _, ok := resp.(*wire.OK); !ok {
 		t.Fatalf("StageRecord -> %#v", resp)
 	}
-	resp = h.engine.Handle(&wire.GetStaged{UUID: "s", ChunkIndex: 0})
+	resp = h.engine.Handle(context.Background(), &wire.GetStaged{UUID: "s", ChunkIndex: 0})
 	gs, ok := resp.(*wire.GetStagedResp)
 	if !ok || len(gs.Boxes) != 1 || gs.Boxes[0][0] != 7 {
 		t.Fatalf("GetStaged -> %#v", resp)
@@ -113,7 +114,7 @@ func TestConcurrentMixedLoad(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for q := 0; q < 200; q++ {
-				_, _, _, err := h.engine.StatRange([]string{uuid}, 0, 10_000, 0)
+				_, _, _, err := h.engine.StatRange(context.Background(), []string{uuid}, 0, 10_000, 0)
 				if err != nil && err.Error() != "server: stream has no data" {
 					// Races with ingest are fine; structural errors are not.
 					continue

@@ -49,6 +49,17 @@ func (e *Encoder) Str(v string) {
 	e.buf = append(e.buf, v...)
 }
 
+// Msg appends a sub-message as a fixed 4-byte length prefix followed by
+// the message encoded in place, avoiding the intermediate buffer a
+// Blob(Marshal(m)) would allocate and copy.
+func (e *Encoder) Msg(m Message) {
+	e.buf = append(e.buf, 0, 0, 0, 0)
+	at := len(e.buf)
+	e.U8(uint8(m.Type()))
+	m.encode(e)
+	binary.BigEndian.PutUint32(e.buf[at-4:at], uint32(len(e.buf)-at))
+}
+
 // Vec appends a length-prefixed []uint64 in fixed 8-byte encoding (digest
 // vectors are high-entropy ciphertexts; varints would only add overhead).
 func (e *Encoder) Vec(v []uint64) {
@@ -162,6 +173,48 @@ func (d *Decoder) Str() string {
 		return ""
 	}
 	out := string(d.buf[:n])
+	d.buf = d.buf[n:]
+	return out
+}
+
+// Rest consumes and returns all remaining bytes (nil after an error). Used
+// to split envelope headers from the message body they carry.
+func (d *Decoder) Rest() []byte {
+	if d.err != nil {
+		return nil
+	}
+	out := d.buf
+	d.buf = nil
+	return out
+}
+
+// FixedU32 reads a big-endian 4-byte unsigned integer (batch element
+// lengths, which are backfilled after in-place encoding).
+func (d *Decoder) FixedU32() uint32 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.buf) < 4 {
+		d.fail("u32")
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.buf)
+	d.buf = d.buf[4:]
+	return v
+}
+
+// view consumes n bytes and returns them WITHOUT copying — the slice
+// aliases the decode buffer. Callers must not retain it past the buffer's
+// lifetime; message decoders copy every field they keep.
+func (d *Decoder) view(n uint64) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.buf)) {
+		d.fail("view")
+		return nil
+	}
+	out := d.buf[:n]
 	d.buf = d.buf[n:]
 	return out
 }

@@ -10,6 +10,17 @@ import (
 // sides against memory exhaustion from corrupt or hostile peers.
 const MaxFrameSize = 64 << 20
 
+// ProtoVersion is the version of the request envelope. Version 2 added the
+// per-request header (deadline propagation) and the Batch envelope; servers
+// reject other versions, so mixed deployments fail loudly rather than
+// desyncing frames.
+const ProtoVersion = 2
+
+// MaxTimeoutMS caps the request time budget (one year): anything larger is
+// effectively unbounded, and unchecked values would overflow
+// time.Duration multiplication.
+const MaxTimeoutMS = 365 * 24 * 3600 * 1000
+
 // WriteFrame writes one length-prefixed frame.
 func WriteFrame(w io.Writer, payload []byte) error {
 	if len(payload) > MaxFrameSize {
@@ -53,4 +64,60 @@ func ReadMessage(r io.Reader) (Message, error) {
 		return nil, err
 	}
 	return Unmarshal(payload)
+}
+
+// WriteRequest frames one request with its envelope header: protocol
+// version and the caller's remaining time budget in milliseconds (0 =
+// none). The budget rides in every request frame so the server can abort
+// work — including fan-outs behind a cluster router — once the caller has
+// given up. A relative duration (not an absolute timestamp) survives
+// client/server clock skew; in-flight transit only makes the server's
+// reconstructed deadline slightly generous, never spuriously expired.
+// The message encodes in place after the header (no intermediate buffer —
+// this is the ingest hot path).
+func WriteRequest(w io.Writer, timeoutMS int64, m Message) error {
+	var e Encoder
+	e.U8(ProtoVersion)
+	e.I64(timeoutMS)
+	e.U8(uint8(m.Type()))
+	m.encode(&e)
+	return WriteFrame(w, e.Bytes())
+}
+
+// ReadRequest reads one framed request, returning the envelope time budget
+// (ms, 0 = none) and the message.
+func ReadRequest(r io.Reader) (int64, Message, error) {
+	payload, err := ReadFrame(r)
+	if err != nil {
+		return 0, nil, err
+	}
+	return DecodeRequest(payload)
+}
+
+// DecodeRequest splits a request frame payload into envelope header and
+// message (exported for fuzzing the envelope without a stream).
+func DecodeRequest(payload []byte) (int64, Message, error) {
+	d := NewDecoder(payload)
+	version := d.U8()
+	timeoutMS := d.I64()
+	if err := d.Err(); err != nil {
+		return 0, nil, fmt.Errorf("wire: request header: %w", err)
+	}
+	if version != ProtoVersion {
+		return 0, nil, fmt.Errorf("wire: protocol version %d (this build speaks %d)", version, ProtoVersion)
+	}
+	if timeoutMS < 0 {
+		return 0, nil, fmt.Errorf("wire: negative request timeout %d", timeoutMS)
+	}
+	if timeoutMS > MaxTimeoutMS {
+		// Clamp rather than reject: a hostile (or future) peer claiming an
+		// absurd budget must not overflow duration arithmetic server-side
+		// into an instantly-expired context.
+		timeoutMS = MaxTimeoutMS
+	}
+	m, err := Unmarshal(d.Rest())
+	if err != nil {
+		return 0, nil, err
+	}
+	return timeoutMS, m, nil
 }

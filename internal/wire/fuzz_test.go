@@ -71,6 +71,151 @@ func TestFrameReaderHostileHeaders(t *testing.T) {
 	}
 }
 
+// TestBatchDecodeHostileInputs covers the batch envelope's decode guards:
+// truncated payloads, nested envelopes, garbage elements, and implausible
+// counts must all error without panicking.
+func TestBatchDecodeHostileInputs(t *testing.T) {
+	valid := Marshal(&Batch{Reqs: []Message{
+		&InsertChunk{UUID: "s", Chunk: []byte{1, 2, 3}},
+		&StreamInfo{UUID: "s"},
+	}})
+	// Every truncation must fail cleanly (a batch with fewer elements than
+	// claimed can never be a valid prefix).
+	for cut := 1; cut < len(valid); cut++ {
+		if _, err := Unmarshal(valid[:cut]); err == nil {
+			t.Errorf("truncated batch of %d/%d bytes accepted", cut, len(valid))
+		}
+	}
+
+	// Nested batch envelopes are rejected, in both directions.
+	var e Encoder
+	e.U8(uint8(TBatch))
+	e.U64(1)
+	e.Msg(&Batch{Reqs: []Message{&OK{}}})
+	if _, err := Unmarshal(e.Bytes()); err == nil {
+		t.Error("nested Batch accepted")
+	}
+	var e2 Encoder
+	e2.U8(uint8(TBatchResp))
+	e2.U64(1)
+	e2.Msg(&BatchResp{Resps: []Message{&OK{}}})
+	if _, err := Unmarshal(e2.Bytes()); err == nil {
+		t.Error("nested BatchResp accepted")
+	}
+
+	// An element that is itself garbage fails the whole envelope.
+	var e3 Encoder
+	e3.U8(uint8(TBatch))
+	e3.U64(1)
+	e3.buf = append(e3.buf, 0, 0, 0, 2, 0xEE, 0xEE)
+	if _, err := Unmarshal(e3.Bytes()); err == nil {
+		t.Error("garbage batch element accepted")
+	}
+
+	// A count beyond MaxBatch is rejected before any allocation.
+	var e4 Encoder
+	e4.U8(uint8(TBatch))
+	e4.U64(MaxBatch + 1)
+	if _, err := Unmarshal(e4.Bytes()); err == nil {
+		t.Error("oversized batch count accepted")
+	}
+}
+
+// TestBatchFuzzMutations flips bytes of a valid batch frame: decoding must
+// never panic and accepted mutants must re-marshal.
+func TestBatchFuzzMutations(t *testing.T) {
+	r := rand.New(rand.NewPCG(0xBA7C4, 5))
+	orig := Marshal(&Batch{Reqs: []Message{
+		&InsertChunk{UUID: "stream-1", Chunk: bytes.Repeat([]byte{7}, 64)},
+		&StatRange{UUIDs: []string{"a", "b"}, Ts: 0, Te: 100, WindowChunks: 4},
+		&StageRecord{UUID: "stream-1", ChunkIndex: 3, Seq: 9, Box: []byte{1}},
+	}})
+	for trial := 0; trial < 2000; trial++ {
+		data := append([]byte(nil), orig...)
+		for k := 0; k < 1+r.IntN(4); k++ {
+			switch r.IntN(3) {
+			case 0:
+				data[r.IntN(len(data))] ^= byte(1 << r.IntN(8))
+			case 1:
+				if len(data) > 1 {
+					data = data[:1+r.IntN(len(data)-1)]
+				}
+			case 2:
+				data = append(data, byte(r.Uint32()))
+			}
+		}
+		if m, err := Unmarshal(data); err == nil {
+			Marshal(m)
+		}
+	}
+}
+
+// TestRequestEnvelopeHostileInputs covers the deadline-bearing request
+// header: wrong versions, negative deadlines, truncation, and random bytes.
+func TestRequestEnvelopeHostileInputs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRequest(&buf, 30_000, &StreamInfo{UUID: "s"}); err != nil {
+		t.Fatal(err)
+	}
+	timeout, m, err := ReadRequest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if timeout != 30_000 {
+		t.Errorf("timeout = %d", timeout)
+	}
+	if si, ok := m.(*StreamInfo); !ok || si.UUID != "s" {
+		t.Errorf("message = %#v", m)
+	}
+
+	// An absurd claimed budget is clamped, not trusted: unchecked it would
+	// overflow duration arithmetic server-side.
+	buf.Reset()
+	if err := WriteRequest(&buf, 1<<60, &StreamInfo{UUID: "s"}); err != nil {
+		t.Fatal(err)
+	}
+	if timeout, _, err = ReadRequest(&buf); err != nil || timeout != MaxTimeoutMS {
+		t.Errorf("oversized timeout -> %d, %v (want clamp to %d)", timeout, err, int64(MaxTimeoutMS))
+	}
+
+	if _, _, err := DecodeRequest(nil); err == nil {
+		t.Error("empty request accepted")
+	}
+	// Wrong protocol version.
+	var e Encoder
+	e.U8(ProtoVersion + 1)
+	e.I64(0)
+	e.Bytes()
+	if _, _, err := DecodeRequest(append(e.Bytes(), Marshal(&OK{})...)); err == nil {
+		t.Error("wrong protocol version accepted")
+	}
+	// Negative deadline.
+	var e2 Encoder
+	e2.U8(ProtoVersion)
+	e2.I64(-5)
+	if _, _, err := DecodeRequest(append(e2.Bytes(), Marshal(&OK{})...)); err == nil {
+		t.Error("negative deadline accepted")
+	}
+	// Header without a message.
+	var e3 Encoder
+	e3.U8(ProtoVersion)
+	e3.I64(0)
+	if _, _, err := DecodeRequest(e3.Bytes()); err == nil {
+		t.Error("headless request accepted")
+	}
+	// Random bytes never panic.
+	r := rand.New(rand.NewPCG(3, 9))
+	for trial := 0; trial < 3000; trial++ {
+		data := make([]byte, r.IntN(128))
+		for i := range data {
+			data[i] = byte(r.Uint32())
+		}
+		if _, m, err := DecodeRequest(data); err == nil {
+			Marshal(m)
+		}
+	}
+}
+
 // TestDecoderRandomizedPrimitives checks the latching decoder never reads
 // out of bounds under random operation sequences.
 func TestDecoderRandomizedPrimitives(t *testing.T) {

@@ -35,6 +35,8 @@ const (
 	TGetStagedResp
 	TListStreams
 	TListStreamsResp
+	TBatch
+	TBatchResp
 )
 
 // Message is one protocol message.
@@ -95,6 +97,8 @@ var registry = map[MsgType]func() Message{
 	TGetStagedResp:    func() Message { return &GetStagedResp{} },
 	TListStreams:      func() Message { return &ListStreams{} },
 	TListStreamsResp:  func() Message { return &ListStreamsResp{} },
+	TBatch:            func() Message { return &Batch{} },
+	TBatchResp:        func() Message { return &BatchResp{} },
 }
 
 // Error is the generic failure response.
@@ -109,6 +113,9 @@ const (
 	CodeNotFound
 	CodeBadRequest
 	CodeExists
+	// CodeCanceled reports work abandoned because the caller's context was
+	// canceled or its wire-propagated deadline expired.
+	CodeCanceled
 )
 
 func (*Error) Type() MsgType { return TError }
@@ -659,4 +666,162 @@ func (m *ListStreamsResp) decode(d *Decoder) error {
 		m.UUIDs = append(m.UUIDs, d.Str())
 	}
 	return d.Err()
+}
+
+// MaxBatch bounds the sub-requests in one Batch envelope: large enough to
+// amortize a round trip thousands of times over, small enough that one
+// frame cannot pin unbounded server work.
+const MaxBatch = 4096
+
+// Batch is the pipelining envelope: N independent sub-requests carried in
+// one frame and answered by one BatchResp with the sub-responses in the
+// same order. Engines execute sub-requests against their lock stripes and
+// cluster routers split a batch by owning shard, fanning the pieces out
+// concurrently. The only ordering guarantee is per stream: sub-requests
+// sharing a routing UUID execute in batch order; everything else —
+// different streams, multi-stream StatRange, ListStreams — may execute
+// concurrently. Batches do not nest.
+type Batch struct{ Reqs []Message }
+
+func (*Batch) Type() MsgType { return TBatch }
+func (m *Batch) encode(e *Encoder) {
+	encodeBatchPayload(e, m.Reqs)
+}
+func (m *Batch) decode(d *Decoder) error {
+	msgs, err := decodeBatchPayload(d, "batch")
+	m.Reqs = msgs
+	return err
+}
+
+// BatchResp carries one response per Batch sub-request, in request order.
+// Individual failures are *Error elements; they do not fail the envelope.
+type BatchResp struct{ Resps []Message }
+
+func (*BatchResp) Type() MsgType { return TBatchResp }
+func (m *BatchResp) encode(e *Encoder) {
+	encodeBatchPayload(e, m.Resps)
+}
+func (m *BatchResp) decode(d *Decoder) error {
+	msgs, err := decodeBatchPayload(d, "batch response")
+	m.Resps = msgs
+	return err
+}
+
+// encodeBatchPayload writes the shared element layout of Batch/BatchResp:
+// count, then each element as a fixed 4-byte length followed by the
+// message encoded in place (no per-element intermediate buffer — batches
+// sit on the ingest hot path).
+func encodeBatchPayload(e *Encoder, msgs []Message) {
+	e.U64(uint64(len(msgs)))
+	for _, m := range msgs {
+		e.Msg(m)
+	}
+}
+
+// decodeBatchPayload decodes the element layout, rejecting nested
+// envelopes (recursion depth stays <= 2 even on hostile input). Elements
+// decode from aliased sub-slices of the frame buffer; the per-field
+// decoders copy what they keep.
+func decodeBatchPayload(d *Decoder, what string) ([]Message, error) {
+	n := d.U64()
+	if n > MaxBatch {
+		return nil, fmt.Errorf("wire: %s of %d elements exceeds limit %d", what, n, MaxBatch)
+	}
+	msgs := make([]Message, 0, n)
+	for i := uint64(0); i < n; i++ {
+		view := d.view(uint64(d.FixedU32()))
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		sub, err := Unmarshal(view)
+		if err != nil {
+			return nil, fmt.Errorf("wire: %s element %d: %w", what, i, err)
+		}
+		switch sub.(type) {
+		case *Batch, *BatchResp:
+			return nil, fmt.Errorf("wire: %s element %d: nested batch envelope", what, i)
+		}
+		msgs = append(msgs, sub)
+	}
+	return msgs, d.Err()
+}
+
+// BatchPartition is the routing decomposition of a batch's sub-requests,
+// shared by the engine (keys = stream UUIDs mapping to lock stripes) and
+// the cluster router (keys = owning shards) so their batch semantics
+// cannot diverge.
+type BatchPartition struct {
+	Order   []string         // keys in first-seen order
+	Groups  map[string][]int // key -> request indices, in batch order
+	Singles []int            // requests without a routing key (fan-out types)
+	Nested  []int            // nested envelopes, rejected per element
+}
+
+// PartitionBatch groups a batch's sub-requests by routing key, preserving
+// per-key request order (chunk inserts for one stream must stay ordered;
+// everything else may execute concurrently).
+func PartitionBatch(reqs []Message, key func(Message) (string, bool)) BatchPartition {
+	p := BatchPartition{Groups: make(map[string][]int)}
+	for i, sub := range reqs {
+		switch sub.(type) {
+		case *Batch, *BatchResp:
+			// The wire decoder rejects nesting; guard locally built ones.
+			p.Nested = append(p.Nested, i)
+			continue
+		}
+		if k, ok := key(sub); ok {
+			if _, seen := p.Groups[k]; !seen {
+				p.Order = append(p.Order, k)
+			}
+			p.Groups[k] = append(p.Groups[k], i)
+		} else {
+			p.Singles = append(p.Singles, i)
+		}
+	}
+	return p
+}
+
+// RoutingUUID extracts the single-stream routing key of a request, when it
+// has one. Requests without a unique key (multi-stream StatRange,
+// ListStreams, Batch) route by fan-out instead.
+func RoutingUUID(req Message) (string, bool) {
+	switch m := req.(type) {
+	case *CreateStream:
+		return m.UUID, true
+	case *DeleteStream:
+		return m.UUID, true
+	case *InsertChunk:
+		return m.UUID, true
+	case *GetRange:
+		return m.UUID, true
+	case *DeleteRange:
+		return m.UUID, true
+	case *Rollup:
+		return m.UUID, true
+	case *PutGrant:
+		return m.UUID, true
+	case *GetGrants:
+		return m.UUID, true
+	case *DeleteGrant:
+		return m.UUID, true
+	case *PutEnvelopes:
+		return m.UUID, true
+	case *GetEnvelopes:
+		return m.UUID, true
+	case *StreamInfo:
+		return m.UUID, true
+	case *StageRecord:
+		return m.UUID, true
+	case *GetStaged:
+		return m.UUID, true
+	case *StatRange:
+		// A single-stream statistical query routes like any other
+		// single-stream request; multi-stream queries fan out.
+		if len(m.UUIDs) == 1 {
+			return m.UUIDs[0], true
+		}
+		return "", false
+	default:
+		return "", false
+	}
 }

@@ -110,6 +110,21 @@ func allMessages() []Message {
 		&GetEnvelopesResp{Envs: []WireEnvelope{{Index: 5, Box: []byte{3, 4}}}},
 		&StreamInfo{UUID: "s1"},
 		&StreamInfoResp{Cfg: StreamConfig{Interval: 60000, VectorLen: 1}, Count: 12345},
+		&StageRecord{UUID: "s1", ChunkIndex: 4, Seq: 2, Box: []byte{8, 9}},
+		&GetStaged{UUID: "s1", ChunkIndex: 4},
+		&GetStagedResp{Boxes: [][]byte{{1}, {2}}},
+		&ListStreams{},
+		&ListStreamsResp{UUIDs: []string{"a", "b"}},
+		&Batch{Reqs: []Message{
+			&InsertChunk{UUID: "s1", Chunk: []byte{1, 2}},
+			&InsertChunk{UUID: "s1", Chunk: []byte{3}},
+			&StreamInfo{UUID: "s2"},
+		}},
+		&BatchResp{Resps: []Message{
+			&OK{},
+			&Error{Code: CodeBadRequest, Msg: "nope"},
+			&StreamInfoResp{Cfg: StreamConfig{Interval: 10, VectorLen: 1}, Count: 3},
+		}},
 	}
 }
 

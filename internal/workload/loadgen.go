@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"sync"
@@ -64,8 +65,9 @@ func (r Report) String() string {
 		r.IngestRecordsPS, r.Insert, r.QueryOpsPS, r.Query)
 }
 
-// Run executes the load and aggregates the report.
-func Run(cfg LoadConfig) (Report, error) {
+// Run executes the load and aggregates the report. The context cancels
+// outstanding operations (each worker passes it to every insert/query).
+func Run(ctx context.Context, cfg LoadConfig) (Report, error) {
 	if cfg.Workers < 1 || cfg.StreamsPerWorker < 1 || cfg.ChunksPerStream < 1 {
 		return Report{}, fmt.Errorf("workload: workers, streams, chunks must be positive")
 	}
@@ -101,7 +103,7 @@ func Run(cfg LoadConfig) (Report, error) {
 				gen := cfg.Generator(uint64(w*cfg.StreamsPerWorker + s))
 				gens[s] = gen
 				res.name = gen.Name()
-				os, err := owner.CreateStream(client.StreamOptions{
+				os, err := owner.CreateStream(ctx, client.StreamOptions{
 					UUID:        fmt.Sprintf("%s-w%d-s%d", cfg.StreamPrefix, w, s),
 					Epoch:       epoch,
 					Interval:    cfg.Interval,
@@ -120,7 +122,7 @@ func Run(cfg LoadConfig) (Report, error) {
 				for s, os := range streams {
 					pts := gens[s].Chunk(uint64(c), epoch, cfg.Interval)
 					t0 := time.Now()
-					if err := os.AppendChunk(pts); err != nil {
+					if err := os.AppendChunk(ctx, pts); err != nil {
 						res.err = err
 						return
 					}
@@ -131,7 +133,7 @@ func Run(cfg LoadConfig) (Report, error) {
 						hi := int64(c+1) * cfg.Interval
 						lo := int64(rng.IntN(c+1)) * cfg.Interval
 						t0 := time.Now()
-						_, err := os.StatRange(epoch+lo, epoch+hi)
+						_, err := os.StatRange(ctx, epoch+lo, epoch+hi)
 						if err != nil {
 							res.err = fmt.Errorf("query [%d,%d) after chunk %d: %w", lo, hi, c, err)
 							return

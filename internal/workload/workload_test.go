@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -107,7 +108,7 @@ func TestLoadRunEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	report, err := Run(LoadConfig{
+	report, err := Run(context.Background(), LoadConfig{
 		Workers:          4,
 		StreamsPerWorker: 2,
 		ChunksPerStream:  5,
@@ -142,10 +143,10 @@ func TestLoadRunEndToEnd(t *testing.T) {
 }
 
 func TestLoadRunValidation(t *testing.T) {
-	if _, err := Run(LoadConfig{}); err == nil {
+	if _, err := Run(context.Background(), LoadConfig{}); err == nil {
 		t.Error("empty config accepted")
 	}
-	if _, err := Run(LoadConfig{Workers: 1, StreamsPerWorker: 1, ChunksPerStream: 1}); err == nil {
+	if _, err := Run(context.Background(), LoadConfig{Workers: 1, StreamsPerWorker: 1, ChunksPerStream: 1}); err == nil {
 		t.Error("zero interval accepted")
 	}
 }

@@ -3,16 +3,38 @@
 // (HEAC) and cryptographic access control (NSDI 2020).
 //
 // The package re-exports the client and server engines behind stable
-// names. A minimal end-to-end flow:
+// names. The API is context-first: every operation that reaches the server
+// takes a context.Context, whose deadline rides the wire to the server so
+// abandoned work is aborted engine-side. A minimal end-to-end flow:
 //
+//	ctx := context.Background()
 //	store := timecrypt.NewMemStore()
 //	engine, _ := timecrypt.NewEngine(store, timecrypt.EngineConfig{})
 //	owner := timecrypt.NewOwner(timecrypt.NewInProcTransport(engine))
-//	s, _ := owner.CreateStream(timecrypt.StreamOptions{
+//	s, _ := owner.CreateStream(ctx, timecrypt.StreamOptions{
 //		UUID: "heart-rate", Epoch: epochMS, Interval: 10_000,
 //	})
-//	_ = s.Append(timecrypt.Point{TS: epochMS, Val: 72})
-//	res, _ := s.StatRange(epochMS, epochMS+3_600_000)
+//	_ = s.Append(ctx, timecrypt.Point{TS: epochMS, Val: 72})
+//	res, _ := s.StatRange(ctx, epochMS, epochMS+3_600_000)
+//
+// High-throughput producers ingest through the pipelined writer, which
+// seals chunks ahead of server acknowledgements and ships them in batch
+// envelopes (one round trip per WriterOptions.BatchChunks chunks):
+//
+//	w, _ := s.Writer(ctx, timecrypt.WriterOptions{})
+//	for _, p := range points {
+//		_ = w.Append(p)
+//	}
+//	err := w.Close() // collected ingest errors surface here
+//
+// Series reads page lazily through a query cursor instead of materializing
+// the whole window slice:
+//
+//	it := s.Query().Range(ts, te).Window(6).Iter(ctx)
+//	for it.Next() {
+//		use(it.Result())
+//	}
+//	err = it.Err()
 //
 // Sharing: generate a consumer key pair, then s.Grant(pub, from, to,
 // factor) — factor 0 grants full resolution, factor f >= 2 restricts the
@@ -63,6 +85,14 @@ type (
 	KeyPair = hybrid.KeyPair
 	// Transport carries protocol messages to a server.
 	Transport = client.Transport
+	// Writer is the asynchronous pipelined ingest path of a stream.
+	Writer = client.Writer
+	// WriterOptions tunes a pipelined ingest writer.
+	WriterOptions = client.WriterOptions
+	// QueryBuilder assembles a statistical query fluently.
+	QueryBuilder = client.QueryBuilder
+	// Cursor pages a windowed statistical query lazily.
+	Cursor = client.Cursor
 	// Engine is the untrusted server engine.
 	Engine = server.Engine
 	// EngineConfig parameterizes the server engine.

@@ -1,6 +1,7 @@
 package timecrypt_test
 
 import (
+	"context"
 	"testing"
 
 	timecrypt "repro"
@@ -16,7 +17,7 @@ func TestPublicAPIQuickstart(t *testing.T) {
 	tr := timecrypt.NewInProcTransport(engine)
 	owner := timecrypt.NewOwner(tr)
 	epoch := int64(1_700_000_000_000)
-	s, err := owner.CreateStream(timecrypt.StreamOptions{
+	s, err := owner.CreateStream(context.Background(), timecrypt.StreamOptions{
 		UUID:     "api-test",
 		Epoch:    epoch,
 		Interval: 10_000,
@@ -26,14 +27,14 @@ func TestPublicAPIQuickstart(t *testing.T) {
 	}
 	for i := 0; i < 120; i++ {
 		ts := epoch + int64(i)*5000 // 2 points per chunk
-		if err := s.Append(timecrypt.Point{TS: ts, Val: int64(60 + i%10)}); err != nil {
+		if err := s.Append(context.Background(), timecrypt.Point{TS: ts, Val: int64(60 + i%10)}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := s.Flush(); err != nil {
+	if err := s.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.StatRange(epoch, epoch+600_000)
+	res, err := s.StatRange(context.Background(), epoch, epoch+600_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,29 +46,29 @@ func TestPublicAPIQuickstart(t *testing.T) {
 	}
 
 	// Share at 6-chunk (1 minute) resolution.
-	if err := s.EnableResolution(6); err != nil {
+	if err := s.EnableResolution(context.Background(), 6); err != nil {
 		t.Fatal(err)
 	}
 	kp, err := timecrypt.GenerateKeyPair()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Grant(kp.PublicBytes(), epoch, epoch+600_000, 6); err != nil {
+	if _, err := s.Grant(context.Background(), kp.PublicBytes(), epoch, epoch+600_000, 6); err != nil {
 		t.Fatal(err)
 	}
 	consumer := timecrypt.NewConsumer(tr, kp)
-	view, err := consumer.OpenStream("api-test")
+	view, err := consumer.OpenStream(context.Background(), "api-test")
 	if err != nil {
 		t.Fatal(err)
 	}
-	series, err := view.StatSeries(epoch, epoch+600_000, 6)
+	series, err := view.StatSeries(context.Background(), epoch, epoch+600_000, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(series) != 10 {
 		t.Fatalf("got %d windows, want 10", len(series))
 	}
-	if _, err := view.Points(epoch, epoch+10_000); err == nil {
+	if _, err := view.Points(context.Background(), epoch, epoch+10_000); err == nil {
 		t.Error("resolution-restricted consumer read raw points")
 	}
 	if timecrypt.PrincipalID(kp.PublicBytes()) == "" {
@@ -84,7 +85,7 @@ func TestPublicAPIInsecureBaseline(t *testing.T) {
 	}
 	owner := timecrypt.NewOwner(timecrypt.NewInProcTransport(engine))
 	epoch := int64(1_700_000_000_000)
-	s, err := owner.CreateStream(timecrypt.StreamOptions{
+	s, err := owner.CreateStream(context.Background(), timecrypt.StreamOptions{
 		UUID: "plain", Epoch: epoch, Interval: 10_000, Insecure: true,
 	})
 	if err != nil {
@@ -92,18 +93,18 @@ func TestPublicAPIInsecureBaseline(t *testing.T) {
 	}
 	for i := 0; i < 10; i++ {
 		start := epoch + int64(i)*10_000
-		if err := s.AppendChunk([]timecrypt.Point{{TS: start, Val: int64(i)}}); err != nil {
+		if err := s.AppendChunk(context.Background(), []timecrypt.Point{{TS: start, Val: int64(i)}}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	res, err := s.StatRange(epoch, epoch+100_000)
+	res, err := s.StatRange(context.Background(), epoch, epoch+100_000)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Count != 10 || res.Sum != 45 {
 		t.Errorf("count=%d sum=%d", res.Count, res.Sum)
 	}
-	pts, err := s.Points(epoch, epoch+100_000)
+	pts, err := s.Points(context.Background(), epoch, epoch+100_000)
 	if err != nil {
 		t.Fatal(err)
 	}
