@@ -8,7 +8,8 @@
 //	timecrypt-bench -run batch -json BENCH_results.json
 //
 // Experiments: table2, table3, fig5, fig6, fig7, fig8, access, devops,
-// cluster, batch. Scale > 1 approaches the paper's sizes (and run times).
+// cluster, batch, pipeline. Scale > 1 approaches the paper's sizes (and
+// run times).
 //
 // Alongside the human-readable tables, machine-readable metrics
 // (experiment, ops/sec, p50/p99 latency) are written to the -json file so
@@ -33,7 +34,7 @@ func wrap[T any](f func(io.Writer, bench.Options) ([]T, error)) func(io.Writer, 
 }
 
 func main() {
-	runList := flag.String("run", "all", "comma-separated experiments (table2,table3,fig5,fig6,fig7,fig8,access,devops,cluster,batch) or 'all'")
+	runList := flag.String("run", "all", "comma-separated experiments (table2,table3,fig5,fig6,fig7,fig8,access,devops,cluster,batch,pipeline) or 'all'")
 	scale := flag.Float64("scale", 1.0, "experiment scale factor (1.0 = laptop-sized defaults)")
 	jsonPath := flag.String("json", "BENCH_results.json", "machine-readable results file ('' disables)")
 	flag.Parse()
@@ -55,6 +56,7 @@ func main() {
 		{"devops", wrap(bench.DevOps)},
 		{"cluster", wrap(bench.Cluster)},
 		{"batch", wrap(bench.BatchIngest)},
+		{"pipeline", wrap(bench.Pipeline)},
 	}
 
 	want := map[string]bool{}
@@ -79,7 +81,8 @@ func main() {
 	}
 	if *jsonPath != "" {
 		if metrics := results.Metrics(); len(metrics) > 0 {
-			data, err := json.MarshalIndent(metrics, "", "  ")
+			merged := mergeMetrics(*jsonPath, metrics)
+			data, err := json.MarshalIndent(merged, "", "  ")
 			if err != nil {
 				log.Fatalf("encoding results: %v", err)
 			}
@@ -87,7 +90,33 @@ func main() {
 			if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
 				log.Fatalf("writing %s: %v", *jsonPath, err)
 			}
-			fmt.Printf("wrote %d metrics to %s\n", len(metrics), *jsonPath)
+			fmt.Printf("wrote %d metrics to %s (%d fresh)\n", len(merged), *jsonPath, len(metrics))
 		}
 	}
+}
+
+// mergeMetrics folds this run's metrics into an existing results file:
+// experiments that ran are replaced wholesale, experiments that did not
+// run keep their previous numbers — so partial runs (-run pipeline) stop
+// clobbering the rest of the tracked trajectory.
+func mergeMetrics(path string, fresh []bench.Metric) []bench.Metric {
+	prev, err := os.ReadFile(path)
+	if err != nil {
+		return fresh
+	}
+	var old []bench.Metric
+	if err := json.Unmarshal(prev, &old); err != nil {
+		return fresh // unreadable history loses to fresh data
+	}
+	reran := map[string]bool{}
+	for _, m := range fresh {
+		reran[m.Experiment] = true
+	}
+	var merged []bench.Metric
+	for _, m := range old {
+		if !reran[m.Experiment] {
+			merged = append(merged, m)
+		}
+	}
+	return append(merged, fresh...)
 }

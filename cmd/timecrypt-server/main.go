@@ -48,7 +48,8 @@ func main() {
 	snapshotEvery := flag.Duration("snapshot-every", time.Minute, "snapshot interval")
 	shards := flag.Int("shards", 1, "engine shards hosted in this process, each over its own store partition (stable across restarts)")
 	peers := flag.String("peers", "", "comma-separated remote timecrypt-server shards to route to (stable across restarts)")
-	peerConns := flag.Int("peer-conns", 4, "connections per remote peer shard")
+	peerWindow := flag.Int("peer-window", 0, "in-flight request window per remote peer shard's multiplexed connection (0 = client default)")
+	connInFlight := flag.Int("conn-inflight", 0, "max concurrently executing requests per client connection; overflow answers CodeBusy (0 = default)")
 	flag.Parse()
 
 	var store kv.Store
@@ -120,7 +121,7 @@ func main() {
 			shardCfgs = append(shardCfgs, cluster.Shard{Name: fmt.Sprintf("local-%d", i), Handler: engine})
 		}
 		for _, p := range peerList {
-			sh, err := cluster.NewTCPShard(p, p, *peerConns)
+			sh, err := cluster.NewTCPShard(p, p, *peerWindow)
 			if err != nil {
 				log.Fatalf("dialing peer shard: %v", err)
 			}
@@ -136,6 +137,7 @@ func main() {
 	}
 
 	srv := server.NewServer(handler, log.Printf)
+	srv.MaxConnInFlight = *connInFlight
 	lis, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("listening on %s: %v", *addr, err)

@@ -341,3 +341,34 @@ func TestClusterRuns(t *testing.T) {
 	// the full-scale run; at tiny scale only the harness shape is
 	// checked.
 }
+
+func TestPipelineRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second benchmark harness")
+	}
+	results, err := Pipeline(io.Discard, tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d modes", len(results))
+	}
+	for _, r := range results {
+		if r.OpsPS <= 0 || r.PerOp.Count != r.Ops {
+			t.Errorf("%s: ops/s %.0f, %d/%d latencies", r.Mode, r.OpsPS, r.PerOp.Count, r.Ops)
+		}
+	}
+	// The window >= 4 > serialized claim is asserted by the full-scale
+	// run; at tiny scale only the harness shape is checked.
+}
+
+// BenchmarkPipelineWindow drives the windowed session transport end to
+// end (one connection, real sockets) so bench-smoke keeps the
+// multiplexing path compiling and running.
+func BenchmarkPipelineWindow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Pipeline(io.Discard, Options{Scale: 0.01}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package client
 import (
 	"context"
 	"fmt"
+	"io"
 
 	"repro/internal/wire"
 )
@@ -80,7 +81,8 @@ func (q *QueryBuilder) PageSize(windows int) *QueryBuilder {
 }
 
 // Iter returns a lazy cursor over the query's windows. No request is issued
-// until the first Next call.
+// until the first Next call. Call Close when abandoning a cursor before
+// exhausting it (a drained or failed cursor is already released).
 func (q *QueryBuilder) Iter(ctx context.Context) *Cursor {
 	return &Cursor{ctx: ctx, q: q}
 }
@@ -89,6 +91,7 @@ func (q *QueryBuilder) Iter(ctx context.Context) *Cursor {
 // series materialized.
 func (q *QueryBuilder) All(ctx context.Context) ([]StatResult, error) {
 	it := q.Iter(ctx)
+	defer it.Close()
 	var out []StatResult
 	for it.Next() {
 		out = append(out, it.Result())
@@ -96,9 +99,12 @@ func (q *QueryBuilder) All(ctx context.Context) ([]StatResult, error) {
 	return out, it.Err()
 }
 
-// Cursor pages the windows of a statistical query lazily: each fetch asks
-// the server for at most PageSize windows, decrypts them, and hands them
-// out one Result at a time. The iteration bound is pinned to the stream's
+// Cursor pages the windows of a statistical query lazily, decrypting one
+// page at a time and handing them out one Result per Next. On a
+// multiplexed transport (Streamer) it opens a wire.QueryStream and the
+// server pushes successive pages tagged with the cursor's correlation ID —
+// no per-page round trip; on serialized transports each page is a
+// StatRange round trip. The iteration bound is pinned to the stream's
 // ingest progress at first use, so a cursor sees a consistent prefix even
 // while ingest continues.
 type Cursor struct {
@@ -109,6 +115,8 @@ type Cursor struct {
 	done    bool
 	err     error
 	dec     windowDecrypter
+
+	stream *Stream // non-nil: server-pushed pages
 
 	page []StatResult
 	pos  int
@@ -206,12 +214,60 @@ func (c *Cursor) start() {
 		return
 	}
 	c.next, c.end = a, b
+	if st, ok := q.v.t.(Streamer); ok {
+		// Multiplexed transport: one QueryStream request, the server
+		// pushes every page. The grid-aligned range is sent verbatim.
+		pageWindows := q.page
+		if pageWindows > wire.MaxPageWindows {
+			pageWindows = wire.MaxPageWindows
+		}
+		stream, err := st.Stream(c.ctx, &wire.QueryStream{
+			UUID:         v.uuid,
+			Ts:           v.chunkStart(a),
+			Te:           v.chunkStart(b),
+			WindowChunks: q.window,
+			PageWindows:  uint32(pageWindows),
+		})
+		if err != nil {
+			c.err = err
+			return
+		}
+		c.stream = stream
+	}
 }
 
-// fetch retrieves and decrypts the next page of windows.
+// fetch retrieves and decrypts the next page of windows: received from the
+// server-pushed stream when one is open, requested round trip by round
+// trip otherwise.
 func (c *Cursor) fetch() {
 	q := c.q
 	v := q.v
+	if c.stream != nil {
+		msg, err := c.stream.Recv()
+		if err != nil {
+			if err == io.EOF {
+				c.done = true
+				return
+			}
+			c.err = err
+			return
+		}
+		page, ok := msg.(*wire.StatRangeResp)
+		if !ok {
+			c.err = fmt.Errorf("client: unexpected stream page %T", msg)
+			c.stream.Close()
+			return
+		}
+		res, err := v.decodeWindows(c.dec, page, q.window)
+		if err != nil {
+			c.err = err
+			c.stream.Close()
+			return
+		}
+		c.page = res
+		c.pos = 0
+		return
+	}
 	hi := c.next + uint64(q.page)*q.window
 	if hi > c.end {
 		hi = c.end
@@ -227,4 +283,14 @@ func (c *Cursor) fetch() {
 	if c.next >= c.end {
 		c.done = true
 	}
+}
+
+// Close releases a cursor abandoned before exhaustion: an open server
+// stream is canceled and its in-flight frames discarded. Safe on drained,
+// failed, and never-started cursors, and idempotent.
+func (c *Cursor) Close() error {
+	if c.stream != nil {
+		return c.stream.Close()
+	}
+	return nil
 }

@@ -109,6 +109,78 @@ func TestQueryCursorMatchesStatSeries(t *testing.T) {
 	}
 }
 
+// TestQueryCursorStreamsOverTCP: on a multiplexed transport the cursor
+// opens one wire.QueryStream — the server pushes every page — and yields
+// exactly the windows the paging path materializes. Abandoning the cursor
+// early reclaims the stream's pending-table entry.
+func TestQueryCursorStreamsOverTCP(t *testing.T) {
+	engine := newWriterEngine(t)
+	addr := startSessionServer(t, engine)
+	tr, err := DialTCP(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	s := newWriterStream(t, tr, "qstream")
+	ctx := context.Background()
+
+	const chunks = 60
+	for c := 0; c < chunks; c++ {
+		start := writerEpoch + int64(c)*1000
+		if err := s.AppendChunk(ctx, []chunk.Point{{TS: start, Val: int64(c)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	te := writerEpoch + chunks*1000
+	want, err := s.StatSeries(ctx, writerEpoch, te, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	it := s.Query().Range(writerEpoch, te).Window(4).PageSize(5).Iter(ctx)
+	var got []StatResult
+	for it.Next() {
+		if it.stream == nil {
+			t.Fatal("cursor on a multiplexed transport did not open a query stream")
+		}
+		got = append(got, it.Result())
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("streamed cursor yielded %d windows, StatSeries %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Sum != want[i].Sum || got[i].Count != want[i].Count ||
+			got[i].FromChunk != want[i].FromChunk || got[i].ToChunk != want[i].ToChunk {
+			t.Errorf("window %d: streamed %+v vs series %+v", i, got[i].Result, want[i].Result)
+		}
+	}
+
+	// Early abandonment: take two windows, close, and verify the
+	// transport's session drains back to zero in-flight (the canceled
+	// stream's entry is reclaimed once its in-flight frames settle).
+	it = s.Query().Range(writerEpoch, te).Window(4).PageSize(2).Iter(ctx)
+	if !it.Next() || !it.Next() {
+		t.Fatalf("short iteration failed: %v", it.Err())
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := tr.session()
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "abandoned stream reclaim", func() bool { return sess.InFlight() == 0 })
+
+	// The connection survived the abandonment: fresh queries still work.
+	res, err := s.Query().Range(writerEpoch, te).Window(4).All(ctx)
+	if err != nil || len(res) != len(want) {
+		t.Fatalf("query after abandoned cursor: %d windows, err=%v", len(res), err)
+	}
+}
+
 // TestQueryCursorConsumerResolution: a resolution-restricted consumer can
 // page windows at its granted factor but not finer, mirroring StatSeries.
 func TestQueryCursorConsumerResolution(t *testing.T) {

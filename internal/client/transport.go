@@ -6,14 +6,10 @@
 package client
 
 import (
-	"bufio"
 	"context"
 	"errors"
 	"fmt"
-	"net"
-	"os"
 	"sync"
-	"time"
 
 	"repro/internal/server"
 	"repro/internal/wire"
@@ -28,6 +24,22 @@ type Transport interface {
 	RoundTrip(ctx context.Context, req wire.Message) (wire.Message, error)
 	// Close releases the transport.
 	Close() error
+}
+
+// Doer is the asynchronous face of a multiplexed transport: Do returns an
+// awaitable *Call without blocking for the response, so many requests
+// overlap on one connection. Session and TCP implement it; callers (the
+// pipelined Writer) type-assert and fall back to serial RoundTrips when
+// the transport is not multiplexed.
+type Doer interface {
+	Do(ctx context.Context, req wire.Message) (*Call, error)
+}
+
+// Streamer is the streamed-response face of a multiplexed transport: the
+// server pushes successive frames for one request (wire.QueryStream). The
+// query cursor type-asserts it and falls back to per-page round trips.
+type Streamer interface {
+	Stream(ctx context.Context, req wire.Message) (*Stream, error)
 }
 
 // call performs a round trip and converts *wire.Error responses into Go
@@ -78,166 +90,139 @@ func (p *InProc) RoundTrip(ctx context.Context, req wire.Message) (wire.Message,
 // Close implements Transport.
 func (p *InProc) Close() error { return nil }
 
-// TCP is a client connection to a TimeCrypt server. Requests on one TCP
-// transport serialize; open several for parallelism (or pipeline many
-// operations into one round trip with wire.Batch). A round trip abandoned
-// mid-flight — context cancellation, deadline, I/O failure — discards the
-// connection (the framing may be desynced) and redials on the next use.
+// TCP is a client connection to a TimeCrypt server: a thin redialing
+// facade over one multiplexed Session. Requests on one TCP transport
+// genuinely overlap — concurrent RoundTrips share the socket, each tagged
+// with its own correlation ID, and responses complete out of order — so a
+// single connection serves many goroutines (open several transports only
+// to spread load across sockets).
+//
+// Cancellation (context or deadline) abandons just the affected call; the
+// connection stays healthy. Only connection breakage — I/O failure or a
+// protocol violation — discards the session: every in-flight call then
+// fails with ErrSessionBroken and the next use redials.
 type TCP struct {
 	addr string
+	opts SessionOptions
 
-	mu sync.Mutex // serializes round trips; guards br/bw
-
-	// connMu guards conn and closed separately so Close can abort an
-	// in-flight exchange by closing the socket instead of queueing on
-	// t.mu behind it. Lock order: mu before connMu, never the reverse.
-	connMu sync.Mutex
+	mu     sync.Mutex
 	closed bool
-	conn   net.Conn
-
-	br *bufio.Reader
-	bw *bufio.Writer
+	sess   *Session
 }
 
-// DialTCP connects to a server address.
+// DialTCP connects to a server address with default session options.
 func DialTCP(addr string) (*TCP, error) {
-	t := &TCP{addr: addr}
-	if _, err := t.redialLocked(); err != nil {
+	return DialTCPOptions(addr, SessionOptions{})
+}
+
+// DialTCPOptions connects with explicit session options (in-flight
+// window).
+func DialTCPOptions(addr string, opts SessionOptions) (*TCP, error) {
+	t := &TCP{addr: addr, opts: opts}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, err := t.sessionLocked(); err != nil {
 		return nil, err
 	}
 	return t, nil
 }
 
-// redialLocked (re)establishes the connection, returning it (callers must
-// not re-read t.conn unsynchronized — a concurrent Close may nil it).
-// Caller holds t.mu.
-func (t *TCP) redialLocked() (net.Conn, error) {
-	conn, err := net.Dial("tcp", t.addr)
-	if err != nil {
-		return nil, fmt.Errorf("client: dialing %s: %w", t.addr, err)
-	}
-	t.connMu.Lock()
-	if t.closed {
-		t.connMu.Unlock()
-		conn.Close()
-		return nil, errors.New("client: transport closed")
-	}
-	t.conn = conn
-	t.connMu.Unlock()
-	t.br = bufio.NewReaderSize(conn, 64<<10)
-	t.bw = bufio.NewWriterSize(conn, 64<<10)
-	return conn, nil
-}
-
-// dropConnLocked discards the connection after a failed or abandoned
-// exchange. Caller holds t.mu.
-func (t *TCP) dropConnLocked() {
-	t.connMu.Lock()
-	if t.conn != nil {
-		t.conn.Close()
-		t.conn = nil
-	}
-	t.connMu.Unlock()
-}
-
-// aLongTimeAgo is a non-zero past deadline used to unblock I/O on
-// cancellation (the net package treats it as immediately expired).
-var aLongTimeAgo = time.Unix(1, 0)
-
-// RoundTrip implements Transport: the context deadline is both applied to
-// the socket and carried in the request envelope so the server abandons
-// work the caller no longer wants.
-func (t *TCP) RoundTrip(ctx context.Context, req wire.Message) (wire.Message, error) {
+// session returns the live session, redialing if the previous one broke.
+func (t *TCP) session() (*Session, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.connMu.Lock()
-	closed, conn := t.closed, t.conn
-	t.connMu.Unlock()
-	if closed {
+	return t.sessionLocked()
+}
+
+func (t *TCP) sessionLocked() (*Session, error) {
+	if t.closed {
 		return nil, errors.New("client: transport closed")
 	}
-	if err := ctx.Err(); err != nil {
+	if t.sess != nil {
+		return t.sess, nil
+	}
+	sess, err := DialSession(t.addr, t.opts)
+	if err != nil {
 		return nil, err
 	}
-	if conn == nil {
-		var err error
-		if conn, err = t.redialLocked(); err != nil {
-			return nil, err
-		}
+	t.sess = sess
+	return sess, nil
+}
+
+// dropSession discards a broken session so the next use redials. Only the
+// session that failed is dropped — a concurrent redial's fresh session
+// survives.
+func (t *TCP) dropSession(sess *Session) {
+	t.mu.Lock()
+	if t.sess == sess {
+		t.sess = nil
 	}
-	// The remaining budget crosses the wire as a relative duration (clock
-	// skew cannot expire it); floor at 1ms so a nearly-spent deadline
-	// still reads as "bounded" rather than "none".
-	var timeoutMS int64
-	if d, ok := ctx.Deadline(); ok {
-		if timeoutMS = int64(time.Until(d) / time.Millisecond); timeoutMS < 1 {
-			timeoutMS = 1
-		}
-		conn.SetDeadline(d)
-	} else {
-		conn.SetDeadline(time.Time{})
+	t.mu.Unlock()
+	sess.Close()
+}
+
+// checkBroken discards the session behind a broken-connection error.
+func (t *TCP) checkBroken(sess *Session, err error) {
+	if errors.Is(err, ErrSessionBroken) {
+		t.dropSession(sess)
 	}
-	// A cancelable context gets a watcher that yanks the socket deadline,
-	// unblocking a stuck read; background contexts (the ingest hot path)
-	// pay nothing. The watcher is joined before returning so it can never
-	// fire into a later round trip's exchange.
-	var watcherStop, watcherDone chan struct{}
-	if ctx.Done() != nil {
-		watcherStop = make(chan struct{})
-		watcherDone = make(chan struct{})
-		go func() {
-			defer close(watcherDone)
-			select {
-			case <-ctx.Done():
-				conn.SetDeadline(aLongTimeAgo)
-			case <-watcherStop:
-			}
-		}()
-	}
-	resp, err := t.exchange(timeoutMS, req)
-	if watcherStop != nil {
-		close(watcherStop)
-		<-watcherDone
-	}
+}
+
+// RoundTrip implements Transport: the context deadline is carried in the
+// request envelope so the server abandons work the caller no longer
+// wants, and cancellation abandons the call without poisoning the
+// connection.
+func (t *TCP) RoundTrip(ctx context.Context, req wire.Message) (wire.Message, error) {
+	sess, err := t.session()
 	if err != nil {
-		// The request/response framing may be desynced; drop the
-		// connection and redial on the next round trip.
-		t.dropConnLocked()
-		if ctxErr := ctx.Err(); ctxErr != nil {
-			return nil, ctxErr
-		}
-		// The socket deadline comes only from the context; if it fired a
-		// hair before the context's own timer, report it as the context
-		// deadline rather than a raw I/O timeout.
-		if timeoutMS != 0 && errors.Is(err, os.ErrDeadlineExceeded) {
-			return nil, context.DeadlineExceeded
-		}
+		return nil, err
+	}
+	resp, err := sess.RoundTrip(ctx, req)
+	if err != nil {
+		t.checkBroken(sess, err)
 		return nil, err
 	}
 	return resp, nil
 }
 
-func (t *TCP) exchange(timeoutMS int64, req wire.Message) (wire.Message, error) {
-	if err := wire.WriteRequest(t.bw, timeoutMS, req); err != nil {
+// Do implements Doer: issue a call without blocking for its response.
+func (t *TCP) Do(ctx context.Context, req wire.Message) (*Call, error) {
+	sess, err := t.session()
+	if err != nil {
 		return nil, err
 	}
-	if err := t.bw.Flush(); err != nil {
+	c, err := sess.Do(ctx, req)
+	if err != nil {
+		t.checkBroken(sess, err)
 		return nil, err
 	}
-	return wire.ReadMessage(t.br)
+	return c, nil
 }
 
-// Close implements Transport. It closes the live socket immediately —
-// without queueing behind an in-flight round trip — so a stuck exchange
-// unblocks with an error instead of wedging shutdown.
-func (t *TCP) Close() error {
-	t.connMu.Lock()
-	defer t.connMu.Unlock()
-	t.closed = true
-	if t.conn == nil {
-		return nil
+// Stream implements Streamer: open a streamed response.
+func (t *TCP) Stream(ctx context.Context, req wire.Message) (*Stream, error) {
+	sess, err := t.session()
+	if err != nil {
+		return nil, err
 	}
-	err := t.conn.Close()
-	t.conn = nil
-	return err
+	st, err := sess.Stream(ctx, req)
+	if err != nil {
+		t.checkBroken(sess, err)
+		return nil, err
+	}
+	return st, nil
+}
+
+// Close implements Transport. In-flight calls fail immediately — Close
+// never queues behind a stuck exchange.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	t.closed = true
+	sess := t.sess
+	t.sess = nil
+	t.mu.Unlock()
+	if sess != nil {
+		return sess.Close()
+	}
+	return nil
 }

@@ -342,22 +342,68 @@ func (w *Writer) Close() error {
 	return w.closeErr
 }
 
-// sender ships batches in order on a single goroutine, preserving the
-// stream's chunk ordering while appends keep sealing ahead.
+// sender ships batches in order, preserving the stream's chunk ordering
+// while appends keep sealing ahead. On a multiplexed transport (Doer), up
+// to MaxInFlight batches genuinely overlap on one connection: each is
+// issued without waiting for the previous acknowledgement — submission
+// order fixes the wire order, and the server's per-stream scheduling keeps
+// same-stream batches applied in that order — while a harvester collects
+// acknowledgements behind it. Serialized transports (InProc, routers) fall
+// back to one round trip at a time.
 func (w *Writer) sender() {
 	defer close(w.senderDone)
+	doer, multiplexed := w.s.t.(Doer)
+	if !multiplexed {
+		for b := range w.batches {
+			if len(b.msgs) > 0 && w.Err() == nil {
+				resp, err := w.s.t.RoundTrip(w.ctx, &wire.Batch{Reqs: b.msgs})
+				w.settleBatch(b, resp, err)
+			}
+			if b.ack != nil {
+				close(b.ack)
+			}
+		}
+		return
+	}
+	type inflight struct {
+		b    ingestBatch
+		call *Call // nil marks a flush barrier
+	}
+	// The harvest queue bounds unacknowledged batches on the wire; a
+	// barrier entry closes its ack only after every earlier batch has
+	// been harvested (FIFO), preserving Flush semantics.
+	calls := make(chan inflight, w.opts.MaxInFlight)
+	harvested := make(chan struct{})
+	go func() {
+		defer close(harvested)
+		for f := range calls {
+			if f.call == nil {
+				close(f.b.ack)
+				continue
+			}
+			resp, err := f.call.Wait(w.ctx)
+			w.settleBatch(f.b, resp, err)
+		}
+	}()
 	for b := range w.batches {
 		if len(b.msgs) > 0 && w.Err() == nil {
-			w.sendBatch(b)
+			call, err := doer.Do(w.ctx, &wire.Batch{Reqs: b.msgs})
+			if err != nil {
+				w.record(fmt.Errorf("client: ingest batch at chunk %d: %w", b.first, err))
+			} else {
+				calls <- inflight{b: b, call: call}
+			}
 		}
 		if b.ack != nil {
-			close(b.ack)
+			calls <- inflight{b: ingestBatch{ack: b.ack}}
 		}
 	}
+	close(calls)
+	<-harvested
 }
 
-func (w *Writer) sendBatch(b ingestBatch) {
-	resp, err := w.s.t.RoundTrip(w.ctx, &wire.Batch{Reqs: b.msgs})
+// settleBatch processes one batch acknowledgement (or failure).
+func (w *Writer) settleBatch(b ingestBatch, resp wire.Message, err error) {
 	if err != nil {
 		w.record(fmt.Errorf("client: ingest batch at chunk %d: %w", b.first, err))
 		return

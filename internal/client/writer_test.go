@@ -316,3 +316,69 @@ func TestWriterCanceledContext(t *testing.T) {
 		t.Error("Close after cancellation returned nil")
 	}
 }
+
+// overlapDoer is a multiplexed-transport fake: Do hands each submitted
+// batch to the test unresolved, so the test can prove the writer issues
+// batch N+1 before batch N is acknowledged.
+type overlapDoer struct {
+	inner     Transport
+	submitted chan *Call
+}
+
+func (d *overlapDoer) RoundTrip(ctx context.Context, req wire.Message) (wire.Message, error) {
+	return d.inner.RoundTrip(ctx, req)
+}
+func (d *overlapDoer) Close() error { return d.inner.Close() }
+func (d *overlapDoer) Do(ctx context.Context, req wire.Message) (*Call, error) {
+	c := &Call{req: req, done: make(chan struct{})}
+	d.submitted <- c
+	return c, nil
+}
+
+// TestWriterOverlapsBatchesOnDoer: on a multiplexed transport the writer
+// must have MaxInFlight batches simultaneously unacknowledged — the whole
+// point of connection-level pipelining — instead of one blocking round
+// trip at a time.
+func TestWriterOverlapsBatchesOnDoer(t *testing.T) {
+	engine := newWriterEngine(t)
+	tr := &overlapDoer{inner: &InProc{Engine: engine}, submitted: make(chan *Call, 4)}
+	s := newWriterStream(t, tr, "wover")
+	ctx := context.Background()
+
+	w, err := s.Writer(ctx, WriterOptions{BatchChunks: 4, MaxInFlight: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 8; c++ {
+		start := writerEpoch + int64(c)*1000
+		if err := w.AppendChunk([]chunk.Point{{TS: start, Val: 1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Both batches must be on the wire with neither acknowledged.
+	var calls []*Call
+	for len(calls) < 2 {
+		select {
+		case c := <-tr.submitted:
+			calls = append(calls, c)
+		case <-time.After(5 * time.Second):
+			t.Fatalf("only %d batches submitted unacknowledged; writer is serializing round trips", len(calls))
+		}
+	}
+	// Acknowledge both; the writer settles and closes cleanly.
+	for _, c := range calls {
+		b := c.req.(*wire.Batch)
+		resps := make([]wire.Message, len(b.Reqs))
+		for i := range resps {
+			resps[i] = &wire.OK{}
+		}
+		c.resp = &wire.BatchResp{Resps: resps}
+		close(c.done)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Count(); got != 8 {
+		t.Errorf("acked count = %d, want 8", got)
+	}
+}

@@ -2,8 +2,8 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
-	"sync"
 	"sync/atomic"
 
 	"repro/internal/client"
@@ -11,65 +11,64 @@ import (
 )
 
 // tcpShard forwards requests to a remote TimeCrypt engine over the wire
-// protocol. A fixed pool of connection slots carries concurrent requests
-// (requests on one slot serialize, matching the server's
-// one-goroutine-per-connection front end). A slot whose connection fails
-// is discarded — never reused, since a mid-round-trip failure can desync
-// request/response framing — and redialed on the slot's next use, so a
-// peer restart heals without restarting the router.
+// protocol. One multiplexed connection (client.TCP over a v3 Session)
+// carries all of the router's traffic to the peer: concurrent fan-out
+// sub-requests overlap on the socket with their own correlation IDs
+// instead of queueing on a pool of serialized exchanges. If the peer
+// restarts, every in-flight call observes the broken-connection error at
+// once; each is retried exactly once on the transparently redialed
+// session, so a restart heals without restarting the router.
 type tcpShard struct {
 	addr   string
-	next   atomic.Uint64
 	closed atomic.Bool
-	slots  []*tcpSlot
+	conn   *client.TCP
 }
 
-type tcpSlot struct {
-	mu   sync.Mutex
-	conn *client.TCP // nil when awaiting (re)dial
+// NewTCPShard dials a remote engine at addr and returns it as a routable
+// shard. inflight bounds the shard's concurrently in-flight requests on
+// the multiplexed connection (<= 0 means the session default; it replaces
+// the connection-pool size of the pre-v3 serialized transport). The
+// connection is closed by Router.Close.
+func NewTCPShard(name, addr string, inflight int) (Shard, error) {
+	conn, err := client.DialTCPOptions(addr, client.SessionOptions{Window: inflight})
+	if err != nil {
+		return Shard{}, fmt.Errorf("cluster: shard %q: %w", name, err)
+	}
+	return Shard{Name: name, Handler: &tcpShard{addr: addr, conn: conn}}, nil
 }
 
-// NewTCPShard dials a remote engine at addr with a pool of conns
-// connections (minimum 1) and returns it as a routable shard. The shard's
-// connections are closed by Router.Close.
-func NewTCPShard(name, addr string, conns int) (Shard, error) {
-	if conns < 1 {
-		conns = 1
+// retriable reports whether a request is safe to re-execute after an
+// ambiguous transport failure: reads have no effect on the peer, so a
+// first attempt that actually executed costs nothing to repeat. Writes are
+// NOT retried — a broken connection leaves their outcome unknown (an
+// InsertChunk may have been applied before the response was lost, and
+// replaying it would surface a spurious out-of-order error) — so they
+// keep the old surface-the-failure behavior.
+func retriable(req wire.Message) bool {
+	switch req.(type) {
+	case *wire.StreamInfo, *wire.StatRange, *wire.GetRange, *wire.ListStreams,
+		*wire.GetGrants, *wire.GetEnvelopes, *wire.GetStaged:
+		return true
 	}
-	t := &tcpShard{addr: addr, slots: make([]*tcpSlot, conns)}
-	for i := range t.slots {
-		c, err := client.DialTCP(addr)
-		if err != nil {
-			t.Close()
-			return Shard{}, fmt.Errorf("cluster: shard %q: %w", name, err)
-		}
-		t.slots[i] = &tcpSlot{conn: c}
-	}
-	return Shard{Name: name, Handler: t}, nil
+	return false
 }
 
 // Handle implements server.Handler by forwarding over TCP: the caller's
 // deadline rides the request envelope to the remote engine, and a canceled
-// context abandons the round trip. Transport failures surface as internal
-// protocol errors, like any other shard failure.
+// context abandons the call (the connection survives). A broken connection
+// fails every in-flight call at once; read-only calls are retried exactly
+// once against the redialed session — concurrent in-flight reads to a
+// restarted peer all heal independently — while writes (ambiguous outcome)
+// surface as internal protocol errors like any other shard failure.
 func (t *tcpShard) Handle(ctx context.Context, req wire.Message) wire.Message {
 	if t.closed.Load() {
 		return &wire.Error{Code: wire.CodeInternal, Msg: fmt.Sprintf("cluster: shard %s: closed", t.addr)}
 	}
-	slot := t.slots[t.next.Add(1)%uint64(len(t.slots))]
-	slot.mu.Lock()
-	defer slot.mu.Unlock()
-	if slot.conn == nil {
-		c, err := client.DialTCP(t.addr)
-		if err != nil {
-			return &wire.Error{Code: wire.CodeInternal, Msg: fmt.Sprintf("cluster: shard %s: %v", t.addr, err)}
-		}
-		slot.conn = c
+	resp, err := t.conn.RoundTrip(ctx, req)
+	if err != nil && errors.Is(err, client.ErrSessionBroken) && retriable(req) && ctx.Err() == nil && !t.closed.Load() {
+		resp, err = t.conn.RoundTrip(ctx, req)
 	}
-	resp, err := slot.conn.RoundTrip(ctx, req)
 	if err != nil {
-		slot.conn.Close()
-		slot.conn = nil // redial on next use
 		if ctx.Err() != nil {
 			return canceled(ctx.Err())
 		}
@@ -78,22 +77,9 @@ func (t *tcpShard) Handle(ctx context.Context, req wire.Message) wire.Message {
 	return resp
 }
 
-// Close closes the connection pool; the shard stops redialing.
+// Close closes the shard's connection; in-flight calls fail and the shard
+// stops redialing.
 func (t *tcpShard) Close() error {
 	t.closed.Store(true)
-	var first error
-	for _, slot := range t.slots {
-		if slot == nil {
-			continue
-		}
-		slot.mu.Lock()
-		if slot.conn != nil {
-			if err := slot.conn.Close(); err != nil && first == nil {
-				first = err
-			}
-			slot.conn = nil
-		}
-		slot.mu.Unlock()
-	}
-	return first
+	return t.conn.Close()
 }

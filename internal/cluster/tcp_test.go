@@ -4,7 +4,9 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/kv"
 	"repro/internal/server"
@@ -135,10 +137,105 @@ func TestTCPShardReconnects(t *testing.T) {
 	defer func() { cancel2(); srv2.Close(); <-done2 }()
 
 	var recovered bool
-	for i := 0; i < 4 && !recovered; i++ { // each slot redials on its next turn
+	for i := 0; i < 4 && !recovered; i++ {
 		_, recovered = sh.Handler.Handle(context.Background(), &wire.StreamInfo{UUID: "s"}).(*wire.StreamInfoResp)
 	}
 	if !recovered {
 		t.Fatal("shard did not recover after peer restart")
+	}
+}
+
+// parkUntilGone parks every request until its context fires (the server
+// cancels per-connection contexts when the connection dies), so a peer
+// restart catches calls genuinely in flight.
+type parkUntilGone struct {
+	inner  server.Handler
+	parked atomic.Int64
+}
+
+func (p *parkUntilGone) Handle(ctx context.Context, req wire.Message) wire.Message {
+	if _, ok := req.(*wire.StreamInfo); ok {
+		p.parked.Add(1)
+		<-ctx.Done()
+		return &wire.Error{Code: wire.CodeCanceled, Msg: ctx.Err().Error()}
+	}
+	return p.inner.Handle(ctx, req)
+}
+
+// TestTCPShardConcurrentRedial is the multiplexed-transport regression for
+// peer restarts: many calls in flight on the shard's one connection when
+// the peer dies must all observe the broken-conn failure, retry once, and
+// succeed against the restarted peer — no stragglers stuck on a stale
+// exchange, no poisoned pool.
+func TestTCPShardConcurrentRedial(t *testing.T) {
+	engine, err := server.New(kv.NewMemStore(), server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distinct streams so the server's per-stream ordering doesn't
+	// serialize the parked calls — all of them must be mid-flight when
+	// the peer dies.
+	const inflight = 8
+	spec := wire.StreamConfig{Epoch: 0, Interval: 100, VectorLen: 2, Fanout: 8}
+	for i := 0; i < inflight; i++ {
+		if err := engine.CreateStream(fmt.Sprintf("s-%d", i), spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	park := &parkUntilGone{inner: engine}
+
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := lis.Addr().String()
+	srv := server.NewServer(park, func(string, ...any) {})
+	done1 := make(chan struct{})
+	go func() { defer close(done1); srv.Serve(context.Background(), lis) }()
+
+	sh, err := NewTCPShard("peer", addr, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Handler.(*tcpShard).Close()
+
+	// Launch concurrent calls that all park server-side: genuinely in
+	// flight together on the shard's single multiplexed connection.
+	results := make(chan wire.Message, inflight)
+	for i := 0; i < inflight; i++ {
+		go func(i int) {
+			results <- sh.Handler.Handle(context.Background(), &wire.StreamInfo{UUID: fmt.Sprintf("s-%d", i)})
+		}(i)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for park.parked.Load() < inflight {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d calls in flight", park.parked.Load(), inflight)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Restart the peer under them: free the address first (close just the
+	// listener, leaving the parked requests in flight), rebind a healthy
+	// server, then kill the old connections so every parked call breaks
+	// at once and retries against the new listener.
+	lis.Close()
+	<-done1
+	lis2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("rebinding %s: %v", addr, err)
+	}
+	srv2 := server.NewServer(engine, func(string, ...any) {})
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	done2 := make(chan struct{})
+	go func() { defer close(done2); srv2.Serve(ctx2, lis2) }()
+	defer func() { cancel2(); srv2.Close(); <-done2 }()
+	srv.Close()
+
+	for i := 0; i < inflight; i++ {
+		resp := <-results
+		if _, ok := resp.(*wire.StreamInfoResp); !ok {
+			t.Fatalf("in-flight call %d after peer restart -> %#v (retry-once failed)", i, resp)
+		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"errors"
+	"fmt"
 	"io"
 	"log"
 	"net"
@@ -167,13 +168,31 @@ func WireError(err error) *wire.Error {
 
 func toError(err error) *wire.Error { return WireError(err) }
 
-// Server is the TCP front end: one goroutine per connection, serial
-// request/response per connection (clients open several connections for
-// parallelism, as the paper's load generator does). It serves any Handler —
-// a single engine or a cluster router.
+// DefaultMaxConnInFlight is the default per-connection bound on
+// concurrently executing requests. It matches the client session's default
+// window, so a default client never trips the cap.
+const DefaultMaxConnInFlight = 64
+
+// Server is the TCP front end (wire protocol v3): per connection, a read
+// loop dispatches each decoded request frame to a bounded worker pool and
+// a write pump serializes the response frames back, so many requests
+// execute concurrently on one connection and responses return out of
+// order, each tagged with its request's correlation ID. Requests sharing a
+// routing key (stream UUID) preserve arrival order — chunk inserts must
+// stay ordered — while everything else overlaps. wire.QueryStream requests
+// stream their response: successive StatRangeResp pages pushed under one
+// correlation ID. It serves any Handler — a single engine or a cluster
+// router.
 type Server struct {
 	handler Handler
 	logf    func(format string, args ...any)
+
+	// MaxConnInFlight bounds the requests concurrently in flight per
+	// connection (executing or queued behind a same-stream predecessor),
+	// so a hostile or buggy client cannot spawn unbounded handler
+	// goroutines; overflow is answered with wire.CodeBusy. <= 0 means
+	// DefaultMaxConnInFlight. Set before Serve.
+	MaxConnInFlight int
 
 	mu    sync.Mutex
 	lis   net.Listener
@@ -245,40 +264,242 @@ func (s *Server) Close() error {
 	return err
 }
 
+// respFrame is one outbound response envelope queued for the write pump.
+type respFrame struct {
+	id   uint64
+	more bool
+	msg  wire.Message
+}
+
 func (s *Server) serveConn(ctx context.Context, conn net.Conn) {
 	defer func() {
 		conn.Close()
 		s.track(conn, false)
 	}()
+	// connCtx parents every request on this connection: when the read
+	// loop exits (client gone), in-flight handlers abort rather than
+	// grinding on for a peer that will never see the response.
+	connCtx, connCancel := context.WithCancel(ctx)
+	defer connCancel()
+
+	limit := s.MaxConnInFlight
+	if limit <= 0 {
+		limit = DefaultMaxConnInFlight
+	}
+	sched := newConnSched(limit)
+	out := make(chan respFrame, limit)
+	writerDone := make(chan struct{})
+	go s.writePump(conn, out, writerDone)
+
 	br := bufio.NewReaderSize(conn, 64<<10)
-	bw := bufio.NewWriterSize(conn, 64<<10)
 	for {
-		timeoutMS, req, err := wire.ReadRequest(br)
+		id, timeoutMS, req, err := wire.ReadRequest(br)
 		if err != nil {
-			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.ErrUnexpectedEOF) {
+			if errors.Is(err, wire.ErrProtoVersion) {
+				// Version negotiation, the loud way: name the version we
+				// speak in a parseable error frame before hanging up.
+				out <- respFrame{id: 0, msg: &wire.Error{Code: wire.CodeBadRequest, Msg: err.Error()}}
+			} else if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.ErrUnexpectedEOF) {
 				s.logf("timecrypt: connection %s: %v", conn.RemoteAddr(), err)
 			}
-			return
+			break
+		}
+		if !sched.tryAcquire() {
+			// The connection already has MaxConnInFlight requests
+			// executing or queued: refuse rather than let one client
+			// grow an unbounded goroutine pile.
+			out <- respFrame{id: id, msg: &wire.Error{Code: wire.CodeBusy, Msg: fmt.Sprintf(
+				"server: connection has %d requests in flight", limit)}}
+			continue
 		}
 		// The request envelope carries the caller's remaining time budget
 		// (relative, so client/server clock skew cannot spuriously expire
 		// it); reconstruct a deadline so engines and routers abort
 		// abandoned work server-side.
-		reqCtx := ctx
-		var cancel context.CancelFunc
+		reqCtx := connCtx
+		cancel := context.CancelFunc(func() {})
 		if timeoutMS > 0 {
-			reqCtx, cancel = context.WithTimeout(ctx, time.Duration(timeoutMS)*time.Millisecond)
+			reqCtx, cancel = context.WithTimeout(connCtx, time.Duration(timeoutMS)*time.Millisecond)
 		}
-		resp := s.handler.Handle(reqCtx, req)
-		if cancel != nil {
-			cancel()
+		if qs, ok := req.(*wire.QueryStream); ok {
+			// Streamed responses interleave with other requests' frames;
+			// keyed scheduling keeps them ordered after same-stream
+			// writes that arrived first.
+			key, _ := wire.RoutingUUID(qs)
+			sched.run(key, func() {
+				defer cancel()
+				s.streamQuery(reqCtx, id, qs, out)
+			})
+			continue
 		}
-		if err := wire.WriteMessage(bw, resp); err != nil {
+		key, _ := wire.RoutingUUID(req)
+		sched.run(key, func() {
+			defer cancel()
+			out <- respFrame{id: id, msg: s.handler.Handle(reqCtx, req)}
+		})
+	}
+	// Unblock in-flight handlers, wait them out, then retire the write
+	// pump (workers hold references to out until sched.wait returns).
+	connCancel()
+	sched.wait()
+	close(out)
+	<-writerDone
+}
+
+// writePump serializes response frames onto the socket, flushing whenever
+// the queue runs dry. After a write error it keeps draining (discarding)
+// so workers blocked on the queue always unwind.
+func (s *Server) writePump(conn net.Conn, out chan respFrame, done chan struct{}) {
+	defer close(done)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	broken := false
+	for f := range out {
+		if broken {
+			continue
+		}
+		if err := wire.WriteResponse(bw, f.id, f.more, f.msg); err != nil {
 			s.logf("timecrypt: writing to %s: %v", conn.RemoteAddr(), err)
-			return
+			broken = true
+			conn.Close() // force the read loop to notice
+			continue
 		}
-		if err := bw.Flush(); err != nil {
-			return
+		if len(out) == 0 {
+			if err := bw.Flush(); err != nil {
+				broken = true
+				conn.Close()
+			}
 		}
 	}
+}
+
+// connSched is the per-connection scheduler: a bounded pool of worker
+// goroutines with per-routing-key ordering. Requests sharing a key (stream
+// UUID, including uniform ingest batches) run in arrival order by chaining
+// each on its predecessor's completion; keyless requests (fan-outs) run
+// unordered. The in-flight cap counts queued-behind-predecessor work too,
+// so a slow stream cannot hide unbounded goroutines.
+type connSched struct {
+	sem chan struct{}
+	wg  sync.WaitGroup
+
+	mu    sync.Mutex
+	tails map[string]chan struct{} // routing key -> completion of latest request
+}
+
+func newConnSched(limit int) *connSched {
+	return &connSched{sem: make(chan struct{}, limit), tails: make(map[string]chan struct{})}
+}
+
+// tryAcquire claims an in-flight slot; false means the connection is at
+// its cap and the request must be refused.
+func (cs *connSched) tryAcquire() bool {
+	select {
+	case cs.sem <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// run executes fn on a worker goroutine, after the previous request with
+// the same non-empty key completes. The caller must have acquired a slot.
+func (cs *connSched) run(key string, fn func()) {
+	var prev, done chan struct{}
+	if key != "" {
+		done = make(chan struct{})
+		cs.mu.Lock()
+		prev = cs.tails[key]
+		cs.tails[key] = done
+		cs.mu.Unlock()
+	}
+	cs.wg.Add(1)
+	go func() {
+		defer cs.wg.Done()
+		defer func() { <-cs.sem }()
+		if prev != nil {
+			<-prev
+		}
+		fn()
+		if done != nil {
+			close(done)
+			cs.mu.Lock()
+			if cs.tails[key] == done {
+				delete(cs.tails, key)
+			}
+			cs.mu.Unlock()
+		}
+	}()
+}
+
+// wait blocks until every dispatched request has finished.
+func (cs *connSched) wait() { cs.wg.Wait() }
+
+// streamQuery serves one wire.QueryStream: the windowed range is evaluated
+// page by page through the regular Handler (so it works identically over a
+// single engine or a cluster router) and each page is pushed as a
+// StatRangeResp frame tagged with the request's correlation ID and
+// FlagMore. A final OK (or the first failure) terminates the stream.
+func (s *Server) streamQuery(ctx context.Context, id uint64, qs *wire.QueryStream, out chan<- respFrame) {
+	final := func(m wire.Message) { out <- respFrame{id: id, msg: m} }
+	if qs.WindowChunks == 0 {
+		final(&wire.Error{Code: wire.CodeBadRequest, Msg: "server: streamed query needs a window size"})
+		return
+	}
+	pageWindows := uint64(qs.PageWindows)
+	if pageWindows == 0 {
+		pageWindows = 64
+	}
+	infoResp := s.handler.Handle(ctx, &wire.StreamInfo{UUID: qs.UUID})
+	info, ok := infoResp.(*wire.StreamInfoResp)
+	if !ok {
+		final(infoResp)
+		return
+	}
+	epoch, interval := info.Cfg.Epoch, info.Cfg.Interval
+	if interval <= 0 {
+		final(&wire.Error{Code: wire.CodeInternal, Msg: "server: stream has no interval"})
+		return
+	}
+	ts, te := qs.Ts, qs.Te
+	if ts < epoch {
+		ts = epoch
+	}
+	if maxTe := epoch + int64(info.Count)*interval; te > maxTe {
+		te = maxTe
+	}
+	if te <= ts {
+		final(&wire.Error{Code: wire.CodeBadRequest, Msg: fmt.Sprintf("server: no ingested chunks in range [%d,%d)", qs.Ts, qs.Te)})
+		return
+	}
+	// Page over chunk positions; the range is served verbatim (the client
+	// cursor aligns it to the window grid before asking).
+	a := uint64(ts-epoch) / uint64(interval)
+	b := (uint64(te-epoch) + uint64(interval) - 1) / uint64(interval)
+	step := qs.WindowChunks * pageWindows
+	if step/pageWindows != qs.WindowChunks || step > b-a {
+		step = b - a // oversized or overflowing page: one page covers all
+	}
+	for lo := a; lo < b; lo += step {
+		if err := ctx.Err(); err != nil {
+			final(toError(err))
+			return
+		}
+		hi := lo + step
+		if hi > b {
+			hi = b
+		}
+		resp := s.handler.Handle(ctx, &wire.StatRange{
+			UUIDs:        []string{qs.UUID},
+			Ts:           epoch + int64(lo)*interval,
+			Te:           epoch + int64(hi)*interval,
+			WindowChunks: qs.WindowChunks,
+		})
+		page, ok := resp.(*wire.StatRangeResp)
+		if !ok {
+			final(resp) // *wire.Error (or a misbehaving handler) ends the stream
+			return
+		}
+		out <- respFrame{id: id, more: true, msg: page}
+	}
+	final(&wire.OK{})
 }

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"fmt"
 	"net"
 	"sync"
 	"testing"
@@ -104,6 +105,23 @@ func startTCP(t *testing.T, engine *Engine) (addr string, stop func()) {
 	}
 }
 
+// roundTripRaw writes one v3 request frame and reads one response frame,
+// asserting the echoed correlation ID.
+func roundTripRaw(t *testing.T, conn net.Conn, id uint64, req wire.Message) wire.Message {
+	t.Helper()
+	if err := wire.WriteRequest(conn, id, 0, req); err != nil {
+		t.Fatal(err)
+	}
+	gotID, more, resp, err := wire.ReadResponse(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotID != id || more {
+		t.Fatalf("response envelope id=%d more=%v, want id=%d", gotID, more, id)
+	}
+	return resp
+}
+
 func TestTCPServerRoundTrip(t *testing.T) {
 	h := newHarness(t)
 	addr, stop := startTCP(t, h.engine)
@@ -114,33 +132,17 @@ func TestTCPServerRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	if err := wire.WriteRequest(conn, 0, &wire.CreateStream{UUID: "tcp-s", Cfg: h.cfg}); err != nil {
-		t.Fatal(err)
-	}
-	resp, err := wire.ReadMessage(conn)
-	if err != nil {
-		t.Fatal(err)
-	}
+	resp := roundTripRaw(t, conn, 1, &wire.CreateStream{UUID: "tcp-s", Cfg: h.cfg})
 	if _, ok := resp.(*wire.OK); !ok {
 		t.Fatalf("CreateStream over TCP -> %#v", resp)
 	}
 	sealed, _ := chunk.Seal(h.enc, h.spec, chunk.CompressionNone, 0, 0, 100,
 		[]chunk.Point{{TS: 1, Val: 7}})
-	if err := wire.WriteRequest(conn, 0, &wire.InsertChunk{UUID: "tcp-s", Chunk: chunk.MarshalSealed(sealed)}); err != nil {
-		t.Fatal(err)
-	}
-	if resp, err = wire.ReadMessage(conn); err != nil {
-		t.Fatal(err)
-	}
+	resp = roundTripRaw(t, conn, 2, &wire.InsertChunk{UUID: "tcp-s", Chunk: chunk.MarshalSealed(sealed)})
 	if _, ok := resp.(*wire.OK); !ok {
 		t.Fatalf("InsertChunk over TCP -> %#v", resp)
 	}
-	if err := wire.WriteRequest(conn, 0, &wire.StatRange{UUIDs: []string{"tcp-s"}, Ts: 0, Te: 100}); err != nil {
-		t.Fatal(err)
-	}
-	if resp, err = wire.ReadMessage(conn); err != nil {
-		t.Fatal(err)
-	}
+	resp = roundTripRaw(t, conn, 3, &wire.StatRange{UUIDs: []string{"tcp-s"}, Ts: 0, Te: 100})
 	sr, ok := resp.(*wire.StatRangeResp)
 	if !ok {
 		t.Fatalf("StatRange over TCP -> %#v", resp)
@@ -176,13 +178,17 @@ func TestTCPServerConcurrentClients(t *testing.T) {
 			}
 			defer conn.Close()
 			for i := 0; i < 50; i++ {
-				if err := wire.WriteRequest(conn, 0, &wire.StatRange{UUIDs: []string{"s"}, Ts: 0, Te: 5000}); err != nil {
+				if err := wire.WriteRequest(conn, uint64(i+1), 0, &wire.StatRange{UUIDs: []string{"s"}, Ts: 0, Te: 5000}); err != nil {
 					errs <- err
 					return
 				}
-				resp, err := wire.ReadMessage(conn)
+				id, _, resp, err := wire.ReadResponse(conn)
 				if err != nil {
 					errs <- err
+					return
+				}
+				if id != uint64(i+1) {
+					errs <- fmt.Errorf("response for call %d while awaiting %d", id, i+1)
 					return
 				}
 				if _, ok := resp.(*wire.StatRangeResp); !ok {
@@ -196,6 +202,117 @@ func TestTCPServerConcurrentClients(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Fatal(err)
+	}
+}
+
+// stallHandler parks every request until its context fires.
+type stallHandler struct{}
+
+func (*stallHandler) Handle(ctx context.Context, _ wire.Message) wire.Message {
+	<-ctx.Done()
+	return &wire.Error{Code: wire.CodeCanceled, Msg: ctx.Err().Error()}
+}
+
+// TestConnInFlightCap: a connection at its in-flight cap gets CodeBusy for
+// the overflow request — answered out of order, ahead of the parked ones —
+// instead of the server growing unbounded handler goroutines.
+func TestConnInFlightCap(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(&stallHandler{}, func(string, ...any) {})
+	srv.MaxConnInFlight = 2
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); srv.Serve(ctx, lis) }()
+	defer func() { cancel(); srv.Close(); <-done }()
+
+	conn, err := net.Dial("tcp", lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for id := uint64(1); id <= 3; id++ {
+		if err := wire.WriteRequest(conn, id, 0, &wire.ListStreams{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Requests 1 and 2 are parked; 3 overflows and must be refused first.
+	id, more, resp, err := wire.ReadResponse(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 3 || more {
+		t.Fatalf("first response for call %d (more=%v), want busy answer for 3", id, more)
+	}
+	if e, ok := resp.(*wire.Error); !ok || e.Code != wire.CodeBusy {
+		t.Fatalf("overflow request -> %#v, want CodeBusy", resp)
+	}
+}
+
+// TestQueryStreamOverTCP drives the streamed response mode raw: pages
+// arrive as FlagMore StatRangeResp frames under the request's correlation
+// ID, terminated by a clean OK.
+func TestQueryStreamOverTCP(t *testing.T) {
+	h := newHarness(t)
+	h.createStream(t, "qs")
+	h.ingest(t, "qs", 10)
+	addr, stop := startTCP(t, h.engine)
+	defer stop()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// 10 chunks of 100ms, window 2 -> 5 windows; 3 per page -> pages of
+	// 3 and 2 windows.
+	if err := wire.WriteRequest(conn, 77, 0, &wire.QueryStream{
+		UUID: "qs", Ts: 0, Te: 1000, WindowChunks: 2, PageWindows: 3,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var pageSizes []int
+	for {
+		id, more, resp, err := wire.ReadResponse(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != 77 {
+			t.Fatalf("stream frame for call %d", id)
+		}
+		if !more {
+			if _, ok := resp.(*wire.OK); !ok {
+				t.Fatalf("stream terminated with %#v", resp)
+			}
+			break
+		}
+		page, ok := resp.(*wire.StatRangeResp)
+		if !ok {
+			t.Fatalf("stream page -> %#v", resp)
+		}
+		pageSizes = append(pageSizes, len(page.Windows))
+	}
+	if len(pageSizes) != 2 || pageSizes[0] != 3 || pageSizes[1] != 2 {
+		t.Fatalf("page sizes = %v, want [3 2]", pageSizes)
+	}
+
+	// Unknown stream: a single terminal error frame.
+	if err := wire.WriteRequest(conn, 78, 0, &wire.QueryStream{
+		UUID: "nope", Ts: 0, Te: 1000, WindowChunks: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	id, more, resp, err := wire.ReadResponse(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 78 || more {
+		t.Fatalf("error frame id=%d more=%v", id, more)
+	}
+	if e, ok := resp.(*wire.Error); !ok || e.Code != wire.CodeNotFound {
+		t.Fatalf("unknown stream -> %#v", resp)
 	}
 }
 
@@ -217,10 +334,10 @@ func TestTCPServerSurvivesGarbage(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn2.Close()
-	if err := wire.WriteRequest(conn2, 0, &wire.CreateStream{UUID: "x", Cfg: h.cfg}); err != nil {
+	if err := wire.WriteRequest(conn2, 1, 0, &wire.CreateStream{UUID: "x", Cfg: h.cfg}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := wire.ReadMessage(conn2); err != nil {
+	if _, _, _, err := wire.ReadResponse(conn2); err != nil {
 		t.Fatalf("server died after garbage connection: %v", err)
 	}
 }

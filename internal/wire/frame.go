@@ -2,6 +2,7 @@ package wire
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 )
@@ -11,15 +12,38 @@ import (
 const MaxFrameSize = 64 << 20
 
 // ProtoVersion is the version of the request envelope. Version 2 added the
-// per-request header (deadline propagation) and the Batch envelope; servers
-// reject other versions, so mixed deployments fail loudly rather than
-// desyncing frames.
-const ProtoVersion = 2
+// per-request header (deadline propagation) and the Batch envelope.
+// Version 3 made the transport multiplexed: every request carries a
+// caller-assigned correlation ID, responses travel in their own envelope
+// echoing that ID (and may arrive out of order), and a response may be one
+// frame of a stream (FlagMore). Servers reject other versions with an
+// Error frame on correlation ID 0 before closing the connection, so mixed
+// deployments fail loudly rather than desyncing frames.
+const ProtoVersion = 3
+
+// ErrProtoVersion reports a request framed for a different protocol
+// version. The server front end matches on it to answer a parseable error
+// before hanging up (its negotiation story: one version per build, loud
+// rejection of everything else).
+var ErrProtoVersion = errors.New("wire: protocol version mismatch")
 
 // MaxTimeoutMS caps the request time budget (one year): anything larger is
 // effectively unbounded, and unchecked values would overflow
 // time.Duration multiplication.
 const MaxTimeoutMS = 365 * 24 * 3600 * 1000
+
+// Response envelope flags.
+const (
+	// FlagMore marks an intermediate frame of a streamed response:
+	// further frames tagged with the same correlation ID follow. The
+	// final frame of a stream (and the only frame of a unary response)
+	// clears it.
+	FlagMore uint8 = 1 << 0
+
+	// flagsKnown masks the flag bits this build understands; anything
+	// else is a protocol error, not silently-ignored extension space.
+	flagsKnown = FlagMore
+)
 
 // WriteFrame writes one length-prefixed frame.
 func WriteFrame(w io.Writer, payload []byte) error {
@@ -52,12 +76,13 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 	return payload, nil
 }
 
-// WriteMessage marshals and frames a message.
+// WriteMessage marshals and frames a bare message (no envelope; used by
+// tooling and tests that need raw frames).
 func WriteMessage(w io.Writer, m Message) error {
 	return WriteFrame(w, Marshal(m))
 }
 
-// ReadMessage reads and unmarshals one framed message.
+// ReadMessage reads and unmarshals one bare framed message.
 func ReadMessage(r io.Reader) (Message, error) {
 	payload, err := ReadFrame(r)
 	if err != nil {
@@ -67,47 +92,52 @@ func ReadMessage(r io.Reader) (Message, error) {
 }
 
 // WriteRequest frames one request with its envelope header: protocol
-// version and the caller's remaining time budget in milliseconds (0 =
-// none). The budget rides in every request frame so the server can abort
-// work — including fan-outs behind a cluster router — once the caller has
-// given up. A relative duration (not an absolute timestamp) survives
-// client/server clock skew; in-flight transit only makes the server's
-// reconstructed deadline slightly generous, never spuriously expired.
-// The message encodes in place after the header (no intermediate buffer —
-// this is the ingest hot path).
-func WriteRequest(w io.Writer, timeoutMS int64, m Message) error {
+// version, the caller-assigned correlation ID, and the caller's remaining
+// time budget in milliseconds (0 = none). The correlation ID lets many
+// requests ride one connection concurrently — the server echoes it on the
+// response envelope, so responses may complete out of order. The budget
+// rides in every request frame so the server can abort work — including
+// fan-outs behind a cluster router — once the caller has given up. A
+// relative duration (not an absolute timestamp) survives client/server
+// clock skew; in-flight transit only makes the server's reconstructed
+// deadline slightly generous, never spuriously expired. The message
+// encodes in place after the header (no intermediate buffer — this is the
+// ingest hot path).
+func WriteRequest(w io.Writer, id uint64, timeoutMS int64, m Message) error {
 	var e Encoder
 	e.U8(ProtoVersion)
+	e.U64(id)
 	e.I64(timeoutMS)
 	e.U8(uint8(m.Type()))
 	m.encode(&e)
 	return WriteFrame(w, e.Bytes())
 }
 
-// ReadRequest reads one framed request, returning the envelope time budget
-// (ms, 0 = none) and the message.
-func ReadRequest(r io.Reader) (int64, Message, error) {
+// ReadRequest reads one framed request, returning the correlation ID, the
+// envelope time budget (ms, 0 = none), and the message.
+func ReadRequest(r io.Reader) (uint64, int64, Message, error) {
 	payload, err := ReadFrame(r)
 	if err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
 	return DecodeRequest(payload)
 }
 
 // DecodeRequest splits a request frame payload into envelope header and
 // message (exported for fuzzing the envelope without a stream).
-func DecodeRequest(payload []byte) (int64, Message, error) {
+func DecodeRequest(payload []byte) (uint64, int64, Message, error) {
 	d := NewDecoder(payload)
 	version := d.U8()
+	id := d.U64()
 	timeoutMS := d.I64()
 	if err := d.Err(); err != nil {
-		return 0, nil, fmt.Errorf("wire: request header: %w", err)
+		return 0, 0, nil, fmt.Errorf("wire: request header: %w", err)
 	}
 	if version != ProtoVersion {
-		return 0, nil, fmt.Errorf("wire: protocol version %d (this build speaks %d)", version, ProtoVersion)
+		return 0, 0, nil, fmt.Errorf("%w: peer speaks %d, this build speaks %d", ErrProtoVersion, version, ProtoVersion)
 	}
 	if timeoutMS < 0 {
-		return 0, nil, fmt.Errorf("wire: negative request timeout %d", timeoutMS)
+		return 0, 0, nil, fmt.Errorf("wire: negative request timeout %d", timeoutMS)
 	}
 	if timeoutMS > MaxTimeoutMS {
 		// Clamp rather than reject: a hostile (or future) peer claiming an
@@ -117,7 +147,51 @@ func DecodeRequest(payload []byte) (int64, Message, error) {
 	}
 	m, err := Unmarshal(d.Rest())
 	if err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
-	return timeoutMS, m, nil
+	return id, timeoutMS, m, nil
+}
+
+// WriteResponse frames one response envelope: the correlation ID of the
+// request it answers, a flag byte (FlagMore for intermediate stream
+// frames), and the message encoded in place.
+func WriteResponse(w io.Writer, id uint64, more bool, m Message) error {
+	var e Encoder
+	e.U64(id)
+	if more {
+		e.U8(FlagMore)
+	} else {
+		e.U8(0)
+	}
+	e.U8(uint8(m.Type()))
+	m.encode(&e)
+	return WriteFrame(w, e.Bytes())
+}
+
+// ReadResponse reads one framed response envelope.
+func ReadResponse(r io.Reader) (uint64, bool, Message, error) {
+	payload, err := ReadFrame(r)
+	if err != nil {
+		return 0, false, nil, err
+	}
+	return DecodeResponse(payload)
+}
+
+// DecodeResponse splits a response frame payload into correlation ID, the
+// more-frames-follow flag, and the message (exported for fuzzing).
+func DecodeResponse(payload []byte) (uint64, bool, Message, error) {
+	d := NewDecoder(payload)
+	id := d.U64()
+	flags := d.U8()
+	if err := d.Err(); err != nil {
+		return 0, false, nil, fmt.Errorf("wire: response header: %w", err)
+	}
+	if flags&^flagsKnown != 0 {
+		return 0, false, nil, fmt.Errorf("wire: unknown response flags %#x", flags)
+	}
+	m, err := Unmarshal(d.Rest())
+	if err != nil {
+		return 0, false, nil, err
+	}
+	return id, flags&FlagMore != 0, m, nil
 }

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"errors"
 	"math/rand/v2"
 	"testing"
 )
@@ -150,58 +151,80 @@ func TestBatchFuzzMutations(t *testing.T) {
 	}
 }
 
-// TestRequestEnvelopeHostileInputs covers the deadline-bearing request
-// header: wrong versions, negative deadlines, truncation, and random bytes.
+// TestRequestEnvelopeHostileInputs covers the v3 request header
+// (version, correlation ID, deadline): wrong versions, hostile IDs,
+// negative deadlines, truncation, and random bytes.
 func TestRequestEnvelopeHostileInputs(t *testing.T) {
 	var buf bytes.Buffer
-	if err := WriteRequest(&buf, 30_000, &StreamInfo{UUID: "s"}); err != nil {
+	if err := WriteRequest(&buf, 9, 30_000, &StreamInfo{UUID: "s"}); err != nil {
 		t.Fatal(err)
 	}
-	timeout, m, err := ReadRequest(&buf)
+	id, timeout, m, err := ReadRequest(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if timeout != 30_000 {
-		t.Errorf("timeout = %d", timeout)
+	if id != 9 || timeout != 30_000 {
+		t.Errorf("id = %d, timeout = %d", id, timeout)
 	}
 	if si, ok := m.(*StreamInfo); !ok || si.UUID != "s" {
 		t.Errorf("message = %#v", m)
 	}
 
+	// Hostile correlation IDs are opaque: any 64-bit value must decode
+	// (matching responses to calls is the session's job, not the codec's).
+	for _, hostile := range []uint64{0, 1, 1<<64 - 1, 1 << 63} {
+		buf.Reset()
+		if err := WriteRequest(&buf, hostile, 0, &OK{}); err != nil {
+			t.Fatal(err)
+		}
+		if id, _, _, err := ReadRequest(&buf); err != nil || id != hostile {
+			t.Errorf("correlation ID %d -> %d, %v", hostile, id, err)
+		}
+	}
+
 	// An absurd claimed budget is clamped, not trusted: unchecked it would
 	// overflow duration arithmetic server-side.
 	buf.Reset()
-	if err := WriteRequest(&buf, 1<<60, &StreamInfo{UUID: "s"}); err != nil {
+	if err := WriteRequest(&buf, 1, 1<<60, &StreamInfo{UUID: "s"}); err != nil {
 		t.Fatal(err)
 	}
-	if timeout, _, err = ReadRequest(&buf); err != nil || timeout != MaxTimeoutMS {
+	if _, timeout, _, err = ReadRequest(&buf); err != nil || timeout != MaxTimeoutMS {
 		t.Errorf("oversized timeout -> %d, %v (want clamp to %d)", timeout, err, int64(MaxTimeoutMS))
 	}
 
-	if _, _, err := DecodeRequest(nil); err == nil {
+	if _, _, _, err := DecodeRequest(nil); err == nil {
 		t.Error("empty request accepted")
 	}
-	// Wrong protocol version.
+	// Wrong protocol version surfaces the negotiation sentinel.
 	var e Encoder
 	e.U8(ProtoVersion + 1)
+	e.U64(1)
 	e.I64(0)
-	e.Bytes()
-	if _, _, err := DecodeRequest(append(e.Bytes(), Marshal(&OK{})...)); err == nil {
-		t.Error("wrong protocol version accepted")
+	if _, _, _, err := DecodeRequest(append(e.Bytes(), Marshal(&OK{})...)); !errors.Is(err, ErrProtoVersion) {
+		t.Errorf("wrong protocol version -> %v, want ErrProtoVersion", err)
 	}
 	// Negative deadline.
 	var e2 Encoder
 	e2.U8(ProtoVersion)
+	e2.U64(1)
 	e2.I64(-5)
-	if _, _, err := DecodeRequest(append(e2.Bytes(), Marshal(&OK{})...)); err == nil {
+	if _, _, _, err := DecodeRequest(append(e2.Bytes(), Marshal(&OK{})...)); err == nil {
 		t.Error("negative deadline accepted")
 	}
 	// Header without a message.
 	var e3 Encoder
 	e3.U8(ProtoVersion)
+	e3.U64(1)
 	e3.I64(0)
-	if _, _, err := DecodeRequest(e3.Bytes()); err == nil {
+	if _, _, _, err := DecodeRequest(e3.Bytes()); err == nil {
 		t.Error("headless request accepted")
+	}
+	// Truncated mid-header (inside the correlation ID varint).
+	var e4 Encoder
+	e4.U8(ProtoVersion)
+	e4.U64(1 << 62)
+	if _, _, _, err := DecodeRequest(e4.Bytes()[:3]); err == nil {
+		t.Error("truncated header accepted")
 	}
 	// Random bytes never panic.
 	r := rand.New(rand.NewPCG(3, 9))
@@ -210,7 +233,53 @@ func TestRequestEnvelopeHostileInputs(t *testing.T) {
 		for i := range data {
 			data[i] = byte(r.Uint32())
 		}
-		if _, m, err := DecodeRequest(data); err == nil {
+		if _, _, m, err := DecodeRequest(data); err == nil {
+			Marshal(m)
+		}
+	}
+}
+
+// TestResponseEnvelopeHostileInputs covers the v3 response envelope:
+// unknown flag bits, truncated stream frames, headless envelopes, and
+// random bytes must error without panicking. (Unknown and duplicate
+// correlation IDs decode fine here — rejecting them is the session's job,
+// covered by the client package's hostile-server tests.)
+func TestResponseEnvelopeHostileInputs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteResponse(&buf, 3, true, &StatRangeResp{Windows: [][]uint64{{1}}}); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	frame, err := ReadFrame(bytes.NewReader(valid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every truncation of a stream-envelope frame must fail cleanly.
+	for cut := 0; cut < len(frame); cut++ {
+		if _, _, _, err := DecodeResponse(frame[:cut]); err == nil {
+			t.Errorf("truncated response envelope of %d/%d bytes accepted", cut, len(frame))
+		}
+	}
+	// Unknown flag bits are a protocol error, not ignorable extension
+	// space: a v4 peer must fail loudly here.
+	for _, flags := range []uint8{0x02, 0x80, 0xFF} {
+		hostile := append([]byte(nil), frame...)
+		hostile[1] = flags // id varint "3" is one byte; flags follow
+		if _, _, _, err := DecodeResponse(hostile); err == nil {
+			t.Errorf("unknown response flags %#x accepted", flags)
+		}
+	}
+	// Headless and random inputs never panic.
+	if _, _, _, err := DecodeResponse(nil); err == nil {
+		t.Error("empty response accepted")
+	}
+	r := rand.New(rand.NewPCG(11, 13))
+	for trial := 0; trial < 3000; trial++ {
+		data := make([]byte, r.IntN(128))
+		for i := range data {
+			data[i] = byte(r.Uint32())
+		}
+		if _, _, m, err := DecodeResponse(data); err == nil {
 			Marshal(m)
 		}
 	}

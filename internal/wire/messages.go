@@ -37,6 +37,7 @@ const (
 	TListStreamsResp
 	TBatch
 	TBatchResp
+	TQueryStream
 )
 
 // Message is one protocol message.
@@ -99,6 +100,7 @@ var registry = map[MsgType]func() Message{
 	TListStreamsResp:  func() Message { return &ListStreamsResp{} },
 	TBatch:            func() Message { return &Batch{} },
 	TBatchResp:        func() Message { return &BatchResp{} },
+	TQueryStream:      func() Message { return &QueryStream{} },
 }
 
 // Error is the generic failure response.
@@ -116,6 +118,11 @@ const (
 	// CodeCanceled reports work abandoned because the caller's context was
 	// canceled or its wire-propagated deadline expired.
 	CodeCanceled
+	// CodeBusy reports a request refused because the connection already
+	// has its maximum number of requests in flight (the server-side
+	// per-connection cap); the client should finish some calls — or back
+	// off — and retry.
+	CodeBusy
 )
 
 func (*Error) Type() MsgType { return TError }
@@ -668,6 +675,48 @@ func (m *ListStreamsResp) decode(d *Decoder) error {
 	return d.Err()
 }
 
+// MaxPageWindows bounds how many windows one QueryStream page may carry,
+// keeping each pushed frame (and the server work behind it) bounded.
+const MaxPageWindows = 4096
+
+// QueryStream opens a streamed statistical query (wire protocol v3): the
+// server evaluates the windowed range page by page and pushes each page as
+// a StatRangeResp frame tagged with the request's correlation ID and
+// FlagMore, then terminates the stream with a final OK (or Error) frame.
+// Compared with a cursor issuing one StatRange round trip per page, the
+// successive windows arrive without per-page request latency.
+//
+// The server pages the given range verbatim: callers align Ts/Te to the
+// window grid themselves (the client cursor does), and each page covers
+// PageWindows windows of WindowChunks chunks.
+type QueryStream struct {
+	UUID         string
+	Ts, Te       int64
+	WindowChunks uint64
+	PageWindows  uint32
+}
+
+func (*QueryStream) Type() MsgType { return TQueryStream }
+func (m *QueryStream) encode(e *Encoder) {
+	e.Str(m.UUID)
+	e.I64(m.Ts)
+	e.I64(m.Te)
+	e.U64(m.WindowChunks)
+	e.U64(uint64(m.PageWindows))
+}
+func (m *QueryStream) decode(d *Decoder) error {
+	m.UUID = d.Str()
+	m.Ts = d.I64()
+	m.Te = d.I64()
+	m.WindowChunks = d.U64()
+	if n := d.U64(); n > MaxPageWindows {
+		m.PageWindows = MaxPageWindows
+	} else {
+		m.PageWindows = uint32(n)
+	}
+	return d.Err()
+}
+
 // MaxBatch bounds the sub-requests in one Batch envelope: large enough to
 // amortize a round trip thousands of times over, small enough that one
 // frame cannot pin unbounded server work.
@@ -814,6 +863,8 @@ func RoutingUUID(req Message) (string, bool) {
 		return m.UUID, true
 	case *GetStaged:
 		return m.UUID, true
+	case *QueryStream:
+		return m.UUID, true
 	case *StatRange:
 		// A single-stream statistical query routes like any other
 		// single-stream request; multi-stream queries fan out.
@@ -821,6 +872,26 @@ func RoutingUUID(req Message) (string, bool) {
 			return m.UUIDs[0], true
 		}
 		return "", false
+	case *Batch:
+		// A batch whose elements all share one routing key inherits it, so
+		// a multiplexed server connection keeps successive same-stream
+		// ingest batches (the pipelined Writer's output) in arrival order.
+		// Mixed-key batches have no single key and schedule as fan-outs.
+		// PartitionBatch never consults this arm: it filters envelope
+		// types before calling its key func.
+		common := ""
+		for _, sub := range m.Reqs {
+			k, ok := RoutingUUID(sub)
+			if !ok {
+				return "", false
+			}
+			if common == "" {
+				common = k
+			} else if k != common {
+				return "", false
+			}
+		}
+		return common, common != ""
 	default:
 		return "", false
 	}

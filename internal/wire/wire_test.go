@@ -115,6 +115,7 @@ func allMessages() []Message {
 		&GetStagedResp{Boxes: [][]byte{{1}, {2}}},
 		&ListStreams{},
 		&ListStreamsResp{UUIDs: []string{"a", "b"}},
+		&QueryStream{UUID: "s1", Ts: 0, Te: 600, WindowChunks: 6, PageWindows: 64},
 		&Batch{Reqs: []Message{
 			&InsertChunk{UUID: "s1", Chunk: []byte{1, 2}},
 			&InsertChunk{UUID: "s1", Chunk: []byte{3}},
@@ -232,6 +233,77 @@ func TestWriteReadMessage(t *testing.T) {
 	sr, ok := got.(*StatRange)
 	if !ok || sr.UUIDs[0] != "x" || sr.WindowChunks != 3 {
 		t.Errorf("got %#v", got)
+	}
+}
+
+func TestRequestEnvelopeRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRequest(&buf, 42, 1500, &StreamInfo{UUID: "s"}); err != nil {
+		t.Fatal(err)
+	}
+	id, timeout, m, err := ReadRequest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 42 || timeout != 1500 {
+		t.Errorf("id=%d timeout=%d", id, timeout)
+	}
+	if si, ok := m.(*StreamInfo); !ok || si.UUID != "s" {
+		t.Errorf("message = %#v", m)
+	}
+}
+
+func TestResponseEnvelopeRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteResponse(&buf, 7, true, &StatRangeResp{FromChunk: 1, ToChunk: 2, Windows: [][]uint64{{9}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteResponse(&buf, 7, false, &OK{}); err != nil {
+		t.Fatal(err)
+	}
+	id, more, m, err := ReadResponse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 7 || !more {
+		t.Errorf("id=%d more=%v", id, more)
+	}
+	if sr, ok := m.(*StatRangeResp); !ok || sr.Windows[0][0] != 9 {
+		t.Errorf("page = %#v", m)
+	}
+	id, more, m, err = ReadResponse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 7 || more {
+		t.Errorf("final id=%d more=%v", id, more)
+	}
+	if _, ok := m.(*OK); !ok {
+		t.Errorf("final = %#v", m)
+	}
+}
+
+func TestBatchRoutingUUID(t *testing.T) {
+	uniform := &Batch{Reqs: []Message{
+		&InsertChunk{UUID: "s1", Chunk: []byte{1}},
+		&InsertChunk{UUID: "s1", Chunk: []byte{2}},
+	}}
+	if k, ok := RoutingUUID(uniform); !ok || k != "s1" {
+		t.Errorf("uniform batch -> %q, %v", k, ok)
+	}
+	mixed := &Batch{Reqs: []Message{
+		&InsertChunk{UUID: "s1", Chunk: []byte{1}},
+		&StreamInfo{UUID: "s2"},
+	}}
+	if _, ok := RoutingUUID(mixed); ok {
+		t.Error("mixed batch reported a routing key")
+	}
+	fanout := &Batch{Reqs: []Message{&ListStreams{}}}
+	if _, ok := RoutingUUID(fanout); ok {
+		t.Error("fan-out batch reported a routing key")
+	}
+	if _, ok := RoutingUUID(&Batch{}); ok {
+		t.Error("empty batch reported a routing key")
 	}
 }
 

@@ -91,8 +91,16 @@ type (
 	WriterOptions = client.WriterOptions
 	// QueryBuilder assembles a statistical query fluently.
 	QueryBuilder = client.QueryBuilder
-	// Cursor pages a windowed statistical query lazily.
+	// Cursor pages a windowed statistical query lazily (server-pushed
+	// pages on a multiplexed transport).
 	Cursor = client.Cursor
+	// Session is one multiplexed connection: concurrent in-flight calls
+	// with correlation IDs, out-of-order completion, streamed responses.
+	Session = client.Session
+	// SessionOptions tunes a session (in-flight window).
+	SessionOptions = client.SessionOptions
+	// Call is an awaitable in-flight request on a Session.
+	Call = client.Call
 	// Engine is the untrusted server engine.
 	Engine = server.Engine
 	// EngineConfig parameterizes the server engine.
@@ -145,9 +153,11 @@ func NewRouter(shards []Shard, opts RouterOptions) (*Router, error) {
 	return cluster.NewRouter(shards, opts)
 }
 
-// NewTCPShard dials a remote engine as a routable shard.
-func NewTCPShard(name, addr string, conns int) (Shard, error) {
-	return cluster.NewTCPShard(name, addr, conns)
+// NewTCPShard dials a remote engine as a routable shard over one
+// multiplexed connection; inflight bounds its concurrent requests (<= 0 =
+// default).
+func NewTCPShard(name, addr string, inflight int) (Shard, error) {
+	return cluster.NewTCPShard(name, addr, inflight)
 }
 
 // NewPrefixStore partitions a store under a key prefix, so several engine
@@ -163,8 +173,16 @@ func ServeTCP(ctx context.Context, srv *Server, lis net.Listener) error {
 // a router) in the same process (still exercising the wire codec).
 func NewInProcTransport(h Handler) Transport { return &client.InProc{Engine: h} }
 
-// DialTCP connects a client transport to a remote server.
+// DialTCP connects a client transport to a remote server: one multiplexed
+// connection carrying concurrent requests (redialed transparently if it
+// breaks).
 func DialTCP(addr string) (Transport, error) { return client.DialTCP(addr) }
+
+// DialSession connects a raw multiplexed session for callers that want
+// the asynchronous Do/Stream API rather than blocking round trips.
+func DialSession(addr string, opts SessionOptions) (*Session, error) {
+	return client.DialSession(addr, opts)
+}
 
 // NewOwner creates a data-owner client over a transport.
 func NewOwner(t Transport) *Owner { return client.NewOwner(t) }
