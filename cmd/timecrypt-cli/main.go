@@ -7,8 +7,14 @@
 //	timecrypt-cli -addr localhost:7733 create  -stream hr -interval 10s
 //	timecrypt-cli -addr localhost:7733 ingest  -stream hr -chunks 100
 //	timecrypt-cli -addr localhost:7733 stats   -stream hr
+//	timecrypt-cli -addr localhost:7733 stat    -stream hr,bp,spo2
 //	timecrypt-cli -addr localhost:7733 series  -stream hr -window 6
 //	timecrypt-cli -addr localhost:7733 info    -stream hr
+//
+// stat/stats/series accept several comma-separated stream UUIDs: the
+// server homomorphically sums the streams' aggregates (one round trip),
+// and the CLI peels each stream's keystream in turn — so it needs the key
+// file of every member stream.
 //
 // The key file (default ./<stream>.tckeys) stores the stream's secret seed
 // and geometry; protect it like any private key.
@@ -21,6 +27,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/chunk"
@@ -42,18 +49,29 @@ type keyFile struct {
 
 func main() {
 	addr := flag.String("addr", "localhost:7733", "server address")
-	stream := flag.String("stream", "demo", "stream UUID")
+	stream := flag.String("stream", "demo", "stream UUID (stat/stats/series accept a comma-separated list)")
 	interval := flag.Duration("interval", 10*time.Second, "chunk interval (create)")
+	epochMS := flag.Int64("epoch", 0, "stream epoch, Unix ms (create; 0 = now). Streams queried together need the same epoch")
 	chunks := flag.Int("chunks", 60, "chunks to ingest (ingest)")
 	window := flag.Uint64("window", 6, "window size in chunks (series)")
-	keyPath := flag.String("keys", "", "key file path (default <stream>.tckeys)")
+	keyPath := flag.String("keys", "", "key file path(s), comma-separated like -stream (default <stream>.tckeys each)")
 	timeout := flag.Duration("timeout", time.Minute, "per-command deadline, carried to the server over the wire (0 = none)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		log.Fatal("usage: timecrypt-cli [flags] create|ingest|stats|series|info|delete")
+		log.Fatal("usage: timecrypt-cli [flags] create|ingest|stat|stats|series|info|delete")
 	}
-	if *keyPath == "" {
-		*keyPath = *stream + ".tckeys"
+	streams := strings.Split(*stream, ",")
+	keyPaths := make([]string, len(streams))
+	if *keyPath != "" {
+		given := strings.Split(*keyPath, ",")
+		if len(given) != len(streams) {
+			log.Fatalf("-keys lists %d files for %d streams", len(given), len(streams))
+		}
+		copy(keyPaths, given)
+	} else {
+		for i, s := range streams {
+			keyPaths[i] = s + ".tckeys"
+		}
 	}
 
 	tr, err := client.DialTCP(*addr)
@@ -69,22 +87,33 @@ func main() {
 		defer cancel()
 	}
 
+	// Only the query commands understand multiple streams; failing loudly
+	// beats silently acting on the first one.
+	single := func(cmd string) {
+		if len(streams) != 1 {
+			log.Fatalf("%s takes a single -stream (got %d: %s)", cmd, len(streams), *stream)
+		}
+	}
 	switch cmd := flag.Arg(0); cmd {
 	case "create":
-		doCreate(ctx, tr, *stream, interval.Milliseconds(), *keyPath)
+		single(cmd)
+		doCreate(ctx, tr, streams[0], interval.Milliseconds(), *epochMS, keyPaths[0])
 	case "ingest":
-		doIngest(ctx, tr, *keyPath, *chunks)
-	case "stats":
-		doStats(ctx, tr, *keyPath, 0)
+		single(cmd)
+		doIngest(ctx, tr, keyPaths[0], *chunks)
+	case "stat", "stats":
+		doStats(ctx, tr, keyPaths, 0)
 	case "series":
-		doStats(ctx, tr, *keyPath, *window)
+		doStats(ctx, tr, keyPaths, *window)
 	case "info":
-		doInfo(ctx, tr, *stream)
+		single(cmd)
+		doInfo(ctx, tr, streams[0])
 	case "delete":
-		if err := client.NewOwner(tr).DeleteStream(ctx, *stream); err != nil {
+		single(cmd)
+		if err := client.NewOwner(tr).DeleteStream(ctx, streams[0]); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Println("deleted", *stream)
+		fmt.Println("deleted", streams[0])
 	default:
 		log.Fatalf("unknown command %q", cmd)
 	}
@@ -134,14 +163,16 @@ func rebuildStream(kf keyFile) (*core.Encryptor, *core.Encryptor, chunk.DigestSp
 	return core.NewEncryptor(tree.NewWalker()), core.NewEncryptor(tree.NewWalker()), chunk.DefaultSpec()
 }
 
-func doCreate(ctx context.Context, tr client.Transport, stream string, intervalMS int64, keyPath string) {
+func doCreate(ctx context.Context, tr client.Transport, stream string, intervalMS, epoch int64, keyPath string) {
 	tree, err := core.GenerateTree(core.NewPRG(core.PRGAES), core.DefaultTreeHeight)
 	if err != nil {
 		log.Fatal(err)
 	}
 	spec := chunk.DefaultSpec()
 	specBytes, _ := spec.MarshalBinary()
-	epoch := time.Now().UnixMilli()
+	if epoch == 0 {
+		epoch = time.Now().UnixMilli()
+	}
 	cfg := wire.StreamConfig{
 		Epoch: epoch, Interval: intervalMS,
 		VectorLen: uint32(spec.VectorLen()), Fanout: 64,
@@ -202,19 +233,41 @@ func doIngest(ctx context.Context, tr client.Transport, keyPath string, n int) {
 		n, n*gen.PointsPerChunk(), kf.Count)
 }
 
-func doStats(ctx context.Context, tr client.Transport, keyPath string, window uint64) {
-	kf := loadKeys(keyPath)
-	_, dec, spec := rebuildStream(kf)
-	te := kf.Epoch + int64(kf.Count)*kf.Interval
-	resp, err := tr.RoundTrip(ctx, &wire.StatRange{
-		UUIDs: []string{kf.UUID}, Ts: kf.Epoch, Te: te, WindowChunks: window,
+// doStats queries one or many streams: with several key files the server
+// returns the homomorphically combined aggregate (one wire.AggRange round
+// trip) and decryption peels each stream's keystream in turn.
+func doStats(ctx context.Context, tr client.Transport, keyPaths []string, window uint64) {
+	kfs := make([]keyFile, len(keyPaths))
+	uuids := make([]string, len(keyPaths))
+	decs := make([]*core.Encryptor, len(keyPaths))
+	var spec chunk.DigestSpec
+	minCount := uint64(0)
+	for i, path := range keyPaths {
+		kfs[i] = loadKeys(path)
+		uuids[i] = kfs[i].UUID
+		_, decs[i], spec = rebuildStream(kfs[i])
+		if kfs[i].Epoch != kfs[0].Epoch || kfs[i].Interval != kfs[0].Interval {
+			log.Fatalf("stream %q geometry differs from %q (combined queries need matching epoch/interval)",
+				kfs[i].UUID, kfs[0].UUID)
+		}
+		if i == 0 || kfs[i].Count < minCount {
+			minCount = kfs[i].Count
+		}
+	}
+	kf := kfs[0]
+	te := kf.Epoch + int64(minCount)*kf.Interval
+	resp, err := tr.RoundTrip(ctx, &wire.AggRange{
+		UUIDs: uuids, Ts: kf.Epoch, Te: te, WindowChunks: window,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	sr, ok := resp.(*wire.StatRangeResp)
+	sr, ok := resp.(*wire.AggRangeResp)
 	if !ok {
 		fatalResp(resp)
+	}
+	if int(sr.StreamCount) != len(uuids) {
+		log.Fatalf("server combined %d of %d streams", sr.StreamCount, len(uuids))
 	}
 	step := window
 	if step == 0 {
@@ -223,17 +276,19 @@ func doStats(ctx context.Context, tr client.Transport, keyPath string, window ui
 	for w, vec := range sr.Windows {
 		i := sr.FromChunk + uint64(w)*step
 		j := i + step
-		pt, err := dec.DecryptRange(i, j, vec, nil)
-		if err != nil {
-			log.Fatal(err)
+		pt := vec
+		for _, dec := range decs {
+			if pt, err = dec.DecryptRange(i, j, pt, nil); err != nil {
+				log.Fatal(err)
+			}
 		}
 		r, err := spec.Interpret(pt)
 		if err != nil {
 			log.Fatal(err)
 		}
 		from := time.UnixMilli(kf.Epoch + int64(i)*kf.Interval).Format(time.TimeOnly)
-		fmt.Printf("[%s +%d chunks] count=%d sum=%d mean=%.2f stdev=%.2f min∈[%d,%d) max∈[%d,%d)\n",
-			from, step, r.Count, r.Sum, r.Mean, r.Stdev, r.MinLo, r.MinHi, r.MaxLo, r.MaxHi)
+		fmt.Printf("[%s +%d chunks] streams=%d count=%d sum=%d mean=%.2f stdev=%.2f min∈[%d,%d) max∈[%d,%d)\n",
+			from, step, sr.StreamCount, r.Count, r.Sum, r.Mean, r.Stdev, r.MinLo, r.MinHi, r.MaxLo, r.MaxHi)
 	}
 }
 

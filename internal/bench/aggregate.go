@@ -1,0 +1,258 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"time"
+
+	"repro/internal/chunk"
+	"repro/internal/client"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/kv"
+	"repro/internal/server"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// AggregateResult is one query mode's outcome.
+type AggregateResult struct {
+	Mode    string
+	Queries int
+	OpsPS   float64          // queries per second
+	PerOp   workload.Summary // submit-to-answer latency per query
+	Speedup float64          // vs the client-side merge baseline
+}
+
+// Aggregate measures what the typed-plan query redesign buys over the
+// pattern it replaces: the population mean over N streams (the paper's
+// "average heart rate over all patients") sharded across a 4-engine
+// router behind one TCP front end, computed (a) the old way — one
+// StatRange round trip per stream returning the full digest vector,
+// decrypted and merged client-side — and (b) as one typed-plan AggRange
+// with Stats(Mean): each shard homomorphically sums its own streams'
+// digests, the router sums the shard partials, and one response carries
+// the population ciphertext projected to the two elements a mean needs.
+// The index work is identical; the plan removes N-1 round trips and N-1
+// response payloads per query, and the projection cuts the decrypted
+// elements (and their AES subkey derivations) from the full digest — the
+// paper's default 19-element vector — down to 2. Target: >= 2x per-query
+// throughput at N = 16.
+func Aggregate(w io.Writer, opts Options) ([]AggregateResult, error) {
+	const streams = 16
+	const shards = 4
+	chunksPer := opts.scaled(512)
+	queries := opts.scaled(400)
+	if queries < 4 {
+		queries = 4
+	}
+	const interval = 10_000
+	epoch := int64(1_700_000_000_000)
+	spec := chunk.DefaultSpec()
+	meanElems, err := spec.ElemsFor(chunk.NewStatSet(chunk.StatMean))
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "Population mean over %d streams on a %d-shard router (TCP front end): %d chunks/stream, %d-element digests, %d queries/mode\n\n",
+		streams, shards, chunksPer, spec.VectorLen(), queries)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Cluster behind one TCP server.
+	var shardList []cluster.Shard
+	base := kv.NewMemStore()
+	for i := 0; i < shards; i++ {
+		name := fmt.Sprintf("shard-%d", i)
+		engine, err := server.New(kv.NewPrefixStore(base, name+"/"), server.Config{})
+		if err != nil {
+			return nil, err
+		}
+		shardList = append(shardList, cluster.Shard{Name: name, Handler: engine})
+	}
+	router, err := cluster.NewRouter(shardList, cluster.Options{})
+	if err != nil {
+		return nil, err
+	}
+	srv := server.NewServer(router, func(string, ...any) {})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go srv.Serve(ctx, lis)
+	defer srv.Close()
+
+	sess, err := client.DialSession(lis.Addr().String(), client.SessionOptions{})
+	if err != nil {
+		return nil, err
+	}
+	defer sess.Close()
+
+	// Create and load the streams (batched ingest; setup is not timed).
+	uuids := make([]string, streams)
+	decs := make([]*core.Encryptor, streams)
+	specBytes, _ := spec.MarshalBinary()
+	for i := range uuids {
+		uuids[i] = fmt.Sprintf("agg-%d", i)
+		tree, err := core.GenerateTree(core.NewPRG(core.PRGAES), core.DefaultTreeHeight)
+		if err != nil {
+			return nil, err
+		}
+		enc := core.NewEncryptor(tree.NewWalker())
+		decs[i] = core.NewEncryptor(tree.NewWalker())
+		resp, err := sess.RoundTrip(ctx, &wire.CreateStream{UUID: uuids[i], Cfg: wire.StreamConfig{
+			Epoch: epoch, Interval: interval, VectorLen: uint32(spec.VectorLen()),
+			Fanout: 64, DigestSpec: specBytes,
+		}})
+		if err != nil {
+			return nil, err
+		}
+		if e, bad := resp.(*wire.Error); bad {
+			return nil, e
+		}
+		gen := workload.NewMHealth(uint64(i))
+		for lo := 0; lo < chunksPer; lo += 64 {
+			n := min(64, chunksPer-lo)
+			batch := &wire.Batch{Reqs: make([]wire.Message, 0, n)}
+			for c := lo; c < lo+n; c++ {
+				start := epoch + int64(c)*interval
+				sealed, err := chunk.Seal(enc, spec, chunk.CompressionNone, uint64(c), start, start+interval,
+					gen.Chunk(uint64(c), epoch, interval))
+				if err != nil {
+					return nil, err
+				}
+				batch.Reqs = append(batch.Reqs, &wire.InsertChunk{UUID: uuids[i], Chunk: chunk.MarshalSealed(sealed)})
+			}
+			resp, err := sess.RoundTrip(ctx, batch)
+			if err != nil {
+				return nil, err
+			}
+			if br, ok := resp.(*wire.BatchResp); ok {
+				for _, sub := range br.Resps {
+					if e, bad := sub.(*wire.Error); bad {
+						return nil, e
+					}
+				}
+			} else if e, bad := resp.(*wire.Error); bad {
+				return nil, e
+			}
+		}
+	}
+	te := epoch + int64(chunksPer)*interval
+	runtime.GC()
+
+	// Each query asks for the whole-range population aggregate. Both
+	// modes decrypt everything they receive, so the comparison is honest
+	// end-to-end work, not just socket counts.
+	clientMerge := func() error {
+		var combined []uint64
+		for i, uuid := range uuids {
+			resp, err := sess.RoundTrip(ctx, &wire.StatRange{UUIDs: []string{uuid}, Ts: epoch, Te: te})
+			if err != nil {
+				return err
+			}
+			sr, ok := resp.(*wire.StatRangeResp)
+			if !ok {
+				return resp.(*wire.Error)
+			}
+			vec, err := decs[i].DecryptRange(sr.FromChunk, sr.ToChunk, sr.Windows[0], nil)
+			if err != nil {
+				return err
+			}
+			if combined == nil {
+				combined = vec
+			} else {
+				core.AddVec(combined, vec)
+			}
+		}
+		_, err := spec.Interpret(combined)
+		return err
+	}
+	serverAgg := func() error {
+		resp, err := sess.RoundTrip(ctx, &wire.AggRange{UUIDs: uuids, Ts: epoch, Te: te, Elems: meanElems})
+		if err != nil {
+			return err
+		}
+		ar, ok := resp.(*wire.AggRangeResp)
+		if !ok {
+			return resp.(*wire.Error)
+		}
+		vec := ar.Windows[0]
+		for i := range decs {
+			if vec, err = decs[i].DecryptRangeElems(ar.FromChunk, ar.ToChunk, meanElems, vec, nil); err != nil {
+				return err
+			}
+		}
+		_, err = spec.InterpretElems(meanElems, vec)
+		return err
+	}
+
+	run := func(mode string, query func() error) (AggregateResult, error) {
+		var lat workload.LatencyRecorder
+		start := time.Now()
+		for q := 0; q < queries; q++ {
+			t0 := time.Now()
+			if err := query(); err != nil {
+				return AggregateResult{}, fmt.Errorf("%s query %d: %w", mode, q, err)
+			}
+			lat.Record(time.Since(t0))
+		}
+		elapsed := time.Since(start)
+		return AggregateResult{
+			Mode: mode, Queries: queries,
+			OpsPS: float64(queries) / elapsed.Seconds(),
+			PerOp: lat.Summarize(),
+		}, nil
+	}
+
+	// Interleaved best-of-5, like the batch experiment: single-core hosts
+	// see large correlated noise spikes, and taking each mode's best round
+	// measures the code, not the neighbors.
+	modes := []struct {
+		name  string
+		query func() error
+	}{
+		{"client-merge", clientMerge},
+		{"server-agg", serverAgg},
+	}
+	results := make([]AggregateResult, len(modes))
+	for round := 0; round < 5; round++ {
+		for i, m := range modes {
+			res, err := run(m.name, m.query)
+			if err != nil {
+				return nil, err
+			}
+			if round == 0 || res.OpsPS > results[i].OpsPS {
+				results[i] = res
+			}
+		}
+	}
+	for i := range results {
+		if i > 0 {
+			results[i].Speedup = results[i].OpsPS / results[0].OpsPS
+		} else {
+			results[i].Speedup = 1
+		}
+		opts.record(Metric{
+			Experiment: "aggregate",
+			Name:       results[i].Mode + "/query",
+			OpsPerSec:  results[i].OpsPS,
+			P50Ms:      ms(results[i].PerOp.P50),
+			P99Ms:      ms(results[i].PerOp.P99),
+		})
+	}
+
+	tbl := &table{header: []string{"mode", "queries/s", "p50", "p99", "vs client merge"}}
+	for _, r := range results {
+		tbl.add(r.Mode,
+			fmt.Sprintf("%.0f", r.OpsPS),
+			fmtDur(r.PerOp.P50), fmtDur(r.PerOp.P99),
+			fmt.Sprintf("%.2fx", r.Speedup))
+	}
+	tbl.write(w)
+	fmt.Fprintf(w, "\n%d-stream population mean: shards sum their own streams' ciphertext digests, the router\nsums shard partials, one response per query projected to %d of %d digest elements\n(target: server-agg >= 2x client-merge).\n", streams, len(meanElems), spec.VectorLen())
+	return results, nil
+}

@@ -372,3 +372,34 @@ func BenchmarkPipelineWindow(b *testing.B) {
 		}
 	}
 }
+
+func TestAggregateRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second benchmark harness")
+	}
+	results, err := Aggregate(io.Discard, tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d modes", len(results))
+	}
+	for _, r := range results {
+		if r.OpsPS <= 0 || r.PerOp.Count != r.Queries {
+			t.Errorf("%s: ops/s %.0f, %d/%d latencies", r.Mode, r.OpsPS, r.PerOp.Count, r.Queries)
+		}
+	}
+	// The server-agg >= 2x client-merge claim is asserted by the
+	// full-scale run; at tiny scale only the harness shape is checked.
+}
+
+// BenchmarkAggFanIn drives the server-side fan-in end to end (real
+// sockets, 4-shard router, 16-stream AggRange) so bench-smoke keeps the
+// typed-plan aggregation path compiling and running.
+func BenchmarkAggFanIn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Aggregate(io.Discard, Options{Scale: 0.01}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

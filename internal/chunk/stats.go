@@ -1,0 +1,274 @@
+package chunk
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Stat names one typed statistic a query plan can select. Plans carry a
+// StatSet of these instead of always shipping (and decrypting) the whole
+// digest vector; each statistic maps onto the digest sections it needs
+// (ElemsFor), so the server can project ciphertext aggregates down to
+// exactly the elements the client will decrypt.
+type Stat uint8
+
+// Typed statistic selectors.
+const (
+	// StatSum selects the value sum (digest section: sum).
+	StatSum Stat = iota + 1
+	// StatCount selects the record count (section: count).
+	StatCount
+	// StatMean selects the mean (sections: sum + count).
+	StatMean
+	// StatVar selects the population variance (sum + count + sumsq).
+	StatVar
+	// StatStdev selects the standard deviation (sum + count + sumsq).
+	StatStdev
+	// StatHist selects the frequency histogram, which also yields the
+	// min/max bin bounds (sections: all histogram bins).
+	StatHist
+
+	statMax
+)
+
+// String names the selector (for errors and tooling).
+func (s Stat) String() string {
+	switch s {
+	case StatSum:
+		return "sum"
+	case StatCount:
+		return "count"
+	case StatMean:
+		return "mean"
+	case StatVar:
+		return "var"
+	case StatStdev:
+		return "stdev"
+	case StatHist:
+		return "hist"
+	default:
+		return fmt.Sprintf("stat(%d)", uint8(s))
+	}
+}
+
+// StatSet is a bitmask of selected statistics. The zero value selects
+// nothing (callers treat it as "everything the spec supports"). Bit 0 is
+// reserved: NewStatSet parks out-of-range selectors there so they fail
+// loudly at ElemsFor instead of silently vanishing.
+type StatSet uint16
+
+// statInvalidBit marks a set built from at least one unknown selector.
+const statInvalidBit StatSet = 1
+
+// NewStatSet builds a set from selectors.
+func NewStatSet(stats ...Stat) StatSet {
+	var set StatSet
+	for _, s := range stats {
+		if s < StatSum || s >= statMax {
+			set |= statInvalidBit
+			continue
+		}
+		set |= 1 << s
+	}
+	return set
+}
+
+// Has reports whether the set selects s.
+func (set StatSet) Has(s Stat) bool { return set&(1<<s) != 0 }
+
+// String lists the selected statistics.
+func (set StatSet) String() string {
+	var names []string
+	for s := StatSum; s < statMax; s++ {
+		if set.Has(s) {
+			names = append(names, s.String())
+		}
+	}
+	return strings.Join(names, "+")
+}
+
+// AllStats returns the selectors this spec's digest can answer.
+func (s DigestSpec) AllStats() StatSet {
+	var set StatSet
+	if s.Sum {
+		set |= 1 << StatSum
+	}
+	if s.Count {
+		set |= 1 << StatCount
+	}
+	if s.Sum && s.Count {
+		set |= 1 << StatMean
+	}
+	if s.Sum && s.Count && s.SumSq {
+		set |= 1<<StatVar | 1<<StatStdev
+	}
+	if s.Bins() > 0 {
+		set |= 1 << StatHist
+	}
+	return set
+}
+
+// ElemsFor maps selected statistics onto the digest element indices that
+// must be fetched to compute them, sorted ascending. It fails if the spec
+// lacks a section a selector needs (e.g. variance without sum-of-squares).
+// An empty set selects every element (equivalent to no projection).
+func (s DigestSpec) ElemsFor(set StatSet) ([]uint32, error) {
+	if set&statInvalidBit != 0 {
+		return nil, fmt.Errorf("chunk: unknown statistic selector in set")
+	}
+	sum, count, sumsq, hist := s.offsets()
+	need := make(map[uint32]struct{})
+	want := func(stat Stat, elems ...int) error {
+		for _, e := range elems {
+			if e < 0 {
+				return fmt.Errorf("chunk: stat %v needs a digest section this stream's spec does not carry", stat)
+			}
+			need[uint32(e)] = struct{}{}
+		}
+		return nil
+	}
+	for stat := StatSum; stat < statMax; stat++ {
+		if !set.Has(stat) {
+			continue
+		}
+		var err error
+		switch stat {
+		case StatSum:
+			err = want(stat, sum)
+		case StatCount:
+			err = want(stat, count)
+		case StatMean:
+			err = want(stat, sum, count)
+		case StatVar, StatStdev:
+			err = want(stat, sum, count, sumsq)
+		case StatHist:
+			if hist < 0 {
+				err = fmt.Errorf("chunk: stat %v needs a digest section this stream's spec does not carry", stat)
+				break
+			}
+			for b := 0; b < s.Bins(); b++ {
+				need[uint32(hist+b)] = struct{}{}
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(need) == 0 {
+		elems := make([]uint32, s.VectorLen())
+		for i := range elems {
+			elems[i] = uint32(i)
+		}
+		return elems, nil
+	}
+	elems := make([]uint32, 0, len(need))
+	for e := range need {
+		elems = append(elems, e)
+	}
+	for i := 1; i < len(elems); i++ { // insertion sort; sets are tiny
+		for j := i; j > 0 && elems[j] < elems[j-1]; j-- {
+			elems[j], elems[j-1] = elems[j-1], elems[j]
+		}
+	}
+	return elems, nil
+}
+
+// StatsForElems reports which statistics a vector projected to the given
+// elements can answer; nil (no projection) answers everything the spec
+// supports.
+func (s DigestSpec) StatsForElems(elems []uint32) StatSet {
+	if elems == nil {
+		return s.AllStats()
+	}
+	present := make([]bool, s.VectorLen())
+	for _, e := range elems {
+		if int(e) < len(present) {
+			present[e] = true
+		}
+	}
+	has := func(off int) bool { return off >= 0 && off < len(present) && present[off] }
+	sum, count, sumsq, hist := s.offsets()
+	var set StatSet
+	if has(sum) {
+		set |= 1 << StatSum
+	}
+	if has(count) {
+		set |= 1 << StatCount
+	}
+	if has(sum) && has(count) {
+		set |= 1 << StatMean
+	}
+	if has(sum) && has(count) && has(sumsq) {
+		set |= 1<<StatVar | 1<<StatStdev
+	}
+	histPresent := hist >= 0 && s.Bins() > 0
+	for b := 0; histPresent && b < s.Bins(); b++ {
+		histPresent = present[hist+b]
+	}
+	if histPresent {
+		set |= 1 << StatHist
+	}
+	return set
+}
+
+// InterpretElems decodes a projected decrypted digest: vec[x] is the
+// plaintext of element elems[x] of the full vector. Only statistics whose
+// digest inputs are all present are computed; the rest stay at their zero
+// values (NaN for the float moments), exactly as if the spec lacked the
+// section. Interpret is the no-projection special case.
+func (s DigestSpec) InterpretElems(elems []uint32, vec []uint64) (Result, error) {
+	if len(elems) != len(vec) {
+		return Result{}, fmt.Errorf("chunk: %d projected elements but %d values", len(elems), len(vec))
+	}
+	full := make([]uint64, s.VectorLen())
+	present := make([]bool, s.VectorLen())
+	for x, e := range elems {
+		if int(e) >= len(full) {
+			return Result{}, fmt.Errorf("chunk: projected element %d beyond digest length %d", e, len(full))
+		}
+		full[e] = vec[x]
+		present[e] = true
+	}
+	has := func(off int) bool { return off >= 0 && present[off] }
+	sum, count, sumsq, hist := s.offsets()
+	r := Result{Mean: math.NaN(), Var: math.NaN(), Stdev: math.NaN()}
+	if has(sum) {
+		r.Sum = int64(full[sum])
+	}
+	if has(count) {
+		r.Count = full[count]
+	}
+	if has(sum) && has(count) && r.Count > 0 {
+		r.Mean = float64(r.Sum) / float64(r.Count)
+	}
+	if has(sum) && has(count) && has(sumsq) && r.Count > 0 {
+		n := float64(r.Count)
+		mean := float64(r.Sum) / n
+		r.Var = float64(int64(full[sumsq]))/n - mean*mean
+		if r.Var < 0 {
+			r.Var = 0 // numerical noise on constant data
+		}
+		r.Stdev = math.Sqrt(r.Var)
+	}
+	histPresent := hist >= 0
+	for b := 0; histPresent && b < s.Bins(); b++ {
+		histPresent = present[hist+b]
+	}
+	if histPresent {
+		r.Hist = append([]uint64(nil), full[hist:hist+s.Bins()]...)
+		for b, c := range r.Hist {
+			if c == 0 {
+				continue
+			}
+			if !r.HasMinMax {
+				r.MinLo, r.MinHi = s.HistBounds[b], s.HistBounds[b+1]
+				r.MinCount = c
+				r.HasMinMax = true
+			}
+			r.MaxLo, r.MaxHi = s.HistBounds[b], s.HistBounds[b+1]
+			r.MaxCount = c
+		}
+	}
+	return r, nil
+}

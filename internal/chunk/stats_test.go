@@ -1,0 +1,141 @@
+package chunk
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestElemsForSections(t *testing.T) {
+	spec := DefaultSpec() // [sum, count, sumsq, 16 bins] = 19 elements
+	cases := []struct {
+		set  StatSet
+		want []uint32
+	}{
+		{NewStatSet(StatSum), []uint32{0}},
+		{NewStatSet(StatCount), []uint32{1}},
+		{NewStatSet(StatMean), []uint32{0, 1}},
+		{NewStatSet(StatVar), []uint32{0, 1, 2}},
+		{NewStatSet(StatStdev), []uint32{0, 1, 2}},
+		{NewStatSet(StatSum, StatVar), []uint32{0, 1, 2}},
+	}
+	for _, tc := range cases {
+		got, err := spec.ElemsFor(tc.set)
+		if err != nil {
+			t.Fatalf("%v: %v", tc.set, err)
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("ElemsFor(%v) = %v, want %v", tc.set, got, tc.want)
+		}
+	}
+	// Histogram selects every bin.
+	got, err := spec.ElemsFor(NewStatSet(StatHist))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != spec.Bins() || got[0] != 3 || got[len(got)-1] != uint32(spec.VectorLen()-1) {
+		t.Errorf("ElemsFor(hist) = %v", got)
+	}
+	// The empty set selects the full vector.
+	all, err := spec.ElemsFor(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != spec.VectorLen() {
+		t.Errorf("ElemsFor(0) has %d elements, want %d", len(all), spec.VectorLen())
+	}
+}
+
+func TestElemsForMissingSection(t *testing.T) {
+	spec := SumOnlySpec()
+	for _, set := range []StatSet{
+		NewStatSet(StatCount), NewStatSet(StatMean),
+		NewStatSet(StatVar), NewStatSet(StatHist),
+	} {
+		if _, err := spec.ElemsFor(set); err == nil {
+			t.Errorf("ElemsFor(%v) on sum-only spec should fail", set)
+		}
+	}
+}
+
+func TestAllStats(t *testing.T) {
+	full := DefaultSpec().AllStats()
+	for _, s := range []Stat{StatSum, StatCount, StatMean, StatVar, StatStdev, StatHist} {
+		if !full.Has(s) {
+			t.Errorf("DefaultSpec should answer %v", s)
+		}
+	}
+	sumOnly := SumOnlySpec().AllStats()
+	if !sumOnly.Has(StatSum) || sumOnly.Has(StatMean) || sumOnly.Has(StatHist) {
+		t.Errorf("SumOnlySpec stats = %v", sumOnly)
+	}
+}
+
+// TestInterpretElemsMatchesInterpret proves the projected interpretation is
+// the same function as the full one when every element is present.
+func TestInterpretElemsMatchesInterpret(t *testing.T) {
+	spec := DefaultSpec()
+	pts := []Point{{TS: 0, Val: 10}, {TS: 1, Val: 50}, {TS: 2, Val: 200}, {TS: 3, Val: 50}}
+	vec := spec.Compute(pts, nil)
+	want, err := spec.Interpret(vec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, _ := spec.ElemsFor(0)
+	got, err := spec.InterpretElems(all, vec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("InterpretElems(all) = %+v, want %+v", got, want)
+	}
+}
+
+func TestInterpretElemsPartial(t *testing.T) {
+	spec := DefaultSpec()
+	pts := []Point{{TS: 0, Val: 10}, {TS: 1, Val: 50}, {TS: 2, Val: 200}}
+	vec := spec.Compute(pts, nil)
+
+	// Mean projection: sum+count valid, variance and histogram absent.
+	elems, err := spec.ElemsFor(NewStatSet(StatMean))
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj := make([]uint64, len(elems))
+	for x, e := range elems {
+		proj[x] = vec[e]
+	}
+	r, err := spec.InterpretElems(elems, proj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Sum != 260 || r.Count != 3 || math.Abs(r.Mean-260.0/3) > 1e-9 {
+		t.Errorf("mean projection: %+v", r)
+	}
+	if !math.IsNaN(r.Var) || !math.IsNaN(r.Stdev) {
+		t.Errorf("variance computed without sumsq: %+v", r)
+	}
+	if r.Hist != nil || r.HasMinMax {
+		t.Errorf("histogram conjured from nothing: %+v", r)
+	}
+
+	// Length and range validation.
+	if _, err := spec.InterpretElems(elems, proj[:1]); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := spec.InterpretElems([]uint32{99}, []uint64{1}); err == nil {
+		t.Error("out-of-range element accepted")
+	}
+}
+
+// TestUnknownStatSelectorFailsLoudly: an out-of-range selector must not
+// silently degrade to "everything" — it parks on the reserved bit and
+// ElemsFor rejects the set.
+func TestUnknownStatSelectorFailsLoudly(t *testing.T) {
+	for _, bad := range []Stat{0, statMax, Stat(20), Stat(255)} {
+		set := NewStatSet(StatSum, bad)
+		if _, err := DefaultSpec().ElemsFor(set); err == nil {
+			t.Errorf("selector %d accepted", bad)
+		}
+	}
+}

@@ -7,6 +7,8 @@ package client_test
 import (
 	"context"
 	"fmt"
+	"net"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/chunk"
@@ -15,6 +17,7 @@ import (
 	"repro/internal/crypto/hybrid"
 	"repro/internal/kv"
 	"repro/internal/server"
+	"repro/internal/wire"
 )
 
 const (
@@ -269,5 +272,299 @@ func TestClusterMatchesSingleEngine(t *testing.T) {
 		if single.windows[i] != sharded.windows[i] {
 			t.Fatalf("window %d differs: %d vs %d", i, single.windows[i], sharded.windows[i])
 		}
+	}
+}
+
+// countingTransport tallies round trips so tests can prove how many a
+// query plan costs.
+type countingTransport struct {
+	client.Transport
+	trips atomic.Int64
+}
+
+func (c *countingTransport) RoundTrip(ctx context.Context, req wire.Message) (wire.Message, error) {
+	c.trips.Add(1)
+	return c.Transport.RoundTrip(ctx, req)
+}
+
+// TestClusterPlanParity: a 3-stream server-side aggregate over a 4-shard
+// router must equal the client-side merge of three single-stream queries,
+// window by window — the combine tree (engine sums its own streams, the
+// router sums shard partials) must be invisible in the numbers.
+func TestClusterPlanParity(t *testing.T) {
+	tr, router := newClusterTransport(t, 4)
+	owner := client.NewOwner(tr)
+	ctx := context.Background()
+
+	const nChunks = 24
+	uuids := []string{"plan-parity-a", "plan-parity-b", "plan-parity-c"}
+	streams := make([]*client.OwnerStream, len(uuids))
+	shardsHit := map[string]bool{}
+	for i, uuid := range uuids {
+		s, err := owner.CreateStream(ctx, e2eOpts(uuid))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Distinct value profiles per stream so a mis-summed window
+		// cannot accidentally match.
+		for c := 0; c < nChunks; c++ {
+			start := e2eEpoch + int64(c)*e2eInterval
+			pts := make([]chunk.Point, 3)
+			for p := range pts {
+				pts[p] = chunk.Point{TS: start + int64(p)*2000, Val: int64((i+1)*100 + c + p)}
+			}
+			if err := s.AppendChunk(ctx, pts); err != nil {
+				t.Fatal(err)
+			}
+		}
+		streams[i] = s
+		shardsHit[router.Owner(uuid)] = true
+	}
+	if len(shardsHit) < 2 {
+		t.Skipf("streams landed on one shard; parity would not cross shards")
+	}
+	te := e2eEpoch + nChunks*e2eInterval
+
+	const window = 4
+	merge := make([][]client.StatResult, len(streams))
+	for i, s := range streams {
+		res, err := s.StatSeries(ctx, e2eEpoch, te, window)
+		if err != nil {
+			t.Fatal(err)
+		}
+		merge[i] = res
+	}
+	aggs, err := streams[0].Query().Streams(streams[1], streams[2]).
+		Range(e2eEpoch, te).Window(window).Aggs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aggs) != len(merge[0]) {
+		t.Fatalf("plan yielded %d windows, merge %d", len(aggs), len(merge[0]))
+	}
+	for w, agg := range aggs {
+		var wantSum int64
+		var wantCount uint64
+		for _, m := range merge {
+			wantSum += m[w].Sum
+			wantCount += m[w].Count
+		}
+		if agg.Sum() != wantSum || agg.Count() != wantCount || agg.StreamCount != 3 {
+			t.Errorf("window %d: plan sum=%d count=%d streams=%d, merge sum=%d count=%d",
+				w, agg.Sum(), agg.Count(), agg.StreamCount, wantSum, wantCount)
+		}
+	}
+
+	// Consumer variant: grants on every member stream decrypt the same
+	// combined aggregate through the grant-derived key sets.
+	kp, err := hybrid.GenerateKeyPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range streams {
+		if _, err := s.Grant(ctx, kp.PublicBytes(), e2eEpoch, te, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	consumer := client.NewConsumer(tr, kp)
+	views := make([]*client.ConsumerStream, len(uuids))
+	for i, uuid := range uuids {
+		cs, err := consumer.OpenStream(ctx, uuid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		views[i] = cs
+	}
+	caggs, err := views[0].Query().Streams(views[1], views[2]).
+		Range(e2eEpoch, te).Window(window).Aggs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(caggs) != len(aggs) {
+		t.Fatalf("consumer plan yielded %d windows, owner plan %d", len(caggs), len(aggs))
+	}
+	for w := range caggs {
+		if caggs[w].Sum() != aggs[w].Sum() || caggs[w].Count() != aggs[w].Count() {
+			t.Errorf("window %d: consumer %d/%d vs owner %d/%d",
+				w, caggs[w].Sum(), caggs[w].Count(), aggs[w].Sum(), aggs[w].Count())
+		}
+	}
+}
+
+// TestClusterPlanRoundTripsPerPage: a 16-stream windowed aggregate costs
+// one round trip per page (plus a single batched metadata pre-pass), not
+// one per stream — the acceptance bar for the typed-plan redesign.
+func TestClusterPlanRoundTripsPerPage(t *testing.T) {
+	base, _ := newClusterTransport(t, 4)
+	tr := &countingTransport{Transport: base}
+	owner := client.NewOwner(tr)
+	ctx := context.Background()
+
+	const nStreams = 16
+	const nChunks = 20
+	streams := make([]*client.OwnerStream, nStreams)
+	for i := range streams {
+		s, err := owner.CreateStream(ctx, e2eOpts(fmt.Sprintf("plan-rt-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fill(t, s, nChunks)
+		streams[i] = s
+	}
+	te := e2eEpoch + nChunks*e2eInterval
+
+	others := make([]client.Queryable, nStreams-1)
+	for i, s := range streams[1:] {
+		others[i] = s
+	}
+	// 20 chunks / window 4 = 5 windows; 2 per page = 3 pages.
+	const wantPages = 3
+	tr.trips.Store(0)
+	aggs, err := streams[0].Query().Streams(others...).
+		Range(e2eEpoch, te).Window(4).PageSize(2).Aggs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aggs) != 5 {
+		t.Fatalf("plan yielded %d windows, want 5", len(aggs))
+	}
+	got := tr.trips.Load()
+	// One batched StreamInfo pre-pass + one AggRange per page. The old
+	// API needed nStreams round trips per page plus nStreams pre-passes.
+	if got != wantPages+1 {
+		t.Errorf("16-stream plan cost %d round trips, want %d (1 metadata + %d pages)",
+			got, wantPages+1, wantPages)
+	}
+
+	// Scalar plan: exactly one round trip, no metadata pre-pass.
+	tr.trips.Store(0)
+	if _, err := streams[0].Query().Streams(others...).Range(e2eEpoch, te).Aggs(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.trips.Load(); got != 1 {
+		t.Errorf("16-stream scalar plan cost %d round trips, want 1", got)
+	}
+}
+
+// TestClusterPlanStreamedOverTCP drives a multi-stream windowed plan
+// through a real TCP front end over a 4-shard router: the cursor opens one
+// server-push AggRange stream, and the pushed pages match the unary plan.
+func TestClusterPlanStreamedOverTCP(t *testing.T) {
+	inproc, _ := newClusterTransport(t, 4)
+	router := inproc.(*client.InProc).Engine
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.NewServer(router, func(string, ...any) {})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); srv.Serve(ctx, lis) }()
+	defer func() {
+		cancel()
+		srv.Close()
+		<-done
+	}()
+	tr, err := client.DialTCP(lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	owner := client.NewOwner(tr)
+	const nChunks = 30
+	uuids := []string{"tcp-plan-a", "tcp-plan-b", "tcp-plan-c"}
+	streams := make([]*client.OwnerStream, len(uuids))
+	for i, uuid := range uuids {
+		s, err := owner.CreateStream(context.Background(), e2eOpts(uuid))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fill(t, s, nChunks)
+		streams[i] = s
+	}
+	te := e2eEpoch + nChunks*e2eInterval
+
+	aggs, err := streams[0].Query().Streams(streams[1], streams[2]).
+		Range(e2eEpoch, te).Window(3).PageSize(4).Stats(chunk.StatSum, chunk.StatCount).
+		Aggs(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aggs) != nChunks/3 {
+		t.Fatalf("streamed plan yielded %d windows, want %d", len(aggs), nChunks/3)
+	}
+	var wantSum int64
+	for i := 0; i < 3; i++ { // window 0 covers chunks 0..2 of each stream
+		wantSum += 3 * 5 * int64(60+i%20)
+	}
+	if aggs[0].Sum() != wantSum {
+		t.Errorf("window 0 sum = %d, want %d", aggs[0].Sum(), wantSum)
+	}
+	if aggs[0].StreamCount != 3 {
+		t.Errorf("window 0 StreamCount = %d", aggs[0].StreamCount)
+	}
+}
+
+// TestClusterPlanUnevenIngest: members with different ingest progress force
+// the router's optimistic fan-out to disagree and retry pinned to the
+// common range — the result must clamp to the shortest member, exactly as
+// a single engine does.
+func TestClusterPlanUnevenIngest(t *testing.T) {
+	tr, router := newClusterTransport(t, 4)
+	owner := client.NewOwner(tr)
+	ctx := context.Background()
+
+	counts := []int{24, 16, 9}
+	uuids := []string{"uneven-a", "uneven-b", "uneven-c"}
+	streams := make([]*client.OwnerStream, len(uuids))
+	shardsHit := map[string]bool{}
+	for i, uuid := range uuids {
+		s, err := owner.CreateStream(ctx, e2eOpts(uuid))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fill(t, s, counts[i])
+		streams[i] = s
+		shardsHit[router.Owner(uuid)] = true
+	}
+	if len(shardsHit) < 2 {
+		t.Skip("streams landed on one shard")
+	}
+	te := e2eEpoch + 24*e2eInterval
+
+	const window = 4
+	aggs, err := streams[0].Query().Streams(streams[1], streams[2]).
+		Range(e2eEpoch, te).Window(window).Aggs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shortest member has 9 chunks -> 2 complete 4-chunk windows.
+	if len(aggs) != 2 {
+		t.Fatalf("uneven plan yielded %d windows, want 2", len(aggs))
+	}
+	for w, agg := range aggs {
+		var wantSum int64
+		var wantCount uint64
+		for _, s := range streams {
+			res, err := s.StatSeries(ctx, e2eEpoch, e2eEpoch+8*e2eInterval, window)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantSum += res[w].Sum
+			wantCount += res[w].Count
+		}
+		if agg.Sum() != wantSum || agg.Count() != wantCount {
+			t.Errorf("window %d: plan %d/%d, merge %d/%d", w, agg.Sum(), agg.Count(), wantSum, wantCount)
+		}
+	}
+
+	// Scalar plan clamps the same way.
+	it := streams[0].Query().Streams(streams[1], streams[2]).Range(e2eEpoch, te).Iter(ctx)
+	if !it.Next() {
+		t.Fatalf("uneven scalar plan: %v", it.Err())
+	}
+	if got := it.Agg(); got.ToChunk != 9 {
+		t.Errorf("scalar clamp ToChunk = %d, want 9", got.ToChunk)
 	}
 }

@@ -1,0 +1,516 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"io"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/chunk"
+	"repro/internal/crypto/hybrid"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+// fillDeterministic appends n chunks of one point each with per-stream
+// distinct values.
+func fillDeterministic(t *testing.T, s *OwnerStream, n int, seed int64) {
+	t.Helper()
+	ctx := context.Background()
+	for c := 0; c < n; c++ {
+		start := writerEpoch + int64(c)*1000
+		if err := s.AppendChunk(ctx, []chunk.Point{{TS: start, Val: seed + int64(c)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestPlanMultiStreamParity: a 3-stream server-side plan must equal the
+// client-side merge of three single-stream queries, window by window.
+func TestPlanMultiStreamParity(t *testing.T) {
+	engine := newWriterEngine(t)
+	tr := &InProc{Engine: engine}
+	ctx := context.Background()
+
+	const chunks = 24
+	a := newWriterStream(t, tr, "plan-a")
+	b := newWriterStream(t, tr, "plan-b")
+	c := newWriterStream(t, tr, "plan-c")
+	fillDeterministic(t, a, chunks, 100)
+	fillDeterministic(t, b, chunks, 2000)
+	fillDeterministic(t, c, chunks, 30000)
+	te := writerEpoch + chunks*1000
+
+	// Client-side merge baseline: three single-stream windowed queries.
+	const window = 4
+	parts := make([][]StatResult, 3)
+	for i, s := range []*OwnerStream{a, b, c} {
+		res, err := s.StatSeries(ctx, writerEpoch, te, window)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts[i] = res
+	}
+
+	aggs, err := a.Query().Streams(b, c).Range(writerEpoch, te).Window(window).Aggs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aggs) != len(parts[0]) {
+		t.Fatalf("plan yielded %d windows, merge %d", len(aggs), len(parts[0]))
+	}
+	for w, agg := range aggs {
+		var wantSum int64
+		var wantCount uint64
+		for _, p := range parts {
+			wantSum += p[w].Sum
+			wantCount += p[w].Count
+		}
+		if agg.Sum() != wantSum || agg.Count() != wantCount {
+			t.Errorf("window %d: plan sum=%d count=%d, merge sum=%d count=%d",
+				w, agg.Sum(), agg.Count(), wantSum, wantCount)
+		}
+		if agg.StreamCount != 3 {
+			t.Errorf("window %d: StreamCount = %d", w, agg.StreamCount)
+		}
+		wantMean := float64(wantSum) / float64(wantCount)
+		if math.Abs(agg.Mean()-wantMean) > 1e-9 {
+			t.Errorf("window %d: mean %v, want %v", w, agg.Mean(), wantMean)
+		}
+	}
+
+	// Scalar plan (no window) equals the merged scalars.
+	scalars := make([]StatResult, 3)
+	for i, s := range []*OwnerStream{a, b, c} {
+		r, err := s.StatRange(ctx, writerEpoch, te)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scalars[i] = r
+	}
+	it := a.Query().Streams(b, c).Range(writerEpoch, te).Iter(ctx)
+	if !it.Next() {
+		t.Fatalf("scalar plan empty: %v", it.Err())
+	}
+	got := it.Agg()
+	if want := scalars[0].Sum + scalars[1].Sum + scalars[2].Sum; got.Sum() != want {
+		t.Errorf("scalar plan sum = %d, want %d", got.Sum(), want)
+	}
+	if it.Next() {
+		t.Error("scalar plan yielded a second window")
+	}
+}
+
+// TestPlanTypedStats: Stats() projects the response down to the selected
+// digest elements; unselected statistics come back zero-valued and
+// unflagged.
+func TestPlanTypedStats(t *testing.T) {
+	engine := newWriterEngine(t)
+	tr := &InProc{Engine: engine}
+	owner := NewOwner(tr)
+	ctx := context.Background()
+	s, err := owner.CreateStream(ctx, StreamOptions{
+		UUID: "typed", Epoch: writerEpoch, Interval: 1000,
+		Spec:        chunk.DefaultSpec(),
+		Compression: chunk.CompressionNone,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const chunks = 16
+	for c := 0; c < chunks; c++ {
+		start := writerEpoch + int64(c)*1000
+		if err := s.AppendChunk(ctx, []chunk.Point{{TS: start, Val: int64(10 + c%5)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	te := writerEpoch + chunks*1000
+	full, err := s.StatSeries(ctx, writerEpoch, te, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	aggs, err := s.Query().Range(writerEpoch, te).Window(4).Stats(Sum, Mean).Aggs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aggs) != len(full) {
+		t.Fatalf("typed plan yielded %d windows, want %d", len(aggs), len(full))
+	}
+	for w, agg := range aggs {
+		if !agg.Has(Sum) || !agg.Has(Mean) || !agg.Has(Count) {
+			t.Errorf("window %d: selected stats missing (%v)", w, agg.Stats())
+		}
+		if agg.Has(Var) || agg.Has(Hist) {
+			t.Errorf("window %d: unselected stats flagged (%v)", w, agg.Stats())
+		}
+		if agg.Sum() != full[w].Sum || agg.Count() != full[w].Count {
+			t.Errorf("window %d: sum=%d count=%d, want %d/%d", w, agg.Sum(), agg.Count(), full[w].Sum, full[w].Count)
+		}
+		if !math.IsNaN(agg.Var()) || agg.Hist() != nil {
+			t.Errorf("window %d: unselected stats carry values (var=%v hist=%v)", w, agg.Var(), agg.Hist())
+		}
+	}
+
+	// Variance requested on a digest that has it: values match the full
+	// interpretation.
+	aggs, err = s.Query().Range(writerEpoch, te).Window(4).Stats(Var).Aggs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w, agg := range aggs {
+		if math.Abs(agg.Var()-full[w].Var) > 1e-9 {
+			t.Errorf("window %d: var %v, want %v", w, agg.Var(), full[w].Var)
+		}
+	}
+
+	// A statistic the digest cannot answer fails at iteration.
+	sumOnly, err := owner.CreateStream(ctx, StreamOptions{
+		UUID: "typed-sum-only", Epoch: writerEpoch, Interval: 1000,
+		Spec:        chunk.SumOnlySpec(),
+		Compression: chunk.CompressionNone,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillDeterministic(t, sumOnly, 8, 1)
+	if _, err := sumOnly.Query().Range(writerEpoch, te).Window(4).Stats(Var).Aggs(ctx); err == nil {
+		t.Error("variance on a sum-only digest accepted")
+	}
+
+	// Plan validation: duplicate members and mismatched geometry fail.
+	if _, err := s.Query().Streams(s).Range(writerEpoch, te).Aggs(ctx); err == nil {
+		t.Error("duplicate member accepted")
+	}
+	if _, err := s.Query().Streams(sumOnly).Range(writerEpoch, te).Aggs(ctx); err == nil {
+		t.Error("mismatched digest spec accepted")
+	}
+}
+
+// TestPlanConsumerCombined: a consumer holding grants on every member
+// stream decrypts the combined aggregate; missing one grant fails.
+func TestPlanConsumerCombined(t *testing.T) {
+	engine := newWriterEngine(t)
+	tr := &InProc{Engine: engine}
+	ctx := context.Background()
+
+	const chunks = 12
+	a := newWriterStream(t, tr, "cplan-a")
+	b := newWriterStream(t, tr, "cplan-b")
+	fillDeterministic(t, a, chunks, 10)
+	fillDeterministic(t, b, chunks, 500)
+	te := writerEpoch + chunks*1000
+
+	kp, err := hybrid.GenerateKeyPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []*OwnerStream{a, b} {
+		if _, err := s.Grant(ctx, kp.PublicBytes(), writerEpoch, te, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	consumer := NewConsumer(tr, kp)
+	ca, err := consumer.OpenStream(ctx, "cplan-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := consumer.OpenStream(ctx, "cplan-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantA, err := a.StatRange(ctx, writerEpoch, te)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantB, err := b.StatRange(ctx, writerEpoch, te)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := ca.Query().Streams(cb).Range(writerEpoch, te).Iter(ctx)
+	if !it.Next() {
+		t.Fatalf("consumer plan empty: %v", it.Err())
+	}
+	agg := it.Agg()
+	if agg.Sum() != wantA.Sum+wantB.Sum || agg.Count() != wantA.Count+wantB.Count {
+		t.Errorf("consumer plan sum=%d count=%d, want %d/%d",
+			agg.Sum(), agg.Count(), wantA.Sum+wantB.Sum, wantA.Count+wantB.Count)
+	}
+
+	// Mixing an owned member with a granted member works too: each member
+	// contributes its own key material.
+	it = a.Query().Streams(cb).Range(writerEpoch, te).Iter(ctx)
+	if !it.Next() {
+		t.Fatalf("mixed plan empty: %v", it.Err())
+	}
+	if got := it.Agg().Sum(); got != wantA.Sum+wantB.Sum {
+		t.Errorf("mixed plan sum = %d, want %d", got, wantA.Sum+wantB.Sum)
+	}
+}
+
+// TestPlanLegacyPathUnchanged: a plan that uses neither Streams nor Stats
+// must execute over the original StatRange path (no AggRange on the wire)
+// and return identical results.
+func TestPlanLegacyPathUnchanged(t *testing.T) {
+	engine := newWriterEngine(t)
+	seen := &msgRecorder{inner: engine}
+	tr := &InProc{Engine: seen}
+	s := newWriterStream(t, tr, "legacy")
+	ctx := context.Background()
+	const chunks = 20
+	fillDeterministic(t, s, chunks, 7)
+	te := writerEpoch + chunks*1000
+
+	want, err := s.StatSeries(ctx, writerEpoch, te, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen.reset()
+	got, err := s.Query().Range(writerEpoch, te).Window(4).All(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("legacy cursor yielded %d windows, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Sum != want[i].Sum || got[i].Count != want[i].Count ||
+			got[i].FromChunk != want[i].FromChunk || got[i].ToChunk != want[i].ToChunk ||
+			got[i].Start != want[i].Start || got[i].End != want[i].End {
+			t.Errorf("window %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+	if seen.count(wire.TAggRange) != 0 {
+		t.Error("legacy single-stream query used AggRange")
+	}
+	if seen.count(wire.TStatRange) == 0 {
+		t.Error("legacy single-stream query issued no StatRange")
+	}
+}
+
+// msgRecorder tallies request types flowing through a handler.
+type msgRecorder struct {
+	inner server.Handler
+	mu    sync.Mutex
+	seen  map[wire.MsgType]int
+}
+
+func (r *msgRecorder) reset() {
+	r.mu.Lock()
+	r.seen = make(map[wire.MsgType]int)
+	r.mu.Unlock()
+}
+
+func (r *msgRecorder) count(t wire.MsgType) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seen[t]
+}
+
+func (r *msgRecorder) Handle(ctx context.Context, req wire.Message) wire.Message {
+	r.mu.Lock()
+	if r.seen == nil {
+		r.seen = make(map[wire.MsgType]int)
+	}
+	r.seen[req.Type()]++
+	r.mu.Unlock()
+	return r.inner.Handle(ctx, req)
+}
+
+// TestPlanStreamsOverTCP: a multi-stream windowed plan on a multiplexed
+// transport opens one server-push AggRange stream and yields the same
+// windows as the unary paging path.
+func TestPlanStreamsOverTCP(t *testing.T) {
+	engine := newWriterEngine(t)
+	addr := startSessionServer(t, engine)
+	tr, err := DialTCP(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	ctx := context.Background()
+
+	const chunks = 40
+	a := newWriterStream(t, tr, "tplan-a")
+	b := newWriterStream(t, tr, "tplan-b")
+	fillDeterministic(t, a, chunks, 3)
+	fillDeterministic(t, b, chunks, 9000)
+	te := writerEpoch + chunks*1000
+
+	inproc := &InProc{Engine: engine}
+	ownerA := NewOwner(inproc)
+	_ = ownerA // (unary reference computed over the same engine below)
+
+	it := a.Query().Streams(b).Range(writerEpoch, te).Window(4).PageSize(3).Iter(ctx)
+	var got []Agg
+	for it.Next() {
+		if it.stream == nil {
+			t.Fatal("plan cursor on a multiplexed transport did not open a stream")
+		}
+		got = append(got, it.Agg())
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unary reference: the same plan over a non-streaming transport.
+	// (The owner handles hold the keys, so rebuild the page path through
+	// the same streams by clearing the transport's Streamer-ness is not
+	// possible; instead compare against the client-side merge.)
+	wantA, err := a.StatSeries(ctx, writerEpoch, te, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantB, err := b.StatSeries(ctx, writerEpoch, te, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(wantA) {
+		t.Fatalf("streamed plan yielded %d windows, want %d", len(got), len(wantA))
+	}
+	for w := range got {
+		if got[w].Sum() != wantA[w].Sum+wantB[w].Sum || got[w].Count() != wantA[w].Count+wantB[w].Count {
+			t.Errorf("window %d: streamed %d/%d, want %d/%d",
+				w, got[w].Sum(), got[w].Count(), wantA[w].Sum+wantB[w].Sum, wantA[w].Count+wantB[w].Count)
+		}
+	}
+}
+
+// TestSlowCursorDoesNotStallSession: a cursor that stops draining its
+// server-push stream exhausts its credit and pauses server-side — while
+// unary calls on the same session keep completing. This is the per-stream
+// flow-control satellite: before credit, a slow consumer wedged the
+// session's reader pump for every call on the connection.
+func TestSlowCursorDoesNotStallSession(t *testing.T) {
+	engine := newWriterEngine(t)
+	addr := startSessionServer(t, engine)
+	tr, err := DialTCP(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	ctx := context.Background()
+
+	// Far more pages than the initial credit window: 256 windows at 1 per
+	// page vs wire.StreamInitialCredit = 8.
+	const chunks = 256
+	s := newWriterStream(t, tr, "slow-cursor")
+	w, err := s.Writer(ctx, WriterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < chunks; c++ {
+		start := writerEpoch + int64(c)*1000
+		if err := w.AppendChunk([]chunk.Point{{TS: start, Val: 1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	te := writerEpoch + chunks*1000
+
+	it := s.Query().Range(writerEpoch, te).Window(1).PageSize(1).Iter(ctx)
+	if !it.Next() {
+		t.Fatalf("cursor start: %v", it.Err())
+	}
+	// Stop draining. The server may push at most the remaining credit,
+	// then parks this stream. Unary traffic on the same session must keep
+	// completing promptly.
+	for i := 0; i < 50; i++ {
+		callCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		if _, err := s.StatRange(callCtx, writerEpoch, te); err != nil {
+			cancel()
+			t.Fatalf("unary call %d stalled behind a slow cursor: %v", i, err)
+		}
+		cancel()
+	}
+	// Resume draining: the stream picks up where it paused and completes.
+	n := 1
+	for it.Next() {
+		n++
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != chunks {
+		t.Errorf("resumed cursor yielded %d windows, want %d", n, chunks)
+	}
+}
+
+// TestCursorCloseRace hammers Cursor.Close concurrently with the final
+// page arriving and with double-Close; run under -race. The session must
+// stay healthy throughout.
+func TestCursorCloseRace(t *testing.T) {
+	engine := newWriterEngine(t)
+	addr := startSessionServer(t, engine)
+	tr, err := DialTCP(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	ctx := context.Background()
+
+	const chunks = 12
+	s := newWriterStream(t, tr, "close-race")
+	fillDeterministic(t, s, chunks, 1)
+	te := writerEpoch + chunks*1000
+
+	for round := 0; round < 60; round++ {
+		it := s.Query().Range(writerEpoch, te).Window(1).PageSize(2).Iter(ctx)
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for it.Next() {
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			it.Close()
+			it.Close() // idempotent
+		}()
+		wg.Wait()
+		it.Close() // safe after the race too
+		if err := it.Err(); err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, io.EOF) {
+			t.Fatalf("round %d: unexpected cursor error %v", round, err)
+		}
+	}
+	// The transport survived every race: a fresh query still works.
+	if _, err := s.StatRange(ctx, writerEpoch, te); err != nil {
+		t.Fatalf("session unhealthy after close races: %v", err)
+	}
+	sess, err := tr.session()
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "in-flight drain after close races", func() bool { return sess.InFlight() == 0 })
+}
+
+// TestPlanRejectsTypedNilAndBadStat: typed-nil handles and unknown stat
+// selectors surface as errors at iteration, never panics or silent
+// full-vector fallbacks.
+func TestPlanRejectsTypedNilAndBadStat(t *testing.T) {
+	engine := newWriterEngine(t)
+	tr := &InProc{Engine: engine}
+	s := newWriterStream(t, tr, "nilplan")
+	fillDeterministic(t, s, 8, 1)
+	ctx := context.Background()
+	te := writerEpoch + 8*1000
+
+	var nilOwner *OwnerStream
+	if _, err := s.Query().Streams(nilOwner).Range(writerEpoch, te).Aggs(ctx); err == nil {
+		t.Error("typed-nil member accepted")
+	}
+	var nilConsumer *ConsumerStream
+	if _, err := s.Query().Streams(nilConsumer).Range(writerEpoch, te).Aggs(ctx); err == nil {
+		t.Error("typed-nil consumer member accepted")
+	}
+	if _, err := s.Query().Range(writerEpoch, te).Stats(Stat(99)).Aggs(ctx); err == nil {
+		t.Error("unknown stat selector accepted")
+	}
+}

@@ -1,50 +1,62 @@
 package client
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"io"
+	"sync"
 
+	"repro/internal/chunk"
 	"repro/internal/wire"
 )
 
 // defaultPageWindows is how many windows a cursor fetches per round trip.
 const defaultPageWindows = 64
 
-// QueryBuilder assembles a statistical query fluently and evaluates it
-// lazily through a Cursor:
-//
-//	it := s.Query().Range(ts, te).Window(6).Iter(ctx)
-//	for it.Next() {
-//		r := it.Result()
-//		...
-//	}
-//	if err := it.Err(); err != nil { ... }
-//
-// Window(0) (the default) asks for one aggregate over the whole range;
-// Window(n) for one aggregate per n chunks, paged from the server PageSize
-// windows at a time instead of materializing the whole series.
-type QueryBuilder struct {
+// Stat is a typed statistic selector for query plans (re-exported from
+// chunk, which owns the digest layout the selectors map onto).
+type Stat = chunk.Stat
+
+// Typed statistic selectors for QueryBuilder.Stats.
+const (
+	Sum   = chunk.StatSum
+	Count = chunk.StatCount
+	Mean  = chunk.StatMean
+	Var   = chunk.StatVar
+	Stdev = chunk.StatStdev
+	Hist  = chunk.StatHist
+)
+
+// member is one stream of a query plan: its view (geometry + transport)
+// and the decrypter resolver for a given window size.
+type member struct {
 	v      *view
 	decFor func(ctx context.Context, windowChunks uint64) (windowDecrypter, error)
-	ts, te int64
-	window uint64
-	page   int
 }
 
-// Query starts a query on an owned stream.
-func (s *OwnerStream) Query() *QueryBuilder {
-	return &QueryBuilder{
+// Queryable is a stream handle a query plan can aggregate over:
+// *OwnerStream and *ConsumerStream implement it. A plan mixing owned and
+// granted streams works — each member contributes its own key material.
+type Queryable interface {
+	queryMember() member
+}
+
+func (s *OwnerStream) queryMember() member {
+	if s == nil {
+		return member{} // typed-nil handle: surfaced as a builder error
+	}
+	return member{
 		v:      &s.view,
 		decFor: func(context.Context, uint64) (windowDecrypter, error) { return s.dec, nil },
-		page:   defaultPageWindows,
 	}
 }
 
-// Query starts a query on a granted stream. Window sizes must be decryptable
-// under the consumer's grants, exactly as for StatSeries.
-func (cs *ConsumerStream) Query() *QueryBuilder {
-	return &QueryBuilder{
+func (cs *ConsumerStream) queryMember() member {
+	if cs == nil {
+		return member{}
+	}
+	return member{
 		v: &cs.view,
 		decFor: func(ctx context.Context, windowChunks uint64) (windowDecrypter, error) {
 			if windowChunks == 0 {
@@ -55,8 +67,88 @@ func (cs *ConsumerStream) Query() *QueryBuilder {
 			}
 			return cs.decrypterFor(ctx, windowChunks)
 		},
-		page: defaultPageWindows,
 	}
+}
+
+// QueryBuilder assembles a statistical query plan fluently and evaluates
+// it lazily through a Cursor:
+//
+//	it := a.Query().Streams(b, c).Range(ts, te).Window(6).Stats(Sum, Mean).Iter(ctx)
+//	for it.Next() {
+//		agg := it.Agg()
+//		...
+//	}
+//	if err := it.Err(); err != nil { ... }
+//
+// Range/Window behave as before: Window(0) (the default) asks for one
+// aggregate over the whole range; Window(n) for one aggregate per n
+// chunks, paged from the server PageSize windows at a time.
+//
+// Streams adds member streams: the server homomorphically sums the
+// per-window digests across every member before responding, so a whole
+// population aggregates in one round trip per page. Stats selects typed
+// statistics; the plan then fetches (and decrypts) only the digest
+// elements those statistics need. A plan that uses neither is the
+// degenerate single-stream query and executes exactly as it always has,
+// yielding the monolithic StatResult.
+type QueryBuilder struct {
+	members []member
+	stats   chunk.StatSet
+	typed   bool // Streams or Stats was called: execute as a typed plan
+	ts, te  int64
+	window  uint64
+	page    int
+	err     error // deferred builder error, surfaced at iteration
+}
+
+// Query starts a query on an owned stream.
+func (s *OwnerStream) Query() *QueryBuilder {
+	return &QueryBuilder{members: []member{s.queryMember()}, page: defaultPageWindows}
+}
+
+// Query starts a query on a granted stream. Window sizes must be
+// decryptable under the consumer's grants, exactly as for StatSeries.
+func (cs *ConsumerStream) Query() *QueryBuilder {
+	return &QueryBuilder{members: []member{cs.queryMember()}, page: defaultPageWindows}
+}
+
+// Streams adds member streams to the plan. Every member must share the
+// anchor stream's geometry (epoch, interval, digest spec), and decryption
+// requires key material — ownership or grants at a compatible resolution —
+// for every member: the combined aggregate is encrypted under the sum of
+// the members' keystreams, so missing any one keystream leaves only noise
+// (§4.3: a principal can only decrypt an inter-stream result if granted
+// access to all streams involved). The plan executes over the anchor
+// stream's transport.
+func (q *QueryBuilder) Streams(more ...Queryable) *QueryBuilder {
+	q.typed = true
+	for _, s := range more {
+		if s == nil {
+			q.err = fmt.Errorf("client: nil stream in query plan")
+			return q
+		}
+		m := s.queryMember()
+		if m.v == nil {
+			// A typed-nil *OwnerStream/*ConsumerStream passes the
+			// interface nil check above but carries no stream.
+			q.err = fmt.Errorf("client: nil stream in query plan")
+			return q
+		}
+		q.members = append(q.members, m)
+	}
+	return q
+}
+
+// Stats selects the typed statistics the plan answers; the server projects
+// the encrypted aggregates down to the digest elements those statistics
+// need, so nothing else is shipped or decrypted. With no arguments the
+// plan stays typed but carries every statistic the stream's digest
+// supports. Selecting a statistic the digest cannot answer (e.g. Var on a
+// sum-only stream) fails at iteration.
+func (q *QueryBuilder) Stats(stats ...Stat) *QueryBuilder {
+	q.typed = true
+	q.stats |= chunk.NewStatSet(stats...)
+	return q
 }
 
 // Range restricts the query to [ts, te) (Unix ms).
@@ -99,14 +191,80 @@ func (q *QueryBuilder) All(ctx context.Context) ([]StatResult, error) {
 	return out, it.Err()
 }
 
+// Aggs drains a cursor into typed window aggregates.
+func (q *QueryBuilder) Aggs(ctx context.Context) ([]Agg, error) {
+	it := q.Iter(ctx)
+	defer it.Close()
+	var out []Agg
+	for it.Next() {
+		out = append(out, it.Agg())
+	}
+	return out, it.Err()
+}
+
+// Agg is one decrypted window of a typed query plan: the combined
+// statistics of every member stream over [Start, End). Accessors for
+// statistics the plan did not select return zero values (NaN for the
+// float moments); check Has first when the selection is dynamic.
+type Agg struct {
+	// Start/End bound the aggregated interval in Unix ms.
+	Start, End int64
+	// FromChunk/ToChunk are the aggregated chunk positions [From, To).
+	FromChunk, ToChunk uint64
+	// StreamCount is how many member streams the aggregate combines.
+	StreamCount int
+
+	res   chunk.Result
+	avail chunk.StatSet
+}
+
+// Stats reports the statistics this aggregate carries.
+func (a Agg) Stats() chunk.StatSet { return a.avail }
+
+// Has reports whether the aggregate carries statistic s.
+func (a Agg) Has(s Stat) bool { return a.avail.Has(s) }
+
+// Sum returns the combined value sum.
+func (a Agg) Sum() int64 { return a.res.Sum }
+
+// Count returns the combined record count.
+func (a Agg) Count() uint64 { return a.res.Count }
+
+// Mean returns the combined mean (NaN without Sum+Count or on no data).
+func (a Agg) Mean() float64 { return a.res.Mean }
+
+// Var returns the combined population variance (NaN unless selected).
+func (a Agg) Var() float64 { return a.res.Var }
+
+// Stdev returns the combined standard deviation (NaN unless selected).
+func (a Agg) Stdev() float64 { return a.res.Stdev }
+
+// Hist returns the combined per-bin frequency counts (nil unless the
+// histogram was selected).
+func (a Agg) Hist() []uint64 { return a.res.Hist }
+
+// Result exposes the underlying monolithic result for callers bridging
+// from the untyped API; unselected statistics are zero-valued.
+func (a Agg) Result() chunk.Result { return a.res }
+
+// statResult converts back to the legacy StatResult shape.
+func (a Agg) statResult() StatResult {
+	return StatResult{
+		Result: a.res, Start: a.Start, End: a.End,
+		FromChunk: a.FromChunk, ToChunk: a.ToChunk,
+	}
+}
+
 // Cursor pages the windows of a statistical query lazily, decrypting one
-// page at a time and handing them out one Result per Next. On a
-// multiplexed transport (Streamer) it opens a wire.QueryStream and the
-// server pushes successive pages tagged with the cursor's correlation ID —
-// no per-page round trip; on serialized transports each page is a
-// StatRange round trip. The iteration bound is pinned to the stream's
-// ingest progress at first use, so a cursor sees a consistent prefix even
-// while ingest continues.
+// page at a time and handing them out one window per Next. On a
+// multiplexed transport (Streamer) it opens a server-push stream
+// (wire.QueryStream, or wire.AggRange with PageWindows for typed plans)
+// and the server pushes successive pages tagged with the cursor's
+// correlation ID — no per-page round trip; on serialized transports each
+// page is one round trip. The iteration bound is pinned to the streams'
+// ingest progress at first use (one batched round trip for multi-stream
+// plans), so a cursor sees a consistent prefix even while ingest
+// continues.
 type Cursor struct {
 	ctx context.Context
 	q   *QueryBuilder
@@ -114,22 +272,32 @@ type Cursor struct {
 	started bool
 	done    bool
 	err     error
-	dec     windowDecrypter
+
+	// Legacy single-stream path.
+	dec windowDecrypter
+
+	// Typed plan path.
+	decs  []elemDecrypter
+	elems []uint32 // projection; nil = full vectors
+	avail chunk.StatSet
 
 	stream *Stream // non-nil: server-pushed pages
 
-	page []StatResult
+	page []Agg
 	pos  int
 
 	next uint64 // next chunk position to fetch
 	end  uint64 // iteration bound (window-aligned)
+
+	closeMu sync.Mutex
+	closed  bool
 }
 
 // Next advances to the next window, fetching a page from the server when
-// the current one is exhausted. It returns false at the end of the range or
-// on error (check Err).
+// the current one is exhausted. It returns false at the end of the range,
+// after Close, or on error (check Err).
 func (c *Cursor) Next() bool {
-	if c.err != nil {
+	if c.err != nil || c.isClosed() {
 		return false
 	}
 	if !c.started {
@@ -151,33 +319,55 @@ func (c *Cursor) Next() bool {
 	return true
 }
 
-// Result returns the window at the cursor. Only valid after a true Next.
-func (c *Cursor) Result() StatResult { return c.page[c.pos] }
+// Result returns the window at the cursor in the legacy monolithic shape.
+// Only valid after a true Next. On a typed plan, statistics outside the
+// selection are zero-valued — use Agg for the typed accessors.
+func (c *Cursor) Result() StatResult { return c.page[c.pos].statResult() }
+
+// Agg returns the window at the cursor as a typed aggregate. Only valid
+// after a true Next.
+func (c *Cursor) Agg() Agg { return c.page[c.pos] }
 
 // Err reports the first failure, if any; a cleanly exhausted cursor
 // returns nil.
 func (c *Cursor) Err() error { return c.err }
 
-// start resolves the decrypter and pins the iteration bounds: scalar
-// queries resolve to a single aggregate; windowed queries read the
-// stream's ingest progress once and page over the window grid.
+// start pins the iteration bounds and resolves decrypters: scalar queries
+// resolve to a single aggregate; windowed queries read the streams' ingest
+// progress once and page over the window grid.
 func (c *Cursor) start() {
 	c.started = true
 	c.pos = -1
+	if c.q.err != nil {
+		c.err = c.q.err
+		return
+	}
+	if c.q.typed || len(c.q.members) > 1 {
+		c.startPlan()
+		return
+	}
+	c.startLegacy()
+}
+
+// startLegacy is the degenerate one-stream, untyped plan: the exact
+// StatRange/QueryStream execution path this API has always had.
+func (c *Cursor) startLegacy() {
 	q := c.q
-	dec, err := q.decFor(c.ctx, q.window)
+	m := q.members[0]
+	dec, err := m.decFor(c.ctx, q.window)
 	if err != nil {
 		c.err = err
 		return
 	}
 	c.dec = dec
+	v := m.v
 	if q.window == 0 {
-		res, err := q.v.statRange(c.ctx, dec, q.ts, q.te)
+		res, err := v.statRange(c.ctx, dec, q.ts, q.te)
 		if err != nil {
 			c.err = err
 			return
 		}
-		c.page = []StatResult{res}
+		c.page = []Agg{legacyAgg(res, v.spec.AllStats())}
 		c.done = true
 		return
 	}
@@ -185,12 +375,199 @@ func (c *Cursor) start() {
 		c.err = fmt.Errorf("client: empty query range [%d,%d)", q.ts, q.te)
 		return
 	}
-	info, err := call[*wire.StreamInfoResp](c.ctx, q.v.t, &wire.StreamInfo{UUID: q.v.uuid})
+	info, err := call[*wire.StreamInfoResp](c.ctx, v.t, &wire.StreamInfo{UUID: v.uuid})
 	if err != nil {
 		c.err = err
 		return
 	}
-	v := q.v
+	if !c.pinBounds(v, info.Count) {
+		return
+	}
+	if st, ok := v.t.(Streamer); ok {
+		// Multiplexed transport: one QueryStream request, the server
+		// pushes every page. The grid-aligned range is sent verbatim.
+		stream, err := st.Stream(c.ctx, &wire.QueryStream{
+			UUID:         v.uuid,
+			Ts:           v.chunkStart(c.next),
+			Te:           v.chunkStart(c.end),
+			WindowChunks: q.window,
+			PageWindows:  uint32(c.pageWindows()),
+		})
+		if err != nil {
+			c.err = err
+			return
+		}
+		c.setStream(stream)
+	}
+}
+
+// startPlan executes a typed plan: geometry validation across members,
+// stat-mask projection, per-member decrypters, and AggRange execution.
+func (c *Cursor) startPlan() {
+	q := c.q
+	anchor := q.members[0].v
+	spec := anchor.spec
+	specBytes, err := spec.MarshalBinary()
+	if err != nil {
+		c.err = err
+		return
+	}
+	seen := make(map[string]bool, len(q.members))
+	for _, m := range q.members {
+		if seen[m.v.uuid] {
+			c.err = fmt.Errorf("client: stream %q appears twice in the plan", m.v.uuid)
+			return
+		}
+		seen[m.v.uuid] = true
+		if m.v.epoch != anchor.epoch || m.v.interval != anchor.interval {
+			c.err = fmt.Errorf("client: stream %q geometry differs from %q (plans need matching epoch/interval)", m.v.uuid, anchor.uuid)
+			return
+		}
+		mb, err := m.v.spec.MarshalBinary()
+		if err != nil {
+			c.err = err
+			return
+		}
+		if !bytes.Equal(mb, specBytes) {
+			c.err = fmt.Errorf("client: stream %q digest spec differs from %q (plans need one digest layout)", m.v.uuid, anchor.uuid)
+			return
+		}
+	}
+	// Map the stat mask onto digest elements. No selection means every
+	// statistic the digest supports, shipped unprojected.
+	if q.stats != 0 {
+		elems, err := spec.ElemsFor(q.stats)
+		if err != nil {
+			c.err = err
+			return
+		}
+		if len(elems) < spec.VectorLen() {
+			c.elems = elems
+		}
+	}
+	c.avail = spec.StatsForElems(c.elems)
+	// Resolve one decrypter per member; all concrete decrypters support
+	// projected windows.
+	c.decs = make([]elemDecrypter, len(q.members))
+	for i, m := range q.members {
+		dec, err := m.decFor(c.ctx, q.window)
+		if err != nil {
+			c.err = fmt.Errorf("client: stream %q: %w", m.v.uuid, err)
+			return
+		}
+		ed, ok := dec.(elemDecrypter)
+		if !ok {
+			c.err = fmt.Errorf("client: stream %q decrypter cannot decrypt projected aggregates", m.v.uuid)
+			return
+		}
+		c.decs[i] = ed
+	}
+	uuids := c.planUUIDs()
+	if q.window == 0 {
+		resp, err := call[*wire.AggRangeResp](c.ctx, anchor.t, &wire.AggRange{
+			UUIDs: uuids, Ts: q.ts, Te: q.te, Elems: c.elems,
+		})
+		if err != nil {
+			c.err = err
+			return
+		}
+		if len(resp.Windows) != 1 {
+			c.err = fmt.Errorf("client: server returned %d windows for scalar plan", len(resp.Windows))
+			return
+		}
+		page, err := c.decodeAggPage(resp, 0)
+		if err != nil {
+			c.err = err
+			return
+		}
+		c.page = page
+		c.done = true
+		return
+	}
+	if q.te <= q.ts {
+		c.err = fmt.Errorf("client: empty query range [%d,%d)", q.ts, q.te)
+		return
+	}
+	// Pin the iteration bound to the shortest member's ingest progress —
+	// one round trip even for a 16-stream plan, via a Batch of StreamInfo
+	// sub-requests.
+	count, err := c.minCount(anchor.t, uuids)
+	if err != nil {
+		c.err = err
+		return
+	}
+	if !c.pinBounds(anchor, count) {
+		return
+	}
+	if st, ok := anchor.t.(Streamer); ok {
+		// Multiplexed transport: one AggRange opens a server-push stream.
+		stream, err := st.Stream(c.ctx, &wire.AggRange{
+			UUIDs:        uuids,
+			Ts:           anchor.chunkStart(c.next),
+			Te:           anchor.chunkStart(c.end),
+			WindowChunks: q.window,
+			Elems:        c.elems,
+			PageWindows:  uint32(c.pageWindows()),
+		})
+		if err != nil {
+			c.err = err
+			return
+		}
+		c.setStream(stream)
+	}
+}
+
+// planUUIDs lists the member stream UUIDs in plan order.
+func (c *Cursor) planUUIDs() []string {
+	uuids := make([]string, len(c.q.members))
+	for i, m := range c.q.members {
+		uuids[i] = m.v.uuid
+	}
+	return uuids
+}
+
+// minCount fetches every member's ingest progress in one round trip and
+// returns the smallest.
+func (c *Cursor) minCount(t Transport, uuids []string) (uint64, error) {
+	if len(uuids) == 1 {
+		info, err := call[*wire.StreamInfoResp](c.ctx, t, &wire.StreamInfo{UUID: uuids[0]})
+		if err != nil {
+			return 0, err
+		}
+		return info.Count, nil
+	}
+	b := &wire.Batch{Reqs: make([]wire.Message, len(uuids))}
+	for i, uuid := range uuids {
+		b.Reqs[i] = &wire.StreamInfo{UUID: uuid}
+	}
+	resp, err := call[*wire.BatchResp](c.ctx, t, b)
+	if err != nil {
+		return 0, err
+	}
+	if len(resp.Resps) != len(uuids) {
+		return 0, fmt.Errorf("client: stream metadata batch came back short (%d of %d)", len(resp.Resps), len(uuids))
+	}
+	var count uint64
+	for i, sub := range resp.Resps {
+		info, ok := sub.(*wire.StreamInfoResp)
+		if !ok {
+			if e, isErr := sub.(*wire.Error); isErr {
+				return 0, fmt.Errorf("client: stream %q: %w", uuids[i], e)
+			}
+			return 0, fmt.Errorf("client: unexpected metadata response %T", sub)
+		}
+		if i == 0 || info.Count < count {
+			count = info.Count
+		}
+	}
+	return count, nil
+}
+
+// pinBounds maps the query range onto the window grid, clamped to count
+// ingested chunks. It returns false (with done or err set) when no
+// complete window lies in range.
+func (c *Cursor) pinBounds(v *view, count uint64) bool {
+	q := c.q
 	ts := q.ts
 	if ts < v.epoch {
 		ts = v.epoch
@@ -199,11 +576,11 @@ func (c *Cursor) start() {
 	bInt := (q.te - v.epoch + v.interval - 1) / v.interval
 	if bInt <= 0 {
 		c.done = true // range precedes the epoch entirely
-		return
+		return false
 	}
 	b := uint64(bInt)
-	if b > info.Count {
-		b = info.Count
+	if b > count {
+		b = count
 	}
 	// Align to the absolute window grid, like the server does, so
 	// resolution-restricted consumers can decrypt every page.
@@ -211,47 +588,106 @@ func (c *Cursor) start() {
 	b = (b / q.window) * q.window
 	if a >= b {
 		c.done = true // no complete window in range
-		return
+		return false
 	}
 	c.next, c.end = a, b
-	if st, ok := q.v.t.(Streamer); ok {
-		// Multiplexed transport: one QueryStream request, the server
-		// pushes every page. The grid-aligned range is sent verbatim.
-		pageWindows := q.page
-		if pageWindows > wire.MaxPageWindows {
-			pageWindows = wire.MaxPageWindows
-		}
-		stream, err := st.Stream(c.ctx, &wire.QueryStream{
-			UUID:         v.uuid,
-			Ts:           v.chunkStart(a),
-			Te:           v.chunkStart(b),
-			WindowChunks: q.window,
-			PageWindows:  uint32(pageWindows),
-		})
-		if err != nil {
-			c.err = err
-			return
-		}
-		c.stream = stream
+	return true
+}
+
+// pageWindows clamps the configured page size to the protocol bound.
+func (c *Cursor) pageWindows() int {
+	if c.q.page > wire.MaxPageWindows {
+		return wire.MaxPageWindows
 	}
+	return c.q.page
+}
+
+// setStream installs a server-push stream unless the cursor was closed
+// while start was in flight (the race loser reclaims the stream).
+func (c *Cursor) setStream(stream *Stream) {
+	c.closeMu.Lock()
+	if c.closed {
+		c.closeMu.Unlock()
+		stream.Close()
+		c.done = true
+		return
+	}
+	c.stream = stream
+	c.closeMu.Unlock()
 }
 
 // fetch retrieves and decrypts the next page of windows: received from the
 // server-pushed stream when one is open, requested round trip by round
 // trip otherwise.
 func (c *Cursor) fetch() {
-	q := c.q
-	v := q.v
 	if c.stream != nil {
-		msg, err := c.stream.Recv()
+		c.fetchStreamed()
+		return
+	}
+	q := c.q
+	v := q.members[0].v
+	hi := c.next + uint64(q.page)*q.window
+	if hi > c.end {
+		hi = c.end
+	}
+	if c.decs != nil {
+		resp, err := call[*wire.AggRangeResp](c.ctx, v.t, &wire.AggRange{
+			UUIDs: c.planUUIDs(), Ts: v.chunkStart(c.next), Te: v.chunkStart(hi),
+			WindowChunks: q.window, Elems: c.elems,
+		})
 		if err != nil {
-			if err == io.EOF {
-				c.done = true
-				return
-			}
 			c.err = err
 			return
 		}
+		page, err := c.decodeAggPage(resp, q.window)
+		if err != nil {
+			c.err = err
+			return
+		}
+		c.page = page
+	} else {
+		res, err := v.statSeries(c.ctx, c.dec, v.chunkStart(c.next), v.chunkStart(hi), q.window)
+		if err != nil {
+			c.err = err
+			return
+		}
+		c.page = legacyAggs(res, v.spec.AllStats())
+	}
+	c.pos = 0
+	c.next = hi
+	if c.next >= c.end {
+		c.done = true
+	}
+}
+
+// fetchStreamed consumes one server-pushed page.
+func (c *Cursor) fetchStreamed() {
+	q := c.q
+	v := q.members[0].v
+	msg, err := c.stream.Recv()
+	if err != nil {
+		if err == io.EOF {
+			c.done = true
+			return
+		}
+		c.err = err
+		return
+	}
+	if c.decs != nil {
+		page, ok := msg.(*wire.AggRangeResp)
+		if !ok {
+			c.err = fmt.Errorf("client: unexpected stream page %T", msg)
+			c.stream.Close()
+			return
+		}
+		res, err := c.decodeAggPage(page, q.window)
+		if err != nil {
+			c.err = err
+			c.stream.Close()
+			return
+		}
+		c.page = res
+	} else {
 		page, ok := msg.(*wire.StatRangeResp)
 		if !ok {
 			c.err = fmt.Errorf("client: unexpected stream page %T", msg)
@@ -264,33 +700,100 @@ func (c *Cursor) fetch() {
 			c.stream.Close()
 			return
 		}
-		c.page = res
-		c.pos = 0
-		return
+		c.page = legacyAggs(res, v.spec.AllStats())
 	}
-	hi := c.next + uint64(q.page)*q.window
-	if hi > c.end {
-		hi = c.end
-	}
-	res, err := v.statSeries(c.ctx, c.dec, v.chunkStart(c.next), v.chunkStart(hi), q.window)
-	if err != nil {
-		c.err = err
-		return
-	}
-	c.page = res
 	c.pos = 0
-	c.next = hi
-	if c.next >= c.end {
-		c.done = true
+}
+
+// decodeAggPage decrypts and interprets one AggRangeResp: each window's
+// combined ciphertext has every member's keystream peeled off in turn
+// (the keystream of a sum of streams is the sum of their keystreams), then
+// the plaintext vector is interpreted under the plan's projection.
+// windowChunks 0 means one window spanning [FromChunk, ToChunk).
+func (c *Cursor) decodeAggPage(resp *wire.AggRangeResp, windowChunks uint64) ([]Agg, error) {
+	if int(resp.StreamCount) != len(c.q.members) {
+		return nil, fmt.Errorf("client: server combined %d of %d member streams", resp.StreamCount, len(c.q.members))
+	}
+	v := c.q.members[0].v
+	spec := v.spec
+	out := make([]Agg, 0, len(resp.Windows))
+	for w, vec := range resp.Windows {
+		i, j := resp.FromChunk, resp.ToChunk
+		if windowChunks > 0 {
+			i = resp.FromChunk + uint64(w)*windowChunks
+			j = i + windowChunks
+		}
+		pt := append([]uint64(nil), vec...)
+		var err error
+		for k, dec := range c.decs {
+			if c.elems != nil {
+				pt, err = dec.DecryptWindowElems(i, j, c.elems, pt)
+			} else {
+				pt, err = dec.DecryptWindow(i, j, pt)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("client: window %d, stream %q: %w", w, c.q.members[k].v.uuid, err)
+			}
+		}
+		var r chunk.Result
+		if c.elems != nil {
+			r, err = spec.InterpretElems(c.elems, pt)
+		} else {
+			r, err = spec.Interpret(pt)
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Agg{
+			Start: v.chunkStart(i), End: v.chunkStart(j),
+			FromChunk: i, ToChunk: j,
+			StreamCount: int(resp.StreamCount),
+			res:         r, avail: c.avail,
+		})
+	}
+	return out, nil
+}
+
+// legacyAgg wraps a monolithic StatResult as a single-stream aggregate.
+func legacyAgg(r StatResult, avail chunk.StatSet) Agg {
+	return Agg{
+		Start: r.Start, End: r.End,
+		FromChunk: r.FromChunk, ToChunk: r.ToChunk,
+		StreamCount: 1, res: r.Result, avail: avail,
 	}
 }
 
+func legacyAggs(rs []StatResult, avail chunk.StatSet) []Agg {
+	out := make([]Agg, len(rs))
+	for i, r := range rs {
+		out[i] = legacyAgg(r, avail)
+	}
+	return out
+}
+
+// isClosed reports whether Close ended the cursor.
+func (c *Cursor) isClosed() bool {
+	c.closeMu.Lock()
+	defer c.closeMu.Unlock()
+	return c.closed
+}
+
 // Close releases a cursor abandoned before exhaustion: an open server
-// stream is canceled and its in-flight frames discarded. Safe on drained,
-// failed, and never-started cursors, and idempotent.
+// stream is canceled (the server stops paging) and its in-flight frames
+// discarded, and subsequent Next calls return false. Safe on drained,
+// failed, and never-started cursors; idempotent; and safe concurrently
+// with a final page arriving.
 func (c *Cursor) Close() error {
-	if c.stream != nil {
-		return c.stream.Close()
+	c.closeMu.Lock()
+	if c.closed {
+		c.closeMu.Unlock()
+		return nil
+	}
+	c.closed = true
+	st := c.stream
+	c.closeMu.Unlock()
+	if st != nil {
+		return st.Close()
 	}
 	return nil
 }

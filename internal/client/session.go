@@ -80,6 +80,7 @@ type Call struct {
 
 	timeoutMS int64
 	stream    *Stream // non-nil for streamed calls
+	ctrl      bool    // flow-control frame: correlation ID 0, no slot, no response
 
 	// written/dropped guard the send/cancel race (both under sess.mu):
 	// the writer pump marks a call written before putting it on the wire,
@@ -112,7 +113,7 @@ func NewSession(conn net.Conn, opts SessionOptions) *Session {
 	}
 	s := &Session{
 		conn:       conn,
-		sendq:      make(chan *Call, window),
+		sendq:      make(chan *Call, window+16), // slack for slotless flow-control frames
 		slots:      make(chan struct{}, window),
 		die:        make(chan struct{}),
 		pending:    make(map[uint64]*Call),
@@ -219,6 +220,17 @@ func (s *Session) Stream(ctx context.Context, req wire.Message) (*Stream, error)
 	return c.stream, nil
 }
 
+// sendCredit queues a flow-control frame granting a streamed call more
+// pages (0 = stop paging). Credit frames ride correlation ID 0, hold no
+// window slot, and earn no response; a dead session just drops them.
+func (s *Session) sendCredit(id uint64, pages uint32) {
+	c := &Call{req: &wire.StreamCredit{ID: id, Pages: pages}, ctrl: true}
+	select {
+	case s.sendq <- c:
+	case <-s.die:
+	}
+}
+
 // Close fails all in-flight calls and closes the connection. Safe to call
 // concurrently with in-flight calls — they unblock with an error rather
 // than wedging shutdown.
@@ -255,6 +267,22 @@ func (s *Session) writePump() {
 		case c = <-s.sendq:
 		case <-s.die:
 			return
+		}
+		if c.ctrl {
+			// Flow-control frames ride correlation ID 0: they earn no
+			// response and hold no window slot, so they cannot deadlock
+			// against a full pending table.
+			if err := wire.WriteRequest(bw, 0, 0, c.req); err != nil {
+				s.fail(fmt.Errorf("writing credit: %w", err), true)
+				return
+			}
+			if len(s.sendq) == 0 {
+				if err := bw.Flush(); err != nil {
+					s.fail(fmt.Errorf("flushing credit: %w", err), true)
+					return
+				}
+			}
+			continue
 		}
 		s.mu.Lock()
 		dropped := c.dropped
@@ -349,13 +377,12 @@ func (s *Session) dispatch(id uint64, more bool, msg wire.Message) error {
 		c.finished = true
 		s.mu.Unlock()
 		<-s.slots
-		c.stream.finish(msg)
+		err := c.stream.finish(msg)
 		close(c.done)
-		return nil
+		return err
 	}
 	s.mu.Unlock()
-	c.stream.deliver(msg)
-	return nil
+	return c.stream.deliver(msg)
 }
 
 // cancel abandons a call: it leaves the pending table immediately and, if
@@ -456,10 +483,24 @@ func (c *Call) Wait(ctx context.Context) (wire.Message, error) {
 // Cancel abandons the call with context.Canceled semantics.
 func (c *Call) Cancel() { c.sess.cancel(c, context.Canceled) }
 
+// replenishPages is how many consumed pages a stream acknowledges at once:
+// half the initial window, so a steadily draining consumer keeps the
+// server paging ahead without a credit frame per page.
+const replenishPages = wire.StreamInitialCredit / 2
+
 // Stream is a streamed response: successive frames pushed by the server
 // for one correlation ID. Recv returns frames in order and io.EOF at a
 // clean end; Close abandons the stream early. Not safe for concurrent
-// Recv.
+// Recv, but Close is idempotent and safe concurrently with Recv and with
+// the final frame arriving.
+//
+// Flow control is credit-based: the server may have at most
+// wire.StreamInitialCredit unconsumed pages outstanding (exactly this
+// stream's buffer capacity), and Recv acknowledges drained pages in
+// batches of replenishPages so the server keeps paging. A consumer that
+// stops draining therefore pauses its own stream server-side — the
+// session's reader pump never blocks on a full stream buffer, and every
+// other call on the connection keeps completing.
 type Stream struct {
 	call *Call
 	ctx  context.Context
@@ -473,28 +514,37 @@ type Stream struct {
 	term     chan struct{} // closed once termErr is set
 	termErr  error         // io.EOF on a clean end
 
-	recvErr error // consumer-side latch; later Recvs repeat it
+	mu      sync.Mutex
+	recvErr error  // consumer-side latch; later Recvs repeat it
+	unacked uint32 // pages drained since the last credit grant
 }
 
 func newStream(c *Call, ctx context.Context) *Stream {
 	return &Stream{
 		call:   c,
 		ctx:    ctx,
-		frames: make(chan wire.Message, 16),
+		frames: make(chan wire.Message, wire.StreamInitialCredit),
 		gone:   make(chan struct{}),
 		term:   make(chan struct{}),
 	}
 }
 
 // deliver hands one intermediate frame to the consumer. Called only from
-// the session's reader pump; blocking here is flow control — the pump
-// stops reading the socket until the consumer drains — released if the
-// consumer abandons the stream or the session dies.
-func (st *Stream) deliver(msg wire.Message) {
+// the session's reader pump. It never blocks: credit accounting guarantees
+// a conforming server cannot overflow the buffer, so a full buffer is a
+// protocol violation that kills the session (a hostile flooder must not
+// wedge the pump — per-stream isolation is the point of the credit).
+func (st *Stream) deliver(msg wire.Message) error {
 	select {
 	case st.frames <- msg:
+		return nil
+	default:
+	}
+	select {
 	case <-st.gone:
-	case <-st.call.sess.die:
+		return nil // abandoned: the frame would be discarded anyway
+	default:
+		return fmt.Errorf("stream %d overflowed its credit window", st.call.id)
 	}
 }
 
@@ -502,16 +552,18 @@ func (st *Stream) deliver(msg wire.Message) {
 // fails it, OK is a clean end, and any other message is a last payload
 // followed by EOF. Called only from the reader pump, after every
 // intermediate frame has been delivered.
-func (st *Stream) finish(msg wire.Message) {
+func (st *Stream) finish(msg wire.Message) error {
 	switch m := msg.(type) {
 	case *wire.Error:
 		st.terminate(m)
 	case *wire.OK:
 		st.terminate(io.EOF)
 	default:
-		st.deliver(m)
+		err := st.deliver(m)
 		st.terminate(io.EOF)
+		return err
 	}
+	return nil
 }
 
 // terminate latches the stream's terminal error (idempotent; io.EOF for a
@@ -527,27 +579,38 @@ func (st *Stream) terminate(err error) {
 // error that terminated the stream. The context passed to Session.Stream
 // governs it: cancellation abandons the stream.
 func (st *Stream) Recv() (wire.Message, error) {
-	if st.recvErr != nil {
-		return nil, st.recvErr
+	st.mu.Lock()
+	err := st.recvErr
+	st.mu.Unlock()
+	if err != nil {
+		return nil, err
 	}
 	// Buffered frames drain before the terminal state applies: the reader
 	// pump delivered them all before it could mark termination.
 	select {
 	case msg := <-st.frames:
+		st.ack()
 		return msg, nil
 	default:
 	}
 	select {
 	case msg := <-st.frames:
+		st.ack()
 		return msg, nil
 	case <-st.term:
 		select {
 		case msg := <-st.frames:
+			st.ack()
 			return msg, nil
 		default:
 		}
-		st.recvErr = st.termErr
-		return nil, st.recvErr
+		st.mu.Lock()
+		if st.recvErr == nil {
+			st.recvErr = st.termErr
+		}
+		err := st.recvErr
+		st.mu.Unlock()
+		return nil, err
 	case <-st.ctx.Done():
 		err := st.ctx.Err()
 		st.abandon(err)
@@ -555,20 +618,54 @@ func (st *Stream) Recv() (wire.Message, error) {
 	}
 }
 
-// Close abandons the stream: the call leaves the pending table and any
-// frames still arriving for it are discarded. Safe after EOF and
-// idempotent.
+// ack accounts one drained page and replenishes the server's credit in
+// replenishPages batches. Skipped once the stream terminated (the final
+// frame already arrived; further credit would be stale noise).
+func (st *Stream) ack() {
+	select {
+	case <-st.term:
+		return
+	default:
+	}
+	st.mu.Lock()
+	st.unacked++
+	n := st.unacked
+	if n < replenishPages {
+		st.mu.Unlock()
+		return
+	}
+	st.unacked = 0
+	st.mu.Unlock()
+	st.call.sess.sendCredit(st.call.id, n)
+}
+
+// Close abandons the stream: the server is told to stop paging, the call
+// leaves the pending table, and any frames still arriving for it are
+// discarded. Safe after EOF, idempotent, and safe concurrently with the
+// final frame arriving.
 func (st *Stream) Close() error {
 	st.abandon(context.Canceled)
 	return nil
 }
 
-// abandon cancels the underlying call and releases a reader pump blocked
-// delivering to this stream.
+// abandon cancels the underlying call and tells the server to stop paging
+// (a zero-page credit grant); the tombstone left behind absorbs whatever
+// frames were already in flight.
 func (st *Stream) abandon(err error) {
+	st.mu.Lock()
 	if st.recvErr == nil {
 		st.recvErr = err
 	}
-	st.goneOnce.Do(func() { close(st.gone) })
+	st.mu.Unlock()
+	st.goneOnce.Do(func() {
+		close(st.gone)
+		select {
+		case <-st.term:
+			// Already terminated: the server finished the stream on its
+			// own; no cancel frame needed.
+		default:
+			st.call.sess.sendCredit(st.call.id, 0)
+		}
+	})
 	st.call.sess.cancel(st.call, err)
 }

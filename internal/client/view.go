@@ -18,8 +18,22 @@ type windowDecrypter interface {
 	DecryptWindow(i, j uint64, c []uint64) ([]uint64, error)
 }
 
+// elemDecrypter additionally decrypts projected aggregates: c[x] is the
+// ciphertext of digest element elems[x] of the stream's full vector, so
+// the canceling subkeys must be derived at those original indices. Every
+// decrypter in this package implements it; typed query plans require it.
+//
+// Removing one stream's keystream from a multi-stream aggregate is the
+// same operation as decrypting (subtract the i pad, add the j pad), so a
+// plan over several streams decrypts by chaining the members' decrypters:
+// the keystream of a sum of streams is the sum of their keystreams.
+type elemDecrypter interface {
+	windowDecrypter
+	DecryptWindowElems(i, j uint64, elems []uint32, c []uint64) ([]uint64, error)
+}
+
 // encDecrypter adapts core.Encryptor (owner trees and full-resolution key
-// sets) to windowDecrypter.
+// sets) to elemDecrypter.
 type encDecrypter struct {
 	mu  sync.Mutex
 	enc *core.Encryptor
@@ -29,6 +43,12 @@ func (e *encDecrypter) DecryptWindow(i, j uint64, c []uint64) ([]uint64, error) 
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.enc.DecryptRange(i, j, c, nil)
+}
+
+func (e *encDecrypter) DecryptWindowElems(i, j uint64, elems []uint32, c []uint64) ([]uint64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.enc.DecryptRangeElems(i, j, elems, c, nil)
 }
 
 // StatResult is a decrypted statistical answer with its time extent.
@@ -45,6 +65,10 @@ type StatResult struct {
 type identityDecrypter struct{}
 
 func (identityDecrypter) DecryptWindow(_, _ uint64, c []uint64) ([]uint64, error) {
+	return append([]uint64(nil), c...), nil
+}
+
+func (identityDecrypter) DecryptWindowElems(_, _ uint64, _ []uint32, c []uint64) ([]uint64, error) {
 	return append([]uint64(nil), c...), nil
 }
 

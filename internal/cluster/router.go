@@ -125,6 +125,8 @@ func (r *Router) Handle(ctx context.Context, req wire.Message) wire.Message {
 	switch m := req.(type) {
 	case *wire.StatRange:
 		return r.statRange(ctx, m)
+	case *wire.AggRange:
+		return r.aggRange(ctx, m)
 	case *wire.ListStreams:
 		return r.listStreams(ctx)
 	case *wire.Batch:
@@ -291,34 +293,31 @@ func (r *Router) batch(ctx context.Context, b *wire.Batch) wire.Message {
 	return &wire.BatchResp{Resps: resps}
 }
 
-// statRange routes a statistical query. Queries whose streams all live on
-// one shard pass straight through; cross-shard queries are clamped to the
-// common ingested range, fanned out per shard, and homomorphically summed.
-func (r *Router) statRange(ctx context.Context, m *wire.StatRange) wire.Message {
-	if len(m.UUIDs) == 0 {
-		return &wire.Error{Code: wire.CodeBadRequest, Msg: "server: no streams given"}
-	}
-	groups := make(map[string][]string)
-	var groupOrder []string
-	for _, uuid := range m.UUIDs {
+// shardGroups partitions a query's stream set by owning shard, preserving
+// first-seen order.
+func (r *Router) shardGroups(uuids []string) (order []string, groups map[string][]string) {
+	groups = make(map[string][]string)
+	for _, uuid := range uuids {
 		owner := r.ring.Owner(uuid)
 		if _, seen := groups[owner]; !seen {
-			groupOrder = append(groupOrder, owner)
+			order = append(order, owner)
 		}
 		groups[owner] = append(groups[owner], uuid)
 	}
-	if len(groupOrder) == 1 {
-		return r.route(ctx, m.UUIDs[0], m)
-	}
+	return order, groups
+}
 
-	// Pre-pass: fetch geometry and ingest progress for every stream so
-	// each shard can be handed a range clamped identically — the engine
-	// clamps multi-stream queries to the shortest stream, and the router
-	// must preserve that across shards. The lookups are independent, so
-	// fetch them concurrently (deduplicated: a UUID may repeat).
-	unique := make([]string, 0, len(m.UUIDs))
-	seen := make(map[string]bool, len(m.UUIDs))
-	for _, uuid := range m.UUIDs {
+// clampMulti is the cross-shard pre-pass of a multi-stream query: it
+// fetches geometry and ingest progress for every stream so each shard can
+// be handed a range clamped identically — the engine clamps multi-stream
+// queries to the shortest stream, and the router must preserve that across
+// shards. The lookups are independent, so they are fetched concurrently
+// (deduplicated: a UUID may repeat). It returns the clamped te; a non-nil
+// message is the error response.
+func (r *Router) clampMulti(ctx context.Context, uuids []string, ts, te int64) (int64, wire.Message) {
+	unique := make([]string, 0, len(uuids))
+	seen := make(map[string]bool, len(uuids))
+	for _, uuid := range uuids {
 		if !seen[uuid] {
 			seen[uuid] = true
 			unique = append(unique, uuid)
@@ -337,7 +336,7 @@ func (r *Router) statRange(ctx context.Context, m *wire.StatRange) wire.Message 
 		}(i, uuid)
 	}
 	if e := awaitFanout(ctx, &infoWG); e != nil {
-		return e
+		return 0, e
 	}
 	var (
 		epoch, interval int64
@@ -349,9 +348,9 @@ func (r *Router) statRange(ctx context.Context, m *wire.StatRange) wire.Message 
 		info, ok := resp.(*wire.StreamInfoResp)
 		if !ok {
 			if e, isErr := resp.(*wire.Error); isErr {
-				return e
+				return 0, e
 			}
-			return &wire.Error{Code: wire.CodeInternal, Msg: fmt.Sprintf("cluster: unexpected info response %T", resp)}
+			return 0, &wire.Error{Code: wire.CodeInternal, Msg: fmt.Sprintf("cluster: unexpected info response %T", resp)}
 		}
 		if i == 0 {
 			epoch, interval, vectorLen = info.Cfg.Epoch, info.Cfg.Interval, info.Cfg.VectorLen
@@ -359,7 +358,7 @@ func (r *Router) statRange(ctx context.Context, m *wire.StatRange) wire.Message 
 			continue
 		}
 		if info.Cfg.Epoch != epoch || info.Cfg.Interval != interval || info.Cfg.VectorLen != vectorLen {
-			return &wire.Error{Code: wire.CodeBadRequest, Msg: fmt.Sprintf(
+			return 0, &wire.Error{Code: wire.CodeBadRequest, Msg: fmt.Sprintf(
 				"server: stream %q geometry differs from %q (inter-stream queries need matching epoch/interval/digest)", unique[i], first)}
 		}
 		if info.Count < minCount {
@@ -367,14 +366,49 @@ func (r *Router) statRange(ctx context.Context, m *wire.StatRange) wire.Message 
 		}
 	}
 	if minCount == 0 {
-		return &wire.Error{Code: wire.CodeBadRequest, Msg: "server: no common ingested range across streams"}
+		return 0, &wire.Error{Code: wire.CodeBadRequest, Msg: "server: no common ingested range across streams"}
 	}
-	te := m.Te
+	reqTe := te
 	if maxTe := epoch + int64(minCount)*interval; te > maxTe {
 		te = maxTe
 	}
-	if te <= m.Ts {
-		return &wire.Error{Code: wire.CodeBadRequest, Msg: fmt.Sprintf("server: no ingested chunks in range [%d,%d)", m.Ts, m.Te)}
+	if te <= ts {
+		// Report the range the caller actually asked for, not the
+		// clamped (possibly inverted) one.
+		return 0, &wire.Error{Code: wire.CodeBadRequest, Msg: fmt.Sprintf("server: no ingested chunks in range [%d,%d)", ts, reqTe)}
+	}
+	return te, nil
+}
+
+// sumWindows folds one shard's partial window vectors into the merged
+// aggregate (element-wise modular addition); the shards computed over the
+// same clamped range, so any shape disagreement is an internal error.
+func sumWindows(merged, part [][]uint64) *wire.Error {
+	for w := range merged {
+		if len(part[w]) != len(merged[w]) {
+			return &wire.Error{Code: wire.CodeInternal, Msg: "cluster: shard window vectors disagree"}
+		}
+		for x := range merged[w] {
+			merged[w][x] += part[w][x]
+		}
+	}
+	return nil
+}
+
+// statRange routes a statistical query. Queries whose streams all live on
+// one shard pass straight through; cross-shard queries are clamped to the
+// common ingested range, fanned out per shard, and homomorphically summed.
+func (r *Router) statRange(ctx context.Context, m *wire.StatRange) wire.Message {
+	if len(m.UUIDs) == 0 {
+		return &wire.Error{Code: wire.CodeBadRequest, Msg: "server: no streams given"}
+	}
+	groupOrder, groups := r.shardGroups(m.UUIDs)
+	if len(groupOrder) == 1 {
+		return r.route(ctx, m.UUIDs[0], m)
+	}
+	te, errResp := r.clampMulti(ctx, m.UUIDs, m.Ts, m.Te)
+	if errResp != nil {
+		return errResp
 	}
 
 	// Fan out one sub-query per shard; every shard sees the same clamped
@@ -411,14 +445,108 @@ func (r *Router) statRange(ctx context.Context, m *wire.StatRange) wire.Message 
 				part.FromChunk, part.ToChunk, len(part.Windows),
 				merged.FromChunk, merged.ToChunk, len(merged.Windows))}
 		}
-		for w := range merged.Windows {
-			if len(part.Windows[w]) != len(merged.Windows[w]) {
-				return &wire.Error{Code: wire.CodeInternal, Msg: "cluster: shard window vectors disagree"}
-			}
-			for x := range merged.Windows[w] {
-				merged.Windows[w][x] += part.Windows[w][x]
-			}
+		if e := sumWindows(merged.Windows, part.Windows); e != nil {
+			return e
 		}
 	}
 	return merged
+}
+
+// aggRange routes a typed query plan: the stream set is split by owning
+// shard, each shard homomorphically sums (and projects) its own members'
+// digests, and the router combines the partial ciphertext aggregates
+// shard-side — the combine tree mirrors the cluster topology, so a
+// 16-stream plan over 4 shards costs 4 sub-aggregations plus 3 vector
+// additions here, not 16 round trips at the client.
+//
+// The fan-out is optimistic: the first wave ships the caller's raw range
+// and every shard clamps to its own streams; when all shards report the
+// same chunk range — the common case, populations ingesting in step — the
+// partials combine directly and the query cost one wave. Only on
+// disagreement (or a shard-local clamp error) does the router fall back
+// to the StreamInfo pre-pass that computes the globally clamped range and
+// re-fan out pinned to it.
+func (r *Router) aggRange(ctx context.Context, m *wire.AggRange) wire.Message {
+	if len(m.UUIDs) == 0 {
+		return &wire.Error{Code: wire.CodeBadRequest, Msg: "server: no streams given"}
+	}
+	groupOrder, groups := r.shardGroups(m.UUIDs)
+	if len(groupOrder) == 1 {
+		return r.route(ctx, m.UUIDs[0], m)
+	}
+	if resp, ok := r.aggWave(ctx, groupOrder, groups, m, m.Te); ok {
+		return resp
+	}
+	// Shards disagreed (uneven ingest) or one failed its local clamp:
+	// compute the common range and retry with every shard pinned to it.
+	te, errResp := r.clampMulti(ctx, m.UUIDs, m.Ts, m.Te)
+	if errResp != nil {
+		return errResp
+	}
+	resp, _ := r.aggWave(ctx, groupOrder, groups, m, te)
+	return resp
+}
+
+// aggWave runs one fan-out wave of an AggRange with the given end bound
+// and merges the shard partials. ok = false reports a recoverable
+// disagreement — the shards clamped to different ranges (or one failed
+// its local clamp) and the caller should retry with a pinned common
+// range. Cancellation and non-range errors return ok = true; retrying
+// cannot help those.
+func (r *Router) aggWave(ctx context.Context, groupOrder []string, groups map[string][]string, m *wire.AggRange, te int64) (wire.Message, bool) {
+	results := make([]wire.Message, len(groupOrder))
+	var wg sync.WaitGroup
+	for i, owner := range groupOrder {
+		wg.Add(1)
+		go func(i int, s *shardState, uuids []string) {
+			defer wg.Done()
+			results[i] = r.fanout(ctx, s, &wire.AggRange{
+				UUIDs: uuids, Ts: m.Ts, Te: te, WindowChunks: m.WindowChunks, Elems: m.Elems})
+		}(i, r.shards[owner], groups[owner])
+	}
+	if e := awaitFanout(ctx, &wg); e != nil {
+		return e, true
+	}
+
+	var merged *wire.AggRangeResp
+	for _, resp := range results {
+		part, ok := resp.(*wire.AggRangeResp)
+		if !ok {
+			if e, isErr := resp.(*wire.Error); isErr {
+				// A bad-request from one shard may just be its local
+				// clamp finding no data in the optimistic range; the
+				// pinned retry resolves whether the query is really
+				// empty.
+				return e, e.Code != wire.CodeBadRequest
+			}
+			return &wire.Error{Code: wire.CodeInternal, Msg: fmt.Sprintf("cluster: unexpected aggregate response %T", resp)}, true
+		}
+		if merged == nil {
+			merged = &wire.AggRangeResp{FromChunk: part.FromChunk, ToChunk: part.ToChunk,
+				Epoch: part.Epoch, Interval: part.Interval,
+				StreamCount: part.StreamCount, Windows: part.Windows}
+			continue
+		}
+		if part.Epoch != merged.Epoch || part.Interval != merged.Interval {
+			// Two shards clamped possibly-identical chunk ranges over
+			// DIFFERENT time geometries: the member streams do not form a
+			// combinable set. Never sum these; the geometry pre-pass
+			// produces the canonical bad-request naming the offenders.
+			return &wire.Error{Code: wire.CodeBadRequest,
+				Msg: "cluster: member stream geometries differ"}, false
+		}
+		if part.FromChunk != merged.FromChunk || part.ToChunk != merged.ToChunk || len(part.Windows) != len(merged.Windows) {
+			// Shards clamped differently: uneven ingest across the
+			// population, recoverable by pinning the common range.
+			return &wire.Error{Code: wire.CodeInternal, Msg: fmt.Sprintf(
+				"cluster: shard windows disagree ([%d,%d)x%d vs [%d,%d)x%d)",
+				part.FromChunk, part.ToChunk, len(part.Windows),
+				merged.FromChunk, merged.ToChunk, len(merged.Windows))}, false
+		}
+		merged.StreamCount += part.StreamCount
+		if e := sumWindows(merged.Windows, part.Windows); e != nil {
+			return e, true
+		}
+	}
+	return merged, true
 }

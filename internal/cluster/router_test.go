@@ -324,3 +324,75 @@ func TestRouterConcurrent(t *testing.T) {
 		}
 	}
 }
+
+// TestRouterAggRangeRejectsMismatchedGeometry: the optimistic AggRange
+// fast path must never sum partials computed over different time
+// geometries — even when the shards happen to report the same chunk range
+// (same counts), which is exactly the case the range-equality check alone
+// cannot catch.
+func TestRouterAggRangeRejectsMismatchedGeometry(t *testing.T) {
+	tc := newTestCluster(t, 4)
+
+	// Two streams on different shards with different epochs but equal
+	// chunk counts.
+	var a, b string
+	for i := 0; a == "" || b == ""; i++ {
+		uuid := fmt.Sprintf("geo-%d", i)
+		if a == "" {
+			a = uuid
+			continue
+		}
+		if tc.router.Owner(uuid) != tc.router.Owner(a) {
+			b = uuid
+		}
+		if i > 1000 {
+			t.Fatal("no cross-shard pair found")
+		}
+	}
+	tc.createStream(t, a)
+	tc.ingest(t, a, 8)
+	cfgB := tc.cfg
+	cfgB.Epoch = 1_000_000 // same interval and count, shifted epoch
+	if resp := tc.router.Handle(context.Background(), &wire.CreateStream{UUID: b, Cfg: cfgB}); !isOK(resp) {
+		t.Fatalf("CreateStream(%q) -> %#v", b, resp)
+	}
+	for i := uint64(0); i < 8; i++ {
+		start := 1_000_000 + int64(i)*100
+		sealed, err := chunk.SealPlain(tc.spec, chunk.CompressionNone, i, start, start+100,
+			[]chunk.Point{{TS: start, Val: 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp := tc.router.Handle(context.Background(), &wire.InsertChunk{UUID: b, Chunk: chunk.MarshalSealed(sealed)}); !isOK(resp) {
+			t.Fatalf("InsertChunk(%q, %d) -> %#v", b, i, resp)
+		}
+	}
+
+	resp := tc.router.Handle(context.Background(), &wire.AggRange{
+		UUIDs: []string{a, b}, Ts: 0, Te: 2_000_000,
+	})
+	e, isErr := resp.(*wire.Error)
+	if !isErr {
+		t.Fatalf("mismatched-geometry AggRange accepted: %#v", resp)
+	}
+	if e.Code != wire.CodeBadRequest {
+		t.Errorf("error code %d, want CodeBadRequest", e.Code)
+	}
+
+	// Matching geometry on the same shard pair still works.
+	c := ""
+	for i := 0; c == ""; i++ {
+		uuid := fmt.Sprintf("geo-ok-%d", i)
+		if tc.router.Owner(uuid) != tc.router.Owner(a) {
+			c = uuid
+		}
+	}
+	tc.createStream(t, c)
+	tc.ingest(t, c, 8)
+	resp = tc.router.Handle(context.Background(), &wire.AggRange{
+		UUIDs: []string{a, c}, Ts: 0, Te: 2_000_000,
+	})
+	if ar, ok := resp.(*wire.AggRangeResp); !ok || ar.StreamCount != 2 {
+		t.Fatalf("matched-geometry AggRange -> %#v", resp)
+	}
+}

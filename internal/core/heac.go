@@ -35,6 +35,28 @@ func SubKeys(leaf Node, dst []uint64) []uint64 {
 	return dst
 }
 
+// SubKeysAt expands a keystream leaf into subkeys at the given digest
+// element indices: the projected counterpart of SubKeys, for decrypting
+// aggregates whose vectors the server projected down to selected elements.
+// dst[x] receives the subkey for element elems[x]; pass a slice of length
+// len(elems) to avoid allocation.
+func SubKeysAt(leaf Node, elems []uint32, dst []uint64) []uint64 {
+	b, err := aes.NewCipher(leaf[:])
+	if err != nil {
+		panic("core: aes.NewCipher: " + err.Error())
+	}
+	if dst == nil {
+		dst = make([]uint64, len(elems))
+	}
+	var in, out [16]byte
+	for x, e := range elems {
+		binary.BigEndian.PutUint64(in[8:], uint64(e))
+		b.Encrypt(out[:], in[:])
+		dst[x] = binary.BigEndian.Uint64(out[:8]) ^ binary.BigEndian.Uint64(out[8:])
+	}
+	return dst
+}
+
 // EncryptVec encrypts the digest vector m for chunk i under HEAC with key
 // canceling (paper §4.2.2): element e becomes
 //
@@ -212,6 +234,42 @@ func (e *Encryptor) DecryptRange(i, j uint64, c, dst []uint64) ([]uint64, error)
 		dst = make([]uint64, len(c))
 	}
 	ki, kj := e.subkeys(leafI, leafJ, len(c))
+	for x := range c {
+		dst[x] = c[x] - ki[x] + kj[x]
+	}
+	return dst, nil
+}
+
+// DecryptRangeElems decrypts a projected aggregate ciphertext covering
+// chunk positions [i, j): c[x] is the ciphertext of digest element
+// elems[x] of the full vector, so the canceling subkeys are derived at
+// those original indices (the projection must not shift key positions, or
+// every element would decrypt under the wrong pad).
+func (e *Encryptor) DecryptRangeElems(i, j uint64, elems []uint32, c, dst []uint64) ([]uint64, error) {
+	if j <= i {
+		return nil, fmt.Errorf("core: invalid decrypt range [%d,%d)", i, j)
+	}
+	if len(elems) != len(c) {
+		return nil, fmt.Errorf("core: %d projected elements but %d ciphertext values", len(elems), len(c))
+	}
+	leafI, err := e.walker.Leaf(i)
+	if err != nil {
+		return nil, err
+	}
+	leafJ, err := e.walker.Leaf(j)
+	if err != nil {
+		return nil, err
+	}
+	if dst == nil {
+		dst = make([]uint64, len(c))
+	}
+	n := len(c)
+	if cap(e.ki) < n {
+		e.ki = make([]uint64, n)
+		e.kj = make([]uint64, n)
+	}
+	ki := SubKeysAt(leafI, elems, e.ki[:n])
+	kj := SubKeysAt(leafJ, elems, e.kj[:n])
 	for x := range c {
 		dst[x] = c[x] - ki[x] + kj[x]
 	}

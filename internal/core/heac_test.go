@@ -255,3 +255,72 @@ func TestPrincipalRangeRestriction(t *testing.T) {
 		t.Error("principal decrypted beyond its grant")
 	}
 }
+
+// TestSubKeysAtMatchesSubKeys proves the projected expansion derives the
+// same per-element pads as the dense one.
+func TestSubKeysAtMatchesSubKeys(t *testing.T) {
+	var leaf Node
+	for i := range leaf {
+		leaf[i] = byte(i * 7)
+	}
+	dense := SubKeys(leaf, make([]uint64, 19))
+	elems := []uint32{0, 2, 7, 18}
+	proj := SubKeysAt(leaf, elems, nil)
+	for x, e := range elems {
+		if proj[x] != dense[e] {
+			t.Errorf("SubKeysAt[%d] (elem %d) = %d, want %d", x, e, proj[x], dense[e])
+		}
+	}
+}
+
+// TestDecryptRangeElems encrypts a run of digest vectors, homomorphically
+// sums them, projects the aggregate, and checks the projected decryption
+// recovers exactly the selected plaintext elements.
+func TestDecryptRangeElems(t *testing.T) {
+	tree, err := GenerateTree(NewPRG(PRGAES), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := NewEncryptor(tree.NewWalker())
+	const vlen = 8
+	want := make([]uint64, vlen)
+	var agg []uint64
+	for i := uint64(0); i < 5; i++ {
+		m := make([]uint64, vlen)
+		for e := range m {
+			m[e] = i*100 + uint64(e)
+			want[e] += m[e]
+		}
+		c, err := enc.EncryptDigest(i, m, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if agg == nil {
+			agg = append([]uint64(nil), c...)
+		} else {
+			AddVec(agg, c)
+		}
+	}
+	elems := []uint32{1, 3, 6}
+	proj := make([]uint64, len(elems))
+	for x, e := range elems {
+		proj[x] = agg[e]
+	}
+	dec := NewEncryptor(tree.NewWalker())
+	got, err := dec.DecryptRangeElems(0, 5, elems, proj, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x, e := range elems {
+		if got[x] != want[e] {
+			t.Errorf("element %d = %d, want %d", e, got[x], want[e])
+		}
+	}
+	// Shape errors fail loudly.
+	if _, err := dec.DecryptRangeElems(3, 3, elems, proj, nil); err == nil {
+		t.Error("empty range accepted")
+	}
+	if _, err := dec.DecryptRangeElems(0, 5, elems, proj[:2], nil); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}

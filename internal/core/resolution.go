@@ -203,3 +203,27 @@ func (ks *ResolutionKeySet) DecryptWindow(i, j uint64, c []uint64) ([]uint64, er
 	}
 	return DecryptVec(leafI, leafJ, c, nil), nil
 }
+
+// DecryptWindowElems decrypts a projected aggregate over [i, j): c[x] is
+// the ciphertext of digest element elems[x], with subkeys derived at those
+// original indices. i and j must be covered boundaries.
+func (ks *ResolutionKeySet) DecryptWindowElems(i, j uint64, elems []uint32, c []uint64) ([]uint64, error) {
+	if len(elems) != len(c) {
+		return nil, fmt.Errorf("core: %d projected elements but %d ciphertext values", len(elems), len(c))
+	}
+	leafI, err := ks.Leaf(i)
+	if err != nil {
+		return nil, err
+	}
+	leafJ, err := ks.Leaf(j)
+	if err != nil {
+		return nil, err
+	}
+	ki := SubKeysAt(leafI, elems, nil)
+	kj := SubKeysAt(leafJ, elems, nil)
+	out := make([]uint64, len(c))
+	for x := range c {
+		out[x] = c[x] - ki[x] + kj[x]
+	}
+	return out, nil
+}

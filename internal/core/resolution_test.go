@@ -211,3 +211,39 @@ func TestResolutionStreamSeedsRebuild(t *testing.T) {
 		t.Error("rebuilt stream cannot open original envelope")
 	}
 }
+
+// TestResolutionDecryptWindowElems proves the projected decryption matches
+// the dense one on window boundaries and still refuses uncovered bounds.
+func TestResolutionDecryptWindowElems(t *testing.T) {
+	const n, f = 30, 6
+	_, cipher, rs, envs := buildResolutionFixture(t, n, f)
+	tok, err := rs.Share(0, n/f-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks, err := tok.OpenAll(envs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := make([]uint64, 1)
+	for i := uint64(0); i < f; i++ {
+		AddVec(agg, cipher[i])
+	}
+	dense, err := ks.DecryptWindow(0, f, agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, err := ks.DecryptWindowElems(0, f, []uint32{0}, agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proj[0] != dense[0] {
+		t.Errorf("projected %d != dense %d", proj[0], dense[0])
+	}
+	if _, err := ks.DecryptWindowElems(1, f, []uint32{0}, agg); err == nil {
+		t.Error("uncovered boundary accepted")
+	}
+	if _, err := ks.DecryptWindowElems(0, f, []uint32{0, 1}, agg); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}

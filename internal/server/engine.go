@@ -540,6 +540,53 @@ func (e *Engine) GetRange(ctx context.Context, uuid string, ts, te int64) ([][]b
 // (inter-stream queries); all streams must share geometry. The context
 // aborts the per-stream aggregation loop once the caller gives up.
 func (e *Engine) StatRange(ctx context.Context, uuids []string, ts, te int64, windowChunks uint64) (from, to uint64, windows [][]uint64, err error) {
+	return e.aggregate(ctx, uuids, ts, te, windowChunks)
+}
+
+// AggRange executes a typed query plan: the multi-stream aggregation of
+// StatRange plus a projection of each window vector down to the digest
+// elements the plan's statistic selectors need, so the response carries
+// (and the client decrypts) only what the caller asked for. Element
+// indices refer to the streams' shared digest layout; an empty elems
+// keeps the full vectors. The response echoes the stream set's shared
+// geometry so cross-shard combiners can verify their partials agree.
+func (e *Engine) AggRange(ctx context.Context, uuids []string, ts, te int64, windowChunks uint64, elems []uint32) (*wire.AggRangeResp, error) {
+	from, to, windows, err := e.aggregate(ctx, uuids, ts, te, windowChunks)
+	if err != nil {
+		return nil, err
+	}
+	if len(elems) > 0 {
+		vlen := uint32(0)
+		if len(windows) > 0 {
+			vlen = uint32(len(windows[0]))
+		}
+		for _, x := range elems {
+			if x >= vlen {
+				return nil, fmt.Errorf("server: digest element %d beyond vector length %d", x, vlen)
+			}
+		}
+		for w, vec := range windows {
+			proj := make([]uint64, len(elems))
+			for x, idx := range elems {
+				proj[x] = vec[idx]
+			}
+			windows[w] = proj
+		}
+	}
+	s0, err := e.lookup(uuids[0])
+	if err != nil {
+		return nil, err
+	}
+	return &wire.AggRangeResp{
+		FromChunk: from, ToChunk: to,
+		Epoch: s0.cfg.Epoch, Interval: s0.cfg.Interval,
+		StreamCount: uint32(len(uuids)), Windows: windows,
+	}, nil
+}
+
+// aggregate is the shared multi-stream aggregation core behind StatRange
+// and AggRange.
+func (e *Engine) aggregate(ctx context.Context, uuids []string, ts, te int64, windowChunks uint64) (from, to uint64, windows [][]uint64, err error) {
 	if len(uuids) == 0 {
 		return 0, 0, nil, errors.New("server: no streams given")
 	}

@@ -60,6 +60,17 @@ func (e *Engine) Handle(ctx context.Context, req wire.Message) wire.Message {
 			return toError(err)
 		}
 		return &wire.StatRangeResp{FromChunk: from, ToChunk: to, Windows: windows}
+	case *wire.AggRange:
+		resp, err := e.AggRange(ctx, m.UUIDs, m.Ts, m.Te, m.WindowChunks, m.Elems)
+		if err != nil {
+			return toError(err)
+		}
+		return resp
+	case *wire.StreamCredit:
+		// Credit is connection-level flow control, consumed by the TCP
+		// front end's read loop; reaching a handler means a transport
+		// without streams (e.g. in-process) was handed one.
+		return &wire.Error{Code: wire.CodeBadRequest, Msg: "server: stream credit outside a streaming connection"}
 	case *wire.DeleteRange:
 		return respond(e.DeleteRange(ctx, m.UUID, m.Ts, m.Te))
 	case *wire.Rollup:
@@ -287,6 +298,7 @@ func (s *Server) serveConn(ctx context.Context, conn net.Conn) {
 		limit = DefaultMaxConnInFlight
 	}
 	sched := newConnSched(limit)
+	flows := newConnFlows()
 	out := make(chan respFrame, limit)
 	writerDone := make(chan struct{})
 	go s.writePump(conn, out, writerDone)
@@ -303,6 +315,13 @@ func (s *Server) serveConn(ctx context.Context, conn net.Conn) {
 				s.logf("timecrypt: connection %s: %v", conn.RemoteAddr(), err)
 			}
 			break
+		}
+		if credit, ok := req.(*wire.StreamCredit); ok {
+			// Flow control, not a request: it consumes no in-flight slot
+			// and earns no response. Credit for a stream that already
+			// finished (or never existed) is stale, not hostile — drop it.
+			flows.grant(credit.ID, credit.Pages)
+			continue
 		}
 		if !sched.tryAcquire() {
 			// The connection already has MaxConnInFlight requests
@@ -321,14 +340,18 @@ func (s *Server) serveConn(ctx context.Context, conn net.Conn) {
 		if timeoutMS > 0 {
 			reqCtx, cancel = context.WithTimeout(connCtx, time.Duration(timeoutMS)*time.Millisecond)
 		}
-		if qs, ok := req.(*wire.QueryStream); ok {
+		if spec, ok := streamSpecFor(req); ok {
 			// Streamed responses interleave with other requests' frames;
 			// keyed scheduling keeps them ordered after same-stream
-			// writes that arrived first.
-			key, _ := wire.RoutingUUID(qs)
-			sched.run(key, func() {
+			// writes that arrived first. The flow entry registers before
+			// the worker runs so a credit (or cancel) frame racing ahead
+			// of the first page still lands.
+			flow := flows.register(id)
+			key, _ := wire.RoutingUUID(req)
+			sched.runReleasing(key, func(release func()) {
 				defer cancel()
-				s.streamQuery(reqCtx, id, qs, out)
+				defer flows.unregister(id)
+				s.streamWindows(reqCtx, id, flow, spec, out, release)
 			})
 			continue
 		}
@@ -404,83 +427,202 @@ func (cs *connSched) tryAcquire() bool {
 // run executes fn on a worker goroutine, after the previous request with
 // the same non-empty key completes. The caller must have acquired a slot.
 func (cs *connSched) run(key string, fn func()) {
+	cs.runReleasing(key, func(func()) { fn() })
+}
+
+// runReleasing is run for workers that can retire their ordering-chain
+// link early: fn receives a release func that unblocks the next same-key
+// request before fn itself returns. Streamed queries use it — they must
+// order after same-stream writes that arrived first, but once their
+// iteration bounds are pinned, later same-stream requests have nothing to
+// wait for (a flow-controlled stream may otherwise park for as long as its
+// consumer feels like). release is idempotent and also runs when fn
+// returns.
+func (cs *connSched) runReleasing(key string, fn func(release func())) {
 	var prev, done chan struct{}
+	release := func() {}
 	if key != "" {
 		done = make(chan struct{})
 		cs.mu.Lock()
 		prev = cs.tails[key]
 		cs.tails[key] = done
 		cs.mu.Unlock()
+		var once sync.Once
+		release = func() {
+			once.Do(func() {
+				close(done)
+				cs.mu.Lock()
+				if cs.tails[key] == done {
+					delete(cs.tails, key)
+				}
+				cs.mu.Unlock()
+			})
+		}
 	}
 	cs.wg.Add(1)
 	go func() {
 		defer cs.wg.Done()
 		defer func() { <-cs.sem }()
+		defer release()
 		if prev != nil {
 			<-prev
 		}
-		fn()
-		if done != nil {
-			close(done)
-			cs.mu.Lock()
-			if cs.tails[key] == done {
-				delete(cs.tails, key)
-			}
-			cs.mu.Unlock()
-		}
+		fn(release)
 	}()
 }
 
 // wait blocks until every dispatched request has finished.
 func (cs *connSched) wait() { cs.wg.Wait() }
 
-// streamQuery serves one wire.QueryStream: the windowed range is evaluated
+// streamSpec is the transport-independent shape of one streamed query: the
+// member streams, range, and window geometry, plus the per-page request
+// constructor (StatRangeResp pages for wire.QueryStream, AggRangeResp
+// pages for streamed wire.AggRange).
+type streamSpec struct {
+	uuids        []string
+	ts, te       int64
+	windowChunks uint64
+	pageWindows  uint64
+	makeReq      func(ts, te int64) wire.Message
+	isPage       func(wire.Message) bool
+}
+
+// streamSpecFor recognizes requests served in the streamed response mode:
+// every QueryStream, and AggRange frames that opted in with PageWindows.
+func streamSpecFor(req wire.Message) (streamSpec, bool) {
+	switch m := req.(type) {
+	case *wire.QueryStream:
+		return streamSpec{
+			uuids: []string{m.UUID}, ts: m.Ts, te: m.Te,
+			windowChunks: m.WindowChunks, pageWindows: uint64(m.PageWindows),
+			makeReq: func(ts, te int64) wire.Message {
+				return &wire.StatRange{UUIDs: []string{m.UUID}, Ts: ts, Te: te, WindowChunks: m.WindowChunks}
+			},
+			isPage: func(resp wire.Message) bool { _, ok := resp.(*wire.StatRangeResp); return ok },
+		}, true
+	case *wire.AggRange:
+		if m.PageWindows == 0 {
+			return streamSpec{}, false // unary plan: regular Handler dispatch
+		}
+		return streamSpec{
+			uuids: m.UUIDs, ts: m.Ts, te: m.Te,
+			windowChunks: m.WindowChunks, pageWindows: uint64(m.PageWindows),
+			makeReq: func(ts, te int64) wire.Message {
+				return &wire.AggRange{UUIDs: m.UUIDs, Ts: ts, Te: te, WindowChunks: m.WindowChunks, Elems: m.Elems}
+			},
+			isPage: func(resp wire.Message) bool { _, ok := resp.(*wire.AggRangeResp); return ok },
+		}, true
+	default:
+		return streamSpec{}, false
+	}
+}
+
+// streamMeta resolves the shared geometry and the common ingested bound of
+// a streamed query's member streams through the regular Handler (one
+// StreamInfo, or one Batch of them — a single round trip even behind a
+// cluster router). A non-nil message is the error response to send.
+func (s *Server) streamMeta(ctx context.Context, uuids []string) (epoch, interval int64, count uint64, errResp wire.Message) {
+	infos := make([]*wire.StreamInfoResp, len(uuids))
+	if len(uuids) == 1 {
+		resp := s.handler.Handle(ctx, &wire.StreamInfo{UUID: uuids[0]})
+		info, ok := resp.(*wire.StreamInfoResp)
+		if !ok {
+			return 0, 0, 0, resp
+		}
+		infos[0] = info
+	} else {
+		b := &wire.Batch{Reqs: make([]wire.Message, len(uuids))}
+		for i, uuid := range uuids {
+			b.Reqs[i] = &wire.StreamInfo{UUID: uuid}
+		}
+		resp := s.handler.Handle(ctx, b)
+		br, ok := resp.(*wire.BatchResp)
+		if !ok || len(br.Resps) != len(uuids) {
+			if !ok {
+				return 0, 0, 0, resp
+			}
+			return 0, 0, 0, &wire.Error{Code: wire.CodeInternal, Msg: "server: stream metadata batch came back short"}
+		}
+		for i, sub := range br.Resps {
+			info, ok := sub.(*wire.StreamInfoResp)
+			if !ok {
+				return 0, 0, 0, sub
+			}
+			infos[i] = info
+		}
+	}
+	epoch, interval = infos[0].Cfg.Epoch, infos[0].Cfg.Interval
+	count = infos[0].Count
+	for i, info := range infos[1:] {
+		if info.Cfg.Epoch != epoch || info.Cfg.Interval != interval || info.Cfg.VectorLen != infos[0].Cfg.VectorLen {
+			return 0, 0, 0, &wire.Error{Code: wire.CodeBadRequest, Msg: fmt.Sprintf(
+				"server: stream %q geometry differs from %q (inter-stream queries need matching epoch/interval/digest)", uuids[i+1], uuids[0])}
+		}
+		if info.Count < count {
+			count = info.Count
+		}
+	}
+	return epoch, interval, count, nil
+}
+
+// streamWindows serves one streamed query: the windowed range is evaluated
 // page by page through the regular Handler (so it works identically over a
-// single engine or a cluster router) and each page is pushed as a
-// StatRangeResp frame tagged with the request's correlation ID and
-// FlagMore. A final OK (or the first failure) terminates the stream.
-func (s *Server) streamQuery(ctx context.Context, id uint64, qs *wire.QueryStream, out chan<- respFrame) {
+// single engine or a cluster router) and each page is pushed as a frame
+// tagged with the request's correlation ID and FlagMore. A final OK (or
+// the first failure) terminates the stream. Before each push the worker
+// acquires one page of credit from the connection's flow table, so a
+// consumer that stops draining pauses exactly this stream — the rest of
+// the connection keeps flowing. release retires the worker's ordering
+// link once the iteration bounds are pinned: from then on, later
+// same-stream requests need not queue behind a stream that may park on
+// credit indefinitely.
+func (s *Server) streamWindows(ctx context.Context, id uint64, flow *streamFlow, spec streamSpec, out chan<- respFrame, release func()) {
 	final := func(m wire.Message) { out <- respFrame{id: id, msg: m} }
-	if qs.WindowChunks == 0 {
+	if spec.windowChunks == 0 {
 		final(&wire.Error{Code: wire.CodeBadRequest, Msg: "server: streamed query needs a window size"})
 		return
 	}
-	pageWindows := uint64(qs.PageWindows)
+	if len(spec.uuids) == 0 {
+		final(&wire.Error{Code: wire.CodeBadRequest, Msg: "server: no streams given"})
+		return
+	}
+	pageWindows := spec.pageWindows
 	if pageWindows == 0 {
 		pageWindows = 64
 	}
-	infoResp := s.handler.Handle(ctx, &wire.StreamInfo{UUID: qs.UUID})
-	info, ok := infoResp.(*wire.StreamInfoResp)
-	if !ok {
-		final(infoResp)
+	epoch, interval, count, errResp := s.streamMeta(ctx, spec.uuids)
+	if errResp != nil {
+		final(errResp)
 		return
 	}
-	epoch, interval := info.Cfg.Epoch, info.Cfg.Interval
 	if interval <= 0 {
 		final(&wire.Error{Code: wire.CodeInternal, Msg: "server: stream has no interval"})
 		return
 	}
-	ts, te := qs.Ts, qs.Te
+	ts, te := spec.ts, spec.te
 	if ts < epoch {
 		ts = epoch
 	}
-	if maxTe := epoch + int64(info.Count)*interval; te > maxTe {
+	if maxTe := epoch + int64(count)*interval; te > maxTe {
 		te = maxTe
 	}
 	if te <= ts {
-		final(&wire.Error{Code: wire.CodeBadRequest, Msg: fmt.Sprintf("server: no ingested chunks in range [%d,%d)", qs.Ts, qs.Te)})
+		final(&wire.Error{Code: wire.CodeBadRequest, Msg: fmt.Sprintf("server: no ingested chunks in range [%d,%d)", spec.ts, spec.te)})
 		return
 	}
 	// Page over chunk positions; the range is served verbatim (the client
 	// cursor aligns it to the window grid before asking).
 	a := uint64(ts-epoch) / uint64(interval)
 	b := (uint64(te-epoch) + uint64(interval) - 1) / uint64(interval)
-	step := qs.WindowChunks * pageWindows
-	if step/pageWindows != qs.WindowChunks || step > b-a {
+	step := spec.windowChunks * pageWindows
+	if step/pageWindows != spec.windowChunks || step > b-a {
 		step = b - a // oversized or overflowing page: one page covers all
 	}
+	// Bounds pinned: later same-stream requests have nothing to order
+	// after anymore.
+	release()
 	for lo := a; lo < b; lo += step {
-		if err := ctx.Err(); err != nil {
+		if err := flow.acquire(ctx); err != nil {
 			final(toError(err))
 			return
 		}
@@ -488,18 +630,96 @@ func (s *Server) streamQuery(ctx context.Context, id uint64, qs *wire.QueryStrea
 		if hi > b {
 			hi = b
 		}
-		resp := s.handler.Handle(ctx, &wire.StatRange{
-			UUIDs:        []string{qs.UUID},
-			Ts:           epoch + int64(lo)*interval,
-			Te:           epoch + int64(hi)*interval,
-			WindowChunks: qs.WindowChunks,
-		})
-		page, ok := resp.(*wire.StatRangeResp)
-		if !ok {
+		resp := s.handler.Handle(ctx, spec.makeReq(epoch+int64(lo)*interval, epoch+int64(hi)*interval))
+		if !spec.isPage(resp) {
 			final(resp) // *wire.Error (or a misbehaving handler) ends the stream
 			return
 		}
-		out <- respFrame{id: id, more: true, msg: page}
+		out <- respFrame{id: id, more: true, msg: resp}
 	}
 	final(&wire.OK{})
+}
+
+// streamFlow is the server half of one stream's credit-based flow control:
+// the worker spends one credit per pushed page and parks when the counter
+// hits zero; the read loop tops it up from the consumer's StreamCredit
+// frames (a zero-page grant abandons the stream).
+type streamFlow struct {
+	mu       sync.Mutex
+	credit   uint64
+	canceled bool
+	wake     chan struct{} // buffered(1): signaled on grant or cancel
+}
+
+// acquire blocks until one page of credit is available, the consumer
+// abandons the stream, or ctx fires.
+func (f *streamFlow) acquire(ctx context.Context) error {
+	for {
+		f.mu.Lock()
+		if f.canceled {
+			f.mu.Unlock()
+			return context.Canceled
+		}
+		if f.credit > 0 {
+			f.credit--
+			f.mu.Unlock()
+			return nil
+		}
+		f.mu.Unlock()
+		select {
+		case <-f.wake:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// connFlows tracks the live streamed queries of one connection by
+// correlation ID.
+type connFlows struct {
+	mu sync.Mutex
+	m  map[uint64]*streamFlow
+}
+
+func newConnFlows() *connFlows { return &connFlows{m: make(map[uint64]*streamFlow)} }
+
+// register creates the flow entry for a new streamed query with the
+// protocol's initial credit.
+func (cf *connFlows) register(id uint64) *streamFlow {
+	f := &streamFlow{credit: wire.StreamInitialCredit, wake: make(chan struct{}, 1)}
+	cf.mu.Lock()
+	cf.m[id] = f
+	cf.mu.Unlock()
+	return f
+}
+
+func (cf *connFlows) unregister(id uint64) {
+	cf.mu.Lock()
+	delete(cf.m, id)
+	cf.mu.Unlock()
+}
+
+// grant credits a stream with pages (0 = abandon). Unknown IDs are stale
+// frames for finished streams and are dropped.
+func (cf *connFlows) grant(id uint64, pages uint32) {
+	cf.mu.Lock()
+	f := cf.m[id]
+	cf.mu.Unlock()
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	if pages == 0 {
+		f.canceled = true
+	} else {
+		f.credit += uint64(pages)
+		if f.credit > wire.MaxStreamCredit {
+			f.credit = wire.MaxStreamCredit
+		}
+	}
+	f.mu.Unlock()
+	select {
+	case f.wake <- struct{}{}:
+	default:
+	}
 }

@@ -316,3 +316,111 @@ func TestDecoderRandomizedPrimitives(t *testing.T) {
 		d.Done() // must not panic
 	}
 }
+
+// TestAggRangeHostileInputs covers the typed-plan aggregation pair:
+// implausible stream/element counts, truncation at every boundary,
+// duplicate stream IDs (legal at the codec layer — the plan builder and
+// engine own that semantic), and random mutations.
+func TestAggRangeHostileInputs(t *testing.T) {
+	valid := Marshal(&AggRange{
+		UUIDs: []string{"a", "b", "a"}, // duplicates must decode, not panic
+		Ts:    -9, Te: 1000, WindowChunks: 6,
+		Elems: []uint32{0, 2, 2, 7}, PageWindows: 16,
+	})
+	m, err := Unmarshal(valid)
+	if err != nil {
+		t.Fatalf("valid AggRange rejected: %v", err)
+	}
+	if agg := m.(*AggRange); len(agg.UUIDs) != 3 || agg.UUIDs[2] != "a" {
+		t.Errorf("duplicate stream IDs mangled: %#v", agg.UUIDs)
+	}
+	for cut := 1; cut < len(valid); cut++ {
+		if _, err := Unmarshal(valid[:cut]); err == nil {
+			t.Errorf("truncated AggRange of %d/%d bytes accepted", cut, len(valid))
+		}
+	}
+
+	// A stream count beyond MaxAggStreams is rejected before allocation.
+	var e Encoder
+	e.U8(uint8(TAggRange))
+	e.U64(MaxAggStreams + 1)
+	if _, err := Unmarshal(e.Bytes()); err == nil {
+		t.Error("oversized stream count accepted")
+	}
+	// An element count beyond MaxAggElems likewise.
+	var e2 Encoder
+	e2.U8(uint8(TAggRange))
+	e2.U64(1)
+	e2.Str("s")
+	e2.I64(0)
+	e2.I64(10)
+	e2.U64(0)
+	e2.U64(MaxAggElems + 1)
+	if _, err := Unmarshal(e2.Bytes()); err == nil {
+		t.Error("oversized element count accepted")
+	}
+	// An element index that does not fit uint32 is rejected, not wrapped.
+	var e3 Encoder
+	e3.U8(uint8(TAggRange))
+	e3.U64(1)
+	e3.Str("s")
+	e3.I64(0)
+	e3.I64(10)
+	e3.U64(0)
+	e3.U64(1)
+	e3.U64(1 << 40)
+	e3.U64(0)
+	if _, err := Unmarshal(e3.Bytes()); err == nil {
+		t.Error("overflowing element index accepted")
+	}
+
+	// The response side: hostile stream counts and truncation.
+	resp := Marshal(&AggRangeResp{FromChunk: 4, ToChunk: 16, Epoch: 100, Interval: 10,
+		StreamCount: 3, Windows: [][]uint64{{1, 2, 3}, {4, 5, 6}}})
+	for cut := 1; cut < len(resp); cut++ {
+		if _, err := Unmarshal(resp[:cut]); err == nil {
+			t.Errorf("truncated AggRangeResp of %d/%d bytes accepted", cut, len(resp))
+		}
+	}
+	var e4 Encoder
+	e4.U8(uint8(TAggRangeResp))
+	e4.U64(0)
+	e4.U64(0)
+	e4.I64(0)
+	e4.I64(0)
+	e4.U64(MaxAggStreams + 1)
+	if _, err := Unmarshal(e4.Bytes()); err == nil {
+		t.Error("oversized response stream count accepted")
+	}
+
+	// Random mutations of the request never panic; accepted mutants
+	// re-marshal.
+	r := rand.New(rand.NewPCG(0xA66, 0xA66))
+	for trial := 0; trial < 2000; trial++ {
+		data := append([]byte(nil), valid...)
+		for k := 0; k < 1+r.IntN(4); k++ {
+			switch r.IntN(3) {
+			case 0:
+				data[r.IntN(len(data))] ^= byte(1 << r.IntN(8))
+			case 1:
+				if len(data) > 1 {
+					data = data[:1+r.IntN(len(data)-1)]
+				}
+			case 2:
+				data = append(data, byte(r.Uint32()))
+			}
+		}
+		if m, err := Unmarshal(data); err == nil {
+			Marshal(m)
+		}
+	}
+
+	// Credit frames: a hostile page grant is clamped, never trusted.
+	cm, err := Unmarshal(Marshal(&StreamCredit{ID: 7, Pages: 1<<32 - 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := cm.(*StreamCredit); c.Pages != MaxStreamCredit {
+		t.Errorf("credit grant %d not clamped to %d", c.Pages, MaxStreamCredit)
+	}
+}

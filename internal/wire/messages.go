@@ -38,6 +38,9 @@ const (
 	TBatch
 	TBatchResp
 	TQueryStream
+	TAggRange
+	TAggRangeResp
+	TStreamCredit
 )
 
 // Message is one protocol message.
@@ -101,6 +104,9 @@ var registry = map[MsgType]func() Message{
 	TBatch:            func() Message { return &Batch{} },
 	TBatchResp:        func() Message { return &BatchResp{} },
 	TQueryStream:      func() Message { return &QueryStream{} },
+	TAggRange:         func() Message { return &AggRange{} },
+	TAggRangeResp:     func() Message { return &AggRangeResp{} },
+	TStreamCredit:     func() Message { return &StreamCredit{} },
 }
 
 // Error is the generic failure response.
@@ -717,6 +723,180 @@ func (m *QueryStream) decode(d *Decoder) error {
 	return d.Err()
 }
 
+// MaxAggStreams bounds the member streams of one AggRange: generous enough
+// for population-scale aggregation ("average over all patients"), small
+// enough that one frame cannot pin unbounded index walks.
+const MaxAggStreams = 1 << 16
+
+// MaxAggElems bounds the digest element projection of one AggRange; digest
+// vectors are at most a few thousand elements (histogram bins), so anything
+// larger is hostile.
+const MaxAggElems = 1 << 16
+
+// AggRange is the typed-plan aggregation query: a set of member streams, a
+// window spec, and an optional projection of digest elements. The server
+// resolves each stream's index subtree, homomorphically sums the
+// per-window digests ACROSS the streams (ciphertexts are additively
+// combinable, so the sum of encrypted digests is the encryption of the
+// summed digest under the summed keystreams), and projects each window
+// vector down to Elems before responding — one round trip carries a whole
+// population aggregate. All member streams must share geometry
+// (epoch/interval/digest length); behind a cluster router the stream set
+// is split by owning shard and the partial ciphertext aggregates are
+// combined shard-side.
+//
+// Elems lists the digest element indices to return (computed client-side
+// from the plan's typed statistic selectors, so the server stays ignorant
+// of the digest layout); empty means the full vector. WindowChunks == 0
+// asks for one aggregate over the whole range. PageWindows > 0 selects the
+// streamed response mode on a multiplexed connection: the server pushes
+// successive AggRangeResp pages of that many windows tagged with the
+// request's correlation ID and FlagMore, terminated by OK or Error;
+// callers must issue such requests through a Streamer. Unary handlers
+// (engines, routers) ignore PageWindows.
+type AggRange struct {
+	UUIDs        []string
+	Ts, Te       int64
+	WindowChunks uint64
+	Elems        []uint32
+	PageWindows  uint32
+}
+
+func (*AggRange) Type() MsgType { return TAggRange }
+func (m *AggRange) encode(e *Encoder) {
+	e.U64(uint64(len(m.UUIDs)))
+	for _, u := range m.UUIDs {
+		e.Str(u)
+	}
+	e.I64(m.Ts)
+	e.I64(m.Te)
+	e.U64(m.WindowChunks)
+	e.U64(uint64(len(m.Elems)))
+	for _, x := range m.Elems {
+		e.U64(uint64(x))
+	}
+	e.U64(uint64(m.PageWindows))
+}
+func (m *AggRange) decode(d *Decoder) error {
+	n := d.U64()
+	if n > MaxAggStreams {
+		return fmt.Errorf("wire: implausible stream count %d", n)
+	}
+	m.UUIDs = make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		m.UUIDs = append(m.UUIDs, d.Str())
+	}
+	m.Ts = d.I64()
+	m.Te = d.I64()
+	m.WindowChunks = d.U64()
+	k := d.U64()
+	if k > MaxAggElems {
+		return fmt.Errorf("wire: implausible element count %d", k)
+	}
+	m.Elems = make([]uint32, 0, k)
+	for i := uint64(0); i < k; i++ {
+		x := d.U64()
+		if x > 1<<32-1 {
+			return fmt.Errorf("wire: digest element index %d overflows", x)
+		}
+		m.Elems = append(m.Elems, uint32(x))
+	}
+	if n := d.U64(); n > MaxPageWindows {
+		m.PageWindows = MaxPageWindows
+	} else {
+		m.PageWindows = uint32(n)
+	}
+	return d.Err()
+}
+
+// AggRangeResp answers an AggRange (one full response, or one pushed page
+// of a streamed plan): encrypted per-window aggregates summed across the
+// member streams, projected to the request's Elems. StreamCount echoes how
+// many member streams the aggregate combines — a client-side cross-check
+// that no shard's partial sum went missing (decryption would silently
+// produce garbage otherwise). Epoch and Interval echo the streams' shared
+// time geometry: a cluster router combining shard partials compares them,
+// so two shards that clamped the same chunk range over *different*
+// geometries (mismatched member streams) can never be silently summed.
+type AggRangeResp struct {
+	FromChunk, ToChunk uint64
+	Epoch, Interval    int64
+	StreamCount        uint32
+	Windows            [][]uint64
+}
+
+func (*AggRangeResp) Type() MsgType { return TAggRangeResp }
+func (m *AggRangeResp) encode(e *Encoder) {
+	e.U64(m.FromChunk)
+	e.U64(m.ToChunk)
+	e.I64(m.Epoch)
+	e.I64(m.Interval)
+	e.U64(uint64(m.StreamCount))
+	e.U64(uint64(len(m.Windows)))
+	for _, w := range m.Windows {
+		e.Vec(w)
+	}
+}
+func (m *AggRangeResp) decode(d *Decoder) error {
+	m.FromChunk = d.U64()
+	m.ToChunk = d.U64()
+	m.Epoch = d.I64()
+	m.Interval = d.I64()
+	if n := d.U64(); n > MaxAggStreams {
+		return fmt.Errorf("wire: implausible stream count %d", n)
+	} else {
+		m.StreamCount = uint32(n)
+	}
+	n := d.U64()
+	if n > 1<<24 {
+		return fmt.Errorf("wire: implausible window count %d", n)
+	}
+	m.Windows = make([][]uint64, 0, n)
+	for i := uint64(0); i < n; i++ {
+		m.Windows = append(m.Windows, d.Vec())
+	}
+	return d.Err()
+}
+
+// StreamInitialCredit is how many pages of a streamed query the server may
+// push before the consumer acknowledges any: the client-side page buffer
+// and the server's initial send window are both this constant, so a
+// conforming server can never overflow the client buffer. The consumer
+// replenishes credit as it drains pages (StreamCredit frames).
+const StreamInitialCredit = 8
+
+// MaxStreamCredit caps a single credit grant (and the accumulated credit
+// server-side); a hostile peer must not overflow the counter.
+const MaxStreamCredit = 1 << 20
+
+// StreamCredit is the flow-control frame for streamed responses. It is
+// connection-level, not a request: the client sends it with correlation ID
+// 0 and the server answers nothing — the read loop just credits the
+// streamed call named by ID with Pages more pages (the server pauses a
+// stream that runs out of credit, so one slow cursor consumer stalls only
+// its own stream, never the connection). Pages == 0 abandons the stream:
+// the server stops paging and terminates it with a canceled Error, letting
+// the client reclaim the correlation ID.
+type StreamCredit struct {
+	ID    uint64
+	Pages uint32
+}
+
+func (*StreamCredit) Type() MsgType { return TStreamCredit }
+func (m *StreamCredit) encode(e *Encoder) {
+	e.U64(m.ID)
+	e.U64(uint64(m.Pages))
+}
+func (m *StreamCredit) decode(d *Decoder) error {
+	m.ID = d.U64()
+	if n := d.U64(); n > MaxStreamCredit {
+		m.Pages = MaxStreamCredit
+	} else {
+		m.Pages = uint32(n)
+	}
+	return d.Err()
+}
+
 // MaxBatch bounds the sub-requests in one Batch envelope: large enough to
 // amortize a round trip thousands of times over, small enough that one
 // frame cannot pin unbounded server work.
@@ -868,6 +1048,12 @@ func RoutingUUID(req Message) (string, bool) {
 	case *StatRange:
 		// A single-stream statistical query routes like any other
 		// single-stream request; multi-stream queries fan out.
+		if len(m.UUIDs) == 1 {
+			return m.UUIDs[0], true
+		}
+		return "", false
+	case *AggRange:
+		// Same single-stream degenerate case for typed query plans.
 		if len(m.UUIDs) == 1 {
 			return m.UUIDs[0], true
 		}

@@ -116,6 +116,11 @@ func allMessages() []Message {
 		&ListStreams{},
 		&ListStreamsResp{UUIDs: []string{"a", "b"}},
 		&QueryStream{UUID: "s1", Ts: 0, Te: 600, WindowChunks: 6, PageWindows: 64},
+		&AggRange{UUIDs: []string{"a", "b", "c"}, Ts: -7, Te: 900, WindowChunks: 6,
+			Elems: []uint32{0, 1, 4}, PageWindows: 32},
+		&AggRangeResp{FromChunk: 6, ToChunk: 18, Epoch: 1700000000000, Interval: 10000,
+			StreamCount: 3, Windows: [][]uint64{{9, 8}, {7, 6}}},
+		&StreamCredit{ID: 42, Pages: 4},
 		&Batch{Reqs: []Message{
 			&InsertChunk{UUID: "s1", Chunk: []byte{1, 2}},
 			&InsertChunk{UUID: "s1", Chunk: []byte{3}},

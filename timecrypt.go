@@ -36,6 +36,21 @@
 //	}
 //	err = it.Err()
 //
+// Query plans aggregate across streams server-side — ciphertexts are
+// additively combinable, so "average over all patients" is one round trip
+// per page, not one per stream — and typed statistic selectors project the
+// response down to exactly the digest elements the selection needs:
+//
+//	it := a.Query().Streams(b, c).Range(ts, te).Window(6).Stats(timecrypt.Sum, timecrypt.Mean).Iter(ctx)
+//	for it.Next() {
+//		agg := it.Agg()
+//		use(agg.Mean())
+//	}
+//
+// Decryption requires key material for every member stream (ownership or
+// grants at a compatible resolution): the combined result is encrypted
+// under the sum of the members' keystreams.
+//
 // Sharing: generate a consumer key pair, then s.Grant(pub, from, to,
 // factor) — factor 0 grants full resolution, factor f >= 2 restricts the
 // principal to f-chunk aggregates, enforced by encryption rather than
@@ -89,11 +104,21 @@ type (
 	Writer = client.Writer
 	// WriterOptions tunes a pipelined ingest writer.
 	WriterOptions = client.WriterOptions
-	// QueryBuilder assembles a statistical query fluently.
+	// QueryBuilder assembles a statistical query plan fluently.
 	QueryBuilder = client.QueryBuilder
 	// Cursor pages a windowed statistical query lazily (server-pushed
 	// pages on a multiplexed transport).
 	Cursor = client.Cursor
+	// Stat is a typed statistic selector for query plans.
+	Stat = client.Stat
+	// StatSet is a bitmask of selected statistics.
+	StatSet = chunk.StatSet
+	// Agg is one decrypted window of a typed query plan (combined across
+	// member streams, carrying only the selected statistics).
+	Agg = client.Agg
+	// Queryable is any stream handle a query plan can aggregate over
+	// (OwnerStream, ConsumerStream).
+	Queryable = client.Queryable
 	// Session is one multiplexed connection: concurrent in-flight calls
 	// with correlation IDs, out-of-order completion, streamed responses.
 	Session = client.Session
@@ -126,6 +151,17 @@ type (
 const (
 	CompressionZlib = chunk.CompressionZlib
 	CompressionNone = chunk.CompressionNone
+)
+
+// Typed statistic selectors for Query().Stats(...): the plan fetches (and
+// decrypts) only the digest elements the selection needs.
+const (
+	Sum   = client.Sum
+	Count = client.Count
+	Mean  = client.Mean
+	Var   = client.Var
+	Stdev = client.Stdev
+	Hist  = client.Hist
 )
 
 // Key-tree PRG constructions (see Fig. 6 of the paper for the trade-off).
