@@ -8,7 +8,7 @@
 //	timecrypt-bench -run batch -json BENCH_results.json
 //
 // Experiments: table2, table3, fig5, fig6, fig7, fig8, access, devops,
-// cluster, batch, pipeline, aggregate. Scale > 1 approaches the paper's
+// cluster, batch, pipeline, aggregate, reshard. Scale > 1 approaches the paper's
 // sizes (and run times).
 //
 // Alongside the human-readable tables, machine-readable metrics
@@ -34,7 +34,7 @@ func wrap[T any](f func(io.Writer, bench.Options) ([]T, error)) func(io.Writer, 
 }
 
 func main() {
-	runList := flag.String("run", "all", "comma-separated experiments (table2,table3,fig5,fig6,fig7,fig8,access,devops,cluster,batch,pipeline,aggregate) or 'all'")
+	runList := flag.String("run", "all", "comma-separated experiments (table2,table3,fig5,fig6,fig7,fig8,access,devops,cluster,batch,pipeline,aggregate,reshard) or 'all'")
 	scale := flag.Float64("scale", 1.0, "experiment scale factor (1.0 = laptop-sized defaults)")
 	jsonPath := flag.String("json", "BENCH_results.json", "machine-readable results file ('' disables)")
 	flag.Parse()
@@ -58,6 +58,7 @@ func main() {
 		{"batch", wrap(bench.BatchIngest)},
 		{"pipeline", wrap(bench.Pipeline)},
 		{"aggregate", wrap(bench.Aggregate)},
+		{"reshard", wrap(bench.Reshard)},
 	}
 
 	want := map[string]bool{}

@@ -2,14 +2,26 @@
 // timecrypt-server: it creates streams, loads synthetic data, and runs
 // statistical queries, holding its key material in a local key file.
 //
-// Usage:
+// Usage (flags come BEFORE the subcommand — the flag package stops
+// parsing at the first non-flag argument):
 //
-//	timecrypt-cli -addr localhost:7733 create  -stream hr -interval 10s
-//	timecrypt-cli -addr localhost:7733 ingest  -stream hr -chunks 100
-//	timecrypt-cli -addr localhost:7733 stats   -stream hr
-//	timecrypt-cli -addr localhost:7733 stat    -stream hr,bp,spo2
-//	timecrypt-cli -addr localhost:7733 series  -stream hr -window 6
-//	timecrypt-cli -addr localhost:7733 info    -stream hr
+//	timecrypt-cli -addr localhost:7733 -stream hr -interval 10s create
+//	timecrypt-cli -addr localhost:7733 -stream hr -chunks 100 ingest
+//	timecrypt-cli -addr localhost:7733 -stream hr stats
+//	timecrypt-cli -addr localhost:7733 -stream hr,bp,spo2 stat
+//	timecrypt-cli -addr localhost:7733 -stream hr -window 6 series
+//	timecrypt-cli -addr localhost:7733 -stream hr info
+//
+// Cluster administration against a router front end:
+//
+//	timecrypt-cli -addr localhost:7700 topology
+//	timecrypt-cli -addr localhost:7700 -members host1:7733,host2:7733,host3:7733 reshard
+//
+// topology prints the router's versioned ring membership; reshard changes
+// it to exactly -members, migrating the streams whose ownership changed
+// while the cluster keeps serving (docs/OPERATIONS.md walks through it).
+// reshard runs without a deadline unless -timeout is set explicitly — a
+// large migration may take well past the default command timeout.
 //
 // stat/stats/series accept several comma-separated stream UUIDs: the
 // server homomorphically sums the streams' aggregates (one round trip),
@@ -56,9 +68,10 @@ func main() {
 	window := flag.Uint64("window", 6, "window size in chunks (series)")
 	keyPath := flag.String("keys", "", "key file path(s), comma-separated like -stream (default <stream>.tckeys each)")
 	timeout := flag.Duration("timeout", time.Minute, "per-command deadline, carried to the server over the wire (0 = none)")
+	members := flag.String("members", "", "comma-separated ring membership (reshard)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		log.Fatal("usage: timecrypt-cli [flags] create|ingest|stat|stats|series|info|delete")
+		log.Fatal("usage: timecrypt-cli [flags] create|ingest|stat|stats|series|info|delete|topology|reshard")
 	}
 	streams := strings.Split(*stream, ",")
 	keyPaths := make([]string, len(streams))
@@ -80,8 +93,18 @@ func main() {
 	}
 	defer tr.Close()
 
+	// reshard migrates data and can legitimately run far past the default
+	// command deadline: it gets no deadline unless -timeout was set
+	// explicitly (the wire deadline would cancel and roll back the
+	// migration server-side).
+	timeoutSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "timeout" {
+			timeoutSet = true
+		}
+	})
 	ctx := context.Background()
-	if *timeout > 0 {
+	if *timeout > 0 && (flag.Arg(0) != "reshard" || timeoutSet) {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
@@ -114,8 +137,53 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println("deleted", streams[0])
+	case "topology":
+		doTopology(ctx, tr)
+	case "reshard":
+		doReshard(ctx, tr, *members)
 	default:
 		log.Fatalf("unknown command %q", cmd)
+	}
+}
+
+func doTopology(ctx context.Context, tr client.Transport) {
+	resp, err := tr.RoundTrip(ctx, &wire.TopologyInfo{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ti, ok := resp.(*wire.TopologyInfoResp)
+	if !ok {
+		fatalResp(resp)
+	}
+	fmt.Printf("topology epoch %d, %d members\n", ti.Epoch, len(ti.Members))
+	for _, m := range ti.Members {
+		fmt.Printf("  %s\n", m)
+	}
+}
+
+// doReshard changes the ring membership to exactly the -members list; the
+// router migrates every stream whose ownership changed while serving.
+func doReshard(ctx context.Context, tr client.Transport, memberList string) {
+	var members []string
+	for _, m := range strings.Split(memberList, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			members = append(members, m)
+		}
+	}
+	if len(members) == 0 {
+		log.Fatal("reshard needs -members host1:port,host2:port,...")
+	}
+	resp, err := tr.RoundTrip(ctx, &wire.Reshard{Members: members})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ti, ok := resp.(*wire.TopologyInfoResp)
+	if !ok {
+		fatalResp(resp)
+	}
+	fmt.Printf("resharded: epoch %d, %d members\n", ti.Epoch, len(ti.Members))
+	for _, m := range ti.Members {
+		fmt.Printf("  %s\n", m)
 	}
 }
 

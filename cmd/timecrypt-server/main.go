@@ -16,9 +16,14 @@
 //	timecrypt-server -addr :7733 -shards 4
 //	timecrypt-server -addr :7700 -peers host1:7733,host2:7733
 //
-// Shard count and peer list must be stable across restarts: placement is
-// derived from them, and this reproduction does not move data between
-// shards.
+// The ring is versioned: membership changes online ("timecrypt-cli
+// reshard" against a router, or -join below) and the router migrates the
+// streams whose ownership changed while serving. A single-engine server
+// can ask a running cluster router to add it to the ring at startup:
+//
+//	timecrypt-server -addr :7734 -advertise host3:7734 -join host0:7700
+//
+// See docs/OPERATIONS.md for the full deployment and resharding runbook.
 package main
 
 import (
@@ -34,9 +39,11 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/client"
 	"repro/internal/cluster"
 	"repro/internal/kv"
 	"repro/internal/server"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -47,9 +54,11 @@ func main() {
 	snapshot := flag.String("snapshot", "", "snapshot file to load at start and write periodically (local store only)")
 	snapshotEvery := flag.Duration("snapshot-every", time.Minute, "snapshot interval")
 	shards := flag.Int("shards", 1, "engine shards hosted in this process, each over its own store partition (stable across restarts)")
-	peers := flag.String("peers", "", "comma-separated remote timecrypt-server shards to route to (stable across restarts)")
+	peers := flag.String("peers", "", "comma-separated remote timecrypt-server shards to route to initially (reshard to change membership online)")
 	peerWindow := flag.Int("peer-window", 0, "in-flight request window per remote peer shard's multiplexed connection (0 = client default)")
 	connInFlight := flag.Int("conn-inflight", 0, "max concurrently executing requests per client connection; overflow answers CodeBusy (0 = default)")
+	join := flag.String("join", "", "running cluster router to ask to add this server to its ring (single-engine servers only)")
+	advertise := flag.String("advertise", "", "address other cluster members dial this server at (default: -addr, with localhost for a bare :port)")
 	flag.Parse()
 
 	var store kv.Store
@@ -128,7 +137,13 @@ func main() {
 			shardCfgs = append(shardCfgs, sh)
 		}
 		var err error
-		router, err = cluster.NewRouter(shardCfgs, cluster.Options{})
+		router, err = cluster.NewRouter(shardCfgs, cluster.Options{
+			// Members joining later (timecrypt-cli reshard, -join) are
+			// named by address; dial them over the wire protocol.
+			Dial: func(member string) (cluster.Shard, error) {
+				return cluster.NewTCPShard(member, member, *peerWindow)
+			},
+		})
 		if err != nil {
 			log.Fatalf("building router: %v", err)
 		}
@@ -146,6 +161,26 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *join != "" {
+		if router != nil {
+			log.Fatalf("-join is for single-engine servers; this process hosts a router")
+		}
+		self := *advertise
+		if self == "" {
+			self = *addr
+			if strings.HasPrefix(self, ":") {
+				self = "localhost" + self
+			}
+		}
+		// Serving has started (listener is bound), so the coordinator can
+		// dial back and migrate streams onto this engine immediately.
+		go func() {
+			if err := joinCluster(ctx, *join, self); err != nil {
+				log.Printf("joining cluster via %s: %v", *join, err)
+			}
+		}()
+	}
 
 	if mem != nil && *snapshot != "" {
 		go func() {
@@ -183,6 +218,62 @@ func main() {
 		}
 		router.Close()
 	}
+}
+
+// joinCluster asks a running cluster router to add this server to its
+// ring: fetch the current membership, and reshard to it plus self. The
+// reshard is conditional on the fetched epoch (ExpectEpoch), so two
+// servers joining concurrently cannot silently evict each other — the
+// loser's compare-and-swap fails with CodeBusy and it refetches the
+// (now larger) membership and retries. The router migrates every stream
+// whose ownership moves here while both sides keep serving.
+func joinCluster(ctx context.Context, routerAddr, self string) error {
+	tr, err := client.DialTCP(routerAddr)
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+	for attempt := 0; attempt < 6; attempt++ {
+		resp, err := tr.RoundTrip(ctx, &wire.TopologyInfo{})
+		if err != nil {
+			return err
+		}
+		ti, ok := resp.(*wire.TopologyInfoResp)
+		if !ok {
+			return fmt.Errorf("unexpected topology response %v", resp)
+		}
+		for _, m := range ti.Members {
+			if m == self {
+				log.Printf("already a member of %s's ring (epoch %d)", routerAddr, ti.Epoch)
+				return nil
+			}
+		}
+		members := append(append([]string(nil), ti.Members...), self)
+		resp, err = tr.RoundTrip(ctx, &wire.Reshard{Members: members, ExpectEpoch: ti.Epoch})
+		if err != nil {
+			return err
+		}
+		if e, isErr := resp.(*wire.Error); isErr {
+			if e.Code == wire.CodeBusy {
+				// Another reshard is running or won the epoch CAS:
+				// refetch the membership and try again.
+				select {
+				case <-time.After(2 * time.Second):
+					continue
+				case <-ctx.Done():
+					return ctx.Err()
+				}
+			}
+			return e
+		}
+		nt, ok := resp.(*wire.TopologyInfoResp)
+		if !ok {
+			return fmt.Errorf("unexpected reshard response %v", resp)
+		}
+		log.Printf("joined %s's ring as %s (epoch %d, %d members)", routerAddr, self, nt.Epoch, len(nt.Members))
+		return nil
+	}
+	return fmt.Errorf("gave up joining after repeated busy answers")
 }
 
 // writeSnapshot writes atomically via a temp file rename.

@@ -1,0 +1,185 @@
+// Documentation hygiene checks, run as ordinary tests so CI (and plain
+// `go test ./...`) fails when the docs rot:
+//
+//   - TestPackageDocs: every package in this module carries a package
+//     comment, so `go doc` actually describes the system.
+//   - TestMarkdownLinks: every relative link in README.md and docs/*.md
+//     resolves to a file that exists (and intra-document #anchors to a
+//     heading that exists), so the docs suite cannot rot silently.
+package timecrypt
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestPackageDocs parses every non-test package under the module root and
+// requires a package comment (a doc comment attached to some file's
+// package clause).
+func TestPackageDocs(t *testing.T) {
+	pkgDirs := map[string]bool{}
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name != "." && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			pkgDirs[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for dir := range pkgDirs {
+		documented := false
+		var files []string
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fset := token.NewFileSet()
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+				continue
+			}
+			path := filepath.Join(dir, e.Name())
+			files = append(files, path)
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.PackageClauseOnly)
+			if err != nil {
+				t.Errorf("%s: %v", path, err)
+				continue
+			}
+			if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+				documented = true
+			}
+		}
+		if len(files) > 0 && !documented {
+			t.Errorf("package %s has no package comment on any of its files; add a doc.go or a comment above one package clause", dir)
+		}
+	}
+}
+
+// mdLink matches inline markdown links [text](target); images and
+// reference-style links are out of scope for the repo's docs.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestMarkdownLinks verifies every relative link in the doc suite.
+func TestMarkdownLinks(t *testing.T) {
+	var docs []string
+	for _, glob := range []string{"README.md", "docs/*.md", "*.md"} {
+		matches, err := filepath.Glob(glob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs = append(docs, matches...)
+	}
+	seen := map[string]bool{}
+	for _, doc := range docs {
+		if seen[doc] {
+			continue
+		}
+		seen[doc] = true
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		anchors := headingAnchors(string(data))
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			switch {
+			case strings.HasPrefix(target, "http://"), strings.HasPrefix(target, "https://"),
+				strings.HasPrefix(target, "mailto:"):
+				continue // external links are not checked (no network in CI)
+			case strings.HasPrefix(target, "#"):
+				if !anchors[strings.TrimPrefix(target, "#")] {
+					t.Errorf("%s: anchor link %q has no matching heading", doc, target)
+				}
+			default:
+				path, frag, _ := strings.Cut(target, "#")
+				resolved := filepath.Join(filepath.Dir(doc), path)
+				info, err := os.Stat(resolved)
+				if err != nil {
+					t.Errorf("%s: link target %q does not exist", doc, target)
+					continue
+				}
+				if frag != "" && !info.IsDir() && strings.HasSuffix(path, ".md") {
+					other, err := os.ReadFile(resolved)
+					if err != nil {
+						t.Errorf("%s: reading link target %q: %v", doc, target, err)
+						continue
+					}
+					if !headingAnchors(string(other))[frag] {
+						t.Errorf("%s: anchor %q not found in %s", doc, target, path)
+					}
+				}
+			}
+		}
+	}
+	if len(seen) < 4 {
+		t.Fatalf("link checker found only %d markdown files; docs/ suite missing?", len(seen))
+	}
+}
+
+// headingAnchors derives GitHub-style anchor slugs from markdown headings.
+func headingAnchors(md string) map[string]bool {
+	anchors := map[string]bool{}
+	inFence := false
+	for _, line := range strings.Split(md, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(line, "#") {
+			continue
+		}
+		text := strings.TrimSpace(strings.TrimLeft(line, "#"))
+		slug := strings.ToLower(text)
+		// GitHub's slugger: drop everything but letters, digits, spaces,
+		// and hyphens, then spaces become hyphens.
+		var b strings.Builder
+		for _, r := range slug {
+			switch {
+			case r == ' ':
+				b.WriteRune('-')
+			case r == '-' || r == '_':
+				b.WriteRune(r)
+			case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+				b.WriteRune(r)
+			case r > 127: // keep non-ASCII letters (GitHub does)
+				b.WriteRune(r)
+			}
+		}
+		anchors[b.String()] = true
+	}
+	return anchors
+}
+
+// Ensure the suite the README promises actually exists.
+func TestDocsSuitePresent(t *testing.T) {
+	for _, doc := range []string{"docs/ARCHITECTURE.md", "docs/PROTOCOL.md", "docs/OPERATIONS.md"} {
+		if _, err := os.Stat(doc); err != nil {
+			t.Errorf("%s missing: %v", doc, err)
+		}
+	}
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"docs/ARCHITECTURE.md", "docs/PROTOCOL.md", "docs/OPERATIONS.md"} {
+		if !strings.Contains(string(readme), want) {
+			t.Errorf("README does not link %s", want)
+		}
+	}
+}

@@ -1,0 +1,676 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/chunk"
+	"repro/internal/kv"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+// newEngine builds one engine shard over its own store.
+func newEngine(t *testing.T) *server.Engine {
+	t.Helper()
+	engine, err := server.New(kv.NewMemStore(), server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return engine
+}
+
+// growShards returns the current membership plus one new in-process
+// engine shard named name.
+func (tc *testCluster) growShards(t *testing.T, name string) ([]Shard, *server.Engine) {
+	t.Helper()
+	var shards []Shard
+	for _, n := range tc.router.Shards() {
+		shards = append(shards, Shard{Name: n}) // nil handler: keep current
+	}
+	engine := newEngine(t)
+	return append(shards, Shard{Name: name, Handler: engine}), engine
+}
+
+// residenceOf maps every stream to the engine that lists it, failing on
+// streams listed by zero or two engines.
+func residenceOf(t *testing.T, engines map[string]*server.Engine) map[string]string {
+	t.Helper()
+	res := make(map[string]string)
+	for name, e := range engines {
+		for _, uuid := range e.ListStreams() {
+			if prev, dup := res[uuid]; dup {
+				t.Fatalf("stream %q served by both %s and %s", uuid, prev, name)
+			}
+			res[uuid] = name
+		}
+	}
+	return res
+}
+
+func (tc *testCluster) statSum(t *testing.T, uuid string, te int64) uint64 {
+	t.Helper()
+	resp := tc.router.Handle(context.Background(), &wire.StatRange{UUIDs: []string{uuid}, Ts: 0, Te: te})
+	sr, ok := resp.(*wire.StatRangeResp)
+	if !ok {
+		t.Fatalf("StatRange(%q) -> %#v", uuid, resp)
+	}
+	return sr.Windows[0][0]
+}
+
+func TestRebalanceGrowMigratesOwnershipAndData(t *testing.T) {
+	tc := newTestCluster(t, 4)
+	const streams = 24
+	const chunks = 12
+	sums := make(map[string]uint64)
+	for i := 0; i < streams; i++ {
+		uuid := fmt.Sprintf("grow-%d", i)
+		tc.createStream(t, uuid)
+		tc.ingest(t, uuid, chunks)
+		sums[uuid] = tc.statSum(t, uuid, chunks*100)
+	}
+	preOwner := make(map[string]string)
+	for uuid := range sums {
+		preOwner[uuid] = tc.router.Owner(uuid)
+	}
+
+	shards, newEngine := tc.growShards(t, "shard-4")
+	report, err := tc.router.Rebalance(context.Background(), shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tc.router.Topology(); got.Epoch != 2 || len(got.Members) != 5 {
+		t.Fatalf("topology after grow = %+v", got)
+	}
+	if len(report.Moved) == 0 {
+		t.Fatal("growing 4->5 moved zero streams; expected ~1/5 of them")
+	}
+
+	engines := map[string]*server.Engine{"shard-4": newEngine}
+	for i, e := range tc.engines {
+		engines[tc.names[i]] = e
+	}
+	res := residenceOf(t, engines)
+	if len(res) != streams {
+		t.Fatalf("%d streams resident, want %d", len(res), streams)
+	}
+	movedToNew := 0
+	for uuid := range sums {
+		want := tc.router.Owner(uuid)
+		if res[uuid] != want {
+			t.Errorf("stream %q resides on %s, ring owner is %s", uuid, res[uuid], want)
+		}
+		if res[uuid] != preOwner[uuid] && res[uuid] == "shard-4" {
+			movedToNew++
+		}
+		// Queries answer identically after the move.
+		if got := tc.statSum(t, uuid, chunks*100); got != sums[uuid] {
+			t.Errorf("stream %q aggregate changed: %d -> %d", uuid, sums[uuid], got)
+		}
+		// Ingest continues at the next index wherever the stream lives.
+		sealed, _ := chunk.SealPlain(tc.spec, chunk.CompressionNone, chunks, chunks*100, (chunks+1)*100,
+			[]chunk.Point{{TS: chunks * 100, Val: 1}})
+		if resp := tc.router.Handle(context.Background(), &wire.InsertChunk{UUID: uuid, Chunk: chunk.MarshalSealed(sealed)}); !isOK(resp) {
+			t.Errorf("post-reshard ingest on %q -> %#v", uuid, resp)
+		}
+	}
+	if movedToNew == 0 {
+		t.Error("no stream moved to the new shard")
+	}
+	// The new membership was published to every shard, including the new
+	// one, so stale routers can refresh from any of them.
+	for name, e := range engines {
+		epoch, members := e.Topology()
+		if epoch != 2 || len(members) != 5 {
+			t.Errorf("shard %s holds topology %d/%v, want 2/5 members", name, epoch, members)
+		}
+	}
+	// Cross-shard queries span old and new members.
+	var uuids []string
+	for uuid := range sums {
+		uuids = append(uuids, uuid)
+	}
+	resp := tc.router.Handle(context.Background(), &wire.StatRange{UUIDs: uuids, Ts: 0, Te: chunks * 100})
+	if _, ok := resp.(*wire.StatRangeResp); !ok {
+		t.Fatalf("cross-shard StatRange after grow -> %#v", resp)
+	}
+}
+
+func TestRebalanceShrinkDrainsRemovedShard(t *testing.T) {
+	tc := newTestCluster(t, 4)
+	const streams = 16
+	for i := 0; i < streams; i++ {
+		uuid := fmt.Sprintf("shrink-%d", i)
+		tc.createStream(t, uuid)
+		tc.ingest(t, uuid, 5)
+	}
+	var keep []Shard
+	for _, n := range tc.router.Shards()[:3] {
+		keep = append(keep, Shard{Name: n})
+	}
+	if _, err := tc.router.Rebalance(context.Background(), keep); err != nil {
+		t.Fatal(err)
+	}
+	if got := tc.router.Topology(); got.Epoch != 2 || len(got.Members) != 3 {
+		t.Fatalf("topology after shrink = %+v", got)
+	}
+	// The removed shard serves nothing; every stream still answers.
+	if left := tc.engines[3].ListStreams(); len(left) != 0 {
+		t.Fatalf("removed shard still serves %v", left)
+	}
+	for i := 0; i < streams; i++ {
+		uuid := fmt.Sprintf("shrink-%d", i)
+		if got := tc.statSum(t, uuid, 500); got != 1+2+3+4+5 {
+			t.Errorf("stream %q aggregate = %d after shrink", uuid, got)
+		}
+	}
+}
+
+func TestRebalanceCatchUpDrainsMidSnapshotWrites(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	tc.createStream(t, "cu")
+	tc.ingest(t, "cu", 10)
+	written := atomic.Uint64{}
+	written.Store(10)
+
+	// Inject writes between copy rounds: round 1 and 2 each add chunks
+	// AFTER that round's export pinned its bound, so only the catch-up
+	// rounds (and the frozen drain) can carry them.
+	tc.router.testHookAfterCopyRound = func(uuid string, round int) {
+		if uuid != "cu" || round > 2 {
+			return
+		}
+		base := written.Load()
+		n := uint64(6) // above the live-round delta threshold once, then below
+		if round == 2 {
+			n = 2
+		}
+		for i := base; i < base+n; i++ {
+			start := int64(i) * 100
+			sealed, err := chunk.SealPlain(tc.spec, chunk.CompressionNone, i, start, start+100,
+				[]chunk.Point{{TS: start, Val: int64(i + 1)}})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if resp := tc.router.Handle(context.Background(), &wire.InsertChunk{UUID: "cu", Chunk: chunk.MarshalSealed(sealed)}); !isOK(resp) {
+				t.Errorf("mid-migration insert %d -> %#v", i, resp)
+				return
+			}
+		}
+		written.Add(n)
+	}
+
+	// Force the stream to move regardless of ring luck: rebalance onto a
+	// membership where "cu" changes owner. Try growing; if the ring keeps
+	// the owner, grow with differently named shards until it moves.
+	moved := false
+	for attempt := 0; attempt < 8 && !moved; attempt++ {
+		name := fmt.Sprintf("cu-new-%d", attempt)
+		shards, dst := tc.growShards(t, name)
+		report, err := tc.router.Rebalance(context.Background(), shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mr := range report.Moved {
+			if mr.UUID == "cu" {
+				moved = true
+				if mr.To != name {
+					break // moved between old shards: still a valid move
+				}
+				_ = dst
+			}
+		}
+	}
+	if !moved {
+		t.Fatal("stream never moved across 8 grow attempts")
+	}
+	want := written.Load()
+	resp := tc.router.Handle(context.Background(), &wire.StreamInfo{UUID: "cu"})
+	info, ok := resp.(*wire.StreamInfoResp)
+	if !ok || info.Count != want {
+		t.Fatalf("after migration: %#v, want count %d — mid-snapshot writes lost", resp, want)
+	}
+	var sum uint64
+	for i := uint64(1); i <= want; i++ {
+		sum += i
+	}
+	if got := tc.statSum(t, "cu", int64(want)*100); got != sum {
+		t.Errorf("aggregate = %d, want %d", got, sum)
+	}
+}
+
+// crashingShard wraps an engine and fails stream exports once armed,
+// simulating a source crash mid-migration.
+type crashingShard struct {
+	engine *server.Engine
+	// exports left before the shard "crashes"; negative = healthy.
+	exportsLeft atomic.Int64
+}
+
+func (c *crashingShard) Handle(ctx context.Context, req wire.Message) wire.Message {
+	if _, isSnap := req.(*wire.StreamSnapshot); isSnap {
+		if c.exportsLeft.Add(-1) < 0 {
+			return &wire.Error{Code: wire.CodeInternal, Msg: "shard down"}
+		}
+	}
+	return c.engine.Handle(ctx, req)
+}
+
+func TestMigrationSourceCrashLeavesOneServingSide(t *testing.T) {
+	crash := &crashingShard{engine: newEngine(t)}
+	crash.exportsLeft.Store(1 << 30)
+	engines := map[string]*server.Engine{"shard-0": crash.engine, "shard-1": newEngine(t)}
+	router, err := NewRouter([]Shard{
+		{Name: "shard-0", Handler: crash},
+		{Name: "shard-1", Handler: engines["shard-1"]},
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := &testCluster{router: router, spec: chunk.DigestSpec{Sum: true, Count: true}}
+	specBytes, _ := tc.spec.MarshalBinary()
+	tc.cfg = wire.StreamConfig{Epoch: 0, Interval: 100, VectorLen: uint32(tc.spec.VectorLen()), Fanout: 8, DigestSpec: specBytes}
+
+	const streams = 12
+	for i := 0; i < streams; i++ {
+		uuid := fmt.Sprintf("crash-%d", i)
+		tc.createStream(t, uuid)
+		tc.ingest(t, uuid, 30) // several export pages per stream
+	}
+
+	// Let the source serve two export pages, then "crash" it.
+	crash.exportsLeft.Store(2)
+	dst := newEngine(t)
+	engines["shard-2"] = dst
+	_, err = router.Rebalance(context.Background(), []Shard{
+		{Name: "shard-0"}, {Name: "shard-1"}, {Name: "shard-2", Handler: dst},
+	})
+	if err == nil {
+		t.Fatal("rebalance succeeded through a crashed source")
+	}
+	// Membership did not change.
+	if got := router.Topology(); got.Epoch != 1 || len(got.Members) != 2 {
+		t.Fatalf("topology changed on failure: %+v", got)
+	}
+	// Every stream is served by exactly one engine, and every query still
+	// answers through the router.
+	res := residenceOf(t, engines)
+	if len(res) != streams {
+		t.Fatalf("%d streams resident, want %d", len(res), streams)
+	}
+	for i := 0; i < streams; i++ {
+		uuid := fmt.Sprintf("crash-%d", i)
+		if _, ok := router.Handle(context.Background(), &wire.StreamInfo{UUID: uuid}).(*wire.StreamInfoResp); !ok {
+			t.Errorf("stream %q unreachable after aborted reshard", uuid)
+		}
+	}
+
+	// The source recovers: the same rebalance now completes.
+	crash.exportsLeft.Store(1 << 30)
+	if _, err := router.Rebalance(context.Background(), []Shard{
+		{Name: "shard-0"}, {Name: "shard-1"}, {Name: "shard-2", Handler: dst},
+	}); err != nil {
+		t.Fatalf("retried rebalance: %v", err)
+	}
+	if got := router.Topology(); got.Epoch != 2 || len(got.Members) != 3 {
+		t.Fatalf("topology after retry = %+v", got)
+	}
+	res = residenceOf(t, engines)
+	for uuid, at := range res {
+		if want := router.Owner(uuid); at != want {
+			t.Errorf("stream %q on %s, ring owner %s", uuid, at, want)
+		}
+	}
+}
+
+func TestStaleRouterRecoversViaWrongShard(t *testing.T) {
+	// Two routers over the same four engines; router A coordinates a grow
+	// to five, router B keeps the old ring and must heal through
+	// CodeWrongShard + TopologyInfo + its dialer.
+	engines := make(map[string]*server.Engine)
+	var shardsA, shardsB []Shard
+	for i := 0; i < 4; i++ {
+		name := fmt.Sprintf("shard-%d", i)
+		e := newEngine(t)
+		engines[name] = e
+		shardsA = append(shardsA, Shard{Name: name, Handler: e})
+		shardsB = append(shardsB, Shard{Name: name, Handler: e})
+	}
+	fifth := newEngine(t)
+	engines["shard-4"] = fifth
+	routerA, err := NewRouter(shardsA, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dialed := atomic.Int64{}
+	routerB, err := NewRouter(shardsB, Options{Dial: func(member string) (Shard, error) {
+		e, ok := engines[member]
+		if !ok {
+			return Shard{}, fmt.Errorf("unknown member %q", member)
+		}
+		dialed.Add(1)
+		return Shard{Name: member, Handler: e}, nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tc := &testCluster{router: routerA, spec: chunk.DigestSpec{Sum: true, Count: true}}
+	specBytes, _ := tc.spec.MarshalBinary()
+	tc.cfg = wire.StreamConfig{Epoch: 0, Interval: 100, VectorLen: uint32(tc.spec.VectorLen()), Fanout: 8, DigestSpec: specBytes}
+	const streams = 20
+	for i := 0; i < streams; i++ {
+		uuid := fmt.Sprintf("stale-%d", i)
+		tc.createStream(t, uuid)
+		tc.ingest(t, uuid, 4)
+	}
+
+	if _, err := routerA.Rebalance(context.Background(), []Shard{
+		{Name: "shard-0"}, {Name: "shard-1"}, {Name: "shard-2"}, {Name: "shard-3"},
+		{Name: "shard-4", Handler: fifth},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(fifth.ListStreams()) == 0 {
+		t.Fatal("no stream moved to the new shard; widen the test")
+	}
+
+	// Router B still holds the 4-shard ring. Queries for moved streams
+	// hit tombstones, refresh B's topology, and succeed on retry —
+	// transparently to the caller.
+	for i := 0; i < streams; i++ {
+		uuid := fmt.Sprintf("stale-%d", i)
+		resp := routerB.Handle(context.Background(), &wire.StreamInfo{UUID: uuid})
+		if _, ok := resp.(*wire.StreamInfoResp); !ok {
+			t.Fatalf("stale router failed on %q: %#v", uuid, resp)
+		}
+	}
+	if got := routerB.Topology(); got.Epoch != 2 || len(got.Members) != 5 {
+		t.Fatalf("stale router topology after heal = %+v", got)
+	}
+	if dialed.Load() != 1 {
+		t.Errorf("dialer used %d times, want once (shard-4)", dialed.Load())
+	}
+}
+
+func TestReshardOverWire(t *testing.T) {
+	// The wire-level admin path: a Reshard message names members as
+	// strings; unknown ones resolve through the dialer.
+	engines := map[string]*server.Engine{}
+	var shards []Shard
+	for i := 0; i < 2; i++ {
+		name := fmt.Sprintf("shard-%d", i)
+		engines[name] = newEngine(t)
+		shards = append(shards, Shard{Name: name, Handler: engines[name]})
+	}
+	engines["shard-2"] = newEngine(t)
+	router, err := NewRouter(shards, Options{Dial: func(member string) (Shard, error) {
+		e, ok := engines[member]
+		if !ok {
+			return Shard{}, fmt.Errorf("unknown member %q", member)
+		}
+		return Shard{Name: member, Handler: e}, nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := &testCluster{router: router, spec: chunk.DigestSpec{Sum: true, Count: true}}
+	specBytes, _ := tc.spec.MarshalBinary()
+	tc.cfg = wire.StreamConfig{Epoch: 0, Interval: 100, VectorLen: uint32(tc.spec.VectorLen()), Fanout: 8, DigestSpec: specBytes}
+	for i := 0; i < 8; i++ {
+		uuid := fmt.Sprintf("wire-%d", i)
+		tc.createStream(t, uuid)
+		tc.ingest(t, uuid, 3)
+	}
+
+	resp := router.Handle(context.Background(), &wire.Reshard{Members: []string{"shard-0", "shard-1", "shard-2"}})
+	ti, ok := resp.(*wire.TopologyInfoResp)
+	if !ok || ti.Epoch != 2 || len(ti.Members) != 3 {
+		t.Fatalf("Reshard -> %#v", resp)
+	}
+	// TopologyInfo reports the new membership.
+	resp = router.Handle(context.Background(), &wire.TopologyInfo{})
+	if ti, ok := resp.(*wire.TopologyInfoResp); !ok || ti.Epoch != 2 || len(ti.Members) != 3 {
+		t.Fatalf("TopologyInfo -> %#v", resp)
+	}
+	// An empty membership is refused.
+	if _, ok := router.Handle(context.Background(), &wire.Reshard{}).(*wire.Error); !ok {
+		t.Error("empty reshard accepted")
+	}
+	// The epoch CAS: a conditional reshard against a stale epoch is
+	// refused with CodeBusy (two concurrent joiners cannot silently evict
+	// each other), and succeeds against the current one.
+	stale := &wire.Reshard{Members: []string{"shard-0", "shard-1"}, ExpectEpoch: 1}
+	if e, ok := router.Handle(context.Background(), stale).(*wire.Error); !ok || e.Code != wire.CodeBusy {
+		t.Errorf("stale-epoch reshard -> %#v, want CodeBusy", router.Handle(context.Background(), stale))
+	}
+	if got := router.Topology(); got.Epoch != 2 {
+		t.Fatalf("stale CAS changed the topology: %+v", got)
+	}
+	current := &wire.Reshard{Members: []string{"shard-0", "shard-1"}, ExpectEpoch: 2}
+	if ti, ok := router.Handle(context.Background(), current).(*wire.TopologyInfoResp); !ok || ti.Epoch != 3 {
+		t.Errorf("current-epoch reshard -> %#v", router.Handle(context.Background(), &wire.TopologyInfo{}))
+	}
+}
+
+func TestTombstoneReclaimOnRecreate(t *testing.T) {
+	// A stream moves away, is deleted on its new owner, and ring
+	// ownership later returns to the tombstoned shard: re-creating the
+	// UUID must work (the router clears the stale tombstone), not fail
+	// CodeWrongShard forever.
+	tc := newTestCluster(t, 4)
+	const streams = 16
+	for i := 0; i < streams; i++ {
+		uuid := fmt.Sprintf("rc-%d", i)
+		tc.createStream(t, uuid)
+		tc.ingest(t, uuid, 3)
+	}
+	shards, fifth := tc.growShards(t, "shard-4")
+	report, err := tc.router.Rebalance(context.Background(), shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var movedUUID string
+	for _, mr := range report.Moved {
+		if mr.To == "shard-4" {
+			movedUUID = mr.UUID
+		}
+	}
+	if movedUUID == "" {
+		t.Fatal("nothing moved to the new shard")
+	}
+	// Delete the moved stream (it lives on shard-4), then shrink back:
+	// the original ring returns, so the deleted UUID's owner is again the
+	// shard holding its tombstone.
+	if resp := tc.router.Handle(context.Background(), &wire.DeleteStream{UUID: movedUUID}); !isOK(resp) {
+		t.Fatalf("delete moved stream -> %#v", resp)
+	}
+	var shrink []Shard
+	for _, n := range tc.names {
+		shrink = append(shrink, Shard{Name: n})
+	}
+	if _, err := tc.router.Rebalance(context.Background(), shrink); err != nil {
+		t.Fatal(err)
+	}
+	_ = fifth
+	// Re-create: the first attempt hits the tombstone; the router
+	// reclaims it and the retry succeeds — transparently to the caller.
+	if resp := tc.router.Handle(context.Background(), &wire.CreateStream{UUID: movedUUID, Cfg: tc.cfg}); !isOK(resp) {
+		t.Fatalf("re-creating a deleted+moved-back UUID -> %#v", resp)
+	}
+	tc.ingest(t, movedUUID, 2)
+	if got := tc.statSum(t, movedUUID, 200); got != 1+2 {
+		t.Errorf("recreated stream aggregate = %d, want 3", got)
+	}
+}
+
+func TestRebalanceCatchesStreamsCreatedMidReshard(t *testing.T) {
+	// Streams created while a rebalance runs route by the OLD ring and
+	// may land on a shard the new ring does not assign them to; the
+	// convergence passes must move them before (or right after) the
+	// topology installs, so they stay reachable.
+	tc := newTestCluster(t, 3)
+	for i := 0; i < 8; i++ {
+		uuid := fmt.Sprintf("mid-%d", i)
+		tc.createStream(t, uuid)
+		tc.ingest(t, uuid, 6)
+	}
+	created := 0
+	tc.router.testHookAfterCopyRound = func(string, int) {
+		// Fires during migrations, i.e. strictly mid-reshard and before
+		// the new topology installs.
+		if created >= 6 {
+			return
+		}
+		uuid := fmt.Sprintf("late-%d", created)
+		created++
+		if resp := tc.router.Handle(context.Background(), &wire.CreateStream{UUID: uuid, Cfg: tc.cfg}); !isOK(resp) {
+			t.Errorf("mid-reshard create %q -> %#v", uuid, resp)
+		}
+	}
+	shards, newEng := tc.growShards(t, "shard-3")
+	if _, err := tc.router.Rebalance(context.Background(), shards); err != nil {
+		t.Fatal(err)
+	}
+	if created == 0 {
+		t.Skip("no migration rounds ran; hook never fired")
+	}
+	engines := map[string]*server.Engine{"shard-3": newEng}
+	for i, e := range tc.engines {
+		engines[tc.names[i]] = e
+	}
+	res := residenceOf(t, engines)
+	for i := 0; i < created; i++ {
+		uuid := fmt.Sprintf("late-%d", i)
+		at, found := res[uuid]
+		if !found {
+			t.Fatalf("mid-reshard stream %q vanished", uuid)
+		}
+		if want := tc.router.Owner(uuid); at != want {
+			t.Errorf("mid-reshard stream %q stranded on %s, ring owner %s", uuid, at, want)
+		}
+		// And it is reachable through the router.
+		if _, ok := tc.router.Handle(context.Background(), &wire.StreamInfo{UUID: uuid}).(*wire.StreamInfoResp); !ok {
+			t.Errorf("mid-reshard stream %q unreachable", uuid)
+		}
+	}
+}
+
+// TestRebalanceUnderConcurrentIngest hammers a grow with live writers and
+// readers on every stream: no write may be lost (counts and sums match
+// what the writers recorded) and no operation may fail. Run under -race
+// in CI.
+func TestRebalanceUnderConcurrentIngest(t *testing.T) {
+	tc := newTestCluster(t, 4)
+	const streams = 10
+	const baseChunks = 8
+	uuids := make([]string, streams)
+	for i := range uuids {
+		uuids[i] = fmt.Sprintf("hammer-%d", i)
+		tc.createStream(t, uuids[i])
+		tc.ingest(t, uuids[i], baseChunks)
+	}
+
+	stop := make(chan struct{})
+	written := make([]uint64, streams)
+	var wg sync.WaitGroup
+	for si, uuid := range uuids {
+		wg.Add(1)
+		go func(si int, uuid string) {
+			defer wg.Done()
+			i := uint64(baseChunks)
+			for {
+				select {
+				case <-stop:
+					written[si] = i
+					return
+				default:
+				}
+				start := int64(i) * 100
+				sealed, err := chunk.SealPlain(tc.spec, chunk.CompressionNone, i, start, start+100,
+					[]chunk.Point{{TS: start, Val: int64(i + 1)}})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp := tc.router.Handle(context.Background(), &wire.InsertChunk{UUID: uuid, Chunk: chunk.MarshalSealed(sealed)})
+				if !isOK(resp) {
+					t.Errorf("concurrent insert %q/%d failed: %#v", uuid, i, resp)
+					written[si] = i
+					return
+				}
+				i++
+			}
+		}(si, uuid)
+	}
+	// Concurrent single- and multi-stream readers; CodeWrongShard may
+	// surface at most transiently and the router retries it internally,
+	// so every query must succeed.
+	qstop := make(chan struct{})
+	var qwg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		qwg.Add(1)
+		go func(w int) {
+			defer qwg.Done()
+			k := 0
+			for {
+				select {
+				case <-qstop:
+					return
+				default:
+				}
+				k++
+				var req wire.Message
+				if w == 0 {
+					req = &wire.StatRange{UUIDs: []string{uuids[k%streams]}, Ts: 0, Te: baseChunks * 100}
+				} else {
+					req = &wire.StatRange{UUIDs: []string{uuids[0], uuids[1], uuids[2]}, Ts: 0, Te: baseChunks * 100}
+				}
+				resp := tc.router.Handle(context.Background(), req)
+				if _, ok := resp.(*wire.StatRangeResp); !ok {
+					t.Errorf("concurrent query failed: %#v", resp)
+					return
+				}
+			}
+		}(w)
+	}
+
+	shards, newEng := tc.growShards(t, "shard-4")
+	if _, err := tc.router.Rebalance(context.Background(), shards); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	close(qstop)
+	qwg.Wait()
+
+	engines := map[string]*server.Engine{"shard-4": newEng}
+	for i, e := range tc.engines {
+		engines[tc.names[i]] = e
+	}
+	res := residenceOf(t, engines)
+	for si, uuid := range uuids {
+		if want := tc.router.Owner(uuid); res[uuid] != want {
+			t.Errorf("stream %q on %s, ring owner %s", uuid, res[uuid], want)
+		}
+		resp := tc.router.Handle(context.Background(), &wire.StreamInfo{UUID: uuid})
+		info, ok := resp.(*wire.StreamInfoResp)
+		if !ok {
+			t.Fatalf("StreamInfo(%q) -> %#v", uuid, resp)
+		}
+		if info.Count != written[si] {
+			t.Errorf("stream %q has %d chunks, writers recorded %d — writes lost in migration", uuid, info.Count, written[si])
+		}
+		var sum uint64
+		for i := uint64(1); i <= written[si]; i++ {
+			sum += i
+		}
+		if got := tc.statSum(t, uuid, int64(written[si])*100); got != sum {
+			t.Errorf("stream %q aggregate = %d, want %d", uuid, got, sum)
+		}
+	}
+}

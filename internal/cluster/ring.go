@@ -24,8 +24,13 @@
 // chunk window. ListStreams is fanned out to all shards and merged.
 //
 // Ring hashing is deterministic (FNV-1a), so any router over the same
-// shard names computes the same placement; resharding (ring membership
-// change with data movement) is out of scope.
+// shard names computes the same placement. Membership is versioned
+// (Topology epochs): Router.Rebalance changes the ring while serving,
+// migrating the streams whose ownership changed (live copy rounds, a
+// brief per-stream freeze, then handoff — see migrate.go), and routers
+// holding a stale ring recover from CodeWrongShard answers by refreshing
+// the topology from the shards. docs/ARCHITECTURE.md diagrams the
+// migration path.
 package cluster
 
 import (

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -14,7 +15,8 @@ import (
 
 // Shard names one engine shard and its request handler: an in-process
 // *server.Engine, a remote engine via NewTCPShard, or any other
-// server.Handler.
+// server.Handler. In Rebalance, a Shard naming an existing member may
+// leave Handler nil (the member's current handler is kept).
 type Shard struct {
 	Name    string
 	Handler server.Handler
@@ -25,16 +27,87 @@ type Options struct {
 	// VirtualNodes per shard on the consistent-hash ring; <= 0 means
 	// DefaultVirtualNodes.
 	VirtualNodes int
+	// Dial connects a member the router does not know yet, by name.
+	// Required for wire-driven membership changes (wire.Reshard names
+	// members as strings) and for recovering from CodeWrongShard after a
+	// reshard coordinated by another router; without it the router serves
+	// a fixed shard set. For remote deployments this is typically
+	// NewTCPShard with the member name as the address.
+	Dial func(member string) (Shard, error)
+}
+
+// Topology is a versioned ring membership: Epoch increments on every
+// membership change, and Members lists the shard names (dialable
+// addresses, for remote shards).
+type Topology struct {
+	Epoch   uint64
+	Members []string
+}
+
+// routing is one immutable routing-table generation: the ring, the shard
+// states, and the topology epoch that produced them. Swapped atomically
+// on membership changes so the request hot path never takes a lock.
+type routing struct {
+	epoch  uint64
+	ring   *Ring
+	shards map[string]*shardState
+	order  []string
 }
 
 // Router routes protocol requests to the engine shard owning each stream
 // and fans out cross-shard operations. It implements server.Handler (serve
 // it with server.NewServer) and the client Transport contract (drive it
 // with an unmodified Owner/Consumer). Safe for concurrent use.
+//
+// The ring is versioned (Topology): Rebalance changes the membership
+// while both old and new owners keep serving, migrating the streams whose
+// ownership changed. A router holding a stale ring recovers from
+// wire.CodeWrongShard answers by refreshing its topology from the shards
+// (Options.Dial connects members it has not seen).
 type Router struct {
-	ring   *Ring
-	shards map[string]*shardState
-	order  []string
+	rt     atomic.Pointer[routing]
+	vnodes int
+	dial   func(member string) (Shard, error)
+
+	// reshardMu serializes membership changes (Rebalance and stale-ring
+	// topology installs); the request path never takes it.
+	reshardMu sync.Mutex
+
+	// routeMu is the dispatch barrier: every data-path request holds the
+	// read side for its whole dispatch, and a migration registering its
+	// move entry takes the write side once (empty critical section) — so
+	// after the barrier, no request can still be in flight with a
+	// pre-registration view of the moves table. Without it, a request
+	// that read moveOf == nil just before the entry appeared could write
+	// to the source during the frozen drain, and release would delete
+	// the acknowledged write.
+	routeMu sync.RWMutex
+
+	// moves tracks streams currently migrating (and streams already
+	// handed off, until the new topology installs): requests consult it
+	// before the ring. movesActive mirrors len(moves) so the common case
+	// (no migration) costs one atomic load.
+	movesMu     sync.RWMutex
+	moves       map[string]*moveState
+	movesActive atomic.Int64
+
+	// refreshMu serializes wrong-shard topology refreshes so a burst of
+	// stale-ring errors triggers one refresh, not one per request.
+	refreshMu sync.Mutex
+
+	// testHookAfterCopyRound, when set, runs after each live copy round
+	// of a migration (tests inject writes to exercise catch-up).
+	testHookAfterCopyRound func(uuid string, round int)
+}
+
+// moveState is one migrating stream's routing override. The gate admits
+// requests during the copy phase (read-locked per request) and freezes
+// them for the final drain (write-locked); forwarded flips once the
+// destination holds the authoritative copy.
+type moveState struct {
+	src, dst  *shardState
+	gate      sync.RWMutex
+	forwarded atomic.Bool
 }
 
 type shardState struct {
@@ -53,7 +126,7 @@ type ShardStats struct {
 	Errors   uint64 // error responses returned by the shard
 }
 
-// NewRouter builds a router over the given shards.
+// NewRouter builds a router over the given shards at topology epoch 1.
 func NewRouter(shards []Shard, opts Options) (*Router, error) {
 	names := make([]string, 0, len(shards))
 	states := make(map[string]*shardState, len(shards))
@@ -71,20 +144,36 @@ func NewRouter(shards []Shard, opts Options) (*Router, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Router{ring: ring, shards: states, order: names}, nil
+	r := &Router{vnodes: opts.VirtualNodes, dial: opts.Dial, moves: make(map[string]*moveState)}
+	r.rt.Store(&routing{epoch: 1, ring: ring, shards: states, order: names})
+	return r, nil
 }
 
-// Owner returns the name of the shard owning a stream UUID.
-func (r *Router) Owner(uuid string) string { return r.ring.Owner(uuid) }
+// Owner returns the name of the shard owning a stream UUID under the
+// current ring (ignoring in-flight migrations).
+func (r *Router) Owner(uuid string) string {
+	rt := r.rt.Load()
+	return rt.ring.Owner(uuid)
+}
 
-// Shards returns the shard names in construction order.
-func (r *Router) Shards() []string { return append([]string(nil), r.order...) }
+// Shards returns the current shard names in membership order.
+func (r *Router) Shards() []string {
+	rt := r.rt.Load()
+	return append([]string(nil), rt.order...)
+}
+
+// Topology returns the current versioned membership.
+func (r *Router) Topology() Topology {
+	rt := r.rt.Load()
+	return Topology{Epoch: rt.epoch, Members: append([]string(nil), rt.order...)}
+}
 
 // Stats snapshots per-shard request counters.
 func (r *Router) Stats() []ShardStats {
-	out := make([]ShardStats, 0, len(r.order))
-	for _, name := range r.order {
-		s := r.shards[name]
+	rt := r.rt.Load()
+	out := make([]ShardStats, 0, len(rt.order))
+	for _, name := range rt.order {
+		s := rt.shards[name]
 		out = append(out, ShardStats{
 			Name:     s.name,
 			Requests: s.requests.Load(),
@@ -103,9 +192,10 @@ func (r *Router) RoundTrip(ctx context.Context, req wire.Message) (wire.Message,
 // Close implements the client Transport contract: it closes every shard
 // handler that holds resources (remote shards).
 func (r *Router) Close() error {
+	rt := r.rt.Load()
 	var first error
-	for _, name := range r.order {
-		if c, ok := r.shards[name].handler.(io.Closer); ok {
+	for _, name := range rt.order {
+		if c, ok := rt.shards[name].handler.(io.Closer); ok {
 			if err := c.Close(); err != nil && first == nil {
 				first = err
 			}
@@ -114,29 +204,101 @@ func (r *Router) Close() error {
 	return first
 }
 
+// moveOf returns the move override of a stream, or nil. One atomic load
+// in the common no-migration case.
+func (r *Router) moveOf(uuid string) *moveState {
+	if r.movesActive.Load() == 0 {
+		return nil
+	}
+	r.movesMu.RLock()
+	ms := r.moves[uuid]
+	r.movesMu.RUnlock()
+	return ms
+}
+
 // Handle implements server.Handler: single-stream requests go to the
-// owning shard; StatRange, ListStreams, and Batch may fan out. A canceled
-// context aborts in-flight fan-outs promptly: the router stops waiting and
-// answers wire.CodeCanceled even while slow shards are still working.
+// owning shard; StatRange, AggRange, ListStreams, and Batch may fan out.
+// A canceled context aborts in-flight fan-outs promptly. A
+// wire.CodeWrongShard answer — a stream moved under a ring this router
+// has not caught up with — triggers a topology refresh (when Options.Dial
+// is set) and one retry, so reshards coordinated elsewhere heal
+// transparently; Batch envelopes are never replayed (their writes may
+// have executed), the refresh just repairs the ring for the next ones.
 func (r *Router) Handle(ctx context.Context, req wire.Message) wire.Message {
+	resp := r.handleOnce(ctx, req)
+	switch m := resp.(type) {
+	case *wire.Error:
+		if m.Code == wire.CodeWrongShard {
+			if r.dial != nil {
+				r.refreshTopology(ctx, m.Aux)
+			}
+			if cs, isCreate := req.(*wire.CreateStream); isCreate {
+				// Creating a UUID whose tombstone epoch our ring already
+				// covers: the tombstone is stale (the stream moved away
+				// AND was deleted, and ownership came back here) — clear
+				// it so the UUID is creatable again.
+				r.reclaimTombstone(ctx, cs.UUID, m.Aux)
+			}
+			// Retry once even without a dialer: the wrong-shard answer may
+			// be a race with this router's own in-flight handoff, where
+			// the moves table (not the ring) already knows the new owner.
+			if _, isBatch := req.(*wire.Batch); !isBatch {
+				resp = r.handleOnce(ctx, req)
+			}
+		}
+	case *wire.BatchResp:
+		if r.dial != nil {
+			for _, sub := range m.Resps {
+				if e, ok := sub.(*wire.Error); ok && e.Code == wire.CodeWrongShard {
+					r.refreshTopology(ctx, e.Aux)
+					break
+				}
+			}
+		}
+	}
+	return resp
+}
+
+func (r *Router) handleOnce(ctx context.Context, req wire.Message) wire.Message {
 	if err := ctx.Err(); err != nil {
 		return canceled(err)
 	}
+	// Admin requests run outside the dispatch barrier: Reshard drives the
+	// migrations that take its write side.
+	switch m := req.(type) {
+	case *wire.TopologyInfo:
+		rt := r.rt.Load()
+		return &wire.TopologyInfoResp{Epoch: rt.epoch, Members: append([]string(nil), rt.order...)}
+	case *wire.Reshard:
+		return r.handleReshard(ctx, m)
+	case *wire.TopologyUpdate:
+		return &wire.Error{Code: wire.CodeBadRequest, Msg: "cluster: topology updates are published to engine shards, not routers"}
+	}
+	r.routeMu.RLock()
+	defer r.routeMu.RUnlock()
+	return r.dispatchLocked(ctx, r.rt.Load(), req)
+}
+
+// dispatchLocked serves one data-path request; the caller holds the
+// routeMu read side (batch sub-dispatch reuses it without re-acquiring —
+// the read lock must not be taken recursively or a pending barrier
+// deadlocks).
+func (r *Router) dispatchLocked(ctx context.Context, rt *routing, req wire.Message) wire.Message {
 	switch m := req.(type) {
 	case *wire.StatRange:
-		return r.statRange(ctx, m)
+		return r.statRange(ctx, rt, m)
 	case *wire.AggRange:
-		return r.aggRange(ctx, m)
+		return r.aggRange(ctx, rt, m)
 	case *wire.ListStreams:
-		return r.listStreams(ctx)
+		return r.listStreams(ctx, rt)
 	case *wire.Batch:
-		return r.batch(ctx, m)
+		return r.batch(ctx, rt, m)
 	default:
 		uuid, ok := wire.RoutingUUID(req)
 		if !ok {
 			return &wire.Error{Code: wire.CodeBadRequest, Msg: "unsupported request type"}
 		}
-		return r.route(ctx, uuid, req)
+		return r.route(ctx, rt, uuid, req)
 	}
 }
 
@@ -168,8 +330,25 @@ func awaitFanout(ctx context.Context, wg *sync.WaitGroup) *wire.Error {
 	}
 }
 
-func (r *Router) route(ctx context.Context, uuid string, req wire.Message) wire.Message {
-	s := r.shards[r.ring.Owner(uuid)]
+// route dispatches a single-stream request. A migrating stream's requests
+// pass through its move gate: admitted (to the source) during the copy
+// phase, held for the brief final drain, and forwarded to the destination
+// once it holds the authoritative copy — so writes are never lost and
+// reads never see a half-copied stream.
+func (r *Router) route(ctx context.Context, rt *routing, uuid string, req wire.Message) wire.Message {
+	if ms := r.moveOf(uuid); ms != nil {
+		ms.gate.RLock()
+		defer ms.gate.RUnlock()
+		if ms.forwarded.Load() {
+			return r.dispatch(ms.dst, ctx, req)
+		}
+		return r.dispatch(ms.src, ctx, req)
+	}
+	return r.dispatch(rt.shards[rt.ring.Owner(uuid)], ctx, req)
+}
+
+// dispatch hands a directly routed request to a shard, counting it.
+func (r *Router) dispatch(s *shardState, ctx context.Context, req wire.Message) wire.Message {
 	s.requests.Add(1)
 	resp := s.handler.Handle(ctx, req)
 	if _, isErr := resp.(*wire.Error); isErr {
@@ -189,17 +368,46 @@ func (r *Router) fanout(ctx context.Context, s *shardState, req wire.Message) wi
 	return resp
 }
 
+// reclaimTombstone asks the current ring owner of uuid to clear a stale
+// migration tombstone (moveEpoch at or below our ring's epoch, so the
+// ring's ownership claim is at least as fresh as the move that left the
+// tombstone). No-op while the stream is mid-move here or while our ring
+// lags the move.
+func (r *Router) reclaimTombstone(ctx context.Context, uuid string, moveEpoch uint64) {
+	rt := r.rt.Load()
+	if moveEpoch > rt.epoch || r.moveOf(uuid) != nil {
+		return
+	}
+	s := rt.shards[rt.ring.Owner(uuid)]
+	r.fanout(ctx, s, &wire.HandoffComplete{UUID: uuid, Epoch: rt.epoch, Action: wire.HandoffReclaim})
+}
+
+// effectiveShard resolves where a stream's requests should go right now:
+// the migration destination once forwarding started, the ring owner
+// otherwise. Fan-out grouping uses it; unlike route it does not hold the
+// move gate, so a racing handoff can surface CodeWrongShard — which the
+// top-level retry absorbs.
+func (r *Router) effectiveShard(rt *routing, uuid string) *shardState {
+	if ms := r.moveOf(uuid); ms != nil {
+		if ms.forwarded.Load() {
+			return ms.dst
+		}
+		return ms.src
+	}
+	return rt.shards[rt.ring.Owner(uuid)]
+}
+
 // listStreams merges the stream listings of every shard.
-func (r *Router) listStreams(ctx context.Context) wire.Message {
+func (r *Router) listStreams(ctx context.Context, rt *routing) wire.Message {
 	type result struct{ resp wire.Message }
-	results := make([]result, len(r.order))
+	results := make([]result, len(rt.order))
 	var wg sync.WaitGroup
-	for i, name := range r.order {
+	for i, name := range rt.order {
 		wg.Add(1)
 		go func(i int, s *shardState) {
 			defer wg.Done()
 			results[i].resp = r.fanout(ctx, s, &wire.ListStreams{})
-		}(i, r.shards[name])
+		}(i, rt.shards[name])
 	}
 	if e := awaitFanout(ctx, &wg); e != nil {
 		return e
@@ -219,19 +427,29 @@ func (r *Router) listStreams(ctx context.Context) wire.Message {
 	return &wire.ListStreamsResp{UUIDs: uuids}
 }
 
+// movedBatchKey marks a batch partition group that must route through the
+// per-request move gate: the prefix cannot collide with shard names
+// (which are printable).
+const movedBatchKey = "\x00mv:"
+
 // batch splits a pipelined batch by owning shard, forwards one sub-batch
 // per shard concurrently (per-stream request order is preserved inside each
 // sub-batch), and reassembles the responses in request order. Sub-requests
 // that themselves fan out (multi-stream StatRange, ListStreams) are
-// dispatched individually.
-func (r *Router) batch(ctx context.Context, b *wire.Batch) wire.Message {
+// dispatched individually, and sub-requests for a migrating stream route
+// one by one through the stream's move gate (in batch order), so pipelined
+// writes keep landing on whichever side is authoritative.
+func (r *Router) batch(ctx context.Context, rt *routing, b *wire.Batch) wire.Message {
 	resps := make([]wire.Message, len(b.Reqs))
 	p := wire.PartitionBatch(b.Reqs, func(m wire.Message) (string, bool) {
 		uuid, ok := wire.RoutingUUID(m)
 		if !ok {
 			return "", false
 		}
-		return r.ring.Owner(uuid), true
+		if r.moveOf(uuid) != nil {
+			return movedBatchKey + uuid, true
+		}
+		return rt.ring.Owner(uuid), true
 	})
 	for _, i := range p.Nested {
 		resps[i] = &wire.Error{Code: wire.CodeBadRequest, Msg: "nested batch envelope"}
@@ -239,7 +457,17 @@ func (r *Router) batch(ctx context.Context, b *wire.Batch) wire.Message {
 	var wg sync.WaitGroup
 	for _, owner := range p.Order {
 		idxs := p.Groups[owner]
-		s := r.shards[owner]
+		if uuid, moved := strings.CutPrefix(owner, movedBatchKey); moved {
+			wg.Add(1)
+			go func(uuid string, idxs []int) {
+				defer wg.Done()
+				for _, i := range idxs {
+					resps[i] = r.route(ctx, rt, uuid, b.Reqs[i])
+				}
+			}(uuid, idxs)
+			continue
+		}
+		s := rt.shards[owner]
 		wg.Add(1)
 		go func(s *shardState, idxs []int) {
 			defer wg.Done()
@@ -284,7 +512,13 @@ func (r *Router) batch(ctx context.Context, b *wire.Batch) wire.Message {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			resps[i] = r.Handle(ctx, b.Reqs[i])
+			// The caller (batch dispatch) holds the routeMu read side;
+			// sub-dispatch must not re-acquire it (a recursive read lock
+			// deadlocks against a pending barrier). A goroutine abandoned
+			// by a canceled batch can outlive the lock, but its write was
+			// never acknowledged, so the migration barrier's
+			// acked-writes-survive guarantee is unaffected.
+			resps[i] = r.dispatchLocked(ctx, rt, b.Reqs[i])
 		}(i)
 	}
 	if e := awaitFanout(ctx, &wg); e != nil {
@@ -293,18 +527,20 @@ func (r *Router) batch(ctx context.Context, b *wire.Batch) wire.Message {
 	return &wire.BatchResp{Resps: resps}
 }
 
-// shardGroups partitions a query's stream set by owning shard, preserving
-// first-seen order.
-func (r *Router) shardGroups(uuids []string) (order []string, groups map[string][]string) {
+// shardGroups partitions a query's stream set by the shard currently
+// serving each stream (migration-aware), preserving first-seen order.
+func (r *Router) shardGroups(rt *routing, uuids []string) (order []string, groups map[string][]string, states map[string]*shardState) {
 	groups = make(map[string][]string)
+	states = make(map[string]*shardState)
 	for _, uuid := range uuids {
-		owner := r.ring.Owner(uuid)
-		if _, seen := groups[owner]; !seen {
-			order = append(order, owner)
+		s := r.effectiveShard(rt, uuid)
+		if _, seen := groups[s.name]; !seen {
+			order = append(order, s.name)
+			states[s.name] = s
 		}
-		groups[owner] = append(groups[owner], uuid)
+		groups[s.name] = append(groups[s.name], uuid)
 	}
-	return order, groups
+	return order, groups, states
 }
 
 // clampMulti is the cross-shard pre-pass of a multi-stream query: it
@@ -314,7 +550,7 @@ func (r *Router) shardGroups(uuids []string) (order []string, groups map[string]
 // shards. The lookups are independent, so they are fetched concurrently
 // (deduplicated: a UUID may repeat). It returns the clamped te; a non-nil
 // message is the error response.
-func (r *Router) clampMulti(ctx context.Context, uuids []string, ts, te int64) (int64, wire.Message) {
+func (r *Router) clampMulti(ctx context.Context, rt *routing, uuids []string, ts, te int64) (int64, wire.Message) {
 	unique := make([]string, 0, len(uuids))
 	seen := make(map[string]bool, len(uuids))
 	for _, uuid := range uuids {
@@ -332,7 +568,7 @@ func (r *Router) clampMulti(ctx context.Context, uuids []string, ts, te int64) (
 			// Counted as fan-out traffic: these are internal
 			// sub-requests of the cross-shard query, not directly
 			// routed client requests.
-			infos[i] = r.fanout(ctx, r.shards[r.ring.Owner(uuid)], &wire.StreamInfo{UUID: uuid})
+			infos[i] = r.fanout(ctx, r.effectiveShard(rt, uuid), &wire.StreamInfo{UUID: uuid})
 		}(i, uuid)
 	}
 	if e := awaitFanout(ctx, &infoWG); e != nil {
@@ -398,15 +634,15 @@ func sumWindows(merged, part [][]uint64) *wire.Error {
 // statRange routes a statistical query. Queries whose streams all live on
 // one shard pass straight through; cross-shard queries are clamped to the
 // common ingested range, fanned out per shard, and homomorphically summed.
-func (r *Router) statRange(ctx context.Context, m *wire.StatRange) wire.Message {
+func (r *Router) statRange(ctx context.Context, rt *routing, m *wire.StatRange) wire.Message {
 	if len(m.UUIDs) == 0 {
 		return &wire.Error{Code: wire.CodeBadRequest, Msg: "server: no streams given"}
 	}
-	groupOrder, groups := r.shardGroups(m.UUIDs)
+	groupOrder, groups, states := r.shardGroups(rt, m.UUIDs)
 	if len(groupOrder) == 1 {
-		return r.route(ctx, m.UUIDs[0], m)
+		return r.route(ctx, rt, m.UUIDs[0], m)
 	}
-	te, errResp := r.clampMulti(ctx, m.UUIDs, m.Ts, m.Te)
+	te, errResp := r.clampMulti(ctx, rt, m.UUIDs, m.Ts, m.Te)
 	if errResp != nil {
 		return errResp
 	}
@@ -420,7 +656,7 @@ func (r *Router) statRange(ctx context.Context, m *wire.StatRange) wire.Message 
 		go func(i int, s *shardState, uuids []string) {
 			defer wg.Done()
 			results[i] = r.fanout(ctx, s, &wire.StatRange{UUIDs: uuids, Ts: m.Ts, Te: te, WindowChunks: m.WindowChunks})
-		}(i, r.shards[owner], groups[owner])
+		}(i, states[owner], groups[owner])
 	}
 	if e := awaitFanout(ctx, &wg); e != nil {
 		return e
@@ -466,24 +702,24 @@ func (r *Router) statRange(ctx context.Context, m *wire.StatRange) wire.Message 
 // disagreement (or a shard-local clamp error) does the router fall back
 // to the StreamInfo pre-pass that computes the globally clamped range and
 // re-fan out pinned to it.
-func (r *Router) aggRange(ctx context.Context, m *wire.AggRange) wire.Message {
+func (r *Router) aggRange(ctx context.Context, rt *routing, m *wire.AggRange) wire.Message {
 	if len(m.UUIDs) == 0 {
 		return &wire.Error{Code: wire.CodeBadRequest, Msg: "server: no streams given"}
 	}
-	groupOrder, groups := r.shardGroups(m.UUIDs)
+	groupOrder, groups, states := r.shardGroups(rt, m.UUIDs)
 	if len(groupOrder) == 1 {
-		return r.route(ctx, m.UUIDs[0], m)
+		return r.route(ctx, rt, m.UUIDs[0], m)
 	}
-	if resp, ok := r.aggWave(ctx, groupOrder, groups, m, m.Te); ok {
+	if resp, ok := r.aggWave(ctx, groupOrder, groups, states, m, m.Te); ok {
 		return resp
 	}
 	// Shards disagreed (uneven ingest) or one failed its local clamp:
 	// compute the common range and retry with every shard pinned to it.
-	te, errResp := r.clampMulti(ctx, m.UUIDs, m.Ts, m.Te)
+	te, errResp := r.clampMulti(ctx, rt, m.UUIDs, m.Ts, m.Te)
 	if errResp != nil {
 		return errResp
 	}
-	resp, _ := r.aggWave(ctx, groupOrder, groups, m, te)
+	resp, _ := r.aggWave(ctx, groupOrder, groups, states, m, te)
 	return resp
 }
 
@@ -493,7 +729,7 @@ func (r *Router) aggRange(ctx context.Context, m *wire.AggRange) wire.Message {
 // its local clamp) and the caller should retry with a pinned common
 // range. Cancellation and non-range errors return ok = true; retrying
 // cannot help those.
-func (r *Router) aggWave(ctx context.Context, groupOrder []string, groups map[string][]string, m *wire.AggRange, te int64) (wire.Message, bool) {
+func (r *Router) aggWave(ctx context.Context, groupOrder []string, groups map[string][]string, states map[string]*shardState, m *wire.AggRange, te int64) (wire.Message, bool) {
 	results := make([]wire.Message, len(groupOrder))
 	var wg sync.WaitGroup
 	for i, owner := range groupOrder {
@@ -502,7 +738,7 @@ func (r *Router) aggWave(ctx context.Context, groupOrder []string, groups map[st
 			defer wg.Done()
 			results[i] = r.fanout(ctx, s, &wire.AggRange{
 				UUIDs: uuids, Ts: m.Ts, Te: te, WindowChunks: m.WindowChunks, Elems: m.Elems})
-		}(i, r.shards[owner], groups[owner])
+		}(i, states[owner], groups[owner])
 	}
 	if e := awaitFanout(ctx, &wg); e != nil {
 		return e, true

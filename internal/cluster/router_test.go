@@ -85,8 +85,6 @@ func (tc *testCluster) ingest(t *testing.T, uuid string, n uint64) {
 	}
 }
 
-func isOK(m wire.Message) bool { _, ok := m.(*wire.OK); return ok }
-
 func TestRouterPlacementAndSingleStreamOps(t *testing.T) {
 	tc := newTestCluster(t, 4)
 	const streams = 16

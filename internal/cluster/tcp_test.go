@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/chunk"
 	"repro/internal/kv"
 	"repro/internal/server"
 	"repro/internal/wire"
@@ -85,6 +86,100 @@ func TestRouterOverTCPShards(t *testing.T) {
 	if e, ok := router.Handle(context.Background(), &wire.StreamInfo{UUID: victim}).(*wire.Error); !ok || e.Code != wire.CodeInternal {
 		t.Errorf("dead shard -> %#v, want internal error", e)
 	}
+}
+
+// TestRebalanceOverTCPShards grows a cluster of remote engines reached
+// over the real wire protocol: the stream exports ride the multiplexed
+// connection as credit-flow-controlled push streams (tcpShard implements
+// snapshotSource), and the handoff and topology publish travel as
+// ordinary requests.
+func TestRebalanceOverTCPShards(t *testing.T) {
+	var shards []Shard
+	engines := make(map[string]*server.Engine)
+	for i := 0; i < 3; i++ {
+		addr, engine := startEngineTCP(t)
+		sh, err := NewTCPShard(addr, addr, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards = append(shards, sh)
+		engines[addr] = engine
+	}
+	router, err := NewRouter(shards, Options{Dial: func(member string) (Shard, error) {
+		return NewTCPShard(member, member, 4)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+
+	spec := wire.StreamConfig{Epoch: 0, Interval: 100, VectorLen: 2, Fanout: 8}
+	const streams = 12
+	for i := 0; i < streams; i++ {
+		uuid := fmt.Sprintf("mv-%d", i)
+		if resp := router.Handle(context.Background(), &wire.CreateStream{UUID: uuid, Cfg: spec}); !isOK(resp) {
+			t.Fatalf("create %q -> %#v", uuid, resp)
+		}
+		// Enough chunks for several export pages per stream.
+		for c := 0; c < 8; c++ {
+			sealed := testSealedChunk(t, uint64(c))
+			if resp := router.Handle(context.Background(), &wire.InsertChunk{UUID: uuid, Chunk: sealed}); !isOK(resp) {
+				t.Fatalf("insert %q/%d -> %#v", uuid, c, resp)
+			}
+		}
+	}
+
+	// Grow onto a fourth remote engine via the wire-level admin path (the
+	// new member resolves through the dialer, exactly like timecrypt-cli
+	// reshard against a router front end).
+	addr4, engine4 := startEngineTCP(t)
+	engines[addr4] = engine4
+	var members []string
+	for _, sh := range shards {
+		members = append(members, sh.Name)
+	}
+	resp := router.Handle(context.Background(), &wire.Reshard{Members: append(members, addr4)})
+	ti, ok := resp.(*wire.TopologyInfoResp)
+	if !ok || ti.Epoch != 2 || len(ti.Members) != 4 {
+		t.Fatalf("Reshard over TCP -> %#v", resp)
+	}
+	if len(engine4.ListStreams()) == 0 {
+		t.Fatal("no stream migrated to the new remote shard")
+	}
+	// Every stream serves from exactly one engine, matching the new ring.
+	res := make(map[string]string)
+	for name, e := range engines {
+		for _, uuid := range e.ListStreams() {
+			if prev, dup := res[uuid]; dup {
+				t.Fatalf("stream %q on both %s and %s", uuid, prev, name)
+			}
+			res[uuid] = name
+		}
+	}
+	for i := 0; i < streams; i++ {
+		uuid := fmt.Sprintf("mv-%d", i)
+		if want := router.Owner(uuid); res[uuid] != want {
+			t.Errorf("stream %q on %s, ring owner %s", uuid, res[uuid], want)
+		}
+		info, ok := router.Handle(context.Background(), &wire.StreamInfo{UUID: uuid}).(*wire.StreamInfoResp)
+		if !ok || info.Count != 8 {
+			t.Errorf("stream %q after TCP reshard: %#v", uuid, info)
+		}
+	}
+}
+
+// testSealedChunk seals one plaintext chunk with a 2-element digest for
+// the TCP tests' VectorLen-2 stream config.
+func testSealedChunk(t *testing.T, idx uint64) []byte {
+	t.Helper()
+	spec := chunk.DigestSpec{Sum: true, Count: true} // 2 elements
+	start := int64(idx) * 100
+	sealed, err := chunk.SealPlain(spec, chunk.CompressionNone, idx, start, start+100,
+		[]chunk.Point{{TS: start, Val: int64(idx + 1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return chunk.MarshalSealed(sealed)
 }
 
 // TestTCPShardReconnects: a shard heals after its peer restarts instead of

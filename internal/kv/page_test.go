@@ -1,0 +1,65 @@
+package kv
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestScanPageOrderedResumableIteration(t *testing.T) {
+	s := NewMemStore()
+	defer s.Close()
+	const n = 57
+	for i := 0; i < n; i++ {
+		if err := s.Put(fmt.Sprintf("p/%03d", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Put("q/other", []byte{1}) // outside the prefix, never returned
+
+	var got []Pair
+	after := ""
+	pages := 0
+	for {
+		page, done, err := ScanPage(s, "p/", after, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, page...)
+		pages++
+		if done {
+			break
+		}
+		after = page[len(page)-1].Key
+	}
+	if len(got) != n {
+		t.Fatalf("iterated %d keys, want %d", len(got), n)
+	}
+	if pages < 6 {
+		t.Errorf("iteration took %d pages, want >= 6 (limit respected)", pages)
+	}
+	for i, p := range got {
+		want := fmt.Sprintf("p/%03d", i)
+		if p.Key != want || len(p.Value) != 1 || p.Value[0] != byte(i) {
+			t.Fatalf("page item %d = %q/%v, want %q", i, p.Key, p.Value, want)
+		}
+	}
+}
+
+func TestScanPageEmptyAndExactBoundary(t *testing.T) {
+	s := NewMemStore()
+	defer s.Close()
+	if page, done, err := ScanPage(s, "p/", "", 4); err != nil || !done || len(page) != 0 {
+		t.Fatalf("empty prefix: page=%v done=%v err=%v", page, done, err)
+	}
+	for i := 0; i < 4; i++ {
+		s.Put(fmt.Sprintf("p/%d", i), nil)
+	}
+	page, done, err := ScanPage(s, "p/", "", 4)
+	if err != nil || len(page) != 4 {
+		t.Fatalf("exact page: %d items, err=%v", len(page), err)
+	}
+	if !done {
+		// A page exactly at the limit with nothing beyond it is complete.
+		t.Error("exact-limit final page not reported done")
+	}
+}

@@ -51,6 +51,26 @@ type Engine struct {
 
 	stripes []streamStripe
 	mask    uint32
+
+	// moved records streams migrated away during a reshard: UUID ->
+	// topology epoch of the move. Requests for a moved stream answer
+	// wire.CodeWrongShard with that epoch so a caller holding a stale
+	// ring refreshes its topology instead of treating the stream as
+	// gone. Persisted under "mv/" keys; hit only on lookup misses.
+	movedMu sync.RWMutex
+	moved   map[string]uint64
+
+	// topo is the last cluster topology a reshard coordinator published
+	// to this shard (TopologyUpdate); stale routers recover it through
+	// TopologyInfo. Persisted under the "topo" key.
+	topoMu sync.Mutex
+	topo   topology
+}
+
+// topology is the engine's stored copy of the cluster membership.
+type topology struct {
+	epoch   uint64
+	members []string
 }
 
 type streamStripe struct {
@@ -97,9 +117,18 @@ func New(store kv.Store, cfg Config) (*Engine, error) {
 	for n&(n-1) != 0 { // round up to a power of two
 		n++
 	}
-	e := &Engine{store: store, cfg: cfg, stripes: make([]streamStripe, n), mask: uint32(n - 1)}
+	e := &Engine{store: store, cfg: cfg, stripes: make([]streamStripe, n), mask: uint32(n - 1),
+		moved: make(map[string]uint64)}
 	for i := range e.stripes {
 		e.stripes[i].streams = make(map[string]*stream)
+	}
+	// Recover migration tombstones and the published topology persisted
+	// by a previous instance.
+	if err := e.loadMoved(); err != nil {
+		return nil, err
+	}
+	if err := e.loadTopology(); err != nil {
+		return nil, err
 	}
 	// Recover stream metadata persisted by a previous instance.
 	var loadErr error
@@ -215,6 +244,9 @@ func (e *Engine) lookup(uuid string) (*stream, error) {
 	s, ok := st.streams[uuid]
 	st.mu.RUnlock()
 	if !ok {
+		if epoch, moved := e.movedEpoch(uuid); moved {
+			return nil, &movedError{uuid: uuid, epoch: epoch}
+		}
 		return nil, fmt.Errorf("server: stream %q: %w", uuid, errStreamNotFound)
 	}
 	return s, nil
@@ -222,10 +254,27 @@ func (e *Engine) lookup(uuid string) (*stream, error) {
 
 var errStreamNotFound = errors.New("stream not found")
 
+// movedError reports a request for a stream that migrated to another
+// shard; WireError maps it to CodeWrongShard carrying the topology epoch
+// of the move so stale rings can refresh.
+type movedError struct {
+	uuid  string
+	epoch uint64
+}
+
+func (e *movedError) Error() string {
+	return fmt.Sprintf("server: stream %q moved to another shard in topology epoch %d", e.uuid, e.epoch)
+}
+
 // CreateStream registers a stream; it fails if the UUID exists.
 func (e *Engine) CreateStream(uuid string, cfg wire.StreamConfig) error {
 	if uuid == "" {
 		return errors.New("server: empty stream UUID")
+	}
+	if epoch, moved := e.movedEpoch(uuid); moved {
+		// The UUID migrated away: re-creating it here would shadow the
+		// live copy on its current owner.
+		return &movedError{uuid: uuid, epoch: epoch}
 	}
 	if cfg.Interval <= 0 {
 		return fmt.Errorf("server: stream %q: interval must be positive", uuid)
@@ -293,15 +342,7 @@ func (e *Engine) DeleteStream(uuid string) error {
 	st.mu.Lock()
 	delete(st.streams, uuid)
 	st.mu.Unlock()
-	var ops []kv.Op
-	for _, prefix := range []string{"c/" + uuid + "/", "i/" + uuid + "/", "g/" + uuid + "/", "e/" + uuid + "/", "r/" + uuid + "/"} {
-		e.store.Scan(prefix, func(key string, _ []byte) bool {
-			ops = append(ops, kv.Op{Kind: kv.OpDelete, Key: key})
-			return true
-		})
-	}
-	ops = append(ops, kv.Op{Kind: kv.OpDelete, Key: metaKey(uuid)})
-	return e.store.Batch(ops)
+	return e.store.Batch(e.deleteStreamOps(uuid))
 }
 
 // StreamInfo returns stream metadata and ingest progress.

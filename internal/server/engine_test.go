@@ -55,7 +55,14 @@ func (h *testHarness) createStream(t *testing.T, uuid string) {
 // ingest seals n chunks each holding one point with value i+1.
 func (h *testHarness) ingest(t *testing.T, uuid string, n uint64) {
 	t.Helper()
-	for i := uint64(0); i < n; i++ {
+	h.ingestFrom(t, uuid, 0, n)
+}
+
+// ingestFrom seals chunks [from, from+n); the walker-backed encryptor
+// derives keys sequentially, so calls must cover contiguous ranges.
+func (h *testHarness) ingestFrom(t *testing.T, uuid string, from, n uint64) {
+	t.Helper()
+	for i := from; i < from+n; i++ {
 		start := int64(i) * 100
 		sealed, err := chunk.Seal(h.enc, h.spec, chunk.CompressionNone, i, start, start+100,
 			[]chunk.Point{{TS: start, Val: int64(i + 1)}})

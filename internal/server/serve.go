@@ -109,6 +109,23 @@ func (e *Engine) Handle(ctx context.Context, req wire.Message) wire.Message {
 		return &wire.StreamInfoResp{Cfg: cfg, Count: count}
 	case *wire.ListStreams:
 		return &wire.ListStreamsResp{UUIDs: e.ListStreams()}
+	case *wire.StreamSnapshot:
+		page, err := e.SnapshotStream(ctx, m)
+		if err != nil {
+			return toError(err)
+		}
+		return page
+	case *wire.IngestSnapshot:
+		return respond(e.IngestSnapshot(m.UUID, m.Items))
+	case *wire.HandoffComplete:
+		return respond(e.HandoffComplete(m.UUID, m.Epoch, m.Action))
+	case *wire.TopologyInfo:
+		epoch, members := e.Topology()
+		return &wire.TopologyInfoResp{Epoch: epoch, Members: members}
+	case *wire.TopologyUpdate:
+		return respond(e.SetTopology(m.Epoch, m.Members))
+	case *wire.Reshard:
+		return &wire.Error{Code: wire.CodeBadRequest, Msg: "server: reshard is a routing-tier operation; send it to a cluster router"}
 	default:
 		return &wire.Error{Code: wire.CodeBadRequest, Msg: "unsupported request type"}
 	}
@@ -160,6 +177,10 @@ func respond(err error) wire.Message {
 func WireError(err error) *wire.Error {
 	if e, ok := err.(*wire.Error); ok {
 		return e
+	}
+	var moved *movedError
+	if errors.As(err, &moved) {
+		return &wire.Error{Code: wire.CodeWrongShard, Aux: moved.epoch, Msg: moved.Error()}
 	}
 	code := wire.CodeInternal
 	msg := err.Error()
@@ -339,6 +360,18 @@ func (s *Server) serveConn(ctx context.Context, conn net.Conn) {
 		cancel := context.CancelFunc(func() {})
 		if timeoutMS > 0 {
 			reqCtx, cancel = context.WithTimeout(connCtx, time.Duration(timeoutMS)*time.Millisecond)
+		}
+		if snap, ok := req.(*wire.StreamSnapshot); ok && snap.Push {
+			// Streamed stream-export for migration: successive
+			// SnapshotChunk pages pushed under one correlation ID,
+			// credit-flow-controlled like query streams.
+			flow := flows.register(id)
+			sched.runReleasing(snap.UUID, func(release func()) {
+				defer cancel()
+				defer flows.unregister(id)
+				s.streamSnapshotPages(reqCtx, id, flow, snap, out, release)
+			})
+			continue
 		}
 		if spec, ok := streamSpecFor(req); ok {
 			// Streamed responses interleave with other requests' frames;
@@ -638,6 +671,44 @@ func (s *Server) streamWindows(ctx context.Context, id uint64, flow *streamFlow,
 		out <- respFrame{id: id, more: true, msg: resp}
 	}
 	final(&wire.OK{})
+}
+
+// streamSnapshotPages serves one streamed stream export: pages are pulled
+// through the regular Handler (unary StreamSnapshot requests chained by
+// cursor) and pushed as SnapshotChunk frames tagged with the request's
+// correlation ID and FlagMore, terminated by OK (or the first failure).
+// Each page costs one credit, so a stalled importer pauses only its own
+// export. The ordering-chain link retires after the first page — the
+// export round tolerates concurrent same-stream writes by design (the
+// migrator's catch-up rounds collect them), so later writes need not
+// queue behind a potentially long transfer.
+func (s *Server) streamSnapshotPages(ctx context.Context, id uint64, flow *streamFlow, req *wire.StreamSnapshot, out chan<- respFrame, release func()) {
+	final := func(m wire.Message) { out <- respFrame{id: id, msg: m} }
+	cursor := req.Cursor
+	for first := true; ; first = false {
+		if err := flow.acquire(ctx); err != nil {
+			final(toError(err))
+			return
+		}
+		resp := s.handler.Handle(ctx, &wire.StreamSnapshot{
+			UUID: req.UUID, FromChunk: req.FromChunk, WithMeta: req.WithMeta,
+			Cursor: cursor, MaxItems: req.MaxItems,
+		})
+		page, ok := resp.(*wire.SnapshotChunk)
+		if !ok {
+			final(resp) // *wire.Error (or a misbehaving handler) ends the stream
+			return
+		}
+		if first {
+			release()
+		}
+		out <- respFrame{id: id, more: true, msg: page}
+		if page.Done {
+			final(&wire.OK{})
+			return
+		}
+		cursor = page.Cursor
+	}
 }
 
 // streamFlow is the server half of one stream's credit-based flow control:

@@ -16,10 +16,14 @@ const MaxFrameSize = 64 << 20
 // Version 3 made the transport multiplexed: every request carries a
 // caller-assigned correlation ID, responses travel in their own envelope
 // echoing that ID (and may arrive out of order), and a response may be one
-// frame of a stream (FlagMore). Servers reject other versions with an
+// frame of a stream (FlagMore). Version 4 added live resharding — the
+// topology, stream-snapshot, and handoff messages — and gave Error a
+// structured Aux field (CodeWrongShard carries the topology epoch in it),
+// which changed the Error encoding. Servers reject other versions with an
 // Error frame on correlation ID 0 before closing the connection, so mixed
-// deployments fail loudly rather than desyncing frames.
-const ProtoVersion = 3
+// deployments fail loudly rather than desyncing frames. The full spec
+// lives in docs/PROTOCOL.md.
+const ProtoVersion = 4
 
 // ErrProtoVersion reports a request framed for a different protocol
 // version. The server front end matches on it to answer a parseable error

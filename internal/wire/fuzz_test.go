@@ -424,3 +424,93 @@ func TestAggRangeHostileInputs(t *testing.T) {
 		t.Errorf("credit grant %d not clamped to %d", c.Pages, MaxStreamCredit)
 	}
 }
+
+// TestReshardingMessagesHostileInputs covers the v4 topology and
+// migration messages: implausible member/item counts are rejected before
+// allocation, truncation at every boundary errors cleanly, a hostile
+// snapshot page size is clamped, and random mutations never panic.
+func TestReshardingMessagesHostileInputs(t *testing.T) {
+	// Member-list counts beyond MaxMembers are rejected for every
+	// membership-carrying message.
+	for _, typ := range []MsgType{TTopologyInfoResp, TTopologyUpdate} {
+		var e Encoder
+		e.U8(uint8(typ))
+		e.U64(0) // epoch
+		e.U64(MaxMembers + 1)
+		if _, err := Unmarshal(e.Bytes()); err == nil {
+			t.Errorf("type %d: oversized member count accepted", typ)
+		}
+	}
+	var er Encoder
+	er.U8(uint8(TReshard))
+	er.U64(MaxMembers + 1)
+	if _, err := Unmarshal(er.Bytes()); err == nil {
+		t.Error("oversized reshard member count accepted")
+	}
+
+	// Snapshot item counts beyond MaxSnapshotItems likewise, on both the
+	// export page and the import request.
+	var e2 Encoder
+	e2.U8(uint8(TSnapshotChunk))
+	e2.Bool(false)
+	e2.U64(0)
+	e2.U64(MaxSnapshotItems + 1)
+	if _, err := Unmarshal(e2.Bytes()); err == nil {
+		t.Error("oversized snapshot item count accepted")
+	}
+	var e3 Encoder
+	e3.U8(uint8(TIngestSnapshot))
+	e3.Str("s")
+	e3.U64(MaxSnapshotItems + 1)
+	if _, err := Unmarshal(e3.Bytes()); err == nil {
+		t.Error("oversized ingest item count accepted")
+	}
+
+	// A hostile snapshot page size is clamped, never trusted.
+	sm, err := Unmarshal(Marshal(&StreamSnapshot{UUID: "s", MaxItems: 1<<32 - 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := sm.(*StreamSnapshot); s.MaxItems != MaxSnapshotItems {
+		t.Errorf("snapshot page size %d not clamped to %d", s.MaxItems, MaxSnapshotItems)
+	}
+
+	// Truncation at every boundary errors cleanly; random mutations never
+	// panic and accepted mutants re-marshal.
+	r := rand.New(rand.NewPCG(0x5A4D, 0x7071))
+	for _, m := range []Message{
+		&TopologyInfoResp{Epoch: 9, Members: []string{"a:1", "b:2", "c:3"}},
+		&TopologyUpdate{Epoch: 10, Members: []string{"a:1", "b:2"}},
+		&Reshard{Members: []string{"a:1", "b:2", "c:3"}, ExpectEpoch: 2},
+		&StreamSnapshot{UUID: "s", FromChunk: 7, WithMeta: true, Cursor: "P:3:xyz", MaxItems: 32, Push: true},
+		&SnapshotChunk{HasCfg: true, Cfg: StreamConfig{Interval: 5, VectorLen: 1}, Count: 3,
+			Items: []KVItem{{Key: "c/s/0", Value: []byte{1}}}, Cursor: "P:5:2"},
+		&IngestSnapshot{UUID: "s", Items: []KVItem{{Key: "m/s", Value: []byte{2, 3}}}},
+		&HandoffComplete{UUID: "s", Epoch: 4, Action: HandoffRelease},
+	} {
+		valid := Marshal(m)
+		for cut := 1; cut < len(valid); cut++ {
+			if _, err := Unmarshal(valid[:cut]); err == nil {
+				t.Errorf("%T truncated at %d/%d bytes accepted", m, cut, len(valid))
+			}
+		}
+		for trial := 0; trial < 500; trial++ {
+			data := append([]byte(nil), valid...)
+			for k := 0; k < 1+r.IntN(4); k++ {
+				switch r.IntN(3) {
+				case 0:
+					data[r.IntN(len(data))] ^= byte(1 << r.IntN(8))
+				case 1:
+					if len(data) > 1 {
+						data = data[:1+r.IntN(len(data)-1)]
+					}
+				case 2:
+					data = append(data, byte(r.Uint32()))
+				}
+			}
+			if got, err := Unmarshal(data); err == nil {
+				Marshal(got)
+			}
+		}
+	}
+}

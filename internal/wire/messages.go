@@ -41,6 +41,14 @@ const (
 	TAggRange
 	TAggRangeResp
 	TStreamCredit
+	TTopologyInfo
+	TTopologyInfoResp
+	TTopologyUpdate
+	TReshard
+	TStreamSnapshot
+	TSnapshotChunk
+	TIngestSnapshot
+	THandoffComplete
 )
 
 // Message is one protocol message.
@@ -107,11 +115,22 @@ var registry = map[MsgType]func() Message{
 	TAggRange:         func() Message { return &AggRange{} },
 	TAggRangeResp:     func() Message { return &AggRangeResp{} },
 	TStreamCredit:     func() Message { return &StreamCredit{} },
+	TTopologyInfo:     func() Message { return &TopologyInfo{} },
+	TTopologyInfoResp: func() Message { return &TopologyInfoResp{} },
+	TTopologyUpdate:   func() Message { return &TopologyUpdate{} },
+	TReshard:          func() Message { return &Reshard{} },
+	TStreamSnapshot:   func() Message { return &StreamSnapshot{} },
+	TSnapshotChunk:    func() Message { return &SnapshotChunk{} },
+	TIngestSnapshot:   func() Message { return &IngestSnapshot{} },
+	THandoffComplete:  func() Message { return &HandoffComplete{} },
 }
 
-// Error is the generic failure response.
+// Error is the generic failure response. Aux carries structured detail for
+// codes that define one (CodeWrongShard: the responder's topology epoch);
+// it is zero otherwise.
 type Error struct {
 	Code uint32
+	Aux  uint64
 	Msg  string
 }
 
@@ -129,15 +148,23 @@ const (
 	// per-connection cap); the client should finish some calls — or back
 	// off — and retry.
 	CodeBusy
+	// CodeWrongShard reports a request for a stream that migrated to a
+	// different shard during a topology change the caller has not seen.
+	// Error.Aux carries the topology epoch of the change, so a router (or
+	// client) holding an older ring knows to refresh its topology
+	// (TopologyInfo) and retry instead of failing.
+	CodeWrongShard
 )
 
 func (*Error) Type() MsgType { return TError }
 func (m *Error) encode(e *Encoder) {
 	e.U64(uint64(m.Code))
+	e.U64(m.Aux)
 	e.Str(m.Msg)
 }
 func (m *Error) decode(d *Decoder) error {
 	m.Code = uint32(d.U64())
+	m.Aux = d.U64()
 	m.Msg = d.Str()
 	return d.Err()
 }
@@ -897,6 +924,317 @@ func (m *StreamCredit) decode(d *Decoder) error {
 	return d.Err()
 }
 
+// MaxMembers bounds a topology's member list: far above any plausible
+// shard count, low enough that one frame cannot allocate unbounded strings.
+const MaxMembers = 1 << 12
+
+// encodeMembers/decodeMembers are the shared member-list codec of the
+// topology messages (TopologyInfoResp, TopologyUpdate, Reshard), so the
+// bound and layout cannot diverge between them.
+func encodeMembers(e *Encoder, members []string) {
+	e.U64(uint64(len(members)))
+	for _, s := range members {
+		e.Str(s)
+	}
+}
+
+func decodeMembers(d *Decoder) ([]string, error) {
+	n := d.U64()
+	if n > MaxMembers {
+		return nil, fmt.Errorf("wire: implausible member count %d", n)
+	}
+	members := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		members = append(members, d.Str())
+	}
+	return members, nil
+}
+
+// TopologyInfo asks the responder for its current cluster topology. A
+// router answers with its live ring membership; an engine shard answers
+// with the last topology a coordinator published to it (TopologyUpdate),
+// or epoch 0 with no members if it has never been part of a resharded
+// cluster. Stale routers use it to recover from CodeWrongShard.
+type TopologyInfo struct{}
+
+func (*TopologyInfo) Type() MsgType           { return TTopologyInfo }
+func (m *TopologyInfo) encode(*Encoder)       {}
+func (m *TopologyInfo) decode(*Decoder) error { return nil }
+
+// TopologyInfoResp carries a versioned ring membership: the epoch
+// increments on every membership change, and Members lists the shard
+// names (dialable addresses, for remote shards) in ring order.
+type TopologyInfoResp struct {
+	Epoch   uint64
+	Members []string
+}
+
+func (*TopologyInfoResp) Type() MsgType { return TTopologyInfoResp }
+func (m *TopologyInfoResp) encode(e *Encoder) {
+	e.U64(m.Epoch)
+	encodeMembers(e, m.Members)
+}
+func (m *TopologyInfoResp) decode(d *Decoder) error {
+	m.Epoch = d.U64()
+	members, err := decodeMembers(d)
+	if err != nil {
+		return err
+	}
+	m.Members = members
+	return d.Err()
+}
+
+// TopologyUpdate publishes a new topology to an engine shard after a
+// reshard completes. The shard persists it and answers later TopologyInfo
+// requests with it, so a router holding a stale ring can learn the new
+// membership from any shard that was part of the change. Updates with an
+// epoch at or below the stored one are ignored (stale coordinator).
+type TopologyUpdate struct {
+	Epoch   uint64
+	Members []string
+}
+
+func (*TopologyUpdate) Type() MsgType { return TTopologyUpdate }
+func (m *TopologyUpdate) encode(e *Encoder) {
+	e.U64(m.Epoch)
+	encodeMembers(e, m.Members)
+}
+func (m *TopologyUpdate) decode(d *Decoder) error {
+	m.Epoch = d.U64()
+	members, err := decodeMembers(d)
+	if err != nil {
+		return err
+	}
+	m.Members = members
+	return d.Err()
+}
+
+// Reshard asks a router to change the ring membership to exactly Members,
+// migrating every stream whose ownership changes while both sides keep
+// serving. Members it does not already know are dialed through the
+// router's configured dialer. The response is the TopologyInfoResp of the
+// new topology (or Error; a reshard already in progress answers
+// CodeBusy). Engines reject it — membership is a routing-tier concern.
+//
+// ExpectEpoch != 0 makes the change conditional: it is refused
+// (CodeBusy) unless the router's topology epoch still equals it — the
+// compare-and-swap that keeps two concurrent fetch-then-reshard callers
+// (e.g. two servers starting with -join) from silently evicting each
+// other's membership. 0 reshards unconditionally (explicit operator
+// intent).
+type Reshard struct {
+	Members     []string
+	ExpectEpoch uint64
+}
+
+func (*Reshard) Type() MsgType { return TReshard }
+func (m *Reshard) encode(e *Encoder) {
+	encodeMembers(e, m.Members)
+	e.U64(m.ExpectEpoch)
+}
+func (m *Reshard) decode(d *Decoder) error {
+	members, err := decodeMembers(d)
+	if err != nil {
+		return err
+	}
+	m.Members = members
+	m.ExpectEpoch = d.U64()
+	return d.Err()
+}
+
+// MaxSnapshotItems bounds the key/value pairs in one SnapshotChunk or
+// IngestSnapshot frame; page sizes stay well below it, and a hostile
+// frame cannot pin unbounded allocation.
+const MaxSnapshotItems = 1 << 16
+
+// KVItem is one raw key/value pair of a stream's persisted state in
+// transit during migration. Keys are the engine's store keys (chunk,
+// index-node, staged-record, grant, envelope, and meta keys, all scoped
+// to the migrating stream's UUID); the importer validates the scoping, so
+// a hostile migration source cannot write outside the stream.
+type KVItem struct {
+	Key   string
+	Value []byte
+}
+
+// encodeKVItems/decodeKVItems are the shared item-list codec of the
+// migration messages (SnapshotChunk, IngestSnapshot).
+func encodeKVItems(e *Encoder, items []KVItem) {
+	e.U64(uint64(len(items)))
+	for _, it := range items {
+		e.Str(it.Key)
+		e.Blob(it.Value)
+	}
+}
+
+func decodeKVItems(d *Decoder) ([]KVItem, error) {
+	n := d.U64()
+	if n > MaxSnapshotItems {
+		return nil, fmt.Errorf("wire: implausible snapshot item count %d", n)
+	}
+	items := make([]KVItem, 0, n)
+	for i := uint64(0); i < n; i++ {
+		items = append(items, KVItem{Key: d.Str(), Value: d.Blob()})
+	}
+	return items, nil
+}
+
+// StreamSnapshot asks an engine to export one stream's persisted state
+// for migration. FromChunk skips sealed chunks below it (already copied
+// by an earlier round); WithMeta additionally exports the stream's meta,
+// index nodes, staged records, grants, and envelopes — the final
+// (write-frozen) round sets it so the copy is consistent. The export is
+// paged: Cursor resumes where the previous page's SnapshotChunk left off
+// (empty = start), MaxItems bounds the page. Push selects the streamed
+// response mode on a multiplexed connection: the server pushes successive
+// SnapshotChunk pages under the request's correlation ID with FlagMore,
+// subject to stream credit, terminated by OK or Error.
+type StreamSnapshot struct {
+	UUID      string
+	FromChunk uint64
+	WithMeta  bool
+	Cursor    string
+	MaxItems  uint32
+	Push      bool
+}
+
+func (*StreamSnapshot) Type() MsgType { return TStreamSnapshot }
+func (m *StreamSnapshot) encode(e *Encoder) {
+	e.Str(m.UUID)
+	e.U64(m.FromChunk)
+	e.Bool(m.WithMeta)
+	e.Str(m.Cursor)
+	e.U64(uint64(m.MaxItems))
+	e.Bool(m.Push)
+}
+func (m *StreamSnapshot) decode(d *Decoder) error {
+	m.UUID = d.Str()
+	m.FromChunk = d.U64()
+	m.WithMeta = d.Bool()
+	m.Cursor = d.Str()
+	if n := d.U64(); n > MaxSnapshotItems {
+		m.MaxItems = MaxSnapshotItems
+	} else {
+		m.MaxItems = uint32(n)
+	}
+	m.Push = d.Bool()
+	return d.Err()
+}
+
+// SnapshotChunk is one page of a stream export: raw key/value items plus
+// the resume cursor. The first page of an export carries the stream's
+// config and the chunk count pinned for this round (HasCfg); Done marks
+// the final page (Cursor is then empty).
+type SnapshotChunk struct {
+	HasCfg bool
+	Cfg    StreamConfig
+	Count  uint64 // chunk count pinned at the start of the export round
+	Items  []KVItem
+	Cursor string
+	Done   bool
+}
+
+func (*SnapshotChunk) Type() MsgType { return TSnapshotChunk }
+func (m *SnapshotChunk) encode(e *Encoder) {
+	e.Bool(m.HasCfg)
+	if m.HasCfg {
+		m.Cfg.encode(e)
+	}
+	e.U64(m.Count)
+	encodeKVItems(e, m.Items)
+	e.Str(m.Cursor)
+	e.Bool(m.Done)
+}
+func (m *SnapshotChunk) decode(d *Decoder) error {
+	m.HasCfg = d.Bool()
+	if m.HasCfg {
+		m.Cfg.decode(d)
+	}
+	m.Count = d.U64()
+	items, err := decodeKVItems(d)
+	if err != nil {
+		return err
+	}
+	m.Items = items
+	m.Cursor = d.Str()
+	m.Done = d.Bool()
+	return d.Err()
+}
+
+// IngestSnapshot imports one page of a migrating stream's exported state
+// into the destination shard's store. The stream is NOT registered by the
+// import — it stays invisible to queries until HandoffComplete commits
+// it, so a half-copied stream is never served. Keys outside the stream's
+// own prefixes are rejected.
+type IngestSnapshot struct {
+	UUID  string
+	Items []KVItem
+}
+
+func (*IngestSnapshot) Type() MsgType { return TIngestSnapshot }
+func (m *IngestSnapshot) encode(e *Encoder) {
+	e.Str(m.UUID)
+	encodeKVItems(e, m.Items)
+}
+func (m *IngestSnapshot) decode(d *Decoder) error {
+	m.UUID = d.Str()
+	items, err := decodeKVItems(d)
+	if err != nil {
+		return err
+	}
+	m.Items = items
+	return d.Err()
+}
+
+// Handoff actions (HandoffComplete.Action).
+const (
+	// HandoffCommit registers an imported stream on the destination: the
+	// shard opens the stream from its imported meta and starts serving it.
+	HandoffCommit uint8 = 1
+	// HandoffRelease retires a migrated stream on the source: its data is
+	// deleted and a tombstone recording Epoch remains, so requests from
+	// stale rings answer CodeWrongShard{Epoch} instead of NotFound.
+	HandoffRelease uint8 = 2
+	// HandoffAbort discards a partial import on the destination (the
+	// migration failed before commit); the stream stays with the source.
+	HandoffAbort uint8 = 3
+	// HandoffReclaim clears a stale migration tombstone so the UUID can
+	// be created again: a stream that moved away, was deleted on its new
+	// owner, and whose old owner later regained ring ownership would
+	// otherwise answer CodeWrongShard to CreateStream forever. Routers
+	// send it only when their ring is at least as new as the tombstone's
+	// epoch and the tombstoned shard is the current ring owner.
+	HandoffReclaim uint8 = 4
+)
+
+// HandoffComplete finishes (or aborts) one stream's migration on one
+// side. Epoch is the topology epoch of the membership change driving the
+// move (recorded in the source's tombstone on release).
+type HandoffComplete struct {
+	UUID   string
+	Epoch  uint64
+	Action uint8
+}
+
+func (*HandoffComplete) Type() MsgType { return THandoffComplete }
+func (m *HandoffComplete) encode(e *Encoder) {
+	e.Str(m.UUID)
+	e.U64(m.Epoch)
+	e.U8(m.Action)
+}
+func (m *HandoffComplete) decode(d *Decoder) error {
+	m.UUID = d.Str()
+	m.Epoch = d.U64()
+	m.Action = d.U8()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if m.Action < HandoffCommit || m.Action > HandoffReclaim {
+		return fmt.Errorf("wire: unknown handoff action %d", m.Action)
+	}
+	return nil
+}
+
 // MaxBatch bounds the sub-requests in one Batch envelope: large enough to
 // amortize a round trip thousands of times over, small enough that one
 // frame cannot pin unbounded server work.
@@ -1044,6 +1382,12 @@ func RoutingUUID(req Message) (string, bool) {
 	case *GetStaged:
 		return m.UUID, true
 	case *QueryStream:
+		return m.UUID, true
+	case *StreamSnapshot:
+		return m.UUID, true
+	case *IngestSnapshot:
+		return m.UUID, true
+	case *HandoffComplete:
 		return m.UUID, true
 	case *StatRange:
 		// A single-stream statistical query routes like any other

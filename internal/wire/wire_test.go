@@ -121,6 +121,19 @@ func allMessages() []Message {
 		&AggRangeResp{FromChunk: 6, ToChunk: 18, Epoch: 1700000000000, Interval: 10000,
 			StreamCount: 3, Windows: [][]uint64{{9, 8}, {7, 6}}},
 		&StreamCredit{ID: 42, Pages: 4},
+		&Error{Code: CodeWrongShard, Aux: 7, Msg: "stream moved in epoch 7"},
+		&TopologyInfo{},
+		&TopologyInfoResp{Epoch: 3, Members: []string{"a:7733", "b:7733"}},
+		&TopologyUpdate{Epoch: 4, Members: []string{"a:7733", "b:7733", "c:7733"}},
+		&Reshard{Members: []string{"a:7733", "c:7733"}, ExpectEpoch: 5},
+		&StreamSnapshot{UUID: "s1", FromChunk: 12, WithMeta: true, Cursor: "P:2:c/s1/a", MaxItems: 64, Push: true},
+		&SnapshotChunk{HasCfg: true, Cfg: StreamConfig{Epoch: 5, Interval: 10, VectorLen: 2},
+			Count: 99, Items: []KVItem{{Key: "c/s1/0", Value: []byte{1, 2}}, {Key: "m/s1", Value: []byte{3}}},
+			Cursor: "P:5:17", Done: false},
+		&SnapshotChunk{Count: 99, Items: nil, Done: true},
+		&IngestSnapshot{UUID: "s1", Items: []KVItem{{Key: "i/s1/0/0", Value: []byte{9}}}},
+		&HandoffComplete{UUID: "s1", Epoch: 8, Action: HandoffCommit},
+		&HandoffComplete{UUID: "s1", Epoch: 8, Action: HandoffRelease},
 		&Batch{Reqs: []Message{
 			&InsertChunk{UUID: "s1", Chunk: []byte{1, 2}},
 			&InsertChunk{UUID: "s1", Chunk: []byte{3}},
@@ -348,5 +361,48 @@ func TestErrorImplementsError(t *testing.T) {
 	var err error = &Error{Code: CodeBadRequest, Msg: "nope"}
 	if err.Error() == "" {
 		t.Error("empty error string")
+	}
+}
+
+func TestHandoffCompleteRejectsUnknownAction(t *testing.T) {
+	for _, action := range []uint8{0, HandoffReclaim + 1, 200} {
+		var e Encoder
+		e.U8(uint8(THandoffComplete))
+		e.Str("s1")
+		e.U64(3)
+		e.U8(action)
+		if _, err := Unmarshal(e.Bytes()); err == nil {
+			t.Errorf("handoff action %d accepted", action)
+		}
+	}
+}
+
+func TestWrongShardCarriesEpoch(t *testing.T) {
+	data := Marshal(&Error{Code: CodeWrongShard, Aux: 42, Msg: "moved"})
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := got.(*Error)
+	if !ok || e.Code != CodeWrongShard || e.Aux != 42 {
+		t.Errorf("round trip lost the epoch: %#v", got)
+	}
+}
+
+func TestSnapshotMessagesRouteByUUID(t *testing.T) {
+	for _, m := range []Message{
+		&StreamSnapshot{UUID: "s9"},
+		&IngestSnapshot{UUID: "s9"},
+		&HandoffComplete{UUID: "s9", Action: HandoffCommit},
+	} {
+		if k, ok := RoutingUUID(m); !ok || k != "s9" {
+			t.Errorf("%T -> %q, %v", m, k, ok)
+		}
+	}
+	// Topology and reshard messages are connection-level admin: no key.
+	for _, m := range []Message{&TopologyInfo{}, &Reshard{Members: []string{"a"}}, &TopologyUpdate{}} {
+		if _, ok := RoutingUUID(m); ok {
+			t.Errorf("%T reported a routing key", m)
+		}
 	}
 }

@@ -141,6 +141,11 @@ type (
 	Shard = cluster.Shard
 	// RouterOptions tunes Router construction.
 	RouterOptions = cluster.Options
+	// Topology is the Router's versioned ring membership; Router.Rebalance
+	// changes it online, migrating the affected streams while serving.
+	Topology = cluster.Topology
+	// RebalanceReport summarizes a completed membership change.
+	RebalanceReport = cluster.RebalanceReport
 	// Store is the key-value storage contract.
 	Store = kv.Store
 	// PRGKind selects the key-tree PRG construction.
