@@ -8,8 +8,8 @@
 //	timecrypt-bench -run batch -json BENCH_results.json
 //
 // Experiments: table2, table3, fig5, fig6, fig7, fig8, access, devops,
-// cluster, batch, pipeline, aggregate, reshard. Scale > 1 approaches the paper's
-// sizes (and run times).
+// cluster, batch, pipeline, aggregate, reshard, hotpath. Scale > 1
+// approaches the paper's sizes (and run times).
 //
 // Alongside the human-readable tables, machine-readable metrics
 // (experiment, ops/sec, p50/p99 latency) are written to the -json file so
@@ -23,6 +23,8 @@ import (
 	"io"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/bench"
@@ -34,10 +36,37 @@ func wrap[T any](f func(io.Writer, bench.Options) ([]T, error)) func(io.Writer, 
 }
 
 func main() {
-	runList := flag.String("run", "all", "comma-separated experiments (table2,table3,fig5,fig6,fig7,fig8,access,devops,cluster,batch,pipeline,aggregate,reshard) or 'all'")
+	runList := flag.String("run", "all", "comma-separated experiments (table2,table3,fig5,fig6,fig7,fig8,access,devops,cluster,batch,pipeline,aggregate,reshard,hotpath) or 'all'")
 	scale := flag.Float64("scale", 1.0, "experiment scale factor (1.0 = laptop-sized defaults)")
 	jsonPath := flag.String("json", "BENCH_results.json", "machine-readable results file ('' disables)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+	memProfile := flag.String("memprofile", "", "write an allocs heap profile to this file at exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatalf("creating cpu profile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("starting cpu profile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Fatalf("creating mem profile: %v", err)
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				log.Fatalf("writing mem profile: %v", err)
+			}
+		}()
+	}
 
 	results := &bench.Results{}
 	opts := bench.Options{Scale: *scale, Results: results}
@@ -59,6 +88,7 @@ func main() {
 		{"pipeline", wrap(bench.Pipeline)},
 		{"aggregate", wrap(bench.Aggregate)},
 		{"reshard", wrap(bench.Reshard)},
+		{"hotpath", wrap(bench.HotPath)},
 	}
 
 	want := map[string]bool{}

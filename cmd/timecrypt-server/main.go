@@ -33,6 +33,8 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -59,7 +61,19 @@ func main() {
 	connInFlight := flag.Int("conn-inflight", 0, "max concurrently executing requests per client connection; overflow answers CodeBusy (0 = default)")
 	join := flag.String("join", "", "running cluster router to ask to add this server to its ring (single-engine servers only)")
 	advertise := flag.String("advertise", "", "address other cluster members dial this server at (default: -addr, with localhost for a bare :port)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// Profiling endpoint for the docs/PERFORMANCE.md workflow:
+		// `go tool pprof http://<addr>/debug/pprof/{profile,heap,allocs}`.
+		go func() {
+			log.Printf("pprof listening on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
 
 	var store kv.Store
 	var mem *kv.MemStore

@@ -1,0 +1,286 @@
+// Hot-path perf harness: per-layer micro-benchmarks plus tier-1
+// allocations-per-op assertions. The assertions are the CI teeth of the
+// allocation purge — a change that reintroduces per-op garbage on the
+// seal/ingest path fails `go test`, not just drifts a number in a JSON
+// file. BenchmarkHotPath runs in the bench-smoke CI job.
+package timecrypt_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/chunk"
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/kv"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+const hotVecLen = 19 // digest vector length used across the hot-path harness
+
+func hotSpec(tb testing.TB) chunk.DigestSpec {
+	tb.Helper()
+	spec := chunk.DefaultSpec() // sum + count + sumsq + 16 histogram bins
+	if spec.VectorLen() != hotVecLen {
+		tb.Fatalf("hot-path spec has %d elements, expected %d", spec.VectorLen(), hotVecLen)
+	}
+	return spec
+}
+
+func hotEncryptor(tb testing.TB) *core.Encryptor {
+	tb.Helper()
+	tree, err := core.NewTree(core.NewPRG(core.PRGAES), core.DefaultTreeHeight, core.Node{0x42, 1, 2, 3})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return core.NewEncryptor(tree.NewWalker())
+}
+
+func hotPoints(i uint64) []chunk.Point {
+	pts := make([]chunk.Point, 10)
+	for p := range pts {
+		start := int64(i) * 100
+		pts[p] = chunk.Point{TS: start + int64(p)*10, Val: int64(i%700) + int64(p)}
+	}
+	return pts
+}
+
+func hotEngine(tb testing.TB, spec chunk.DigestSpec) *server.Engine {
+	tb.Helper()
+	engine, err := server.New(kv.NewMemStore(), server.Config{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	specBytes, _ := spec.MarshalBinary()
+	cfg := wire.StreamConfig{Epoch: 0, Interval: 100, VectorLen: uint32(spec.VectorLen()),
+		Fanout: index.DefaultFanout, DigestSpec: specBytes}
+	if err := engine.CreateStream("hot", cfg); err != nil {
+		tb.Fatal(err)
+	}
+	return engine
+}
+
+// TestHotPathAllocBudgets pins per-layer allocations/op. The core keystream
+// budget is the PR's acceptance criterion (zero after warm-up); the others
+// are regression fences at the measured steady state.
+func TestHotPathAllocBudgets(t *testing.T) {
+	t.Run("core-keystream", func(t *testing.T) {
+		enc := hotEncryptor(t)
+		m := make([]uint64, hotVecLen)
+		dst := make([]uint64, hotVecLen)
+		if _, err := enc.EncryptDigest(0, m, dst); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := enc.ChunkKeyAt(0); err != nil {
+			t.Fatal(err)
+		}
+		pos := uint64(1)
+		allocs := testing.AllocsPerRun(500, func() {
+			if _, err := enc.EncryptDigest(pos, m, dst); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := enc.ChunkKeyAt(pos); err != nil {
+				t.Fatal(err)
+			}
+			pos++
+		})
+		if allocs != 0 {
+			t.Errorf("core keystream derivation: %.1f allocs/chunk, want 0", allocs)
+		}
+	})
+	t.Run("wire-write", func(t *testing.T) {
+		var sink bytes.Buffer
+		sink.Grow(1 << 16)
+		msg := &wire.InsertChunk{UUID: "hot", Chunk: bytes.Repeat([]byte{7}, 600)}
+		if err := wire.WriteRequest(&sink, 1, 0, msg); err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(500, func() {
+			sink.Reset()
+			if err := wire.WriteRequest(&sink, 2, 0, msg); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("WriteRequest: %.1f allocs/frame, want 0", allocs)
+		}
+	})
+	t.Run("wire-read-frame", func(t *testing.T) {
+		var frame bytes.Buffer
+		if err := wire.WriteFrame(&frame, bytes.Repeat([]byte{0x5A}, 700)); err != nil {
+			t.Fatal(err)
+		}
+		raw := frame.Bytes()
+		rd := bytes.NewReader(raw)
+		fb, err := wire.ReadFrameBuf(rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fb.Release()
+		allocs := testing.AllocsPerRun(500, func() {
+			rd.Reset(raw)
+			fb, err := wire.ReadFrameBuf(rd)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fb.Release()
+		})
+		if allocs != 0 {
+			t.Errorf("pooled frame read: %.1f allocs/frame, want 0", allocs)
+		}
+	})
+}
+
+// BenchmarkHotPath is the per-layer micro-benchmark suite backing
+// docs/PERFORMANCE.md's budget table; run with -benchmem.
+func BenchmarkHotPath(b *testing.B) {
+	b.Run("prg-aes", benchPRG(core.PRGAES))
+	b.Run("prg-sha256", benchPRG(core.PRGSHA256))
+	b.Run("prg-hmac", benchPRG(core.PRGHMAC))
+
+	b.Run("keystream-derive", func(b *testing.B) {
+		enc := hotEncryptor(b)
+		m := make([]uint64, hotVecLen)
+		dst := make([]uint64, hotVecLen)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := enc.EncryptDigest(uint64(i), m, dst); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := enc.ChunkKeyAt(uint64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("chunk-seal", func(b *testing.B) {
+		enc := hotEncryptor(b)
+		spec := hotSpec(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pos := uint64(i)
+			start := int64(pos) * 100
+			if _, err := chunk.Seal(enc, spec, chunk.CompressionNone, pos, start, start+100, hotPoints(pos)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("wire-roundtrip", func(b *testing.B) {
+		msg := &wire.InsertChunk{UUID: "hot", Chunk: bytes.Repeat([]byte{7}, 600)}
+		var sink bytes.Buffer
+		sink.Grow(1 << 16)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sink.Reset()
+			if err := wire.WriteRequest(&sink, uint64(i), 0, msg); err != nil {
+				b.Fatal(err)
+			}
+			fb, err := wire.ReadFrameBuf(&sink)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, _, _, err := wire.DecodeRequest(fb.Bytes()); err != nil {
+				b.Fatal(err)
+			}
+			fb.Release()
+		}
+	})
+
+	b.Run("index-append", func(b *testing.B) {
+		tree, err := index.Open(kv.NewMemStore(), "hot", index.Config{VectorLen: hotVecLen})
+		if err != nil {
+			b.Fatal(err)
+		}
+		digest := make([]uint64, hotVecLen)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := tree.Append(uint64(i), digest); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("index-append-batch64", func(b *testing.B) {
+		tree, err := index.Open(kv.NewMemStore(), "hot", index.Config{VectorLen: hotVecLen})
+		if err != nil {
+			b.Fatal(err)
+		}
+		const batch = 64
+		digests := make([][]uint64, batch)
+		for i := range digests {
+			digests[i] = make([]uint64, hotVecLen)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i += batch {
+			if err := tree.AppendBatch(uint64(i), digests); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("engine-ingest", func(b *testing.B) {
+		spec := hotSpec(b)
+		engine := hotEngine(b, spec)
+		enc := hotEncryptor(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pos := uint64(i)
+			start := int64(pos) * 100
+			sealed, err := chunk.Seal(enc, spec, chunk.CompressionNone, pos, start, start+100, hotPoints(pos))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := engine.InsertChunk("hot", chunk.MarshalSealed(sealed)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("engine-ingest-batch64", func(b *testing.B) {
+		spec := hotSpec(b)
+		engine := hotEngine(b, spec)
+		enc := hotEncryptor(b)
+		const batch = 64
+		blobs := make([][]byte, batch)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i += batch {
+			for j := range blobs {
+				pos := uint64(i + j)
+				start := int64(pos) * 100
+				sealed, err := chunk.Seal(enc, spec, chunk.CompressionNone, pos, start, start+100, hotPoints(pos))
+				if err != nil {
+					b.Fatal(err)
+				}
+				blobs[j] = chunk.MarshalSealed(sealed)
+			}
+			for _, err := range engine.InsertChunkBatch("hot", blobs) {
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+func benchPRG(kind core.PRGKind) func(*testing.B) {
+	return func(b *testing.B) {
+		prg := core.NewPRG(kind)
+		x := core.Node{0x11, 0x22}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			l, r := prg.Expand(x)
+			x[0] = l[0] ^ r[0]
+		}
+		_ = fmt.Sprintf("%x", x[0]) // keep the chain live
+	}
+}

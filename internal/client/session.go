@@ -315,7 +315,16 @@ func (s *Session) readPump() {
 	defer close(s.readerDone)
 	br := bufio.NewReaderSize(s.conn, 64<<10)
 	for {
-		id, more, msg, err := wire.ReadResponse(br)
+		// Pooled frame read: decoders copy every retained field, so the
+		// buffer goes back to the shared pool as soon as the envelope is
+		// decoded.
+		fb, err := wire.ReadFrameBuf(br)
+		if err != nil {
+			s.fail(readErr(err), true)
+			return
+		}
+		id, more, msg, err := wire.DecodeResponse(fb.Bytes())
+		fb.Release()
 		if err != nil {
 			s.fail(readErr(err), true)
 			return

@@ -1,0 +1,140 @@
+package core
+
+import "sync"
+
+// aesSched is an AES-128 encrypt-only key schedule that callers own and
+// rekey in place. crypto/aes cannot serve the PRG hot path: every GGM tree
+// step keys AES with a fresh node, aes.NewCipher heap-allocates its
+// schedule per key (~240 B), and at millions of expansions per second that
+// garbage dominates the single-core ingest profile. Rekeying a pooled
+// schedule costs the same key expansion with zero allocations after
+// warm-up.
+//
+// The implementation is the textbook FIPS-197 T-table construction; the
+// S-box and round tables are generated at init from the GF(2^8) arithmetic
+// rather than transcribed, and TestAESBlockMatchesStdlib proves every
+// (key, block) pair encrypts identically to crypto/aes.
+type aesSched struct {
+	rk [44]uint32 // 11 round keys of 4 words each
+}
+
+var (
+	sbox               [256]byte
+	te0, te1, te2, te3 [256]uint32
+	rcon               [10]uint32
+)
+
+func init() {
+	// Generate the S-box: multiplicative inverse in GF(2^8) modulo the AES
+	// polynomial x^8+x^4+x^3+x+1, followed by the affine transform.
+	var inv [256]byte
+	for x := 1; x < 256; x++ {
+		for y := 1; y < 256; y++ {
+			if gfMul(byte(x), byte(y)) == 1 {
+				inv[x] = byte(y)
+				break
+			}
+		}
+	}
+	for x := 0; x < 256; x++ {
+		b := inv[x]
+		s := b ^ rotl8(b, 1) ^ rotl8(b, 2) ^ rotl8(b, 3) ^ rotl8(b, 4) ^ 0x63
+		sbox[x] = s
+		// Round tables: column (2·s, s, s, 3·s) and its byte rotations.
+		s2 := gfMul(s, 2)
+		s3 := gfMul(s, 3)
+		w := uint32(s2)<<24 | uint32(s)<<16 | uint32(s)<<8 | uint32(s3)
+		te0[x] = w
+		te1[x] = w>>8 | w<<24
+		te2[x] = w>>16 | w<<16
+		te3[x] = w>>24 | w<<8
+	}
+	rc := byte(1)
+	for i := range rcon {
+		rcon[i] = uint32(rc) << 24
+		rc = gfMul(rc, 2)
+	}
+}
+
+// gfMul multiplies in GF(2^8) modulo the AES polynomial.
+func gfMul(a, b byte) byte {
+	var p byte
+	for b != 0 {
+		if b&1 != 0 {
+			p ^= a
+		}
+		hi := a & 0x80
+		a <<= 1
+		if hi != 0 {
+			a ^= 0x1B
+		}
+		b >>= 1
+	}
+	return p
+}
+
+func rotl8(b byte, n uint) byte { return b<<n | b>>(8-n) }
+
+func subRotWord(w uint32) uint32 {
+	// RotWord then SubWord, as used for every 4th expansion word.
+	w = w<<8 | w>>24
+	return uint32(sbox[w>>24])<<24 | uint32(sbox[w>>16&0xFF])<<16 |
+		uint32(sbox[w>>8&0xFF])<<8 | uint32(sbox[w&0xFF])
+}
+
+// rekey expands key into the schedule, overwriting the previous key.
+func (s *aesSched) rekey(key *[16]byte) {
+	for i := 0; i < 4; i++ {
+		s.rk[i] = uint32(key[4*i])<<24 | uint32(key[4*i+1])<<16 |
+			uint32(key[4*i+2])<<8 | uint32(key[4*i+3])
+	}
+	for i := 4; i < 44; i++ {
+		t := s.rk[i-1]
+		if i%4 == 0 {
+			t = subRotWord(t) ^ rcon[i/4-1]
+		}
+		s.rk[i] = s.rk[i-4] ^ t
+	}
+}
+
+// encrypt computes one AES-128 block; dst and src may alias.
+func (s *aesSched) encrypt(dst, src *[16]byte) {
+	s0 := uint32(src[0])<<24 | uint32(src[1])<<16 | uint32(src[2])<<8 | uint32(src[3])
+	s1 := uint32(src[4])<<24 | uint32(src[5])<<16 | uint32(src[6])<<8 | uint32(src[7])
+	s2 := uint32(src[8])<<24 | uint32(src[9])<<16 | uint32(src[10])<<8 | uint32(src[11])
+	s3 := uint32(src[12])<<24 | uint32(src[13])<<16 | uint32(src[14])<<8 | uint32(src[15])
+	s0 ^= s.rk[0]
+	s1 ^= s.rk[1]
+	s2 ^= s.rk[2]
+	s3 ^= s.rk[3]
+	k := 4
+	for r := 0; r < 9; r++ {
+		t0 := te0[s0>>24] ^ te1[s1>>16&0xFF] ^ te2[s2>>8&0xFF] ^ te3[s3&0xFF] ^ s.rk[k]
+		t1 := te0[s1>>24] ^ te1[s2>>16&0xFF] ^ te2[s3>>8&0xFF] ^ te3[s0&0xFF] ^ s.rk[k+1]
+		t2 := te0[s2>>24] ^ te1[s3>>16&0xFF] ^ te2[s0>>8&0xFF] ^ te3[s1&0xFF] ^ s.rk[k+2]
+		t3 := te0[s3>>24] ^ te1[s0>>16&0xFF] ^ te2[s1>>8&0xFF] ^ te3[s2&0xFF] ^ s.rk[k+3]
+		s0, s1, s2, s3 = t0, t1, t2, t3
+		k += 4
+	}
+	// Final round: SubBytes + ShiftRows + AddRoundKey, no MixColumns.
+	t0 := uint32(sbox[s0>>24])<<24 | uint32(sbox[s1>>16&0xFF])<<16 | uint32(sbox[s2>>8&0xFF])<<8 | uint32(sbox[s3&0xFF])
+	t1 := uint32(sbox[s1>>24])<<24 | uint32(sbox[s2>>16&0xFF])<<16 | uint32(sbox[s3>>8&0xFF])<<8 | uint32(sbox[s0&0xFF])
+	t2 := uint32(sbox[s2>>24])<<24 | uint32(sbox[s3>>16&0xFF])<<16 | uint32(sbox[s0>>8&0xFF])<<8 | uint32(sbox[s1&0xFF])
+	t3 := uint32(sbox[s3>>24])<<24 | uint32(sbox[s0>>16&0xFF])<<16 | uint32(sbox[s1>>8&0xFF])<<8 | uint32(sbox[s2&0xFF])
+	t0 ^= s.rk[40]
+	t1 ^= s.rk[41]
+	t2 ^= s.rk[42]
+	t3 ^= s.rk[43]
+	dst[0], dst[1], dst[2], dst[3] = byte(t0>>24), byte(t0>>16), byte(t0>>8), byte(t0)
+	dst[4], dst[5], dst[6], dst[7] = byte(t1>>24), byte(t1>>16), byte(t1>>8), byte(t1)
+	dst[8], dst[9], dst[10], dst[11] = byte(t2>>24), byte(t2>>16), byte(t2>>8), byte(t2)
+	dst[12], dst[13], dst[14], dst[15] = byte(t3>>24), byte(t3>>16), byte(t3>>8), byte(t3)
+}
+
+// schedPool recycles key schedules across PRG expansions and subkey
+// derivations; Get is allocation-free once warm, which is what makes the
+// whole keystream derivation path zero-alloc.
+var schedPool = sync.Pool{New: func() any { return new(aesSched) }}
+
+func getSched() *aesSched  { return schedPool.Get().(*aesSched) }
+func putSched(s *aesSched) { schedPool.Put(s) }

@@ -8,6 +8,30 @@ import (
 	"fmt"
 )
 
+// subKeysInto is the shared SubKeys/SubKeysAt body: AES-CTR over a pooled
+// key schedule (no per-call cipher allocation), folding each block into a
+// uint64 with the paper's length-matching hash.
+func subKeysInto(leaf Node, dst []uint64, elems []uint32) []uint64 {
+	s := getSched()
+	s.rekey((*[16]byte)(&leaf))
+	var in, out [16]byte
+	if elems == nil {
+		for e := range dst {
+			binary.BigEndian.PutUint64(in[8:], uint64(e))
+			s.encrypt(&out, &in)
+			dst[e] = binary.BigEndian.Uint64(out[:8]) ^ binary.BigEndian.Uint64(out[8:])
+		}
+	} else {
+		for x, e := range elems {
+			binary.BigEndian.PutUint64(in[8:], uint64(e))
+			s.encrypt(&out, &in)
+			dst[x] = binary.BigEndian.Uint64(out[:8]) ^ binary.BigEndian.Uint64(out[8:])
+		}
+	}
+	putSched(s)
+	return dst
+}
+
 // LeafSource derives keystream leaves. Both the owner's Tree/Walker and a
 // principal's KeySet/Walker satisfy it.
 type LeafSource interface {
@@ -20,19 +44,10 @@ type LeafSource interface {
 // 16-byte block into a uint64 by XORing its two halves.
 //
 // dst is overwritten and returned; pass a slice of length n to avoid
-// allocation.
+// allocation. With a caller-provided dst the derivation performs zero heap
+// allocations.
 func SubKeys(leaf Node, dst []uint64) []uint64 {
-	b, err := aes.NewCipher(leaf[:])
-	if err != nil {
-		panic("core: aes.NewCipher: " + err.Error())
-	}
-	var in, out [16]byte
-	for e := range dst {
-		binary.BigEndian.PutUint64(in[8:], uint64(e))
-		b.Encrypt(out[:], in[:])
-		dst[e] = binary.BigEndian.Uint64(out[:8]) ^ binary.BigEndian.Uint64(out[8:])
-	}
-	return dst
+	return subKeysInto(leaf, dst, nil)
 }
 
 // SubKeysAt expands a keystream leaf into subkeys at the given digest
@@ -41,20 +56,10 @@ func SubKeys(leaf Node, dst []uint64) []uint64 {
 // dst[x] receives the subkey for element elems[x]; pass a slice of length
 // len(elems) to avoid allocation.
 func SubKeysAt(leaf Node, elems []uint32, dst []uint64) []uint64 {
-	b, err := aes.NewCipher(leaf[:])
-	if err != nil {
-		panic("core: aes.NewCipher: " + err.Error())
-	}
 	if dst == nil {
 		dst = make([]uint64, len(elems))
 	}
-	var in, out [16]byte
-	for x, e := range elems {
-		binary.BigEndian.PutUint64(in[8:], uint64(e))
-		b.Encrypt(out[:], in[:])
-		dst[x] = binary.BigEndian.Uint64(out[:8]) ^ binary.BigEndian.Uint64(out[8:])
-	}
-	return dst
+	return subKeysInto(leaf, dst, elems)
 }
 
 // EncryptVec encrypts the digest vector m for chunk i under HEAC with key
@@ -132,11 +137,14 @@ const ChunkKeySize = 16
 // segment can open chunks; resolution-restricted principals (who only hold
 // sparse outer leaves) cannot.
 func ChunkKey(leafI, leafJ Node) [ChunkKeySize]byte {
-	h := sha256.New()
-	h.Write(leafI[:])
-	h.Write(leafJ[:])
+	// sha256.Sum256 over a stack concatenation; sha256.New + Sum(nil)
+	// would heap-allocate the hash state and digest per chunk.
+	var buf [32]byte
+	copy(buf[:16], leafI[:])
+	copy(buf[16:], leafJ[:])
+	sum := sha256.Sum256(buf[:])
 	var key [ChunkKeySize]byte
-	copy(key[:], h.Sum(nil))
+	copy(key[:], sum[:ChunkKeySize])
 	return key
 }
 
@@ -151,65 +159,90 @@ func ChunkAEAD(key [ChunkKeySize]byte) (cipher.AEAD, error) {
 
 // Encryptor encrypts consecutive chunk digests for one stream. It holds a
 // sequential Walker so that ingesting chunk i+1 after chunk i costs O(1)
-// amortized PRG expansions, plus reuses the i+1 leaf computed for chunk i as
-// chunk i+1's left leaf.
+// amortized PRG expansions, and caches the leaf pair and subkey vectors of
+// the current position: advancing from chunk i to i+1 promotes leaf_{i+1}
+// and its already-derived subkeys from the right slot to the left, so
+// sequential sealing performs one subkey expansion per chunk instead of two
+// — the same telescoping the HEAC construction exploits for decryption.
+// EncryptDigest and ChunkKeyAt at the same position share the cached pair,
+// so a full Seal derives each leaf exactly once.
 //
 // Not safe for concurrent use; create one per producer goroutine.
 type Encryptor struct {
-	walker   *Walker
-	next     uint64 // position whose leaf is cached in nextLeaf
-	nextLeaf Node
-	haveNext bool
-	ki, kj   []uint64 // scratch subkey buffers
+	walker       *Walker
+	cur          uint64 // position whose leaf pair is cached
+	leafI, leafJ Node   // leaves cur and cur+1
+	haveCur      bool
+	kiBuf, kjBuf []uint64 // cached subkeys of leafI/leafJ
+	kiN, kjN     int      // valid lengths (-1 = not derived)
+	ki, kj       []uint64 // scratch for the decrypt paths
 }
 
 // NewEncryptor returns an Encryptor drawing leaves from the walker
 // (obtained via Tree.NewWalker or KeySet.NewWalker).
 func NewEncryptor(w *Walker) *Encryptor {
-	return &Encryptor{walker: w}
+	return &Encryptor{walker: w, kiN: -1, kjN: -1}
 }
 
-func (e *Encryptor) leaves(i uint64) (Node, Node, error) {
-	var leafI Node
-	if e.haveNext && e.next == i {
-		leafI = e.nextLeaf
+// seek positions the leaf-pair cache at i, reusing the right slot as the
+// new left slot when advancing one chunk (the sequential ingest pattern).
+func (e *Encryptor) seek(i uint64) error {
+	if e.haveCur && e.cur == i {
+		return nil
+	}
+	if e.haveCur && e.cur+1 == i {
+		e.leafI = e.leafJ
+		e.kiBuf, e.kjBuf = e.kjBuf, e.kiBuf
+		e.kiN, e.kjN = e.kjN, -1
 	} else {
 		l, err := e.walker.Leaf(i)
 		if err != nil {
-			return Node{}, Node{}, err
+			return err
 		}
-		leafI = l
+		e.leafI = l
+		e.kiN, e.kjN = -1, -1
 	}
-	leafJ, err := e.walker.Leaf(i + 1)
+	r, err := e.walker.Leaf(i + 1)
 	if err != nil {
-		return Node{}, Node{}, err
+		e.haveCur = false // leafI state is torn; recompute on next call
+		return err
 	}
-	e.next, e.nextLeaf, e.haveNext = i+1, leafJ, true
-	return leafI, leafJ, nil
+	e.leafJ, e.cur, e.haveCur = r, i, true
+	return nil
 }
 
-func (e *Encryptor) subkeys(leafI, leafJ Node, n int) ([]uint64, []uint64) {
-	if cap(e.ki) < n {
-		e.ki = make([]uint64, n)
-		e.kj = make([]uint64, n)
+// subkeys returns the cached n-length subkey vectors of the current leaf
+// pair, deriving whichever slot is missing or was cached at another length.
+func (e *Encryptor) subkeys(n int) ([]uint64, []uint64) {
+	if cap(e.kiBuf) < n {
+		e.kiBuf = make([]uint64, n)
+		e.kiN = -1
 	}
-	e.ki, e.kj = e.ki[:n], e.kj[:n]
-	SubKeys(leafI, e.ki)
-	SubKeys(leafJ, e.kj)
-	return e.ki, e.kj
+	if cap(e.kjBuf) < n {
+		e.kjBuf = make([]uint64, n)
+		e.kjN = -1
+	}
+	if e.kiN != n {
+		SubKeys(e.leafI, e.kiBuf[:n])
+		e.kiN = n
+	}
+	if e.kjN != n {
+		SubKeys(e.leafJ, e.kjBuf[:n])
+		e.kjN = n
+	}
+	return e.kiBuf[:n], e.kjBuf[:n]
 }
 
 // EncryptDigest encrypts chunk i's digest vector in place semantics: the
 // ciphertext is written to dst (allocated if nil) and returned.
 func (e *Encryptor) EncryptDigest(i uint64, m, dst []uint64) ([]uint64, error) {
-	leafI, leafJ, err := e.leaves(i)
-	if err != nil {
+	if err := e.seek(i); err != nil {
 		return nil, err
 	}
 	if dst == nil {
 		dst = make([]uint64, len(m))
 	}
-	ki, kj := e.subkeys(leafI, leafJ, len(m))
+	ki, kj := e.subkeys(len(m))
 	for x := range m {
 		dst[x] = m[x] + ki[x] - kj[x]
 	}
@@ -233,7 +266,13 @@ func (e *Encryptor) DecryptRange(i, j uint64, c, dst []uint64) ([]uint64, error)
 	if dst == nil {
 		dst = make([]uint64, len(c))
 	}
-	ki, kj := e.subkeys(leafI, leafJ, len(c))
+	n := len(c)
+	if cap(e.ki) < n {
+		e.ki = make([]uint64, n)
+		e.kj = make([]uint64, n)
+	}
+	ki := SubKeys(leafI, e.ki[:n])
+	kj := SubKeys(leafJ, e.kj[:n])
 	for x := range c {
 		dst[x] = c[x] - ki[x] + kj[x]
 	}
@@ -278,9 +317,8 @@ func (e *Encryptor) DecryptRangeElems(i, j uint64, elems []uint32, c, dst []uint
 
 // ChunkKeyAt derives the raw-payload AES key for chunk i.
 func (e *Encryptor) ChunkKeyAt(i uint64) ([ChunkKeySize]byte, error) {
-	leafI, leafJ, err := e.leaves(i)
-	if err != nil {
+	if err := e.seek(i); err != nil {
 		return [ChunkKeySize]byte{}, err
 	}
-	return ChunkKey(leafI, leafJ), nil
+	return ChunkKey(e.leafI, e.leafJ), nil
 }

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestSchedPoolConcurrentStreams hammers the shared AES key-schedule pool
+// from many goroutines, each driving its own walker + encryptor over a
+// private tree (the engine's shape: per-stream encryptors, one
+// process-wide schedule pool). Run under -race this proves pooled
+// schedules never leak between streams mid-derivation: every goroutine
+// cross-checks its pooled-path output against fresh per-call derivations.
+func TestSchedPoolConcurrentStreams(t *testing.T) {
+	const (
+		streams = 8
+		chunks  = 200
+		vlen    = 19
+	)
+	var wg sync.WaitGroup
+	errc := make(chan error, streams)
+	for g := 0; g < streams; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			seed := Node{byte(g), 0xA5, byte(g * 7)}
+			tree, err := NewTree(NewPRG(PRGAES), 20, seed)
+			if err != nil {
+				errc <- err
+				return
+			}
+			enc := NewEncryptor(tree.NewWalker())
+			m := make([]uint64, vlen)
+			ct := make([]uint64, vlen)
+			want := make([]uint64, vlen)
+			for i := uint64(0); i < chunks; i++ {
+				for e := range m {
+					m[e] = i*31 + uint64(e)*7 + uint64(g)
+				}
+				if _, err := enc.EncryptDigest(i, m, ct); err != nil {
+					errc <- err
+					return
+				}
+				// Independent derivation, no walker/pool reuse pattern.
+				li, err := tree.Leaf(i)
+				if err != nil {
+					errc <- err
+					return
+				}
+				lj, err := tree.Leaf(i + 1)
+				if err != nil {
+					errc <- err
+					return
+				}
+				EncryptVec(li, lj, m, want)
+				for e := range ct {
+					if ct[e] != want[e] {
+						t.Errorf("stream %d chunk %d elem %d: pooled path %#x, reference %#x", g, i, e, ct[e], want[e])
+						return
+					}
+				}
+				if _, err := enc.ChunkKeyAt(i); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}
+
+// TestKeystreamDerivationZeroAlloc pins the whole per-chunk keystream
+// derivation — sequential leaf walk, canceling subkeys, digest encryption,
+// and payload-key derivation — at zero heap allocations after warm-up.
+// This is the PR's core acceptance criterion; a regression here fails CI.
+func TestKeystreamDerivationZeroAlloc(t *testing.T) {
+	tree, err := NewTree(NewPRG(PRGAES), DefaultTreeHeight, Node{0xC3, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := NewEncryptor(tree.NewWalker())
+	m := make([]uint64, 19)
+	for e := range m {
+		m[e] = uint64(e) * 97
+	}
+	dst := make([]uint64, len(m))
+	// Warm up: fault in walker path cache, encryptor scratch, pool.
+	if _, err := enc.EncryptDigest(0, m, dst); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := enc.ChunkKeyAt(0); err != nil {
+		t.Fatal(err)
+	}
+	pos := uint64(1)
+	allocs := testing.AllocsPerRun(500, func() {
+		if _, err := enc.EncryptDigest(pos, m, dst); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := enc.ChunkKeyAt(pos); err != nil {
+			t.Fatal(err)
+		}
+		pos++
+	})
+	if allocs != 0 {
+		t.Fatalf("keystream derivation allocates %.1f objects/chunk, want 0", allocs)
+	}
+}
+
+// TestPRGExpandZeroAlloc covers all three constructions: none may allocate.
+func TestPRGExpandZeroAlloc(t *testing.T) {
+	for _, kind := range []PRGKind{PRGAES, PRGSHA256, PRGHMAC} {
+		prg := NewPRG(kind)
+		x := Node{0x11, 0x22}
+		allocs := testing.AllocsPerRun(500, func() {
+			l, r := prg.Expand(x)
+			x[0] = l[0] ^ r[0]
+		})
+		if allocs != 0 {
+			t.Errorf("%s PRG Expand allocates %.1f objects/op, want 0", prg.Name(), allocs)
+		}
+	}
+}

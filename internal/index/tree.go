@@ -196,7 +196,12 @@ func (t *Tree) Append(pos uint64, digest []uint64) error {
 				next[e] += digest[e]
 			}
 		case errors.Is(err, kv.ErrNotFound):
-			next = append([]uint64(nil), digest...)
+			// A fresh ancestor's value is exactly the digest, which the
+			// leaf slice already holds. Nodes are copy-on-write (updates
+			// always store a fresh slice), so the cache may safely hold
+			// one slice under several keys; this saves a copy per fresh
+			// level on the first append into each subtree.
+			next = leaf
 		default:
 			return err
 		}
@@ -205,6 +210,90 @@ func (t *Tree) Append(pos uint64, digest []uint64) error {
 		}
 	}
 	t.count = pos + 1
+	var meta [8]byte
+	binary.BigEndian.PutUint64(meta[:], t.count)
+	return t.store.Put(t.metaKey(), meta[:])
+}
+
+// AppendBatch ingests the encrypted digests for the next len(digests)
+// chunk positions in one locked pass. pos must equal Count().
+//
+// Where N sequential Appends perform N·MaxLevels ancestor read-modify-write
+// cycles and N meta writes, a batch folds every digest that lands in the
+// same ancestor into one delta first, so each touched ancestor is written
+// once (≈ N/k per level) and the meta key once per batch. The resulting
+// node bytes are identical to N sequential Appends — modular addition is
+// associative — which TestHotPathGoldenParity pins against golden store
+// dumps.
+func (t *Tree) AppendBatch(pos uint64, digests [][]uint64) error {
+	n := uint64(len(digests))
+	if n == 0 {
+		return nil
+	}
+	for i, digest := range digests {
+		if len(digest) != t.cfg.VectorLen {
+			return fmt.Errorf("index: digest %d has %d elements, want %d", i, len(digest), t.cfg.VectorLen)
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if pos != t.count {
+		return fmt.Errorf("index: append at position %d, expected %d", pos, t.count)
+	}
+	for i, digest := range digests {
+		leaf := append([]uint64(nil), digest...)
+		if err := t.storeNode(0, pos+uint64(i), leaf); err != nil {
+			return err
+		}
+	}
+	k := uint64(t.cfg.Fanout)
+	// idxs[i] tracks digest i's node index at the current level; dividing
+	// per level (like Append's idx /= k) sidesteps k^level overflow for
+	// tall configured trees.
+	idxs := make([]uint64, n)
+	for i := range idxs {
+		idxs[i] = pos + uint64(i)
+	}
+	delta := make([]uint64, t.cfg.VectorLen)
+	for level := 1; level <= t.cfg.MaxLevels; level++ {
+		for i := range idxs {
+			idxs[i] /= k
+		}
+		for i := uint64(0); i < n; {
+			j := i + 1
+			for j < n && idxs[j] == idxs[i] {
+				j++
+			}
+			// Fold digests [i, j) — the run landing in node idxs[i] —
+			// into one delta, then apply it with a single
+			// read-modify-write.
+			copy(delta, digests[i])
+			for x := i + 1; x < j; x++ {
+				d := digests[x]
+				for e := range delta {
+					delta[e] += d[e]
+				}
+			}
+			cur, err := t.loadNode(level, idxs[i])
+			var next []uint64
+			switch {
+			case err == nil:
+				next = make([]uint64, len(cur))
+				for e := range cur {
+					next[e] = cur[e] + delta[e]
+				}
+			case errors.Is(err, kv.ErrNotFound):
+				next = append([]uint64(nil), delta...)
+			default:
+				return err
+			}
+			if err := t.storeNode(level, idxs[i], next); err != nil {
+				return err
+			}
+			i = j
+		}
+	}
+	t.count = pos + n
 	var meta [8]byte
 	binary.BigEndian.PutUint64(meta[:], t.count)
 	return t.store.Put(t.metaKey(), meta[:])

@@ -372,3 +372,106 @@ func TestLRUCacheEvictsLowLevelsFirst(t *testing.T) {
 		t.Error("oldest leaf survived eviction")
 	}
 }
+
+// TestAppendBatchMatchesSequential proves a batched ingest leaves the store
+// in exactly the state N sequential Appends would, for batch shapes that
+// straddle node boundaries every way (sub-fanout, exactly fanout, multiple
+// nodes, single digest).
+func TestAppendBatchMatchesSequential(t *testing.T) {
+	const total = 150
+	digest := func(i uint64) []uint64 { return []uint64{i*1000003 + 1, i * 97} }
+
+	seqTree, seqStore := newTestTree(t, Config{Fanout: 4, VectorLen: 2})
+	for i := uint64(0); i < total; i++ {
+		if err := seqTree.Append(i, digest(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	batchTree, batchStore := newTestTree(t, Config{Fanout: 4, VectorLen: 2})
+	pos := uint64(0)
+	for _, size := range []uint64{1, 3, 4, 5, 16, 64, 2, 55, 10} {
+		if pos+size > total {
+			size = total - pos
+		}
+		digests := make([][]uint64, size)
+		for i := range digests {
+			digests[i] = digest(pos + uint64(i))
+		}
+		if err := batchTree.AppendBatch(pos, digests); err != nil {
+			t.Fatal(err)
+		}
+		pos += size
+	}
+	if pos != total {
+		t.Fatalf("batch schedule covered %d chunks, want %d", pos, total)
+	}
+	if batchTree.Count() != seqTree.Count() {
+		t.Fatalf("Count: batch %d, sequential %d", batchTree.Count(), seqTree.Count())
+	}
+
+	seq := map[string][]byte{}
+	if err := seqStore.Scan("", func(k string, v []byte) bool {
+		seq[k] = append([]byte(nil), v...)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	nBatch := 0
+	if err := batchStore.Scan("", func(k string, v []byte) bool {
+		nBatch++
+		want, ok := seq[k]
+		if !ok {
+			t.Errorf("batch store has extra key %q", k)
+			return true
+		}
+		if string(v) != string(want) {
+			t.Errorf("key %q: batch bytes differ from sequential", k)
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if nBatch != len(seq) {
+		t.Fatalf("batch store has %d keys, sequential has %d", nBatch, len(seq))
+	}
+
+	// And the query path agrees across both trees.
+	for _, r := range [][2]uint64{{0, total}, {3, 17}, {64, 130}, {149, 150}} {
+		a, err := seqTree.Query(r[0], r[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := batchTree.Query(r[0], r[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for e := range a {
+			if a[e] != b[e] {
+				t.Fatalf("Query(%d,%d) elem %d: batch %d, sequential %d", r[0], r[1], e, b[e], a[e])
+			}
+		}
+	}
+}
+
+func TestAppendBatchValidation(t *testing.T) {
+	tree, _ := newTestTree(t, Config{Fanout: 4, VectorLen: 2})
+	if err := tree.AppendBatch(0, nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	if err := tree.AppendBatch(1, [][]uint64{{1, 2}}); err == nil {
+		t.Error("out-of-order batch accepted")
+	}
+	if err := tree.AppendBatch(0, [][]uint64{{1, 2}, {3}}); err == nil {
+		t.Error("wrong-length digest accepted")
+	}
+	if tree.Count() != 0 {
+		t.Fatalf("failed batches advanced count to %d", tree.Count())
+	}
+	if err := tree.AppendBatch(0, [][]uint64{{1, 2}, {3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", tree.Count())
+	}
+}

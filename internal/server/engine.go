@@ -402,6 +402,100 @@ func (e *Engine) InsertChunk(uuid string, sealedBytes []byte) error {
 	return nil
 }
 
+// InsertChunkBatch ingests several sealed chunks for one stream under a
+// single stream lock, returning one result per chunk (aligned with
+// sealedBlobs). Valid in-order chunks are folded into the index with one
+// Tree.AppendBatch — log_k(n) ancestor writes for the whole run instead of
+// per chunk — and their staged-record GC coalesces into one store batch.
+// Per-chunk validation matches InsertChunk exactly: a chunk that fails
+// validation gets its own error and does not advance the expected
+// position, so the chunks after it are judged exactly as a sequential
+// insert loop would judge them.
+func (e *Engine) InsertChunkBatch(uuid string, sealedBlobs [][]byte) []error {
+	errs := make([]error, len(sealedBlobs))
+	s, err := e.lookup(uuid)
+	if err != nil {
+		for i := range errs {
+			errs[i] = err
+		}
+		return errs
+	}
+	parsed := make([]*chunk.Sealed, len(sealedBlobs))
+	for i, blob := range sealedBlobs {
+		sealed, err := chunk.UnmarshalSealed(blob)
+		if err != nil {
+			errs[i] = fmt.Errorf("server: stream %q: %w", uuid, err)
+			continue
+		}
+		if len(sealed.Digest) != int(s.cfg.VectorLen) {
+			errs[i] = fmt.Errorf("server: stream %q: digest has %d elements, stream uses %d",
+				uuid, len(sealed.Digest), s.cfg.VectorLen)
+			continue
+		}
+		wantStart := s.cfg.Epoch + int64(sealed.Index)*s.cfg.Interval
+		if sealed.Start != wantStart || sealed.End != wantStart+s.cfg.Interval {
+			errs[i] = fmt.Errorf("server: stream %q: chunk %d interval [%d,%d) does not match stream geometry",
+				uuid, sealed.Index, sealed.Start, sealed.End)
+			continue
+		}
+		parsed[i] = sealed
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	start := s.tree.Count()
+	want := start
+	var (
+		run     []int // indices into sealedBlobs of the accepted chunks
+		puts    []kv.Op
+		digests [][]uint64
+	)
+	for i, sealed := range parsed {
+		if sealed == nil {
+			continue
+		}
+		if sealed.Index != want {
+			errs[i] = fmt.Errorf("server: stream %q: chunk %d out of order (expected %d)", uuid, sealed.Index, want)
+			continue
+		}
+		run = append(run, i)
+		puts = append(puts, kv.Op{Kind: kv.OpPut, Key: chunkKey(uuid, sealed.Index), Value: sealedBlobs[i]})
+		digests = append(digests, sealed.Digest)
+		want++
+	}
+	if len(run) == 0 {
+		return errs
+	}
+	fail := func(err error) []error {
+		for _, i := range run {
+			errs[i] = err
+		}
+		return errs
+	}
+	if err := e.store.Batch(puts); err != nil {
+		return fail(err)
+	}
+	if err := s.tree.AppendBatch(start, digests); err != nil {
+		return fail(err)
+	}
+	var gcOps []kv.Op
+	for x, i := range run {
+		seqs, err := e.takeStaged(uuid, s, start+uint64(x))
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		for _, seq := range seqs {
+			gcOps = append(gcOps, kv.Op{Kind: kv.OpDelete, Key: stagedKey(uuid, start+uint64(x), seq)})
+		}
+	}
+	if len(gcOps) > 0 {
+		if err := e.store.Batch(gcOps); err != nil {
+			return fail(err)
+		}
+	}
+	return errs
+}
+
 // loadStagedLocked rebuilds the staged-record index from the store on the
 // stream's first staged-record touch. Caller holds s.stagedMu.
 func (e *Engine) loadStagedLocked(uuid string, s *stream) error {

@@ -145,12 +145,37 @@ func (e *Engine) handleBatch(ctx context.Context, b *wire.Batch) wire.Message {
 	for _, uuid := range p.Order {
 		idxs := p.Groups[uuid]
 		wg.Add(1)
-		go func(idxs []int) {
+		go func(uuid string, idxs []int) {
 			defer wg.Done()
-			for _, i := range idxs {
-				resps[i] = e.Handle(ctx, b.Reqs[i])
+			// Runs of chunk inserts for one stream take the batched
+			// ingest path: one stream lock and one index root-path
+			// update for the whole run, with per-sub-request results
+			// preserved.
+			for x := 0; x < len(idxs); {
+				if _, ok := b.Reqs[idxs[x]].(*wire.InsertChunk); !ok {
+					resps[idxs[x]] = e.Handle(ctx, b.Reqs[idxs[x]])
+					x++
+					continue
+				}
+				y := x
+				var blobs [][]byte
+				for ; y < len(idxs); y++ {
+					ic, ok := b.Reqs[idxs[y]].(*wire.InsertChunk)
+					if !ok {
+						break
+					}
+					blobs = append(blobs, ic.Chunk)
+				}
+				if len(blobs) == 1 {
+					resps[idxs[x]] = e.Handle(ctx, b.Reqs[idxs[x]])
+				} else {
+					for k, err := range e.InsertChunkBatch(uuid, blobs) {
+						resps[idxs[x+k]] = respond(err)
+					}
+				}
+				x = y
 			}
-		}(idxs)
+		}(uuid, idxs)
 	}
 	for _, i := range p.Singles {
 		wg.Add(1)
@@ -326,7 +351,19 @@ func (s *Server) serveConn(ctx context.Context, conn net.Conn) {
 
 	br := bufio.NewReaderSize(conn, 64<<10)
 	for {
-		id, timeoutMS, req, err := wire.ReadRequest(br)
+		// Pooled frame read (decode-then-release): request decoders copy
+		// every field they retain, so the buffer is back in the pool
+		// before the handler runs.
+		var (
+			id        uint64
+			timeoutMS int64
+			req       wire.Message
+		)
+		fb, err := wire.ReadFrameBuf(br)
+		if err == nil {
+			id, timeoutMS, req, err = wire.DecodeRequest(fb.Bytes())
+			fb.Release()
+		}
 		if err != nil {
 			if errors.Is(err, wire.ErrProtoVersion) {
 				// Version negotiation, the loud way: name the version we

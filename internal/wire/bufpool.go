@@ -1,0 +1,143 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/bits"
+	"sync"
+)
+
+// Frame buffers are pooled in power-of-two size classes so the reader pumps
+// stop allocating one payload per frame. A FrameBuf travels from ReadFrameBuf
+// to the decoder and back to the pool: message decoders copy every field
+// they retain (see Decoder.Blob/Str/Vec), so releasing the buffer right
+// after Unmarshal is safe.
+const (
+	minBufClassBits = 10 // smallest pooled class: 1 KiB
+	maxBufClassBits = 20 // largest pooled class: 1 MiB
+	numBufClasses   = maxBufClassBits - minBufClassBits + 1
+)
+
+var framePools [numBufClasses]sync.Pool
+
+func init() {
+	for c := range framePools {
+		sz := 1 << (minBufClassBits + c)
+		class := c
+		framePools[c].New = func() any {
+			return &FrameBuf{b: make([]byte, sz), class: class}
+		}
+	}
+}
+
+// FrameBuf is a pooled frame payload. Obtain one with GetFrameBuf or
+// ReadFrameBuf, read the payload via Bytes, and call Release exactly once
+// when done; the payload must not be retained past Release.
+type FrameBuf struct {
+	b     []byte
+	n     int
+	class int // pool class index, or -1 for oversized one-off buffers
+}
+
+// Bytes returns the payload. The slice is only valid until Release.
+func (fb *FrameBuf) Bytes() []byte { return fb.b[:fb.n] }
+
+// Release returns the buffer to its pool. Oversized buffers (above the
+// largest class) are simply dropped for the GC.
+func (fb *FrameBuf) Release() {
+	if fb.class >= 0 {
+		framePools[fb.class].Put(fb)
+	}
+}
+
+// bufClass maps a payload size to the smallest class that fits, or -1 if
+// the size exceeds the largest pooled class.
+func bufClass(n int) int {
+	if n > 1<<maxBufClassBits {
+		return -1
+	}
+	c := 0
+	if n > 1<<minBufClassBits {
+		c = bits.Len(uint(n-1)) - minBufClassBits
+	}
+	return c
+}
+
+// GetFrameBuf returns a pooled buffer sized for an n-byte payload.
+func GetFrameBuf(n int) *FrameBuf {
+	c := bufClass(n)
+	if c < 0 {
+		return &FrameBuf{b: make([]byte, n), n: n, class: -1}
+	}
+	fb := framePools[c].Get().(*FrameBuf)
+	fb.n = n
+	return fb
+}
+
+// hdrPool recycles the 4-byte length-prefix scratch: a stack array would
+// escape through the io.Reader interface call and cost one allocation per
+// frame, which is exactly what this file exists to remove.
+var hdrPool = sync.Pool{New: func() any { return new([4]byte) }}
+
+// ReadFrameBuf reads one length-prefixed frame into a pooled buffer: the
+// allocation-free counterpart of ReadFrame for the client and server
+// reader pumps. The caller owns the returned FrameBuf and must Release it
+// after decoding.
+func ReadFrameBuf(r io.Reader) (*FrameBuf, error) {
+	hdr := hdrPool.Get().(*[4]byte)
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		hdrPool.Put(hdr)
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	hdrPool.Put(hdr)
+	if n > MaxFrameSize {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	fb := GetFrameBuf(int(n))
+	if _, err := io.ReadFull(r, fb.Bytes()); err != nil {
+		fb.Release()
+		return nil, fmt.Errorf("wire: short frame: %w", err)
+	}
+	return fb, nil
+}
+
+// Encoders for the request/response write paths are pooled too: a pooled
+// Encoder keeps its grown capacity across frames, so steady-state encoding
+// never regrows the buffer and WriteRequest/WriteResponse stop allocating.
+var encPool = sync.Pool{
+	New: func() any { return &Encoder{buf: make([]byte, 0, 2048)} },
+}
+
+// maxPooledEncoder caps how much capacity a pooled Encoder may pin; an
+// encoder grown past it (one huge frame) is dropped instead of parked.
+const maxPooledEncoder = 1 << 20
+
+// getEncoder returns a pooled Encoder with 4 bytes reserved for the frame
+// length prefix; writeFramed backfills the prefix and issues one Write, so
+// the whole framed envelope goes out without an allocation or a separate
+// header write.
+func getEncoder() *Encoder {
+	e := encPool.Get().(*Encoder)
+	e.buf = append(e.buf[:0], 0, 0, 0, 0)
+	return e
+}
+
+func putEncoder(e *Encoder) {
+	if cap(e.buf) <= maxPooledEncoder {
+		encPool.Put(e)
+	}
+}
+
+// writeFramed backfills the length prefix reserved by getEncoder and writes
+// the complete frame in one call.
+func writeFramed(w io.Writer, e *Encoder) error {
+	payload := len(e.buf) - 4
+	if payload > MaxFrameSize {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", payload)
+	}
+	binary.BigEndian.PutUint32(e.buf[:4], uint32(payload))
+	_, err := w.Write(e.buf)
+	return err
+}

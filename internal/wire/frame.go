@@ -108,13 +108,15 @@ func ReadMessage(r io.Reader) (Message, error) {
 // encodes in place after the header (no intermediate buffer — this is the
 // ingest hot path).
 func WriteRequest(w io.Writer, id uint64, timeoutMS int64, m Message) error {
-	var e Encoder
+	e := getEncoder()
 	e.U8(ProtoVersion)
 	e.U64(id)
 	e.I64(timeoutMS)
 	e.U8(uint8(m.Type()))
-	m.encode(&e)
-	return WriteFrame(w, e.Bytes())
+	m.encode(e)
+	err := writeFramed(w, e)
+	putEncoder(e)
+	return err
 }
 
 // ReadRequest reads one framed request, returning the correlation ID, the
@@ -160,7 +162,7 @@ func DecodeRequest(payload []byte) (uint64, int64, Message, error) {
 // request it answers, a flag byte (FlagMore for intermediate stream
 // frames), and the message encoded in place.
 func WriteResponse(w io.Writer, id uint64, more bool, m Message) error {
-	var e Encoder
+	e := getEncoder()
 	e.U64(id)
 	if more {
 		e.U8(FlagMore)
@@ -168,8 +170,10 @@ func WriteResponse(w io.Writer, id uint64, more bool, m Message) error {
 		e.U8(0)
 	}
 	e.U8(uint8(m.Type()))
-	m.encode(&e)
-	return WriteFrame(w, e.Bytes())
+	m.encode(e)
+	err := writeFramed(w, e)
+	putEncoder(e)
+	return err
 }
 
 // ReadResponse reads one framed response envelope.
