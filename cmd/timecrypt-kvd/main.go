@@ -56,7 +56,7 @@ func main() {
 				case <-ctx.Done():
 					return
 				case <-ticker.C:
-					if err := writeSnapshot(*snapshot, store); err != nil {
+					if err := kv.WriteSnapshotFile(*snapshot, store); err != nil {
 						log.Printf("snapshot failed: %v", err)
 					}
 				}
@@ -67,27 +67,9 @@ func main() {
 		log.Printf("serve: %v", err)
 	}
 	if *snapshot != "" {
-		if err := writeSnapshot(*snapshot, store); err != nil {
+		if err := kv.WriteSnapshotFile(*snapshot, store); err != nil {
 			log.Printf("final snapshot failed: %v", err)
 		}
 	}
 	log.Printf("store stats: %s", store.Stats())
-}
-
-func writeSnapshot(path string, store kv.Store) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := kv.WriteSnapshot(f, store); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
 }

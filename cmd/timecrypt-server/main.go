@@ -1,10 +1,17 @@
 // Command timecrypt-server runs a standalone TimeCrypt server: one or more
 // untrusted engine shards over the in-memory KV store (or a remote storage
-// node), fronted by the TCP protocol. Optional snapshots give restart
-// durability.
+// node), fronted by the TCP protocol.
+//
+// Durability: -data-dir runs the store through a write-ahead log with
+// group commit and compacted snapshots — every acknowledged write
+// survives kill -9 (see docs/OPERATIONS.md, "Durability"). -fsync picks
+// the sync policy: always (default), never, or a duration for periodic
+// syncs. The legacy -snapshot flag instead snapshots the in-memory store
+// periodically (writes between snapshots are lost on crash).
 //
 // Usage:
 //
+//	timecrypt-server -addr :7733 -data-dir /var/lib/timecrypt -fsync always
 //	timecrypt-server -addr :7733 -cache 0 -snapshot data.tcsnap -snapshot-every 60s
 //
 // Scale-out: -shards N hosts N engine shards in this process, each over
@@ -44,6 +51,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/cluster"
 	"repro/internal/kv"
+	"repro/internal/kv/durable"
 	"repro/internal/server"
 	"repro/internal/wire"
 )
@@ -53,7 +61,9 @@ func main() {
 	cache := flag.Int64("cache", 0, "index cache budget in bytes per shard (0 = unbounded)")
 	kvAddr := flag.String("kv-addr", "", "remote timecrypt-kvd storage node (default: local in-memory store)")
 	kvPool := flag.Int("kv-pool", 8, "connections to the remote storage node")
-	snapshot := flag.String("snapshot", "", "snapshot file to load at start and write periodically (local store only)")
+	dataDir := flag.String("data-dir", "", "directory for the durable store (WAL + snapshots); empty = in-memory only")
+	fsync := flag.String("fsync", "always", "WAL sync policy: always, never, or a duration like 500ms (acks may lose up to that much on power loss)")
+	snapshot := flag.String("snapshot", "", "legacy: snapshot file to load at start and write periodically (local in-memory store only)")
 	snapshotEvery := flag.Duration("snapshot-every", time.Minute, "snapshot interval")
 	shards := flag.Int("shards", 1, "engine shards hosted in this process, each over its own store partition (stable across restarts)")
 	peers := flag.String("peers", "", "comma-separated remote timecrypt-server shards to route to initially (reshard to change membership online)")
@@ -77,14 +87,37 @@ func main() {
 
 	var store kv.Store
 	var mem *kv.MemStore
-	if *kvAddr != "" {
+	var dstore *durable.Store
+	switch {
+	case *dataDir != "":
+		if *kvAddr != "" {
+			log.Fatalf("-data-dir and -kv-addr are mutually exclusive (durability lives on the storage node when one is used)")
+		}
+		if *snapshot != "" {
+			log.Fatalf("-data-dir replaces -snapshot: the durable store manages its own snapshots")
+		}
+		policy, every, err := durable.ParseSyncPolicy(*fsync)
+		if err != nil {
+			log.Fatalf("bad -fsync: %v", err)
+		}
+		dstore, err = durable.Open(*dataDir, durable.Options{
+			Sync:      policy,
+			SyncEvery: every,
+			Logf:      log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("opening durable store in %s: %v", *dataDir, err)
+		}
+		log.Printf("durable store in %s (fsync=%s): %s", *dataDir, policy, dstore.Stats())
+		store = dstore
+	case *kvAddr != "":
 		remote, err := kv.DialRemoteStore(*kvAddr, *kvPool)
 		if err != nil {
 			log.Fatalf("connecting to storage node: %v", err)
 		}
 		log.Printf("using remote storage node %s", *kvAddr)
 		store = remote
-	} else {
+	default:
 		mem = kv.NewMemStore()
 		if *snapshot != "" {
 			if f, err := os.Open(*snapshot); err == nil {
@@ -205,7 +238,7 @@ func main() {
 				case <-ctx.Done():
 					return
 				case <-ticker.C:
-					if err := writeSnapshot(*snapshot, mem); err != nil {
+					if err := kv.WriteSnapshotFile(*snapshot, mem); err != nil {
 						log.Printf("snapshot failed: %v", err)
 					}
 				}
@@ -217,7 +250,7 @@ func main() {
 		log.Printf("serve: %v", err)
 	}
 	if mem != nil && *snapshot != "" {
-		if err := writeSnapshot(*snapshot, mem); err != nil {
+		if err := kv.WriteSnapshotFile(*snapshot, mem); err != nil {
 			log.Printf("final snapshot failed: %v", err)
 		} else {
 			log.Printf("wrote snapshot %s", *snapshot)
@@ -225,6 +258,14 @@ func main() {
 	}
 	if mem != nil {
 		log.Printf("store stats: %s", mem.Stats())
+	}
+	if dstore != nil {
+		// Flush and fsync the WAL tail so a clean shutdown is exactly as
+		// durable as the policy promises under crash.
+		if err := dstore.Close(); err != nil {
+			log.Printf("closing durable store: %v", err)
+		}
+		log.Printf("durable store: %s", dstore.Stats())
 	}
 	if router != nil {
 		for _, s := range router.Stats() {
@@ -288,23 +329,4 @@ func joinCluster(ctx context.Context, routerAddr, self string) error {
 		return nil
 	}
 	return fmt.Errorf("gave up joining after repeated busy answers")
-}
-
-// writeSnapshot writes atomically via a temp file rename.
-func writeSnapshot(path string, store kv.Store) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := kv.WriteSnapshot(f, store); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
 }

@@ -1,0 +1,271 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"testing"
+	"time"
+
+	"repro/internal/chunk"
+	"repro/internal/client"
+	"repro/internal/wire"
+)
+
+// TestMain doubles as the server entry point: the crash-recovery e2e
+// re-execs this test binary with TIMECRYPT_SERVER_CHILD=1 and real server
+// flags, so the process under kill -9 is the genuine timecrypt-server
+// main(), not an in-process stand-in.
+func TestMain(m *testing.M) {
+	if os.Getenv("TIMECRYPT_SERVER_CHILD") == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// serverProc is one child server process under test control.
+type serverProc struct {
+	cmd *exec.Cmd
+	out *bytes.Buffer
+}
+
+func startServerProc(t *testing.T, args ...string) *serverProc {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "TIMECRYPT_SERVER_CHILD=1")
+	out := &bytes.Buffer{}
+	cmd.Stdout = out
+	cmd.Stderr = out
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting server child: %v", err)
+	}
+	p := &serverProc{cmd: cmd, out: out}
+	t.Cleanup(func() { p.cmd.Process.Kill(); p.cmd.Wait() })
+	return p
+}
+
+// kill9 delivers SIGKILL — no shutdown hooks, no final fsync — and waits
+// for the process to be fully gone so the port is reusable.
+func (p *serverProc) kill9(t *testing.T) {
+	t.Helper()
+	if err := p.cmd.Process.Kill(); err != nil {
+		t.Fatalf("kill -9: %v", err)
+	}
+	p.cmd.Wait()
+}
+
+func (p *serverProc) logs() string { return p.out.String() }
+
+// pickAddr reserves a localhost port. The listener is closed before the
+// child binds it; the tiny race is acceptable in tests.
+func pickAddr(t *testing.T) string {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := lis.Addr().String()
+	lis.Close()
+	return addr
+}
+
+func waitServing(t *testing.T, p *serverProc, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if c, err := net.DialTimeout("tcp", addr, 200*time.Millisecond); err == nil {
+			c.Close()
+			return
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("server on %s never came up; logs:\n%s", addr, p.logs())
+}
+
+// statRangeBytes round-trips a StatRange and returns the marshaled
+// response frame, for byte-identity comparisons across restarts.
+func statRangeBytes(t *testing.T, addr string, q *wire.StatRange) []byte {
+	t.Helper()
+	tr, err := client.DialTCP(addr)
+	if err != nil {
+		t.Fatalf("dial %s: %v", addr, err)
+	}
+	defer tr.Close()
+	resp, err := tr.RoundTrip(context.Background(), q)
+	if err != nil {
+		t.Fatalf("stat range: %v", err)
+	}
+	if e, bad := resp.(*wire.Error); bad {
+		t.Fatalf("stat range: server error %v", e)
+	}
+	return wire.Marshal(resp)
+}
+
+// TestCrashRecoveryE2E kill -9s a real timecrypt-server mid-Writer-ingest
+// and proves the durable store's contract: every chunk acknowledged
+// before the crash (the Writer.Flush barrier) survives, and query
+// responses over the acknowledged range are byte-identical before the
+// crash, after recovery, and after a second crash-restart cycle.
+func TestCrashRecoveryE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills real server processes")
+	}
+	dataDir := t.TempDir()
+	addr := pickAddr(t)
+	const (
+		epoch    = int64(1_700_000_000_000)
+		interval = int64(1000)
+		acked    = 40 // chunks flushed (acked durable) before the kill
+	)
+
+	srv := startServerProc(t, "-addr", addr, "-data-dir", dataDir)
+	waitServing(t, srv, addr)
+
+	ctx := context.Background()
+	tr, err := client.DialTCP(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := chunk.DigestSpec{Sum: true, Count: true}
+	stream, err := client.NewOwner(tr).CreateStream(ctx, client.StreamOptions{
+		UUID: "crash-e2e", Epoch: epoch, Interval: interval,
+		Spec: spec, Compression: chunk.CompressionNone,
+	})
+	if err != nil {
+		t.Fatalf("create stream: %v", err)
+	}
+	w, err := stream.Writer(ctx, client.WriterOptions{BatchChunks: 4, MaxInFlight: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := func(c int64) []chunk.Point {
+		return []chunk.Point{
+			{TS: epoch + c*interval, Val: c + 1},
+			{TS: epoch + c*interval + 1, Val: 2*c + 7},
+		}
+	}
+	var wantSum int64
+	for c := int64(0); c < acked; c++ {
+		for _, p := range points(c) {
+			wantSum += p.Val
+		}
+		if err := w.AppendChunk(points(c)); err != nil {
+			t.Fatalf("append chunk %d: %v", c, err)
+		}
+	}
+	// The barrier: everything appended so far is acknowledged, and the
+	// server acknowledged it only after the WAL fsync (-fsync defaults to
+	// always). These 40 chunks are the "must survive kill -9" set.
+	if err := w.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+
+	// Decrypted ground truth before the crash.
+	res, err := stream.StatRange(ctx, epoch, epoch+acked*interval)
+	if err != nil {
+		t.Fatalf("pre-crash query: %v", err)
+	}
+	if res.Sum != wantSum || res.Count != 2*acked {
+		t.Fatalf("pre-crash aggregate: sum=%d count=%d, want sum=%d count=%d",
+			res.Sum, res.Count, wantSum, 2*acked)
+	}
+	q := &wire.StatRange{UUIDs: []string{"crash-e2e"}, Ts: epoch, Te: epoch + acked*interval}
+	preCrash := statRangeBytes(t, addr, q)
+
+	// Keep the Writer ingesting so the SIGKILL lands mid-stream, with
+	// batches genuinely in flight. These chunks were never flushed, so
+	// losing (some of) them is allowed; losing acked ones is not.
+	ingestDead := make(chan struct{})
+	go func() {
+		defer close(ingestDead)
+		for c := int64(acked); ; c++ {
+			if err := w.AppendChunk(points(c)); err != nil {
+				return // transport died with the server
+			}
+		}
+	}()
+	time.Sleep(150 * time.Millisecond)
+	srv.kill9(t)
+	<-ingestDead
+	tr.Close()
+
+	// Restart over the same data dir: WAL replay (possibly with a torn
+	// final record from the kill) must restore every acked chunk.
+	srv2 := startServerProc(t, "-addr", addr, "-data-dir", dataDir)
+	waitServing(t, srv2, addr)
+	afterCrash := statRangeBytes(t, addr, q)
+	if !bytes.Equal(preCrash, afterCrash) {
+		t.Fatalf("query response changed across kill -9 + recovery:\n pre  %x\n post %x\nserver logs:\n%s",
+			preCrash, afterCrash, srv2.logs())
+	}
+
+	// Second cycle: kill the recovered server too (mid-nothing this time)
+	// and restart; replay must be idempotent.
+	srv2.kill9(t)
+	srv3 := startServerProc(t, "-addr", addr, "-data-dir", dataDir)
+	waitServing(t, srv3, addr)
+	afterSecond := statRangeBytes(t, addr, q)
+	if !bytes.Equal(afterCrash, afterSecond) {
+		t.Fatalf("query response changed across second restart:\n 1st %x\n 2nd %x", afterCrash, afterSecond)
+	}
+}
+
+// TestCrashRecoverySharded is the same story with -shards 2: one WAL
+// under two engine shard partitions, streams placed by the ring.
+func TestCrashRecoverySharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills real server processes")
+	}
+	dataDir := t.TempDir()
+	addr := pickAddr(t)
+	const (
+		epoch    = int64(1_700_000_000_000)
+		interval = int64(1000)
+		acked    = 12
+		streams  = 3
+	)
+	srv := startServerProc(t, "-addr", addr, "-data-dir", dataDir, "-shards", "2")
+	waitServing(t, srv, addr)
+
+	ctx := context.Background()
+	tr, err := client.DialTCP(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := chunk.DigestSpec{Sum: true, Count: true}
+	uuids := make([]string, streams)
+	for i := range uuids {
+		uuids[i] = fmt.Sprintf("shard-crash-%d", i)
+		stream, err := client.NewOwner(tr).CreateStream(ctx, client.StreamOptions{
+			UUID: uuids[i], Epoch: epoch, Interval: interval,
+			Spec: spec, Compression: chunk.CompressionNone,
+		})
+		if err != nil {
+			t.Fatalf("create %s: %v", uuids[i], err)
+		}
+		for c := int64(0); c < acked; c++ {
+			if err := stream.AppendChunk(ctx, []chunk.Point{{TS: epoch + c*interval, Val: c}}); err != nil {
+				t.Fatalf("append %s/%d: %v", uuids[i], c, err)
+			}
+		}
+	}
+	pre := make([][]byte, streams)
+	for i, u := range uuids {
+		pre[i] = statRangeBytes(t, addr, &wire.StatRange{UUIDs: []string{u}, Ts: epoch, Te: epoch + acked*interval})
+	}
+	tr.Close()
+	srv.kill9(t)
+
+	srv2 := startServerProc(t, "-addr", addr, "-data-dir", dataDir, "-shards", "2")
+	waitServing(t, srv2, addr)
+	for i, u := range uuids {
+		post := statRangeBytes(t, addr, &wire.StatRange{UUIDs: []string{u}, Ts: epoch, Te: epoch + acked*interval})
+		if !bytes.Equal(pre[i], post) {
+			t.Fatalf("stream %s changed across crash:\n pre  %x\n post %x\nlogs:\n%s", u, pre[i], post, srv2.logs())
+		}
+	}
+}

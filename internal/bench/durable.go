@@ -1,0 +1,203 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/kv"
+	"repro/internal/kv/durable"
+	"repro/internal/workload"
+)
+
+// DurableResult is one row of the durability experiment.
+type DurableResult struct {
+	Mode      string
+	Writers   int
+	Ops       int
+	OpsPerSec float64
+	Put       workload.Summary
+	// FsyncAmortization is records per fsync (1.0 = every op pays a full
+	// sync; higher = group commit is working).
+	FsyncAmortization float64
+}
+
+// DurableIngest measures what durability costs the ingest path: the
+// in-memory store as the free baseline, the WAL with one fsync per
+// operation (a naive durable store), and the WAL with group commit at
+// increasing writer concurrency. The paper's throughput figures run over
+// an in-memory store; this experiment bounds what a single-node durable
+// deployment (-data-dir) gives up, and shows group commit recovering most
+// of it. Target: group commit >= 5x the per-op-fsync rate.
+func DurableIngest(w io.Writer, opts Options) ([]DurableResult, error) {
+	serialOps := opts.scaled(400)
+	groupOps := opts.scaled(4000)
+	val := make([]byte, 256) // chunk-sized payload, engine-style keys
+	for i := range val {
+		val[i] = byte(i)
+	}
+	fmt.Fprintf(w, "Durable ingest: 256 B values, WAL fsync=always unless noted (ext4 semantics apply)\n\n")
+
+	key := func(i int) string { return fmt.Sprintf("c/bench/%08d", i) }
+
+	// runSerial issues ops sequentially from one goroutine: every Put is
+	// its own commit group, so under SyncAlways it pays a full fsync.
+	runSerial := func(store kv.Store, ops int) (workload.Summary, time.Duration, error) {
+		var lat workload.LatencyRecorder
+		start := time.Now()
+		for i := 0; i < ops; i++ {
+			t0 := time.Now()
+			if err := store.Put(key(i), val); err != nil {
+				return workload.Summary{}, 0, err
+			}
+			lat.Record(time.Since(t0))
+		}
+		return lat.Summarize(), time.Since(start), nil
+	}
+
+	// runConcurrent fans ops across writers goroutines; the store's group
+	// committer coalesces whatever queues up behind each fsync.
+	runConcurrent := func(store kv.Store, ops, writers int) (workload.Summary, time.Duration, error) {
+		var (
+			wg   sync.WaitGroup
+			mu   sync.Mutex
+			lat  workload.LatencyRecorder
+			errs = make(chan error, writers)
+		)
+		per := ops / writers
+		start := time.Now()
+		for g := 0; g < writers; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				var local workload.LatencyRecorder
+				for i := 0; i < per; i++ {
+					t0 := time.Now()
+					if err := store.Put(key(g*per+i), val); err != nil {
+						errs <- err
+						return
+					}
+					local.Record(time.Since(t0))
+				}
+				mu.Lock()
+				lat.Merge(&local)
+				mu.Unlock()
+			}(g)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		close(errs)
+		for err := range errs {
+			return workload.Summary{}, 0, err
+		}
+		return lat.Summarize(), elapsed, nil
+	}
+
+	openStore := func(policy durable.SyncPolicy) (*durable.Store, string, error) {
+		dir, err := os.MkdirTemp("", "timecrypt-durable-bench-")
+		if err != nil {
+			return nil, "", err
+		}
+		s, err := durable.Open(dir, durable.Options{Sync: policy})
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, "", err
+		}
+		return s, dir, nil
+	}
+
+	var results []DurableResult
+	add := func(mode string, writers, ops int, sum workload.Summary, elapsed time.Duration, amort float64) {
+		results = append(results, DurableResult{
+			Mode: mode, Writers: writers, Ops: ops,
+			OpsPerSec: float64(ops) / elapsed.Seconds(), Put: sum,
+			FsyncAmortization: amort,
+		})
+	}
+
+	// Baseline: pure in-memory, nothing durable.
+	mem := kv.NewMemStore()
+	sum, elapsed, err := runSerial(mem, groupOps)
+	if err != nil {
+		return nil, err
+	}
+	add("memstore", 1, groupOps, sum, elapsed, 0)
+
+	// Naive durable store: one fsync per acknowledged op.
+	s, dir, err := openStore(durable.SyncAlways)
+	if err != nil {
+		return nil, err
+	}
+	sum, elapsed, err = runSerial(s, serialOps)
+	if err != nil {
+		return nil, err
+	}
+	st := s.Stats()
+	perOpAmort := float64(st.Records) / float64(max(st.Fsyncs, 1))
+	add("wal/fsync-per-op", 1, serialOps, sum, elapsed, perOpAmort)
+	perOpRate := results[len(results)-1].OpsPerSec
+	s.Close()
+	os.RemoveAll(dir)
+
+	// Group commit: concurrency sweep. Same store config — the only
+	// change is writers queueing behind the fsync in flight.
+	groupRate := 0.0
+	for _, writers := range []int{1, 4, 16, 64} {
+		s, dir, err := openStore(durable.SyncAlways)
+		if err != nil {
+			return nil, err
+		}
+		sum, elapsed, err = runConcurrent(s, groupOps, writers)
+		if err != nil {
+			return nil, err
+		}
+		st := s.Stats()
+		add(fmt.Sprintf("wal/group-commit/w=%d", writers), writers, groupOps, sum, elapsed,
+			float64(st.Records)/float64(max(st.Fsyncs, 1)))
+		if r := results[len(results)-1].OpsPerSec; r > groupRate {
+			groupRate = r
+		}
+		s.Close()
+		os.RemoveAll(dir)
+	}
+
+	// For scale: the WAL without fsync (the OS flushes on its own) — how
+	// much of the gap is the sync itself vs the log write path.
+	s, dir, err = openStore(durable.SyncNever)
+	if err != nil {
+		return nil, err
+	}
+	sum, elapsed, err = runConcurrent(s, groupOps, 16)
+	if err != nil {
+		return nil, err
+	}
+	add("wal/no-fsync/w=16", 16, groupOps, sum, elapsed, 0)
+	s.Close()
+	os.RemoveAll(dir)
+
+	tbl := &table{header: []string{"mode", "writers", "ops", "ops/sec", "p50", "p99", "records/fsync"}}
+	var metrics []Metric
+	for _, r := range results {
+		amort := "-"
+		if r.FsyncAmortization > 0 {
+			amort = fmt.Sprintf("%.1f", r.FsyncAmortization)
+		}
+		tbl.add(r.Mode, fmt.Sprintf("%d", r.Writers), fmt.Sprintf("%d", r.Ops),
+			fmt.Sprintf("%.0f", r.OpsPerSec),
+			r.Put.P50.Round(time.Microsecond).String(), r.Put.P99.Round(time.Microsecond).String(), amort)
+		metrics = append(metrics, Metric{
+			Experiment: "durable", Name: r.Mode, OpsPerSec: r.OpsPerSec,
+			P50Ms: ms(r.Put.P50), P99Ms: ms(r.Put.P99),
+		})
+	}
+	tbl.write(w)
+	opts.record(metrics...)
+	ratio := groupRate / perOpRate
+	fmt.Fprintf(w, "\ngroup commit vs fsync-per-op: %.1fx (target >= 5x)\n", ratio)
+	if ratio < 5 {
+		fmt.Fprintf(w, "WARNING: group commit under target on this disk\n")
+	}
+	return results, nil
+}

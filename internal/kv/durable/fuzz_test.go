@@ -1,0 +1,197 @@
+package durable
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/kv"
+)
+
+// buildSegment frames records seq 1..n (one put each) behind the WAL
+// magic and returns the raw bytes plus the offset where each record ends.
+func buildSegment(n int) (data []byte, ends []int64) {
+	data = append(data, walMagic[:]...)
+	ends = append(ends, walHeaderSize)
+	for seq := 1; seq <= n; seq++ {
+		data = appendRecord(data, uint64(seq), []kv.Op{{
+			Kind:  kv.OpPut,
+			Key:   fmt.Sprintf("key-%03d", seq),
+			Value: []byte(fmt.Sprintf("value-%03d", seq)),
+		}})
+		ends = append(ends, int64(len(data)))
+	}
+	return data, ends
+}
+
+// TestTruncationAtEveryBoundary cuts a segment at every single byte
+// offset and opens a store over it: recovery must never fail, and must
+// recover exactly the maximal complete-record prefix before the cut.
+func TestTruncationAtEveryBoundary(t *testing.T) {
+	data, ends := buildSegment(8)
+	for cut := 0; cut <= len(data); cut++ {
+		// How many full records survive a cut at this offset?
+		complete := 0
+		for i := 1; i < len(ends); i++ {
+			if int64(cut) >= ends[i] {
+				complete = i
+			}
+		}
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segmentName(1)), data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, err := Open(dir, Options{Logf: func(string, ...any) {}})
+		if err != nil {
+			t.Fatalf("cut at %d: open failed: %v", cut, err)
+		}
+		if got := s.Len(); got != complete {
+			s.Close()
+			t.Fatalf("cut at %d: recovered %d records, want %d", cut, got, complete)
+		}
+		if st := s.Stats(); st.CommittedSeq != uint64(complete) {
+			s.Close()
+			t.Fatalf("cut at %d: committed seq %d, want %d", cut, st.CommittedSeq, complete)
+		}
+		// Writes after recovery continue the sequence and themselves recover.
+		if err := s.Put("after", []byte("x")); err != nil {
+			s.Close()
+			t.Fatalf("cut at %d: put after recovery: %v", cut, err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatalf("cut at %d: close: %v", cut, err)
+		}
+		re, err := Open(dir, Options{Logf: func(string, ...any) {}})
+		if err != nil {
+			t.Fatalf("cut at %d: reopen: %v", cut, err)
+		}
+		if v, err := re.Get("after"); err != nil || string(v) != "x" {
+			re.Close()
+			t.Fatalf("cut at %d: post-recovery write lost: %q, %v", cut, v, err)
+		}
+		re.Close()
+	}
+}
+
+// TestBitFlipAtEveryByte flips each byte of a small segment in turn. The
+// outcome may be a clean recovery (the flip landed past a point replay
+// treats as tail damage) or an Open error (corruption detected) — but it
+// must never panic, and any record reported recovered must decode to
+// exactly what was written.
+func TestBitFlipAtEveryByte(t *testing.T) {
+	data, _ := buildSegment(4)
+	for i := 0; i < len(data); i++ {
+		mut := bytes.Clone(data)
+		mut[i] ^= 0xA5
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segmentName(1)), mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, err := Open(dir, Options{Logf: func(string, ...any) {}})
+		if err != nil {
+			continue // detected corruption: acceptable
+		}
+		// Whatever was recovered must be a clean prefix of the original.
+		n := s.Len()
+		for seq := 1; seq <= n; seq++ {
+			want := fmt.Sprintf("value-%03d", seq)
+			v, err := s.Get(fmt.Sprintf("key-%03d", seq))
+			if err != nil || string(v) != want {
+				s.Close()
+				t.Fatalf("flip at %d: recovered record %d corrupt: %q, %v", i, seq, v, err)
+			}
+		}
+		s.Close()
+	}
+}
+
+// FuzzWALRecord throws arbitrary bytes at the record decoder: it must
+// never panic and never return a record that does not re-encode to the
+// exact bytes it was decoded from (no silent reinterpretation).
+func FuzzWALRecord(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(appendRecord(nil, 1, []kv.Op{{Kind: kv.OpPut, Key: "k", Value: []byte("v")}}))
+	f.Add(appendRecord(nil, 7, []kv.Op{
+		{Kind: kv.OpDelete, Key: "gone"},
+		{Kind: kv.OpPut, Key: "", Value: nil},
+	}))
+	corrupt := appendRecord(nil, 2, []kv.Op{{Kind: kv.OpPut, Key: "x", Value: []byte("y")}})
+	corrupt[len(corrupt)-1] ^= 0xFF
+	f.Add(corrupt)
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0}) // hostile length
+	f.Fuzz(func(t *testing.T, data []byte) {
+		seq, ops, size, err := readRecord(bufio.NewReader(bytes.NewReader(data)))
+		if err != nil {
+			return
+		}
+		if size > int64(len(data)) {
+			t.Fatalf("decoded size %d exceeds input %d", size, len(data))
+		}
+		// Round-trip: a record the decoder accepts must re-encode to the
+		// same frame (CRC equality makes this byte-exact).
+		re := appendRecord(nil, seq, ops)
+		if !bytes.Equal(re, data[:size]) {
+			t.Fatalf("decode/encode mismatch:\n in  %x\n out %x", data[:size], re)
+		}
+	})
+}
+
+// FuzzWALSegment opens a store over an arbitrary single-segment WAL:
+// Open must never panic; it either fails cleanly or yields a working
+// store.
+func FuzzWALSegment(f *testing.F) {
+	valid, _ := buildSegment(3)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])       // torn tail
+	f.Add(walMagic[:])                // empty segment
+	f.Add([]byte("TCWAL001garbage"))  // magic + junk
+	f.Add([]byte("not a wal at all")) // bad magic
+	f.Add(valid[:5])                  // truncated magic
+	gap := append(bytes.Clone(walMagic[:]),
+		appendRecord(appendRecord(nil, 1, []kv.Op{{Kind: kv.OpPut, Key: "a"}}), 5,
+			[]kv.Op{{Kind: kv.OpPut, Key: "b"}})...)
+	f.Add(gap)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segmentName(1)), data, 0o644); err != nil {
+			t.Skip()
+		}
+		s, err := Open(dir, Options{Logf: func(string, ...any) {}})
+		if err != nil {
+			return
+		}
+		if err := s.Put("probe", []byte("p")); err != nil {
+			s.Close()
+			t.Fatalf("store opened but cannot write: %v", err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+		re, err := Open(dir, Options{Logf: func(string, ...any) {}})
+		if err != nil {
+			t.Fatalf("reopen after successful recovery: %v", err)
+		}
+		defer re.Close()
+		if v, err := re.Get("probe"); err != nil || string(v) != "p" {
+			t.Fatalf("probe write lost across restart: %q, %v", v, err)
+		}
+	})
+}
+
+// TestHostileRecordLengths pins the decoder's allocation guard: a frame
+// claiming a giant payload must be rejected before any allocation.
+func TestHostileRecordLengths(t *testing.T) {
+	for _, n := range []uint32{0, 1, 11, maxRecordBytes + 1, ^uint32(0)} {
+		var head [8]byte
+		binary.BigEndian.PutUint32(head[:4], n)
+		_, _, _, err := readRecord(bufio.NewReader(bytes.NewReader(head[:])))
+		if err == nil || err == io.EOF {
+			t.Errorf("payload length %d accepted", n)
+		}
+	}
+}

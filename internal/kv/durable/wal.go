@@ -1,0 +1,277 @@
+package durable
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/kv"
+)
+
+// WAL file layout. Each segment file is named wal-<firstSeq>.log (20-digit
+// decimal, so lexical order is numeric order) and starts with an 8-byte
+// magic. Records follow back to back:
+//
+//	u32 payload length | u32 CRC-32 (IEEE) of payload | payload
+//	payload: u64 seq | u32 op count | ops
+//	op:      u8 kind | u32 key length | key | u32 value length | value
+//
+// One record is one atomically-committed Op batch: the group committer
+// writes whole records and fsyncs at record boundaries, so after a crash
+// the only damage a correct disk can show is a torn final record —
+// replay truncates it and continues (those ops were never acknowledged).
+// Sequence numbers are per-record and strictly monotonic across segments;
+// a snapshot's watermark names the last sequence it covers.
+
+var walMagic = [8]byte{'T', 'C', 'W', 'A', 'L', '0', '0', '1'}
+
+const (
+	walHeaderSize = 8
+	// maxRecordBytes rejects absurd lengths before allocating: corrupt
+	// length fields must not OOM recovery.
+	maxRecordBytes = 1 << 30
+)
+
+// errTornRecord distinguishes a truncated/corrupt record (recoverable at
+// the tail of the last segment) from I/O errors.
+var errTornRecord = errors.New("durable: torn wal record")
+
+func segmentName(firstSeq uint64) string {
+	return fmt.Sprintf("wal-%020d.log", firstSeq)
+}
+
+// parseSegmentName returns the first sequence encoded in a segment file
+// name, or ok=false for unrelated files.
+func parseSegmentName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log"), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// appendRecord appends one framed record for ops at seq to buf and
+// returns the extended buffer.
+func appendRecord(buf []byte, seq uint64, ops []kv.Op) []byte {
+	payloadLen := 8 + 4
+	for _, op := range ops {
+		payloadLen += 1 + 4 + len(op.Key) + 4
+		if op.Kind == kv.OpPut {
+			payloadLen += len(op.Value)
+		}
+	}
+	start := len(buf)
+	buf = append(buf, make([]byte, 8+payloadLen)...)
+	payload := buf[start+8:]
+	binary.BigEndian.PutUint64(payload[0:8], seq)
+	binary.BigEndian.PutUint32(payload[8:12], uint32(len(ops)))
+	off := 12
+	for _, op := range ops {
+		payload[off] = byte(op.Kind)
+		off++
+		binary.BigEndian.PutUint32(payload[off:], uint32(len(op.Key)))
+		off += 4
+		off += copy(payload[off:], op.Key)
+		if op.Kind == kv.OpPut {
+			binary.BigEndian.PutUint32(payload[off:], uint32(len(op.Value)))
+			off += 4
+			off += copy(payload[off:], op.Value)
+		} else {
+			// Deletes carry no value; framing one would survive decode as
+			// nil and silently re-encode differently.
+			binary.BigEndian.PutUint32(payload[off:], 0)
+			off += 4
+		}
+	}
+	binary.BigEndian.PutUint32(buf[start:], uint32(payloadLen))
+	binary.BigEndian.PutUint32(buf[start+4:], crc32.ChecksumIEEE(payload))
+	return buf
+}
+
+// readRecord decodes the next record from r and reports its on-disk size
+// (header + payload). Any framing damage — truncation at any boundary, a
+// hostile length, a CRC mismatch, trailing payload garbage — returns
+// errTornRecord (wrapped with detail); the caller decides whether the
+// position makes it tolerable.
+func readRecord(r *bufio.Reader) (seq uint64, ops []kv.Op, size int64, err error) {
+	var head [8]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return 0, nil, 0, io.EOF // clean end between records
+		}
+		return 0, nil, 0, fmt.Errorf("%w: truncated header: %v", errTornRecord, err)
+	}
+	payloadLen := binary.BigEndian.Uint32(head[:4])
+	wantCRC := binary.BigEndian.Uint32(head[4:])
+	if payloadLen < 12 || payloadLen > maxRecordBytes {
+		return 0, nil, 0, fmt.Errorf("%w: implausible payload length %d", errTornRecord, payloadLen)
+	}
+	payload := make([]byte, payloadLen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, 0, fmt.Errorf("%w: truncated payload: %v", errTornRecord, err)
+	}
+	size = int64(8 + payloadLen)
+	if got := crc32.ChecksumIEEE(payload); got != wantCRC {
+		return 0, nil, 0, fmt.Errorf("%w: crc mismatch (file %08x, computed %08x)", errTornRecord, wantCRC, got)
+	}
+	seq = binary.BigEndian.Uint64(payload[0:8])
+	nops := binary.BigEndian.Uint32(payload[8:12])
+	off := uint64(12)
+	total := uint64(payloadLen)
+	ops = make([]kv.Op, 0, min(nops, 1<<16))
+	for i := uint32(0); i < nops; i++ {
+		if off+1+4 > total {
+			return 0, nil, 0, fmt.Errorf("%w: op %d overruns payload", errTornRecord, i)
+		}
+		kind := kv.OpKind(payload[off])
+		if kind != kv.OpPut && kind != kv.OpDelete {
+			return 0, nil, 0, fmt.Errorf("%w: unknown op kind %d", errTornRecord, kind)
+		}
+		off++
+		klen := uint64(binary.BigEndian.Uint32(payload[off:]))
+		off += 4
+		if off+klen+4 > total {
+			return 0, nil, 0, fmt.Errorf("%w: key overruns payload", errTornRecord)
+		}
+		key := string(payload[off : off+klen])
+		off += klen
+		vlen := uint64(binary.BigEndian.Uint32(payload[off:]))
+		off += 4
+		if off+vlen > total {
+			return 0, nil, 0, fmt.Errorf("%w: value overruns payload", errTornRecord)
+		}
+		if kind == kv.OpDelete && vlen != 0 {
+			return 0, nil, 0, fmt.Errorf("%w: delete op carries a %d-byte value", errTornRecord, vlen)
+		}
+		var value []byte
+		if kind == kv.OpPut {
+			value = payload[off : off+vlen : off+vlen]
+		}
+		off += vlen
+		ops = append(ops, kv.Op{Kind: kind, Key: key, Value: value})
+	}
+	if off != total {
+		return 0, nil, 0, fmt.Errorf("%w: %d trailing payload bytes", errTornRecord, total-off)
+	}
+	return seq, ops, size, nil
+}
+
+// segmentInfo is one on-disk WAL segment.
+type segmentInfo struct {
+	firstSeq uint64
+	path     string
+}
+
+// listSegments returns the WAL segments in dir in ascending firstSeq
+// order.
+func listSegments(dir string) ([]segmentInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []segmentInfo
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if seq, ok := parseSegmentName(e.Name()); ok {
+			segs = append(segs, segmentInfo{firstSeq: seq, path: filepath.Join(dir, e.Name())})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].firstSeq < segs[j].firstSeq })
+	return segs, nil
+}
+
+// replayResult reports what replaying the WAL recovered.
+type replayResult struct {
+	lastSeq   uint64 // highest sequence seen (0 if none)
+	applied   uint64 // records applied (seq > watermark)
+	skipped   uint64 // duplicate/regressing records tolerated
+	truncated bool   // a torn tail was cut from the last segment
+}
+
+// replaySegments replays every WAL record with seq > watermark into apply,
+// in order. Records at or below the watermark (a snapshot covered them, or
+// a duplicate/regressed sequence) are skipped; a sequence GAP is an error,
+// because it means an acknowledged record is missing — recovery must fail
+// loudly rather than serve silently-rewound data. A torn record is
+// tolerated only at the tail of the LAST segment (the only place a crash
+// can produce one): the file is truncated at the tear and replay reports
+// success. Anywhere else, damage is corruption and replay fails.
+func replaySegments(segs []segmentInfo, watermark uint64, apply func(seq uint64, ops []kv.Op) error, logf func(string, ...any)) (replayResult, error) {
+	res := replayResult{lastSeq: watermark}
+	if len(segs) > 0 && segs[0].firstSeq > watermark+1 {
+		return res, fmt.Errorf("durable: wal starts at seq %d but snapshot covers only %d: missing segments", segs[0].firstSeq, watermark)
+	}
+	for i, seg := range segs {
+		last := i == len(segs)-1
+		err := replaySegment(seg, last, &res, apply, logf)
+		if err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+func replaySegment(seg segmentInfo, last bool, res *replayResult, apply func(seq uint64, ops []kv.Op) error, logf func(string, ...any)) error {
+	f, err := os.Open(seg.path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var magic [8]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil || magic != walMagic {
+		if last && err != nil {
+			// A crash immediately after creating the segment can leave a
+			// short header; nothing was committed to it yet.
+			logf("durable: wal segment %s has truncated header; dropping it", filepath.Base(seg.path))
+			f.Close()
+			return os.Remove(seg.path)
+		}
+		return fmt.Errorf("durable: wal segment %s: bad magic", filepath.Base(seg.path))
+	}
+	br := bufio.NewReaderSize(f, 1<<20)
+	offset := int64(walHeaderSize)
+	for {
+		seq, ops, size, err := readRecord(br)
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			if last && errors.Is(err, errTornRecord) {
+				logf("durable: wal segment %s: %v at offset %d; truncating (unacknowledged tail)", filepath.Base(seg.path), err, offset)
+				res.truncated = true
+				f.Close()
+				return os.Truncate(seg.path, offset)
+			}
+			return fmt.Errorf("durable: wal segment %s at offset %d: %w", filepath.Base(seg.path), offset, err)
+		}
+		switch {
+		case seq <= res.lastSeq:
+			// Covered by the snapshot, or a duplicate/regressing sequence
+			// (a compaction that crashed between snapshot rename and WAL
+			// truncate leaves exactly this). Already-applied state; skip.
+			res.skipped++
+		case seq == res.lastSeq+1:
+			if err := apply(seq, ops); err != nil {
+				return err
+			}
+			res.lastSeq = seq
+			res.applied++
+		default:
+			return fmt.Errorf("durable: wal segment %s: seq %d leaves gap after %d: missing committed records", filepath.Base(seg.path), seq, res.lastSeq)
+		}
+		offset += size
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"os"
+	"path/filepath"
 )
 
 // Snapshot format: a magic header followed by length-prefixed records and a
@@ -66,6 +68,45 @@ func WriteSnapshot(w io.Writer, src Store) error {
 	binary.BigEndian.PutUint32(crcBuf[:], crc.Sum32())
 	_, err = w.Write(crcBuf[:])
 	return err
+}
+
+// WriteSnapshotFile writes a snapshot of src to path atomically and
+// durably: the bytes go to a temp file in the same directory, the temp
+// file is fsync'd, renamed over path, and the directory is fsync'd. A
+// crash at any point leaves either the complete old file or the complete
+// new one — never a torn snapshot that fails its CRC on the next boot
+// (which would lose the previous good copy too).
+func WriteSnapshotFile(path string, src Store) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := WriteSnapshot(f, src); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 // ReadSnapshot loads a snapshot produced by WriteSnapshot into dst.
