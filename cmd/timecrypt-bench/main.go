@@ -8,8 +8,8 @@
 //	timecrypt-bench -run batch -json BENCH_results.json
 //
 // Experiments: table2, table3, fig5, fig6, fig7, fig8, access, devops,
-// cluster, batch, pipeline, aggregate, reshard, hotpath, durable. Scale > 1
-// approaches the paper's sizes (and run times).
+// cluster, batch, pipeline, aggregate, reshard, hotpath, durable,
+// subscribe. Scale > 1 approaches the paper's sizes (and run times).
 //
 // Alongside the human-readable tables, machine-readable metrics
 // (experiment, ops/sec, p50/p99 latency) are written to the -json file so
@@ -36,7 +36,7 @@ func wrap[T any](f func(io.Writer, bench.Options) ([]T, error)) func(io.Writer, 
 }
 
 func main() {
-	runList := flag.String("run", "all", "comma-separated experiments (table2,table3,fig5,fig6,fig7,fig8,access,devops,cluster,batch,pipeline,aggregate,reshard,hotpath,durable) or 'all'")
+	runList := flag.String("run", "all", "comma-separated experiments (table2,table3,fig5,fig6,fig7,fig8,access,devops,cluster,batch,pipeline,aggregate,reshard,hotpath,durable,subscribe) or 'all'")
 	scale := flag.Float64("scale", 1.0, "experiment scale factor (1.0 = laptop-sized defaults)")
 	jsonPath := flag.String("json", "BENCH_results.json", "machine-readable results file ('' disables)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
@@ -90,6 +90,7 @@ func main() {
 		{"reshard", wrap(bench.Reshard)},
 		{"hotpath", wrap(bench.HotPath)},
 		{"durable", wrap(bench.DurableIngest)},
+		{"subscribe", wrap(bench.Subscribe)},
 	}
 
 	want := map[string]bool{}

@@ -10,6 +10,7 @@
 //	timecrypt-cli -addr localhost:7733 -stream hr stats
 //	timecrypt-cli -addr localhost:7733 -stream hr,bp,spo2 stat
 //	timecrypt-cli -addr localhost:7733 -stream hr -window 6 series
+//	timecrypt-cli -addr localhost:7733 -stream hr -window 6 -timeout 5m watch
 //	timecrypt-cli -addr localhost:7733 -stream hr info
 //
 // Cluster administration against a router front end:
@@ -23,7 +24,12 @@
 // reshard runs without a deadline unless -timeout is set explicitly — a
 // large migration may take well past the default command timeout.
 //
-// stat/stats/series accept several comma-separated stream UUIDs: the
+// watch subscribes to the streams' live window aggregates (wire v5): the
+// server pushes one encrypted delta per completed -window chunks and the
+// CLI decrypts each as it arrives, until -timeout expires (set -timeout 0
+// to watch until interrupted).
+//
+// stat/stats/series/watch accept several comma-separated stream UUIDs: the
 // server homomorphically sums the streams' aggregates (one round trip),
 // and the CLI peels each stream's keystream in turn — so it needs the key
 // file of every member stream.
@@ -35,8 +41,10 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strings"
@@ -71,7 +79,7 @@ func main() {
 	members := flag.String("members", "", "comma-separated ring membership (reshard)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		log.Fatal("usage: timecrypt-cli [flags] create|ingest|stat|stats|series|info|delete|topology|reshard")
+		log.Fatal("usage: timecrypt-cli [flags] create|ingest|stat|stats|series|watch|info|delete|topology|reshard")
 	}
 	streams := strings.Split(*stream, ",")
 	keyPaths := make([]string, len(streams))
@@ -128,6 +136,8 @@ func main() {
 		doStats(ctx, tr, keyPaths, 0)
 	case "series":
 		doStats(ctx, tr, keyPaths, *window)
+	case "watch":
+		doWatch(ctx, tr, keyPaths, *window)
 	case "info":
 		single(cmd)
 		doInfo(ctx, tr, streams[0])
@@ -357,6 +367,83 @@ func doStats(ctx context.Context, tr client.Transport, keyPaths []string, window
 		from := time.UnixMilli(kf.Epoch + int64(i)*kf.Interval).Format(time.TimeOnly)
 		fmt.Printf("[%s +%d chunks] streams=%d count=%d sum=%d mean=%.2f stdev=%.2f min∈[%d,%d) max∈[%d,%d)\n",
 			from, step, sr.StreamCount, r.Count, r.Sum, r.Mean, r.Stdev, r.MinLo, r.MinHi, r.MaxLo, r.MaxHi)
+	}
+}
+
+// doWatch subscribes to the live window aggregates of one or many streams
+// (wire v5 Subscribe): instead of polling like doStats, the server pushes
+// one encrypted delta per completed -window chunks and the CLI peels each
+// stream's keystream as events arrive. The -timeout deadline bounds the
+// watch and expiring it is a clean exit, not an error.
+func doWatch(ctx context.Context, tr *client.TCP, keyPaths []string, window uint64) {
+	if window == 0 {
+		log.Fatal("watch needs -window > 0")
+	}
+	kfs := make([]keyFile, len(keyPaths))
+	uuids := make([]string, len(keyPaths))
+	decs := make([]*core.Encryptor, len(keyPaths))
+	var spec chunk.DigestSpec
+	for i, path := range keyPaths {
+		kfs[i] = loadKeys(path)
+		uuids[i] = kfs[i].UUID
+		_, decs[i], spec = rebuildStream(kfs[i])
+		if kfs[i].Epoch != kfs[0].Epoch || kfs[i].Interval != kfs[0].Interval {
+			log.Fatalf("stream %q geometry differs from %q (combined subscriptions need matching epoch/interval)",
+				kfs[i].UUID, kfs[0].UUID)
+		}
+	}
+	kf := kfs[0]
+
+	st, err := tr.Stream(ctx, &wire.Subscribe{
+		UUIDs: uuids, WindowChunks: window, FromLatest: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st.Close()
+	first, err := st.Recv()
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, ok := first.(*wire.SubscribeResp)
+	if !ok {
+		fatalResp(first)
+	}
+	fmt.Printf("watching %d stream(s) from window %d (%d chunks per window; -timeout or Ctrl-C ends)\n",
+		len(uuids), resp.FirstSeq, window)
+	for {
+		msg, err := st.Recv()
+		switch {
+		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+			fmt.Println("watch deadline reached")
+			return
+		case errors.Is(err, io.EOF):
+			fmt.Println("server ended the subscription")
+			return
+		case err != nil:
+			log.Fatal(err)
+		}
+		ev, ok := msg.(*wire.SubEvent)
+		if !ok {
+			fatalResp(msg)
+		}
+		pt := append([]uint64(nil), ev.Window...)
+		for _, dec := range decs {
+			if pt, err = dec.DecryptRange(ev.FromChunk, ev.ToChunk, pt, nil); err != nil {
+				log.Fatal(err)
+			}
+		}
+		r, err := spec.Interpret(pt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tag := ""
+		if ev.Resync {
+			tag = " (resync)"
+		}
+		from := time.UnixMilli(kf.Epoch + int64(ev.FromChunk)*kf.Interval).Format(time.TimeOnly)
+		fmt.Printf("[window %d @ %s] streams=%d count=%d sum=%d mean=%.2f stdev=%.2f%s\n",
+			ev.Seq, from, resp.StreamCount, r.Count, r.Sum, r.Mean, r.Stdev, tag)
 	}
 }
 

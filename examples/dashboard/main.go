@@ -1,0 +1,127 @@
+// Dashboard: live subscriptions in action. One pipelined writer feeds a
+// stream while three concurrent subscribers — each watching a different
+// window resolution over the same multiplexed TCP connection — receive the
+// server-pushed encrypted deltas and decrypt them into a rolling view. No
+// subscriber ever polls: the server maintains the encrypted window
+// aggregate homomorphically on ingest and pushes one delta per completed
+// window (wire v5 Subscribe/SubEvent).
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	timecrypt "repro"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// Untrusted side: engine behind a real TCP front end (subscriptions
+	// need the multiplexed transport — the server pushes frames down the
+	// subscription's correlation ID).
+	engine, err := timecrypt.NewEngine(timecrypt.NewMemStore(), timecrypt.EngineConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := timecrypt.NewTCPServer(engine, func(string, ...any) {})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go timecrypt.ServeTCP(ctx, srv, lis)
+	defer srv.Close()
+
+	tr, err := timecrypt.DialTCP(lis.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tr.Close()
+	owner := timecrypt.NewOwner(tr)
+
+	epoch := time.Now().Add(-time.Hour).UnixMilli()
+	stream, err := owner.CreateStream(ctx, timecrypt.StreamOptions{
+		UUID:     "plant/line-4/power",
+		Epoch:    epoch,
+		Interval: 10_000, // 10 s chunks
+		Meta:     "watts, live dashboard demo",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Three dashboard panels subscribe before any data exists, each at its
+	// own resolution. FromWindow(0) asks for full backfill; a real panel
+	// that only cares about "now" would omit it and tail from the frontier.
+	const chunks = 36 // 6 minutes of 10 s chunks
+	panels := []struct {
+		name    string
+		wc      uint64 // chunks per window
+		stats   []timecrypt.Stat
+		deltas  int
+		display func(d timecrypt.Delta) string
+	}{
+		{"30s-mean", 3, []timecrypt.Stat{timecrypt.Sum, timecrypt.Mean}, chunks / 3,
+			func(d timecrypt.Delta) string { return fmt.Sprintf("mean=%.1f W", d.Agg.Mean()) }},
+		{"1min-load", 6, []timecrypt.Stat{timecrypt.Sum, timecrypt.Count}, chunks / 6,
+			func(d timecrypt.Delta) string {
+				return fmt.Sprintf("sum=%d W·s over %d readings", d.Agg.Sum(), d.Agg.Count())
+			}},
+		{"2min-spread", 12, []timecrypt.Stat{timecrypt.Mean, timecrypt.Stdev}, chunks / 12,
+			func(d timecrypt.Delta) string {
+				return fmt.Sprintf("mean=%.1f stdev=%.2f", d.Agg.Mean(), d.Agg.Stdev())
+			}},
+	}
+
+	var wg sync.WaitGroup
+	var outMu sync.Mutex // interleave whole lines, not runes
+	for _, p := range panels {
+		sub, err := stream.Query().Window(p.wc).Stats(p.stats...).FromWindow(0).Subscribe(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer sub.Close()
+			for got := 0; got < p.deltas; got++ {
+				if !sub.Next() {
+					log.Fatalf("panel %s: subscription ended early: %v", p.name, sub.Err())
+				}
+				d := sub.Delta()
+				outMu.Lock()
+				fmt.Printf("[%-10s] window %2d @ %s  %s\n", p.name, d.Seq,
+					time.UnixMilli(d.Agg.Start).Format("15:04:05"), p.display(d))
+				outMu.Unlock()
+			}
+		}()
+	}
+
+	// The single writer: pipelined ingest on the same connection the three
+	// subscriptions ride. Every sealed chunk updates the server's encrypted
+	// window aggregates; completed windows push out to the panels while
+	// later batches are still in flight.
+	w, err := stream.Writer(ctx, timecrypt.WriterOptions{BatchChunks: 4, MaxInFlight: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for c := 0; c < chunks; c++ {
+		ts := epoch + int64(c)*10_000
+		load := int64(400 + 50*(c%5)) // a bumpy load curve
+		if err := w.AppendChunk([]timecrypt.Point{
+			{TS: ts, Val: load}, {TS: ts + 5_000, Val: load + 10},
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	wg.Wait()
+	fmt.Println("all panels drained: one writer, three live views, zero polls")
+}

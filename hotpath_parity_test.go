@@ -4,7 +4,9 @@
 // testdata/hotpath_golden.json were captured from the seed implementation
 // (aes.NewCipher per PRG step, per-frame allocation, per-chunk Append)
 // before any optimization landed; regenerate only with
-// TIMECRYPT_UPDATE_GOLDEN=1 and a deliberate reason.
+// TIMECRYPT_UPDATE_GOLDEN=1 and a deliberate reason. A wire version bump
+// is one such reason: it moves exactly the header version byte of the
+// frames section, and every crypto/index section must survive unchanged.
 package timecrypt_test
 
 import (

@@ -1,0 +1,302 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/chunk"
+	"repro/internal/client"
+	"repro/internal/kv"
+	"repro/internal/server"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// subscribeFans is the fan-out width of the experiment: 64 concurrent
+// subscribers against 64 concurrent polling cursors, per the acceptance
+// bar for the live-subscription subsystem. Not scaled — the comparison is
+// only meaningful at a fixed width.
+const subscribeFans = 64
+
+// SubscribeResult is one phase of the push-vs-poll comparison.
+type SubscribeResult struct {
+	Mode    string
+	Deltas  int // window deltas delivered across all fans
+	Elapsed time.Duration
+	PerSec  float64          // deltas/sec across the fan-out
+	Latency workload.Summary // live: commit->deliver push latency; drain: per-delta wait
+	Resyncs int              // deltas healed from the index instead of pushed live
+}
+
+// Subscribe measures what the subscription broker buys over polling.
+// Phase 1 (live push): 64 subscribers sit on one stream while a single
+// writer ingests; each window's commit time is stamped immediately before
+// the completing insert, so the recorded latency is the full
+// commit-to-deliver push path (view update, fan-out queue, Recv wakeup).
+// The writer waits for every subscriber to take delivery of window k
+// before publishing k+1, so the measurement is pure push latency, not
+// queueing backlog. Phase 2 (drain, over TCP): through the real front
+// end, 64 subscriptions replay the now-committed history as a credited
+// push stream against 64 polling cursors issuing one single-window
+// AggRange round trip per window — the access pattern a poll-based
+// watcher is stuck with. Index work is near-identical either way
+// (backfill reads the same windows polling does); what the broker buys
+// is the wire: pushed pages under standing credit versus one
+// request/response per window. The headline number is the deltas/sec
+// ratio; the broker should clear 2x.
+func Subscribe(w io.Writer, opts Options) ([]SubscribeResult, error) {
+	const wc = 4 // chunks per window
+	windows := opts.scaled(384)
+	if windows < 8 {
+		windows = 8
+	}
+	fmt.Fprintf(w, "Subscribe: %d subscribers vs %d polling cursors; %d windows of %d chunks, one writer\n\n",
+		subscribeFans, subscribeFans, windows, wc)
+
+	spec := chunk.DigestSpec{Sum: true, Count: true}
+	specBytes, _ := spec.MarshalBinary()
+	cfg := wire.StreamConfig{Epoch: 0, Interval: 100, VectorLen: uint32(spec.VectorLen()),
+		Fanout: 64, DigestSpec: specBytes}
+	engine, err := server.New(kv.NewMemStore(), server.Config{})
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	const uuid = "subscribe-bench"
+	if resp := engine.Handle(ctx, &wire.CreateStream{UUID: uuid, Cfg: cfg}); isWireErr(resp) {
+		return nil, fmt.Errorf("create: %v", resp)
+	}
+	seal := func(idx uint64) []byte {
+		start := int64(idx) * 100
+		sealed, _ := chunk.SealPlain(spec, chunk.CompressionNone, idx, start, start+100,
+			[]chunk.Point{{TS: start, Val: int64(idx%97 + 1)}})
+		return chunk.MarshalSealed(sealed)
+	}
+
+	// Phase 1: live push. Subscribers attach to the empty stream, the
+	// writer ingests windows*wc chunks, stamping commit[k] just before the
+	// insert that completes window k. The stamp happens-before the insert,
+	// the insert happens-before the broker's publish, so reading
+	// commit[ev.Seq] after Recv is ordered.
+	commit := make([]time.Time, windows)
+	delivered := make([]sync.WaitGroup, windows)
+	for k := range delivered {
+		delivered[k].Add(subscribeFans)
+	}
+	type fanResult struct {
+		rec     workload.LatencyRecorder
+		resyncs int
+		err     error
+	}
+	liveFans := make([]fanResult, subscribeFans)
+	var wg sync.WaitGroup
+	for f := 0; f < subscribeFans; f++ {
+		h, err := engine.Subscribe(ctx, &wire.Subscribe{UUIDs: []string{uuid}, WindowChunks: wc})
+		if err != nil {
+			return nil, fmt.Errorf("live subscribe %d: %v", f, err)
+		}
+		wg.Add(1)
+		go func(fr *fanResult) {
+			defer wg.Done()
+			defer h.Close()
+			for k := 0; k < windows; k++ {
+				ev, err := h.Recv(ctx)
+				if err != nil {
+					fr.err = err
+					// Unblock the writer's delivery barrier for the
+					// windows this fan will never take.
+					for ; k < windows; k++ {
+						delivered[k].Done()
+					}
+					return
+				}
+				fr.rec.Record(time.Since(commit[ev.Seq]))
+				if ev.Resync {
+					fr.resyncs++
+				}
+				delivered[ev.Seq].Done()
+			}
+		}(&liveFans[f])
+	}
+	liveT0 := time.Now()
+	for c := 0; c < windows*wc; c++ {
+		last := (c+1)%wc == 0
+		if last {
+			commit[c/wc] = time.Now()
+		}
+		if resp := engine.Handle(ctx, &wire.InsertChunk{UUID: uuid, Chunk: seal(uint64(c))}); isWireErr(resp) {
+			return nil, fmt.Errorf("ingest %d: %v", c, resp)
+		}
+		if last {
+			delivered[c/wc].Wait() // pace: every fan took this window
+		}
+	}
+	wg.Wait()
+	liveElapsed := time.Since(liveT0)
+	push := &workload.LatencyRecorder{}
+	liveResyncs := 0
+	for i := range liveFans {
+		if liveFans[i].err != nil {
+			return nil, fmt.Errorf("live fan %d: %v", i, liveFans[i].err)
+		}
+		push.Merge(&liveFans[i].rec)
+		liveResyncs += liveFans[i].resyncs
+	}
+
+	// The drain comparison runs over the real TCP front end: one
+	// multiplexed client session carrying 64 concurrent subscription
+	// streams, then the same session carrying 64 concurrent pollers.
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := server.NewServer(engine, func(string, ...any) {})
+	srvCtx, srvCancel := context.WithCancel(ctx)
+	srvDone := make(chan struct{})
+	go func() { defer close(srvDone); srv.Serve(srvCtx, lis) }()
+	defer func() { srvCancel(); srv.Close(); <-srvDone }()
+	tr, err := client.DialTCP(lis.Addr().String())
+	if err != nil {
+		return nil, err
+	}
+	defer tr.Close()
+
+	// Phase 2a: subscription drain of committed history. Each stream opens
+	// at FromSeq 0 and takes every window as pushed SubEvent frames under
+	// standing credit — the broker's answer to "I want everything since X".
+	drainFans := make([]fanResult, subscribeFans)
+	drainStart := make(chan struct{})
+	for f := 0; f < subscribeFans; f++ {
+		wg.Add(1)
+		go func(fr *fanResult) {
+			defer wg.Done()
+			<-drainStart
+			st, err := tr.Stream(ctx, &wire.Subscribe{UUIDs: []string{uuid}, WindowChunks: wc})
+			if err != nil {
+				fr.err = err
+				return
+			}
+			defer st.Close()
+			first, err := st.Recv()
+			if err != nil {
+				fr.err = err
+				return
+			}
+			if _, ok := first.(*wire.SubscribeResp); !ok {
+				fr.err = fmt.Errorf("handshake: %#v", first)
+				return
+			}
+			for k := 0; k < windows; k++ {
+				t0 := time.Now()
+				msg, err := st.Recv()
+				if err != nil {
+					fr.err = err
+					return
+				}
+				if _, ok := msg.(*wire.SubEvent); !ok {
+					fr.err = fmt.Errorf("event %d: %#v", k, msg)
+					return
+				}
+				fr.rec.Record(time.Since(t0))
+			}
+		}(&drainFans[f])
+	}
+	drainT0 := time.Now()
+	close(drainStart)
+	wg.Wait()
+	drainElapsed := time.Since(drainT0)
+	drainRec := &workload.LatencyRecorder{}
+	for i := range drainFans {
+		if drainFans[i].err != nil {
+			return nil, fmt.Errorf("drain fan %d: %v", i, drainFans[i].err)
+		}
+		drainRec.Merge(&drainFans[i].rec)
+	}
+
+	// Phase 2b: polling cursors over the same history — one single-window
+	// AggRange round trip per window per cursor, the per-window cost a
+	// watcher pays without subscriptions.
+	pollFans := make([]fanResult, subscribeFans)
+	pollStart := make(chan struct{})
+	for f := 0; f < subscribeFans; f++ {
+		wg.Add(1)
+		go func(fr *fanResult) {
+			defer wg.Done()
+			<-pollStart
+			for k := 0; k < windows; k++ {
+				ts := int64(k) * wc * 100
+				t0 := time.Now()
+				resp, err := tr.RoundTrip(ctx, &wire.AggRange{
+					UUIDs: []string{uuid}, Ts: ts, Te: ts + wc*100, WindowChunks: wc,
+				})
+				fr.rec.Record(time.Since(t0))
+				if err != nil {
+					fr.err = fmt.Errorf("window %d: %v", k, err)
+					return
+				}
+				if isWireErr(resp) {
+					fr.err = fmt.Errorf("window %d: %v", k, resp)
+					return
+				}
+			}
+		}(&pollFans[f])
+	}
+	pollT0 := time.Now()
+	close(pollStart)
+	wg.Wait()
+	pollElapsed := time.Since(pollT0)
+	pollRec := &workload.LatencyRecorder{}
+	for i := range pollFans {
+		if pollFans[i].err != nil {
+			return nil, fmt.Errorf("poll fan %d: %v", i, pollFans[i].err)
+		}
+		pollRec.Merge(&pollFans[i].rec)
+	}
+
+	total := windows * subscribeFans
+	rate := func(d time.Duration) float64 {
+		if d <= 0 {
+			return 0
+		}
+		return float64(total) / d.Seconds()
+	}
+	results := []SubscribeResult{
+		{Mode: "live push x64", Deltas: total, Elapsed: liveElapsed,
+			PerSec: rate(liveElapsed), Latency: push.Summarize(), Resyncs: liveResyncs},
+		{Mode: "drain subscribe x64", Deltas: total, Elapsed: drainElapsed,
+			PerSec: rate(drainElapsed), Latency: drainRec.Summarize()},
+		{Mode: "drain poll x64", Deltas: total, Elapsed: pollElapsed,
+			PerSec: rate(pollElapsed), Latency: pollRec.Summarize()},
+	}
+
+	t := &table{header: []string{"Mode", "Deltas", "Elapsed", "deltas/s", "p50", "p99", "Resyncs"}}
+	for _, r := range results {
+		t.add(r.Mode, fmt.Sprintf("%d", r.Deltas), fmtDur(r.Elapsed),
+			fmt.Sprintf("%.0f", r.PerSec), fmtDur(r.Latency.P50), fmtDur(r.Latency.P99),
+			fmt.Sprintf("%d", r.Resyncs))
+	}
+	t.write(w)
+	fmt.Fprintf(w, "\npush latency p50 %s / p99 %s commit-to-deliver across %d subscribers\n",
+		fmtDur(results[0].Latency.P50), fmtDur(results[0].Latency.P99), subscribeFans)
+	if results[2].PerSec > 0 {
+		x := results[1].PerSec / results[2].PerSec
+		verdict := "clears"
+		if x < 2 {
+			verdict = "MISSES"
+		}
+		fmt.Fprintf(w, "subscription drain moves %.1fx the deltas/sec of per-window polling (%s the 2x bar)\n",
+			x, verdict)
+	}
+
+	opts.record(Metric{Experiment: "subscribe", Name: "push/latency",
+		OpsPerSec: results[0].PerSec, P50Ms: ms(results[0].Latency.P50), P99Ms: ms(results[0].Latency.P99)})
+	opts.record(Metric{Experiment: "subscribe", Name: "drain/subscribe",
+		OpsPerSec: results[1].PerSec, P50Ms: ms(results[1].Latency.P50), P99Ms: ms(results[1].Latency.P99)})
+	opts.record(Metric{Experiment: "subscribe", Name: "drain/poll",
+		OpsPerSec: results[2].PerSec, P50Ms: ms(results[2].Latency.P50), P99Ms: ms(results[2].Latency.P99)})
+	return results, nil
+}

@@ -99,6 +99,10 @@ type QueryBuilder struct {
 	window  uint64
 	page    int
 	err     error // deferred builder error, surfaced at iteration
+
+	// Subscription start point (FromWindow); cursors ignore these.
+	fromSeq    uint64
+	fromWindow bool
 }
 
 // Query starts a query on an owned stream.

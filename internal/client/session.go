@@ -231,6 +231,27 @@ func (s *Session) sendCredit(id uint64, pages uint32) {
 	}
 }
 
+// sendUnsubscribe queues the explicit subscription teardown frame. Like
+// credit grants it rides correlation ID 0, holds no window slot, and earns
+// no response; the server answers by ending the subscription stream.
+func (s *Session) sendUnsubscribe(id uint64) {
+	c := &Call{req: &wire.Unsubscribe{ID: id}, ctrl: true}
+	select {
+	case s.sendq <- c:
+	case <-s.die:
+	}
+}
+
+// unsubscribe sends the subscription teardown frame for this stream,
+// unless the server already terminated it (no teardown owed then).
+func (st *Stream) unsubscribe() {
+	select {
+	case <-st.term:
+	default:
+		st.call.sess.sendUnsubscribe(st.call.id)
+	}
+}
+
 // Close fails all in-flight calls and closes the connection. Safe to call
 // concurrently with in-flight calls — they unblock with an error rather
 // than wedging shutdown.

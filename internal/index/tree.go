@@ -62,7 +62,7 @@ type Tree struct {
 	store    kv.Store
 	streamID string
 	cfg      Config
-	cache    *lruCache
+	cache    *stripedCache
 
 	mu    sync.RWMutex
 	count uint64 // number of leaf digests appended
@@ -76,7 +76,7 @@ func Open(store kv.Store, streamID string, cfg Config) (*Tree, error) {
 	if err := cfg.applyDefaults(); err != nil {
 		return nil, err
 	}
-	t := &Tree{store: store, streamID: streamID, cfg: cfg, cache: newLRUCache(cfg.CacheBytes)}
+	t := &Tree{store: store, streamID: streamID, cfg: cfg, cache: newStripedCache(cfg.CacheBytes)}
 	meta, err := store.Get(t.metaKey())
 	switch {
 	case err == nil:

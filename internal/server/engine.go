@@ -17,6 +17,7 @@ import (
 	"repro/internal/chunk"
 	"repro/internal/index"
 	"repro/internal/kv"
+	"repro/internal/sub"
 	"repro/internal/wire"
 )
 
@@ -65,6 +66,11 @@ type Engine struct {
 	// TopologyInfo. Persisted under the "topo" key.
 	topoMu sync.Mutex
 	topo   topology
+
+	// subs is the live-subscription broker: materialized window
+	// aggregates updated on every ingest and fanned out to watchers.
+	// Publish calls cost one atomic load while nothing is subscribed.
+	subs *sub.Broker
 }
 
 // topology is the engine's stored copy of the cluster membership.
@@ -118,7 +124,7 @@ func New(store kv.Store, cfg Config) (*Engine, error) {
 		n++
 	}
 	e := &Engine{store: store, cfg: cfg, stripes: make([]streamStripe, n), mask: uint32(n - 1),
-		moved: make(map[string]uint64)}
+		moved: make(map[string]uint64), subs: sub.NewBroker()}
 	for i := range e.stripes {
 		e.stripes[i].streams = make(map[string]*stream)
 	}
@@ -342,6 +348,7 @@ func (e *Engine) DeleteStream(uuid string) error {
 	st.mu.Lock()
 	delete(st.streams, uuid)
 	st.mu.Unlock()
+	e.subs.DropStream(uuid, fmt.Errorf("server: stream %q deleted: %w", uuid, errStreamNotFound))
 	return e.store.Batch(e.deleteStreamOps(uuid))
 }
 
@@ -386,6 +393,9 @@ func (e *Engine) InsertChunk(uuid string, sealedBytes []byte) error {
 	if err := s.tree.Append(sealed.Index, sealed.Digest); err != nil {
 		return err
 	}
+	// Still under the ingest lock: live views see exactly the append
+	// order, one publish per committed chunk.
+	e.subs.Publish(uuid, sealed.Index, sealed.Digest)
 	// The sealed chunk supersedes its staged real-time records (§4.6). The
 	// staged index names their exact keys, so no store scan is needed.
 	seqs, err := e.takeStaged(uuid, s, sealed.Index)
@@ -476,6 +486,12 @@ func (e *Engine) InsertChunkBatch(uuid string, sealedBlobs [][]byte) []error {
 	}
 	if err := s.tree.AppendBatch(start, digests); err != nil {
 		return fail(err)
+	}
+	// Publish the whole accepted run under the ingest lock; views
+	// coalesce per window, so a batch spanning a window boundary still
+	// emits one delta per completed window, not per chunk.
+	for x, digest := range digests {
+		e.subs.Publish(uuid, start+uint64(x), digest)
 	}
 	var gcOps []kv.Op
 	for x, i := range run {

@@ -71,6 +71,11 @@ func (e *Engine) Handle(ctx context.Context, req wire.Message) wire.Message {
 		// front end's read loop; reaching a handler means a transport
 		// without streams (e.g. in-process) was handed one.
 		return &wire.Error{Code: wire.CodeBadRequest, Msg: "server: stream credit outside a streaming connection"}
+	case *wire.Subscribe, *wire.Unsubscribe:
+		// Subscriptions are push streams; like credit they only make
+		// sense on a streaming connection, where the read loop routes
+		// them before reaching a handler.
+		return &wire.Error{Code: wire.CodeBadRequest, Msg: "server: subscription outside a streaming connection"}
 	case *wire.DeleteRange:
 		return respond(e.DeleteRange(ctx, m.UUID, m.Ts, m.Te))
 	case *wire.Rollup:
@@ -381,6 +386,13 @@ func (s *Server) serveConn(ctx context.Context, conn net.Conn) {
 			flows.grant(credit.ID, credit.Pages)
 			continue
 		}
+		if unsub, ok := req.(*wire.Unsubscribe); ok {
+			// Unsubscribe is the subscription flavor of a zero-page
+			// credit grant: abandon the named push stream. Stale or
+			// hostile IDs fall off the same unknown-ID path as credit.
+			flows.grant(unsub.ID, 0)
+			continue
+		}
 		if !sched.tryAcquire() {
 			// The connection already has MaxConnInFlight requests
 			// executing or queued: refuse rather than let one client
@@ -407,6 +419,21 @@ func (s *Server) serveConn(ctx context.Context, conn net.Conn) {
 				defer cancel()
 				defer flows.unregister(id)
 				s.streamSnapshotPages(reqCtx, id, flow, snap, out, release)
+			})
+			continue
+		}
+		if subReq, ok := req.(*wire.Subscribe); ok {
+			// Live subscription: an open-ended push stream under this
+			// correlation ID. Same-stream ordering holds through the
+			// handshake (a single-stream Subscribe routes by its UUID),
+			// then the chain link releases — an open-ended stream must
+			// not park later writes.
+			flow := flows.register(id)
+			key, _ := wire.RoutingUUID(req)
+			sched.runReleasing(key, func(release func()) {
+				defer cancel()
+				defer flows.unregister(id)
+				s.streamSubscription(reqCtx, id, flow, subReq, out, release)
 			})
 			continue
 		}
@@ -748,6 +775,66 @@ func (s *Server) streamSnapshotPages(ctx context.Context, id uint64, flow *strea
 	}
 }
 
+// streamSubscription serves one live subscription: it opens a sub.Handle
+// through the handler's Subscriber capability and pushes its events as
+// SubEvent frames under the request's correlation ID — the opening
+// SubscribeResp and every event each cost one page of credit, so a
+// consumer that stops draining parks exactly this subscription (and,
+// because missed windows are recoverable from the index, the broker's
+// bounded queue can drop behind its back without loss). The stream ends
+// with an Error frame when the consumer unsubscribes, the view dies
+// (resubscribe — possibly on another shard after a migration), or the
+// connection's context ends; subscriptions have no natural OK.
+func (s *Server) streamSubscription(ctx context.Context, id uint64, flow *streamFlow, req *wire.Subscribe, out chan<- respFrame, release func()) {
+	final := func(m wire.Message) { out <- respFrame{id: id, msg: m} }
+	sb, ok := s.handler.(Subscriber)
+	if !ok {
+		release()
+		final(&wire.Error{Code: wire.CodeBadRequest, Msg: "server: this handler does not support subscriptions"})
+		return
+	}
+	// Bridge consumer abandonment into the context: a worker parked in
+	// Recv waiting for the next window must unwind on Unsubscribe, not
+	// at the next event.
+	subCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	go func() {
+		select {
+		case <-flow.abandoned():
+			cancel()
+		case <-subCtx.Done():
+		}
+	}()
+	h, err := sb.Subscribe(subCtx, req)
+	if err != nil {
+		release()
+		final(toError(err))
+		return
+	}
+	defer h.Close()
+	// Handshake done under same-stream ordering (writes that arrived
+	// first are in the registration snapshot); the open-ended push loop
+	// must not hold the ordering chain.
+	release()
+	if err := flow.acquire(subCtx); err != nil {
+		final(toError(err))
+		return
+	}
+	out <- respFrame{id: id, more: true, msg: h.Resp()}
+	for {
+		if err := flow.acquire(subCtx); err != nil {
+			final(toError(err))
+			return
+		}
+		ev, err := h.Recv(subCtx)
+		if err != nil {
+			final(toError(err))
+			return
+		}
+		out <- respFrame{id: id, more: true, msg: ev}
+	}
+}
+
 // streamFlow is the server half of one stream's credit-based flow control:
 // the worker spends one credit per pushed page and parks when the counter
 // hits zero; the read loop tops it up from the consumer's StreamCredit
@@ -757,7 +844,15 @@ type streamFlow struct {
 	credit   uint64
 	canceled bool
 	wake     chan struct{} // buffered(1): signaled on grant or cancel
+	// abandon closes when the consumer cancels the stream (zero-page
+	// credit or Unsubscribe). Pagers notice cancellation at their next
+	// acquire; subscription workers parked waiting for the next window
+	// need this level trigger to unwind promptly.
+	abandon chan struct{}
 }
+
+// abandoned closes when the consumer cancels the stream.
+func (f *streamFlow) abandoned() <-chan struct{} { return f.abandon }
 
 // acquire blocks until one page of credit is available, the consumer
 // abandons the stream, or ctx fires.
@@ -794,7 +889,7 @@ func newConnFlows() *connFlows { return &connFlows{m: make(map[uint64]*streamFlo
 // register creates the flow entry for a new streamed query with the
 // protocol's initial credit.
 func (cf *connFlows) register(id uint64) *streamFlow {
-	f := &streamFlow{credit: wire.StreamInitialCredit, wake: make(chan struct{}, 1)}
+	f := &streamFlow{credit: wire.StreamInitialCredit, wake: make(chan struct{}, 1), abandon: make(chan struct{})}
 	cf.mu.Lock()
 	cf.m[id] = f
 	cf.mu.Unlock()
@@ -818,7 +913,10 @@ func (cf *connFlows) grant(id uint64, pages uint32) {
 	}
 	f.mu.Lock()
 	if pages == 0 {
-		f.canceled = true
+		if !f.canceled {
+			f.canceled = true
+			close(f.abandon)
+		}
 	} else {
 		f.credit += uint64(pages)
 		if f.credit > wire.MaxStreamCredit {

@@ -316,6 +316,12 @@ func (e *Engine) handoffRelease(uuid string, epoch uint64) error {
 		delete(st.streams, uuid)
 	}
 	st.mu.Unlock()
+	if live {
+		// Live views on the departing stream die with the move; their
+		// subscribers see CodeWrongShard (epoch attached) and
+		// resubscribe on the new owner.
+		e.subs.DropStream(uuid, &movedError{uuid: uuid, epoch: epoch})
+	}
 	if !live {
 		if prev, moved := e.movedEpoch(uuid); moved && prev == epoch {
 			return nil // idempotent retry

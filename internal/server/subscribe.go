@@ -1,0 +1,290 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/sub"
+	"repro/internal/wire"
+)
+
+// Subscriber is the optional handler capability behind wire.Subscribe: a
+// handler that can open live subscriptions. The engine implements it
+// directly; the cluster router implements it by fanning out to shards and
+// combining per-window partials. The TCP front end type-asserts for it,
+// so handlers without subscriptions (test fakes, baselines) keep working
+// and answer Subscribe with CodeBadRequest.
+type Subscriber interface {
+	Subscribe(ctx context.Context, req *wire.Subscribe) (sub.Handle, error)
+}
+
+// gapFillPageWindows caps how many windows one resync read pulls from the
+// index, so a subscriber that starts far behind the frontier (or fell far
+// behind) catches up in bounded bites rather than one giant aggregate.
+const gapFillPageWindows = 256
+
+// Subscribe opens a live subscription on this engine: it validates the
+// plan exactly as AggRange would, attaches to (or creates) the
+// materialized view for (stream set, window size), and returns a handle
+// whose Recv yields one encrypted window aggregate per completed window —
+// live ones from the broker, missed or pre-subscription ones re-read from
+// the index (Resync), byte-identical either way because committed windows
+// are immutable.
+func (e *Engine) Subscribe(ctx context.Context, req *wire.Subscribe) (sub.Handle, error) {
+	if req.WindowChunks == 0 {
+		return nil, errors.New("server: subscription needs a window size")
+	}
+	if len(req.UUIDs) == 0 {
+		return nil, errors.New("server: no streams given")
+	}
+	if len(req.UUIDs) > wire.MaxAggStreams {
+		return nil, fmt.Errorf("server: %d streams exceeds the per-plan limit %d", len(req.UUIDs), wire.MaxAggStreams)
+	}
+	uuids := append([]string(nil), req.UUIDs...)
+	sort.Strings(uuids)
+	streams := make([]*stream, len(uuids))
+	for i, uuid := range uuids {
+		if i > 0 && uuid == uuids[i-1] {
+			return nil, fmt.Errorf("server: stream %q listed twice in subscription plan", uuid)
+		}
+		s, err := e.lookup(uuid)
+		if err != nil {
+			return nil, err
+		}
+		streams[i] = s
+		if s.cfg.Epoch != streams[0].cfg.Epoch || s.cfg.Interval != streams[0].cfg.Interval ||
+			s.cfg.VectorLen != streams[0].cfg.VectorLen {
+			return nil, fmt.Errorf("server: stream %q geometry differs from %q (inter-stream subscriptions need matching epoch/interval/digest)", uuid, uuids[0])
+		}
+	}
+	vlen := int(streams[0].cfg.VectorLen)
+	for _, x := range req.Elems {
+		if int(x) >= vlen {
+			return nil, fmt.Errorf("server: digest element %d beyond vector length %d", x, vlen)
+		}
+	}
+	prefix := func(uuid string, lo, hi uint64) ([]uint64, error) {
+		s, err := e.lookup(uuid)
+		if err != nil {
+			return nil, err
+		}
+		return s.tree.Query(lo, hi)
+	}
+	var (
+		v     *sub.View
+		q     *sub.Subscription
+		front uint64
+	)
+	for attempt := 0; ; attempt++ {
+		view, created := e.subs.Acquire(uuids, req.WindowChunks, vlen, prefix)
+		if created {
+			// Each registration snapshots the chunk count under the
+			// stream's ingest lock, so live publishes start exactly at
+			// the snapshot; the first window not yet complete across
+			// all members is where emission begins.
+			base := ^uint64(0)
+			for i, uuid := range uuids {
+				s := streams[i]
+				s.mu.Lock()
+				cnt := s.tree.Count()
+				view.Register(uuid, cnt)
+				s.mu.Unlock()
+				if c := cnt / req.WindowChunks; c < base {
+					base = c
+				}
+			}
+			view.FinishPrime(base, nil)
+		}
+		if err := view.Wait(ctx); err != nil {
+			e.subs.Release(view)
+			return nil, err
+		}
+		sq, f, err := view.Subscribe()
+		if err != nil {
+			// The view died between Acquire and Subscribe (stream
+			// dropped / out-of-band advance); a fresh Acquire replaces
+			// it. One concurrent death is plausible, a stream of them
+			// means the stream itself is going away.
+			e.subs.Release(view)
+			if attempt < 2 {
+				continue
+			}
+			return nil, err
+		}
+		v, q, front = view, sq, f
+		break
+	}
+	start := req.FromSeq
+	if req.FromLatest {
+		start = front
+	}
+	return &engineSub{
+		e: e, v: v, q: q,
+		uuids: uuids, elems: append([]uint32(nil), req.Elems...),
+		wc:    req.WindowChunks,
+		epoch: streams[0].cfg.Epoch, interval: streams[0].cfg.Interval,
+		resp: &wire.SubscribeResp{
+			FirstSeq: start, WindowChunks: req.WindowChunks,
+			Epoch: streams[0].cfg.Epoch, Interval: streams[0].cfg.Interval,
+			StreamCount: uint32(len(uuids)),
+		},
+		next: start,
+	}, nil
+}
+
+// engineSub is the engine's sub.Handle: it merges the view's live event
+// queue with index resync reads into one gap-free, strictly-increasing
+// window sequence. One mechanism — re-reading committed windows from the
+// index — serves the initial backfill (FromSeq behind the frontier),
+// drop-to-resync (bounded queue overflow), and deduplication after the
+// connection layer replays.
+type engineSub struct {
+	e               *Engine
+	v               *sub.View
+	q               *sub.Subscription
+	uuids           []string
+	elems           []uint32
+	wc              uint64
+	epoch, interval int64
+	resp            *wire.SubscribeResp
+
+	next    uint64          // next window sequence to deliver
+	backlog []backlogWindow // resync windows awaiting delivery, ascending
+	pending *sub.Event      // live event dequeued ahead of its turn
+
+	closeMu sync.Mutex
+	closed  bool
+}
+
+type backlogWindow struct {
+	seq uint64
+	win []uint64
+}
+
+func (es *engineSub) Resp() *wire.SubscribeResp { return es.resp }
+
+// wrap projects a window vector to the subscription's elements and frames
+// it. The input is shared (live events fan out one slice to every
+// subscriber) and is never mutated.
+func (es *engineSub) wrap(seq uint64, win []uint64, resync bool) *wire.SubEvent {
+	out := win
+	if len(es.elems) > 0 {
+		out = make([]uint64, len(es.elems))
+		for i, x := range es.elems {
+			out[i] = win[x]
+		}
+	}
+	return &wire.SubEvent{
+		Seq: seq, FromChunk: seq * es.wc, ToChunk: (seq + 1) * es.wc,
+		Resync: resync, Window: out,
+	}
+}
+
+// fill re-reads committed windows [from, min(to, from+page)) from the
+// index into the backlog. Callers only request windows below the view
+// frontier (or otherwise known complete), so the aggregate always covers
+// at least window `from`.
+func (es *engineSub) fill(ctx context.Context, from, to uint64) error {
+	if to > from+gapFillPageWindows {
+		to = from + gapFillPageWindows
+	}
+	ts := es.epoch + int64(from*es.wc)*es.interval
+	te := es.epoch + int64(to*es.wc)*es.interval
+	a, _, windows, err := es.e.aggregate(ctx, es.uuids, ts, te, es.wc)
+	if err != nil {
+		return err
+	}
+	seq0 := a / es.wc
+	for i, w := range windows {
+		seq := seq0 + uint64(i)
+		if seq < es.next || seq >= to {
+			continue
+		}
+		es.backlog = append(es.backlog, backlogWindow{seq: seq, win: w})
+	}
+	if len(es.backlog) == 0 {
+		return fmt.Errorf("server: resync of windows [%d,%d) found nothing", from, to)
+	}
+	return nil
+}
+
+func (es *engineSub) Recv(ctx context.Context) (*wire.SubEvent, error) {
+	for {
+		if len(es.backlog) > 0 {
+			bw := es.backlog[0]
+			es.backlog = es.backlog[1:]
+			if bw.seq < es.next {
+				continue
+			}
+			es.next = bw.seq + 1
+			return es.wrap(bw.seq, bw.win, true), nil
+		}
+		if es.pending != nil {
+			ev := *es.pending
+			switch {
+			case ev.Seq < es.next: // already delivered via resync
+				es.pending = nil
+				continue
+			case ev.Seq == es.next:
+				es.pending = nil
+				es.next = ev.Seq + 1
+				return es.wrap(ev.Seq, ev.Window, false), nil
+			default:
+				// Events were dropped between next and the pending
+				// one; recover them from the index, keep the live
+				// event for afterwards.
+				if err := es.fill(ctx, es.next, ev.Seq); err != nil {
+					return nil, err
+				}
+				continue
+			}
+		}
+		// Drain any queued event before consulting the frontier.
+		select {
+		case ev := <-es.q.Events():
+			es.pending = &ev
+			continue
+		default:
+		}
+		// Snapshot the progress channel before reading the frontier: an
+		// advance between the reads shows in the frontier, a later one
+		// closes the snapshot — either way we never park on a stale
+		// frontier.
+		progress := es.v.ProgressCh()
+		if f := es.v.Frontier(); f > es.next {
+			// Complete windows exist that will never reach the queue
+			// (backfill before the subscribe point, or a burst dropped
+			// while the queue was full).
+			if err := es.fill(ctx, es.next, f); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		select {
+		case ev := <-es.q.Events():
+			es.pending = &ev
+		case <-progress:
+		case <-es.v.DeadCh():
+			return nil, es.v.DeadErr()
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// Close detaches from the view and releases the broker reference.
+// Idempotent and safe against a concurrent Recv.
+func (es *engineSub) Close() error {
+	es.closeMu.Lock()
+	defer es.closeMu.Unlock()
+	if es.closed {
+		return nil
+	}
+	es.closed = true
+	es.q.Close()
+	es.e.subs.Release(es.v)
+	return nil
+}

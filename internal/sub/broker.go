@@ -1,0 +1,505 @@
+// Package sub implements the per-shard live-subscription broker: it
+// maintains materialized encrypted window aggregates — one View per
+// (stream set, window size) plan — updating them homomorphically as
+// chunks arrive (the HEAC digest sum is additive, so keeping a window
+// current is one vector addition per chunk), and fans each completed
+// window out to every subscriber of that view.
+//
+// The shape follows the event-bus pattern of consensus engines (a
+// registry of listeners keyed by what they listen to, events offered
+// non-blocking so one slow listener never parks the publisher), adapted
+// to TimeCrypt's invariants:
+//
+//   - Windows are emitted only when complete across every member stream,
+//     so a pushed window is byte-identical to what a grid-aligned polling
+//     query over the same chunk range returns.
+//   - Committed windows are immutable (streams are append-only), so a
+//     subscriber that falls behind loses nothing: its bounded queue drops
+//     the event and the consumer re-reads the window from the index
+//     (drop-to-resync) with an identical result.
+//   - The broker never sees plaintext or key material; everything it sums
+//     and ships is ciphertext.
+//
+// Locking: the broker mutex orders before any view mutex, and a view
+// mutex orders before index-tree internals (the lazy prefix reads).
+// Publish — the ingest hot path — takes only an atomic load when no view
+// watches the stream, and one view mutex per watching view otherwise.
+package sub
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/wire"
+)
+
+// QueueDepth bounds each subscriber's event queue. A consumer that falls
+// more than QueueDepth windows behind starts losing events; it recovers
+// them losslessly from the index (windows are immutable), so depth trades
+// push-path memory against resync-read frequency.
+const QueueDepth = 32
+
+// MaxPendingWindows bounds the per-member map of partially-accumulated
+// windows. It is only reachable when member streams ingest at wildly
+// different rates (the view cannot emit past the slowest member); rather
+// than buffer an unbounded backlog for the fast member, the view dies and
+// its subscribers re-prime against the index.
+const MaxPendingWindows = 4096
+
+// Event is one committed window of a view: the encrypted aggregate of
+// window Seq summed across the member streams. Window is shared between
+// all subscribers of the view and must be treated as read-only.
+type Event struct {
+	Seq    uint64
+	Window []uint64
+}
+
+// Handle is a server-side subscription: the engine and the cluster router
+// both produce one per accepted wire.Subscribe, and the connection layer
+// drains it into push frames. Recv blocks until the next deliverable
+// window; implementations guarantee strictly increasing Seq with no gaps
+// (missed live events are recovered from the index as Resync events).
+type Handle interface {
+	// Resp is the stream's opening frame (geometry + first sequence).
+	Resp() *wire.SubscribeResp
+	// Recv returns the next window event. It blocks until one is
+	// available, the subscription dies (resubscribe), or ctx ends.
+	Recv(ctx context.Context) (*wire.SubEvent, error)
+	// Close releases the subscription. Safe to call concurrently with
+	// Recv and more than once.
+	Close() error
+}
+
+// PrefixFunc reads the encrypted aggregate of chunk positions [lo, hi) of
+// one member stream from the index. The broker calls it for the portion
+// of a window that predates the member's registration (those chunks never
+// arrive as live publishes); the engine backs it with Tree.Query.
+type PrefixFunc func(uuid string, lo, hi uint64) ([]uint64, error)
+
+// Broker is the per-engine subscription registry. The zero value is not
+// usable; call NewBroker.
+type Broker struct {
+	// active mirrors len(views) so the ingest hot path can skip the
+	// index load entirely while nothing is subscribed.
+	active atomic.Int64
+	// index maps stream UUID -> views watching it; rebuilt copy-on-write
+	// under mu on every registration change so Publish never locks the
+	// broker.
+	index atomic.Pointer[map[string][]*View]
+
+	mu    sync.Mutex
+	views map[string]*View // plan key -> live view
+}
+
+// NewBroker returns an empty broker.
+func NewBroker() *Broker {
+	return &Broker{views: make(map[string]*View)}
+}
+
+// planKey canonicalizes a (sorted stream set, window size) plan.
+func planKey(uuids []string, wc uint64) string {
+	n := 0
+	for _, u := range uuids {
+		n += len(u) + 1
+	}
+	b := make([]byte, 0, n+20)
+	for _, u := range uuids {
+		b = append(b, u...)
+		b = append(b, 0)
+	}
+	return fmt.Sprintf("%s|%d", b, wc)
+}
+
+// Acquire returns the view for the given plan, creating it if absent (or
+// if the existing one died). uuids must be sorted and deduplicated —
+// callers canonicalize so equivalent plans share one view. When created
+// is true the caller owns priming: it must call Register for every member
+// and then FinishPrime exactly once; every other caller must Wait before
+// subscribing. Each successful Acquire holds one reference; pair it with
+// Release.
+func (b *Broker) Acquire(uuids []string, wc uint64, vlen int, prefix PrefixFunc) (v *View, created bool) {
+	key := planKey(uuids, wc)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if v = b.views[key]; v != nil && !v.isDead() {
+		v.refs++
+		return v, false
+	}
+	// Either no view or a dead one (remaining holders will observe death
+	// and release; the stale index entries publish into a corpse, which
+	// is harmless).
+	v = &View{
+		b:        b,
+		key:      key,
+		wc:       wc,
+		vlen:     vlen,
+		prefix:   prefix,
+		ready:    make(chan struct{}),
+		deadCh:   make(chan struct{}),
+		progress: make(chan struct{}),
+		members:  make(map[string]*member),
+		subs:     make(map[*Subscription]struct{}),
+		refs:     1,
+	}
+	b.views[key] = v
+	b.active.Store(int64(len(b.views)))
+	return v, true
+}
+
+// Release drops one Acquire reference; the last release removes the view
+// from the registry and the publish index.
+func (b *Broker) Release(v *View) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	v.refs--
+	if v.refs > 0 {
+		return
+	}
+	if b.views[v.key] == v {
+		delete(b.views, v.key)
+	}
+	b.active.Store(int64(len(b.views)))
+	b.rebuildIndexLocked()
+}
+
+// rebuildIndexLocked recomputes the copy-on-write publish index from the
+// registry. Caller holds b.mu.
+func (b *Broker) rebuildIndexLocked() {
+	idx := make(map[string][]*View)
+	for _, v := range b.views {
+		for u := range v.members {
+			idx[u] = append(idx[u], v)
+		}
+	}
+	b.index.Store(&idx)
+}
+
+// Publish folds one freshly-ingested chunk digest into every view
+// watching the stream. It must be called under the stream's ingest lock,
+// after the index append, with idx the chunk's position — the same
+// serialization that orders appends orders publishes, so each view sees
+// every chunk exactly once and in order. digest is borrowed for the call.
+func (b *Broker) Publish(uuid string, idx uint64, digest []uint64) {
+	if b.active.Load() == 0 {
+		return
+	}
+	m := b.index.Load()
+	if m == nil {
+		return
+	}
+	for _, v := range (*m)[uuid] {
+		v.publish(uuid, idx, digest)
+	}
+}
+
+// DropStream kills every view watching the stream. The engine calls it
+// when a stream is deleted, migrated away, or rebuilt from a snapshot —
+// any transition after which the incremental per-member state can no
+// longer be trusted. Subscribers observe the death and resubscribe (on
+// the new owner, for migrations).
+func (b *Broker) DropStream(uuid string, reason error) {
+	if b.active.Load() == 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	m := b.index.Load()
+	if m == nil {
+		return
+	}
+	for _, v := range (*m)[uuid] {
+		v.mu.Lock()
+		v.dieLocked(reason)
+		v.mu.Unlock()
+	}
+}
+
+// Views reports how many live views the broker maintains (stats surface).
+func (b *Broker) Views() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.views)
+}
+
+// member tracks one stream's contribution to a view.
+type member struct {
+	// solid is the registration snapshot: chunks [0, solid) were already
+	// in the index when the view attached and are read lazily through
+	// the prefix function; chunks >= solid arrive as live publishes.
+	solid uint64
+	// count is the next expected publish position. A mismatch means the
+	// stream advanced outside the ingest path (snapshot ingest) and the
+	// view's state is void.
+	count uint64
+	// win accumulates live publish digests by window sequence number.
+	win map[uint64][]uint64
+}
+
+// View is one materialized plan: the per-member accumulation state, the
+// emission frontier, and the subscriber set. Views are created unprimed;
+// the creating goroutine registers members (each under its stream's
+// ingest lock, so the registration snapshot and the first live publish
+// meet exactly) and then finishes priming, which starts emission.
+type View struct {
+	b      *Broker
+	key    string
+	wc     uint64
+	vlen   int
+	prefix PrefixFunc
+
+	// ready closes when priming finishes (successfully or not); initErr
+	// is set before the close on failure.
+	ready   chan struct{}
+	initErr error
+
+	// frontier mirrors emitted for lock-free reads: every window with
+	// seq < frontier has been emitted (and is complete in the index).
+	frontier atomic.Uint64
+
+	mu      sync.Mutex
+	members map[string]*member
+	emitted uint64 // next window sequence to emit
+	primed  bool
+	dead    error
+	deadCh  chan struct{}
+	// progress closes (and is replaced) whenever the frontier advances:
+	// a consumer whose bounded queue overflowed between its drain and
+	// its park still wakes to re-check the frontier rather than waiting
+	// for the next event.
+	progress chan struct{}
+	subs     map[*Subscription]struct{}
+
+	refs int // guarded by b.mu
+}
+
+// Register attaches one member stream with its current chunk count. It
+// must be called under that stream's ingest lock by the creating
+// goroutine, before FinishPrime: the snapshot taken under the lock
+// guarantees the first live publish for the stream carries exactly
+// position count.
+func (v *View) Register(uuid string, count uint64) {
+	v.b.mu.Lock()
+	v.mu.Lock()
+	v.members[uuid] = &member{solid: count, count: count, win: make(map[uint64][]uint64)}
+	v.mu.Unlock()
+	v.b.rebuildIndexLocked()
+	v.b.mu.Unlock()
+}
+
+// FinishPrime completes view creation. On success emission starts at the
+// given base window sequence (callers pass min(member snapshots) / wc —
+// the first window not yet complete across all members); on error the
+// view dies and waiters receive err.
+func (v *View) FinishPrime(base uint64, err error) {
+	v.mu.Lock()
+	if err != nil {
+		v.initErr = err
+		v.dieLocked(err)
+	} else {
+		v.emitted = base
+		v.frontier.Store(base)
+		v.primed = true
+		v.advanceLocked()
+	}
+	v.mu.Unlock()
+	close(v.ready)
+}
+
+// Wait blocks until priming finishes, returning the priming error if any.
+func (v *View) Wait(ctx context.Context) error {
+	select {
+	case <-v.ready:
+		return v.initErr
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Frontier returns the next window sequence the view will emit; every
+// window below it is complete across all members and readable from the
+// index.
+func (v *View) Frontier() uint64 { return v.frontier.Load() }
+
+// ProgressCh returns a channel that closes on the next frontier advance.
+// Snapshot it before checking Frontier: an advance between the two reads
+// shows up in the frontier, a later one closes the snapshot.
+func (v *View) ProgressCh() <-chan struct{} {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.progress
+}
+
+// DeadCh closes when the view dies; DeadErr explains why afterwards.
+func (v *View) DeadCh() <-chan struct{} { return v.deadCh }
+
+// DeadErr returns the death reason, or nil while the view is live.
+func (v *View) DeadErr() error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.dead
+}
+
+func (v *View) isDead() bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.dead != nil
+}
+
+// dieLocked marks the view dead and wakes everything attached to it.
+// Caller holds v.mu.
+func (v *View) dieLocked(reason error) {
+	if v.dead != nil {
+		return
+	}
+	if reason == nil {
+		reason = fmt.Errorf("sub: view closed")
+	}
+	v.dead = reason
+	close(v.deadCh)
+	v.members = map[string]*member{}
+}
+
+// Subscribe attaches a new subscriber queue and returns it with the
+// view's frontier at attach time: every window >= the returned frontier
+// will be offered to the queue; windows below it are the subscriber's to
+// read from the index.
+func (v *View) Subscribe() (*Subscription, uint64, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.dead != nil {
+		return nil, 0, v.dead
+	}
+	s := &Subscription{view: v, ch: make(chan Event, QueueDepth)}
+	v.subs[s] = struct{}{}
+	return s, v.emitted, nil
+}
+
+// publish folds one live chunk digest into the view.
+func (v *View) publish(uuid string, idx uint64, digest []uint64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.dead != nil {
+		return
+	}
+	m := v.members[uuid]
+	if m == nil {
+		return
+	}
+	if idx != m.count {
+		// The stream advanced outside the ordered ingest path (or a
+		// publish was lost): incremental state is void.
+		v.dieLocked(fmt.Errorf("sub: stream %q advanced out of band (publish %d, expected %d)", uuid, idx, m.count))
+		return
+	}
+	m.count++
+	seq := idx / v.wc
+	w := m.win[seq]
+	if w == nil {
+		if len(m.win) >= MaxPendingWindows {
+			v.dieLocked(fmt.Errorf("sub: stream %q is %d windows ahead of the slowest member", uuid, len(m.win)))
+			return
+		}
+		w = make([]uint64, v.vlen)
+		m.win[seq] = w
+	}
+	for i := range digest {
+		w[i] += digest[i]
+	}
+	if v.primed {
+		v.advanceLocked()
+	}
+}
+
+// advanceLocked emits every window that has become complete across all
+// members, in order. Caller holds v.mu.
+func (v *View) advanceLocked() {
+	advanced := false
+	defer func() {
+		if advanced {
+			close(v.progress)
+			v.progress = make(chan struct{})
+		}
+	}()
+	for {
+		complete := ^uint64(0)
+		for _, m := range v.members {
+			if c := m.count / v.wc; c < complete {
+				complete = c
+			}
+		}
+		if len(v.members) == 0 || complete <= v.emitted {
+			return
+		}
+		seq := v.emitted
+		sum := make([]uint64, v.vlen)
+		for uuid, m := range v.members {
+			// The part of the window that predates this member's
+			// registration lives only in the index.
+			lo, hi := seq*v.wc, (seq+1)*v.wc
+			if m.solid > lo {
+				solidHi := m.solid
+				if solidHi > hi {
+					solidHi = hi
+				}
+				vec, err := v.prefix(uuid, lo, solidHi)
+				if err != nil {
+					v.dieLocked(fmt.Errorf("sub: priming window %d of %q: %w", seq, uuid, err))
+					return
+				}
+				for i := range sum {
+					sum[i] += vec[i]
+				}
+			}
+			if w := m.win[seq]; w != nil {
+				for i := range sum {
+					sum[i] += w[i]
+				}
+				delete(m.win, seq)
+			}
+		}
+		ev := Event{Seq: seq, Window: sum}
+		for s := range v.subs {
+			s.offer(ev)
+		}
+		v.emitted = seq + 1
+		v.frontier.Store(v.emitted)
+		advanced = true
+	}
+}
+
+// Subscription is one subscriber's bounded event queue. Events arrive in
+// order; when the queue is full new events are dropped (the consumer
+// detects the sequence gap against the view frontier and re-reads the
+// missing windows from the index).
+type Subscription struct {
+	view    *View
+	ch      chan Event
+	dropped atomic.Uint64
+}
+
+// Events exposes the queue for select-based consumption.
+func (s *Subscription) Events() <-chan Event { return s.ch }
+
+// Dropped reports how many events were lost to the bounded queue (each
+// one recovered by a resync read).
+func (s *Subscription) Dropped() uint64 { return s.dropped.Load() }
+
+// offer enqueues without blocking; the publisher never waits on a slow
+// consumer.
+func (s *Subscription) offer(ev Event) {
+	select {
+	case s.ch <- ev:
+	default:
+		s.dropped.Add(1)
+	}
+}
+
+// Close detaches the subscription from its view. Idempotent.
+func (s *Subscription) Close() {
+	v := s.view
+	v.mu.Lock()
+	delete(v.subs, s)
+	v.mu.Unlock()
+}

@@ -1,0 +1,324 @@
+package sub
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// noPrefix fails any lazy index read — for tests whose members register
+// at position 0 and therefore never need one.
+func noPrefix(uuid string, lo, hi uint64) ([]uint64, error) {
+	return nil, fmt.Errorf("unexpected prefix read %s [%d,%d)", uuid, lo, hi)
+}
+
+func recvEvent(t *testing.T, s *Subscription) Event {
+	t.Helper()
+	select {
+	case ev := <-s.Events():
+		return ev
+	case <-time.After(2 * time.Second):
+		t.Fatal("no event within deadline")
+		return Event{}
+	}
+}
+
+func expectNoEvent(t *testing.T, s *Subscription) {
+	t.Helper()
+	select {
+	case ev := <-s.Events():
+		t.Fatalf("unexpected event seq %d", ev.Seq)
+	default:
+	}
+}
+
+// Windows must emit only once complete across every member, in order,
+// with element-wise wrapped sums.
+func TestViewEmitsCompleteWindows(t *testing.T) {
+	b := NewBroker()
+	v, created := b.Acquire([]string{"a", "b"}, 2, 3, noPrefix)
+	if !created {
+		t.Fatal("fresh broker returned an existing view")
+	}
+	v.Register("a", 0)
+	v.Register("b", 0)
+	v.FinishPrime(0, nil)
+	s, frontier, err := v.Subscribe()
+	if err != nil || frontier != 0 {
+		t.Fatalf("Subscribe: frontier %d err %v", frontier, err)
+	}
+
+	b.Publish("a", 0, []uint64{1, 2, 3})
+	b.Publish("a", 1, []uint64{10, 20, 30})
+	expectNoEvent(t, s) // window 0 incomplete: b has nothing
+	b.Publish("b", 0, []uint64{100, 200, 300})
+	expectNoEvent(t, s)
+	b.Publish("b", 1, []uint64{1000, 2000, 3000})
+	ev := recvEvent(t, s)
+	if ev.Seq != 0 {
+		t.Fatalf("seq %d, want 0", ev.Seq)
+	}
+	want := []uint64{1111, 2222, 3333}
+	for i, x := range want {
+		if ev.Window[i] != x {
+			t.Fatalf("window %v, want %v", ev.Window, want)
+		}
+	}
+	if f := v.Frontier(); f != 1 {
+		t.Fatalf("frontier %d, want 1", f)
+	}
+
+	// Second window completes in the other member order.
+	b.Publish("b", 2, []uint64{1, 1, 1})
+	b.Publish("b", 3, []uint64{1, 1, 1})
+	expectNoEvent(t, s)
+	b.Publish("a", 2, []uint64{2, 2, 2})
+	b.Publish("a", 3, []uint64{2, 2, 2})
+	ev = recvEvent(t, s)
+	if ev.Seq != 1 || ev.Window[0] != 6 {
+		t.Fatalf("event %+v, want seq 1 sum 6", ev)
+	}
+}
+
+// A member registered mid-stream contributes its pre-registration chunks
+// through the lazy prefix read; the emitted window must equal the full
+// sum either way.
+func TestLazyPrefixCompletesStraddlingWindow(t *testing.T) {
+	// "tree" holds digests for chunks 0..9 of stream a (value = chunk
+	// index), registration snapshot is 10, window is 4 chunks.
+	prefix := func(uuid string, lo, hi uint64) ([]uint64, error) {
+		if uuid != "a" {
+			return nil, fmt.Errorf("wrong stream %q", uuid)
+		}
+		var sum uint64
+		for i := lo; i < hi; i++ {
+			if i >= 10 {
+				return nil, fmt.Errorf("prefix read beyond solid: [%d,%d)", lo, hi)
+			}
+			sum += i
+		}
+		return []uint64{sum}, nil
+	}
+	b := NewBroker()
+	v, _ := b.Acquire([]string{"a"}, 4, 1, prefix)
+	v.Register("a", 10)
+	v.FinishPrime(10/4, nil) // base = window 2 (chunks 8..12)
+	s, frontier, err := v.Subscribe()
+	if err != nil || frontier != 2 {
+		t.Fatalf("frontier %d err %v", frontier, err)
+	}
+	b.Publish("a", 10, []uint64{10})
+	expectNoEvent(t, s)
+	b.Publish("a", 11, []uint64{11})
+	ev := recvEvent(t, s)
+	if ev.Seq != 2 || ev.Window[0] != 8+9+10+11 {
+		t.Fatalf("event %+v, want seq 2 sum %d", ev, 8+9+10+11)
+	}
+	// Window 3 is entirely post-registration: no prefix read.
+	for i := uint64(12); i < 16; i++ {
+		b.Publish("a", i, []uint64{i})
+	}
+	ev = recvEvent(t, s)
+	if ev.Seq != 3 || ev.Window[0] != 12+13+14+15 {
+		t.Fatalf("event %+v, want seq 3 sum %d", ev, 12+13+14+15)
+	}
+}
+
+// A slow subscriber's queue drops events rather than blocking the
+// publisher; the frontier still advances so the consumer can resync.
+func TestBoundedQueueDropsAndCounts(t *testing.T) {
+	b := NewBroker()
+	v, _ := b.Acquire([]string{"a"}, 1, 1, noPrefix)
+	v.Register("a", 0)
+	v.FinishPrime(0, nil)
+	s, _, _ := v.Subscribe()
+	total := uint64(QueueDepth + 10)
+	for i := uint64(0); i < total; i++ {
+		b.Publish("a", i, []uint64{i})
+	}
+	if f := v.Frontier(); f != total {
+		t.Fatalf("frontier %d, want %d", f, total)
+	}
+	if d := s.Dropped(); d != 10 {
+		t.Fatalf("dropped %d, want 10", d)
+	}
+	// The queued prefix is intact and in order.
+	for i := uint64(0); i < QueueDepth; i++ {
+		ev := recvEvent(t, s)
+		if ev.Seq != i {
+			t.Fatalf("seq %d, want %d", ev.Seq, i)
+		}
+	}
+	expectNoEvent(t, s)
+}
+
+// An out-of-band advance (publish position mismatch) must kill the view:
+// incremental state cannot be trusted after a snapshot ingest.
+func TestPublishMismatchKillsView(t *testing.T) {
+	b := NewBroker()
+	v, _ := b.Acquire([]string{"a"}, 1, 1, noPrefix)
+	v.Register("a", 0)
+	v.FinishPrime(0, nil)
+	b.Publish("a", 0, []uint64{1})
+	b.Publish("a", 5, []uint64{1}) // skipped 1..4
+	select {
+	case <-v.DeadCh():
+	case <-time.After(time.Second):
+		t.Fatal("view survived an out-of-band advance")
+	}
+	if v.DeadErr() == nil {
+		t.Fatal("dead view reports nil error")
+	}
+	if _, _, err := v.Subscribe(); err == nil {
+		t.Fatal("Subscribe succeeded on a dead view")
+	}
+}
+
+func TestDropStreamKillsWatchingViews(t *testing.T) {
+	b := NewBroker()
+	v1, _ := b.Acquire([]string{"a", "b"}, 1, 1, noPrefix)
+	v1.Register("a", 0)
+	v1.Register("b", 0)
+	v1.FinishPrime(0, nil)
+	v2, _ := b.Acquire([]string{"c"}, 1, 1, noPrefix)
+	v2.Register("c", 0)
+	v2.FinishPrime(0, nil)
+	reason := errors.New("stream migrated")
+	b.DropStream("b", reason)
+	if !errors.Is(v1.DeadErr(), reason) {
+		t.Fatalf("watching view dead err %v", v1.DeadErr())
+	}
+	if v2.DeadErr() != nil {
+		t.Fatal("unrelated view died")
+	}
+}
+
+// Equivalent plans share one view; a dead view is replaced on the next
+// Acquire; the last Release retires the view from the publish index.
+func TestAcquireShareAndReplace(t *testing.T) {
+	b := NewBroker()
+	v1, created := b.Acquire([]string{"a"}, 2, 1, noPrefix)
+	if !created {
+		t.Fatal("first acquire not created")
+	}
+	v1.Register("a", 0)
+	v1.FinishPrime(0, nil)
+	v2, created := b.Acquire([]string{"a"}, 2, 1, noPrefix)
+	if created || v2 != v1 {
+		t.Fatal("equivalent plan did not share the view")
+	}
+	if v3, created := b.Acquire([]string{"a"}, 4, 1, noPrefix); !created || v3 == v1 {
+		t.Fatal("different window size shared a view")
+	}
+	b.DropStream("a", errors.New("gone"))
+	v4, created := b.Acquire([]string{"a"}, 2, 1, noPrefix)
+	if !created || v4 == v1 {
+		t.Fatal("dead view was handed out again")
+	}
+	// Registry holds the replacement (a,2) view and the (a,4) view; the
+	// dead v1 was displaced by v4.
+	if got := b.Views(); got != 2 {
+		t.Fatalf("views %d, want 2", got)
+	}
+	b.Release(v1)
+	b.Release(v2) // last reference to the displaced view: no registry change
+	b.Release(v4)
+	// Only the never-released (a,4) view remains.
+	if got := b.Views(); got != 1 {
+		t.Fatalf("views after release %d, want 1", got)
+	}
+}
+
+// Publish on an unwatched stream must be near-free and safe concurrently
+// with registration churn — the -race hammer for the copy-on-write index.
+func TestConcurrentPublishSubscribeChurn(t *testing.T) {
+	b := NewBroker()
+	streams := []string{"s0", "s1", "s2", "s3"}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	// Publishers: each stream appends in order (mirrors the per-stream
+	// ingest lock) until told to stop.
+	for _, u := range streams {
+		wg.Add(1)
+		go func(u string) {
+			defer wg.Done()
+			for n := uint64(0); ; n++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				b.Publish(u, n, []uint64{n, n})
+			}
+		}(u)
+	}
+	// Churners: acquire, register at the live position... registration
+	// requires the ingest lock; here each churner uses its own private
+	// stream name so it never races a publisher on count. It still
+	// exercises index rebuild vs concurrent Publish loads.
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			u := fmt.Sprintf("churn-%d", c)
+			for r := 0; r < 200; r++ {
+				v, created := b.Acquire([]string{u}, 2, 2, noPrefix)
+				if created {
+					v.Register(u, 0)
+					v.FinishPrime(0, nil)
+				}
+				if err := v.Wait(t.Context()); err == nil {
+					if s, _, err := v.Subscribe(); err == nil {
+						b.Publish(u, 0, []uint64{1, 1}) // may mismatch on reuse; fine
+						s.Close()
+					}
+				}
+				b.Release(v)
+			}
+		}(c)
+	}
+	time.Sleep(100 * time.Millisecond)
+	close(done)
+	wg.Wait()
+}
+
+// BenchmarkSubscribeFanout measures the broker push path: one view, 64
+// subscribers, one publisher committing a window per publish. Subscribers
+// drain concurrently; the metric is window-events fanned out per second.
+func BenchmarkSubscribeFanout(bb *testing.B) {
+	const fanout = 64
+	b := NewBroker()
+	v, _ := b.Acquire([]string{"a"}, 1, 8, noPrefix)
+	v.Register("a", 0)
+	v.FinishPrime(0, nil)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < fanout; i++ {
+		s, _, err := v.Subscribe()
+		if err != nil {
+			bb.Fatal(err)
+		}
+		wg.Add(1)
+		go func(s *Subscription) {
+			defer wg.Done()
+			for {
+				select {
+				case <-s.Events():
+				case <-stop:
+					return
+				}
+			}
+		}(s)
+	}
+	digest := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	bb.ResetTimer()
+	for n := 0; n < bb.N; n++ {
+		b.Publish("a", uint64(n), digest)
+	}
+	bb.StopTimer()
+	close(stop)
+	wg.Wait()
+	bb.ReportMetric(float64(bb.N*fanout)/bb.Elapsed().Seconds(), "events/s")
+}

@@ -19,11 +19,14 @@ const MaxFrameSize = 64 << 20
 // frame of a stream (FlagMore). Version 4 added live resharding — the
 // topology, stream-snapshot, and handoff messages — and gave Error a
 // structured Aux field (CodeWrongShard carries the topology epoch in it),
-// which changed the Error encoding. Servers reject other versions with an
-// Error frame on correlation ID 0 before closing the connection, so mixed
-// deployments fail loudly rather than desyncing frames. The full spec
-// lives in docs/PROTOCOL.md.
-const ProtoVersion = 4
+// which changed the Error encoding. Version 5 added live subscriptions —
+// Subscribe/SubscribeResp/SubEvent push server-maintained encrypted window
+// aggregates over the v3 streamed-response path, and Unsubscribe joins
+// StreamCredit as connection-level flow control on correlation ID 0.
+// Servers reject other versions with an Error frame on correlation ID 0
+// before closing the connection, so mixed deployments fail loudly rather
+// than desyncing frames. The full spec lives in docs/PROTOCOL.md.
+const ProtoVersion = 5
 
 // ErrProtoVersion reports a request framed for a different protocol
 // version. The server front end matches on it to answer a parseable error

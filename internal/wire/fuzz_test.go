@@ -425,6 +425,116 @@ func TestAggRangeHostileInputs(t *testing.T) {
 	}
 }
 
+// TestSubscriptionMessagesHostileInputs covers the v5 live-subscription
+// messages: hostile subscription IDs are opaque 64-bit values, a zero-page
+// credit grant (the abandon signal) decodes as-is, implausible stream and
+// element counts are rejected before allocation, duplicate window sequence
+// numbers decode cleanly (deduplication is the consumer's job, not the
+// codec's), and truncation or random mutation never panics.
+func TestSubscriptionMessagesHostileInputs(t *testing.T) {
+	// Hostile subscription IDs are opaque: any 64-bit value must round-trip
+	// (dropping stale or never-issued IDs is the server broker's job).
+	for _, hostile := range []uint64{0, 1, 1<<64 - 1, 1 << 63} {
+		m, err := Unmarshal(Marshal(&Unsubscribe{ID: hostile}))
+		if err != nil {
+			t.Fatalf("Unsubscribe ID %d rejected: %v", hostile, err)
+		}
+		if u := m.(*Unsubscribe); u.ID != hostile {
+			t.Errorf("Unsubscribe ID %d mangled to %d", hostile, u.ID)
+		}
+	}
+
+	// A zero-page credit grant is the tear-down signal, not an invalid
+	// value: it must decode to exactly zero (only oversized grants clamp).
+	cm, err := Unmarshal(Marshal(&StreamCredit{ID: 9, Pages: 0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := cm.(*StreamCredit); c.Pages != 0 {
+		t.Errorf("zero credit grant decoded as %d", c.Pages)
+	}
+
+	// Implausible counts are rejected before any allocation: the stream
+	// list, then the projected-element list.
+	var e Encoder
+	e.U8(uint8(TSubscribe))
+	e.U64(MaxAggStreams + 1)
+	if _, err := Unmarshal(e.Bytes()); err == nil {
+		t.Error("oversized subscription stream count accepted")
+	}
+	var e2 Encoder
+	e2.U8(uint8(TSubscribe))
+	e2.U64(1)
+	e2.Str("s")
+	e2.U64(3) // WindowChunks
+	e2.U64(MaxAggElems + 1)
+	if _, err := Unmarshal(e2.Bytes()); err == nil {
+		t.Error("oversized subscription element count accepted")
+	}
+	var e3 Encoder
+	e3.U8(uint8(TSubscribeResp))
+	e3.U64(0)
+	e3.U64(3)
+	e3.I64(0)
+	e3.I64(10)
+	e3.U64(MaxAggStreams + 1)
+	if _, err := Unmarshal(e3.Bytes()); err == nil {
+		t.Error("oversized subscription response stream count accepted")
+	}
+
+	// Duplicate window sequence numbers are legal at the codec layer — a
+	// resubscribe or shard heal may replay a window already delivered, and
+	// ordering/deduplication by Seq belongs to the consumer.
+	for _, ev := range []*SubEvent{
+		{Seq: 7, FromChunk: 21, ToChunk: 24, Window: []uint64{1, 2, 3}},
+		{Seq: 7, FromChunk: 21, ToChunk: 24, Resync: true, Window: []uint64{1, 2, 3}},
+	} {
+		m, err := Unmarshal(Marshal(ev))
+		if err != nil {
+			t.Fatalf("duplicate-seq event rejected: %v", err)
+		}
+		if got := m.(*SubEvent); got.Seq != 7 || got.Resync != ev.Resync {
+			t.Errorf("event mangled: %#v", got)
+		}
+	}
+
+	// Truncation at every boundary errors cleanly; random mutations never
+	// panic and accepted mutants re-marshal.
+	r := rand.New(rand.NewPCG(0x5B5C, 0xCAFE))
+	for _, m := range []Message{
+		&Subscribe{UUIDs: []string{"a", "b", "a"}, WindowChunks: 6,
+			Elems: []uint32{0, 2, 2}, FromSeq: 41, FromLatest: true},
+		&SubscribeResp{FirstSeq: 12, WindowChunks: 6, Epoch: 100, Interval: 10, StreamCount: 3},
+		&SubEvent{Seq: 12, FromChunk: 72, ToChunk: 78, Resync: true, Window: []uint64{9, 8, 7}},
+		&Unsubscribe{ID: 1<<64 - 1},
+	} {
+		valid := Marshal(m)
+		for cut := 1; cut < len(valid); cut++ {
+			if _, err := Unmarshal(valid[:cut]); err == nil {
+				t.Errorf("%T truncated at %d/%d bytes accepted", m, cut, len(valid))
+			}
+		}
+		for trial := 0; trial < 500; trial++ {
+			data := append([]byte(nil), valid...)
+			for k := 0; k < 1+r.IntN(4); k++ {
+				switch r.IntN(3) {
+				case 0:
+					data[r.IntN(len(data))] ^= byte(1 << r.IntN(8))
+				case 1:
+					if len(data) > 1 {
+						data = data[:1+r.IntN(len(data)-1)]
+					}
+				case 2:
+					data = append(data, byte(r.Uint32()))
+				}
+			}
+			if got, err := Unmarshal(data); err == nil {
+				Marshal(got)
+			}
+		}
+	}
+}
+
 // TestReshardingMessagesHostileInputs covers the v4 topology and
 // migration messages: implausible member/item counts are rejected before
 // allocation, truncation at every boundary errors cleanly, a hostile

@@ -49,6 +49,10 @@ const (
 	TSnapshotChunk
 	TIngestSnapshot
 	THandoffComplete
+	TSubscribe
+	TSubscribeResp
+	TSubEvent
+	TUnsubscribe
 )
 
 // Message is one protocol message.
@@ -123,6 +127,10 @@ var registry = map[MsgType]func() Message{
 	TSnapshotChunk:    func() Message { return &SnapshotChunk{} },
 	TIngestSnapshot:   func() Message { return &IngestSnapshot{} },
 	THandoffComplete:  func() Message { return &HandoffComplete{} },
+	TSubscribe:        func() Message { return &Subscribe{} },
+	TSubscribeResp:    func() Message { return &SubscribeResp{} },
+	TSubEvent:         func() Message { return &SubEvent{} },
+	TUnsubscribe:      func() Message { return &Unsubscribe{} },
 }
 
 // Error is the generic failure response. Aux carries structured detail for
@@ -1402,6 +1410,14 @@ func RoutingUUID(req Message) (string, bool) {
 			return m.UUIDs[0], true
 		}
 		return "", false
+	case *Subscribe:
+		// Same single-stream degenerate case for subscriptions: the
+		// subscription handshake orders after earlier same-stream writes
+		// on the connection; multi-stream plans fan out.
+		if len(m.UUIDs) == 1 {
+			return m.UUIDs[0], true
+		}
+		return "", false
 	case *Batch:
 		// A batch whose elements all share one routing key inherits it, so
 		// a multiplexed server connection keeps successive same-stream
@@ -1425,4 +1441,168 @@ func RoutingUUID(req Message) (string, bool) {
 	default:
 		return "", false
 	}
+}
+
+// Live subscriptions (wire protocol v5).
+
+// Subscribe opens a live subscription over a query plan (wire protocol
+// v5): the server maintains the encrypted windowed aggregate of the member
+// streams incrementally as chunks arrive — the HEAC digest sum is
+// homomorphic, so keeping a window current is one ciphertext addition per
+// chunk — and pushes one SubEvent per completed window under the request's
+// correlation ID, governed by the same per-stream credit flow control as
+// streamed queries. The first pushed frame is a SubscribeResp naming the
+// subscription's start; SubEvent frames follow until the consumer sends
+// Unsubscribe (or a zero-page StreamCredit), the stream fails, or the
+// connection closes.
+//
+// All member streams must share geometry, exactly as for AggRange; behind
+// a cluster router the member set is split by owning shard, each shard
+// pushes its partial per-window ciphertext sums, and the router combines
+// them by window sequence number before pushing the final event.
+//
+// FromSeq names the first window sequence number (window index on the
+// absolute chunk-position grid: seq = chunkPos / WindowChunks) to deliver;
+// windows already complete are recovered from the index (Resync events),
+// later ones arrive live. FromLatest ignores FromSeq and starts at the
+// subscribe-time frontier — the common "dashboard" mode that only wants
+// new windows. Elems projects each event's vector exactly as AggRange
+// does; empty keeps the full digest.
+type Subscribe struct {
+	UUIDs        []string
+	WindowChunks uint64
+	Elems        []uint32
+	FromSeq      uint64
+	FromLatest   bool
+}
+
+func (*Subscribe) Type() MsgType { return TSubscribe }
+func (m *Subscribe) encode(e *Encoder) {
+	e.U64(uint64(len(m.UUIDs)))
+	for _, u := range m.UUIDs {
+		e.Str(u)
+	}
+	e.U64(m.WindowChunks)
+	e.U64(uint64(len(m.Elems)))
+	for _, x := range m.Elems {
+		e.U64(uint64(x))
+	}
+	e.U64(m.FromSeq)
+	e.Bool(m.FromLatest)
+}
+func (m *Subscribe) decode(d *Decoder) error {
+	n := d.U64()
+	if n > MaxAggStreams {
+		return fmt.Errorf("wire: implausible stream count %d", n)
+	}
+	m.UUIDs = make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		m.UUIDs = append(m.UUIDs, d.Str())
+	}
+	m.WindowChunks = d.U64()
+	k := d.U64()
+	if k > MaxAggElems {
+		return fmt.Errorf("wire: implausible element count %d", k)
+	}
+	m.Elems = make([]uint32, 0, k)
+	for i := uint64(0); i < k; i++ {
+		x := d.U64()
+		if x > 1<<32-1 {
+			return fmt.Errorf("wire: digest element index %d overflows", x)
+		}
+		m.Elems = append(m.Elems, uint32(x))
+	}
+	m.FromSeq = d.U64()
+	m.FromLatest = d.Bool()
+	return d.Err()
+}
+
+// SubscribeResp is the first frame of an accepted subscription: where the
+// event stream starts and the geometry it is aggregated over. FirstSeq is
+// the sequence number of the first window the subscription will deliver
+// (the resolved FromSeq, or the frontier for FromLatest). Epoch, Interval,
+// and StreamCount echo the member set's shared geometry exactly as
+// AggRangeResp does, so a router combining shard partials can refuse to
+// sum subscriptions that silently disagree.
+type SubscribeResp struct {
+	FirstSeq     uint64
+	WindowChunks uint64
+	Epoch        int64
+	Interval     int64
+	StreamCount  uint32
+}
+
+func (*SubscribeResp) Type() MsgType { return TSubscribeResp }
+func (m *SubscribeResp) encode(e *Encoder) {
+	e.U64(m.FirstSeq)
+	e.U64(m.WindowChunks)
+	e.I64(m.Epoch)
+	e.I64(m.Interval)
+	e.U64(uint64(m.StreamCount))
+}
+func (m *SubscribeResp) decode(d *Decoder) error {
+	m.FirstSeq = d.U64()
+	m.WindowChunks = d.U64()
+	m.Epoch = d.I64()
+	m.Interval = d.I64()
+	if n := d.U64(); n > MaxAggStreams {
+		return fmt.Errorf("wire: implausible stream count %d", n)
+	} else {
+		m.StreamCount = uint32(n)
+	}
+	return d.Err()
+}
+
+// SubEvent is one committed window delta of a subscription: the encrypted
+// aggregate of window Seq (chunk positions [FromChunk, ToChunk)), summed
+// across the member streams and projected to the subscription's Elems —
+// byte-identical to the window an AggRange over the same chunk range
+// would return. Seq is the window's absolute index on the chunk-position
+// grid; consumers deduplicate and order by it (a resubscribe or a shard
+// heal may replay a window already seen). Resync marks a window recovered
+// from the index — a backfill before the subscribe point, or windows
+// dropped while the consumer was out of credit (bounded queue +
+// drop-to-resync) — rather than pushed live; the payload is identical
+// either way, because committed windows are immutable.
+type SubEvent struct {
+	Seq                uint64
+	FromChunk, ToChunk uint64
+	Resync             bool
+	Window             []uint64
+}
+
+func (*SubEvent) Type() MsgType { return TSubEvent }
+func (m *SubEvent) encode(e *Encoder) {
+	e.U64(m.Seq)
+	e.U64(m.FromChunk)
+	e.U64(m.ToChunk)
+	e.Bool(m.Resync)
+	e.Vec(m.Window)
+}
+func (m *SubEvent) decode(d *Decoder) error {
+	m.Seq = d.U64()
+	m.FromChunk = d.U64()
+	m.ToChunk = d.U64()
+	m.Resync = d.Bool()
+	m.Window = d.Vec()
+	return d.Err()
+}
+
+// Unsubscribe ends a live subscription. Like StreamCredit it is
+// connection-level flow control, not a request: the client sends it with
+// correlation ID 0 naming the subscription's correlation ID, it consumes
+// no in-flight slot and earns no response, and the server tears the
+// subscription down exactly as a zero-page credit grant would (the
+// in-flight frames already pushed are absorbed by the client's tombstone).
+// An ID for a subscription that already finished — or that never existed,
+// hostile peers included — is stale noise and is dropped.
+type Unsubscribe struct {
+	ID uint64
+}
+
+func (*Unsubscribe) Type() MsgType       { return TUnsubscribe }
+func (m *Unsubscribe) encode(e *Encoder) { e.U64(m.ID) }
+func (m *Unsubscribe) decode(d *Decoder) error {
+	m.ID = d.U64()
+	return d.Err()
 }

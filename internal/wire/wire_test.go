@@ -134,6 +134,11 @@ func allMessages() []Message {
 		&IngestSnapshot{UUID: "s1", Items: []KVItem{{Key: "i/s1/0/0", Value: []byte{9}}}},
 		&HandoffComplete{UUID: "s1", Epoch: 8, Action: HandoffCommit},
 		&HandoffComplete{UUID: "s1", Epoch: 8, Action: HandoffRelease},
+		&Subscribe{UUIDs: []string{"a", "b"}, WindowChunks: 6, Elems: []uint32{0, 2}, FromSeq: 17},
+		&Subscribe{UUIDs: []string{"a"}, WindowChunks: 1, FromLatest: true},
+		&SubscribeResp{FirstSeq: 17, WindowChunks: 6, Epoch: 1700000000000, Interval: 10000, StreamCount: 2},
+		&SubEvent{Seq: 17, FromChunk: 102, ToChunk: 108, Resync: true, Window: []uint64{9, 8, 7}},
+		&Unsubscribe{ID: 42},
 		&Batch{Reqs: []Message{
 			&InsertChunk{UUID: "s1", Chunk: []byte{1, 2}},
 			&InsertChunk{UUID: "s1", Chunk: []byte{3}},

@@ -119,6 +119,13 @@ type (
 	// Queryable is any stream handle a query plan can aggregate over
 	// (OwnerStream, ConsumerStream).
 	Queryable = client.Queryable
+	// Subscription iterates the live deltas of a subscribed query plan:
+	// the server maintains the encrypted window aggregate and pushes one
+	// delta per completed window (Query().Window(n).Subscribe(ctx)).
+	Subscription = client.Subscription
+	// Delta is one live update of a subscribed plan: the decrypted
+	// combined aggregate of one completed window.
+	Delta = client.Delta
 	// Session is one multiplexed connection: concurrent in-flight calls
 	// with correlation IDs, out-of-order completion, streamed responses.
 	Session = client.Session
