@@ -36,7 +36,7 @@ func wrap[T any](f func(io.Writer, bench.Options) ([]T, error)) func(io.Writer, 
 }
 
 func main() {
-	runList := flag.String("run", "all", "comma-separated experiments (table2,table3,fig5,fig6,fig7,fig8,access,devops,cluster,batch,pipeline,aggregate,reshard,hotpath,durable,subscribe) or 'all'")
+	runList := flag.String("run", "all", "comma-separated experiments (table2,table3,fig5,fig6,fig7,fig8,access,devops,cluster,batch,pipeline,aggregate,reshard,hotpath,durable,subscribe,failover) or 'all'")
 	scale := flag.Float64("scale", 1.0, "experiment scale factor (1.0 = laptop-sized defaults)")
 	jsonPath := flag.String("json", "BENCH_results.json", "machine-readable results file ('' disables)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
@@ -91,6 +91,7 @@ func main() {
 		{"hotpath", wrap(bench.HotPath)},
 		{"durable", wrap(bench.DurableIngest)},
 		{"subscribe", wrap(bench.Subscribe)},
+		{"failover", wrap(bench.Failover)},
 	}
 
 	want := map[string]bool{}

@@ -68,7 +68,7 @@ type keyFile struct {
 }
 
 func main() {
-	addr := flag.String("addr", "localhost:7733", "server address")
+	addr := flag.String("addr", "localhost:7733", "server address(es), comma-separated; extras are dial fallbacks (replicas probes each)")
 	stream := flag.String("stream", "demo", "stream UUID (stat/stats/series accept a comma-separated list)")
 	interval := flag.Duration("interval", 10*time.Second, "chunk interval (create)")
 	epochMS := flag.Int64("epoch", 0, "stream epoch, Unix ms (create; 0 = now). Streams queried together need the same epoch")
@@ -79,7 +79,7 @@ func main() {
 	members := flag.String("members", "", "comma-separated ring membership (reshard)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		log.Fatal("usage: timecrypt-cli [flags] create|ingest|stat|stats|series|watch|info|delete|topology|reshard")
+		log.Fatal("usage: timecrypt-cli [flags] create|ingest|stat|stats|series|watch|info|delete|topology|reshard|replicas")
 	}
 	streams := strings.Split(*stream, ",")
 	keyPaths := make([]string, len(streams))
@@ -95,7 +95,16 @@ func main() {
 		}
 	}
 
-	tr, err := client.DialTCP(*addr)
+	var addrs []string
+	for _, a := range strings.Split(*addr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		log.Fatal("-addr names no server")
+	}
+	tr, err := client.DialTCPFailover(addrs, client.SessionOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -149,6 +158,8 @@ func main() {
 		fmt.Println("deleted", streams[0])
 	case "topology":
 		doTopology(ctx, tr)
+	case "replicas":
+		doReplicas(ctx, addrs)
 	case "reshard":
 		doReshard(ctx, tr, *members)
 	default:
@@ -168,6 +179,86 @@ func doTopology(ctx context.Context, tr client.Transport) {
 	fmt.Printf("topology epoch %d, %d members\n", ti.Epoch, len(ti.Members))
 	for _, m := range ti.Members {
 		fmt.Printf("  %s\n", m)
+	}
+}
+
+// doReplicas probes every address with a LeaseInfo round trip and prints
+// each member's replication role. Given a single address, the rest of the
+// group is discovered from that member's view.
+func doReplicas(ctx context.Context, addrs []string) {
+	probe := func(addr string) (*wire.LeaseInfoResp, error) {
+		tr, err := client.DialTCP(addr)
+		if err != nil {
+			return nil, err
+		}
+		defer tr.Close()
+		resp, err := tr.RoundTrip(ctx, &wire.LeaseInfo{})
+		if err != nil {
+			return nil, err
+		}
+		li, ok := resp.(*wire.LeaseInfoResp)
+		if !ok {
+			if e, isErr := resp.(*wire.Error); isErr {
+				return nil, fmt.Errorf("%v (probe group members directly, not a router)", e)
+			}
+			return nil, fmt.Errorf("unexpected response %T", resp)
+		}
+		return li, nil
+	}
+	roleName := map[uint8]string{
+		wire.ReplStandalone: "standalone",
+		wire.ReplLeader:     "leader",
+		wire.ReplFollower:   "follower",
+		wire.ReplDeposed:    "deposed",
+	}
+	views := make(map[string]*wire.LeaseInfoResp)
+	errs := make(map[string]error)
+	queue := append([]string(nil), addrs...)
+	for i := 0; i < len(queue); i++ {
+		a := queue[i]
+		if _, seen := views[a]; seen {
+			continue
+		}
+		if _, seen := errs[a]; seen {
+			continue
+		}
+		li, err := probe(a)
+		if err != nil {
+			errs[a] = err
+			continue
+		}
+		views[a] = li
+		for _, m := range li.Members {
+			queue = append(queue, m)
+		}
+		if li.Leader != "" {
+			queue = append(queue, li.Leader)
+		}
+	}
+	if len(views) == 0 {
+		for a, err := range errs {
+			log.Printf("%s: %v", a, err)
+		}
+		log.Fatal("no replication group member answered")
+	}
+	for _, a := range queue {
+		li, ok := views[a]
+		if !ok {
+			continue
+		}
+		delete(views, a) // print each member once, in discovery order
+		role := roleName[li.Role]
+		if role == "" {
+			role = fmt.Sprintf("role-%d", li.Role)
+		}
+		fmt.Printf("%-22s %-10s epoch %-4d watermark %-8d lease %s", a, role, li.Epoch, li.Watermark, time.Duration(li.LeaseMS)*time.Millisecond)
+		if li.Leader != "" && li.Leader != a {
+			fmt.Printf("  -> leader %s", li.Leader)
+		}
+		fmt.Println()
+	}
+	for a, err := range errs {
+		fmt.Printf("%-22s unreachable: %v\n", a, err)
 	}
 }
 

@@ -30,7 +30,19 @@
 //
 //	timecrypt-server -addr :7734 -advertise host3:7734 -join host0:7700
 //
-// See docs/OPERATIONS.md for the full deployment and resharding runbook.
+// Replication: -replicas makes a single-engine server the leader of a
+// replication group, synchronously shipping its mutation log to the
+// named followers; followers start with an explicitly empty -replicas=
+// and serve reads while refusing writes. The routing tier names a
+// replicated group in -peers with "|" between its members and fails the
+// shard over to a promoted follower when the leader dies:
+//
+//	timecrypt-server -addr :7733 -data-dir /srv/a -replicas host2:7733
+//	timecrypt-server -addr :7733 -data-dir /srv/b -replicas=       # on host2
+//	timecrypt-server -addr :7700 -peers 'host1:7733|host2:7733'
+//
+// See docs/OPERATIONS.md for the full deployment and resharding runbook
+// and docs/REPLICATION.md for lease/epoch rules and failover.
 package main
 
 import (
@@ -52,6 +64,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/kv"
 	"repro/internal/kv/durable"
+	"repro/internal/replica"
 	"repro/internal/server"
 	"repro/internal/wire"
 )
@@ -71,8 +84,17 @@ func main() {
 	connInFlight := flag.Int("conn-inflight", 0, "max concurrently executing requests per client connection; overflow answers CodeBusy (0 = default)")
 	join := flag.String("join", "", "running cluster router to ask to add this server to its ring (single-engine servers only)")
 	advertise := flag.String("advertise", "", "address other cluster members dial this server at (default: -addr, with localhost for a bare :port)")
+	replicas := flag.String("replicas", "", "comma-separated follower addresses this server's shard replicates to (makes it the group leader); pass -replicas '' explicitly to start as a follower awaiting its leader")
+	lease := flag.Duration("lease", replica.DefaultLease, "replication leader lease; a failover waits it out before promoting a follower")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
 	flag.Parse()
+
+	replicasSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "replicas" {
+			replicasSet = true
+		}
+	})
 
 	if *pprofAddr != "" {
 		// Profiling endpoint for the docs/PERFORMANCE.md workflow:
@@ -158,9 +180,47 @@ func main() {
 		log.Fatalf("need at least one local shard or peer")
 	}
 
+	// The address peers and failover coordinators dial this process at.
+	self := *advertise
+	if self == "" {
+		self = *addr
+		if strings.HasPrefix(self, ":") {
+			self = "localhost" + self
+		}
+	}
+
 	var handler server.Handler
 	var router *cluster.Router
-	if len(peerList) == 0 && nLocal == 1 {
+	var rnode *replica.Node
+	if replicasSet {
+		if len(peerList) > 0 || nLocal != 1 {
+			log.Fatalf("-replicas wraps a single-engine server; on a routing tier, name replicated groups in -peers as leader|follower[|...]")
+		}
+		var followerList []string
+		for _, f := range strings.Split(*replicas, ",") {
+			if f = strings.TrimSpace(f); f != "" {
+				followerList = append(followerList, f)
+			}
+		}
+		opts := replica.Options{Self: self, Lease: *lease, Logf: log.Printf}
+		if dstore != nil {
+			opts.StoreSeq = dstore.CommittedSeq
+		}
+		var err error
+		rnode, err = replica.New(store, server.Config{CacheBytes: *cache}, opts)
+		if err != nil {
+			log.Fatalf("starting replica: %v", err)
+		}
+		if len(followerList) > 0 {
+			// A no-op over persisted replication state: a restarted
+			// ex-leader comes back deposed and rejoins as a follower once
+			// the current leader resyncs it.
+			rnode.Lead(followerList)
+		}
+		role, epoch, _ := rnode.Status()
+		log.Printf("replication: role=%d epoch=%d lease=%s followers=%v", role, epoch, *lease, followerList)
+		handler = rnode
+	} else if len(peerList) == 0 && nLocal == 1 {
 		engine, err := server.New(store, server.Config{CacheBytes: *cache})
 		if err != nil {
 			log.Fatalf("starting engine: %v", err)
@@ -177,7 +237,21 @@ func main() {
 			shardCfgs = append(shardCfgs, cluster.Shard{Name: fmt.Sprintf("local-%d", i), Handler: engine})
 		}
 		for _, p := range peerList {
-			sh, err := cluster.NewTCPShard(p, p, *peerWindow)
+			var sh cluster.Shard
+			var err error
+			if strings.Contains(p, "|") {
+				// A replicated group: leader|follower[|...]. The shard
+				// follows the group's current leader and fails over.
+				var members []string
+				for _, m := range strings.Split(p, "|") {
+					if m = strings.TrimSpace(m); m != "" {
+						members = append(members, m)
+					}
+				}
+				sh, err = cluster.NewReplicatedShard(members[0], members, *peerWindow, log.Printf)
+			} else {
+				sh, err = cluster.NewTCPShard(p, p, *peerWindow)
+			}
 			if err != nil {
 				log.Fatalf("dialing peer shard: %v", err)
 			}
@@ -213,13 +287,6 @@ func main() {
 		if router != nil {
 			log.Fatalf("-join is for single-engine servers; this process hosts a router")
 		}
-		self := *advertise
-		if self == "" {
-			self = *addr
-			if strings.HasPrefix(self, ":") {
-				self = "localhost" + self
-			}
-		}
 		// Serving has started (listener is bound), so the coordinator can
 		// dial back and migrate streams onto this engine immediately.
 		go func() {
@@ -248,6 +315,9 @@ func main() {
 
 	if err := srv.Serve(ctx, lis); err != nil && !errors.Is(err, context.Canceled) {
 		log.Printf("serve: %v", err)
+	}
+	if rnode != nil {
+		rnode.Close()
 	}
 	if mem != nil && *snapshot != "" {
 		if err := kv.WriteSnapshotFile(*snapshot, mem); err != nil {

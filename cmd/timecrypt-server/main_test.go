@@ -269,3 +269,182 @@ func TestCrashRecoverySharded(t *testing.T) {
 		}
 	}
 }
+
+// leaseInfo round-trips a LeaseInfo probe against one address.
+func leaseInfo(t *testing.T, addr string) (*wire.LeaseInfoResp, error) {
+	t.Helper()
+	tr, err := client.DialTCP(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer tr.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	resp, err := tr.RoundTrip(ctx, &wire.LeaseInfo{})
+	if err != nil {
+		return nil, err
+	}
+	li, ok := resp.(*wire.LeaseInfoResp)
+	if !ok {
+		return nil, fmt.Errorf("unexpected lease response %#v", resp)
+	}
+	return li, nil
+}
+
+// TestFailoverE2E is the replication acceptance fence: a real leader
+// process is kill -9ed mid-ingest, and through an unchanged router
+// address (1) every Flush-acked chunk still answers byte-identically
+// from the promoted follower, (2) writes flow again after promotion, and
+// (3) the ex-leader restarted from its data dir rejoins as a follower
+// and is resynced.
+func TestFailoverE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills real server processes")
+	}
+	leaderDir, followerDir := t.TempDir(), t.TempDir()
+	leaderAddr, followerAddr, routerAddr := pickAddr(t), pickAddr(t), pickAddr(t)
+	const (
+		epoch    = int64(1_700_000_000_000)
+		interval = int64(1000)
+		acked    = 30
+		lease    = "500ms"
+	)
+
+	follower := startServerProc(t, "-addr", followerAddr, "-data-dir", followerDir, "-replicas", "", "-lease", lease)
+	waitServing(t, follower, followerAddr)
+	leader := startServerProc(t, "-addr", leaderAddr, "-data-dir", leaderDir,
+		"-advertise", leaderAddr, "-replicas", followerAddr, "-lease", lease)
+	waitServing(t, leader, leaderAddr)
+	router := startServerProc(t, "-addr", routerAddr, "-peers", leaderAddr+"|"+followerAddr)
+	waitServing(t, router, routerAddr)
+
+	ctx := context.Background()
+	tr, err := client.DialTCP(routerAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	spec := chunk.DigestSpec{Sum: true, Count: true}
+	stream, err := client.NewOwner(tr).CreateStream(ctx, client.StreamOptions{
+		UUID: "failover-e2e", Epoch: epoch, Interval: interval,
+		Spec: spec, Compression: chunk.CompressionNone,
+	})
+	if err != nil {
+		t.Fatalf("create stream: %v\nrouter logs:\n%s", err, router.logs())
+	}
+	w, err := stream.Writer(ctx, client.WriterOptions{BatchChunks: 4, MaxInFlight: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := func(c int64) []chunk.Point {
+		return []chunk.Point{{TS: epoch + c*interval, Val: c + 1}}
+	}
+	var wantSum int64
+	for c := int64(0); c < acked; c++ {
+		wantSum += c + 1
+		if err := w.AppendChunk(points(c)); err != nil {
+			t.Fatalf("append chunk %d: %v", c, err)
+		}
+	}
+	// The barrier: these chunks are acknowledged, and the leader
+	// acknowledged them only after the follower applied them. They are
+	// the "must survive kill -9 of the leader" set.
+	if err := w.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	res, err := stream.StatRange(ctx, epoch, epoch+acked*interval)
+	if err != nil {
+		t.Fatalf("pre-crash query: %v", err)
+	}
+	if res.Sum != wantSum || res.Count != acked {
+		t.Fatalf("pre-crash aggregate: sum=%d count=%d, want sum=%d count=%d", res.Sum, res.Count, wantSum, acked)
+	}
+	q := &wire.StatRange{UUIDs: []string{"failover-e2e"}, Ts: epoch, Te: epoch + acked*interval}
+	preCrash := statRangeBytes(t, routerAddr, q)
+
+	// Keep ingesting so the SIGKILL lands with writes genuinely in
+	// flight; they were never flushed, so losing them is allowed.
+	ingestDead := make(chan struct{})
+	go func() {
+		defer close(ingestDead)
+		for c := int64(acked); ; c++ {
+			if err := w.AppendChunk(points(c)); err != nil {
+				return
+			}
+		}
+	}()
+	time.Sleep(150 * time.Millisecond)
+	leader.kill9(t)
+	<-ingestDead
+
+	// Reads through the unchanged router address ride the failover: the
+	// dead leader is detected, the lease waited out, the follower
+	// promoted — and the acked range answers byte-identically.
+	afterCrash := statRangeBytes(t, routerAddr, q)
+	if !bytes.Equal(preCrash, afterCrash) {
+		t.Fatalf("acked range changed across leader kill -9:\n pre  %x\n post %x\nrouter logs:\n%s",
+			preCrash, afterCrash, router.logs())
+	}
+	li, err := leaseInfo(t, followerAddr)
+	if err != nil {
+		t.Fatalf("lease probe of promoted follower: %v", err)
+	}
+	if li.Role != wire.ReplLeader || li.Epoch < 2 {
+		t.Fatalf("follower after failover: role=%d epoch=%d, want promoted leader at epoch >= 2", li.Role, li.Epoch)
+	}
+
+	// Decrypted reads through the same client handle agree too.
+	res, err = stream.StatRange(ctx, epoch, epoch+acked*interval)
+	if err != nil {
+		t.Fatalf("post-failover query: %v", err)
+	}
+	if res.Sum != wantSum || res.Count != acked {
+		t.Fatalf("post-failover aggregate: sum=%d count=%d, want sum=%d count=%d", res.Sum, res.Count, wantSum, acked)
+	}
+
+	// Writes flow again through the router (retrying while the shard
+	// finishes failing over). A fresh stream sidesteps the ambiguous
+	// fate of the writes in flight at the kill.
+	var stream2 *client.OwnerStream
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		stream2, err = client.NewOwner(tr).CreateStream(ctx, client.StreamOptions{
+			UUID: "post-failover", Epoch: epoch, Interval: interval,
+			Spec: spec, Compression: chunk.CompressionNone,
+		})
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("create stream after failover: %v\nrouter logs:\n%s", err, router.logs())
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	for c := int64(0); c < 5; c++ {
+		if err := stream2.AppendChunk(ctx, points(c)); err != nil {
+			t.Fatalf("post-failover append %d: %v", c, err)
+		}
+	}
+	res2, err := stream2.StatRange(ctx, epoch, epoch+5*interval)
+	if err != nil || res2.Count != 5 {
+		t.Fatalf("post-failover stream query: %+v, %v", res2, err)
+	}
+
+	// The ex-leader restarts from its data dir, comes back deposed (its
+	// persisted lease is stale), and the new leader resyncs it back into
+	// the group as a follower.
+	leader2 := startServerProc(t, "-addr", leaderAddr, "-data-dir", leaderDir,
+		"-advertise", leaderAddr, "-replicas", followerAddr, "-lease", lease)
+	waitServing(t, leader2, leaderAddr)
+	deadline = time.Now().Add(20 * time.Second)
+	for {
+		li, err := leaseInfo(t, leaderAddr)
+		if err == nil && li.Role == wire.ReplFollower && li.Epoch >= 2 && li.Watermark > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ex-leader never rejoined as follower: %+v, %v\nex-leader logs:\n%s", li, err, leader2.logs())
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}

@@ -5,8 +5,9 @@
 // (aes.NewCipher per PRG step, per-frame allocation, per-chunk Append)
 // before any optimization landed; regenerate only with
 // TIMECRYPT_UPDATE_GOLDEN=1 and a deliberate reason. A wire version bump
-// is one such reason: it moves exactly the header version byte of the
-// frames section, and every crypto/index section must survive unchanged.
+// is one such reason: it moves only the request-envelope header of the
+// frames section (the version byte, plus the sender-epoch field v6 added),
+// and every crypto/index section must survive unchanged.
 package timecrypt_test
 
 import (

@@ -185,7 +185,7 @@ func BenchmarkHotPath(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if _, _, _, err := wire.DecodeRequest(fb.Bytes()); err != nil {
+			if _, _, _, _, err := wire.DecodeRequest(fb.Bytes()); err != nil {
 				b.Fatal(err)
 			}
 			fb.Release()

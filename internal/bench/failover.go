@@ -1,0 +1,212 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"repro/internal/chunk"
+	"repro/internal/client"
+	"repro/internal/cluster"
+	"repro/internal/kv"
+	"repro/internal/replica"
+	"repro/internal/server"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// FailoverResult is one measured facet of replication: the per-insert
+// cost of shipping to F followers, or the time a client is dark across a
+// leader crash.
+type FailoverResult struct {
+	Name    string
+	Latency workload.Summary
+	Ops     int
+}
+
+// failoverMember is one in-process replication group member served over
+// real TCP, with a crash switch (listener and sessions die unflushed).
+type failoverMember struct {
+	node *replica.Node
+	addr string
+	kill func()
+}
+
+func startFailoverMember(lease time.Duration) (*failoverMember, error) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	node, err := replica.New(kv.NewMemStore(), server.Config{}, replica.Options{
+		Self:  lis.Addr().String(),
+		Lease: lease,
+		Logf:  func(string, ...any) {},
+	})
+	if err != nil {
+		lis.Close()
+		return nil, err
+	}
+	srv := server.NewServer(node, func(string, ...any) {})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); srv.Serve(ctx, lis) }()
+	m := &failoverMember{node: node, addr: lis.Addr().String()}
+	killed := false
+	m.kill = func() {
+		if killed {
+			return
+		}
+		killed = true
+		node.Close()
+		cancel()
+		srv.Close()
+		<-done
+	}
+	return m, nil
+}
+
+// Failover measures the two prices of per-shard replication. Ingest
+// overhead: the same closed-loop insert stream runs against a group with
+// F=0/1/2 followers — every statement is acknowledged only after all
+// active followers applied it, so the delta is the synchronous shipping
+// round trip. Time to recovery: the group leader is killed mid-service
+// and the darkness window — from the kill to the first read answered by
+// the promoted follower through an unchanged router shard — is measured
+// over repeated trials (it is dominated by the lease the failover must
+// wait out before promoting, plus detection and the promotion handshake).
+func Failover(w io.Writer, opts Options) ([]FailoverResult, error) {
+	inserts := opts.scaled(300)
+	trials := opts.scaled(8)
+	if trials < 4 {
+		trials = 4
+	}
+	const lease = 250 * time.Millisecond
+	fmt.Fprintf(w, "Failover: %d closed-loop inserts per replication factor; %d leader-kill recovery trials (lease %s)\n\n",
+		inserts, trials, lease)
+
+	spec := chunk.DigestSpec{Sum: true, Count: true}
+	specBytes, _ := spec.MarshalBinary()
+	cfg := wire.StreamConfig{Epoch: 0, Interval: 100, VectorLen: uint32(spec.VectorLen()),
+		Fanout: 64, DigestSpec: specBytes}
+	seal := func(idx uint64) []byte {
+		start := int64(idx) * 100
+		sealed, _ := chunk.SealPlain(spec, chunk.CompressionNone, idx, start, start+100,
+			[]chunk.Point{{TS: start, Val: int64(idx%97 + 1)}})
+		return chunk.MarshalSealed(sealed)
+	}
+	ctx := context.Background()
+	var results []FailoverResult
+
+	// Ingest overhead at F = 0, 1, 2. All factors run the same replica
+	// node over TCP so the F=0 row isolates replication, not transport.
+	for followers := 0; followers <= 2; followers++ {
+		var members []*failoverMember
+		for i := 0; i <= followers; i++ {
+			m, err := startFailoverMember(lease)
+			if err != nil {
+				return nil, err
+			}
+			members = append(members, m)
+		}
+		if followers > 0 {
+			addrs := make([]string, 0, followers)
+			for _, m := range members[1:] {
+				addrs = append(addrs, m.addr)
+			}
+			members[0].node.Lead(addrs)
+		}
+		tr, err := client.DialTCP(members[0].addr)
+		if err != nil {
+			return nil, err
+		}
+		uuid := fmt.Sprintf("failover-f%d", followers)
+		if resp, err := tr.RoundTrip(ctx, &wire.CreateStream{UUID: uuid, Cfg: cfg}); err != nil || isWireErr(resp) {
+			return nil, fmt.Errorf("create %s: %v, %v", uuid, resp, err)
+		}
+		rec := &workload.LatencyRecorder{}
+		for c := 0; c < inserts; c++ {
+			payload := seal(uint64(c))
+			t0 := time.Now()
+			resp, err := tr.RoundTrip(ctx, &wire.InsertChunk{UUID: uuid, Chunk: payload})
+			rec.Record(time.Since(t0))
+			if err != nil || isWireErr(resp) {
+				return nil, fmt.Errorf("insert %s/%d: %v, %v", uuid, c, resp, err)
+			}
+		}
+		tr.Close()
+		for _, m := range members {
+			m.kill()
+		}
+		results = append(results, FailoverResult{
+			Name: fmt.Sprintf("ingest F=%d", followers), Latency: rec.Summarize(), Ops: inserts,
+		})
+	}
+
+	// Time to recovery: leader + 1 follower behind a router shard; kill
+	// the leader and clock the first successful read after the crash.
+	recRec := &workload.LatencyRecorder{}
+	for trial := 0; trial < trials; trial++ {
+		leader, err := startFailoverMember(lease)
+		if err != nil {
+			return nil, err
+		}
+		follower, err := startFailoverMember(lease)
+		if err != nil {
+			leader.kill()
+			return nil, err
+		}
+		leader.node.Lead([]string{follower.addr})
+		sh, err := cluster.NewReplicatedShard("g0", []string{leader.addr, follower.addr}, 0,
+			func(string, ...any) {})
+		if err != nil {
+			leader.kill()
+			follower.kill()
+			return nil, err
+		}
+		uuid := fmt.Sprintf("recovery-%d", trial)
+		if resp := sh.Handler.Handle(ctx, &wire.CreateStream{UUID: uuid, Cfg: cfg}); isWireErr(resp) {
+			return nil, fmt.Errorf("create %s: %v", uuid, resp)
+		}
+		for c := 0; c < 8; c++ {
+			if resp := sh.Handler.Handle(ctx, &wire.InsertChunk{UUID: uuid, Chunk: seal(uint64(c))}); isWireErr(resp) {
+				return nil, fmt.Errorf("trial %d ingest %d: %v", trial, c, resp)
+			}
+		}
+		query := &wire.StatRange{UUIDs: []string{uuid}, Ts: 0, Te: 8 * 100}
+
+		leader.kill()
+		t0 := time.Now()
+		// One blocking read rides the whole failover: detection, lease
+		// grace, promotion, retry against the new leader.
+		if resp := sh.Handler.Handle(ctx, query); isWireErr(resp) {
+			return nil, fmt.Errorf("trial %d post-crash read: %v", trial, resp)
+		}
+		recRec.Record(time.Since(t0))
+
+		if c, ok := sh.Handler.(io.Closer); ok {
+			c.Close()
+		}
+		follower.kill()
+	}
+	results = append(results, FailoverResult{Name: "time to recovery", Latency: recRec.Summarize(), Ops: trials})
+
+	t := &table{header: []string{"Facet", "Ops", "p50", "p99", "max"}}
+	for _, r := range results {
+		t.add(r.Name, fmt.Sprintf("%d", r.Ops), fmtDur(r.Latency.P50), fmtDur(r.Latency.P99), fmtDur(r.Latency.Max))
+	}
+	t.write(w)
+	f0 := results[0].Latency
+	if f0.P50 > 0 {
+		fmt.Fprintf(w, "\nreplicated ingest p50: F=1 %.2fx, F=2 %.2fx of unreplicated; recovery p50 %s against a %s lease\n",
+			float64(results[1].Latency.P50)/float64(f0.P50),
+			float64(results[2].Latency.P50)/float64(f0.P50),
+			fmtDur(recRec.Summarize().P50), lease)
+	}
+	for _, r := range results {
+		opts.record(Metric{Experiment: "failover", Name: r.Name,
+			OpsPerSec: opsPerSec(r.Ops, r.Latency), P50Ms: ms(r.Latency.P50), P99Ms: ms(r.Latency.P99)})
+	}
+	return results, nil
+}

@@ -79,6 +79,7 @@ type Call struct {
 	req  wire.Message
 
 	timeoutMS int64
+	epoch     uint64  // sender epoch for the v6 envelope (0 = none)
 	stream    *Stream // non-nil for streamed calls
 	ctrl      bool    // flow-control frame: correlation ID 0, no slot, no response
 
@@ -163,7 +164,7 @@ func (s *Session) issue(ctx context.Context, req wire.Message, stream bool) (*Ca
 	case <-s.die:
 		return nil, s.deadErr()
 	}
-	c := &Call{sess: s, req: req, done: make(chan struct{}), timeoutMS: budgetMS(ctx)}
+	c := &Call{sess: s, req: req, done: make(chan struct{}), timeoutMS: budgetMS(ctx), epoch: wire.EpochFromContext(ctx)}
 	if stream {
 		c.stream = newStream(c, ctx)
 	}
@@ -313,7 +314,7 @@ func (s *Session) writePump() {
 		s.mu.Unlock()
 		if dropped {
 			<-s.slots // canceled before hitting the wire: slot freed here
-		} else if err := wire.WriteRequest(bw, c.id, c.timeoutMS, c.req); err != nil {
+		} else if err := wire.WriteRequestEpoch(bw, c.id, c.timeoutMS, c.epoch, c.req); err != nil {
 			s.fail(fmt.Errorf("writing request: %w", err), true)
 			return
 		}

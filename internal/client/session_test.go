@@ -411,7 +411,7 @@ func hostileServer(t *testing.T, respond func(conn net.Conn, id uint64, req wire
 			return
 		}
 		for {
-			id, _, req, err := wire.ReadRequest(conn)
+			id, _, _, req, err := wire.ReadRequest(conn)
 			if err != nil {
 				conn.Close()
 				return

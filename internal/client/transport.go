@@ -102,11 +102,12 @@ func (p *InProc) Close() error { return nil }
 // protocol violation — discards the session: every in-flight call then
 // fails with ErrSessionBroken and the next use redials.
 type TCP struct {
-	addr string
-	opts SessionOptions
+	addrs []string // candidate endpoints; addrs[0] is the preferred one
+	opts  SessionOptions
 
 	mu     sync.Mutex
 	closed bool
+	next   int // index of the endpoint the next (re)dial starts from
 	sess   *Session
 }
 
@@ -118,7 +119,24 @@ func DialTCP(addr string) (*TCP, error) {
 // DialTCPOptions connects with explicit session options (in-flight
 // window).
 func DialTCPOptions(addr string, opts SessionOptions) (*TCP, error) {
-	t := &TCP{addr: addr, opts: opts}
+	return DialTCPFailover([]string{addr}, opts)
+}
+
+// DialTCPFailover connects to the first reachable endpoint of a
+// replication group (or any set of equivalent front ends) and makes the
+// transport failover-aware: when the session breaks, the redial walks the
+// endpoint list from the one that failed, so a client pointed at
+// "leader,follower" keeps working across a leader crash once the follower
+// is promoted. Writes in flight at the moment of breakage still fail with
+// ErrSessionBroken (their outcome is ambiguous — same contract as a
+// single-endpoint transport); subsequent calls land on the survivor. A
+// follower that is not yet promoted answers wire.CodeNotLeader, which is a
+// response, not breakage — callers retry it like any server-side refusal.
+func DialTCPFailover(addrs []string, opts SessionOptions) (*TCP, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("client: no addresses to dial")
+	}
+	t := &TCP{addrs: addrs, opts: opts}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if _, err := t.sessionLocked(); err != nil {
@@ -141,12 +159,20 @@ func (t *TCP) sessionLocked() (*Session, error) {
 	if t.sess != nil {
 		return t.sess, nil
 	}
-	sess, err := DialSession(t.addr, t.opts)
-	if err != nil {
-		return nil, err
+	var firstErr error
+	for i := 0; i < len(t.addrs); i++ {
+		addr := t.addrs[(t.next+i)%len(t.addrs)]
+		sess, err := DialSession(addr, t.opts)
+		if err == nil {
+			t.next = (t.next + i) % len(t.addrs)
+			t.sess = sess
+			return sess, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
 	}
-	t.sess = sess
-	return sess, nil
+	return nil, firstErr
 }
 
 // dropSession discards a broken session so the next use redials. Only the

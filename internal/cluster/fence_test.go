@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/chunk"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+// TestDrainGapFencedAgainstSecondRouter is the regression test for the
+// reshard drain gap: the coordinating router's move gate only holds ITS
+// OWN requests during a stream's frozen drain — a second router holding
+// the old ring routes writes straight to the source engine, where (before
+// the write fence existed) they landed after the drain's final read and
+// were deleted by release: an acknowledged write, silently gone.
+//
+// With the fence, the source engine rejects stale-epoch mutations for
+// the duration of the drain: the second router's write is refused with
+// CodeWrongShard — never acknowledged, never lost — and succeeds once it
+// refreshes to the published topology.
+func TestDrainGapFencedAgainstSecondRouter(t *testing.T) {
+	engines := make(map[string]*server.Engine)
+	var shardsA, shardsB []Shard
+	for i := 0; i < 4; i++ {
+		name := fmt.Sprintf("shard-%d", i)
+		e := newEngine(t)
+		engines[name] = e
+		shardsA = append(shardsA, Shard{Name: name, Handler: e})
+		shardsB = append(shardsB, Shard{Name: name, Handler: e})
+	}
+	routerA, err := NewRouter(shardsA, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	routerB, err := NewRouter(shardsB, Options{Dial: func(member string) (Shard, error) {
+		e, ok := engines[member]
+		if !ok {
+			return Shard{}, fmt.Errorf("unknown member %q", member)
+		}
+		return Shard{Name: member, Handler: e}, nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tc := &testCluster{router: routerA, spec: chunk.DigestSpec{Sum: true, Count: true}}
+	specBytes, _ := tc.spec.MarshalBinary()
+	tc.cfg = wire.StreamConfig{Epoch: 0, Interval: 100, VectorLen: uint32(tc.spec.VectorLen()), Fanout: 8, DigestSpec: specBytes}
+	const acked = 8
+	tc.createStream(t, "gap")
+	tc.ingest(t, "gap", acked)
+	ackedSum := tc.statSum(t, "gap", acked*100)
+
+	// During the frozen drain, write through the STALE router B: it still
+	// routes to the source, whose fence must refuse the mutation. Reads
+	// are not fenced and keep answering.
+	staleChunk := func(idx uint64) *wire.InsertChunk {
+		start := int64(idx) * 100
+		sealed, err := chunk.SealPlain(tc.spec, chunk.CompressionNone, idx, start, start+100,
+			[]chunk.Point{{TS: start, Val: int64(idx + 1)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &wire.InsertChunk{UUID: "gap", Chunk: chunk.MarshalSealed(sealed)}
+	}
+	var fenced, injected atomic.Int64
+	routerA.testHookDuringFreeze = func(uuid string) {
+		if uuid != "gap" {
+			return
+		}
+		injected.Add(1)
+		resp := routerB.Handle(context.Background(), staleChunk(acked))
+		e, isErr := resp.(*wire.Error)
+		if !isErr {
+			t.Errorf("stale router's write during frozen drain was accepted: %#v (drain gap open)", resp)
+			return
+		}
+		if e.Code != wire.CodeWrongShard {
+			t.Errorf("stale write refused with code %d (%s), want CodeWrongShard from the fence", e.Code, e.Msg)
+		}
+		fenced.Add(1)
+		if resp := routerB.Handle(context.Background(), &wire.StreamInfo{UUID: "gap"}); resp != nil {
+			if _, ok := resp.(*wire.StreamInfoResp); !ok {
+				t.Errorf("read through stale router during drain -> %#v", resp)
+			}
+		}
+	}
+
+	// Shrink the owner away: the stream is guaranteed to migrate.
+	owner := routerA.Owner("gap")
+	var shards []Shard
+	for _, n := range routerA.Shards() {
+		if n != owner {
+			shards = append(shards, Shard{Name: n})
+		}
+	}
+	report, err := routerA.Rebalance(context.Background(), shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := false
+	for _, mr := range report.Moved {
+		if mr.UUID == "gap" {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatalf("stream did not move when its owner %s left the membership", owner)
+	}
+	if injected.Load() == 0 {
+		t.Fatal("freeze hook never ran for the migrated stream")
+	}
+	if fenced.Load() != injected.Load() {
+		t.Fatalf("%d of %d stale drain writes were fenced", fenced.Load(), injected.Load())
+	}
+
+	// Zero acked chunks lost, zero ghosts gained: exactly the pre-reshard
+	// data answers, byte-for-byte the same aggregate.
+	resp := routerA.Handle(context.Background(), &wire.StreamInfo{UUID: "gap"})
+	info, ok := resp.(*wire.StreamInfoResp)
+	if !ok {
+		t.Fatalf("StreamInfo after reshard -> %#v", resp)
+	}
+	if info.Count != acked {
+		t.Fatalf("chunk count after reshard = %d, want %d (acked writes lost or fenced write leaked)", info.Count, acked)
+	}
+	if got := tc.statSum(t, "gap", acked*100); got != ackedSum {
+		t.Fatalf("aggregate after reshard = %d, want %d", got, ackedSum)
+	}
+
+	// The refused write was never acknowledged, so the producer retries:
+	// through the stale router it now heals via CodeWrongShard + refresh
+	// and lands on the stream's new owner.
+	if resp := routerB.Handle(context.Background(), staleChunk(acked)); !isOK(resp) {
+		t.Fatalf("retried write through healed router -> %#v", resp)
+	}
+	if got := tc.statSum(t, "gap", (acked+1)*100); got != ackedSum+acked+1 {
+		t.Fatalf("aggregate after retried write = %d, want %d", got, ackedSum+acked+1)
+	}
+}

@@ -326,6 +326,11 @@ func (r *Router) migrateStream(ctx context.Context, uuid string, src, dst *shard
 		// deadline rather than inheriting the dead context.
 		abortCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 30*time.Second)
 		defer cancel()
+		if frozen {
+			// The stream keeps being served by the source: lift the drain
+			// fence (epoch 0) so its writes flow again.
+			src.handler.Handle(abortCtx, &wire.HandoffComplete{UUID: uuid, Epoch: 0, Action: wire.HandoffFence})
+		}
 		dst.handler.Handle(abortCtx, &wire.HandoffComplete{UUID: uuid, Action: wire.HandoffAbort})
 		return MoveReport{}, err
 	}
@@ -352,6 +357,20 @@ func (r *Router) migrateStream(ctx context.Context, uuid string, src, dst *shard
 	// the gate's read side first, so the source is quiescent below.
 	ms.gate.Lock()
 	frozen = true
+	// Fence: the gate only holds THIS router's requests — a second router
+	// holding the old ring would still route writes straight to the
+	// source, where they would land after the drain read below and be
+	// deleted by release. Arming the source's write fence at the new
+	// epoch closes that gap: stale-epoch mutations answer CodeWrongShard
+	// (the fencing engine barriers against in-flight ones before
+	// acknowledging), and the rejected router refreshes and retries once
+	// the new topology publishes.
+	if resp := src.handler.Handle(ctx, &wire.HandoffComplete{UUID: uuid, Epoch: newEpoch, Action: wire.HandoffFence}); !isOK(resp) {
+		return fail(fmt.Errorf("arming source write fence failed: %v", resp))
+	}
+	if r.testHookDuringFreeze != nil {
+		r.testHookDuringFreeze(uuid)
+	}
 	count, items, err := r.copyRound(ctx, uuid, src, dst, from, true)
 	if err != nil {
 		return fail(err)

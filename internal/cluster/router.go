@@ -98,6 +98,12 @@ type Router struct {
 	// testHookAfterCopyRound, when set, runs after each live copy round
 	// of a migration (tests inject writes to exercise catch-up).
 	testHookAfterCopyRound func(uuid string, round int)
+
+	// testHookDuringFreeze, when set, runs while a migrating stream is
+	// frozen for its final drain, after the source's write fence armed
+	// (tests inject writes through a second router to prove the fence
+	// rejects them).
+	testHookDuringFreeze func(uuid string)
 }
 
 // moveState is one migrating stream's routing override. The gate admits
@@ -276,7 +282,12 @@ func (r *Router) handleOnce(ctx context.Context, req wire.Message) wire.Message 
 	}
 	r.routeMu.RLock()
 	defer r.routeMu.RUnlock()
-	return r.dispatchLocked(ctx, r.rt.Load(), req)
+	rt := r.rt.Load()
+	// Every data-path request carries this router's topology epoch in its
+	// context (and, over TCP shards, in the request envelope): engine write
+	// fences compare against it, so a router holding a stale ring cannot
+	// land a write in a stream whose final drain has already been read.
+	return r.dispatchLocked(wire.ContextWithEpoch(ctx, rt.epoch), rt, req)
 }
 
 // dispatchLocked serves one data-path request; the caller holds the

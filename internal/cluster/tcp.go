@@ -46,11 +46,20 @@ func NewTCPShard(name, addr string, inflight int) (Shard, error) {
 // replaying it would surface a spurious out-of-order error) — so they
 // keep the old surface-the-failure behavior.
 func retriable(req wire.Message) bool {
-	switch req.(type) {
+	switch r := req.(type) {
 	case *wire.StreamInfo, *wire.StatRange, *wire.GetRange, *wire.ListStreams,
 		*wire.GetGrants, *wire.GetEnvelopes, *wire.GetStaged,
-		*wire.TopologyInfo, *wire.StreamSnapshot:
+		*wire.AggRange, *wire.QueryStream,
+		*wire.TopologyInfo, *wire.StreamSnapshot, *wire.LeaseInfo:
 		return true
+	case *wire.Batch:
+		// A batch is as safe as its least safe member.
+		for _, sub := range r.Reqs {
+			if !retriable(sub) {
+				return false
+			}
+		}
+		return len(r.Reqs) > 0
 	}
 	return false
 }

@@ -334,3 +334,34 @@ func TestTCPShardConcurrentRedial(t *testing.T) {
 		}
 	}
 }
+
+// TestRetriableClassification pins the read-retry list: every read-only
+// request heals transparently across a broken session (redial, leader
+// failover), while anything mutating surfaces the ambiguity to the
+// caller instead of being blindly replayed.
+func TestRetriableClassification(t *testing.T) {
+	reads := []wire.Message{
+		&wire.StreamInfo{}, &wire.StatRange{}, &wire.GetRange{},
+		&wire.ListStreams{}, &wire.GetGrants{}, &wire.GetEnvelopes{},
+		&wire.GetStaged{}, &wire.AggRange{}, &wire.QueryStream{},
+		&wire.TopologyInfo{}, &wire.StreamSnapshot{}, &wire.LeaseInfo{},
+		&wire.Batch{Reqs: []wire.Message{&wire.StatRange{}, &wire.AggRange{}}},
+	}
+	for _, m := range reads {
+		if !retriable(m) {
+			t.Errorf("%T not retriable — reads must heal across redials", m)
+		}
+	}
+	writes := []wire.Message{
+		&wire.InsertChunk{}, &wire.CreateStream{}, &wire.DeleteStream{},
+		&wire.DeleteRange{}, &wire.Rollup{}, &wire.PutGrant{},
+		&wire.StageRecord{}, &wire.Promote{}, &wire.ReplAppend{},
+		&wire.Batch{},
+		&wire.Batch{Reqs: []wire.Message{&wire.StatRange{}, &wire.InsertChunk{}}},
+	}
+	for _, m := range writes {
+		if retriable(m) {
+			t.Errorf("%T retriable — a replay after an ambiguous outcome double-applies", m)
+		}
+	}
+}

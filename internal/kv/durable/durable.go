@@ -93,6 +93,11 @@ type Options struct {
 	CompactEvery time.Duration
 	// Logf receives recovery and compaction diagnostics (default: none).
 	Logf func(string, ...any)
+	// CommitHook, when set, is called after each group commit with the
+	// new committed sequence (monotonic). The replication plane uses it
+	// to watch local durability; it runs on the committer goroutine, so
+	// it must be fast and must not call back into the store.
+	CommitHook func(seq uint64)
 }
 
 func (o *Options) applyDefaults() {
@@ -317,6 +322,11 @@ func (s *Store) Close() error {
 	return err
 }
 
+// CommittedSeq returns the sequence of the last durably committed group:
+// the value LeaseInfoResp.StoreSeq reports so operators can compare a
+// replica's fsync'd progress against its replication watermark.
+func (s *Store) CommittedSeq() uint64 { return s.committedSeq.Load() }
+
 // Stats returns the durability counters.
 func (s *Store) Stats() Stats {
 	s.segMu.Lock()
@@ -468,6 +478,9 @@ func (s *Store) writeGroup(group []*request) error {
 		s.applyOps(r.ops)
 	}
 	s.committedSeq.Store(firstSeq + uint64(len(group)) - 1)
+	if s.opts.CommitHook != nil {
+		s.opts.CommitHook(s.committedSeq.Load())
+	}
 	s.records.Add(uint64(len(group)))
 	s.groupCommits.Add(1)
 	if s.bytesSinceSnap.Add(int64(len(buf))) >= s.opts.CompactBytes {

@@ -1,0 +1,105 @@
+package replica
+
+import "sync"
+
+// recordLog is the leader's in-memory replication log: the marshaled
+// mutation requests it has applied, each stamped with a dense sequence
+// number. Shippers read suffixes of it; once every follower has
+// acknowledged a prefix, the leader trims it down to the byte budget. The
+// log is deliberately volatile — durability lives in the engine's KV
+// store; the log only exists to replay recent mutations to followers, and
+// a follower that needs records the log no longer holds gets a full
+// snapshot instead.
+type recordLog struct {
+	mu sync.Mutex
+	// base is the sequence number of recs[0]; the log holds the
+	// contiguous range [base, base+len(recs)). Sequence 0 is reserved
+	// ("nothing applied"), so a fresh log has base 1.
+	base  uint64
+	recs  [][]byte
+	bytes int
+	// maxBytes is the retention budget; trimming never cuts into records
+	// a follower still needs (the caller passes the group's minimum
+	// acknowledged sequence).
+	maxBytes int
+}
+
+const defaultLogBytes = 16 << 20
+
+func newRecordLog(maxBytes int) *recordLog {
+	if maxBytes <= 0 {
+		maxBytes = defaultLogBytes
+	}
+	return &recordLog{base: 1, maxBytes: maxBytes}
+}
+
+// append adds one record and returns its sequence number.
+func (l *recordLog) append(rec []byte) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.recs = append(l.recs, rec)
+	l.bytes += len(rec)
+	return l.base + uint64(len(l.recs)) - 1
+}
+
+// head returns the highest sequence number in the log (base-1 when empty,
+// i.e. the sequence of the last record ever appended).
+func (l *recordLog) head() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.base + uint64(len(l.recs)) - 1
+}
+
+// from returns up to maxBytes worth of records starting at seq (at least
+// one record if any exists at seq). ok is false when seq has been trimmed
+// away — the caller must fall back to a full snapshot. An empty result
+// with ok=true means the follower is caught up.
+func (l *recordLog) from(seq uint64, maxBytes int) (first uint64, recs [][]byte, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seq < l.base {
+		return 0, nil, false
+	}
+	i := int(seq - l.base)
+	if i >= len(l.recs) {
+		return seq, nil, true
+	}
+	total := 0
+	j := i
+	for ; j < len(l.recs); j++ {
+		total += len(l.recs[j])
+		if total > maxBytes && j > i {
+			break
+		}
+	}
+	out := make([][]byte, j-i)
+	copy(out, l.recs[i:j])
+	return seq, out, true
+}
+
+// trimTo drops records with sequence <= seq while the log is over its
+// byte budget. Records under budget are kept even when acknowledged, so a
+// briefly lagging follower can catch up from the log instead of a
+// snapshot.
+func (l *recordLog) trimTo(seq uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.bytes > l.maxBytes && len(l.recs) > 0 && l.base <= seq {
+		l.bytes -= len(l.recs[0])
+		l.recs[0] = nil
+		l.recs = l.recs[1:]
+		l.base++
+	}
+}
+
+// reset re-bases an empty log so the next append is assigned seq next.
+// A freshly promoted leader resets to its applied watermark + 1: sequence
+// numbers stay comparable across the promotion, so followers whose
+// watermark matches resume from the log without a snapshot.
+func (l *recordLog) reset(next uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.base = next
+	l.recs = nil
+	l.bytes = 0
+}

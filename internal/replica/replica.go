@@ -1,0 +1,579 @@
+// Package replica adds per-shard replication and failover to a TimeCrypt
+// engine (paper §3.2's horizontal scaling, hardened for node loss): a
+// replica.Node wraps one server.Engine and ships every applied mutation —
+// as its marshaled wire request, stamped with a dense sequence number —
+// to F follower nodes over the ordinary multiplexed transport.
+//
+// Exactly one node per shard holds the group's epoch'd lease and acts as
+// leader: it applies client mutations locally, appends them to an
+// in-memory record log, and acknowledges a write only once every active
+// follower has applied it (synchronous, statement-level primary-backup).
+// Followers apply records strictly in sequence order onto their own
+// durable store — a gap or reordering is refused loudly with CodeReplGap,
+// never applied — and serve reads behind their applied watermark, so a
+// client that saw a write acknowledged can read it from any active
+// follower. A follower that has fallen off the log's tail (or a node
+// joining empty) is resynchronized with a paged full snapshot of the
+// leader's store.
+//
+// Epochs make failover safe. Every replication frame carries the sender's
+// lease epoch; a node that sees a higher epoch adopts it (a leader steps
+// down), and one that sees a lower epoch refuses with the epoch it knows,
+// deposing the stale sender. The cluster router promotes the
+// most-advanced follower by sending Promote with epoch+1 after a leader's
+// lease has lapsed; a deposed or restarted ex-leader refuses client
+// writes until the current leader adopts it back — via full resync — as a
+// follower. The same epoch comparison, enforced inside the engine as the
+// write fence (server.HandoffFence), rejects stale-epoch mutations during
+// shard migration.
+package replica
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"repro/internal/kv"
+	"repro/internal/server"
+	"repro/internal/sub"
+	"repro/internal/wire"
+)
+
+// stateKey persists {epoch, role} across restarts; it lives outside every
+// engine key prefix and is excluded from resync snapshots, so installing a
+// leader's snapshot never overwrites the local role.
+const stateKey = "repl/state"
+
+// applyStripes is the number of apply-order locks: the leader holds a
+// stream's stripe across engine apply + log append, so the log's sequence
+// order matches the engine's apply order per stream (followers replay the
+// log single-threaded, which makes cross-stream order irrelevant).
+const applyStripes = 64
+
+// Options parameterizes a replication node.
+type Options struct {
+	// Self is this node's advertised address, matched against
+	// Promote.Leader and reported in LeaseInfoResp.
+	Self string
+	// Lease is the leader's lease interval: shippers heartbeat every
+	// Lease/3, and a router considers the leader dead only after the
+	// lease has lapsed without contact. 0 means DefaultLease.
+	Lease time.Duration
+	// LogBytes is the replication log retention budget (0 = 16 MiB).
+	LogBytes int
+	// StoreSeq reports the durable store's committed sequence for
+	// LeaseInfoResp (nil = always 0); wired to durable.CommittedSeq so
+	// operators can compare replication watermarks against fsync'd
+	// state.
+	StoreSeq func() uint64
+	// Logf receives replication events (role changes, resyncs,
+	// depositions); nil means log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// DefaultLease is the leader lease interval when Options.Lease is 0.
+const DefaultLease = 3 * time.Second
+
+// follower is the leader's view of one replication target.
+type follower struct {
+	addr string
+	// active marks a follower the leader waits on before acknowledging a
+	// write. Followers start active (a healthy follower must see every
+	// write from the first one) and are deactivated only when observed
+	// unreachable — degrading durability rather than availability; a
+	// returning follower reactivates once it acknowledges again.
+	active bool
+	// acked is the highest sequence the follower has acknowledged.
+	acked uint64
+	// notify wakes the shipper when new records are appended.
+	notify chan struct{}
+	stop   chan struct{}
+}
+
+// Node wraps a server.Engine with the replication plane. It implements
+// server.Handler and server.Subscriber, so it drops into the TCP front
+// end (or a test harness) exactly where a bare engine would.
+type Node struct {
+	store kv.Store
+	cfg   server.Config
+	opts  Options
+
+	applyMu [applyStripes]sync.Mutex
+
+	mu         sync.Mutex
+	engine     *server.Engine
+	role       uint8
+	epoch      uint64
+	leader     string // current leader's address ("" when unknown)
+	applied    uint64 // leader: last sequence applied locally
+	watermark  uint64 // follower: last sequence applied from the leader
+	installing bool   // a snapshot install is in progress; reads answer CodeBusy
+	followers  map[string]*follower
+	changed    chan struct{} // closed and replaced on any ack/role change
+	closed     bool
+
+	log *recordLog
+}
+
+// New opens the engine over store and restores the node's persisted
+// replication state: a node that previously led comes back deposed (it
+// must be re-promoted or adopted — self-resuming the lease could split
+// the brain), a previous follower comes back as a follower with an empty
+// watermark (forcing a resync), and a node with no state starts
+// standalone, adoptable by any leader's first frame.
+func New(store kv.Store, cfg server.Config, opts Options) (*Node, error) {
+	engine, err := server.New(store, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Lease <= 0 {
+		opts.Lease = DefaultLease
+	}
+	if opts.Logf == nil {
+		opts.Logf = log.Printf
+	}
+	n := &Node{
+		store:     store,
+		cfg:       cfg,
+		opts:      opts,
+		engine:    engine,
+		role:      wire.ReplStandalone,
+		followers: make(map[string]*follower),
+		changed:   make(chan struct{}),
+		log:       newRecordLog(opts.LogBytes),
+	}
+	if raw, err := store.Get(stateKey); err == nil {
+		d := wire.NewDecoder(raw)
+		epoch, role := d.U64(), d.U8()
+		if d.Err() == nil {
+			n.epoch = epoch
+			switch role {
+			case wire.ReplLeader, wire.ReplDeposed:
+				n.role = wire.ReplDeposed
+				opts.Logf("replica: restarted after leading epoch %d; deposed until re-promoted or adopted", epoch)
+			case wire.ReplFollower:
+				n.role = wire.ReplFollower
+			}
+		}
+	} else if err != kv.ErrNotFound {
+		return nil, err
+	}
+	return n, nil
+}
+
+// Lead bootstraps this node as the group's first leader. It is a no-op
+// (with a warning) when the node carries persisted replication state: a
+// restarted ex-leader must wait to be re-promoted by the router or
+// adopted by the current leader, otherwise two nodes could claim the same
+// epoch.
+func (n *Node) Lead(members []string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.role != wire.ReplStandalone || n.epoch != 0 {
+		n.opts.Logf("replica: not self-promoting over persisted state (role %d, epoch %d); awaiting promotion", n.role, n.epoch)
+		return
+	}
+	n.becomeLeaderLocked(1, members)
+}
+
+// Close stops shippers and releases the node. The engine's store is not
+// closed; the caller owns it.
+func (n *Node) Close() {
+	n.mu.Lock()
+	n.closed = true
+	n.stopShippersLocked()
+	n.bumpLocked()
+	n.mu.Unlock()
+}
+
+// Status reports the node's current replication state for tests and
+// operator tooling: role, epoch, and the applied watermark.
+func (n *Node) Status() (role uint8, epoch, watermark uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.role, n.epoch, n.watermarkLocked()
+}
+
+func (n *Node) watermarkLocked() uint64 {
+	if n.role == wire.ReplLeader {
+		return n.applied
+	}
+	return n.watermark
+}
+
+// bumpLocked wakes every waitDurable waiter and shipper-state observer.
+func (n *Node) bumpLocked() {
+	close(n.changed)
+	n.changed = make(chan struct{})
+}
+
+// persistLocked records {epoch, role} so a restart cannot regress the
+// epoch or silently resume a lease.
+func (n *Node) persistLocked() {
+	var e wire.Encoder
+	e.U64(n.epoch)
+	e.U8(n.role)
+	if err := n.store.Put(stateKey, e.Bytes()); err != nil {
+		n.opts.Logf("replica: persisting state: %v", err)
+	}
+}
+
+func (n *Node) stopShippersLocked() {
+	for _, f := range n.followers {
+		close(f.stop)
+	}
+	n.followers = make(map[string]*follower)
+}
+
+// becomeLeaderLocked takes the lease at epoch for the given follower set
+// (own address excluded). The record log is re-based at watermark+1 so
+// sequence numbers remain comparable across a promotion: an in-sync
+// follower resumes from the log without a snapshot.
+func (n *Node) becomeLeaderLocked(epoch uint64, members []string) {
+	applied := n.watermarkLocked() // a re-promoted leader keeps its progress
+	n.stopShippersLocked()
+	n.role = wire.ReplLeader
+	n.epoch = epoch
+	n.leader = n.opts.Self
+	n.applied = applied
+	n.log.reset(n.applied + 1)
+	for _, addr := range members {
+		if addr == n.opts.Self || addr == "" {
+			continue
+		}
+		if _, dup := n.followers[addr]; dup {
+			continue
+		}
+		f := &follower{addr: addr, active: true, notify: make(chan struct{}, 1), stop: make(chan struct{})}
+		n.followers[addr] = f
+		go n.runShipper(f, epoch)
+	}
+	n.persistLocked()
+	n.bumpLocked()
+	n.opts.Logf("replica: leading epoch %d with %d follower(s)", epoch, len(n.followers))
+}
+
+// becomeFollowerLocked adopts epoch under the given leader. Any
+// leadership state is torn down, and in-flight waitDurable calls fail
+// with CodeNotLeader (the write's outcome is ambiguous, exactly like a
+// broken connection).
+func (n *Node) becomeFollowerLocked(epoch uint64, leader string) {
+	wasLeader := n.role == wire.ReplLeader
+	n.stopShippersLocked()
+	n.role = wire.ReplFollower
+	n.epoch = epoch
+	n.leader = leader
+	if wasLeader {
+		// An ex-leader may hold locally-applied writes the new leader
+		// never saw; force a full resync before serving as a follower.
+		n.watermark = 0
+		n.opts.Logf("replica: deposed by epoch %d; resync required", epoch)
+	}
+	n.persistLocked()
+	n.bumpLocked()
+}
+
+// deposeTo steps down after observing a higher epoch from a frame we sent
+// (a follower refused our records). The node stays deposed — refusing
+// writes — until the new leader adopts it.
+func (n *Node) deposeTo(epoch uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if epoch <= n.epoch && n.role != wire.ReplLeader {
+		return
+	}
+	if epoch > n.epoch {
+		n.epoch = epoch
+	}
+	if n.role == wire.ReplLeader {
+		n.stopShippersLocked()
+		n.role = wire.ReplDeposed
+		n.watermark = 0
+		n.persistLocked()
+		n.bumpLocked()
+		n.opts.Logf("replica: deposed at epoch %d", n.epoch)
+	}
+}
+
+// currentEngine returns the engine to serve reads from, or a CodeBusy
+// error while a snapshot install has the store torn down.
+func (n *Node) currentEngine() (*server.Engine, *wire.Error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.installing {
+		return nil, &wire.Error{Code: wire.CodeBusy, Msg: "replica: snapshot install in progress"}
+	}
+	return n.engine, nil
+}
+
+// isMutation reports whether req changes engine state and therefore must
+// be applied through the leader and replicated. Everything else is a read
+// and may be served by any role.
+func isMutation(req wire.Message) bool {
+	switch m := req.(type) {
+	case *wire.CreateStream, *wire.DeleteStream, *wire.InsertChunk,
+		*wire.DeleteRange, *wire.Rollup, *wire.PutGrant, *wire.DeleteGrant,
+		*wire.PutEnvelopes, *wire.StageRecord, *wire.IngestSnapshot,
+		*wire.HandoffComplete, *wire.TopologyUpdate:
+		return true
+	case *wire.Batch:
+		for _, sub := range m.Reqs {
+			if isMutation(sub) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// Handle implements server.Handler: replication-plane frames are
+// consumed here, client mutations route through the leader path (or are
+// refused with CodeNotLeader), and reads fall through to the wrapped
+// engine.
+func (n *Node) Handle(ctx context.Context, req wire.Message) wire.Message {
+	switch m := req.(type) {
+	case *wire.ReplAppend:
+		return n.handleReplAppend(ctx, m)
+	case *wire.ReplSnapshot:
+		return n.handleReplSnapshot(ctx, m)
+	case *wire.Promote:
+		return n.handlePromote(m)
+	case *wire.LeaseInfo:
+		return n.handleLeaseInfo()
+	}
+	if isMutation(req) {
+		n.mu.Lock()
+		role, epoch, leader := n.role, n.epoch, n.leader
+		n.mu.Unlock()
+		switch role {
+		case wire.ReplLeader:
+			return n.leaderApply(ctx, req, epoch)
+		case wire.ReplFollower, wire.ReplDeposed:
+			return &wire.Error{Code: wire.CodeNotLeader, Aux: epoch, Msg: leader}
+		}
+		// Standalone: an unreplicated engine, plain pass-through.
+	}
+	engine, busy := n.currentEngine()
+	if busy != nil {
+		return busy
+	}
+	return engine.Handle(ctx, req)
+}
+
+// Subscribe implements server.Subscriber by delegating to the wrapped
+// engine: followers serve live subscriptions too, fed by replicated
+// inserts, so watchers survive a failover by redialing any group member.
+func (n *Node) Subscribe(ctx context.Context, req *wire.Subscribe) (sub.Handle, error) {
+	engine, busy := n.currentEngine()
+	if busy != nil {
+		return nil, busy
+	}
+	return engine.Subscribe(ctx, req)
+}
+
+// handleReplAppend applies a leader's record frame. The serve layer
+// chains all replication frames of one connection through
+// wire.ReplRoutingKey, so this runs single-threaded per leader session
+// and the strict-sequencing checks below see a stable watermark.
+func (n *Node) handleReplAppend(ctx context.Context, m *wire.ReplAppend) wire.Message {
+	if m.Epoch == 0 {
+		return &wire.Error{Code: wire.CodeBadRequest, Msg: "replica: epoch 0 is reserved"}
+	}
+	n.mu.Lock()
+	if m.Epoch < n.epoch {
+		defer n.mu.Unlock()
+		return &wire.Error{Code: wire.CodeWrongShard, Aux: n.epoch,
+			Msg: fmt.Sprintf("replica: stale replication epoch %d (current %d)", m.Epoch, n.epoch)}
+	}
+	if m.Epoch > n.epoch || n.role == wire.ReplStandalone || n.role == wire.ReplDeposed {
+		// Adopt the higher (or first) epoch; a live leader steps down.
+		n.becomeFollowerLocked(m.Epoch, n.leader)
+	} else if n.role == wire.ReplLeader {
+		// Equal epoch from another claimant: refuse — the sender must
+		// resolve the conflict through a higher epoch, never silently.
+		defer n.mu.Unlock()
+		return &wire.Error{Code: wire.CodeWrongShard, Aux: n.epoch,
+			Msg: "replica: competing leader at the same epoch"}
+	}
+	watermark := n.watermark
+	engine := n.engine
+	installing := n.installing
+	n.mu.Unlock()
+
+	if installing {
+		return &wire.Error{Code: wire.CodeBusy, Msg: "replica: snapshot install in progress"}
+	}
+	if len(m.Records) == 0 {
+		// Heartbeat: refresh the lease, report the watermark.
+		return &wire.ReplAck{Epoch: m.Epoch, Watermark: watermark}
+	}
+	last := m.FirstSeq + uint64(len(m.Records)) - 1
+	if m.FirstSeq > watermark+1 {
+		// A gap: refuse the whole frame and report how far we actually
+		// got, so the leader reships from there (or falls back to a
+		// snapshot when the log no longer reaches back).
+		return &wire.Error{Code: wire.CodeReplGap, Aux: watermark,
+			Msg: fmt.Sprintf("replica: gap: frame starts at %d, watermark %d", m.FirstSeq, watermark)}
+	}
+	if last <= watermark {
+		// Full duplicate (a retry after a lost ack): acknowledge
+		// idempotently, apply nothing.
+		return &wire.ReplAck{Epoch: m.Epoch, Watermark: watermark}
+	}
+	replayCtx := wire.ContextWithEpoch(ctx, wire.ReplayEpoch)
+	for i, rec := range m.Records {
+		seq := m.FirstSeq + uint64(i)
+		if seq <= watermark {
+			continue // overlap prefix already applied
+		}
+		req, err := wire.Unmarshal(rec)
+		if err != nil {
+			return &wire.Error{Code: wire.CodeBadRequest,
+				Msg: fmt.Sprintf("replica: record %d undecodable: %v", seq, err)}
+		}
+		if !isMutation(req) {
+			return &wire.Error{Code: wire.CodeBadRequest,
+				Msg: fmt.Sprintf("replica: record %d is not a mutation (%T)", seq, req)}
+		}
+		resp := engine.Handle(replayCtx, req)
+		if errMsg, isErr := resp.(*wire.Error); isErr {
+			// The leader only ships mutations that succeeded; an error
+			// here means our state has diverged. Refuse loudly and stop
+			// advancing — the leader will resync us by snapshot.
+			return &wire.Error{Code: wire.CodeInternal,
+				Msg: fmt.Sprintf("replica: record %d (%T) diverged: %s", seq, req, errMsg.Msg)}
+		}
+		watermark = seq
+		n.mu.Lock()
+		n.watermark = seq
+		n.mu.Unlock()
+	}
+	return &wire.ReplAck{Epoch: m.Epoch, Watermark: watermark}
+}
+
+// handleReplSnapshot installs one page of a leader's full-store snapshot.
+// First wipes the local store (the resync replaces everything), Done
+// reopens the engine over the installed state and adopts the snapshot's
+// watermark. Reads answer CodeBusy for the duration.
+func (n *Node) handleReplSnapshot(ctx context.Context, m *wire.ReplSnapshot) wire.Message {
+	if m.Epoch == 0 {
+		return &wire.Error{Code: wire.CodeBadRequest, Msg: "replica: epoch 0 is reserved"}
+	}
+	n.mu.Lock()
+	if m.Epoch < n.epoch {
+		defer n.mu.Unlock()
+		return &wire.Error{Code: wire.CodeWrongShard, Aux: n.epoch,
+			Msg: fmt.Sprintf("replica: stale replication epoch %d (current %d)", m.Epoch, n.epoch)}
+	}
+	if m.Epoch > n.epoch || n.role != wire.ReplFollower {
+		n.becomeFollowerLocked(m.Epoch, n.leader)
+	}
+	if m.First {
+		n.installing = true
+	} else if !n.installing {
+		defer n.mu.Unlock()
+		return &wire.Error{Code: wire.CodeBadRequest, Msg: "replica: snapshot page without First"}
+	}
+	n.mu.Unlock()
+
+	if m.First {
+		if err := n.wipeStore(); err != nil {
+			return &wire.Error{Code: wire.CodeInternal, Msg: fmt.Sprintf("replica: wiping store: %v", err)}
+		}
+	}
+	if len(m.Items) > 0 {
+		ops := make([]kv.Op, 0, len(m.Items))
+		for _, it := range m.Items {
+			ops = append(ops, kv.Op{Kind: kv.OpPut, Key: it.Key, Value: it.Value})
+		}
+		if err := n.store.Batch(ops); err != nil {
+			return &wire.Error{Code: wire.CodeInternal, Msg: fmt.Sprintf("replica: installing page: %v", err)}
+		}
+	}
+	if !m.Done {
+		return &wire.ReplAck{Epoch: m.Epoch, Watermark: 0}
+	}
+	engine, err := server.New(n.store, n.cfg)
+	if err != nil {
+		return &wire.Error{Code: wire.CodeInternal, Msg: fmt.Sprintf("replica: reopening engine: %v", err)}
+	}
+	n.mu.Lock()
+	n.engine = engine
+	n.watermark = m.Watermark
+	n.installing = false
+	n.persistLocked() // the wipe deleted our state key; restore it
+	n.mu.Unlock()
+	n.opts.Logf("replica: resynced by snapshot at epoch %d, watermark %d", m.Epoch, m.Watermark)
+	return &wire.ReplAck{Epoch: m.Epoch, Watermark: m.Watermark}
+}
+
+// wipeStore deletes every key, in batches, ahead of a snapshot install.
+func (n *Node) wipeStore() error {
+	var keys []string
+	if err := n.store.Scan("", func(key string, _ []byte) bool {
+		keys = append(keys, key)
+		return true
+	}); err != nil {
+		return err
+	}
+	for len(keys) > 0 {
+		batch := keys
+		if len(batch) > 1024 {
+			batch = batch[:1024]
+		}
+		ops := make([]kv.Op, len(batch))
+		for i, k := range batch {
+			ops[i] = kv.Op{Kind: kv.OpDelete, Key: k}
+		}
+		if err := n.store.Batch(ops); err != nil {
+			return err
+		}
+		keys = keys[len(batch):]
+	}
+	return nil
+}
+
+// handlePromote executes the router's failover (or bootstrap) decision:
+// at a strictly higher epoch, the named node takes the lease and everyone
+// else follows it.
+func (n *Node) handlePromote(m *wire.Promote) wire.Message {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if m.Epoch <= n.epoch {
+		return &wire.Error{Code: wire.CodeWrongShard, Aux: n.epoch,
+			Msg: fmt.Sprintf("replica: promotion epoch %d is not above %d", m.Epoch, n.epoch)}
+	}
+	if m.Leader == n.opts.Self {
+		n.becomeLeaderLocked(m.Epoch, m.Members)
+	} else {
+		n.becomeFollowerLocked(m.Epoch, m.Leader)
+	}
+	return &wire.ReplAck{Epoch: n.epoch, Watermark: n.watermarkLocked()}
+}
+
+// handleLeaseInfo reports the node's replication state for routers and
+// operator tooling.
+func (n *Node) handleLeaseInfo() wire.Message {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	resp := &wire.LeaseInfoResp{
+		Role:      n.role,
+		Epoch:     n.epoch,
+		Watermark: n.watermarkLocked(),
+		LeaseMS:   n.opts.Lease.Milliseconds(),
+		Leader:    n.leader,
+	}
+	if n.opts.StoreSeq != nil {
+		resp.StoreSeq = n.opts.StoreSeq()
+	}
+	if n.role == wire.ReplLeader {
+		resp.Members = append(resp.Members, n.opts.Self)
+		for addr := range n.followers {
+			resp.Members = append(resp.Members, addr)
+		}
+	}
+	return resp
+}

@@ -1,0 +1,346 @@
+package replica
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/chunk"
+	"repro/internal/kv"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+var testSpec = chunk.DigestSpec{Sum: true, Count: true}
+
+func testCfg() wire.StreamConfig {
+	specBytes, _ := testSpec.MarshalBinary()
+	return wire.StreamConfig{
+		Epoch: 0, Interval: 100, VectorLen: uint32(testSpec.VectorLen()),
+		Fanout: 8, DigestSpec: specBytes,
+	}
+}
+
+func testSealedChunk(t testing.TB, idx uint64) []byte {
+	t.Helper()
+	start := int64(idx) * 100
+	sealed, err := chunk.SealPlain(testSpec, chunk.CompressionNone, idx, start, start+100,
+		[]chunk.Point{{TS: start, Val: int64(idx + 1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return chunk.MarshalSealed(sealed)
+}
+
+// testNode is one replication group member served over real TCP.
+type testNode struct {
+	node  *Node
+	store kv.Store
+	addr  string
+	srv   *server.Server
+	stop  func()
+}
+
+// startNode serves a fresh Node on a loopback listener. lease keeps test
+// heartbeats and failure detection fast.
+func startNode(t testing.TB, lease time.Duration) *testNode {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := kv.NewMemStore()
+	node, err := New(store, server.Config{}, Options{
+		Self:  lis.Addr().String(),
+		Lease: lease,
+		Logf:  func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.NewServer(node, func(string, ...any) {})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); srv.Serve(ctx, lis) }()
+	tn := &testNode{node: node, store: store, addr: lis.Addr().String(), srv: srv}
+	tn.stop = func() {
+		node.Close()
+		cancel()
+		srv.Close()
+		<-done
+	}
+	t.Cleanup(tn.stop)
+	return tn
+}
+
+func isOK(m wire.Message) bool { _, ok := m.(*wire.OK); return ok }
+
+// waitFor polls until cond holds or the deadline lapses.
+func waitFor(t testing.TB, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// statBytes marshals a node's StatRange response so replicas can be
+// compared byte for byte.
+func statBytes(t testing.TB, n *Node, uuid string) []byte {
+	t.Helper()
+	resp := n.Handle(context.Background(), &wire.StatRange{
+		UUIDs: []string{uuid}, Ts: 0, Te: 1 << 40, WindowChunks: 4,
+	})
+	if _, isErr := resp.(*wire.Error); isErr {
+		t.Fatalf("StatRange -> %#v", resp)
+	}
+	return wire.Marshal(resp)
+}
+
+func TestLeaderReplicatesToFollower(t *testing.T) {
+	follower := startNode(t, 200*time.Millisecond)
+	leader := startNode(t, 200*time.Millisecond)
+	leader.node.Lead([]string{follower.addr})
+
+	ctx := context.Background()
+	if resp := leader.node.Handle(ctx, &wire.CreateStream{UUID: "s1", Cfg: testCfg()}); !isOK(resp) {
+		t.Fatalf("CreateStream -> %#v", resp)
+	}
+	for i := uint64(0); i < 10; i++ {
+		if resp := leader.node.Handle(ctx, &wire.InsertChunk{UUID: "s1", Chunk: testSealedChunk(t, i)}); !isOK(resp) {
+			t.Fatalf("InsertChunk(%d) -> %#v", i, resp)
+		}
+		// Read-your-writes: the insert was acknowledged only after the
+		// follower applied it, so the follower must see it now.
+		info, ok := follower.node.Handle(ctx, &wire.StreamInfo{UUID: "s1"}).(*wire.StreamInfoResp)
+		if !ok || info.Count != i+1 {
+			t.Fatalf("follower count after insert %d: %#v", i, info)
+		}
+	}
+	if got, want := statBytes(t, follower.node, "s1"), statBytes(t, leader.node, "s1"); !bytes.Equal(got, want) {
+		t.Error("follower StatRange diverged from leader")
+	}
+	role, epoch, wm := follower.node.Status()
+	if role != wire.ReplFollower || epoch != 1 || wm != 11 {
+		t.Errorf("follower status: role=%d epoch=%d watermark=%d", role, epoch, wm)
+	}
+}
+
+func TestFollowerRefusesClientWrites(t *testing.T) {
+	follower := startNode(t, 200*time.Millisecond)
+	leader := startNode(t, 200*time.Millisecond)
+	leader.node.Lead([]string{follower.addr})
+	ctx := context.Background()
+	if resp := leader.node.Handle(ctx, &wire.CreateStream{UUID: "s1", Cfg: testCfg()}); !isOK(resp) {
+		t.Fatalf("CreateStream -> %#v", resp)
+	}
+	waitFor(t, "follower adoption", func() bool {
+		role, _, _ := follower.node.Status()
+		return role == wire.ReplFollower
+	})
+	errMsg, ok := follower.node.Handle(ctx, &wire.InsertChunk{UUID: "s1", Chunk: testSealedChunk(t, 0)}).(*wire.Error)
+	if !ok || errMsg.Code != wire.CodeNotLeader {
+		t.Fatalf("follower write -> %#v", errMsg)
+	}
+	if errMsg.Aux != 1 {
+		t.Errorf("CodeNotLeader epoch = %d, want 1", errMsg.Aux)
+	}
+	// Reads keep working on the follower.
+	if resp := follower.node.Handle(ctx, &wire.StreamInfo{UUID: "s1"}); resp == nil {
+		t.Fatal("follower read failed")
+	}
+}
+
+func TestPromoteFailoverAndDeposedLeader(t *testing.T) {
+	follower := startNode(t, 100*time.Millisecond)
+	leader := startNode(t, 100*time.Millisecond)
+	leader.node.Lead([]string{follower.addr})
+
+	ctx := context.Background()
+	if resp := leader.node.Handle(ctx, &wire.CreateStream{UUID: "s1", Cfg: testCfg()}); !isOK(resp) {
+		t.Fatalf("CreateStream -> %#v", resp)
+	}
+	for i := uint64(0); i < 5; i++ {
+		if resp := leader.node.Handle(ctx, &wire.InsertChunk{UUID: "s1", Chunk: testSealedChunk(t, i)}); !isOK(resp) {
+			t.Fatalf("InsertChunk(%d) -> %#v", i, resp)
+		}
+	}
+	before := statBytes(t, leader.node, "s1")
+
+	// Failover: promote the follower at a higher epoch, naming the old
+	// leader as a member so it gets adopted back.
+	ack, ok := follower.node.Handle(ctx, &wire.Promote{
+		Epoch: 2, Leader: follower.addr, Members: []string{follower.addr, leader.addr},
+	}).(*wire.ReplAck)
+	if !ok || ack.Epoch != 2 {
+		t.Fatalf("Promote -> %#v", ack)
+	}
+	role, epoch, _ := follower.node.Status()
+	if role != wire.ReplLeader || epoch != 2 {
+		t.Fatalf("promoted follower: role=%d epoch=%d", role, epoch)
+	}
+	// Every acknowledged chunk survives, byte for byte.
+	if got := statBytes(t, follower.node, "s1"); !bytes.Equal(got, before) {
+		t.Error("promoted follower lost acknowledged data")
+	}
+
+	// The old leader learns of the higher epoch from its own shipping (or
+	// from the new leader's adoption) and stops accepting writes.
+	waitFor(t, "old leader deposed", func() bool {
+		role, _, _ := leader.node.Status()
+		return role != wire.ReplLeader
+	})
+	resp := leader.node.Handle(ctx, &wire.InsertChunk{UUID: "s1", Chunk: testSealedChunk(t, 5)})
+	if errMsg, isErr := resp.(*wire.Error); !isErr || errMsg.Code != wire.CodeNotLeader {
+		t.Fatalf("deposed leader accepted a write: %#v", resp)
+	}
+
+	// The new leader resyncs the ex-leader (watermark reset forces a
+	// snapshot) and then writes replicate to it as a follower.
+	waitFor(t, "ex-leader resynced", func() bool {
+		role, epoch, wm := leader.node.Status()
+		return role == wire.ReplFollower && epoch == 2 && wm >= 6
+	})
+	if resp := follower.node.Handle(ctx, &wire.InsertChunk{UUID: "s1", Chunk: testSealedChunk(t, 5)}); !isOK(resp) {
+		t.Fatalf("write on new leader -> %#v", resp)
+	}
+	if got, want := statBytes(t, leader.node, "s1"), statBytes(t, follower.node, "s1"); !bytes.Equal(got, want) {
+		t.Error("ex-leader diverged after rejoining as follower")
+	}
+}
+
+func TestSnapshotResyncFromTrimmedLog(t *testing.T) {
+	follower := startNode(t, 100*time.Millisecond)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := kv.NewMemStore()
+	// A one-byte log budget trims every acknowledged record away, so a
+	// late-joining follower can never catch up from the log.
+	node, err := New(store, server.Config{}, Options{
+		Self: lis.Addr().String(), Lease: 100 * time.Millisecond,
+		LogBytes: 1, Logf: func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	node.Lead(nil) // no followers yet
+
+	ctx := context.Background()
+	if resp := node.Handle(ctx, &wire.CreateStream{UUID: "s1", Cfg: testCfg()}); !isOK(resp) {
+		t.Fatalf("CreateStream -> %#v", resp)
+	}
+	for i := uint64(0); i < 8; i++ {
+		if resp := node.Handle(ctx, &wire.InsertChunk{UUID: "s1", Chunk: testSealedChunk(t, i)}); !isOK(resp) {
+			t.Fatalf("InsertChunk(%d) -> %#v", i, resp)
+		}
+	}
+	// Re-promote with the follower in the group: its watermark 0 is far
+	// behind the trimmed log, forcing a full snapshot resync.
+	if resp := node.Handle(ctx, &wire.Promote{
+		Epoch: 2, Leader: lis.Addr().String(),
+		Members: []string{lis.Addr().String(), follower.addr},
+	}); resp == nil {
+		t.Fatal("Promote failed")
+	}
+	waitFor(t, "snapshot resync", func() bool {
+		role, epoch, wm := follower.node.Status()
+		return role == wire.ReplFollower && epoch == 2 && wm >= 9
+	})
+	if got, want := statBytes(t, follower.node, "s1"), statBytes(t, node, "s1"); !bytes.Equal(got, want) {
+		t.Error("resynced follower diverged from leader")
+	}
+	// And the pipeline keeps flowing after the resync.
+	if resp := node.Handle(ctx, &wire.InsertChunk{UUID: "s1", Chunk: testSealedChunk(t, 8)}); !isOK(resp) {
+		t.Fatalf("post-resync insert -> %#v", resp)
+	}
+	info, ok := follower.node.Handle(ctx, &wire.StreamInfo{UUID: "s1"}).(*wire.StreamInfoResp)
+	if !ok || info.Count != 9 {
+		t.Errorf("follower count after post-resync insert: %#v", info)
+	}
+}
+
+func TestRestartedLeaderComesBackDeposed(t *testing.T) {
+	store := kv.NewMemStore()
+	node, err := New(store, server.Config{}, Options{Self: "a:1", Logf: func(string, ...any) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node.Lead(nil)
+	node.Close()
+
+	reborn, err := New(store, server.Config{}, Options{Self: "a:1", Logf: func(string, ...any) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reborn.Close()
+	role, epoch, _ := reborn.Status()
+	if role != wire.ReplDeposed || epoch != 1 {
+		t.Fatalf("restarted leader: role=%d epoch=%d, want deposed at epoch 1", role, epoch)
+	}
+	// It refuses writes until re-promoted or adopted...
+	resp := reborn.Handle(context.Background(), &wire.CreateStream{UUID: "x", Cfg: testCfg()})
+	if errMsg, isErr := resp.(*wire.Error); !isErr || errMsg.Code != wire.CodeNotLeader {
+		t.Fatalf("deposed node accepted a write: %#v", resp)
+	}
+	// ...and Lead is a no-op over persisted state (no self-promotion).
+	reborn.Lead(nil)
+	if role, _, _ := reborn.Status(); role != wire.ReplDeposed {
+		t.Error("restarted ex-leader self-promoted")
+	}
+	// An explicit re-promotion at a higher epoch restores it.
+	if ack, ok := reborn.Handle(context.Background(), &wire.Promote{Epoch: 2, Leader: "a:1"}).(*wire.ReplAck); !ok || ack.Epoch != 2 {
+		t.Fatalf("re-promotion failed: %#v", ack)
+	}
+	if role, _, _ := reborn.Status(); role != wire.ReplLeader {
+		t.Error("re-promoted node is not leading")
+	}
+}
+
+func TestStandaloneNodePassesThrough(t *testing.T) {
+	node, err := New(kv.NewMemStore(), server.Config{}, Options{Self: "a:1", Logf: func(string, ...any) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	ctx := context.Background()
+	if resp := node.Handle(ctx, &wire.CreateStream{UUID: "s", Cfg: testCfg()}); !isOK(resp) {
+		t.Fatalf("CreateStream -> %#v", resp)
+	}
+	if resp := node.Handle(ctx, &wire.InsertChunk{UUID: "s", Chunk: testSealedChunk(t, 0)}); !isOK(resp) {
+		t.Fatalf("InsertChunk -> %#v", resp)
+	}
+	li, ok := node.Handle(ctx, &wire.LeaseInfo{}).(*wire.LeaseInfoResp)
+	if !ok || li.Role != wire.ReplStandalone {
+		t.Fatalf("LeaseInfo -> %#v", li)
+	}
+}
+
+func TestLeaseInfoReportsGroup(t *testing.T) {
+	follower := startNode(t, 200*time.Millisecond)
+	leader := startNode(t, 200*time.Millisecond)
+	leader.node.Lead([]string{follower.addr})
+	li, ok := leader.node.Handle(context.Background(), &wire.LeaseInfo{}).(*wire.LeaseInfoResp)
+	if !ok || li.Role != wire.ReplLeader || li.Epoch != 1 || len(li.Members) != 2 {
+		t.Fatalf("leader LeaseInfo -> %#v", li)
+	}
+	if li.LeaseMS != 200 {
+		t.Errorf("LeaseMS = %d, want 200", li.LeaseMS)
+	}
+	waitFor(t, "follower adoption", func() bool {
+		role, _, _ := follower.node.Status()
+		return role == wire.ReplFollower
+	})
+	fli, ok := follower.node.Handle(context.Background(), &wire.LeaseInfo{}).(*wire.LeaseInfoResp)
+	if !ok || fli.Role != wire.ReplFollower || fli.Epoch != 1 {
+		t.Fatalf("follower LeaseInfo -> %#v", fli)
+	}
+}

@@ -1,0 +1,346 @@
+package replica
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/wire"
+)
+
+// maxShipBytes bounds one ReplAppend frame's record payload; a lagging
+// follower catches up in bounded bites that stay well under the frame
+// size limit.
+const maxShipBytes = 1 << 20
+
+// maxSnapshotPageBytes bounds one ReplSnapshot page.
+const maxSnapshotPageBytes = 1 << 20
+
+// leaderApply is the leader's mutation path: apply locally, append the
+// marshaled request to the record log, and acknowledge only once every
+// active follower has applied it. The stream's apply stripe is held
+// across engine apply + log append so the log's order matches the
+// engine's per-stream apply order (followers replay single-threaded).
+func (n *Node) leaderApply(ctx context.Context, req wire.Message, epoch uint64) wire.Message {
+	unlock := n.lockApply(req)
+	engine, busy := n.currentEngine()
+	if busy != nil {
+		unlock()
+		return busy
+	}
+	resp := engine.Handle(ctx, req)
+	if _, isErr := resp.(*wire.Error); isErr {
+		// A failed mutation changed nothing; nothing to replicate.
+		unlock()
+		return resp
+	}
+	seq := n.log.append(wire.Marshal(req))
+	n.mu.Lock()
+	if seq > n.applied {
+		n.applied = seq
+	}
+	n.mu.Unlock()
+	unlock()
+	n.notifyShippers()
+	if err := n.waitDurable(ctx, seq, epoch); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	min := n.minAckedLocked()
+	n.mu.Unlock()
+	n.log.trimTo(min)
+	return resp
+}
+
+// lockApply takes the request's per-stream apply stripe, or every stripe
+// (in order, to stay deadlock-free) for requests without a routing key.
+func (n *Node) lockApply(req wire.Message) func() {
+	if uuid, ok := wire.RoutingUUID(req); ok {
+		h := fnv.New32a()
+		h.Write([]byte(uuid))
+		m := &n.applyMu[h.Sum32()%applyStripes]
+		m.Lock()
+		return m.Unlock
+	}
+	for i := range n.applyMu {
+		n.applyMu[i].Lock()
+	}
+	return func() {
+		for i := range n.applyMu {
+			n.applyMu[i].Unlock()
+		}
+	}
+}
+
+func (n *Node) notifyShippers() {
+	n.mu.Lock()
+	for _, f := range n.followers {
+		select {
+		case f.notify <- struct{}{}:
+		default:
+		}
+	}
+	n.mu.Unlock()
+}
+
+// waitDurable blocks until every active follower has acknowledged seq,
+// the context expires, or the node loses the lease (the write's outcome
+// is then ambiguous — same contract as a broken connection).
+func (n *Node) waitDurable(ctx context.Context, seq, epoch uint64) *wire.Error {
+	n.mu.Lock()
+	for {
+		if n.closed || n.role != wire.ReplLeader || n.epoch != epoch {
+			leader := n.leader
+			cur := n.epoch
+			n.mu.Unlock()
+			return &wire.Error{Code: wire.CodeNotLeader, Aux: cur,
+				Msg: leader}
+		}
+		pending := false
+		for _, f := range n.followers {
+			if f.active && f.acked < seq {
+				pending = true
+				break
+			}
+		}
+		if !pending {
+			n.mu.Unlock()
+			return nil
+		}
+		ch := n.changed
+		n.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return &wire.Error{Code: wire.CodeCanceled,
+				Msg: fmt.Sprintf("replica: replication wait: %v", ctx.Err())}
+		}
+		n.mu.Lock()
+	}
+}
+
+// minAckedLocked returns the lowest acknowledged sequence across active
+// followers (the leader's own applied sequence when none are active);
+// the log may trim up to it.
+func (n *Node) minAckedLocked() uint64 {
+	min := n.applied
+	for _, f := range n.followers {
+		if f.active && f.acked < min {
+			min = f.acked
+		}
+	}
+	return min
+}
+
+// runShipper drives one follower: it ships log suffixes as ReplAppend
+// frames, heartbeats when idle, falls back to a full snapshot when the
+// follower is behind the log's tail, and marks the follower inactive
+// (degrading durability, not availability) while it is unreachable.
+func (n *Node) runShipper(f *follower, epoch uint64) {
+	heartbeat := n.opts.Lease / 3
+	if heartbeat <= 0 {
+		heartbeat = time.Second
+	}
+	var tr *client.TCP
+	defer func() {
+		if tr != nil {
+			tr.Close()
+		}
+	}()
+	backoff := 50 * time.Millisecond
+	deactivate := func() {
+		n.mu.Lock()
+		if f.active {
+			f.active = false
+			n.bumpLocked()
+			n.opts.Logf("replica: follower %s unreachable; continuing without it", f.addr)
+		}
+		n.mu.Unlock()
+	}
+	sleep := func(d time.Duration) bool {
+		select {
+		case <-f.stop:
+			return false
+		case <-time.After(d):
+			return true
+		}
+	}
+	for {
+		select {
+		case <-f.stop:
+			return
+		default:
+		}
+		if tr == nil {
+			var err error
+			tr, err = client.DialTCP(f.addr)
+			if err != nil {
+				deactivate()
+				if !sleep(backoff) {
+					return
+				}
+				if backoff < n.opts.Lease {
+					backoff *= 2
+				}
+				continue
+			}
+			backoff = 50 * time.Millisecond
+		}
+
+		n.mu.Lock()
+		acked := f.acked
+		n.mu.Unlock()
+		first, recs, ok := n.log.from(acked+1, maxShipBytes)
+		if !ok {
+			// The follower is behind the log's tail: full resync.
+			wm, err := n.sendSnapshot(tr, epoch)
+			if err != nil {
+				n.opts.Logf("replica: snapshot to %s: %v", f.addr, err)
+				deactivate()
+				if !sleep(backoff) {
+					return
+				}
+				continue
+			}
+			n.mu.Lock()
+			f.acked = wm
+			f.active = true
+			n.bumpLocked()
+			n.mu.Unlock()
+			continue
+		}
+		if len(recs) == 0 {
+			// Caught up: wait for work, heartbeating to keep the lease
+			// observable (and to learn promptly if we were deposed).
+			select {
+			case <-f.stop:
+				return
+			case <-f.notify:
+				continue
+			case <-time.After(heartbeat):
+			}
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), n.opts.Lease)
+		resp, err := tr.RoundTrip(ctx, &wire.ReplAppend{Epoch: epoch, FirstSeq: first, Records: recs})
+		cancel()
+		if err != nil {
+			deactivate()
+			if !sleep(backoff) {
+				return
+			}
+			continue
+		}
+		switch r := resp.(type) {
+		case *wire.ReplAck:
+			n.mu.Lock()
+			if r.Watermark > f.acked {
+				f.acked = r.Watermark
+			}
+			if !f.active {
+				f.active = true
+				n.opts.Logf("replica: follower %s active at watermark %d", f.addr, f.acked)
+			}
+			n.bumpLocked()
+			min := n.minAckedLocked()
+			n.mu.Unlock()
+			n.log.trimTo(min)
+		case *wire.Error:
+			switch r.Code {
+			case wire.CodeReplGap:
+				// Reship from where the follower actually is.
+				n.mu.Lock()
+				f.acked = r.Aux
+				n.mu.Unlock()
+			case wire.CodeWrongShard:
+				// The follower knows a higher epoch: we are deposed.
+				n.deposeTo(r.Aux)
+				return
+			case wire.CodeBusy:
+				if !sleep(backoff) {
+					return
+				}
+			default:
+				n.opts.Logf("replica: follower %s refused append: %s", f.addr, r.Msg)
+				deactivate()
+				if !sleep(backoff) {
+					return
+				}
+			}
+		default:
+			n.opts.Logf("replica: follower %s: unexpected response %T", f.addr, resp)
+			deactivate()
+			if !sleep(backoff) {
+				return
+			}
+		}
+	}
+}
+
+// snapshotDump captures a consistent full-store image: every apply stripe
+// is held, freezing mutations, while keys are copied out (the node's own
+// replication state is excluded — roles don't replicate). It returns the
+// image and the applied sequence it corresponds to.
+func (n *Node) snapshotDump() ([]wire.KVItem, uint64, error) {
+	unlock := n.lockApply(&wire.TopologyUpdate{}) // no routing key: all stripes
+	defer unlock()
+	var items []wire.KVItem
+	err := n.store.Scan("", func(key string, value []byte) bool {
+		if key == stateKey {
+			return true
+		}
+		items = append(items, wire.KVItem{Key: key, Value: append([]byte(nil), value...)})
+		return true
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	n.mu.Lock()
+	applied := n.applied
+	n.mu.Unlock()
+	return items, applied, nil
+}
+
+// sendSnapshot resyncs one follower with a paged full snapshot and
+// returns the watermark the follower adopted.
+func (n *Node) sendSnapshot(tr *client.TCP, epoch uint64) (uint64, error) {
+	items, watermark, err := n.snapshotDump()
+	if err != nil {
+		return 0, err
+	}
+	n.opts.Logf("replica: resyncing follower by snapshot: %d keys at watermark %d", len(items), watermark)
+	first := true
+	for {
+		var page []wire.KVItem
+		bytes := 0
+		for len(items) > 0 && len(page) < wire.MaxSnapshotItems {
+			it := items[0]
+			if bytes > 0 && bytes+len(it.Key)+len(it.Value) > maxSnapshotPageBytes {
+				break
+			}
+			bytes += len(it.Key) + len(it.Value)
+			page = append(page, it)
+			items = items[1:]
+		}
+		done := len(items) == 0
+		ctx, cancel := context.WithTimeout(context.Background(), 4*n.opts.Lease)
+		resp, err := tr.RoundTrip(ctx, &wire.ReplSnapshot{
+			Epoch: epoch, Watermark: watermark, First: first, Done: done, Items: page,
+		})
+		cancel()
+		if err != nil {
+			return 0, err
+		}
+		if e, isErr := resp.(*wire.Error); isErr {
+			if e.Code == wire.CodeWrongShard {
+				n.deposeTo(e.Aux)
+			}
+			return 0, e
+		}
+		if done {
+			return watermark, nil
+		}
+		first = false
+	}
+}

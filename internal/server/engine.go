@@ -71,6 +71,14 @@ type Engine struct {
 	// aggregates updated on every ingest and fanned out to watchers.
 	// Publish calls cost one atomic load while nothing is subscribed.
 	subs *sub.Broker
+
+	// fences are armed write fences: UUID -> the epoch below which
+	// mutations are rejected (see fence.go). fenceGates stripe the
+	// check-then-apply span so arming can barrier against in-flight
+	// writes; in-memory only by design.
+	fenceMu    sync.RWMutex
+	fences     map[string]uint64
+	fenceGates []sync.RWMutex
 }
 
 // topology is the engine's stored copy of the cluster membership.
@@ -124,7 +132,8 @@ func New(store kv.Store, cfg Config) (*Engine, error) {
 		n++
 	}
 	e := &Engine{store: store, cfg: cfg, stripes: make([]streamStripe, n), mask: uint32(n - 1),
-		moved: make(map[string]uint64), subs: sub.NewBroker()}
+		moved: make(map[string]uint64), subs: sub.NewBroker(),
+		fences: make(map[string]uint64), fenceGates: make([]sync.RWMutex, n)}
 	for i := range e.stripes {
 		e.stripes[i].streams = make(map[string]*stream)
 	}

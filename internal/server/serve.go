@@ -39,6 +39,17 @@ func (e *Engine) Handle(ctx context.Context, req wire.Message) wire.Message {
 	if err := ctx.Err(); err != nil {
 		return toError(err)
 	}
+	if uuid, ok := fencedOp(req); ok {
+		// Fenced mutations run with the fence gate held shared across
+		// check and apply, so arming a fence (HandoffFence) can barrier
+		// against every write that passed an unfenced check.
+		g := e.fenceGate(uuid)
+		g.RLock()
+		defer g.RUnlock()
+		if errMsg := e.checkFence(ctx, uuid); errMsg != nil {
+			return errMsg
+		}
+	}
 	switch m := req.(type) {
 	case *wire.Batch:
 		return e.handleBatch(ctx, m)
@@ -129,6 +140,12 @@ func (e *Engine) Handle(ctx context.Context, req wire.Message) wire.Message {
 		return &wire.TopologyInfoResp{Epoch: epoch, Members: members}
 	case *wire.TopologyUpdate:
 		return respond(e.SetTopology(m.Epoch, m.Members))
+	case *wire.LeaseInfo:
+		// A bare engine has no replication group; a replica.Node wrapping
+		// it intercepts this request and reports its real role.
+		return &wire.LeaseInfoResp{Role: wire.ReplStandalone}
+	case *wire.ReplAppend, *wire.ReplSnapshot, *wire.Promote:
+		return &wire.Error{Code: wire.CodeBadRequest, Msg: "server: replication is not configured on this node"}
 	case *wire.Reshard:
 		return &wire.Error{Code: wire.CodeBadRequest, Msg: "server: reshard is a routing-tier operation; send it to a cluster router"}
 	default:
@@ -174,9 +191,21 @@ func (e *Engine) handleBatch(ctx context.Context, b *wire.Batch) wire.Message {
 				if len(blobs) == 1 {
 					resps[idxs[x]] = e.Handle(ctx, b.Reqs[idxs[x]])
 				} else {
-					for k, err := range e.InsertChunkBatch(uuid, blobs) {
-						resps[idxs[x+k]] = respond(err)
+					// The coalesced path bypasses Handle, so it takes the
+					// fence gate itself (never nested with Handle's: each
+					// sub-request acquires the gate only for its own span).
+					g := e.fenceGate(uuid)
+					g.RLock()
+					if errMsg := e.checkFence(ctx, uuid); errMsg != nil {
+						for k := range blobs {
+							resps[idxs[x+k]] = errMsg
+						}
+					} else {
+						for k, err := range e.InsertChunkBatch(uuid, blobs) {
+							resps[idxs[x+k]] = respond(err)
+						}
 					}
+					g.RUnlock()
 				}
 				x = y
 			}
@@ -362,11 +391,12 @@ func (s *Server) serveConn(ctx context.Context, conn net.Conn) {
 		var (
 			id        uint64
 			timeoutMS int64
+			epoch     uint64
 			req       wire.Message
 		)
 		fb, err := wire.ReadFrameBuf(br)
 		if err == nil {
-			id, timeoutMS, req, err = wire.DecodeRequest(fb.Bytes())
+			id, timeoutMS, epoch, req, err = wire.DecodeRequest(fb.Bytes())
 			fb.Release()
 		}
 		if err != nil {
@@ -410,6 +440,9 @@ func (s *Server) serveConn(ctx context.Context, conn net.Conn) {
 		if timeoutMS > 0 {
 			reqCtx, cancel = context.WithTimeout(connCtx, time.Duration(timeoutMS)*time.Millisecond)
 		}
+		// The sender's epoch (v6 envelope) rides the request context down
+		// to the engine's write-fence check.
+		reqCtx = wire.ContextWithEpoch(reqCtx, epoch)
 		if snap, ok := req.(*wire.StreamSnapshot); ok && snap.Push {
 			// Streamed stream-export for migration: successive
 			// SnapshotChunk pages pushed under one correlation ID,

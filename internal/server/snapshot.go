@@ -262,6 +262,8 @@ func (e *Engine) HandoffComplete(uuid string, epoch uint64, action uint8) error 
 		return e.handoffAbort(uuid)
 	case wire.HandoffReclaim:
 		return e.handoffReclaim(uuid)
+	case wire.HandoffFence:
+		return e.handoffFence(uuid, epoch)
 	default:
 		return fmt.Errorf("server: unknown handoff action %d", action)
 	}
@@ -306,6 +308,8 @@ func (e *Engine) handoffCommit(uuid string) error {
 // same epoch is a no-op, so a coordinator retry after a lost response
 // converges.
 func (e *Engine) handoffRelease(uuid string, epoch uint64) error {
+	// The tombstone takes over rejection duty from any armed drain fence.
+	e.liftFence(uuid)
 	st := e.stripeFor(uuid)
 	st.mu.Lock()
 	_, live := st.streams[uuid]

@@ -1,0 +1,35 @@
+package wire
+
+import "context"
+
+// The sender's epoch travels with a request as a context value so the
+// Handler interface (and every implementation between the front end and
+// the engine) stays unchanged: the TCP front end stamps the envelope epoch
+// into the request context, a cluster router stamps its routing-table
+// epoch before dispatching, the client session reads it back out when
+// writing the envelope, and the engine's write-fence check consumes it.
+
+type epochCtxKey struct{}
+
+// ReplayEpoch is the epoch a replication follower applies shipped records
+// under: the leader already passed every fence check when it applied the
+// record, so replay must never be refused by a fence the follower happens
+// to hold.
+const ReplayEpoch = ^uint64(0)
+
+// ContextWithEpoch returns ctx carrying the sender's epoch. Epoch 0 (no
+// epoch asserted) is the same as not calling it.
+func ContextWithEpoch(ctx context.Context, epoch uint64) context.Context {
+	if epoch == 0 {
+		return ctx
+	}
+	return context.WithValue(ctx, epochCtxKey{}, epoch)
+}
+
+// EpochFromContext reports the sender's epoch carried by ctx, 0 if none.
+func EpochFromContext(ctx context.Context) uint64 {
+	if v, ok := ctx.Value(epochCtxKey{}).(uint64); ok {
+		return v
+	}
+	return 0
+}

@@ -23,10 +23,16 @@ const MaxFrameSize = 64 << 20
 // Subscribe/SubscribeResp/SubEvent push server-maintained encrypted window
 // aggregates over the v3 streamed-response path, and Unsubscribe joins
 // StreamCredit as connection-level flow control on correlation ID 0.
+// Version 6 added per-shard replication and the write fence: the request
+// envelope gained the sender's epoch (a router's topology epoch, or a
+// replication group's lease epoch — 0 for plain clients), engines reject
+// stale-epoch writes to fenced streams, and the
+// ReplAppend/ReplAck/ReplSnapshot/Promote/LeaseInfo messages ship a
+// leader's mutation log to followers and drive failover.
 // Servers reject other versions with an Error frame on correlation ID 0
 // before closing the connection, so mixed deployments fail loudly rather
 // than desyncing frames. The full spec lives in docs/PROTOCOL.md.
-const ProtoVersion = 5
+const ProtoVersion = 6
 
 // ErrProtoVersion reports a request framed for a different protocol
 // version. The server front end matches on it to answer a parseable error
@@ -110,11 +116,27 @@ func ReadMessage(r io.Reader) (Message, error) {
 // deadline slightly generous, never spuriously expired. The message
 // encodes in place after the header (no intermediate buffer — this is the
 // ingest hot path).
+//
+// Version 6 added the sender's epoch to the envelope; WriteRequest sends
+// epoch 0 (a plain client with no epoch to assert) — senders acting on an
+// epoch'd view (cluster routers, replication leaders) use
+// WriteRequestEpoch.
 func WriteRequest(w io.Writer, id uint64, timeoutMS int64, m Message) error {
+	return WriteRequestEpoch(w, id, timeoutMS, 0, m)
+}
+
+// WriteRequestEpoch is WriteRequest with an explicit sender epoch: the
+// topology epoch of the routing table (or lease epoch of the replication
+// role) the sender believes it is acting under. Engines compare it against
+// per-stream write fences and reject stale-epoch mutations
+// (CodeWrongShard), which is what makes reshard drains and leader failover
+// lose nothing.
+func WriteRequestEpoch(w io.Writer, id uint64, timeoutMS int64, epoch uint64, m Message) error {
 	e := getEncoder()
 	e.U8(ProtoVersion)
 	e.U64(id)
 	e.I64(timeoutMS)
+	e.U64(epoch)
 	e.U8(uint8(m.Type()))
 	m.encode(e)
 	err := writeFramed(w, e)
@@ -123,30 +145,32 @@ func WriteRequest(w io.Writer, id uint64, timeoutMS int64, m Message) error {
 }
 
 // ReadRequest reads one framed request, returning the correlation ID, the
-// envelope time budget (ms, 0 = none), and the message.
-func ReadRequest(r io.Reader) (uint64, int64, Message, error) {
+// envelope time budget (ms, 0 = none), the sender's epoch (0 = none
+// asserted), and the message.
+func ReadRequest(r io.Reader) (uint64, int64, uint64, Message, error) {
 	payload, err := ReadFrame(r)
 	if err != nil {
-		return 0, 0, nil, err
+		return 0, 0, 0, nil, err
 	}
 	return DecodeRequest(payload)
 }
 
 // DecodeRequest splits a request frame payload into envelope header and
 // message (exported for fuzzing the envelope without a stream).
-func DecodeRequest(payload []byte) (uint64, int64, Message, error) {
+func DecodeRequest(payload []byte) (uint64, int64, uint64, Message, error) {
 	d := NewDecoder(payload)
 	version := d.U8()
 	id := d.U64()
 	timeoutMS := d.I64()
+	epoch := d.U64()
 	if err := d.Err(); err != nil {
-		return 0, 0, nil, fmt.Errorf("wire: request header: %w", err)
+		return 0, 0, 0, nil, fmt.Errorf("wire: request header: %w", err)
 	}
 	if version != ProtoVersion {
-		return 0, 0, nil, fmt.Errorf("%w: peer speaks %d, this build speaks %d", ErrProtoVersion, version, ProtoVersion)
+		return 0, 0, 0, nil, fmt.Errorf("%w: peer speaks %d, this build speaks %d", ErrProtoVersion, version, ProtoVersion)
 	}
 	if timeoutMS < 0 {
-		return 0, 0, nil, fmt.Errorf("wire: negative request timeout %d", timeoutMS)
+		return 0, 0, 0, nil, fmt.Errorf("wire: negative request timeout %d", timeoutMS)
 	}
 	if timeoutMS > MaxTimeoutMS {
 		// Clamp rather than reject: a hostile (or future) peer claiming an
@@ -156,9 +180,9 @@ func DecodeRequest(payload []byte) (uint64, int64, Message, error) {
 	}
 	m, err := Unmarshal(d.Rest())
 	if err != nil {
-		return 0, 0, nil, err
+		return 0, 0, 0, nil, err
 	}
-	return id, timeoutMS, m, nil
+	return id, timeoutMS, epoch, m, nil
 }
 
 // WriteResponse frames one response envelope: the correlation ID of the

@@ -151,20 +151,20 @@ func TestBatchFuzzMutations(t *testing.T) {
 	}
 }
 
-// TestRequestEnvelopeHostileInputs covers the v3 request header
-// (version, correlation ID, deadline): wrong versions, hostile IDs,
+// TestRequestEnvelopeHostileInputs covers the request header (version,
+// correlation ID, deadline, sender epoch): wrong versions, hostile IDs,
 // negative deadlines, truncation, and random bytes.
 func TestRequestEnvelopeHostileInputs(t *testing.T) {
 	var buf bytes.Buffer
 	if err := WriteRequest(&buf, 9, 30_000, &StreamInfo{UUID: "s"}); err != nil {
 		t.Fatal(err)
 	}
-	id, timeout, m, err := ReadRequest(&buf)
+	id, timeout, epoch, m, err := ReadRequest(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if id != 9 || timeout != 30_000 {
-		t.Errorf("id = %d, timeout = %d", id, timeout)
+	if id != 9 || timeout != 30_000 || epoch != 0 {
+		t.Errorf("id = %d, timeout = %d, epoch = %d", id, timeout, epoch)
 	}
 	if si, ok := m.(*StreamInfo); !ok || si.UUID != "s" {
 		t.Errorf("message = %#v", m)
@@ -177,7 +177,7 @@ func TestRequestEnvelopeHostileInputs(t *testing.T) {
 		if err := WriteRequest(&buf, hostile, 0, &OK{}); err != nil {
 			t.Fatal(err)
 		}
-		if id, _, _, err := ReadRequest(&buf); err != nil || id != hostile {
+		if id, _, _, _, err := ReadRequest(&buf); err != nil || id != hostile {
 			t.Errorf("correlation ID %d -> %d, %v", hostile, id, err)
 		}
 	}
@@ -188,11 +188,11 @@ func TestRequestEnvelopeHostileInputs(t *testing.T) {
 	if err := WriteRequest(&buf, 1, 1<<60, &StreamInfo{UUID: "s"}); err != nil {
 		t.Fatal(err)
 	}
-	if _, timeout, _, err = ReadRequest(&buf); err != nil || timeout != MaxTimeoutMS {
+	if _, timeout, _, _, err = ReadRequest(&buf); err != nil || timeout != MaxTimeoutMS {
 		t.Errorf("oversized timeout -> %d, %v (want clamp to %d)", timeout, err, int64(MaxTimeoutMS))
 	}
 
-	if _, _, _, err := DecodeRequest(nil); err == nil {
+	if _, _, _, _, err := DecodeRequest(nil); err == nil {
 		t.Error("empty request accepted")
 	}
 	// Wrong protocol version surfaces the negotiation sentinel.
@@ -200,7 +200,7 @@ func TestRequestEnvelopeHostileInputs(t *testing.T) {
 	e.U8(ProtoVersion + 1)
 	e.U64(1)
 	e.I64(0)
-	if _, _, _, err := DecodeRequest(append(e.Bytes(), Marshal(&OK{})...)); !errors.Is(err, ErrProtoVersion) {
+	if _, _, _, _, err := DecodeRequest(append(e.Bytes(), Marshal(&OK{})...)); !errors.Is(err, ErrProtoVersion) {
 		t.Errorf("wrong protocol version -> %v, want ErrProtoVersion", err)
 	}
 	// Negative deadline.
@@ -208,7 +208,8 @@ func TestRequestEnvelopeHostileInputs(t *testing.T) {
 	e2.U8(ProtoVersion)
 	e2.U64(1)
 	e2.I64(-5)
-	if _, _, _, err := DecodeRequest(append(e2.Bytes(), Marshal(&OK{})...)); err == nil {
+	e2.U64(0)
+	if _, _, _, _, err := DecodeRequest(append(e2.Bytes(), Marshal(&OK{})...)); err == nil {
 		t.Error("negative deadline accepted")
 	}
 	// Header without a message.
@@ -216,14 +217,14 @@ func TestRequestEnvelopeHostileInputs(t *testing.T) {
 	e3.U8(ProtoVersion)
 	e3.U64(1)
 	e3.I64(0)
-	if _, _, _, err := DecodeRequest(e3.Bytes()); err == nil {
+	if _, _, _, _, err := DecodeRequest(e3.Bytes()); err == nil {
 		t.Error("headless request accepted")
 	}
 	// Truncated mid-header (inside the correlation ID varint).
 	var e4 Encoder
 	e4.U8(ProtoVersion)
 	e4.U64(1 << 62)
-	if _, _, _, err := DecodeRequest(e4.Bytes()[:3]); err == nil {
+	if _, _, _, _, err := DecodeRequest(e4.Bytes()[:3]); err == nil {
 		t.Error("truncated header accepted")
 	}
 	// Random bytes never panic.
@@ -233,7 +234,7 @@ func TestRequestEnvelopeHostileInputs(t *testing.T) {
 		for i := range data {
 			data[i] = byte(r.Uint32())
 		}
-		if _, _, m, err := DecodeRequest(data); err == nil {
+		if _, _, _, m, err := DecodeRequest(data); err == nil {
 			Marshal(m)
 		}
 	}
@@ -621,6 +622,165 @@ func TestReshardingMessagesHostileInputs(t *testing.T) {
 			if got, err := Unmarshal(data); err == nil {
 				Marshal(got)
 			}
+		}
+	}
+}
+
+// TestReplicationMessagesHostileInputs covers the v6 replication plane the
+// way TestReshardingMessagesHostileInputs covers resharding: a follower
+// decodes ReplAppend/ReplSnapshot/Promote frames from whoever currently
+// claims the lease, so hostile counts, truncation at every byte boundary,
+// and random mutation must all fail cleanly at the codec — before any
+// record touches an engine.
+func TestReplicationMessagesHostileInputs(t *testing.T) {
+	// Record counts beyond MaxReplRecords are refused before any record
+	// body is read.
+	var ea Encoder
+	ea.U8(uint8(TReplAppend))
+	ea.U64(1) // epoch
+	ea.U64(1) // first seq
+	ea.U64(MaxReplRecords + 1)
+	if _, err := Unmarshal(ea.Bytes()); err == nil {
+		t.Error("oversized repl record count accepted")
+	}
+
+	// Snapshot pages share the resharding item bound.
+	var es Encoder
+	es.U8(uint8(TReplSnapshot))
+	es.U64(1) // epoch
+	es.U64(0) // watermark
+	es.Bool(true)
+	es.Bool(false)
+	es.U64(MaxSnapshotItems + 1)
+	if _, err := Unmarshal(es.Bytes()); err == nil {
+		t.Error("oversized repl snapshot item count accepted")
+	}
+
+	// Promote shares the membership bound.
+	var ep Encoder
+	ep.U8(uint8(TPromote))
+	ep.U64(2) // epoch
+	ep.Str("a:1")
+	ep.U64(MaxMembers + 1)
+	if _, err := Unmarshal(ep.Bytes()); err == nil {
+		t.Error("oversized promote member count accepted")
+	}
+
+	// A lease report with an unknown role or a negative lease duration is
+	// malformed, not something for the router to interpret.
+	bad := Marshal(&LeaseInfoResp{Role: ReplDeposed, LeaseMS: 1})
+	bad[1] = ReplDeposed + 1 // role is the first body byte
+	if _, err := Unmarshal(bad); err == nil {
+		t.Error("unknown replication role accepted")
+	}
+	var el Encoder
+	el.U8(uint8(TLeaseInfoResp))
+	el.U8(ReplLeader)
+	el.U64(7)   // epoch
+	el.U64(9)   // watermark
+	el.U64(9)   // store seq
+	el.I64(-50) // lease
+	el.Str("a:1")
+	el.U64(0)
+	if _, err := Unmarshal(el.Bytes()); err == nil {
+		t.Error("negative lease duration accepted")
+	}
+
+	// Hostile epochs, watermarks, and sequence numbers are data, not
+	// protocol: every extreme value round-trips so the epoch comparison
+	// happens in replication logic where it can answer with an error
+	// frame, never by tearing down the connection.
+	hostile := []uint64{0, 1, 1<<63 - 1, 1 << 63, ^uint64(0)}
+	for _, v := range hostile {
+		got, err := Unmarshal(Marshal(&ReplAppend{Epoch: v, FirstSeq: v, Records: [][]byte{{1}}}))
+		if err != nil {
+			t.Fatalf("epoch/seq %d: %v", v, err)
+		}
+		if a := got.(*ReplAppend); a.Epoch != v || a.FirstSeq != v {
+			t.Errorf("epoch/seq %d mangled: %+v", v, a)
+		}
+		ack, err := Unmarshal(Marshal(&ReplAck{Epoch: v, Watermark: v}))
+		if err != nil {
+			t.Fatalf("watermark %d: %v", v, err)
+		}
+		if a := ack.(*ReplAck); a.Watermark != v {
+			t.Errorf("watermark %d mangled: %+v", v, a)
+		}
+	}
+	// A duplicate or regressing FirstSeq is likewise a codec-clean frame:
+	// the follower's sequencing check refuses it, not the decoder.
+	if _, err := Unmarshal(Marshal(&ReplAppend{Epoch: 1, FirstSeq: 3, Records: [][]byte{{1}, {2}}})); err != nil {
+		t.Fatalf("regressing-seq frame must decode cleanly: %v", err)
+	}
+
+	// Truncation at every boundary errors cleanly; random mutations never
+	// panic and accepted mutants re-marshal.
+	r := rand.New(rand.NewPCG(0x7265, 0x706C))
+	for _, m := range []Message{
+		&ReplAppend{Epoch: 9, FirstSeq: 100, Records: [][]byte{{1, 2, 3}, {}, {4}}},
+		&ReplAck{Epoch: 9, Watermark: 102},
+		&ReplSnapshot{Epoch: 10, Watermark: 50, First: true,
+			Items: []KVItem{{Key: "m/s", Value: []byte{1}}, {Key: "c/s/0", Value: []byte{2}}}},
+		&ReplSnapshot{Epoch: 10, Watermark: 50, Done: true},
+		&Promote{Epoch: 11, Leader: "b:2", Members: []string{"a:1", "b:2", "c:3"}},
+		&LeaseInfoResp{Role: ReplLeader, Epoch: 11, Watermark: 60, StoreSeq: 61,
+			LeaseMS: 2000, Leader: "a:1", Members: []string{"a:1", "b:2"}},
+	} {
+		valid := Marshal(m)
+		for cut := 1; cut < len(valid); cut++ {
+			if _, err := Unmarshal(valid[:cut]); err == nil {
+				t.Errorf("%T truncated at %d/%d bytes accepted", m, cut, len(valid))
+			}
+		}
+		for trial := 0; trial < 500; trial++ {
+			data := append([]byte(nil), valid...)
+			for k := 0; k < 1+r.IntN(4); k++ {
+				switch r.IntN(3) {
+				case 0:
+					data[r.IntN(len(data))] ^= byte(1 << r.IntN(8))
+				case 1:
+					if len(data) > 1 {
+						data = data[:1+r.IntN(len(data)-1)]
+					}
+				case 2:
+					data = append(data, byte(r.Uint32()))
+				}
+			}
+			if got, err := Unmarshal(data); err == nil {
+				Marshal(got)
+			}
+		}
+	}
+}
+
+// TestEnvelopeEpochHostileInputs pins the v6 sender-epoch field: any epoch
+// value survives the envelope round trip (including ReplayEpoch, which is
+// meaningful only in-process and must never be trusted off the wire as a
+// bypass — the server treats it as just a very large epoch).
+func TestEnvelopeEpochHostileInputs(t *testing.T) {
+	for _, epoch := range []uint64{0, 1, 1 << 40, ^uint64(0) - 1, ^uint64(0)} {
+		var buf bytes.Buffer
+		if err := WriteRequestEpoch(&buf, 5, 100, epoch, &OK{}); err != nil {
+			t.Fatal(err)
+		}
+		_, _, got, _, err := ReadRequest(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != epoch {
+			t.Errorf("epoch %d round-tripped as %d", epoch, got)
+		}
+	}
+	// A header truncated inside the epoch field errors cleanly.
+	var e Encoder
+	e.U8(ProtoVersion)
+	e.U64(1)
+	e.I64(0)
+	e.U64(1 << 40)
+	full := append(e.Bytes(), Marshal(&OK{})...)
+	for cut := 1 + 1 + 8; cut < len(full)-1; cut++ {
+		if _, _, _, _, err := DecodeRequest(full[:cut]); err == nil {
+			t.Errorf("truncated envelope at %d/%d accepted", cut, len(full))
 		}
 	}
 }

@@ -53,6 +53,12 @@ const (
 	TSubscribeResp
 	TSubEvent
 	TUnsubscribe
+	TReplAppend
+	TReplAck
+	TReplSnapshot
+	TPromote
+	TLeaseInfo
+	TLeaseInfoResp
 )
 
 // Message is one protocol message.
@@ -131,6 +137,12 @@ var registry = map[MsgType]func() Message{
 	TSubscribeResp:    func() Message { return &SubscribeResp{} },
 	TSubEvent:         func() Message { return &SubEvent{} },
 	TUnsubscribe:      func() Message { return &Unsubscribe{} },
+	TReplAppend:       func() Message { return &ReplAppend{} },
+	TReplAck:          func() Message { return &ReplAck{} },
+	TReplSnapshot:     func() Message { return &ReplSnapshot{} },
+	TPromote:          func() Message { return &Promote{} },
+	TLeaseInfo:        func() Message { return &LeaseInfo{} },
+	TLeaseInfoResp:    func() Message { return &LeaseInfoResp{} },
 }
 
 // Error is the generic failure response. Aux carries structured detail for
@@ -160,8 +172,23 @@ const (
 	// different shard during a topology change the caller has not seen.
 	// Error.Aux carries the topology epoch of the change, so a router (or
 	// client) holding an older ring knows to refresh its topology
-	// (TopologyInfo) and retry instead of failing.
+	// (TopologyInfo) and retry instead of failing. The engine write fence
+	// answers it too: a mutation whose envelope epoch is older than the
+	// stream's fence (or a replication frame carrying a deposed leader's
+	// lease epoch) is rejected with the fencing epoch in Aux.
 	CodeWrongShard
+	// CodeReplGap reports a replication append whose FirstSeq is beyond
+	// the follower's watermark + 1: records are missing in between and
+	// applying would corrupt the replica. Error.Aux carries the follower's
+	// current watermark so the leader can restart shipping from Aux+1 if
+	// its log still holds those records, or fall back to a full
+	// ReplSnapshot resync. Nothing is applied.
+	CodeReplGap
+	// CodeNotLeader reports a client mutation sent to a replication
+	// follower (or a deposed leader). Error.Aux carries the responder's
+	// replication epoch and Msg names the leader address it believes is
+	// current, so failover-aware callers re-resolve and retry there.
+	CodeNotLeader
 )
 
 func (*Error) Type() MsgType { return TError }
@@ -1213,6 +1240,16 @@ const (
 	// send it only when their ring is at least as new as the tombstone's
 	// epoch and the tombstoned shard is the current ring owner.
 	HandoffReclaim uint8 = 4
+	// HandoffFence arms the source engine's write fence for a migrating
+	// stream: from this point mutations whose envelope epoch is below
+	// Epoch answer CodeWrongShard{Epoch} instead of landing. The
+	// coordinator sends it the moment it freezes the stream for the final
+	// drain, so writes routed through *other* front ends (whose rings
+	// predate the move) can no longer slip in after the drain copy and be
+	// lost with the source's data. Epoch 0 lifts the fence (the migration
+	// was abandoned); HandoffRelease lifts it too, the tombstone taking
+	// over rejection duty.
+	HandoffFence uint8 = 5
 )
 
 // HandoffComplete finishes (or aborts) one stream's migration on one
@@ -1237,7 +1274,7 @@ func (m *HandoffComplete) decode(d *Decoder) error {
 	if err := d.Err(); err != nil {
 		return err
 	}
-	if m.Action < HandoffCommit || m.Action > HandoffReclaim {
+	if m.Action < HandoffCommit || m.Action > HandoffFence {
 		return fmt.Errorf("wire: unknown handoff action %d", m.Action)
 	}
 	return nil
@@ -1418,6 +1455,12 @@ func RoutingUUID(req Message) (string, bool) {
 			return m.UUIDs[0], true
 		}
 		return "", false
+	case *ReplAppend, *ReplSnapshot:
+		// Replication frames must apply in shipping order: a per-connection
+		// sentinel key chains them in arrival order on the follower (a
+		// cluster router never routes them — the leader dials its followers
+		// directly).
+		return ReplRoutingKey, true
 	case *Batch:
 		// A batch whose elements all share one routing key inherits it, so
 		// a multiplexed server connection keeps successive same-stream
@@ -1604,5 +1647,223 @@ func (*Unsubscribe) Type() MsgType       { return TUnsubscribe }
 func (m *Unsubscribe) encode(e *Encoder) { e.U64(m.ID) }
 func (m *Unsubscribe) decode(d *Decoder) error {
 	m.ID = d.U64()
+	return d.Err()
+}
+
+// Per-shard replication (wire protocol v6).
+
+// ReplRoutingKey is the scheduling key replication frames ride under on a
+// follower connection. It contains a byte no stream UUID produced by this
+// system uses, so replication ordering never collides with a stream's own
+// ordering chain.
+const ReplRoutingKey = "\x00repl"
+
+// Replication roles, as reported by LeaseInfoResp.Role.
+const (
+	// ReplStandalone is a node with no replication configured (or one that
+	// has not yet been adopted by a leader).
+	ReplStandalone uint8 = 0
+	// ReplLeader holds the group's epoch'd lease: it applies client
+	// mutations, ships them to every follower, and acks only when each
+	// active follower has applied.
+	ReplLeader uint8 = 1
+	// ReplFollower applies the leader's shipped records in sequence order
+	// and serves reads behind its watermark; client mutations answer
+	// CodeNotLeader.
+	ReplFollower uint8 = 2
+	// ReplDeposed is a former leader that observed a higher epoch: it
+	// refuses all mutations until a current leader adopts it (full resync)
+	// as a follower.
+	ReplDeposed uint8 = 3
+)
+
+// MaxReplRecords bounds the records in one ReplAppend frame: large enough
+// to drain a deep backlog in few round trips, small enough that a hostile
+// frame cannot pin unbounded allocation (each record is itself bounded by
+// the frame size).
+const MaxReplRecords = 1 << 12
+
+// ReplAppend ships a contiguous run of the leader's mutation log to a
+// follower. Epoch is the leader's lease epoch; a follower that knows a
+// higher epoch refuses with CodeWrongShard{knownEpoch} — the shipping
+// leader has been deposed and must stop acking. Records are marshaled
+// mutation requests (Marshal framing), applied in order; record i carries
+// sequence number FirstSeq+i. A fully-duplicate run (at or below the
+// follower's watermark) is acked idempotently without reapplying; a run
+// starting beyond watermark+1 answers CodeReplGap{watermark} and applies
+// nothing. An empty Records run is the leader's heartbeat: it renews the
+// lease and re-acks the watermark.
+type ReplAppend struct {
+	Epoch    uint64
+	FirstSeq uint64
+	Records  [][]byte
+}
+
+func (*ReplAppend) Type() MsgType { return TReplAppend }
+func (m *ReplAppend) encode(e *Encoder) {
+	e.U64(m.Epoch)
+	e.U64(m.FirstSeq)
+	e.U64(uint64(len(m.Records)))
+	for _, r := range m.Records {
+		e.Blob(r)
+	}
+}
+func (m *ReplAppend) decode(d *Decoder) error {
+	m.Epoch = d.U64()
+	m.FirstSeq = d.U64()
+	n := d.U64()
+	if n > MaxReplRecords {
+		return fmt.Errorf("wire: implausible replication record count %d", n)
+	}
+	m.Records = make([][]byte, 0, n)
+	for i := uint64(0); i < n; i++ {
+		m.Records = append(m.Records, d.Blob())
+	}
+	return d.Err()
+}
+
+// ReplAck answers a ReplAppend: the follower's epoch and the watermark
+// (highest contiguous sequence number applied). The leader releases client
+// acks blocked on seq <= Watermark.
+type ReplAck struct {
+	Epoch     uint64
+	Watermark uint64
+}
+
+func (*ReplAck) Type() MsgType { return TReplAck }
+func (m *ReplAck) encode(e *Encoder) {
+	e.U64(m.Epoch)
+	e.U64(m.Watermark)
+}
+func (m *ReplAck) decode(d *Decoder) error {
+	m.Epoch = d.U64()
+	m.Watermark = d.U64()
+	return d.Err()
+}
+
+// ReplSnapshot is one page of a full-state resync from leader to follower:
+// the leader's entire store, paged as raw key/value items, captured
+// atomically at log position Watermark. First tells the follower to wipe
+// its store and enter installing mode (reads answer CodeBusy); Done ends
+// the install — the follower reopens its engine over the loaded store,
+// adopts Epoch, and sets its watermark to Watermark. Every page answers OK
+// (or Error). Resync is the recovery path for any replica whose fine-grained
+// position is unknown or unusable: a follower restarted from disk, a
+// deposed leader rejoining, or a follower that lagged past the leader's
+// log retention.
+type ReplSnapshot struct {
+	Epoch     uint64
+	Watermark uint64
+	First     bool
+	Done      bool
+	Items     []KVItem
+}
+
+func (*ReplSnapshot) Type() MsgType { return TReplSnapshot }
+func (m *ReplSnapshot) encode(e *Encoder) {
+	e.U64(m.Epoch)
+	e.U64(m.Watermark)
+	e.Bool(m.First)
+	e.Bool(m.Done)
+	encodeKVItems(e, m.Items)
+}
+func (m *ReplSnapshot) decode(d *Decoder) error {
+	m.Epoch = d.U64()
+	m.Watermark = d.U64()
+	m.First = d.Bool()
+	m.Done = d.Bool()
+	items, err := decodeKVItems(d)
+	if err != nil {
+		return err
+	}
+	m.Items = items
+	return d.Err()
+}
+
+// Promote makes the recipient the replication group's leader at Epoch
+// (which must exceed every epoch the group has seen — the promoting router
+// picks max(observed)+1). Leader is the address the recipient is reachable
+// at (it reports it from LeaseInfo and in CodeNotLeader redirects);
+// Members is the full group, from which the recipient takes everyone but
+// itself as its follower set — including the dead old leader, which is
+// adopted back (full resync) when it returns. Answers ReplAck with the new
+// leader's watermark.
+type Promote struct {
+	Epoch   uint64
+	Leader  string
+	Members []string
+}
+
+func (*Promote) Type() MsgType { return TPromote }
+func (m *Promote) encode(e *Encoder) {
+	e.U64(m.Epoch)
+	e.Str(m.Leader)
+	encodeMembers(e, m.Members)
+}
+func (m *Promote) decode(d *Decoder) error {
+	m.Epoch = d.U64()
+	m.Leader = d.Str()
+	members, err := decodeMembers(d)
+	if err != nil {
+		return err
+	}
+	m.Members = members
+	return d.Err()
+}
+
+// LeaseInfo asks a node for its replication status. It is read-only and
+// retriable; routers use it to discover group membership, pick the most
+// advanced follower during failover, and stick clients to the leader.
+type LeaseInfo struct{}
+
+func (*LeaseInfo) Type() MsgType         { return TLeaseInfo }
+func (*LeaseInfo) encode(*Encoder)       {}
+func (*LeaseInfo) decode(*Decoder) error { return nil }
+
+// LeaseInfoResp reports a node's replication status: its role, lease
+// epoch, replication watermark (records applied), the durable store's
+// committed WAL sequence (0 when the store is not durable), the leader
+// address it believes is current, and the group member list (leader's own
+// view; empty on a standalone node). LeaseMS is the lease duration the
+// node was configured with, so a router can time failover without
+// out-of-band configuration.
+type LeaseInfoResp struct {
+	Role      uint8
+	Epoch     uint64
+	Watermark uint64
+	StoreSeq  uint64
+	LeaseMS   int64
+	Leader    string
+	Members   []string
+}
+
+func (*LeaseInfoResp) Type() MsgType { return TLeaseInfoResp }
+func (m *LeaseInfoResp) encode(e *Encoder) {
+	e.U8(m.Role)
+	e.U64(m.Epoch)
+	e.U64(m.Watermark)
+	e.U64(m.StoreSeq)
+	e.I64(m.LeaseMS)
+	e.Str(m.Leader)
+	encodeMembers(e, m.Members)
+}
+func (m *LeaseInfoResp) decode(d *Decoder) error {
+	m.Role = d.U8()
+	if m.Role > ReplDeposed {
+		return fmt.Errorf("wire: unknown replication role %d", m.Role)
+	}
+	m.Epoch = d.U64()
+	m.Watermark = d.U64()
+	m.StoreSeq = d.U64()
+	m.LeaseMS = d.I64()
+	if m.LeaseMS < 0 {
+		return fmt.Errorf("wire: negative lease duration %d", m.LeaseMS)
+	}
+	m.Leader = d.Str()
+	members, err := decodeMembers(d)
+	if err != nil {
+		return err
+	}
+	m.Members = members
 	return d.Err()
 }

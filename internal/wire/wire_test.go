@@ -139,6 +139,15 @@ func allMessages() []Message {
 		&SubscribeResp{FirstSeq: 17, WindowChunks: 6, Epoch: 1700000000000, Interval: 10000, StreamCount: 2},
 		&SubEvent{Seq: 17, FromChunk: 102, ToChunk: 108, Resync: true, Window: []uint64{9, 8, 7}},
 		&Unsubscribe{ID: 42},
+		&ReplAppend{Epoch: 3, FirstSeq: 42, Records: [][]byte{{1, 2}, {}, {3}}},
+		&ReplAck{Epoch: 3, Watermark: 44},
+		&ReplSnapshot{Epoch: 4, Watermark: 99, First: true,
+			Items: []KVItem{{Key: "m/s1", Value: []byte{1}}, {Key: "c/s1/0", Value: []byte{2, 3}}}},
+		&ReplSnapshot{Epoch: 4, Watermark: 99, Done: true},
+		&Promote{Epoch: 5, Leader: "b:7733", Members: []string{"a:7733", "b:7733", "c:7733"}},
+		&LeaseInfo{},
+		&LeaseInfoResp{Role: ReplFollower, Epoch: 5, Watermark: 17, StoreSeq: 203,
+			LeaseMS: 3000, Leader: "a:7733", Members: []string{"a:7733", "b:7733"}},
 		&Batch{Reqs: []Message{
 			&InsertChunk{UUID: "s1", Chunk: []byte{1, 2}},
 			&InsertChunk{UUID: "s1", Chunk: []byte{3}},
@@ -261,15 +270,15 @@ func TestWriteReadMessage(t *testing.T) {
 
 func TestRequestEnvelopeRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
-	if err := WriteRequest(&buf, 42, 1500, &StreamInfo{UUID: "s"}); err != nil {
+	if err := WriteRequestEpoch(&buf, 42, 1500, 7, &StreamInfo{UUID: "s"}); err != nil {
 		t.Fatal(err)
 	}
-	id, timeout, m, err := ReadRequest(&buf)
+	id, timeout, epoch, m, err := ReadRequest(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if id != 42 || timeout != 1500 {
-		t.Errorf("id=%d timeout=%d", id, timeout)
+	if id != 42 || timeout != 1500 || epoch != 7 {
+		t.Errorf("id=%d timeout=%d epoch=%d", id, timeout, epoch)
 	}
 	if si, ok := m.(*StreamInfo); !ok || si.UUID != "s" {
 		t.Errorf("message = %#v", m)
@@ -370,7 +379,7 @@ func TestErrorImplementsError(t *testing.T) {
 }
 
 func TestHandoffCompleteRejectsUnknownAction(t *testing.T) {
-	for _, action := range []uint8{0, HandoffReclaim + 1, 200} {
+	for _, action := range []uint8{0, HandoffFence + 1, 200} {
 		var e Encoder
 		e.U8(uint8(THandoffComplete))
 		e.Str("s1")
