@@ -256,6 +256,11 @@ func (s *Store) Scan(prefix string, fn func(key string, value []byte) bool) erro
 	return s.mem.Scan(prefix, fn)
 }
 
+// ScanShallow implements kv.ShallowScanner from the in-memory read path.
+func (s *Store) ScanShallow(prefix string, fn func(key string, value []byte) bool) error {
+	return s.mem.ScanShallow(prefix, fn)
+}
+
 // Len implements kv.Store.
 func (s *Store) Len() int { return s.mem.Len() }
 

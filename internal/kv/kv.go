@@ -55,6 +55,18 @@ type Store interface {
 	Close() error
 }
 
+// ShallowScanner is an optional Store capability: ScanShallow visits every
+// key with the given prefix like Scan, but hands fn the store's internal
+// value buffers instead of copies. Implementations guarantee those buffers
+// are immutable — a later Put replaces the entry with a fresh slice rather
+// than mutating in place — so callers may retain them read-only. Bulk
+// readers (replication snapshots) use this to capture a consistent image
+// of a quiesced store in O(keys) header copies instead of duplicating
+// every value byte.
+type ShallowScanner interface {
+	ScanShallow(prefix string, fn func(key string, value []byte) bool) error
+}
+
 // Stats aggregates operation counters for observability.
 type Stats struct {
 	Gets      uint64

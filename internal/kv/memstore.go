@@ -145,6 +145,36 @@ func (s *MemStore) Scan(prefix string, fn func(key string, value []byte) bool) e
 	return nil
 }
 
+// ScanShallow implements ShallowScanner: like Scan, but fn receives the
+// store's internal value slices without copying. Those slices are
+// immutable (Put installs a fresh copy and never writes into an old one),
+// so callers may retain them read-only; they keep the bytes alive even if
+// the entry is later replaced or deleted.
+func (s *MemStore) ScanShallow(prefix string, fn func(key string, value []byte) bool) error {
+	s.scans.Add(1)
+	type pair struct {
+		k string
+		v []byte
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		var matched []pair
+		sh.mu.RLock()
+		for k, v := range sh.m {
+			if strings.HasPrefix(k, prefix) {
+				matched = append(matched, pair{k, v})
+			}
+		}
+		sh.mu.RUnlock()
+		for _, p := range matched {
+			if !fn(p.k, p.v) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
 // Len implements Store.
 func (s *MemStore) Len() int {
 	n := 0

@@ -147,6 +147,49 @@ func TestScanCallbackMayMutateStore(t *testing.T) {
 	}
 }
 
+func TestScanShallow(t *testing.T) {
+	s := NewMemStore()
+	defer s.Close()
+	for i := 0; i < 50; i++ {
+		s.Put(fmt.Sprintf("x/%02d", i), []byte{byte(i)})
+		s.Put(fmt.Sprintf("y/%02d", i), []byte{byte(i)})
+	}
+	var _ ShallowScanner = s // MemStore advertises the capability
+
+	got := map[string][]byte{}
+	if err := s.ScanShallow("x/", func(k string, v []byte) bool {
+		got[k] = v
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 50 {
+		t.Fatalf("shallow scan matched %d keys, want 50", len(got))
+	}
+	// The captured slices are the store's internals; replacing and deleting
+	// entries must not mutate them (Put installs a fresh buffer).
+	for i := 0; i < 50; i++ {
+		s.Put(fmt.Sprintf("x/%02d", i), []byte{0xAA})
+		s.Delete(fmt.Sprintf("x/%02d", i))
+	}
+	for i := 0; i < 50; i++ {
+		k := fmt.Sprintf("x/%02d", i)
+		if v := got[k]; len(v) != 1 || v[0] != byte(i) {
+			t.Fatalf("captured value for %s mutated: %v", k, v)
+		}
+	}
+
+	// Early stop works like Scan.
+	n := 0
+	s.ScanShallow("y/", func(string, []byte) bool {
+		n++
+		return n < 10
+	})
+	if n != 10 {
+		t.Errorf("shallow scan visited %d keys after early stop, want 10", n)
+	}
+}
+
 func TestBatch(t *testing.T) {
 	s := NewMemStore()
 	defer s.Close()

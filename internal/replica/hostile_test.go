@@ -3,6 +3,7 @@ package replica
 import (
 	"context"
 	"testing"
+	"time"
 
 	"repro/internal/kv"
 	"repro/internal/server"
@@ -141,6 +142,60 @@ func TestHostileEpochRules(t *testing.T) {
 	leader := newBareNode(t)
 	leader.Lead(nil)
 	wantErr(t, leader.Handle(ctx, &wire.ReplAppend{Epoch: 1, FirstSeq: 1}), wire.CodeWrongShard)
+}
+
+// TestPromoteMidFrameStopsStaleApplies: replication frames on one
+// connection are serialized, but a Promote arrives on another. A frame
+// in flight from the old leader must stop applying the instant the node
+// moves to a higher epoch — every record the engine applied must be one
+// the node's post-promotion watermark accounts for, or a stale leader
+// smuggles writes past the new epoch.
+func TestPromoteMidFrameStopsStaleApplies(t *testing.T) {
+	ctx := context.Background()
+	for iter := 0; iter < 15; iter++ {
+		node := newBareNode(t)
+		if _, ok := node.Handle(ctx, &wire.ReplAppend{Epoch: 1, FirstSeq: 1,
+			Records: [][]byte{record(&wire.CreateStream{UUID: "s", Cfg: testCfg()})}}).(*wire.ReplAck); !ok {
+			t.Fatal("setup apply failed")
+		}
+		recs := make([][]byte, 60)
+		for i := range recs {
+			recs[i] = record(&wire.InsertChunk{UUID: "s", Chunk: testSealedChunk(t, uint64(i))})
+		}
+		done := make(chan wire.Message, 1)
+		go func() {
+			done <- node.Handle(ctx, &wire.ReplAppend{Epoch: 1, FirstSeq: 2, Records: recs})
+		}()
+		// Vary the promotion's landing point inside the frame.
+		time.Sleep(time.Duration(iter) * 50 * time.Microsecond)
+		if _, ok := node.Handle(ctx, &wire.Promote{Epoch: 2, Leader: "victim:1"}).(*wire.ReplAck); !ok {
+			t.Fatal("promotion failed")
+		}
+		resp := <-done
+		switch r := resp.(type) {
+		case *wire.ReplAck: // the whole frame landed before the promotion
+		case *wire.Error:
+			if r.Code != wire.CodeWrongShard {
+				t.Fatalf("iter %d: interrupted frame -> %#v", iter, r)
+			}
+		default:
+			t.Fatalf("iter %d: frame -> %#v", iter, resp)
+		}
+		// The invariant: engine state matches the watermark the promoted
+		// node reports (sequence 1 was the CreateStream, the rest inserts).
+		role, epoch, wm := node.Status()
+		if role != wire.ReplLeader || epoch != 2 {
+			t.Fatalf("iter %d: role=%d epoch=%d after promotion", iter, role, epoch)
+		}
+		info, ok := node.Handle(ctx, &wire.StreamInfo{UUID: "s"}).(*wire.StreamInfoResp)
+		if !ok {
+			t.Fatalf("iter %d: StreamInfo failed", iter)
+		}
+		if uint64(info.Count) != wm-1 {
+			t.Fatalf("iter %d: engine has %d chunks but watermark is %d — a stale frame kept applying past the promotion",
+				iter, info.Count, wm)
+		}
+	}
 }
 
 // TestHostileSnapshotPageWithoutFirst: snapshot pages outside an install

@@ -41,9 +41,10 @@ import (
 	"repro/internal/wire"
 )
 
-// stateKey persists {epoch, role} across restarts; it lives outside every
-// engine key prefix and is excluded from resync snapshots, so installing a
-// leader's snapshot never overwrites the local role.
+// stateKey persists {epoch, role, installing} across restarts; it lives
+// outside every engine key prefix and is excluded from resync snapshots
+// and from the pre-install wipe, so a node's own role survives both a
+// leader's snapshot and a crash in the middle of installing one.
 const stateKey = "repl/state"
 
 // applyStripes is the number of apply-order locks: the leader holds a
@@ -110,9 +111,14 @@ type Node struct {
 	applied    uint64 // leader: last sequence applied locally
 	watermark  uint64 // follower: last sequence applied from the leader
 	installing bool   // a snapshot install is in progress; reads answer CodeBusy
-	followers  map[string]*follower
-	changed    chan struct{} // closed and replaced on any ack/role change
-	closed     bool
+	// installEpoch is the epoch of the in-process snapshot install; it is
+	// deliberately NOT persisted, so a restart with the installing marker
+	// refuses resumed pages (their predecessors died with the process) and
+	// waits for a fresh First.
+	installEpoch uint64
+	followers    map[string]*follower
+	changed      chan struct{} // closed and replaced on any ack/role change
+	closed       bool
 
 	log *recordLog
 }
@@ -148,6 +154,9 @@ func New(store kv.Store, cfg server.Config, opts Options) (*Node, error) {
 		d := wire.NewDecoder(raw)
 		epoch, role := d.U64(), d.U8()
 		if d.Err() == nil {
+			// The installing flag is absent in pre-flag state records; a
+			// truncated read decodes as false.
+			installing := d.U8() == 1
 			n.epoch = epoch
 			switch role {
 			case wire.ReplLeader, wire.ReplDeposed:
@@ -155,6 +164,15 @@ func New(store kv.Store, cfg server.Config, opts Options) (*Node, error) {
 				opts.Logf("replica: restarted after leading epoch %d; deposed until re-promoted or adopted", epoch)
 			case wire.ReplFollower:
 				n.role = wire.ReplFollower
+				if installing {
+					// Crashed between the pre-install wipe and the
+					// snapshot's Done page: the store is a partial image.
+					// Keep the install fence up — reads answer CodeBusy,
+					// mutations answer CodeNotLeader — until the leader
+					// resyncs us with a fresh full snapshot.
+					n.installing = true
+					opts.Logf("replica: restarted mid-snapshot-install at epoch %d; refusing traffic until resynced", epoch)
+				}
 			}
 		}
 	} else if err != kv.ErrNotFound {
@@ -209,12 +227,18 @@ func (n *Node) bumpLocked() {
 	n.changed = make(chan struct{})
 }
 
-// persistLocked records {epoch, role} so a restart cannot regress the
-// epoch or silently resume a lease.
+// persistLocked records {epoch, role, installing} so a restart cannot
+// regress the epoch, silently resume a lease, or serve a half-installed
+// snapshot as real data.
 func (n *Node) persistLocked() {
 	var e wire.Encoder
 	e.U64(n.epoch)
 	e.U8(n.role)
+	if n.installing {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
 	if err := n.store.Put(stateKey, e.Bytes()); err != nil {
 		n.opts.Logf("replica: persisting state: %v", err)
 	}
@@ -376,8 +400,13 @@ func (n *Node) Subscribe(ctx context.Context, req *wire.Subscribe) (sub.Handle, 
 
 // handleReplAppend applies a leader's record frame. The serve layer
 // chains all replication frames of one connection through
-// wire.ReplRoutingKey, so this runs single-threaded per leader session
-// and the strict-sequencing checks below see a stable watermark.
+// wire.ReplRoutingKey, so frames from ONE leader session arrive here in
+// shipping order — but nothing serializes this against frames on other
+// connections (a newer leader, a Promote). Every record is therefore
+// applied under n.mu with the epoch revalidated first: a stale leader's
+// in-flight frame stops dead — with nothing applied past the depose point
+// and the watermark untouched — the instant another connection moves the
+// node to a higher epoch.
 func (n *Node) handleReplAppend(ctx context.Context, m *wire.ReplAppend) wire.Message {
 	if m.Epoch == 0 {
 		return &wire.Error{Code: wire.CodeBadRequest, Msg: "replica: epoch 0 is reserved"}
@@ -389,17 +418,22 @@ func (n *Node) handleReplAppend(ctx context.Context, m *wire.ReplAppend) wire.Me
 			Msg: fmt.Sprintf("replica: stale replication epoch %d (current %d)", m.Epoch, n.epoch)}
 	}
 	if m.Epoch > n.epoch || n.role == wire.ReplStandalone || n.role == wire.ReplDeposed {
-		// Adopt the higher (or first) epoch; a live leader steps down.
-		n.becomeFollowerLocked(m.Epoch, n.leader)
+		// Adopt the higher (or first) epoch; a live leader steps down. The
+		// frame names the shipping leader, so referrals point there — not
+		// at whatever leader this node knew before.
+		n.becomeFollowerLocked(m.Epoch, m.Leader)
 	} else if n.role == wire.ReplLeader {
 		// Equal epoch from another claimant: refuse — the sender must
 		// resolve the conflict through a higher epoch, never silently.
 		defer n.mu.Unlock()
 		return &wire.Error{Code: wire.CodeWrongShard, Aux: n.epoch,
 			Msg: "replica: competing leader at the same epoch"}
+	} else if m.Leader != "" && n.leader != m.Leader {
+		// Already following at this epoch: refresh a stale or unknown
+		// leader address (there is exactly one leader per epoch).
+		n.leader = m.Leader
 	}
 	watermark := n.watermark
-	engine := n.engine
 	installing := n.installing
 	n.mu.Unlock()
 
@@ -438,17 +472,47 @@ func (n *Node) handleReplAppend(ctx context.Context, m *wire.ReplAppend) wire.Me
 			return &wire.Error{Code: wire.CodeBadRequest,
 				Msg: fmt.Sprintf("replica: record %d is not a mutation (%T)", seq, req)}
 		}
-		resp := engine.Handle(replayCtx, req)
+		// Apply and commit under n.mu, revalidating the epoch first: once
+		// another connection has re-epoch'd this node (Promote, a newer
+		// leader's frame), a deposed leader's in-flight frame must neither
+		// touch the engine nor inflate the watermark. Holding n.mu across
+		// the engine apply makes check-apply-commit one atomic step with
+		// respect to every role/epoch transition (all of which take n.mu);
+		// an epoch change waits at most one record apply.
+		n.mu.Lock()
+		if n.closed || n.epoch != m.Epoch || n.role != wire.ReplFollower {
+			cur := n.epoch
+			n.mu.Unlock()
+			return &wire.Error{Code: wire.CodeWrongShard, Aux: cur,
+				Msg: fmt.Sprintf("replica: deposed mid-frame at record %d (epoch moved to %d)", seq, cur)}
+		}
+		if n.installing {
+			n.mu.Unlock()
+			return &wire.Error{Code: wire.CodeBusy, Msg: "replica: snapshot install in progress"}
+		}
+		if seq <= n.watermark {
+			// Another frame for the same epoch already covered this record.
+			watermark = n.watermark
+			n.mu.Unlock()
+			continue
+		}
+		if seq != n.watermark+1 {
+			wm := n.watermark
+			n.mu.Unlock()
+			return &wire.Error{Code: wire.CodeReplGap, Aux: wm,
+				Msg: fmt.Sprintf("replica: gap mid-frame: record %d, watermark %d", seq, wm)}
+		}
+		resp := n.engine.Handle(replayCtx, req)
 		if errMsg, isErr := resp.(*wire.Error); isErr {
+			n.mu.Unlock()
 			// The leader only ships mutations that succeeded; an error
 			// here means our state has diverged. Refuse loudly and stop
 			// advancing — the leader will resync us by snapshot.
 			return &wire.Error{Code: wire.CodeInternal,
 				Msg: fmt.Sprintf("replica: record %d (%T) diverged: %s", seq, req, errMsg.Msg)}
 		}
-		watermark = seq
-		n.mu.Lock()
 		n.watermark = seq
+		watermark = seq
 		n.mu.Unlock()
 	}
 	return &wire.ReplAck{Epoch: m.Epoch, Watermark: watermark}
@@ -457,7 +521,10 @@ func (n *Node) handleReplAppend(ctx context.Context, m *wire.ReplAppend) wire.Me
 // handleReplSnapshot installs one page of a leader's full-store snapshot.
 // First wipes the local store (the resync replaces everything), Done
 // reopens the engine over the installed state and adopts the snapshot's
-// watermark. Reads answer CodeBusy for the duration.
+// watermark. Reads answer CodeBusy for the duration. The installing flag
+// is persisted (with the state key excluded from the wipe) BEFORE any key
+// is deleted, so a crash anywhere inside the install restarts as a fenced
+// follower — never as a standalone node serving the partial image.
 func (n *Node) handleReplSnapshot(ctx context.Context, m *wire.ReplSnapshot) wire.Message {
 	if m.Epoch == 0 {
 		return &wire.Error{Code: wire.CodeBadRequest, Msg: "replica: epoch 0 is reserved"}
@@ -469,19 +536,26 @@ func (n *Node) handleReplSnapshot(ctx context.Context, m *wire.ReplSnapshot) wir
 			Msg: fmt.Sprintf("replica: stale replication epoch %d (current %d)", m.Epoch, n.epoch)}
 	}
 	if m.Epoch > n.epoch || n.role != wire.ReplFollower {
-		n.becomeFollowerLocked(m.Epoch, n.leader)
+		n.becomeFollowerLocked(m.Epoch, m.Leader)
+	} else if m.Leader != "" && n.leader != m.Leader {
+		n.leader = m.Leader
 	}
 	if m.First {
 		n.installing = true
-	} else if !n.installing {
+		n.installEpoch = m.Epoch
+		n.persistLocked() // durable marker: a crash mid-install restarts fenced
+	} else if !n.installing || n.installEpoch != m.Epoch {
+		// No live install at this epoch: pages either never had a First, or
+		// their predecessors died with a restart / were superseded by a
+		// newer install. The leader restarts the resync from a fresh First.
 		defer n.mu.Unlock()
 		return &wire.Error{Code: wire.CodeBadRequest, Msg: "replica: snapshot page without First"}
 	}
 	n.mu.Unlock()
 
 	if m.First {
-		if err := n.wipeStore(); err != nil {
-			return &wire.Error{Code: wire.CodeInternal, Msg: fmt.Sprintf("replica: wiping store: %v", err)}
+		if errw := n.wipeStore(m.Epoch); errw != nil {
+			return errw
 		}
 	}
 	if len(m.Items) > 0 {
@@ -489,35 +563,77 @@ func (n *Node) handleReplSnapshot(ctx context.Context, m *wire.ReplSnapshot) wir
 		for _, it := range m.Items {
 			ops = append(ops, kv.Op{Kind: kv.OpPut, Key: it.Key, Value: it.Value})
 		}
-		if err := n.store.Batch(ops); err != nil {
-			return &wire.Error{Code: wire.CodeInternal, Msg: fmt.Sprintf("replica: installing page: %v", err)}
+		if errw := n.installStep(m.Epoch, func() error {
+			if err := n.store.Batch(ops); err != nil {
+				return fmt.Errorf("replica: installing page: %w", err)
+			}
+			return nil
+		}); errw != nil {
+			return errw
 		}
 	}
 	if !m.Done {
 		return &wire.ReplAck{Epoch: m.Epoch, Watermark: 0}
 	}
-	engine, err := server.New(n.store, n.cfg)
-	if err != nil {
-		return &wire.Error{Code: wire.CodeInternal, Msg: fmt.Sprintf("replica: reopening engine: %v", err)}
+	if errw := n.installStep(m.Epoch, func() error {
+		engine, err := server.New(n.store, n.cfg)
+		if err != nil {
+			return fmt.Errorf("replica: reopening engine: %w", err)
+		}
+		n.engine = engine
+		n.watermark = m.Watermark
+		n.installing = false
+		n.installEpoch = 0
+		n.persistLocked() // clear the durable installing marker
+		return nil
+	}); errw != nil {
+		return errw
 	}
-	n.mu.Lock()
-	n.engine = engine
-	n.watermark = m.Watermark
-	n.installing = false
-	n.persistLocked() // the wipe deleted our state key; restore it
-	n.mu.Unlock()
 	n.opts.Logf("replica: resynced by snapshot at epoch %d, watermark %d", m.Epoch, m.Watermark)
 	return &wire.ReplAck{Epoch: m.Epoch, Watermark: m.Watermark}
 }
 
-// wipeStore deletes every key, in batches, ahead of a snapshot install.
-func (n *Node) wipeStore() error {
+// installStep runs one bounded store operation of a snapshot install with
+// n.mu held, after revalidating that the install at epoch is still the
+// current one. Like the per-record check in handleReplAppend, this makes
+// check-then-write atomic with respect to every epoch/role transition: a
+// page from a superseded install can never splice keys into a newer
+// install (or into a live store) — the wipe, every page batch, and the
+// final engine reopen all pass through here.
+func (n *Node) installStep(epoch uint64, op func() error) *wire.Error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return &wire.Error{Code: wire.CodeBusy, Msg: "replica: node closed"}
+	}
+	if n.epoch != epoch {
+		return &wire.Error{Code: wire.CodeWrongShard, Aux: n.epoch,
+			Msg: fmt.Sprintf("replica: snapshot install superseded by epoch %d", n.epoch)}
+	}
+	if !n.installing || n.installEpoch != epoch {
+		return &wire.Error{Code: wire.CodeBadRequest, Msg: "replica: no snapshot install in progress at this epoch"}
+	}
+	if err := op(); err != nil {
+		return &wire.Error{Code: wire.CodeInternal, Msg: err.Error()}
+	}
+	return nil
+}
+
+// wipeStore deletes every key except the node's own replication state, in
+// batches, ahead of the snapshot install at epoch. The state key must
+// survive: it holds the persisted installing marker, and a crash mid-wipe
+// (or between the wipe and the snapshot's Done page) must restart as a
+// fenced follower, not as a blank standalone node. Each delete batch goes
+// through installStep, so a superseded install stops wiping immediately.
+func (n *Node) wipeStore(epoch uint64) *wire.Error {
 	var keys []string
 	if err := n.store.Scan("", func(key string, _ []byte) bool {
-		keys = append(keys, key)
+		if key != stateKey {
+			keys = append(keys, key)
+		}
 		return true
 	}); err != nil {
-		return err
+		return &wire.Error{Code: wire.CodeInternal, Msg: fmt.Sprintf("replica: wiping store: %v", err)}
 	}
 	for len(keys) > 0 {
 		batch := keys
@@ -528,8 +644,13 @@ func (n *Node) wipeStore() error {
 		for i, k := range batch {
 			ops[i] = kv.Op{Kind: kv.OpDelete, Key: k}
 		}
-		if err := n.store.Batch(ops); err != nil {
-			return err
+		if errw := n.installStep(epoch, func() error {
+			if err := n.store.Batch(ops); err != nil {
+				return fmt.Errorf("replica: wiping store: %w", err)
+			}
+			return nil
+		}); errw != nil {
+			return errw
 		}
 		keys = keys[len(batch):]
 	}
@@ -545,6 +666,12 @@ func (n *Node) handlePromote(m *wire.Promote) wire.Message {
 	if m.Epoch <= n.epoch {
 		return &wire.Error{Code: wire.CodeWrongShard, Aux: n.epoch,
 			Msg: fmt.Sprintf("replica: promotion epoch %d is not above %d", m.Epoch, n.epoch)}
+	}
+	if m.Leader == n.opts.Self && n.installing {
+		// A mid-install store is a partial image; leading from it would
+		// serve garbage. The router retries against another member (or
+		// this one, once a leader has finished resyncing it).
+		return &wire.Error{Code: wire.CodeBusy, Msg: "replica: snapshot install in progress"}
 	}
 	if m.Leader == n.opts.Self {
 		n.becomeLeaderLocked(m.Epoch, m.Members)

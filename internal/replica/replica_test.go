@@ -47,11 +47,17 @@ type testNode struct {
 // heartbeats and failure detection fast.
 func startNode(t testing.TB, lease time.Duration) *testNode {
 	t.Helper()
+	return startNodeOn(t, lease, kv.NewMemStore())
+}
+
+// startNodeOn serves a Node over an existing store, so tests can restart
+// a member on top of its persisted replication state.
+func startNodeOn(t testing.TB, lease time.Duration, store kv.Store) *testNode {
+	t.Helper()
 	lis, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	store := kv.NewMemStore()
 	node, err := New(store, server.Config{}, Options{
 		Self:  lis.Addr().String(),
 		Lease: lease,
@@ -150,6 +156,12 @@ func TestFollowerRefusesClientWrites(t *testing.T) {
 	}
 	if errMsg.Aux != 1 {
 		t.Errorf("CodeNotLeader epoch = %d, want 1", errMsg.Aux)
+	}
+	// The referral names the leader that is actually shipping to this
+	// follower (carried in every ReplAppend frame), so clients redirect in
+	// one hop.
+	if errMsg.Msg != leader.addr {
+		t.Errorf("CodeNotLeader referral = %q, want %q", errMsg.Msg, leader.addr)
 	}
 	// Reads keep working on the follower.
 	if resp := follower.node.Handle(ctx, &wire.StreamInfo{UUID: "s1"}); resp == nil {
@@ -265,6 +277,183 @@ func TestSnapshotResyncFromTrimmedLog(t *testing.T) {
 	info, ok := follower.node.Handle(ctx, &wire.StreamInfo{UUID: "s1"}).(*wire.StreamInfoResp)
 	if !ok || info.Count != 9 {
 		t.Errorf("follower count after post-resync insert: %#v", info)
+	}
+}
+
+// TestDivergentFollowerForcedToResync: a follower whose watermark comes
+// from an older leader's sequence space (it missed a re-based promotion)
+// must be snapshot-resynced, not allowed to duplicate-ack every new record
+// while applying none of them — that would silently lose acknowledged
+// writes.
+func TestDivergentFollowerForcedToResync(t *testing.T) {
+	follower := startNode(t, 100*time.Millisecond)
+	old := startNode(t, 100*time.Millisecond)
+	old.node.Lead([]string{follower.addr})
+
+	ctx := context.Background()
+	if resp := old.node.Handle(ctx, &wire.CreateStream{UUID: "s1", Cfg: testCfg()}); !isOK(resp) {
+		t.Fatalf("CreateStream -> %#v", resp)
+	}
+	for i := uint64(0); i < 5; i++ {
+		if resp := old.node.Handle(ctx, &wire.InsertChunk{UUID: "s1", Chunk: testSealedChunk(t, i)}); !isOK(resp) {
+			t.Fatalf("InsertChunk(%d) -> %#v", i, resp)
+		}
+	}
+	waitFor(t, "follower caught up on old leader", func() bool {
+		_, _, wm := follower.node.Status()
+		return wm == 6
+	})
+
+	// The old leader "dies"; a FRESH, empty node is promoted at a higher
+	// epoch. Its log starts at sequence 1 — a different sequence space —
+	// while the follower still carries watermark 6 from epoch 1.
+	fresh := startNode(t, 100*time.Millisecond)
+	if resp := fresh.node.Handle(ctx, &wire.Promote{
+		Epoch: 2, Leader: fresh.addr, Members: []string{fresh.addr, follower.addr},
+	}); resp == nil {
+		t.Fatal("Promote failed")
+	}
+
+	// New writes on the fresh leader must actually reach the follower; a
+	// divergent follower dup-acking them without applying would leave it
+	// without stream s2 forever.
+	if resp := fresh.node.Handle(ctx, &wire.CreateStream{UUID: "s2", Cfg: testCfg()}); !isOK(resp) {
+		t.Fatalf("CreateStream on fresh leader -> %#v", resp)
+	}
+	for i := uint64(0); i < 5; i++ {
+		if resp := fresh.node.Handle(ctx, &wire.InsertChunk{UUID: "s2", Chunk: testSealedChunk(t, i)}); !isOK(resp) {
+			t.Fatalf("InsertChunk on fresh leader -> %#v", resp)
+		}
+	}
+	waitFor(t, "divergent follower resynced to the fresh leader", func() bool {
+		info, ok := follower.node.Handle(ctx, &wire.StreamInfo{UUID: "s2"}).(*wire.StreamInfoResp)
+		return ok && info.Count == 5
+	})
+	// The resync replaced the follower's divergent image wholesale: the old
+	// stream is gone (the fresh leader never had it) and states match.
+	if resp := follower.node.Handle(ctx, &wire.StreamInfo{UUID: "s1"}); !func() bool {
+		_, isErr := resp.(*wire.Error)
+		return isErr
+	}() {
+		t.Errorf("divergent follower kept stale stream s1: %#v", resp)
+	}
+	if got, want := statBytes(t, follower.node, "s2"), statBytes(t, fresh.node, "s2"); !bytes.Equal(got, want) {
+		t.Error("resynced follower diverged from fresh leader")
+	}
+}
+
+// TestCrashMidSnapshotInstallRestartsFenced: the installing marker is
+// durable and the state key survives the pre-install wipe, so a node that
+// crashes between the wipe and the snapshot's Done page restarts as a
+// fenced follower — it must not come back standalone serving a partial
+// image (empty reads, accepted writes).
+func TestCrashMidSnapshotInstallRestartsFenced(t *testing.T) {
+	store := kv.NewMemStore()
+	silent := func(string, ...any) {}
+	node, err := New(store, server.Config{}, Options{Self: "a:1", Logf: silent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if resp := node.Handle(ctx, &wire.CreateStream{UUID: "old", Cfg: testCfg()}); !isOK(resp) {
+		t.Fatalf("CreateStream -> %#v", resp)
+	}
+	// First page of an install at epoch 7 wipes the store; the sender dies
+	// before Done, then this node crashes.
+	if resp := node.Handle(ctx, &wire.ReplSnapshot{
+		Epoch: 7, Watermark: 40, First: true, Leader: "b:1",
+		Items: []wire.KVItem{{Key: "partial/key", Value: []byte{1}}},
+	}); resp == nil {
+		t.Fatal("snapshot first page refused")
+	}
+	node.Close()
+
+	reborn, err := New(store, server.Config{}, Options{Self: "a:1", Logf: silent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reborn.Close()
+	role, epoch, _ := reborn.Status()
+	if role != wire.ReplFollower || epoch != 7 {
+		t.Fatalf("restarted mid-install: role=%d epoch=%d, want fenced follower at epoch 7", role, epoch)
+	}
+	// Reads are fenced (the store is a partial image)...
+	wantErr(t, reborn.Handle(ctx, &wire.StreamInfo{UUID: "old"}), wire.CodeBusy)
+	// ...writes are refused...
+	wantErr(t, reborn.Handle(ctx, &wire.CreateStream{UUID: "x", Cfg: testCfg()}), wire.CodeNotLeader)
+	// ...it cannot be promoted to lead over the partial image...
+	wantErr(t, reborn.Handle(ctx, &wire.Promote{Epoch: 8, Leader: "a:1"}), wire.CodeBusy)
+	// ...and a resumed page without a fresh First is refused (its
+	// predecessor pages died with the process).
+	wantErr(t, reborn.Handle(ctx, &wire.ReplSnapshot{Epoch: 7, Watermark: 40, Done: true}), wire.CodeBadRequest)
+
+	// A fresh First..Done snapshot completes the resync and lifts the fence.
+	ack, ok := reborn.Handle(ctx, &wire.ReplSnapshot{
+		Epoch: 7, Watermark: 3, First: true, Done: true, Leader: "b:1",
+	}).(*wire.ReplAck)
+	if !ok || ack.Watermark != 3 {
+		t.Fatalf("fresh snapshot -> %#v", ack)
+	}
+	if role, epoch, wm := reborn.Status(); role != wire.ReplFollower || epoch != 7 || wm != 3 {
+		t.Fatalf("after resync: role=%d epoch=%d wm=%d", role, epoch, wm)
+	}
+	if resp := reborn.Handle(ctx, &wire.StreamInfo{UUID: "old"}); func() bool {
+		errMsg, isErr := resp.(*wire.Error)
+		return isErr && errMsg.Code == wire.CodeBusy
+	}() {
+		t.Error("reads still fenced after a completed resync")
+	}
+}
+
+// TestLeaderRecoversFollowerStuckMidInstall: a follower fenced by a
+// crashed snapshot install answers CodeBusy to every append forever; the
+// leader must notice the busy streak and send a fresh snapshot — the one
+// frame such a follower still accepts — instead of retrying appends
+// indefinitely.
+func TestLeaderRecoversFollowerStuckMidInstall(t *testing.T) {
+	silent := func(string, ...any) {}
+	fstore := kv.NewMemStore()
+	crashed, err := New(fstore, server.Config{}, Options{Self: "f:1", Logf: silent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if resp := crashed.Handle(ctx, &wire.ReplSnapshot{
+		Epoch: 1, Watermark: 9, First: true, Leader: "dead:1",
+		Items: []wire.KVItem{{Key: "partial/key", Value: []byte{1}}},
+	}); resp == nil {
+		t.Fatal("snapshot first page refused")
+	}
+	crashed.Close()
+
+	follower := startNodeOn(t, 100*time.Millisecond, fstore)
+	wantErr(t, follower.node.Handle(ctx, &wire.StreamInfo{UUID: "s1"}), wire.CodeBusy)
+
+	leader := startNode(t, 100*time.Millisecond)
+	if resp := leader.node.Handle(ctx, &wire.CreateStream{UUID: "s1", Cfg: testCfg()}); !isOK(resp) {
+		t.Fatalf("CreateStream -> %#v", resp)
+	}
+	for i := uint64(0); i < 3; i++ {
+		if resp := leader.node.Handle(ctx, &wire.InsertChunk{UUID: "s1", Chunk: testSealedChunk(t, i)}); !isOK(resp) {
+			t.Fatalf("InsertChunk(%d) -> %#v", i, resp)
+		}
+	}
+	leader.node.Lead([]string{follower.addr})
+
+	waitFor(t, "stuck follower snapshot-resynced", func() bool {
+		role, _, _ := follower.node.Status()
+		if role != wire.ReplFollower {
+			return false
+		}
+		info, ok := follower.node.Handle(ctx, &wire.StreamInfo{UUID: "s1"}).(*wire.StreamInfoResp)
+		return ok && info.Count == 3
+	})
+	// And the pipeline flows after the recovery.
+	if resp := leader.node.Handle(ctx, &wire.InsertChunk{UUID: "s1", Chunk: testSealedChunk(t, 3)}); !isOK(resp) {
+		t.Fatalf("post-recovery insert -> %#v", resp)
+	}
+	if got, want := statBytes(t, follower.node, "s1"), statBytes(t, leader.node, "s1"); !bytes.Equal(got, want) {
+		t.Error("recovered follower diverged from leader")
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/client"
+	"repro/internal/kv"
 	"repro/internal/wire"
 )
 
@@ -167,6 +168,14 @@ func (n *Node) runShipper(f *follower, epoch uint64) {
 			return true
 		}
 	}
+	// forceSnapshot requests a full resync regardless of log coverage: set
+	// when the follower's acks prove it lives in another leader's sequence
+	// space, or when it is stuck installing a snapshot whose sender died.
+	forceSnapshot := false
+	// busyStreak counts consecutive CodeBusy refusals. A follower that
+	// answers busy forever is fenced mid-install with no one finishing the
+	// job; a fresh snapshot First is the one frame it still accepts.
+	busyStreak := 0
 	for {
 		select {
 		case <-f.stop:
@@ -193,8 +202,9 @@ func (n *Node) runShipper(f *follower, epoch uint64) {
 		acked := f.acked
 		n.mu.Unlock()
 		first, recs, ok := n.log.from(acked+1, maxShipBytes)
-		if !ok {
-			// The follower is behind the log's tail: full resync.
+		if forceSnapshot || !ok {
+			// The follower is behind the log's tail (or provably
+			// divergent/stuck): full resync.
 			wm, err := n.sendSnapshot(tr, epoch)
 			if err != nil {
 				n.opts.Logf("replica: snapshot to %s: %v", f.addr, err)
@@ -204,6 +214,8 @@ func (n *Node) runShipper(f *follower, epoch uint64) {
 				}
 				continue
 			}
+			forceSnapshot = false
+			busyStreak = 0
 			n.mu.Lock()
 			f.acked = wm
 			f.active = true
@@ -223,7 +235,9 @@ func (n *Node) runShipper(f *follower, epoch uint64) {
 			}
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), n.opts.Lease)
-		resp, err := tr.RoundTrip(ctx, &wire.ReplAppend{Epoch: epoch, FirstSeq: first, Records: recs})
+		resp, err := tr.RoundTrip(ctx, &wire.ReplAppend{
+			Epoch: epoch, FirstSeq: first, Records: recs, Leader: n.opts.Self,
+		})
 		cancel()
 		if err != nil {
 			deactivate()
@@ -234,6 +248,18 @@ func (n *Node) runShipper(f *follower, epoch uint64) {
 		}
 		switch r := resp.(type) {
 		case *wire.ReplAck:
+			if head := n.log.head(); r.Watermark > head {
+				// The follower acknowledges sequences this leader never
+				// assigned: its watermark comes from an older leader's
+				// sequence space (it missed a re-based promotion). Its
+				// duplicate-acks would silently discard every new record,
+				// so its state is unusable — force a full resync.
+				n.opts.Logf("replica: follower %s watermark %d is beyond log head %d (divergent history); forcing snapshot resync",
+					f.addr, r.Watermark, head)
+				forceSnapshot = true
+				continue
+			}
+			busyStreak = 0
 			n.mu.Lock()
 			if r.Watermark > f.acked {
 				f.acked = r.Watermark
@@ -250,6 +276,7 @@ func (n *Node) runShipper(f *follower, epoch uint64) {
 			switch r.Code {
 			case wire.CodeReplGap:
 				// Reship from where the follower actually is.
+				busyStreak = 0
 				n.mu.Lock()
 				f.acked = r.Aux
 				n.mu.Unlock()
@@ -258,6 +285,16 @@ func (n *Node) runShipper(f *follower, epoch uint64) {
 				n.deposeTo(r.Aux)
 				return
 			case wire.CodeBusy:
+				// Likely a snapshot install in progress. If it persists,
+				// the installer died with the job half done and the
+				// follower is fenced forever; a fresh snapshot First is
+				// the one frame it still accepts, so send one.
+				busyStreak++
+				if busyStreak >= 3 {
+					n.opts.Logf("replica: follower %s busy %d times in a row; forcing snapshot resync", f.addr, busyStreak)
+					forceSnapshot = true
+					busyStreak = 0
+				}
 				if !sleep(backoff) {
 					return
 				}
@@ -279,20 +316,39 @@ func (n *Node) runShipper(f *follower, epoch uint64) {
 }
 
 // snapshotDump captures a consistent full-store image: every apply stripe
-// is held, freezing mutations, while keys are copied out (the node's own
+// is held, freezing mutations, while keys are captured (the node's own
 // replication state is excluded — roles don't replicate). It returns the
 // image and the applied sequence it corresponds to.
+//
+// A consistent instant is mandatory — engine replay is not idempotent and
+// the store scans in no particular order — so the freeze itself can't be
+// avoided; instead it is made cheap. Stores that support ShallowScanner
+// (their internal value buffers are immutable) are captured as slice
+// headers only, no value bytes copied: the freeze costs O(keys) pointer
+// copies and pages marshal straight from the store's own buffers after
+// the stripes are released. Other stores get a defensive deep copy.
 func (n *Node) snapshotDump() ([]wire.KVItem, uint64, error) {
 	unlock := n.lockApply(&wire.TopologyUpdate{}) // no routing key: all stripes
 	defer unlock()
 	var items []wire.KVItem
-	err := n.store.Scan("", func(key string, value []byte) bool {
-		if key == stateKey {
+	var err error
+	if ss, ok := n.store.(kv.ShallowScanner); ok {
+		err = ss.ScanShallow("", func(key string, value []byte) bool {
+			if key == stateKey {
+				return true
+			}
+			items = append(items, wire.KVItem{Key: key, Value: value})
 			return true
-		}
-		items = append(items, wire.KVItem{Key: key, Value: append([]byte(nil), value...)})
-		return true
-	})
+		})
+	} else {
+		err = n.store.Scan("", func(key string, value []byte) bool {
+			if key == stateKey {
+				return true
+			}
+			items = append(items, wire.KVItem{Key: key, Value: append([]byte(nil), value...)})
+			return true
+		})
+	}
 	if err != nil {
 		return nil, 0, err
 	}
@@ -321,12 +377,14 @@ func (n *Node) sendSnapshot(tr *client.TCP, epoch uint64) (uint64, error) {
 			}
 			bytes += len(it.Key) + len(it.Value)
 			page = append(page, it)
+			items[0] = wire.KVItem{} // release captured buffers as pages ship
 			items = items[1:]
 		}
 		done := len(items) == 0
 		ctx, cancel := context.WithTimeout(context.Background(), 4*n.opts.Lease)
 		resp, err := tr.RoundTrip(ctx, &wire.ReplSnapshot{
 			Epoch: epoch, Watermark: watermark, First: first, Done: done, Items: page,
+			Leader: n.opts.Self,
 		})
 		cancel()
 		if err != nil {

@@ -717,9 +717,9 @@ func TestReplicationMessagesHostileInputs(t *testing.T) {
 	// panic and accepted mutants re-marshal.
 	r := rand.New(rand.NewPCG(0x7265, 0x706C))
 	for _, m := range []Message{
-		&ReplAppend{Epoch: 9, FirstSeq: 100, Records: [][]byte{{1, 2, 3}, {}, {4}}},
+		&ReplAppend{Epoch: 9, FirstSeq: 100, Records: [][]byte{{1, 2, 3}, {}, {4}}, Leader: "b:2"},
 		&ReplAck{Epoch: 9, Watermark: 102},
-		&ReplSnapshot{Epoch: 10, Watermark: 50, First: true,
+		&ReplSnapshot{Epoch: 10, Watermark: 50, First: true, Leader: "b:2",
 			Items: []KVItem{{Key: "m/s", Value: []byte{1}}, {Key: "c/s/0", Value: []byte{2}}}},
 		&ReplSnapshot{Epoch: 10, Watermark: 50, Done: true},
 		&Promote{Epoch: 11, Leader: "b:2", Members: []string{"a:1", "b:2", "c:3"}},

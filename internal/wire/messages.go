@@ -1686,17 +1686,21 @@ const MaxReplRecords = 1 << 12
 // ReplAppend ships a contiguous run of the leader's mutation log to a
 // follower. Epoch is the leader's lease epoch; a follower that knows a
 // higher epoch refuses with CodeWrongShard{knownEpoch} — the shipping
-// leader has been deposed and must stop acking. Records are marshaled
-// mutation requests (Marshal framing), applied in order; record i carries
-// sequence number FirstSeq+i. A fully-duplicate run (at or below the
-// follower's watermark) is acked idempotently without reapplying; a run
-// starting beyond watermark+1 answers CodeReplGap{watermark} and applies
-// nothing. An empty Records run is the leader's heartbeat: it renews the
-// lease and re-acks the watermark.
+// leader has been deposed and must stop acking. Leader is the shipping
+// leader's advertised address: a follower adopting Epoch records it so
+// CodeNotLeader referrals point clients at the node that actually holds
+// the lease ("" when the sender has no advertised address). Records are
+// marshaled mutation requests (Marshal framing), applied in order; record
+// i carries sequence number FirstSeq+i. A fully-duplicate run (at or
+// below the follower's watermark) is acked idempotently without
+// reapplying; a run starting beyond watermark+1 answers
+// CodeReplGap{watermark} and applies nothing. An empty Records run is the
+// leader's heartbeat: it renews the lease and re-acks the watermark.
 type ReplAppend struct {
 	Epoch    uint64
 	FirstSeq uint64
 	Records  [][]byte
+	Leader   string
 }
 
 func (*ReplAppend) Type() MsgType { return TReplAppend }
@@ -1707,6 +1711,7 @@ func (m *ReplAppend) encode(e *Encoder) {
 	for _, r := range m.Records {
 		e.Blob(r)
 	}
+	e.Str(m.Leader)
 }
 func (m *ReplAppend) decode(d *Decoder) error {
 	m.Epoch = d.U64()
@@ -1719,6 +1724,7 @@ func (m *ReplAppend) decode(d *Decoder) error {
 	for i := uint64(0); i < n; i++ {
 		m.Records = append(m.Records, d.Blob())
 	}
+	m.Leader = d.Str()
 	return d.Err()
 }
 
@@ -1746,7 +1752,9 @@ func (m *ReplAck) decode(d *Decoder) error {
 // atomically at log position Watermark. First tells the follower to wipe
 // its store and enter installing mode (reads answer CodeBusy); Done ends
 // the install — the follower reopens its engine over the loaded store,
-// adopts Epoch, and sets its watermark to Watermark. Every page answers OK
+// adopts Epoch, and sets its watermark to Watermark. Leader is the sending
+// leader's advertised address, recorded on adoption so referrals stay
+// accurate (same contract as ReplAppend.Leader). Every page answers OK
 // (or Error). Resync is the recovery path for any replica whose fine-grained
 // position is unknown or unusable: a follower restarted from disk, a
 // deposed leader rejoining, or a follower that lagged past the leader's
@@ -1757,6 +1765,7 @@ type ReplSnapshot struct {
 	First     bool
 	Done      bool
 	Items     []KVItem
+	Leader    string
 }
 
 func (*ReplSnapshot) Type() MsgType { return TReplSnapshot }
@@ -1766,6 +1775,7 @@ func (m *ReplSnapshot) encode(e *Encoder) {
 	e.Bool(m.First)
 	e.Bool(m.Done)
 	encodeKVItems(e, m.Items)
+	e.Str(m.Leader)
 }
 func (m *ReplSnapshot) decode(d *Decoder) error {
 	m.Epoch = d.U64()
@@ -1777,6 +1787,7 @@ func (m *ReplSnapshot) decode(d *Decoder) error {
 		return err
 	}
 	m.Items = items
+	m.Leader = d.Str()
 	return d.Err()
 }
 

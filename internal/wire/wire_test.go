@@ -139,9 +139,9 @@ func allMessages() []Message {
 		&SubscribeResp{FirstSeq: 17, WindowChunks: 6, Epoch: 1700000000000, Interval: 10000, StreamCount: 2},
 		&SubEvent{Seq: 17, FromChunk: 102, ToChunk: 108, Resync: true, Window: []uint64{9, 8, 7}},
 		&Unsubscribe{ID: 42},
-		&ReplAppend{Epoch: 3, FirstSeq: 42, Records: [][]byte{{1, 2}, {}, {3}}},
+		&ReplAppend{Epoch: 3, FirstSeq: 42, Records: [][]byte{{1, 2}, {}, {3}}, Leader: "a:7733"},
 		&ReplAck{Epoch: 3, Watermark: 44},
-		&ReplSnapshot{Epoch: 4, Watermark: 99, First: true,
+		&ReplSnapshot{Epoch: 4, Watermark: 99, First: true, Leader: "a:7733",
 			Items: []KVItem{{Key: "m/s1", Value: []byte{1}}, {Key: "c/s1/0", Value: []byte{2, 3}}}},
 		&ReplSnapshot{Epoch: 4, Watermark: 99, Done: true},
 		&Promote{Epoch: 5, Leader: "b:7733", Members: []string{"a:7733", "b:7733", "c:7733"}},
