@@ -252,6 +252,12 @@ func doReplicas(ctx context.Context, addrs []string) {
 			role = fmt.Sprintf("role-%d", li.Role)
 		}
 		fmt.Printf("%-22s %-10s epoch %-4d watermark %-8d lease %s", a, role, li.Epoch, li.Watermark, time.Duration(li.LeaseMS)*time.Millisecond)
+		if li.Mode == wire.ReplModeQuorum {
+			fmt.Printf("  mode quorum")
+			if li.Quorum > 0 {
+				fmt.Printf(" (%d to ack)", li.Quorum)
+			}
+		}
 		if li.Leader != "" && li.Leader != a {
 			fmt.Printf("  -> leader %s", li.Leader)
 		}

@@ -41,6 +41,11 @@
 //	timecrypt-server -addr :7733 -data-dir /srv/b -replicas=       # on host2
 //	timecrypt-server -addr :7700 -peers 'host1:7733|host2:7733'
 //
+// -quorum (groups of 3+) switches a group from availability-first
+// acknowledgement to majority acknowledgement: writes are refused while
+// a majority is unreachable, and no acknowledged write can be lost to a
+// partition.
+//
 // See docs/OPERATIONS.md for the full deployment and resharding runbook
 // and docs/REPLICATION.md for lease/epoch rules and failover.
 package main
@@ -86,6 +91,7 @@ func main() {
 	advertise := flag.String("advertise", "", "address other cluster members dial this server at (default: -addr, with localhost for a bare :port)")
 	replicas := flag.String("replicas", "", "comma-separated follower addresses this server's shard replicates to (makes it the group leader); pass -replicas '' explicitly to start as a follower awaiting its leader")
 	lease := flag.Duration("lease", replica.DefaultLease, "replication leader lease; a failover waits it out before promoting a follower")
+	quorum := flag.Bool("quorum", false, "quorum-acknowledged replication: the leader acks a write only after a majority of the group (itself included) applied it, and refuses writes (CodeBusy) while a majority is unreachable; needs a group of at least 3. On a routing tier, applies to every replicated -peers group")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
 	flag.Parse()
 
@@ -202,7 +208,7 @@ func main() {
 				followerList = append(followerList, f)
 			}
 		}
-		opts := replica.Options{Self: self, Lease: *lease, Logf: log.Printf}
+		opts := replica.Options{Self: self, Lease: *lease, Logf: log.Printf, Quorum: *quorum}
 		if dstore != nil {
 			opts.StoreSeq = dstore.CommittedSeq
 		}
@@ -214,11 +220,15 @@ func main() {
 		if len(followerList) > 0 {
 			// A no-op over persisted replication state: a restarted
 			// ex-leader comes back deposed and rejoins as a follower once
-			// the current leader resyncs it.
-			rnode.Lead(followerList)
+			// the current leader resyncs it. A quorum group too small to
+			// ever form a meaningful majority is a misconfiguration and
+			// refuses to start.
+			if err := rnode.Lead(followerList); err != nil {
+				log.Fatalf("replication: %v", err)
+			}
 		}
 		role, epoch, _ := rnode.Status()
-		log.Printf("replication: role=%d epoch=%d lease=%s followers=%v", role, epoch, *lease, followerList)
+		log.Printf("replication: role=%d epoch=%d lease=%s quorum=%v followers=%v", role, epoch, *lease, *quorum, followerList)
 		handler = rnode
 	} else if len(peerList) == 0 && nLocal == 1 {
 		engine, err := server.New(store, server.Config{CacheBytes: *cache})
@@ -248,7 +258,9 @@ func main() {
 						members = append(members, m)
 					}
 				}
-				sh, err = cluster.NewReplicatedShard(members[0], members, *peerWindow, log.Printf)
+				sh, err = cluster.NewReplicatedShardOptions(members[0], members, cluster.GroupOptions{
+					InFlight: *peerWindow, Logf: log.Printf, Quorum: *quorum,
+				})
 			} else {
 				sh, err = cluster.NewTCPShard(p, p, *peerWindow)
 			}

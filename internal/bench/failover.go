@@ -34,15 +34,16 @@ type failoverMember struct {
 	kill func()
 }
 
-func startFailoverMember(lease time.Duration) (*failoverMember, error) {
+func startFailoverMember(lease time.Duration, quorum bool) (*failoverMember, error) {
 	lis, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err
 	}
 	node, err := replica.New(kv.NewMemStore(), server.Config{}, replica.Options{
-		Self:  lis.Addr().String(),
-		Lease: lease,
-		Logf:  func(string, ...any) {},
+		Self:   lis.Addr().String(),
+		Lease:  lease,
+		Logf:   func(string, ...any) {},
+		Quorum: quorum,
 	})
 	if err != nil {
 		lis.Close()
@@ -99,14 +100,22 @@ func Failover(w io.Writer, opts Options) ([]FailoverResult, error) {
 	ctx := context.Background()
 	var results []FailoverResult
 
-	// Ingest overhead at F = 0, 1, 2. All factors run the same replica
-	// node over TCP so the F=0 row isolates replication, not transport.
-	for followers := 0; followers <= 2; followers++ {
+	// Ingest overhead at F = 0, 1, 2 in availability mode, plus the same
+	// 3-member group in quorum mode (ack at 2 of 3, leader included, so
+	// the slower follower leaves the critical path). All rows run the
+	// same replica node over TCP so F=0 isolates replication, not
+	// transport.
+	runIngest := func(name, uuid string, followers int, quorum bool) error {
 		var members []*failoverMember
+		defer func() {
+			for _, m := range members {
+				m.kill()
+			}
+		}()
 		for i := 0; i <= followers; i++ {
-			m, err := startFailoverMember(lease)
+			m, err := startFailoverMember(lease, quorum)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			members = append(members, m)
 		}
@@ -115,15 +124,17 @@ func Failover(w io.Writer, opts Options) ([]FailoverResult, error) {
 			for _, m := range members[1:] {
 				addrs = append(addrs, m.addr)
 			}
-			members[0].node.Lead(addrs)
+			if err := members[0].node.Lead(addrs); err != nil {
+				return err
+			}
 		}
 		tr, err := client.DialTCP(members[0].addr)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		uuid := fmt.Sprintf("failover-f%d", followers)
+		defer tr.Close()
 		if resp, err := tr.RoundTrip(ctx, &wire.CreateStream{UUID: uuid, Cfg: cfg}); err != nil || isWireErr(resp) {
-			return nil, fmt.Errorf("create %s: %v, %v", uuid, resp, err)
+			return fmt.Errorf("create %s: %v, %v", uuid, resp, err)
 		}
 		rec := &workload.LatencyRecorder{}
 		for c := 0; c < inserts; c++ {
@@ -132,65 +143,100 @@ func Failover(w io.Writer, opts Options) ([]FailoverResult, error) {
 			resp, err := tr.RoundTrip(ctx, &wire.InsertChunk{UUID: uuid, Chunk: payload})
 			rec.Record(time.Since(t0))
 			if err != nil || isWireErr(resp) {
-				return nil, fmt.Errorf("insert %s/%d: %v, %v", uuid, c, resp, err)
+				return fmt.Errorf("insert %s/%d: %v, %v", uuid, c, resp, err)
 			}
 		}
-		tr.Close()
-		for _, m := range members {
-			m.kill()
+		results = append(results, FailoverResult{Name: name, Latency: rec.Summarize(), Ops: inserts})
+		return nil
+	}
+	for followers := 0; followers <= 2; followers++ {
+		if err := runIngest(fmt.Sprintf("ingest F=%d", followers),
+			fmt.Sprintf("failover-f%d", followers), followers, false); err != nil {
+			return nil, err
 		}
-		results = append(results, FailoverResult{
-			Name: fmt.Sprintf("ingest F=%d", followers), Latency: rec.Summarize(), Ops: inserts,
-		})
+	}
+	if err := runIngest("ingest F=2 quorum", "failover-f2q", 2, true); err != nil {
+		return nil, err
 	}
 
-	// Time to recovery: leader + 1 follower behind a router shard; kill
-	// the leader and clock the first successful read after the crash.
-	recRec := &workload.LatencyRecorder{}
-	for trial := 0; trial < trials; trial++ {
-		leader, err := startFailoverMember(lease)
-		if err != nil {
-			return nil, err
+	// Time to recovery: a replicated group behind a router shard; kill
+	// the leader and clock the first successful read after the crash. The
+	// quorum variant runs 3 members with majority acknowledgement, so its
+	// failover also fences the surviving majority before promoting.
+	runRecovery := func(name string, quorum bool) (*workload.LatencyRecorder, error) {
+		rec := &workload.LatencyRecorder{}
+		groupSize := 2
+		if quorum {
+			groupSize = 3
 		}
-		follower, err := startFailoverMember(lease)
-		if err != nil {
-			leader.kill()
-			return nil, err
-		}
-		leader.node.Lead([]string{follower.addr})
-		sh, err := cluster.NewReplicatedShard("g0", []string{leader.addr, follower.addr}, 0,
-			func(string, ...any) {})
-		if err != nil {
-			leader.kill()
-			follower.kill()
-			return nil, err
-		}
-		uuid := fmt.Sprintf("recovery-%d", trial)
-		if resp := sh.Handler.Handle(ctx, &wire.CreateStream{UUID: uuid, Cfg: cfg}); isWireErr(resp) {
-			return nil, fmt.Errorf("create %s: %v", uuid, resp)
-		}
-		for c := 0; c < 8; c++ {
-			if resp := sh.Handler.Handle(ctx, &wire.InsertChunk{UUID: uuid, Chunk: seal(uint64(c))}); isWireErr(resp) {
-				return nil, fmt.Errorf("trial %d ingest %d: %v", trial, c, resp)
+		for trial := 0; trial < trials; trial++ {
+			var members []*failoverMember
+			var addrs []string
+			for i := 0; i < groupSize; i++ {
+				m, err := startFailoverMember(lease, quorum)
+				if err != nil {
+					for _, k := range members {
+						k.kill()
+					}
+					return nil, err
+				}
+				members = append(members, m)
+				addrs = append(addrs, m.addr)
 			}
-		}
-		query := &wire.StatRange{UUIDs: []string{uuid}, Ts: 0, Te: 8 * 100}
+			kill := func() {
+				for _, m := range members {
+					m.kill()
+				}
+			}
+			if err := members[0].node.Lead(addrs[1:]); err != nil {
+				kill()
+				return nil, err
+			}
+			sh, err := cluster.NewReplicatedShardOptions("g0", addrs,
+				cluster.GroupOptions{Logf: func(string, ...any) {}, Quorum: quorum})
+			if err != nil {
+				kill()
+				return nil, err
+			}
+			uuid := fmt.Sprintf("recovery-%s-%d", name, trial)
+			if resp := sh.Handler.Handle(ctx, &wire.CreateStream{UUID: uuid, Cfg: cfg}); isWireErr(resp) {
+				kill()
+				return nil, fmt.Errorf("create %s: %v", uuid, resp)
+			}
+			for c := 0; c < 8; c++ {
+				if resp := sh.Handler.Handle(ctx, &wire.InsertChunk{UUID: uuid, Chunk: seal(uint64(c))}); isWireErr(resp) {
+					kill()
+					return nil, fmt.Errorf("trial %d ingest %d: %v", trial, c, resp)
+				}
+			}
+			query := &wire.StatRange{UUIDs: []string{uuid}, Ts: 0, Te: 8 * 100}
 
-		leader.kill()
-		t0 := time.Now()
-		// One blocking read rides the whole failover: detection, lease
-		// grace, promotion, retry against the new leader.
-		if resp := sh.Handler.Handle(ctx, query); isWireErr(resp) {
-			return nil, fmt.Errorf("trial %d post-crash read: %v", trial, resp)
-		}
-		recRec.Record(time.Since(t0))
+			members[0].kill()
+			t0 := time.Now()
+			// One blocking read rides the whole failover: detection, lease
+			// grace, (for quorum: majority fence,) promotion, retry
+			// against the new leader.
+			if resp := sh.Handler.Handle(ctx, query); isWireErr(resp) {
+				kill()
+				return nil, fmt.Errorf("trial %d post-crash read: %v", trial, resp)
+			}
+			rec.Record(time.Since(t0))
 
-		if c, ok := sh.Handler.(io.Closer); ok {
-			c.Close()
+			if c, ok := sh.Handler.(io.Closer); ok {
+				c.Close()
+			}
+			kill()
 		}
-		follower.kill()
+		results = append(results, FailoverResult{Name: name, Latency: rec.Summarize(), Ops: trials})
+		return rec, nil
 	}
-	results = append(results, FailoverResult{Name: "time to recovery", Latency: recRec.Summarize(), Ops: trials})
+	recRec, err := runRecovery("time to recovery", false)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := runRecovery("time to recovery quorum", true); err != nil {
+		return nil, err
+	}
 
 	t := &table{header: []string{"Facet", "Ops", "p50", "p99", "max"}}
 	for _, r := range results {
@@ -199,9 +245,10 @@ func Failover(w io.Writer, opts Options) ([]FailoverResult, error) {
 	t.write(w)
 	f0 := results[0].Latency
 	if f0.P50 > 0 {
-		fmt.Fprintf(w, "\nreplicated ingest p50: F=1 %.2fx, F=2 %.2fx of unreplicated; recovery p50 %s against a %s lease\n",
+		fmt.Fprintf(w, "\nreplicated ingest p50: F=1 %.2fx, F=2 %.2fx, F=2 quorum %.2fx of unreplicated; recovery p50 %s against a %s lease\n",
 			float64(results[1].Latency.P50)/float64(f0.P50),
 			float64(results[2].Latency.P50)/float64(f0.P50),
+			float64(results[3].Latency.P50)/float64(f0.P50),
 			fmtDur(recRec.Summarize().P50), lease)
 	}
 	for _, r := range results {

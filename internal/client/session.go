@@ -36,6 +36,12 @@ type SessionOptions struct {
 	// DefaultWindow. Keep it at or below the server's per-connection cap
 	// or overflow calls fail with wire.CodeBusy.
 	Window int
+	// NetDial overrides how the raw connection is established (nil means
+	// net.Dial "tcp"). The session protocol above the connection is
+	// unchanged; fault-injecting test harnesses (internal/netchaos) and
+	// custom transports hook in here, and the override survives redials
+	// because every reconnect goes back through DialSession.
+	NetDial func(addr string) (net.Conn, error)
 }
 
 // Session is one multiplexed connection to a TimeCrypt server (wire
@@ -98,7 +104,11 @@ type Call struct {
 
 // DialSession connects a multiplexed session to a server address.
 func DialSession(addr string, opts SessionOptions) (*Session, error) {
-	conn, err := net.Dial("tcp", addr)
+	dial := opts.NetDial
+	if dial == nil {
+		dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	conn, err := dial(addr)
 	if err != nil {
 		return nil, fmt.Errorf("client: dialing %s: %w", addr, err)
 	}

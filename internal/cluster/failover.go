@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"sync"
 	"time"
 
@@ -38,6 +39,13 @@ type ReplicatedShard struct {
 	name string
 	opts client.SessionOptions
 	logf func(string, ...any)
+	// callTimeout bounds each attempt of one request (0 = only the
+	// caller's context). With it, a leader that is alive but blackholed —
+	// a partition, not a crash, so the connection never breaks — turns
+	// into a per-attempt deadline while the caller's context is still
+	// live, which routes into the failover path instead of hanging the
+	// client until its own deadline.
+	callTimeout time.Duration
 
 	// failoverMu serializes probe/promote cycles so a burst of broken
 	// calls elects one leader, not one per request.
@@ -51,6 +59,16 @@ type ReplicatedShard struct {
 	lease   time.Duration
 	conn    *client.TCP
 	gen     uint64 // bumped on every leader change; stale-gen failovers no-op
+	// quorum marks the group as quorum-acknowledged (configured, or
+	// observed from any member's LeaseInfo mode). Promotion then requires
+	// a reachable majority and fences the non-candidates first, so a
+	// minority-side ex-leader can neither keep acknowledging nor be
+	// re-adopted with a stale history.
+	quorum bool
+	// requiredWM is the lowest watermark a leader must prove before this
+	// router adopts it in quorum mode: raised when a promotion's fence
+	// acks reveal records the promoted candidate does not hold.
+	requiredWM uint64
 }
 
 // defaultGroupLease mirrors the replica package's default lease, used
@@ -63,24 +81,51 @@ const maxFailoverAttempts = 4
 // probeTimeout bounds one member's LeaseInfo round trip during failover.
 const probeTimeout = 2 * time.Second
 
+// GroupOptions parameterizes a replicated shard beyond the common case.
+type GroupOptions struct {
+	// InFlight bounds in-flight requests per connection as in NewTCPShard.
+	InFlight int
+	// Logf receives failover logs (nil discards them).
+	Logf func(string, ...any)
+	// NetDial overrides how group members are dialed (probes, promotions,
+	// and the shard's leader connection alike); test harnesses inject
+	// fault-injecting dialers (internal/netchaos) here. Nil means TCP.
+	NetDial func(addr string) (net.Conn, error)
+	// Quorum declares the group quorum-acknowledged up front. The router
+	// also learns this from any member's LeaseInfo, so the flag only
+	// matters before the first successful probe.
+	Quorum bool
+	// CallTimeout bounds each attempt of one request; see
+	// ReplicatedShard.callTimeout. 0 disables the per-attempt bound.
+	CallTimeout time.Duration
+}
+
 // NewReplicatedShard dials a replication group and returns it as a
 // routable shard bound to the group's current leader. members lists the
 // group's addresses (leader position unknown — it is discovered);
 // inflight bounds in-flight requests per connection as in NewTCPShard.
 // A nil logf discards failover logs.
 func NewReplicatedShard(name string, members []string, inflight int, logf func(string, ...any)) (Shard, error) {
+	return NewReplicatedShardOptions(name, members, GroupOptions{InFlight: inflight, Logf: logf})
+}
+
+// NewReplicatedShardOptions is NewReplicatedShard with full options.
+func NewReplicatedShardOptions(name string, members []string, o GroupOptions) (Shard, error) {
 	if len(members) == 0 {
 		return Shard{}, fmt.Errorf("cluster: replicated shard %q has no members", name)
 	}
+	logf := o.Logf
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
 	rs := &ReplicatedShard{
-		name:    name,
-		opts:    client.SessionOptions{Window: inflight},
-		logf:    logf,
-		members: append([]string(nil), members...),
-		lease:   defaultGroupLease,
+		name:        name,
+		opts:        client.SessionOptions{Window: o.InFlight, NetDial: o.NetDial},
+		logf:        logf,
+		callTimeout: o.CallTimeout,
+		members:     append([]string(nil), members...),
+		lease:       defaultGroupLease,
+		quorum:      o.Quorum,
 	}
 	if err := rs.failover(context.Background(), 0); err != nil {
 		return Shard{}, fmt.Errorf("cluster: replicated shard %q: %w", name, err)
@@ -97,6 +142,7 @@ type memberView struct {
 	leaseMS   int64
 	leader    string
 	members   []string
+	mode      uint8
 }
 
 // probeMember asks one member for its lease view over a throwaway
@@ -120,7 +166,7 @@ func probeMember(ctx context.Context, addr string, opts client.SessionOptions) (
 	}
 	return memberView{
 		addr: addr, role: li.Role, epoch: li.Epoch, watermark: li.Watermark,
-		leaseMS: li.LeaseMS, leader: li.Leader, members: li.Members,
+		leaseMS: li.LeaseMS, leader: li.Leader, members: li.Members, mode: li.Mode,
 	}, nil
 }
 
@@ -214,6 +260,8 @@ func (rs *ReplicatedShard) failover(ctx context.Context, gen uint64) error {
 	members := append([]string(nil), rs.members...)
 	lease := rs.lease
 	known := rs.epoch
+	quorum := rs.quorum
+	requiredWM := rs.requiredWM
 	rs.mu.Unlock()
 
 	// The old leader's lease must expire before anyone is promoted over
@@ -221,6 +269,14 @@ func (rs *ReplicatedShard) failover(ctx context.Context, gen uint64) error {
 	graceOver := time.Now().Add(lease)
 	for round := 0; ; round++ {
 		views, leaderAddr, leaderEpoch := rs.probe(ctx, members)
+		for _, v := range views {
+			if v.mode == wire.ReplModeQuorum && !quorum {
+				quorum = true
+				rs.mu.Lock()
+				rs.quorum = true
+				rs.mu.Unlock()
+			}
+		}
 		if leaderAddr != "" && leaderEpoch >= known {
 			var lv *memberView
 			for i := range views {
@@ -228,7 +284,16 @@ func (rs *ReplicatedShard) failover(ctx context.Context, gen uint64) error {
 					lv = &views[i]
 				}
 			}
-			return rs.adopt(leaderAddr, leaderEpoch, lv)
+			// Quorum adoption guard: a leader whose watermark is below
+			// what a previous promotion's fence acks proved durable is a
+			// stale survivor (a minority-side ex-leader, or a candidate
+			// promoted before its missing tail surfaced). Re-elect over it
+			// rather than adopt it.
+			if !quorum || lv == nil || lv.watermark >= requiredWM {
+				return rs.adopt(leaderAddr, leaderEpoch, lv)
+			}
+			rs.logf("cluster: shard %s: refusing leader %s at watermark %d (< required %d); re-electing",
+				rs.name, leaderAddr, lv.watermark, requiredWM)
 		}
 		for _, v := range views {
 			if v.epoch > known {
@@ -250,16 +315,83 @@ func (rs *ReplicatedShard) failover(ctx context.Context, gen uint64) error {
 		if len(views) == 0 {
 			return fmt.Errorf("no member of replication group %v reachable", members)
 		}
+		majority := len(members)/2 + 1
+		if quorum && len(views) < majority {
+			// A minority cannot elect: any write quorum of the other side
+			// would miss the new leader entirely, losing acked writes.
+			return fmt.Errorf("only %d of %d members of quorum group %v reachable; promotion needs %d",
+				len(views), len(members), members, majority)
+		}
 		// Lease expired and nobody claims leadership: promote the
 		// most-advanced member — highest epoch first (it may hold acks
-		// the others never saw), then highest watermark.
-		best := views[0]
-		for _, v := range views[1:] {
-			if v.epoch > best.epoch || (v.epoch == best.epoch && v.watermark > best.watermark) {
+		// the others never saw), then highest watermark. In quorum mode a
+		// candidate below the required watermark is never chosen.
+		var best *memberView
+		for i := range views {
+			v := &views[i]
+			if quorum && v.watermark < requiredWM {
+				continue
+			}
+			if best == nil || v.epoch > best.epoch || (v.epoch == best.epoch && v.watermark > best.watermark) {
 				best = v
 			}
 		}
+		if best == nil {
+			return fmt.Errorf("no reachable member of group %v holds the required watermark %d", members, requiredWM)
+		}
 		newEpoch := known + 1
+		if quorum {
+			// Fence-then-promote: move every other reachable member to
+			// newEpoch as a follower FIRST. A fenced member refuses the old
+			// leader's appends from that instant, and its fence ack reports
+			// the watermark it was fenced at — so any write the old leader
+			// acked via a quorum is visible in some fence ack (write quorum
+			// and promotion majority always intersect), and a candidate
+			// missing one of those records is caught before adoption.
+			fenced := 1 // the candidate itself, fenced by its own Promote below
+			var fenceMax uint64
+			raced := false
+			for i := range views {
+				v := &views[i]
+				if v.addr == best.addr {
+					continue
+				}
+				resp, err := rs.sendPromote(ctx, v.addr, &wire.Promote{
+					Epoch: newEpoch, Leader: best.addr, Members: members,
+				})
+				if err != nil {
+					continue
+				}
+				switch r := resp.(type) {
+				case *wire.ReplAck:
+					fenced++
+					if r.Watermark > fenceMax {
+						fenceMax = r.Watermark
+					}
+				case *wire.Error:
+					if r.Code == wire.CodeWrongShard && r.Aux > known {
+						known = r.Aux
+						raced = true
+					}
+				}
+			}
+			if raced {
+				continue // another router is ahead; re-probe at its epoch
+			}
+			if fenced < majority {
+				known = newEpoch // the fenced members moved; don't reuse the epoch
+				if round >= maxFailoverAttempts {
+					return fmt.Errorf("quorum promotion fenced only %d of %d needed members", fenced, majority)
+				}
+				continue
+			}
+			if fenceMax > requiredWM {
+				requiredWM = fenceMax
+				rs.mu.Lock()
+				rs.requiredWM = fenceMax
+				rs.mu.Unlock()
+			}
+		}
 		rs.logf("cluster: shard %s: promoting %s to leader (epoch %d, watermark %d)", rs.name, best.addr, newEpoch, best.watermark)
 		resp, err := rs.sendPromote(ctx, best.addr, &wire.Promote{
 			Epoch: newEpoch, Leader: best.addr, Members: members,
@@ -267,8 +399,22 @@ func (rs *ReplicatedShard) failover(ctx context.Context, gen uint64) error {
 		if err == nil {
 			switch r := resp.(type) {
 			case *wire.ReplAck:
+				if quorum && r.Watermark < requiredWM {
+					// The fence acks proved a record this candidate does not
+					// hold: a write quorum that excluded it acknowledged
+					// something it never saw. Re-elect at a higher epoch; the
+					// watermark guard above now steers the election to the
+					// member that reported requiredWM.
+					rs.logf("cluster: shard %s: promoted %s holds watermark %d < required %d; re-electing",
+						rs.name, best.addr, r.Watermark, requiredWM)
+					known = newEpoch
+					if round >= maxFailoverAttempts {
+						return fmt.Errorf("promoted %s lacks required watermark %d", best.addr, requiredWM)
+					}
+					continue
+				}
 				best.epoch = newEpoch
-				return rs.adopt(best.addr, newEpoch, &best)
+				return rs.adopt(best.addr, newEpoch, best)
 			case *wire.Error:
 				if r.Code == wire.CodeWrongShard && r.Aux > known {
 					// Lost an election race: learn the winner's epoch and
@@ -339,7 +485,11 @@ func (rs *ReplicatedShard) refer(ctx context.Context, gen uint64, addr string, e
 // Handle implements server.Handler against the group's leader. Failed
 // reads retry on the post-failover leader; failed writes surface (their
 // outcome on the dead leader is unknown); CodeNotLeader refusals —
-// which applied nothing — replay against the referred leader.
+// which applied nothing — replay against the referred leader. CodeBusy
+// refusals also applied nothing (that is the quorum gate's and the
+// install fence's contract), so they retry after a short wait — checking
+// first whether leadership moved while the busy leader blocks on a
+// quorum it lost.
 func (rs *ReplicatedShard) Handle(ctx context.Context, req wire.Message) wire.Message {
 	var lastErr error
 	for attempt := 0; attempt <= maxFailoverAttempts; attempt++ {
@@ -347,11 +497,26 @@ func (rs *ReplicatedShard) Handle(ctx context.Context, req wire.Message) wire.Me
 		if err != nil {
 			return &wire.Error{Code: wire.CodeInternal, Msg: fmt.Sprintf("cluster: shard %s: %v", rs.name, err)}
 		}
-		resp, rtErr := conn.RoundTrip(ctx, req)
+		actx := ctx
+		var cancel context.CancelFunc
+		if rs.callTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, rs.callTimeout)
+		}
+		resp, rtErr := conn.RoundTrip(actx, req)
+		if cancel != nil {
+			cancel()
+		}
 		if rtErr == nil {
-			if e, ok := resp.(*wire.Error); ok && e.Code == wire.CodeNotLeader && attempt < maxFailoverAttempts {
-				if rs.refer(ctx, gen, e.Msg, e.Aux) {
-					continue
+			if e, ok := resp.(*wire.Error); ok && attempt < maxFailoverAttempts {
+				switch e.Code {
+				case wire.CodeNotLeader:
+					if rs.refer(ctx, gen, e.Msg, e.Aux) {
+						continue
+					}
+				case wire.CodeBusy:
+					if rs.busyWait(ctx, gen) {
+						continue
+					}
 				}
 			}
 			return resp
@@ -359,6 +524,10 @@ func (rs *ReplicatedShard) Handle(ctx context.Context, req wire.Message) wire.Me
 		if ctx.Err() != nil {
 			return canceled(ctx.Err())
 		}
+		// The attempt failed while the caller's context is still live:
+		// either the connection broke, or the per-attempt deadline caught
+		// a leader that is alive but unreachable (a partition eats frames
+		// without closing sockets). Both route into failover.
 		lastErr = rtErr
 		if fe := rs.failover(ctx, gen); fe != nil {
 			return &wire.Error{Code: wire.CodeInternal, Msg: fmt.Sprintf("cluster: shard %s: %v (failover: %v)", rs.name, rtErr, fe)}
@@ -368,6 +537,46 @@ func (rs *ReplicatedShard) Handle(ctx context.Context, req wire.Message) wire.Me
 		}
 	}
 	return &wire.Error{Code: wire.CodeInternal, Msg: fmt.Sprintf("cluster: shard %s: %v", rs.name, lastErr)}
+}
+
+// busyWait handles a CodeBusy refusal, which by contract applied
+// nothing: probe for a leader that moved (a quorum-blocked ex-leader's
+// group may have elected a new one that is accepting writes), adopt it
+// if so, otherwise wait a fraction of the lease for the group to heal.
+// Returns whether retrying is worthwhile.
+func (rs *ReplicatedShard) busyWait(ctx context.Context, gen uint64) bool {
+	rs.mu.Lock()
+	stale := gen != rs.gen
+	members := append([]string(nil), rs.members...)
+	cur := rs.leader
+	known := rs.epoch
+	lease := rs.lease
+	quorum := rs.quorum
+	requiredWM := rs.requiredWM
+	rs.mu.Unlock()
+	if stale {
+		return true // another request already moved the connection
+	}
+	views, leaderAddr, leaderEpoch := rs.probe(ctx, members)
+	if leaderAddr != "" && leaderAddr != cur && leaderEpoch >= known {
+		var lv *memberView
+		for i := range views {
+			if views[i].addr == leaderAddr {
+				lv = &views[i]
+			}
+		}
+		if !quorum || lv == nil || lv.watermark >= requiredWM {
+			if rs.adopt(leaderAddr, leaderEpoch, lv) == nil {
+				return true
+			}
+		}
+	}
+	select {
+	case <-time.After(lease/4 + time.Millisecond):
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }
 
 // SnapshotPages implements snapshotSource against the current leader

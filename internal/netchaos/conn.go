@@ -1,0 +1,177 @@
+package netchaos
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// reorderHold caps how long a reordered frame is held waiting for a
+// successor to overtake it: long enough to land behind back-to-back
+// traffic, short enough that a held final frame cannot stall a test.
+const reorderHold = 25 * time.Millisecond
+
+// conn is a fault-injecting net.Conn. The application talks to a pair of
+// in-process pipes; two pumps shuttle whole protocol frames between the
+// pipes and the real connection, applying the directed link's faults —
+// frame-aware on purpose, because byte-level drop or reorder would only
+// corrupt the length-prefixed framing and kill the session rather than
+// simulate a lossy network the protocol must survive.
+type conn struct {
+	real net.Conn
+	nw   *Network
+	self string // link name frames we send are attributed to
+	peer string
+
+	appR *io.PipeReader // application reads delivered inbound frames here
+	inW  *io.PipeWriter
+	outR *io.PipeReader
+	appW *io.PipeWriter // application writes outbound frames here
+
+	closeOnce sync.Once
+}
+
+// wrap puts real behind the fault layer: writes ride the (self, peer)
+// link, reads ride (peer, self). seq distinguishes connections on the
+// same link so each draws an independent, still-deterministic PRNG.
+func (nw *Network) wrap(real net.Conn, self, peer string, seq uint64) net.Conn {
+	outR, appW := io.Pipe()
+	appR, inW := io.Pipe()
+	c := &conn{real: real, nw: nw, self: self, peer: peer, appR: appR, inW: inW, outR: outR, appW: appW}
+	outbound := &pump{nw: nw, from: self, to: peer,
+		rng: rand.New(rand.NewPCG(nw.linkSeed(self, peer, seq), 0xc4a05)), dst: real}
+	inbound := &pump{nw: nw, from: peer, to: self,
+		rng: rand.New(rand.NewPCG(nw.linkSeed(peer, self, seq), 0xc4a05)), dst: inW}
+	go func() {
+		outbound.run(outR)
+		// The writer pump quitting (app closed, or a write to a dead
+		// socket) ends the connection for the app too.
+		outR.CloseWithError(io.ErrClosedPipe)
+	}()
+	go func() {
+		inbound.run(real)
+		inW.CloseWithError(io.EOF) // peer gone: app reads see EOF
+	}()
+	return c
+}
+
+func (c *conn) Read(p []byte) (int, error)  { return c.appR.Read(p) }
+func (c *conn) Write(p []byte) (int, error) { return c.appW.Write(p) }
+
+func (c *conn) Close() error {
+	c.closeOnce.Do(func() {
+		c.appW.CloseWithError(io.ErrClosedPipe)
+		c.appR.CloseWithError(io.ErrClosedPipe)
+		c.real.Close()
+	})
+	return nil
+}
+
+func (c *conn) LocalAddr() net.Addr                { return c.real.LocalAddr() }
+func (c *conn) RemoteAddr() net.Addr               { return c.real.RemoteAddr() }
+func (c *conn) SetDeadline(t time.Time) error      { return c.real.SetDeadline(t) }
+func (c *conn) SetReadDeadline(t time.Time) error  { return c.real.SetReadDeadline(t) }
+func (c *conn) SetWriteDeadline(t time.Time) error { return c.real.SetWriteDeadline(t) }
+
+// pump moves frames one direction across a link, applying its faults.
+type pump struct {
+	nw       *Network
+	from, to string
+	rng      *rand.Rand
+	dst      io.Writer
+
+	mu   sync.Mutex // guards held and serializes dst writes with the hold timer
+	held []byte     // at most one frame held back for reordering
+}
+
+// roll draws one fault decision. Decisions are drawn for every frame in
+// arrival order whether or not the fault is currently enabled, so the
+// pattern a seed produces does not shift when a schedule toggles rules.
+func (p *pump) roll(perMille int) bool {
+	v := p.rng.IntN(1000)
+	return perMille > 0 && v < perMille
+}
+
+func (p *pump) run(src io.Reader) {
+	hdr := make([]byte, 4)
+	for {
+		frame, err := readFrame(src, hdr)
+		if err != nil {
+			p.flushHeld()
+			return
+		}
+		f := p.nw.rule(p.from, p.to)
+		drop := p.roll(f.DropPerMille)
+		dup := p.roll(f.DupPerMille)
+		reorder := p.roll(f.ReorderPerMille)
+		if f.Delay > 0 {
+			time.Sleep(f.Delay)
+		}
+		if drop {
+			continue
+		}
+		p.mu.Lock()
+		if reorder && p.held == nil {
+			p.held = frame
+			p.mu.Unlock()
+			// Deliver the held frame even if no successor overtakes it.
+			time.AfterFunc(reorderHold, p.flushHeld)
+			continue
+		}
+		if _, err := p.dst.Write(frame); err != nil {
+			p.mu.Unlock()
+			return
+		}
+		if dup {
+			if _, err := p.dst.Write(frame); err != nil {
+				p.mu.Unlock()
+				return
+			}
+		}
+		held := p.held
+		p.held = nil
+		if held != nil {
+			if _, err := p.dst.Write(held); err != nil {
+				p.mu.Unlock()
+				return
+			}
+		}
+		p.mu.Unlock()
+	}
+}
+
+// flushHeld delivers a reorder-held frame that no successor overtook.
+func (p *pump) flushHeld() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.held != nil {
+		p.dst.Write(p.held)
+		p.held = nil
+	}
+}
+
+// readFrame reads one length-prefixed protocol frame (header included)
+// from src. hdr is a reusable 4-byte scratch buffer.
+func readFrame(src io.Reader, hdr []byte) ([]byte, error) {
+	if _, err := io.ReadFull(src, hdr); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr)
+	if n > wire.MaxFrameSize {
+		// Not this protocol's framing; nothing sane to fault. Kill the
+		// connection rather than forward garbage with fake confidence.
+		return nil, fmt.Errorf("netchaos: implausible frame length %d", n)
+	}
+	frame := make([]byte, 4+int(n))
+	copy(frame, hdr)
+	if _, err := io.ReadFull(src, frame[4:]); err != nil {
+		return nil, err
+	}
+	return frame, nil
+}

@@ -1,0 +1,230 @@
+// Package netchaos is a deterministic, seed-driven fault-injection layer
+// for the TCP wire transport: a Network hands out dialers (and listener
+// wrappers) whose connections parse the protocol's length-prefixed frames
+// and subject each one to the faults configured on its directed link —
+// drop (up to a full blackhole), duplicate, reorder, and added delay —
+// without the transport above noticing anything but a misbehaving
+// network.
+//
+// Links are directed (from, to) name pairs, so one-way partitions are
+// expressed directly: a rule on (A, B) faults only A's frames toward B,
+// while B's responses ride (B, A). Fault decisions come from a PRNG
+// seeded by (seed, link, connection), so a failing schedule replays from
+// its logged seed. Faults are consulted per frame, so rules changed
+// mid-connection (Partition, Heal) apply to live traffic immediately —
+// partitioned connections stay open and silently eat frames, which is
+// exactly the "alive but unreachable" shape that distinguishes a
+// partition from a crash.
+package netchaos
+
+import (
+	"fmt"
+	"hash/fnv"
+	"net"
+	"sync"
+	"time"
+)
+
+// Faults is the per-directed-link fault configuration. The zero value is
+// a clean link.
+type Faults struct {
+	// DropPerMille discards that fraction (out of 1000) of frames;
+	// 1000 is a blackhole, and new dials over a blackholed link are
+	// refused outright.
+	DropPerMille int
+	// DupPerMille delivers that fraction of frames twice. The protocol's
+	// correlation IDs and the replication layer's idempotent re-acks must
+	// absorb the duplicate.
+	DupPerMille int
+	// ReorderPerMille holds that fraction of frames back and delivers
+	// each after its successor (or after a short timeout when no
+	// successor arrives, so a held last frame cannot stall a test).
+	ReorderPerMille int
+	// Delay is added before each delivered frame.
+	Delay time.Duration
+}
+
+// Blackhole is the full symmetric-partition fault: every frame vanishes.
+var Blackhole = Faults{DropPerMille: 1000}
+
+// Network is a registry of node names, directed link faults, and the
+// seed that makes the fault pattern reproducible.
+type Network struct {
+	seed uint64
+	logf func(string, ...any)
+
+	mu      sync.Mutex
+	names   map[string]string // real address -> node name
+	rules   map[[2]string]Faults
+	connSeq map[[2]string]uint64 // per-link dial counter, for per-conn PRNG seeds
+	dialed  map[string]bool      // local addrs of dialer-wrapped conns (double-wrap guard)
+}
+
+// New returns a network whose fault decisions derive from seed. A nil
+// logf discards fault-schedule logs.
+func New(seed uint64, logf func(string, ...any)) *Network {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Network{
+		seed:    seed,
+		logf:    logf,
+		names:   make(map[string]string),
+		rules:   make(map[[2]string]Faults),
+		connSeq: make(map[[2]string]uint64),
+		dialed:  make(map[string]bool),
+	}
+}
+
+// Seed reports the seed the network was built with, for failure logs.
+func (nw *Network) Seed() uint64 { return nw.seed }
+
+// Register names a real listen address so link rules can refer to the
+// node by name. Unregistered addresses fault under the name "world".
+func (nw *Network) Register(name, addr string) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.names[addr] = name
+}
+
+// World is the link name for traffic whose peer address is unregistered.
+const World = "world"
+
+func (nw *Network) nameOf(addr string) string {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if n, ok := nw.names[addr]; ok {
+		return n
+	}
+	return World
+}
+
+// SetLink replaces the fault rule on the directed link from -> to.
+func (nw *Network) SetLink(from, to string, f Faults) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.rules[[2]string{from, to}] = f
+}
+
+// SetLinkBoth replaces the fault rule on both directions between a and b.
+func (nw *Network) SetLinkBoth(a, b string, f Faults) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.rules[[2]string{a, b}] = f
+	nw.rules[[2]string{b, a}] = f
+}
+
+// Partition blackholes every link that crosses between the given groups
+// (both directions); links inside a group are untouched. Live
+// connections across the cut stay open but deliver nothing.
+func (nw *Network) Partition(groups ...[]string) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	for i, g := range groups {
+		for j, h := range groups {
+			if i == j {
+				continue
+			}
+			for _, a := range g {
+				for _, b := range h {
+					nw.rules[[2]string{a, b}] = Blackhole
+				}
+			}
+		}
+	}
+}
+
+// OneWay blackholes only the from -> to direction: from's frames vanish
+// while to's frames (including toward from) still arrive.
+func (nw *Network) OneWay(from, to string) {
+	nw.SetLink(from, to, Blackhole)
+}
+
+// Heal clears every fault rule; live connections deliver again on their
+// next frame.
+func (nw *Network) Heal() {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.rules = make(map[[2]string]Faults)
+}
+
+func (nw *Network) rule(from, to string) Faults {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.rules[[2]string{from, to}]
+}
+
+// linkSeed derives the PRNG seed for one direction of one connection:
+// stable in (network seed, link, per-link dial ordinal), so a replay
+// with the same seed and the same dial order draws the same decisions.
+func (nw *Network) linkSeed(from, to string, conn uint64) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%d", from, to, conn)
+	return nw.seed ^ h.Sum64()
+}
+
+// Dialer returns a net.Conn dialer whose traffic is attributed to the
+// named source: frames it sends ride the (from, peer) link and frames it
+// receives ride (peer, from). Plug it into client.SessionOptions.NetDial
+// (or replica.Options.NetDial) to put a whole transport behind the
+// chaos layer unchanged.
+func (nw *Network) Dialer(from string) func(addr string) (net.Conn, error) {
+	return func(addr string) (net.Conn, error) {
+		to := nw.nameOf(addr)
+		if nw.rule(from, to).DropPerMille >= 1000 {
+			// A blackholed dial's SYN would vanish; fail fast instead of
+			// tying the caller up for a full handshake timeout.
+			return nil, fmt.Errorf("netchaos: dial %s -> %s: partitioned", from, to)
+		}
+		real, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		nw.mu.Lock()
+		nw.connSeq[[2]string{from, to}]++
+		seq := nw.connSeq[[2]string{from, to}]
+		nw.dialed[real.LocalAddr().String()] = true
+		nw.mu.Unlock()
+		return nw.wrap(real, from, to, seq), nil
+	}
+}
+
+// Listen wraps a fresh loopback TCP listener for the named node and
+// registers its address. Accepted connections whose peer is not one of
+// this network's dialers are wrapped as (World, name) traffic — the
+// listener-side counterpart for clients that cannot be given a Dialer.
+// Connections arriving from this network's own dialers pass through
+// unwrapped: their faults are already applied on the dialing side, and
+// wrapping twice would double every fault.
+func (nw *Network) Listen(name string) (net.Listener, error) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	nw.Register(name, lis.Addr().String())
+	return &listener{Listener: lis, nw: nw, name: name}, nil
+}
+
+type listener struct {
+	net.Listener
+	nw   *Network
+	name string
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	real, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.nw.mu.Lock()
+	fromDialer := l.nw.dialed[real.RemoteAddr().String()]
+	l.nw.connSeq[[2]string{World, l.name}]++
+	seq := l.nw.connSeq[[2]string{World, l.name}]
+	l.nw.mu.Unlock()
+	if fromDialer {
+		return real, nil
+	}
+	// Server side: frames it writes travel name -> World, frames it
+	// reads travel World -> name.
+	return l.nw.wrap(real, l.name, World, seq), nil
+}

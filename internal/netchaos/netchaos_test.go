@@ -1,0 +1,335 @@
+package netchaos
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// echoServer accepts framed connections and echoes every frame back,
+// recording the payloads it saw in arrival order.
+type echoServer struct {
+	lis net.Listener
+
+	mu   sync.Mutex
+	seen []string
+}
+
+func startEcho(t *testing.T, lis net.Listener) *echoServer {
+	t.Helper()
+	s := &echoServer{lis: lis}
+	go func() {
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				for {
+					payload, err := wire.ReadFrame(conn)
+					if err != nil {
+						return
+					}
+					s.mu.Lock()
+					s.seen = append(s.seen, string(payload))
+					s.mu.Unlock()
+					if err := wire.WriteFrame(conn, payload); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	t.Cleanup(func() { lis.Close() })
+	return s
+}
+
+func (s *echoServer) received() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.seen...)
+}
+
+func tcpListener(t *testing.T) net.Listener {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lis
+}
+
+func dialEcho(t *testing.T, nw *Network, from, addr string) net.Conn {
+	t.Helper()
+	conn, err := nw.Dialer(from)(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+// echoReader drains echoed frames into a channel, so tests can both wait
+// for an echo and assert that none arrives — without a per-check reader
+// goroutine racing a later one for the byte stream.
+func echoReader(conn net.Conn) <-chan string {
+	ch := make(chan string, 64)
+	go func() {
+		defer close(ch)
+		for {
+			p, err := wire.ReadFrame(conn)
+			if err != nil {
+				return
+			}
+			ch <- string(p)
+		}
+	}()
+	return ch
+}
+
+// readFrameTimeout receives one echoed frame or reports that none
+// arrived within d.
+func readFrameTimeout(t *testing.T, ch <-chan string, d time.Duration) (string, bool) {
+	t.Helper()
+	select {
+	case got, ok := <-ch:
+		if !ok {
+			t.Fatal("echo stream closed")
+		}
+		return got, true
+	case <-time.After(d):
+		return "", false
+	}
+}
+
+func TestCleanLinkPassesFrames(t *testing.T) {
+	lis := tcpListener(t)
+	startEcho(t, lis)
+	nw := New(1, t.Logf)
+	nw.Register("srv", lis.Addr().String())
+	conn := dialEcho(t, nw, "cli", lis.Addr().String())
+	echoes := echoReader(conn)
+	for i := 0; i < 8; i++ {
+		want := fmt.Sprintf("frame-%d", i)
+		if err := wire.WriteFrame(conn, []byte(want)); err != nil {
+			t.Fatal(err)
+		}
+		got, ok := readFrameTimeout(t, echoes, 2*time.Second)
+		if !ok || got != want {
+			t.Fatalf("frame %d: got %q ok=%v", i, got, ok)
+		}
+	}
+}
+
+func TestPartitionEatsFramesAndHeals(t *testing.T) {
+	lis := tcpListener(t)
+	srv := startEcho(t, lis)
+	nw := New(2, t.Logf)
+	nw.Register("srv", lis.Addr().String())
+	conn := dialEcho(t, nw, "cli", lis.Addr().String())
+	echoes := echoReader(conn)
+
+	nw.Partition([]string{"cli"}, []string{"srv"})
+	if err := wire.WriteFrame(conn, []byte("lost")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := readFrameTimeout(t, echoes, 150*time.Millisecond); ok {
+		t.Fatalf("echo %q crossed a partition", got)
+	}
+	// New dials across the cut are refused outright.
+	if _, err := nw.Dialer("cli")(lis.Addr().String()); err == nil {
+		t.Fatal("dial across a partition succeeded")
+	}
+
+	nw.Heal()
+	if err := wire.WriteFrame(conn, []byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := readFrameTimeout(t, echoes, 2*time.Second); !ok || got != "after" {
+		t.Fatalf("post-heal echo: %q ok=%v", got, ok)
+	}
+	for _, saw := range srv.received() {
+		if saw == "lost" {
+			t.Fatal("partitioned frame reached the server")
+		}
+	}
+}
+
+func TestOneWayCutIsAsymmetric(t *testing.T) {
+	lis := tcpListener(t)
+	srv := startEcho(t, lis)
+	nw := New(3, t.Logf)
+	nw.Register("srv", lis.Addr().String())
+	conn := dialEcho(t, nw, "cli", lis.Addr().String())
+	echoes := echoReader(conn)
+
+	// Cut only the response direction: the request still lands, its echo
+	// vanishes.
+	nw.OneWay("srv", "cli")
+	if err := wire.WriteFrame(conn, []byte("one-way")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if rec := srv.received(); len(rec) == 1 && rec[0] == "one-way" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("request never arrived; server saw %v", srv.received())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got, ok := readFrameTimeout(t, echoes, 150*time.Millisecond); ok {
+		t.Fatalf("echo %q crossed the cut direction", got)
+	}
+	nw.Heal()
+}
+
+func TestDuplicateDelivery(t *testing.T) {
+	lis := tcpListener(t)
+	srv := startEcho(t, lis)
+	nw := New(4, t.Logf)
+	nw.Register("srv", lis.Addr().String())
+	conn := dialEcho(t, nw, "cli", lis.Addr().String())
+
+	nw.SetLink("cli", "srv", Faults{DupPerMille: 1000})
+	if err := wire.WriteFrame(conn, []byte("twice")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for len(srv.received()) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("server saw %v, want the frame twice", srv.received())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for _, saw := range srv.received() {
+		if saw != "twice" {
+			t.Fatalf("server saw %v", srv.received())
+		}
+	}
+}
+
+func TestReorderSwapsAdjacentFrames(t *testing.T) {
+	lis := tcpListener(t)
+	srv := startEcho(t, lis)
+	nw := New(5, t.Logf)
+	nw.Register("srv", lis.Addr().String())
+	conn := dialEcho(t, nw, "cli", lis.Addr().String())
+
+	// Every frame reorders: A is held, B's arrival releases it after B.
+	nw.SetLink("cli", "srv", Faults{ReorderPerMille: 1000})
+	if err := wire.WriteFrame(conn, []byte("A")); err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.WriteFrame(conn, []byte("B")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for len(srv.received()) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("server saw %v, want both frames", srv.received())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if rec := srv.received(); rec[0] != "B" || rec[1] != "A" {
+		t.Fatalf("arrival order %v, want [B A]", rec)
+	}
+}
+
+// TestDropPatternIsSeedDeterministic pins the replayability contract: the
+// same seed over the same link and dial order drops the same frames.
+func TestDropPatternIsSeedDeterministic(t *testing.T) {
+	survivors := func(seed uint64) []string {
+		lis := tcpListener(t)
+		srv := startEcho(t, lis)
+		nw := New(seed, nil)
+		nw.Register("srv", lis.Addr().String())
+		conn := dialEcho(t, nw, "cli", lis.Addr().String())
+		nw.SetLink("cli", "srv", Faults{DropPerMille: 500})
+		for i := 0; i < 32; i++ {
+			if err := wire.WriteFrame(conn, []byte(fmt.Sprintf("f%02d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// The surviving frames arrive in order; wait for the tail to settle.
+		last := -1
+		for settle := 0; settle < 40; settle++ {
+			if n := len(srv.received()); n == last {
+				break
+			} else {
+				last = n
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		return srv.received()
+	}
+	a, b := survivors(0xfeed), survivors(0xfeed)
+	if len(a) == 0 || len(a) == 32 {
+		t.Fatalf("drop rate 500 passed %d of 32 frames; fault layer inert?", len(a))
+	}
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("same seed, different drop pattern:\n %v\n %v", a, b)
+	}
+}
+
+// TestListenerWrapsUnattributedClients covers the listener-side proxy: a
+// plain net.Dial client (no chaos dialer) still suffers the faults of
+// the (World, node) link.
+func TestListenerWrapsUnattributedClients(t *testing.T) {
+	nw := New(6, t.Logf)
+	lis, err := nw.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	startEcho(t, lis)
+	conn, err := net.Dial("tcp", lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	echoes := echoReader(conn)
+
+	if err := wire.WriteFrame(conn, []byte("plain")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := readFrameTimeout(t, echoes, 2*time.Second); !ok || got != "plain" {
+		t.Fatalf("clean echo through wrapped listener: %q ok=%v", got, ok)
+	}
+
+	nw.Partition([]string{"srv"}, []string{World})
+	if err := wire.WriteFrame(conn, []byte("cut")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := readFrameTimeout(t, echoes, 150*time.Millisecond); ok {
+		t.Fatalf("echo %q crossed the world partition", got)
+	}
+}
+
+// TestRandomScheduleIsDeterministic pins that a seed fully determines the
+// schedule (shape and timing), so -seed=N replays a failure.
+func TestRandomScheduleIsDeterministic(t *testing.T) {
+	nodes := []string{"a", "b", "c"}
+	s1 := RandomSchedule(42, nodes, 8, 50*time.Millisecond)
+	s2 := RandomSchedule(42, nodes, 8, 50*time.Millisecond)
+	if len(s1) != len(s2) {
+		t.Fatalf("lengths differ: %d vs %d", len(s1), len(s2))
+	}
+	for i := range s1 {
+		if s1[i].Desc != s2[i].Desc || s1[i].At != s2[i].At {
+			t.Fatalf("step %d differs: %q@%s vs %q@%s", i, s1[i].Desc, s1[i].At, s2[i].Desc, s2[i].At)
+		}
+	}
+	if fmt.Sprint(RandomSchedule(43, nodes, 8, 50*time.Millisecond)[0]) == fmt.Sprint(s1[0]) &&
+		RandomSchedule(43, nodes, 8, 50*time.Millisecond)[1].Desc == s1[1].Desc {
+		t.Log("adjacent seeds share a prefix (possible, just unlikely)")
+	}
+	if s1[len(s1)-1].Desc != "final heal" {
+		t.Fatalf("schedule must end healed, ends with %q", s1[len(s1)-1].Desc)
+	}
+}

@@ -1,0 +1,113 @@
+package netchaos
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+	"time"
+)
+
+// Step is one timed fault transition in a schedule.
+type Step struct {
+	// At is the step's offset from the start of the schedule run.
+	At time.Duration
+	// Desc names the transition for logs, so a failing schedule reads as
+	// a story and replays from its seed.
+	Desc string
+	// Do applies the transition.
+	Do func(*Network)
+}
+
+// RandomSchedule derives a deterministic fault schedule from seed over
+// the named nodes: `steps` transitions spaced `gap` apart, drawn from
+// symmetric partitions, single-node isolation, one-way partitions, lossy
+// links (drop + duplicate + reorder), added delay, and heals. The
+// schedule always ends with a heal one gap after the last transition, so
+// invariants can be checked against a converged group.
+func RandomSchedule(seed uint64, nodes []string, steps int, gap time.Duration) []Step {
+	rng := rand.New(rand.NewPCG(seed, 0x5c4ed))
+	var out []Step
+	for i := 0; i < steps; i++ {
+		at := gap * time.Duration(i+1)
+		switch rng.IntN(6) {
+		case 0: // symmetric partition into two groups
+			perm := rng.Perm(len(nodes))
+			cut := 1 + rng.IntN(len(nodes)-1)
+			var a, b []string
+			for j, k := range perm {
+				if j < cut {
+					a = append(a, nodes[k])
+				} else {
+					b = append(b, nodes[k])
+				}
+			}
+			out = append(out, Step{At: at,
+				Desc: fmt.Sprintf("partition {%s} | {%s}", strings.Join(a, ","), strings.Join(b, ",")),
+				Do:   func(nw *Network) { nw.Heal(); nw.Partition(a, b) }})
+		case 1: // isolate one node from everyone (routers included)
+			v := nodes[rng.IntN(len(nodes))]
+			rest := append([]string{World}, exclude(nodes, v)...)
+			out = append(out, Step{At: at, Desc: "isolate " + v,
+				Do: func(nw *Network) { nw.Heal(); nw.Partition([]string{v}, rest) }})
+		case 2: // one-way partition between a random ordered pair
+			from := nodes[rng.IntN(len(nodes))]
+			to := exclude(nodes, from)[rng.IntN(len(nodes)-1)]
+			out = append(out, Step{At: at, Desc: fmt.Sprintf("one-way cut %s -> %s", from, to),
+				Do: func(nw *Network) { nw.Heal(); nw.OneWay(from, to) }})
+		case 3: // lossy mesh: drop, duplicate, and reorder everywhere
+			f := Faults{DropPerMille: 50 + rng.IntN(250), DupPerMille: rng.IntN(100), ReorderPerMille: rng.IntN(150)}
+			out = append(out, Step{At: at,
+				Desc: fmt.Sprintf("lossy mesh drop=%d‰ dup=%d‰ reorder=%d‰", f.DropPerMille, f.DupPerMille, f.ReorderPerMille),
+				Do: func(nw *Network) {
+					nw.Heal()
+					for _, a := range nodes {
+						for _, b := range nodes {
+							if a != b {
+								nw.SetLink(a, b, f)
+							}
+						}
+					}
+				}})
+		case 4: // uniform added delay
+			d := time.Duration(1+rng.IntN(4)) * time.Millisecond
+			out = append(out, Step{At: at, Desc: fmt.Sprintf("delay all links %s", d),
+				Do: func(nw *Network) {
+					nw.Heal()
+					for _, a := range nodes {
+						for _, b := range nodes {
+							if a != b {
+								nw.SetLink(a, b, Faults{Delay: d})
+							}
+						}
+					}
+				}})
+		default:
+			out = append(out, Step{At: at, Desc: "heal", Do: (*Network).Heal})
+		}
+	}
+	out = append(out, Step{At: gap * time.Duration(steps+1), Desc: "final heal", Do: (*Network).Heal})
+	return out
+}
+
+func exclude(nodes []string, skip string) []string {
+	out := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		if n != skip {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Run applies a schedule against the network in real time, logging each
+// transition, and returns once the last step has been applied.
+func (nw *Network) Run(steps []Step) {
+	start := time.Now()
+	for _, s := range steps {
+		if wait := s.At - time.Since(start); wait > 0 {
+			time.Sleep(wait)
+		}
+		nw.logf("netchaos: t=%s %s", s.At, s.Desc)
+		s.Do(nw)
+	}
+}

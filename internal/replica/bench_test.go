@@ -3,8 +3,12 @@ package replica
 import (
 	"context"
 	"fmt"
+	"net"
 	"testing"
+	"time"
 
+	"repro/internal/kv"
+	"repro/internal/server"
 	"repro/internal/wire"
 )
 
@@ -35,3 +39,72 @@ func BenchmarkReplAppend(b *testing.B) {
 		}
 	}
 }
+
+// startBenchMember serves one replication group member over loopback TCP
+// for the leader-path benchmarks (startNodeOn minus the test-only store
+// threading, plus the quorum flag).
+func startBenchMember(b *testing.B, quorum bool) *testNode {
+	b.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	node, err := New(kv.NewMemStore(), server.Config{}, Options{
+		Self:   lis.Addr().String(),
+		Lease:  time.Second,
+		Logf:   func(string, ...any) {},
+		Quorum: quorum,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := server.NewServer(node, func(string, ...any) {})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); srv.Serve(ctx, lis) }()
+	tn := &testNode{node: node, store: nil, addr: lis.Addr().String(), srv: srv}
+	tn.stop = func() {
+		node.Close()
+		cancel()
+		srv.Close()
+		<-done
+	}
+	b.Cleanup(tn.stop)
+	return tn
+}
+
+// benchLeaderAppend measures the leader's acknowledged write path end to
+// end over a 3-member loopback group: apply locally, ship to both
+// followers, release the ack per the group's mode — all active followers
+// (availability) or a majority of 2 of 3, leader included (quorum).
+func benchLeaderAppend(b *testing.B, quorum bool) {
+	leader := startBenchMember(b, quorum)
+	f1 := startBenchMember(b, quorum)
+	f2 := startBenchMember(b, quorum)
+	if err := leader.node.Lead([]string{f1.addr, f2.addr}); err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	if resp := leader.node.Handle(ctx, &wire.CreateStream{UUID: "s", Cfg: testCfg()}); !isOK(resp) {
+		b.Fatalf("CreateStream -> %#v", resp)
+	}
+	chunks := make([][]byte, b.N)
+	for i := range chunks {
+		chunks[i] = testSealedChunk(b, uint64(i))
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if resp := leader.node.Handle(ctx, &wire.InsertChunk{UUID: "s", Chunk: chunks[i]}); !isOK(resp) {
+			b.Fatalf("insert %d -> %#v", i, resp)
+		}
+	}
+}
+
+// BenchmarkAvailabilityAppend: ack waits for every active follower — the
+// F=2 baseline BenchmarkQuorumAppend reads against.
+func BenchmarkAvailabilityAppend(b *testing.B) { benchLeaderAppend(b, false) }
+
+// BenchmarkQuorumAppend: ack releases at 2 of 3 durable, so the slower
+// follower is off the critical path of every write.
+func BenchmarkQuorumAppend(b *testing.B) { benchLeaderAppend(b, true) }

@@ -32,6 +32,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"net"
 	"sync"
 	"time"
 
@@ -72,6 +73,23 @@ type Options struct {
 	// Logf receives replication events (role changes, resyncs,
 	// depositions); nil means log.Printf.
 	Logf func(format string, args ...any)
+	// Quorum switches the group to write-quorum acknowledgement: a leader
+	// acks a mutation only once ⌈N/2⌉ of the N group members (itself
+	// included) have durably applied it, and refuses new writes with
+	// CodeBusy — before applying anything — while it cannot reach that
+	// many members. The default (false) is availability-first: unreachable
+	// followers are deactivated and the leader keeps acknowledging with
+	// whoever remains. Quorum groups need at least 3 members; Lead and
+	// Promote refuse smaller ones.
+	Quorum bool
+	// NetDial overrides how shippers dial followers (nil = TCP); test
+	// harnesses inject fault-injecting dialers (internal/netchaos) here.
+	NetDial func(addr string) (net.Conn, error)
+	// OnAck, when set, observes every client-acknowledged replicated
+	// mutation as (epoch, seq) just before the ack is released — the hook
+	// partition tests use to check that acked sequence ranges never
+	// overlap across epochs (at most one acking leader per epoch).
+	OnAck func(epoch, seq uint64)
 }
 
 // DefaultLease is the leader lease interval when Options.Lease is 0.
@@ -88,6 +106,14 @@ type follower struct {
 	active bool
 	// acked is the highest sequence the follower has acknowledged.
 	acked uint64
+	// lastAck is when the follower last answered the shipper at all (ack,
+	// heartbeat, or gap report): quorum mode's reachability estimate. A
+	// follower silent for a full lease no longer counts toward the quorum
+	// gate, so new writes refuse fast instead of blocking to their
+	// deadline.
+	lastAck time.Time
+	// modeWarned suppresses repeated mode-mismatch warnings.
+	modeWarned bool
 	// notify wakes the shipper when new records are appended.
 	notify chan struct{}
 	stop   chan struct{}
@@ -119,6 +145,11 @@ type Node struct {
 	followers    map[string]*follower
 	changed      chan struct{} // closed and replaced on any ack/role change
 	closed       bool
+	// installs counts completed snapshot installs: the one transition
+	// across which a follower's watermark may legitimately move backward
+	// (a resync rebases it into the new leader's sequence space), so
+	// monotonicity monitors exempt exactly those.
+	installs uint64
 
 	log *recordLog
 }
@@ -185,15 +216,98 @@ func New(store kv.Store, cfg server.Config, opts Options) (*Node, error) {
 // (with a warning) when the node carries persisted replication state: a
 // restarted ex-leader must wait to be re-promoted by the router or
 // adopted by the current leader, otherwise two nodes could claim the same
-// epoch.
-func (n *Node) Lead(members []string) {
+// epoch. In quorum mode a group of fewer than 3 members is refused with
+// an error: with N=2 the write quorum is 1, which the leader satisfies
+// alone — quorum acknowledgement would silently degrade to
+// availability-mode semantics, so the misconfiguration fails loudly
+// instead.
+func (n *Node) Lead(members []string) error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if n.opts.Quorum && othersIn(members, n.opts.Self) < 2 {
+		return fmt.Errorf("replica: quorum mode needs a group of at least 3 members (self + 2); got %d follower(s)",
+			othersIn(members, n.opts.Self))
+	}
 	if n.role != wire.ReplStandalone || n.epoch != 0 {
 		n.opts.Logf("replica: not self-promoting over persisted state (role %d, epoch %d); awaiting promotion", n.role, n.epoch)
-		return
+		return nil
 	}
 	n.becomeLeaderLocked(1, members)
+	return nil
+}
+
+// othersIn counts the distinct non-self addresses in members — the
+// follower count a membership list implies.
+func othersIn(members []string, self string) int {
+	seen := make(map[string]bool)
+	for _, a := range members {
+		if a != "" && a != self && !seen[a] {
+			seen[a] = true
+		}
+	}
+	return len(seen)
+}
+
+// mode reports the group's acknowledgement mode for the wire. Options
+// are immutable after New, so no lock is needed.
+func (n *Node) mode() uint8 {
+	if n.opts.Quorum {
+		return wire.ReplModeQuorum
+	}
+	return wire.ReplModeAvailability
+}
+
+// quorumLocked is the write-quorum size ⌈N/2⌉ over the N = followers+1
+// group members, leader included: 2 of 3, 3 of 5. Zero when the node is
+// not a quorum-mode leader.
+func (n *Node) quorumLocked() int {
+	if !n.opts.Quorum || n.role != wire.ReplLeader {
+		return 0
+	}
+	return (len(n.followers) + 2) / 2
+}
+
+// quorumGate refuses a new write — before anything is applied, so
+// CodeBusy always means "retry freely" — when the leader is not
+// currently in contact with a write quorum. Contact means a shipper
+// response (ack, heartbeat, or gap report) within the last lease
+// interval; a leader partitioned from its majority therefore starts
+// refusing within one lease rather than accepting writes it can never
+// acknowledge.
+func (n *Node) quorumGate() *wire.Error {
+	if !n.opts.Quorum {
+		return nil
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	need := n.quorumLocked()
+	if need == 0 {
+		return nil // not leading; leaderApply revalidates the role anyway
+	}
+	inContact := 1 // the leader itself
+	cutoff := time.Now().Add(-n.opts.Lease)
+	for _, f := range n.followers {
+		if f.lastAck.After(cutoff) {
+			inContact++
+		}
+	}
+	if inContact < need {
+		return &wire.Error{Code: wire.CodeBusy,
+			Msg: fmt.Sprintf("replica: quorum unreachable (%d of %d members in contact, need %d); retry",
+				inContact, len(n.followers)+1, need)}
+	}
+	return nil
+}
+
+// Installs reports how many snapshot installs this node has completed.
+// A completed install is the one transition across which the applied
+// watermark may legitimately regress (a resync rebases it into the new
+// leader's sequence space); monotonicity monitors sample this counter to
+// exempt exactly those.
+func (n *Node) Installs() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.installs
 }
 
 // Close stops shippers and releases the node. The engine's store is not
@@ -270,7 +384,7 @@ func (n *Node) becomeLeaderLocked(epoch uint64, members []string) {
 		if _, dup := n.followers[addr]; dup {
 			continue
 		}
-		f := &follower{addr: addr, active: true, notify: make(chan struct{}, 1), stop: make(chan struct{})}
+		f := &follower{addr: addr, active: true, lastAck: time.Now(), notify: make(chan struct{}, 1), stop: make(chan struct{})}
 		n.followers[addr] = f
 		go n.runShipper(f, epoch)
 	}
@@ -442,7 +556,7 @@ func (n *Node) handleReplAppend(ctx context.Context, m *wire.ReplAppend) wire.Me
 	}
 	if len(m.Records) == 0 {
 		// Heartbeat: refresh the lease, report the watermark.
-		return &wire.ReplAck{Epoch: m.Epoch, Watermark: watermark}
+		return &wire.ReplAck{Epoch: m.Epoch, Watermark: watermark, Mode: n.mode()}
 	}
 	last := m.FirstSeq + uint64(len(m.Records)) - 1
 	if m.FirstSeq > watermark+1 {
@@ -455,7 +569,7 @@ func (n *Node) handleReplAppend(ctx context.Context, m *wire.ReplAppend) wire.Me
 	if last <= watermark {
 		// Full duplicate (a retry after a lost ack): acknowledge
 		// idempotently, apply nothing.
-		return &wire.ReplAck{Epoch: m.Epoch, Watermark: watermark}
+		return &wire.ReplAck{Epoch: m.Epoch, Watermark: watermark, Mode: n.mode()}
 	}
 	replayCtx := wire.ContextWithEpoch(ctx, wire.ReplayEpoch)
 	for i, rec := range m.Records {
@@ -515,7 +629,7 @@ func (n *Node) handleReplAppend(ctx context.Context, m *wire.ReplAppend) wire.Me
 		watermark = seq
 		n.mu.Unlock()
 	}
-	return &wire.ReplAck{Epoch: m.Epoch, Watermark: watermark}
+	return &wire.ReplAck{Epoch: m.Epoch, Watermark: watermark, Mode: n.mode()}
 }
 
 // handleReplSnapshot installs one page of a leader's full-store snapshot.
@@ -573,7 +687,7 @@ func (n *Node) handleReplSnapshot(ctx context.Context, m *wire.ReplSnapshot) wir
 		}
 	}
 	if !m.Done {
-		return &wire.ReplAck{Epoch: m.Epoch, Watermark: 0}
+		return &wire.ReplAck{Epoch: m.Epoch, Watermark: 0, Mode: n.mode()}
 	}
 	if errw := n.installStep(m.Epoch, func() error {
 		engine, err := server.New(n.store, n.cfg)
@@ -584,13 +698,14 @@ func (n *Node) handleReplSnapshot(ctx context.Context, m *wire.ReplSnapshot) wir
 		n.watermark = m.Watermark
 		n.installing = false
 		n.installEpoch = 0
+		n.installs++
 		n.persistLocked() // clear the durable installing marker
 		return nil
 	}); errw != nil {
 		return errw
 	}
 	n.opts.Logf("replica: resynced by snapshot at epoch %d, watermark %d", m.Epoch, m.Watermark)
-	return &wire.ReplAck{Epoch: m.Epoch, Watermark: m.Watermark}
+	return &wire.ReplAck{Epoch: m.Epoch, Watermark: m.Watermark, Mode: n.mode()}
 }
 
 // installStep runs one bounded store operation of a snapshot install with
@@ -673,12 +788,19 @@ func (n *Node) handlePromote(m *wire.Promote) wire.Message {
 		// this one, once a leader has finished resyncing it).
 		return &wire.Error{Code: wire.CodeBusy, Msg: "replica: snapshot install in progress"}
 	}
+	if m.Leader == n.opts.Self && n.opts.Quorum && othersIn(m.Members, n.opts.Self) < 2 {
+		// Same loud refusal as Lead: a quorum-mode leader over fewer than
+		// 3 members would satisfy its own write quorum alone.
+		return &wire.Error{Code: wire.CodeBadRequest,
+			Msg: fmt.Sprintf("replica: quorum mode needs a group of at least 3 members; promotion names %d follower(s)",
+				othersIn(m.Members, n.opts.Self))}
+	}
 	if m.Leader == n.opts.Self {
 		n.becomeLeaderLocked(m.Epoch, m.Members)
 	} else {
 		n.becomeFollowerLocked(m.Epoch, m.Leader)
 	}
-	return &wire.ReplAck{Epoch: n.epoch, Watermark: n.watermarkLocked()}
+	return &wire.ReplAck{Epoch: n.epoch, Watermark: n.watermarkLocked(), Mode: n.mode()}
 }
 
 // handleLeaseInfo reports the node's replication state for routers and
@@ -692,6 +814,8 @@ func (n *Node) handleLeaseInfo() wire.Message {
 		Watermark: n.watermarkLocked(),
 		LeaseMS:   n.opts.Lease.Milliseconds(),
 		Leader:    n.leader,
+		Mode:      n.mode(),
+		Quorum:    uint32(n.quorumLocked()),
 	}
 	if n.opts.StoreSeq != nil {
 		resp.StoreSeq = n.opts.StoreSeq()

@@ -20,11 +20,22 @@ const maxShipBytes = 1 << 20
 const maxSnapshotPageBytes = 1 << 20
 
 // leaderApply is the leader's mutation path: apply locally, append the
-// marshaled request to the record log, and acknowledge only once every
-// active follower has applied it. The stream's apply stripe is held
-// across engine apply + log append so the log's order matches the
-// engine's per-stream apply order (followers replay single-threaded).
+// marshaled request to the record log, and acknowledge only once the
+// group's durability condition holds — every active follower in
+// availability mode, a write quorum in quorum mode. The stream's apply
+// stripe is held across engine apply + log append so the log's order
+// matches the engine's per-stream apply order (followers replay
+// single-threaded).
+//
+// Error semantics the clients lean on: a CodeBusy from the quorum gate
+// is returned BEFORE anything is applied (retry freely); a CodeCanceled
+// from waitDurable means the write was applied locally but its
+// replication outcome is unknown (same ambiguity as a broken
+// connection — resolve by re-reading, never by blind retry).
 func (n *Node) leaderApply(ctx context.Context, req wire.Message, epoch uint64) wire.Message {
+	if busy := n.quorumGate(); busy != nil {
+		return busy
+	}
 	unlock := n.lockApply(req)
 	engine, busy := n.currentEngine()
 	if busy != nil {
@@ -47,6 +58,9 @@ func (n *Node) leaderApply(ctx context.Context, req wire.Message, epoch uint64) 
 	n.notifyShippers()
 	if err := n.waitDurable(ctx, seq, epoch); err != nil {
 		return err
+	}
+	if n.opts.OnAck != nil {
+		n.opts.OnAck(epoch, seq)
 	}
 	n.mu.Lock()
 	min := n.minAckedLocked()
@@ -86,9 +100,16 @@ func (n *Node) notifyShippers() {
 	n.mu.Unlock()
 }
 
-// waitDurable blocks until every active follower has acknowledged seq,
-// the context expires, or the node loses the lease (the write's outcome
-// is then ambiguous — same contract as a broken connection).
+// waitDurable blocks until the durability condition for seq holds —
+// every active follower has acknowledged it (availability mode), or
+// ⌈N/2⌉ group members including the leader have (quorum mode) — the
+// context expires, or the node loses the lease (the write's outcome is
+// then ambiguous — same contract as a broken connection).
+//
+// The quorum count deliberately ignores the active flag: deactivating an
+// unreachable follower must never shrink the ack set below the quorum,
+// so quorum mode counts real acknowledgements only and simply keeps
+// waiting (until the writer's deadline) when too few members answer.
 func (n *Node) waitDurable(ctx context.Context, seq, epoch uint64) *wire.Error {
 	n.mu.Lock()
 	for {
@@ -99,16 +120,29 @@ func (n *Node) waitDurable(ctx context.Context, seq, epoch uint64) *wire.Error {
 			return &wire.Error{Code: wire.CodeNotLeader, Aux: cur,
 				Msg: leader}
 		}
-		pending := false
-		for _, f := range n.followers {
-			if f.active && f.acked < seq {
-				pending = true
-				break
+		if need := n.quorumLocked(); need > 0 {
+			durable := 1 // the leader itself
+			for _, f := range n.followers {
+				if f.acked >= seq {
+					durable++
+				}
 			}
-		}
-		if !pending {
-			n.mu.Unlock()
-			return nil
+			if durable >= need {
+				n.mu.Unlock()
+				return nil
+			}
+		} else {
+			pending := false
+			for _, f := range n.followers {
+				if f.active && f.acked < seq {
+					pending = true
+					break
+				}
+			}
+			if !pending {
+				n.mu.Unlock()
+				return nil
+			}
 		}
 		ch := n.changed
 		n.mu.Unlock()
@@ -184,7 +218,7 @@ func (n *Node) runShipper(f *follower, epoch uint64) {
 		}
 		if tr == nil {
 			var err error
-			tr, err = client.DialTCP(f.addr)
+			tr, err = client.DialTCPOptions(f.addr, client.SessionOptions{NetDial: n.opts.NetDial})
 			if err != nil {
 				deactivate()
 				if !sleep(backoff) {
@@ -219,6 +253,7 @@ func (n *Node) runShipper(f *follower, epoch uint64) {
 			n.mu.Lock()
 			f.acked = wm
 			f.active = true
+			f.lastAck = time.Now()
 			n.bumpLocked()
 			n.mu.Unlock()
 			continue
@@ -264,6 +299,12 @@ func (n *Node) runShipper(f *follower, epoch uint64) {
 			if r.Watermark > f.acked {
 				f.acked = r.Watermark
 			}
+			f.lastAck = time.Now()
+			if r.Mode != n.mode() && !f.modeWarned {
+				f.modeWarned = true
+				n.opts.Logf("replica: follower %s acknowledges in mode %d but this group runs mode %d; fix the -quorum flag on that node",
+					f.addr, r.Mode, n.mode())
+			}
 			if !f.active {
 				f.active = true
 				n.opts.Logf("replica: follower %s active at watermark %d", f.addr, f.acked)
@@ -279,6 +320,7 @@ func (n *Node) runShipper(f *follower, epoch uint64) {
 				busyStreak = 0
 				n.mu.Lock()
 				f.acked = r.Aux
+				f.lastAck = time.Now()
 				n.mu.Unlock()
 			case wire.CodeWrongShard:
 				// The follower knows a higher epoch: we are deposed.

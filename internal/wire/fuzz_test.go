@@ -686,6 +686,35 @@ func TestReplicationMessagesHostileInputs(t *testing.T) {
 		t.Error("negative lease duration accepted")
 	}
 
+	// The v6 mode/quorum tail fields are validated the same way: an
+	// unknown acknowledgement mode or an implausible quorum size is
+	// malformed, and both live at the end of their messages so every
+	// pre-v6 field boundary is unchanged.
+	badAck := Marshal(&ReplAck{Epoch: 1, Watermark: 2, Mode: ReplModeQuorum})
+	badAck[len(badAck)-1] = ReplModeQuorum + 1 // mode is the last body byte
+	if _, err := Unmarshal(badAck); err == nil {
+		t.Error("unknown replication mode accepted in ReplAck")
+	}
+	badLease := Marshal(&LeaseInfoResp{Role: ReplLeader, LeaseMS: 1, Mode: ReplModeQuorum, Quorum: 2})
+	badLease[len(badLease)-2] = ReplModeQuorum + 1 // mode precedes the 1-byte quorum varint
+	if _, err := Unmarshal(badLease); err == nil {
+		t.Error("unknown replication mode accepted in LeaseInfoResp")
+	}
+	var eq Encoder
+	eq.U8(uint8(TLeaseInfoResp))
+	eq.U8(ReplLeader)
+	eq.U64(7) // epoch
+	eq.U64(9) // watermark
+	eq.U64(9) // store seq
+	eq.I64(50)
+	eq.Str("a:1")
+	eq.U64(0) // members
+	eq.U8(ReplModeQuorum)
+	eq.U64(MaxMembers + 1) // quorum larger than any possible group
+	if _, err := Unmarshal(eq.Bytes()); err == nil {
+		t.Error("implausible quorum size accepted")
+	}
+
 	// Hostile epochs, watermarks, and sequence numbers are data, not
 	// protocol: every extreme value round-trips so the epoch comparison
 	// happens in replication logic where it can answer with an error
@@ -718,13 +747,14 @@ func TestReplicationMessagesHostileInputs(t *testing.T) {
 	r := rand.New(rand.NewPCG(0x7265, 0x706C))
 	for _, m := range []Message{
 		&ReplAppend{Epoch: 9, FirstSeq: 100, Records: [][]byte{{1, 2, 3}, {}, {4}}, Leader: "b:2"},
-		&ReplAck{Epoch: 9, Watermark: 102},
+		&ReplAck{Epoch: 9, Watermark: 102, Mode: ReplModeQuorum},
 		&ReplSnapshot{Epoch: 10, Watermark: 50, First: true, Leader: "b:2",
 			Items: []KVItem{{Key: "m/s", Value: []byte{1}}, {Key: "c/s/0", Value: []byte{2}}}},
 		&ReplSnapshot{Epoch: 10, Watermark: 50, Done: true},
 		&Promote{Epoch: 11, Leader: "b:2", Members: []string{"a:1", "b:2", "c:3"}},
 		&LeaseInfoResp{Role: ReplLeader, Epoch: 11, Watermark: 60, StoreSeq: 61,
-			LeaseMS: 2000, Leader: "a:1", Members: []string{"a:1", "b:2"}},
+			LeaseMS: 2000, Leader: "a:1", Members: []string{"a:1", "b:2", "c:3"},
+			Mode: ReplModeQuorum, Quorum: 2},
 	} {
 		valid := Marshal(m)
 		for cut := 1; cut < len(valid); cut++ {

@@ -1677,6 +1677,21 @@ const (
 	ReplDeposed uint8 = 3
 )
 
+// Replication acknowledgement modes, reported in LeaseInfoResp.Mode and
+// echoed by followers in ReplAck.Mode so a leader can warn about a group
+// whose members disagree on the durability contract.
+const (
+	// ReplModeAvailability is the default: the leader deactivates
+	// unreachable followers and keeps acknowledging with whoever remains
+	// (durability degrades, writes never block).
+	ReplModeAvailability uint8 = 0
+	// ReplModeQuorum acknowledges a write only after ⌈N/2⌉ of the
+	// N-member group (leader included) have durably applied it; writes
+	// refuse with CodeBusy — nothing applied — while a quorum is
+	// unreachable, and promotion requires a majority-side candidate.
+	ReplModeQuorum uint8 = 1
+)
+
 // MaxReplRecords bounds the records in one ReplAppend frame: large enough
 // to drain a deep backlog in few round trips, small enough that a hostile
 // frame cannot pin unbounded allocation (each record is itself bounded by
@@ -1730,20 +1745,29 @@ func (m *ReplAppend) decode(d *Decoder) error {
 
 // ReplAck answers a ReplAppend: the follower's epoch and the watermark
 // (highest contiguous sequence number applied). The leader releases client
-// acks blocked on seq <= Watermark.
+// acks blocked on seq <= Watermark. Mode (v6, encoded last so every older
+// field boundary is unchanged) is the answering member's configured
+// acknowledgement mode; a leader whose follower reports a different mode
+// than its own has a misconfigured group and logs it.
 type ReplAck struct {
 	Epoch     uint64
 	Watermark uint64
+	Mode      uint8
 }
 
 func (*ReplAck) Type() MsgType { return TReplAck }
 func (m *ReplAck) encode(e *Encoder) {
 	e.U64(m.Epoch)
 	e.U64(m.Watermark)
+	e.U8(m.Mode)
 }
 func (m *ReplAck) decode(d *Decoder) error {
 	m.Epoch = d.U64()
 	m.Watermark = d.U64()
+	m.Mode = d.U8()
+	if m.Mode > ReplModeQuorum {
+		return fmt.Errorf("wire: unknown replication mode %d", m.Mode)
+	}
 	return d.Err()
 }
 
@@ -1837,7 +1861,11 @@ func (*LeaseInfo) decode(*Decoder) error { return nil }
 // address it believes is current, and the group member list (leader's own
 // view; empty on a standalone node). LeaseMS is the lease duration the
 // node was configured with, so a router can time failover without
-// out-of-band configuration.
+// out-of-band configuration. Mode and Quorum (v6, encoded last so every
+// older field boundary is unchanged) report the acknowledgement mode the
+// node was configured with and — on a leader in quorum mode — the number
+// of members (itself included) a write must reach before it is
+// acknowledged; Quorum is 0 on followers and in availability mode.
 type LeaseInfoResp struct {
 	Role      uint8
 	Epoch     uint64
@@ -1846,6 +1874,8 @@ type LeaseInfoResp struct {
 	LeaseMS   int64
 	Leader    string
 	Members   []string
+	Mode      uint8
+	Quorum    uint32
 }
 
 func (*LeaseInfoResp) Type() MsgType { return TLeaseInfoResp }
@@ -1857,6 +1887,8 @@ func (m *LeaseInfoResp) encode(e *Encoder) {
 	e.I64(m.LeaseMS)
 	e.Str(m.Leader)
 	encodeMembers(e, m.Members)
+	e.U8(m.Mode)
+	e.U64(uint64(m.Quorum))
 }
 func (m *LeaseInfoResp) decode(d *Decoder) error {
 	m.Role = d.U8()
@@ -1876,5 +1908,14 @@ func (m *LeaseInfoResp) decode(d *Decoder) error {
 		return err
 	}
 	m.Members = members
+	m.Mode = d.U8()
+	if m.Mode > ReplModeQuorum {
+		return fmt.Errorf("wire: unknown replication mode %d", m.Mode)
+	}
+	quorum := d.U64()
+	if quorum > MaxMembers {
+		return fmt.Errorf("wire: implausible quorum size %d", quorum)
+	}
+	m.Quorum = uint32(quorum)
 	return d.Err()
 }

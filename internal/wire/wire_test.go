@@ -140,14 +140,15 @@ func allMessages() []Message {
 		&SubEvent{Seq: 17, FromChunk: 102, ToChunk: 108, Resync: true, Window: []uint64{9, 8, 7}},
 		&Unsubscribe{ID: 42},
 		&ReplAppend{Epoch: 3, FirstSeq: 42, Records: [][]byte{{1, 2}, {}, {3}}, Leader: "a:7733"},
-		&ReplAck{Epoch: 3, Watermark: 44},
+		&ReplAck{Epoch: 3, Watermark: 44, Mode: ReplModeQuorum},
 		&ReplSnapshot{Epoch: 4, Watermark: 99, First: true, Leader: "a:7733",
 			Items: []KVItem{{Key: "m/s1", Value: []byte{1}}, {Key: "c/s1/0", Value: []byte{2, 3}}}},
 		&ReplSnapshot{Epoch: 4, Watermark: 99, Done: true},
 		&Promote{Epoch: 5, Leader: "b:7733", Members: []string{"a:7733", "b:7733", "c:7733"}},
 		&LeaseInfo{},
 		&LeaseInfoResp{Role: ReplFollower, Epoch: 5, Watermark: 17, StoreSeq: 203,
-			LeaseMS: 3000, Leader: "a:7733", Members: []string{"a:7733", "b:7733"}},
+			LeaseMS: 3000, Leader: "a:7733", Members: []string{"a:7733", "b:7733", "c:7733"},
+			Mode: ReplModeQuorum, Quorum: 2},
 		&Batch{Reqs: []Message{
 			&InsertChunk{UUID: "s1", Chunk: []byte{1, 2}},
 			&InsertChunk{UUID: "s1", Chunk: []byte{3}},
